@@ -1,0 +1,70 @@
+//===- bench/BenchUtils.h - Shared benchmark harness helpers ---*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conventions shared by the experiment harnesses in bench/: every binary
+/// regenerates one table or figure of the paper, prints an aligned text
+/// table (or CSV with --csv) plus a short "shape check" summarizing
+/// whether the qualitative result of the paper holds in this run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_BENCH_BENCHUTILS_H
+#define DOPE_BENCH_BENCHUTILS_H
+
+#include "support/OptionParser.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <string>
+
+namespace dope {
+namespace bench {
+
+/// Standard options every experiment harness accepts.
+inline void addCommonOptions(OptionParser &Options) {
+  Options.addFlag("csv", "emit CSV instead of an aligned table");
+  Options.addInt("seed", 42, "random seed for workloads and service jitter");
+  Options.addInt("contexts", 24,
+                 "hardware contexts of the simulated platform");
+  Options.addFlag("quick", "smaller workloads for smoke runs");
+}
+
+/// Parses argv; on --help or error prints and exits.
+inline void parseOrExit(OptionParser &Options, int Argc,
+                        const char *const *Argv) {
+  if (!Options.parse(Argc, Argv)) {
+    std::fprintf(stderr, "error: %s\n%s", Options.error().c_str(),
+                 Options.helpText().c_str());
+    std::exit(1);
+  }
+  if (Options.helpRequested()) {
+    std::printf("%s", Options.helpText().c_str());
+    std::exit(0);
+  }
+}
+
+/// Prints a titled table in the selected format.
+inline void emitTable(const std::string &Title, const Table &T, bool Csv) {
+  if (Csv) {
+    std::printf("# %s\n%s\n", Title.c_str(), T.renderCsv().c_str());
+    return;
+  }
+  std::printf("== %s ==\n%s\n", Title.c_str(), T.renderText().c_str());
+}
+
+/// Prints one qualitative check line: these are the "shape" criteria the
+/// reproduction is judged by (who wins, where crossovers fall).
+inline bool checkShape(bool Holds, const std::string &Description) {
+  std::printf("[shape %s] %s\n", Holds ? "OK  " : "MISS", Description.c_str());
+  return Holds;
+}
+
+} // namespace bench
+} // namespace dope
+
+#endif // DOPE_BENCH_BENCHUTILS_H

@@ -1,0 +1,197 @@
+//===- bench/ablation_mechanisms.cpp - Design-choice ablations -------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablations of the design choices DESIGN.md calls out:
+///
+///   A. WQ-Linear hysteresis band (the paper's "variant of WQ-Linear
+///      [that] incorporates the hysteresis component of WQT-H"):
+///      stability (fewer reconfigurations) vs. responsiveness.
+///   B. WQT-H hysteresis lengths Non/Noff: thrash vs. sluggishness.
+///   C. TBF fusion threshold (paper value 0.5): when does fusing help?
+///   D. Reconfiguration pause cost: how expensive may the suspend /
+///      quiesce / respawn protocol be before adaptation stops paying?
+///   E. FDP accept epsilon: noise tolerance of the hill climber.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "apps/NestApps.h"
+#include "apps/PipelineApps.h"
+#include "mechanisms/Fdp.h"
+#include "mechanisms/ServerNest.h"
+#include "mechanisms/Tbf.h"
+#include "mechanisms/WqLinear.h"
+#include "mechanisms/WqtH.h"
+#include "sim/NestServerSim.h"
+#include "sim/PipelineSim.h"
+
+#include <cstdio>
+
+using namespace dope;
+using namespace dope::bench;
+
+int main(int Argc, char **Argv) {
+  OptionParser Options("Ablations of DoPE design choices");
+  addCommonOptions(Options);
+  parseOrExit(Options, Argc, Argv);
+  const bool Csv = Options.getFlag("csv");
+  const bool Quick = Options.getFlag("quick");
+  const unsigned Contexts = static_cast<unsigned>(Options.getInt("contexts"));
+  const uint64_t Seed = static_cast<uint64_t>(Options.getInt("seed"));
+
+  const uint64_t NestTransactions = Quick ? 250 : 700;
+  const uint64_t PipelineItems = Quick ? 800 : 2000;
+  bool Ok = true;
+
+  NestAppBundle X264 = makeX264App();
+  NestSimOptions NestOpts;
+  NestOpts.Contexts = Contexts;
+  NestOpts.LoadFactor = 0.7;
+  NestOpts.NumTransactions = NestTransactions;
+  NestOpts.Seed = Seed;
+
+  // --- A: WQ-Linear hysteresis band ------------------------------------
+  {
+    Table T({"band", "mean response (s)", "reconfigurations"});
+    uint64_t ReconfigsAtZero = 0, ReconfigsAtThree = 0;
+    for (unsigned Band : {0u, 1u, 2u, 3u}) {
+      NestServerSim Sim(X264.Model, NestOpts);
+      WqLinearParams P = X264.WqLinear;
+      P.HysteresisBand = Band;
+      WqLinearMechanism M(P);
+      NestSimResult R = Sim.run(&M, Contexts, 1);
+      T.addRow({Table::formatInt(Band),
+                Table::formatDouble(R.Stats.meanResponseTime(), 2),
+                Table::formatInt(static_cast<long long>(
+                    R.Reconfigurations))});
+      if (Band == 0)
+        ReconfigsAtZero = R.Reconfigurations;
+      if (Band == 3)
+        ReconfigsAtThree = R.Reconfigurations;
+    }
+    emitTable("Ablation A: WQ-Linear hysteresis band (x264, load 0.7)", T,
+              Csv);
+    Ok &= checkShape(ReconfigsAtThree < ReconfigsAtZero,
+                     "a hysteresis band damps reconfiguration churn");
+  }
+
+  // --- B: WQT-H hysteresis lengths --------------------------------------
+  {
+    Table T({"Non=Noff", "mean response (s)", "reconfigurations"});
+    uint64_t ReconfigsShort = 0, ReconfigsLong = 0;
+    for (unsigned N : {1u, 3u, 8u, 20u}) {
+      NestServerSim Sim(X264.Model, NestOpts);
+      WqtHParams P = X264.WqtH;
+      P.NOn = P.NOff = N;
+      WqtHMechanism M(P);
+      NestSimResult R = Sim.run(&M, Contexts, 1);
+      T.addRow({Table::formatInt(N),
+                Table::formatDouble(R.Stats.meanResponseTime(), 2),
+                Table::formatInt(static_cast<long long>(
+                    R.Reconfigurations))});
+      if (N == 1)
+        ReconfigsShort = R.Reconfigurations;
+      if (N == 20)
+        ReconfigsLong = R.Reconfigurations;
+    }
+    emitTable("Ablation B: WQT-H hysteresis lengths (x264, load 0.7)", T,
+              Csv);
+    Ok &= checkShape(ReconfigsLong <= ReconfigsShort,
+                     "longer hysteresis infers the load pattern instead "
+                     "of toggling");
+  }
+
+  // --- C: TBF fusion threshold ------------------------------------------
+  {
+    PipelineAppModel Ferret = makeFerretApp();
+    PipelineSimOptions PipeOpts;
+    PipeOpts.Contexts = Contexts;
+    PipeOpts.Seed = Seed;
+    PipeOpts.NumItems = PipelineItems;
+    PipelineSim Sim(Ferret, PipeOpts);
+
+    Table T({"threshold", "throughput (q/s)", "fused?"});
+    double TputLow = 0.0, TputHigh = 0.0;
+    for (double Threshold : {0.1, 0.3, 0.5, 0.7, 0.95}) {
+      TbfMechanism M({Threshold, /*EnableFusion=*/true});
+      PipelineSimResult R = Sim.run(&M, {});
+      T.addRow({Table::formatDouble(Threshold, 2),
+                Table::formatDouble(R.Throughput, 3),
+                R.EndedFused ? "yes" : "no"});
+      if (Threshold == 0.5)
+        TputLow = R.Throughput;
+      if (Threshold == 0.95)
+        TputHigh = R.Throughput;
+    }
+    emitTable("Ablation C: TBF fusion threshold (ferret, batch)", T, Csv);
+    Ok &= checkShape(TputLow >= TputHigh,
+                     "the paper's 0.5 threshold fuses ferret and is at "
+                     "least as good as never fusing");
+  }
+
+  // --- D: reconfiguration pause cost ------------------------------------
+  {
+    Table T({"pause (s)", "WQ-Linear response (s)", "static-best (s)"});
+    double RespCheap = 0.0, RespExpensive = 0.0, StaticBest = 0.0;
+    {
+      NestServerSim Sim(X264.Model, NestOpts);
+      const double Seq =
+          Sim.run(nullptr, Contexts, 1).Stats.meanResponseTime();
+      const double Par =
+          Sim.run(nullptr, outerExtentFor(Contexts, X264.MMax), X264.MMax)
+              .Stats.meanResponseTime();
+      StaticBest = std::min(Seq, Par);
+    }
+    for (double Pause : {0.01, 0.05, 0.5, 2.0, 8.0}) {
+      NestSimOptions Opts = NestOpts;
+      Opts.ReconfigPauseSeconds = Pause;
+      NestServerSim Sim(X264.Model, Opts);
+      WqLinearMechanism M(X264.WqLinear);
+      NestSimResult R = Sim.run(&M, Contexts, 1);
+      T.addRow({Table::formatDouble(Pause, 2),
+                Table::formatDouble(R.Stats.meanResponseTime(), 2),
+                Table::formatDouble(StaticBest, 2)});
+      if (Pause == 0.01)
+        RespCheap = R.Stats.meanResponseTime();
+      if (Pause == 8.0)
+        RespExpensive = R.Stats.meanResponseTime();
+    }
+    emitTable("Ablation D: reconfiguration pause cost (x264, load 0.7)", T,
+              Csv);
+    Ok &= checkShape(RespCheap < RespExpensive,
+                     "cheap reconfiguration is what makes adaptation "
+                     "profitable");
+  }
+
+  // --- E: FDP accept epsilon ---------------------------------------------
+  {
+    PipelineAppModel Ferret = makeFerretApp();
+    PipelineSimOptions PipeOpts;
+    PipeOpts.Contexts = Contexts;
+    PipeOpts.Seed = Seed;
+    PipeOpts.NumItems = PipelineItems;
+    PipelineSim Sim(Ferret, PipeOpts);
+
+    Table T({"epsilon", "throughput (q/s)", "reconfigurations"});
+    double BestTput = 0.0;
+    for (double Eps : {0.0, 0.02, 0.1, 0.3}) {
+      FdpMechanism M({Eps, 0.15});
+      PipelineSimResult R = Sim.run(&M, {});
+      T.addRow({Table::formatDouble(Eps, 2),
+                Table::formatDouble(R.Throughput, 3),
+                Table::formatInt(static_cast<long long>(
+                    R.Reconfigurations))});
+      BestTput = std::max(BestTput, R.Throughput);
+    }
+    emitTable("Ablation E: FDP accept epsilon (ferret, batch)", T, Csv);
+    Ok &= checkShape(BestTput > 0.0, "FDP completes under every epsilon");
+  }
+
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+//===- bench/fig11_response_time.cpp - Figure 11 reproduction --------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 11: response time vs. load for the four online
+/// service applications (x264 video transcoding, swaptions option
+/// pricing, bzip data compression, gimp image editing) under
+///
+///   * Static-Seq:  <(N, DOALL), (1, SEQ)>,
+///   * Static-Par:  <(N/Mmax, DOALL), (Mmax, PIPE|DOALL)>,
+///   * WQT-H, and
+///   * WQ-Linear.
+///
+/// Expected shapes (Sec. 8.2.1): the adaptive mechanisms dominate the
+/// statics across the load range; WQ-Linear gives the most graceful
+/// degradation except for bzip, where DoPmin = 4 starves it of useful
+/// intermediate configurations and it lands near WQT-H.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "apps/NestApps.h"
+#include "mechanisms/ServerNest.h"
+#include "mechanisms/WqLinear.h"
+#include "mechanisms/WqtH.h"
+#include "sim/NestServerSim.h"
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+using namespace dope;
+using namespace dope::bench;
+
+int main(int Argc, char **Argv) {
+  OptionParser Options(
+      "Figure 11: response time vs load under Static-Seq, Static-Par, "
+      "WQT-H, WQ-Linear for four server applications");
+  addCommonOptions(Options);
+  Options.addInt("transactions", 600, "transactions per run");
+  parseOrExit(Options, Argc, Argv);
+
+  const bool Csv = Options.getFlag("csv");
+  const unsigned Contexts = static_cast<unsigned>(Options.getInt("contexts"));
+  const uint64_t Seed = static_cast<uint64_t>(Options.getInt("seed"));
+  uint64_t Transactions =
+      static_cast<uint64_t>(Options.getInt("transactions"));
+  if (Options.getFlag("quick"))
+    Transactions = 200;
+
+  const std::vector<double> Loads = {0.1, 0.3, 0.5, 0.6, 0.7,
+                                     0.8, 0.9, 1.0};
+
+  bool AllOk = true;
+  for (const NestAppBundle &App : allNestApps()) {
+    Table T({"load", "Static-Seq", "Static-Par", "WQT-H", "WQ-Linear"});
+
+    // Per-mechanism response-time averages across the load sweep, used
+    // by the shape checks.
+    std::map<std::string, double> MeanAcrossLoads;
+    std::map<std::string, double> WorstRatioVsBestStatic;
+
+    for (double Load : Loads) {
+      NestSimOptions SimOpts;
+      SimOpts.Contexts = Contexts;
+      SimOpts.LoadFactor = Load;
+      SimOpts.NumTransactions = Transactions;
+      SimOpts.Seed = Seed;
+      NestServerSim Sim(App.Model, SimOpts);
+
+      const unsigned ParOuter = outerExtentFor(Contexts, App.MMax);
+      const double StaticSeq =
+          Sim.run(nullptr, Contexts, 1).Stats.meanResponseTime();
+      const double StaticPar =
+          Sim.run(nullptr, ParOuter, App.MMax).Stats.meanResponseTime();
+
+      WqtHMechanism WqtH(App.WqtH);
+      const double WqtHResp =
+          Sim.run(&WqtH, Contexts, 1).Stats.meanResponseTime();
+      WqLinearMechanism WqLin(App.WqLinear);
+      const double WqLinResp =
+          Sim.run(&WqLin, Contexts, 1).Stats.meanResponseTime();
+
+      T.addRow({Table::formatDouble(Load, 1),
+                Table::formatDouble(StaticSeq, 2),
+                Table::formatDouble(StaticPar, 2),
+                Table::formatDouble(WqtHResp, 2),
+                Table::formatDouble(WqLinResp, 2)});
+
+      const double BestStatic = std::min(StaticSeq, StaticPar);
+      MeanAcrossLoads["seq"] += StaticSeq;
+      MeanAcrossLoads["par"] += StaticPar;
+      MeanAcrossLoads["wqth"] += WqtHResp;
+      MeanAcrossLoads["wqlin"] += WqLinResp;
+      auto &WorstH = WorstRatioVsBestStatic["wqth"];
+      WorstH = std::max(WorstH, WqtHResp / BestStatic);
+      auto &WorstL = WorstRatioVsBestStatic["wqlin"];
+      WorstL = std::max(WorstL, WqLinResp / BestStatic);
+    }
+
+    emitTable("Fig. 11 (" + App.Model.Name +
+                  ") mean response time (s) vs load",
+              T, Csv);
+
+    const double N = static_cast<double>(Loads.size());
+    const double MeanSeq = MeanAcrossLoads["seq"] / N;
+    const double MeanPar = MeanAcrossLoads["par"] / N;
+    const double MeanWqLin = MeanAcrossLoads["wqlin"] / N;
+    const double MeanWqtH = MeanAcrossLoads["wqth"] / N;
+
+    if (App.Model.Name != "bzip") {
+      AllOk &= checkShape(
+          MeanWqLin < std::min(MeanSeq, MeanPar),
+          App.Model.Name +
+              ": WQ-Linear beats both statics averaged across loads");
+      AllOk &= checkShape(
+          WorstRatioVsBestStatic["wqlin"] < 1.35,
+          App.Model.Name + ": WQ-Linear never falls far behind the best "
+                           "static at any load (worst ratio " +
+              Table::formatDouble(WorstRatioVsBestStatic["wqlin"], 2) +
+              ")");
+    } else {
+      // Sec. 8.2.1: for data compression DoPmin = 4, so WQ-Linear
+      // "may give unhelpful configurations such as <(8, DOALL),
+      // (3, PIPE)>" and has too few configurations "to provide any
+      // improvement over WQT-H".
+      AllOk &= checkShape(MeanWqLin > MeanWqtH * 0.95,
+                          "bzip: WQ-Linear provides no improvement over "
+                          "WQT-H (DoPmin = 4)");
+      AllOk &= checkShape(
+          MeanWqtH < std::min(MeanSeq, MeanPar) * 1.1,
+          "bzip: WQT-H stays competitive with the best static");
+    }
+    std::printf("\n");
+  }
+  return AllOk ? 0 : 1;
+}

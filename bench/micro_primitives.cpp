@@ -1,0 +1,113 @@
+//===- bench/micro_primitives.cpp - Runtime primitive microbenchmarks ------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for the run-time primitives on the
+/// executive's hot paths: queue operations (every pipeline item crosses
+/// at least two), metric recording (every Task::begin/end pair), load
+/// sampling, RNG draws, and configuration bookkeeping. These quantify
+/// why full per-instance monitoring stays in the noise (Sec. 8.2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Config.h"
+#include "core/FeatureRegistry.h"
+#include "core/Monitor.h"
+#include "queue/BoundedQueue.h"
+#include "queue/SpscRing.h"
+#include "queue/WorkQueue.h"
+#include "support/MathUtils.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dope;
+
+namespace {
+
+void BM_WorkQueuePushPop(benchmark::State &State) {
+  WorkQueue<int> Q;
+  for (auto _ : State) {
+    Q.push(1);
+    benchmark::DoNotOptimize(Q.tryPop());
+  }
+}
+BENCHMARK(BM_WorkQueuePushPop);
+
+void BM_WorkQueueOccupancy(benchmark::State &State) {
+  WorkQueue<int> Q;
+  for (int I = 0; I != 64; ++I)
+    Q.push(I);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Q.size());
+}
+BENCHMARK(BM_WorkQueueOccupancy);
+
+void BM_BoundedQueuePushPop(benchmark::State &State) {
+  BoundedQueue<int> Q(1024);
+  for (auto _ : State) {
+    Q.tryPush(1);
+    benchmark::DoNotOptimize(Q.tryPop());
+  }
+}
+BENCHMARK(BM_BoundedQueuePushPop);
+
+void BM_SpscRingPushPop(benchmark::State &State) {
+  SpscRing<int> R(1024);
+  for (auto _ : State) {
+    R.push(1);
+    benchmark::DoNotOptimize(R.pop());
+  }
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_TaskMetricsRecord(benchmark::State &State) {
+  TaskMetrics M;
+  double T = 0.001;
+  for (auto _ : State) {
+    M.recordExecTime(T);
+    T += 1e-9;
+  }
+  benchmark::DoNotOptimize(M.execTime());
+}
+BENCHMARK(BM_TaskMetricsRecord);
+
+void BM_FeatureRegistryGet(benchmark::State &State) {
+  FeatureRegistry R;
+  R.registerFeature("SystemPower", [] { return 540.0; });
+  double Now = 0.0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(R.getValue("SystemPower", Now));
+    Now += 0.001;
+  }
+}
+BENCHMARK(BM_FeatureRegistryGet);
+
+void BM_RngLogNormal(benchmark::State &State) {
+  Rng R(42);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(R.logNormal(1.0, 0.2));
+}
+BENCHMARK(BM_RngLogNormal);
+
+void BM_WaterfillSplit(benchmark::State &State) {
+  const std::vector<double> Costs = {0.0, 0.8, 8.0, 1.2, 2.0, 0.0};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(waterfillSplit(24, Costs));
+}
+BENCHMARK(BM_WaterfillSplit);
+
+void BM_ProportionalSplit(benchmark::State &State) {
+  const std::vector<double> Weights = {0.8, 8.0, 1.2, 2.0};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(proportionalSplit(24, Weights, 1));
+}
+BENCHMARK(BM_ProportionalSplit);
+
+} // namespace
+
+BENCHMARK_MAIN();

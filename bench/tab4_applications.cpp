@@ -1,0 +1,71 @@
+//===- bench/tab4_applications.cpp - Table 4 reproduction ------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table 4: the applications enhanced using DoPE, the port
+/// effort, the exposed loop nesting levels, and the inner DoPmin. The
+/// effort numbers are transcribed from the paper (they describe the
+/// original Pthreads codes); the DoPmin and nesting columns are verified
+/// against this repository's calibrated application models.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "apps/AppRegistry.h"
+#include "apps/NestApps.h"
+#include "apps/PipelineApps.h"
+
+#include <cstdio>
+
+using namespace dope;
+using namespace dope::bench;
+
+int main(int Argc, char **Argv) {
+  OptionParser Options("Table 4: applications enhanced using DoPE");
+  addCommonOptions(Options);
+  parseOrExit(Options, Argc, Argv);
+  const bool Csv = Options.getFlag("csv");
+
+  Table T({"application", "description", "added", "modified", "deleted",
+           "fused", "total", "nesting", "DoPmin"});
+  for (const AppInfo &Info : appRegistry()) {
+    T.addRow({Info.Name, Info.Description, Table::formatInt(Info.LocAdded),
+              Table::formatInt(Info.LocModified),
+              Table::formatInt(Info.LocDeleted),
+              Info.LocFused ? Table::formatInt(Info.LocFused) : "-",
+              Table::formatInt(Info.LocTotal),
+              Table::formatInt(Info.NestingLevels),
+              Info.InnerDopMin ? Table::formatInt(Info.InnerDopMin) : "-"});
+  }
+  emitTable("Table 4: applications enhanced using DoPE", T, Csv);
+
+  bool Ok = true;
+
+  // Cross-check DoPmin of the calibrated models against the registry.
+  for (const NestAppBundle &App : allNestApps()) {
+    const AppInfo *Info = findApp(App.Model.Name);
+    if (!Info)
+      continue;
+    const unsigned ModelDopMin = App.Model.Curve.dopMin();
+    Ok &= checkShape(ModelDopMin == Info->InnerDopMin,
+                     App.Model.Name + ": model DoPmin (" +
+                         Table::formatInt(ModelDopMin) +
+                         ") matches Table 4 (" +
+                         Table::formatInt(Info->InnerDopMin) + ")");
+  }
+
+  // The batch pipelines are one-level nests with fused variants.
+  for (const PipelineAppModel &App : allPipelineApps()) {
+    const AppInfo *Info = findApp(App.Name);
+    Ok &= checkShape(Info && Info->NestingLevels == 1 &&
+                         Info->LocFused > 0 && !App.FusedStages.empty(),
+                     App.Name + ": one nesting level with a registered "
+                                "fused task variant");
+  }
+  return Ok ? 0 : 1;
+}

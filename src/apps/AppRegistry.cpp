@@ -1,0 +1,34 @@
+//===- apps/AppRegistry.cpp - Table 4 application inventory ----------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppRegistry.h"
+
+using namespace dope;
+
+const std::vector<AppInfo> &dope::appRegistry() {
+  // Values transcribed from Table 4 of the paper.
+  static const std::vector<AppInfo> Registry = {
+      {"x264", "Transcoding of yuv4mpeg videos", 72, 10, 8, 0, 39617, 2, 2},
+      {"swaptions", "Option pricing via Monte Carlo simulations", 85, 11, 8,
+       0, 1428, 2, 2},
+      {"bzip", "Data compression of SPEC ref input", 63, 10, 8, 0, 4652, 2,
+       4},
+      {"gimp", "Image editing using oilify plugin", 35, 12, 4, 0, 1989, 2,
+       2},
+      {"ferret", "Image search engine", 97, 15, 22, 59, 14781, 1, 0},
+      {"dedup", "Deduplication of PARSEC native input", 124, 10, 16, 113,
+       7546, 1, 0},
+  };
+  return Registry;
+}
+
+const AppInfo *dope::findApp(const std::string &Name) {
+  for (const AppInfo &Info : appRegistry())
+    if (Info.Name == Name)
+      return &Info;
+  return nullptr;
+}

@@ -1,0 +1,50 @@
+//===- apps/AppRegistry.h - Table 4 application inventory ------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The application inventory of Table 4 in the paper: the six
+/// applications enhanced with DoPE, the porting effort (lines of code
+/// added/modified/deleted, fused-task code), the number of exposed loop
+/// nesting levels, and DoPmin, the minimum inner extent at which a
+/// transaction's execution time improves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_APPS_APPREGISTRY_H
+#define DOPE_APPS_APPREGISTRY_H
+
+#include <string>
+#include <vector>
+
+namespace dope {
+
+/// One Table 4 row.
+struct AppInfo {
+  std::string Name;
+  std::string Description;
+  unsigned LocAdded = 0;
+  unsigned LocModified = 0;
+  unsigned LocDeleted = 0;
+  /// Lines of code in tasks created by fusing other tasks (0 = none).
+  unsigned LocFused = 0;
+  /// Total application size in lines of code.
+  unsigned LocTotal = 0;
+  /// Loop nesting levels exposed for the study.
+  unsigned NestingLevels = 1;
+  /// Minimum inner DoP extent with per-transaction speedup (0 = n/a).
+  unsigned InnerDopMin = 0;
+};
+
+/// All six applications, in Table 4 order.
+const std::vector<AppInfo> &appRegistry();
+
+/// Looks up an application by name; nullptr when unknown.
+const AppInfo *findApp(const std::string &Name);
+
+} // namespace dope
+
+#endif // DOPE_APPS_APPREGISTRY_H

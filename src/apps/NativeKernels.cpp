@@ -1,0 +1,102 @@
+//===- apps/NativeKernels.cpp - Deterministic CPU kernels ------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/NativeKernels.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace dope;
+
+uint64_t dope::hashWork(uint64_t Seed, uint64_t Iterations) {
+  uint64_t X = Seed;
+  for (uint64_t I = 0; I != Iterations; ++I) {
+    X += 0x9e3779b97f4a7c15ULL;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+    X ^= X >> 31;
+  }
+  return X;
+}
+
+Frame dope::makeFrame(uint32_t Index, size_t Size, uint64_t Seed) {
+  Frame F;
+  F.Index = Index;
+  F.Pixels.resize(Size);
+  Rng R(Seed ^ (static_cast<uint64_t>(Index) << 20));
+  for (uint8_t &Pixel : F.Pixels)
+    Pixel = static_cast<uint8_t>(R.next() & 0xff);
+  return F;
+}
+
+Frame dope::transformFrame(const Frame &Input, unsigned Passes) {
+  Frame Out = Input;
+  const size_t N = Out.Pixels.size();
+  if (N < 3 || Passes == 0)
+    return Out;
+  for (unsigned P = 0; P != Passes; ++P) {
+    // Neighbour smoothing followed by quantization; purely sequential
+    // dependence within a pass keeps the result deterministic.
+    uint8_t Prev = Out.Pixels[0];
+    for (size_t I = 1; I + 1 < N; ++I) {
+      const unsigned Sum = Prev + Out.Pixels[I] + Out.Pixels[I + 1];
+      Prev = Out.Pixels[I];
+      Out.Pixels[I] = static_cast<uint8_t>(((Sum / 3) >> 2) << 2);
+    }
+  }
+  return Out;
+}
+
+uint64_t dope::frameChecksum(const Frame &F) {
+  uint64_t Digest = 0xcbf29ce484222325ULL ^ F.Index;
+  for (uint8_t Pixel : F.Pixels) {
+    Digest ^= Pixel;
+    Digest *= 0x100000001b3ULL;
+  }
+  return Digest;
+}
+
+double dope::monteCarloPi(uint64_t Samples, uint64_t Seed) {
+  assert(Samples > 0 && "need at least one sample");
+  Rng R(Seed);
+  uint64_t Inside = 0;
+  for (uint64_t I = 0; I != Samples; ++I) {
+    const double X = R.uniform();
+    const double Y = R.uniform();
+    if (X * X + Y * Y <= 1.0)
+      ++Inside;
+  }
+  return 4.0 * static_cast<double>(Inside) / static_cast<double>(Samples);
+}
+
+std::vector<uint8_t> dope::rleCompress(const std::vector<uint8_t> &Input) {
+  std::vector<uint8_t> Out;
+  size_t I = 0;
+  while (I < Input.size()) {
+    uint8_t Run = 1;
+    while (I + Run < Input.size() && Run < 255 &&
+           Input[I + Run] == Input[I])
+      ++Run;
+    Out.push_back(Run);
+    Out.push_back(Input[I]);
+    I += Run;
+  }
+  return Out;
+}
+
+std::vector<uint8_t>
+dope::rleDecompress(const std::vector<uint8_t> &Encoded) {
+  assert(Encoded.size() % 2 == 0 && "malformed RLE stream");
+  std::vector<uint8_t> Out;
+  for (size_t I = 0; I + 1 < Encoded.size(); I += 2) {
+    const uint8_t Run = Encoded[I];
+    const uint8_t Value = Encoded[I + 1];
+    Out.insert(Out.end(), Run, Value);
+  }
+  return Out;
+}

@@ -1,0 +1,61 @@
+//===- apps/NativeKernels.h - Deterministic CPU kernels --------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic CPU-burning kernels used by the native examples and
+/// tests that drive the real DoPE run-time (as opposed to the simulated
+/// platform). Each kernel produces a checkable result so tests verify
+/// that reconfiguration never corrupts application output:
+///
+///   * hashWork       — iterated 64-bit mixing (generic "work item"),
+///   * frame pipeline — make/transform/checksum (transcoding analog),
+///   * monteCarloPi   — Monte Carlo estimation (swaptions analog),
+///   * RLE codec      — run-length compression (bzip/dedup analog).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_APPS_NATIVEKERNELS_H
+#define DOPE_APPS_NATIVEKERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dope {
+
+/// Iterated splitmix-style mixing; the result depends on every iteration.
+uint64_t hashWork(uint64_t Seed, uint64_t Iterations);
+
+/// A synthetic video frame.
+struct Frame {
+  uint32_t Index = 0;
+  std::vector<uint8_t> Pixels;
+};
+
+/// Builds a deterministic frame of \p Size bytes.
+Frame makeFrame(uint32_t Index, size_t Size, uint64_t Seed);
+
+/// "Encodes" a frame: \p Passes smoothing+quantization sweeps. The output
+/// depends only on the input frame and pass count.
+Frame transformFrame(const Frame &Input, unsigned Passes);
+
+/// Order-independent-checkable digest of a frame.
+uint64_t frameChecksum(const Frame &F);
+
+/// Estimates pi by Monte Carlo with \p Samples points; deterministic for
+/// a given seed.
+double monteCarloPi(uint64_t Samples, uint64_t Seed);
+
+/// Byte-level run-length encoding (count, value pairs).
+std::vector<uint8_t> rleCompress(const std::vector<uint8_t> &Input);
+
+/// Inverse of rleCompress.
+std::vector<uint8_t> rleDecompress(const std::vector<uint8_t> &Encoded);
+
+} // namespace dope
+
+#endif // DOPE_APPS_NATIVEKERNELS_H

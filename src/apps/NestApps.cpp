@@ -1,0 +1,86 @@
+//===- apps/NestApps.cpp - Two-level nest application models ---------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/NestApps.h"
+
+using namespace dope;
+
+NestAppBundle dope::makeX264App() {
+  NestAppBundle Bundle;
+  Bundle.Model.Name = "x264";
+  // Transcoding one video sequentially takes ~48 s on the model platform.
+  Bundle.Model.SeqServiceSeconds = 48.0;
+  // Calibration: raw S(8) = 8 / (1 + 7 * 0.033) = 6.5, capped at 6.3 so
+  // the maximum observed speedup is 6.3x and the best extent is 8
+  // (Sec. 2: "Texec is improved up to a maximum of 6.3x ... when 8
+  // threads are used to transcode each video").
+  Bundle.Model.Curve = SpeedupCurve(/*Alpha=*/0.033, /*FixedCost=*/0.0,
+                                    /*Cap=*/6.3);
+  Bundle.Model.ServiceCv = 0.18;
+  Bundle.MMax = 8;
+  Bundle.WqtH = {/*QueueThreshold=*/4.0, /*NOff=*/3, /*NOn=*/3,
+                 /*MMax=*/8, /*AltIndex=*/0};
+  Bundle.WqLinear = {/*MMin=*/1, /*MMax=*/8, /*QMax=*/20.0,
+                     /*HysteresisBand=*/0, /*AltIndex=*/0};
+  return Bundle;
+}
+
+NestAppBundle dope::makeSwaptionsApp() {
+  NestAppBundle Bundle;
+  Bundle.Model.Name = "swaptions";
+  Bundle.Model.SeqServiceSeconds = 6.0;
+  // Monte Carlo DOALL: near-linear, DoPmin = 2 (Table 4).
+  Bundle.Model.Curve = SpeedupCurve(/*Alpha=*/0.02, /*FixedCost=*/0.0,
+                                    /*Cap=*/18.0);
+  Bundle.Model.ServiceCv = 0.1;
+  Bundle.MMax = 8;
+  Bundle.WqtH = {/*QueueThreshold=*/4.0, /*NOff=*/3, /*NOn=*/3,
+                 /*MMax=*/8, /*AltIndex=*/0};
+  Bundle.WqLinear = {/*MMin=*/1, /*MMax=*/8, /*QMax=*/20.0,
+                     /*HysteresisBand=*/0, /*AltIndex=*/0};
+  return Bundle;
+}
+
+NestAppBundle dope::makeBzipApp() {
+  NestAppBundle Bundle;
+  Bundle.Model.Name = "bzip";
+  Bundle.Model.SeqServiceSeconds = 15.0;
+  // Heavy one-time parallelization cost: S(2) = 0.74, S(3) = 1.0,
+  // S(4) = 1.21 — no speedup below extent 4 (Table 4, DoPmin = 4), which
+  // leaves WQ-Linear with unhelpful intermediate configurations like
+  // <(8, DOALL), (3, PIPE)> (Sec. 8.2.1).
+  Bundle.Model.Curve = SpeedupCurve(/*Alpha=*/0.3, /*FixedCost=*/1.4,
+                                    /*Cap=*/8.0);
+  Bundle.Model.ServiceCv = 0.12;
+  Bundle.MMax = 8;
+  Bundle.WqtH = {/*QueueThreshold=*/4.0, /*NOff=*/3, /*NOn=*/3,
+                 /*MMax=*/8, /*AltIndex=*/0};
+  Bundle.WqLinear = {/*MMin=*/1, /*MMax=*/8, /*QMax=*/20.0,
+                     /*HysteresisBand=*/0, /*AltIndex=*/0};
+  return Bundle;
+}
+
+NestAppBundle dope::makeGimpApp() {
+  NestAppBundle Bundle;
+  Bundle.Model.Name = "gimp";
+  Bundle.Model.SeqServiceSeconds = 8.0;
+  // Oilify over image tiles: scalable DOALL with moderate tile-merge
+  // overhead.
+  Bundle.Model.Curve = SpeedupCurve(/*Alpha=*/0.09, /*FixedCost=*/0.0,
+                                    /*Cap=*/10.0);
+  Bundle.Model.ServiceCv = 0.15;
+  Bundle.MMax = 6;
+  Bundle.WqtH = {/*QueueThreshold=*/4.0, /*NOff=*/3, /*NOn=*/3,
+                 /*MMax=*/6, /*AltIndex=*/0};
+  Bundle.WqLinear = {/*MMin=*/1, /*MMax=*/6, /*QMax=*/20.0,
+                     /*HysteresisBand=*/0, /*AltIndex=*/0};
+  return Bundle;
+}
+
+std::vector<NestAppBundle> dope::allNestApps() {
+  return {makeX264App(), makeSwaptionsApp(), makeBzipApp(), makeGimpApp()};
+}

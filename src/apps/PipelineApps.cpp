@@ -1,0 +1,63 @@
+//===- apps/PipelineApps.cpp - Pipeline application models -----------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/PipelineApps.h"
+
+using namespace dope;
+
+PipelineAppModel dope::makeFerretApp() {
+  PipelineAppModel App;
+  App.Name = "ferret";
+  // Per-query stage times (seconds on the model platform). The feature
+  // extraction and ranking stages dominate and are imbalanced, which is
+  // why the even static split starves the bottleneck.
+  App.Stages = {
+      {"load", /*Parallel=*/false, /*ServiceSeconds=*/0.10, /*Cv=*/0.10},
+      {"segment", true, 0.80, 0.15},
+      {"extract", true, 8.00, 0.20},
+      {"vector", true, 1.20, 0.15},
+      {"rank", true, 2.00, 0.20},
+      {"out", false, 0.10, 0.10},
+  };
+  // Fused variant: the four parallel stages collapse into one task,
+  // saving inter-stage forwarding (~7% of the parallel work).
+  App.FusedStages = {
+      {"load", false, 0.10, 0.10},
+      {"query", true, 11.16, 0.18},
+      {"out", false, 0.10, 0.10},
+  };
+  // Compute-bound: tolerates a large thread footprint.
+  App.OversubPenalty = 0.05;
+  App.ThreadOverheadPenalty = 0.10;
+  return App;
+}
+
+PipelineAppModel dope::makeDedupApp() {
+  PipelineAppModel App;
+  App.Name = "dedup";
+  App.Stages = {
+      {"fragment", /*Parallel=*/false, 0.10, 0.10},
+      {"refine", true, 0.60, 0.15},
+      {"deduplicate", true, 6.00, 0.20},
+      {"compress", true, 1.90, 0.15},
+      {"write", false, 0.10, 0.10},
+  };
+  App.FusedStages = {
+      {"fragment", false, 0.10, 0.10},
+      {"chunk", true, 7.90, 0.18},
+      {"write", false, 0.10, 0.10},
+  };
+  // Memory-bound: a large thread footprint pollutes caches and consumes
+  // memory (paper: Pthreads-OS shows "virtually no improvement").
+  App.OversubPenalty = 0.15;
+  App.ThreadOverheadPenalty = 0.65;
+  return App;
+}
+
+std::vector<PipelineAppModel> dope::allPipelineApps() {
+  return {makeFerretApp(), makeDedupApp()};
+}

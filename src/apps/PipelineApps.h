@@ -1,0 +1,48 @@
+//===- apps/PipelineApps.h - Pipeline application models -------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Calibrated models of the paper's batch pipeline applications
+/// (Table 4, one loop nesting level): ferret, the content-based image
+/// search engine, and dedup, the PARSEC deduplication kernel. Both expose
+/// a fused task variant (Table 4 lists 59 and 113 lines of fused-task
+/// code respectively) registered as a second descriptor alternative.
+///
+/// Calibration targets (Sec. 8.2.2 / Table 15):
+///   * ferret: static even distribution is far off the bottleneck-aware
+///     optimum (the rank/extract stages dominate), so Pthreads-OS
+///     oversubscription recovers ~2.1x and DoPE-TBF more;
+///   * dedup: memory-bound — thread footprint is expensive, so
+///     Pthreads-OS lands at ~0.89x of the baseline while TBF's balanced
+///     + fused configuration wins;
+///   * geomean DoPE-TBF improvement across both ~2.36x ("136%").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_APPS_PIPELINEAPPS_H
+#define DOPE_APPS_PIPELINEAPPS_H
+
+#include "sim/PipelineSim.h"
+
+#include <vector>
+
+namespace dope {
+
+/// ferret: load -> segment -> extract -> vector -> rank -> out
+/// (6 stages; load and out are sequential).
+PipelineAppModel makeFerretApp();
+
+/// dedup: fragment -> refine -> deduplicate -> compress -> write
+/// (5 stages; fragment and write are sequential).
+PipelineAppModel makeDedupApp();
+
+/// Both batch applications, in the paper's Table 15 order.
+std::vector<PipelineAppModel> allPipelineApps();
+
+} // namespace dope
+
+#endif // DOPE_APPS_PIPELINEAPPS_H

@@ -1,0 +1,414 @@
+//===- core/Dope.cpp - The Degree of Parallelism Executive -----------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dope.h"
+
+#include "core/Clock.h"
+#include "support/Logging.h"
+
+#include <cassert>
+
+using namespace dope;
+
+Mechanism::~Mechanism() = default;
+
+namespace {
+
+/// Countdown latch used to join a region's replicas.
+class Latch {
+public:
+  explicit Latch(unsigned Count) : Count(Count) {}
+
+  void countDown() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(Count > 0 && "latch underflow");
+    if (--Count == 0)
+      Cond.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Cond.wait(Lock, [this] { return Count == 0; });
+  }
+
+private:
+  std::mutex Mutex;
+  std::condition_variable Cond;
+  unsigned Count;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// TaskRuntime
+//===----------------------------------------------------------------------===//
+
+TaskStatus TaskRuntime::begin() {
+  BeginTime = monotonicSeconds();
+  if (Executive.StopFlag.load(std::memory_order_acquire) ||
+      Executive.suspendRequested())
+    return TaskStatus::Suspended;
+  return TaskStatus::Executing;
+}
+
+TaskStatus TaskRuntime::end() {
+  if (BeginTime >= 0.0) {
+    Executive.metricsFor(TheTask).recordExecTime(monotonicSeconds() -
+                                                 BeginTime);
+    BeginTime = -1.0;
+  }
+  if (Executive.StopFlag.load(std::memory_order_acquire) ||
+      Executive.suspendRequested())
+    return TaskStatus::Suspended;
+  return TaskStatus::Executing;
+}
+
+TaskStatus TaskRuntime::wait(void *InnerContext) {
+  return Executive.runInnerRegion(TheTask, Config, InnerContext);
+}
+
+double TaskRuntime::nowSeconds() const { return monotonicSeconds(); }
+
+//===----------------------------------------------------------------------===//
+// Construction / lifecycle
+//===----------------------------------------------------------------------===//
+
+static void collectTasks(const ParDescriptor &Region,
+                         std::vector<const Task *> &Out) {
+  for (Task *T : Region.tasks()) {
+    Out.push_back(T);
+    for (ParDescriptor *Alt : T->descriptor()->alternatives())
+      collectTasks(*Alt, Out);
+  }
+}
+
+Dope::Dope(ParDescriptor *Root, DopeOptions Opts)
+    : Root(Root), Options(std::move(Opts)) {
+  assert(Root && "root region required");
+  assert(Options.MaxThreads >= 1 && "need at least one thread");
+
+  if (Options.InitialConfig.Tasks.empty())
+    ActiveConfig = defaultConfig(*Root);
+  else
+    ActiveConfig = Options.InitialConfig;
+
+  std::string Error;
+  if (!validateConfig(*Root, ActiveConfig, &Error)) {
+    DOPE_LOG_ERROR("invalid initial configuration: %s", Error.c_str());
+    assert(false && "invalid initial configuration");
+    ActiveConfig = defaultConfig(*Root);
+  }
+
+  std::vector<const Task *> AllTasks;
+  collectTasks(*Root, AllTasks);
+  for (const Task *T : AllTasks)
+    Metrics.emplace(T->id(), std::make_unique<TaskMetrics>());
+}
+
+std::unique_ptr<Dope> Dope::create(ParDescriptor *Root, DopeOptions Opts) {
+  // Cannot use std::make_unique with a private constructor.
+  std::unique_ptr<Dope> D(new Dope(Root, std::move(Opts)));
+  D->MainThread = std::thread([Raw = D.get()] { Raw->runMain(); });
+  D->ControllerThread = std::thread([Raw = D.get()] { Raw->runController(); });
+  return D;
+}
+
+void Dope::destroy(std::unique_ptr<Dope> D) {
+  assert(D && "destroying a null executive");
+  D->wait();
+  D.reset();
+}
+
+Dope::~Dope() {
+  // An executive destroyed before natural completion stops the
+  // application in an orderly fashion.
+  if (!Finished.load(std::memory_order_acquire))
+    requestStop();
+  if (MainThread.joinable())
+    MainThread.join();
+  if (ControllerThread.joinable())
+    ControllerThread.join();
+}
+
+void Dope::wait() {
+  std::unique_lock<std::mutex> Lock(DoneMutex);
+  DoneCond.wait(Lock,
+                [this] { return Finished.load(std::memory_order_acquire); });
+}
+
+bool Dope::finished() const {
+  return Finished.load(std::memory_order_acquire);
+}
+
+void Dope::requestStop() {
+  StopFlag.store(true, std::memory_order_release);
+  SuspendFlag.store(true, std::memory_order_release);
+}
+
+//===----------------------------------------------------------------------===//
+// Mechanism-developer API
+//===----------------------------------------------------------------------===//
+
+double Dope::getExecTime(const Task *T) const {
+  const TaskMetrics *M = metricsForIfPresent(*T);
+  return M ? M->execTime() : 0.0;
+}
+
+double Dope::getLoad(const Task *T) const {
+  const TaskMetrics *M = metricsForIfPresent(*T);
+  return M ? M->load() : 0.0;
+}
+
+void Dope::registerCB(const std::string &Feature, FeatureFn Callback,
+                      double MinSampleIntervalSeconds) {
+  Features.registerFeature(Feature, std::move(Callback),
+                           MinSampleIntervalSeconds);
+}
+
+std::optional<double> Dope::getValue(const std::string &Feature) const {
+  return Features.getValue(Feature, monotonicSeconds());
+}
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
+
+RegionConfig Dope::currentConfig() const {
+  std::lock_guard<std::mutex> Lock(ConfigMutex);
+  return ActiveConfig;
+}
+
+uint64_t Dope::reconfigurationCount() const {
+  return ReconfigCount.load(std::memory_order_acquire);
+}
+
+TaskMetrics &Dope::metricsFor(const Task &T) {
+  auto It = Metrics.find(T.id());
+  assert(It != Metrics.end() && "task not registered with this executive");
+  return *It->second;
+}
+
+const TaskMetrics *Dope::metricsForIfPresent(const Task &T) const {
+  auto It = Metrics.find(T.id());
+  return It == Metrics.end() ? nullptr : It->second.get();
+}
+
+RegionSnapshot
+Dope::snapshotRegion(const ParDescriptor &Region,
+                     const std::vector<TaskConfig> *Active) const {
+  RegionSnapshot Snap;
+  for (size_t I = 0; I != Region.size(); ++I) {
+    const Task *T = Region.tasks()[I];
+    const TaskConfig *Config =
+        Active && I < Active->size() ? &(*Active)[I] : nullptr;
+
+    TaskSnapshot TS;
+    TS.TaskId = T->id();
+    TS.Name = T->name();
+    TS.Kind = T->kind();
+    if (const TaskMetrics *M = metricsForIfPresent(*T)) {
+      TS.ExecTime = M->execTime();
+      TS.Load = M->load();
+      TS.LastLoad = M->lastLoad();
+      TS.Invocations = M->invocations();
+    }
+    TS.CurrentExtent = Config ? Config->Extent : 0;
+    TS.ActiveAlt = Config ? Config->AltIndex : -1;
+    if (TS.ExecTime > 0.0)
+      TS.Throughput = static_cast<double>(TS.CurrentExtent) / TS.ExecTime;
+
+    const auto &Alts = T->descriptor()->alternatives();
+    for (size_t A = 0; A != Alts.size(); ++A) {
+      const std::vector<TaskConfig> *InnerActive = nullptr;
+      if (Config && Config->AltIndex == static_cast<int>(A))
+        InnerActive = &Config->Inner;
+      TS.InnerAlternatives.push_back(snapshotRegion(*Alts[A], InnerActive));
+    }
+    Snap.Tasks.push_back(std::move(TS));
+  }
+  return Snap;
+}
+
+RegionSnapshot Dope::snapshot() const {
+  RegionConfig Config = currentConfig();
+  return snapshotRegion(*Root, &Config.Tasks);
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+void Dope::runMain() {
+  for (;;) {
+    RegionConfig Config;
+    {
+      std::lock_guard<std::mutex> Lock(ConfigMutex);
+      if (HasPendingConfig) {
+        ActiveConfig = PendingConfig;
+        HasPendingConfig = false;
+        ReconfigCount.fetch_add(1, std::memory_order_acq_rel);
+      }
+      Config = ActiveConfig;
+    }
+    if (StopFlag.load(std::memory_order_acquire))
+      break;
+
+    // A fresh epoch starts with the suspend request cleared.
+    SuspendFlag.store(false, std::memory_order_release);
+
+    const TaskStatus Status = runRegion(*Root, Config);
+    if (Status == TaskStatus::Finished)
+      break;
+    assert(Status == TaskStatus::Suspended && "unexpected region status");
+    if (StopFlag.load(std::memory_order_acquire))
+      break;
+    // Loop: apply any pending configuration and re-enter the region.
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(DoneMutex);
+    Finished.store(true, std::memory_order_release);
+  }
+  DoneCond.notify_all();
+}
+
+TaskStatus Dope::runRegion(const ParDescriptor &Region,
+                           const RegionConfig &Config, void *UserContext) {
+  assert(Config.Tasks.size() == Region.size() && "config arity mismatch");
+  const std::vector<Task *> &Tasks = Region.tasks();
+
+  // InitCBs restore consistency before the parallel region is (re)entered.
+  for (Task *T : Tasks)
+    T->runInit();
+
+  unsigned TotalReplicas = 0;
+  for (const TaskConfig &TC : Config.Tasks)
+    TotalReplicas += TC.Extent;
+
+  Latch Done(TotalReplicas);
+  std::vector<std::atomic<unsigned>> Remaining(Tasks.size());
+  for (size_t I = 0; I != Tasks.size(); ++I)
+    Remaining[I].store(Config.Tasks[I].Extent, std::memory_order_relaxed);
+
+  const unsigned MasterExtent = Config.Tasks[0].Extent;
+  std::atomic<unsigned> MasterFinished{0};
+
+  auto RunReplica = [&](size_t TaskIndex, unsigned Replica) {
+    const Task &T = *Tasks[TaskIndex];
+    const TaskStatus Status =
+        taskLoop(T, Config.Tasks[TaskIndex], Replica, UserContext);
+    if (TaskIndex == 0 && Status == TaskStatus::Finished)
+      MasterFinished.fetch_add(1, std::memory_order_acq_rel);
+    // The last replica of a task to stop runs the task's FiniCB, which
+    // lets downstream tasks drain to a consistent state (sentinels,
+    // queue closure).
+    if (Remaining[TaskIndex].fetch_sub(1, std::memory_order_acq_rel) == 1)
+      T.runFini();
+    Done.countDown();
+  };
+
+  // Spawn all replicas except the master's replica 0, which runs on the
+  // calling thread (the paper's master-task role).
+  for (size_t I = 0; I != Tasks.size(); ++I) {
+    const unsigned Extent = Config.Tasks[I].Extent;
+    for (unsigned R = 0; R != Extent; ++R) {
+      if (I == 0 && R == 0)
+        continue;
+      Pool.submit([&RunReplica, I, R] { RunReplica(I, R); });
+    }
+  }
+  RunReplica(0, 0);
+  Done.wait();
+
+  return MasterFinished.load(std::memory_order_acquire) == MasterExtent
+             ? TaskStatus::Finished
+             : TaskStatus::Suspended;
+}
+
+TaskStatus Dope::taskLoop(const Task &T, const TaskConfig &Config,
+                          unsigned Replica, void *UserContext) {
+  TaskRuntime RT(*this, T, Config, Replica, UserContext);
+  for (;;) {
+    const TaskStatus Status = T.invoke(RT);
+    if (Status != TaskStatus::Executing)
+      return Status;
+  }
+}
+
+TaskStatus Dope::runInnerRegion(const Task &Parent, const TaskConfig &Config,
+                                void *UserContext) {
+  if (Config.AltIndex < 0)
+    return TaskStatus::Finished;
+  const ParDescriptor *Inner =
+      Parent.descriptor()->alternative(static_cast<size_t>(Config.AltIndex));
+  RegionConfig InnerConfig;
+  InnerConfig.Tasks = Config.Inner;
+  return runRegion(*Inner, InnerConfig, UserContext);
+}
+
+//===----------------------------------------------------------------------===//
+// Controller
+//===----------------------------------------------------------------------===//
+
+void Dope::runController() {
+  while (!Finished.load(std::memory_order_acquire) &&
+         !StopFlag.load(std::memory_order_acquire)) {
+    sleepSeconds(Options.MonitorIntervalSeconds);
+    if (Finished.load(std::memory_order_acquire))
+      break;
+
+    // Sample application load features.
+    std::vector<const Task *> AllTasks;
+    collectTasks(*Root, AllTasks);
+    for (const Task *T : AllTasks)
+      if (T->hasLoadCallback())
+        metricsFor(*T).recordLoad(T->sampleLoad());
+
+    if (!Options.Mech)
+      continue;
+
+    const double Now = monotonicSeconds();
+    if (Now - LastReconfigTime < Options.MinReconfigIntervalSeconds)
+      continue;
+
+    MechanismContext Ctx;
+    Ctx.MaxThreads = Options.MaxThreads;
+    Ctx.PowerBudgetWatts = Options.PowerBudgetWatts;
+    Ctx.Features = &Features;
+    Ctx.NowSeconds = Now;
+
+    RegionConfig Current = currentConfig();
+    RegionSnapshot Snap = snapshot();
+    std::optional<RegionConfig> Next =
+        Options.Mech->reconfigure(*Root, Snap, Current, Ctx);
+    if (!Next || *Next == Current)
+      continue;
+
+    std::string Error;
+    if (!validateConfig(*Root, *Next, &Error)) {
+      DOPE_LOG_WARN("mechanism '%s' produced invalid config: %s",
+                    Options.Mech->name().c_str(), Error.c_str());
+      continue;
+    }
+    if (totalThreads(*Root, *Next) > Options.MaxThreads) {
+      DOPE_LOG_WARN("mechanism '%s' exceeded thread budget (%u > %u)",
+                    Options.Mech->name().c_str(), totalThreads(*Root, *Next),
+                    Options.MaxThreads);
+      continue;
+    }
+
+    {
+      std::lock_guard<std::mutex> Lock(ConfigMutex);
+      PendingConfig = *Next;
+      HasPendingConfig = true;
+    }
+    SuspendFlag.store(true, std::memory_order_release);
+    LastReconfigTime = Now;
+    DOPE_LOG_DEBUG("reconfiguring to %s",
+                   toString(*Root, *Next).c_str());
+  }
+}

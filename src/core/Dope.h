@@ -1,0 +1,268 @@
+//===- core/Dope.h - The Degree of Parallelism Executive ------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DoPE run-time system (paper Secs. 3-6). The executive
+///
+///   * executes the registered parallelism description on a thread pool,
+///   * monitors application features (per-task execution time between
+///     Task::begin/Task::end, LoadCB samples) and platform features
+///     (FeatureRegistry),
+///   * periodically consults the selected Mechanism, and
+///   * realizes configuration changes through the suspend / quiesce /
+///     reconfigure protocol: begin/end return SUSPENDED, tasks steer to a
+///     consistent state via FiniCBs, the executive re-runs InitCBs and
+///     respawns task loops under the new configuration.
+///
+/// Lifecycle mirrors the paper's API (Table 2):
+/// \code
+///   DopeOptions Opts;
+///   Opts.MaxThreads = 24;
+///   Opts.Mech = std::make_unique<WqLinearMechanism>(...);
+///   std::unique_ptr<Dope> D = Dope::create(RootRegion, std::move(Opts));
+///   Dope::destroy(std::move(D)); // waits for registered tasks to end
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_CORE_DOPE_H
+#define DOPE_CORE_DOPE_H
+
+#include "core/Config.h"
+#include "core/FeatureRegistry.h"
+#include "core/Mechanism.h"
+#include "core/Monitor.h"
+#include "core/Task.h"
+#include "core/ThreadPool.h"
+#include "core/Types.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace dope {
+
+class Dope;
+
+/// Per-replica handle passed to task functors; provides the paper's
+/// Task::begin / Task::end / Task::wait methods plus introspection.
+class TaskRuntime {
+public:
+  /// Signals that the CPU-intensive part of the task instance has begun.
+  /// Returns SUSPENDED when the executive intends to reconfigure.
+  TaskStatus begin();
+
+  /// Signals that the CPU-intensive part has ended; records the instance's
+  /// execution time. Returns SUSPENDED when reconfiguration is pending.
+  TaskStatus end();
+
+  /// Executes the task's active inner parallelism alternative to
+  /// completion (one inner-loop lifetime), returning the status of the
+  /// inner master task: FINISHED on normal completion, SUSPENDED when the
+  /// run-time interrupted it for reconfiguration. Returns FINISHED
+  /// immediately if the task has no active inner alternative.
+  ///
+  /// \p InnerContext is handed to every inner task replica through
+  /// TaskRuntime::context(), letting shared inner functors address the
+  /// per-transaction state (queues, buffers) of the invoking outer
+  /// replica — several outer replicas may run inner regions
+  /// concurrently.
+  TaskStatus wait(void *InnerContext = nullptr);
+
+  /// The context pointer the parent replica passed to wait(); null for
+  /// root-region tasks.
+  void *context() const { return UserContext; }
+
+  /// True when the executive activated an inner parallelism alternative
+  /// for this task; false means the functor should perform the work
+  /// inline (the <(N, DOALL), (1, SEQ)> configurations of Sec. 2).
+  bool innerActive() const { return Config.AltIndex >= 0; }
+
+  /// The task this runtime serves.
+  const Task &task() const { return TheTask; }
+
+  /// This replica's index within the task's extent, in [0, extent()).
+  unsigned replicaIndex() const { return Replica; }
+
+  /// The extent the task currently runs at.
+  unsigned extent() const { return Config.Extent; }
+
+  /// Monotonic seconds (the executive's clock).
+  double nowSeconds() const;
+
+private:
+  friend class Dope;
+  TaskRuntime(Dope &Executive, const Task &TheTask, const TaskConfig &Config,
+              unsigned Replica, void *UserContext)
+      : Executive(Executive), TheTask(TheTask), Config(Config),
+        Replica(Replica), UserContext(UserContext) {}
+
+  Dope &Executive;
+  const Task &TheTask;
+  const TaskConfig &Config;
+  unsigned Replica;
+  void *UserContext;
+  double BeginTime = -1.0;
+};
+
+/// Options for Dope::create.
+struct DopeOptions {
+  /// Thread budget (administrator constraint "with N threads").
+  unsigned MaxThreads = std::thread::hardware_concurrency();
+
+  /// Power budget in watts; <= 0 disables the constraint.
+  double PowerBudgetWatts = 0.0;
+
+  /// The adaptation mechanism. When null the executive runs the initial
+  /// configuration statically.
+  std::unique_ptr<Mechanism> Mech;
+
+  /// Initial configuration; when empty the canonical default (all extents
+  /// 1, first alternatives) is used.
+  RegionConfig InitialConfig;
+
+  /// Period of the monitoring / reconfiguration-decision loop.
+  double MonitorIntervalSeconds = 0.005;
+
+  /// Lower bound between two reconfigurations, damping thrash.
+  double MinReconfigIntervalSeconds = 0.02;
+};
+
+/// The executive. One instance manages one root parallel region.
+class Dope {
+public:
+  /// Launches the parallel application described by \p Root (paper:
+  /// DoPE::create(ParDescriptor *pd)). Execution starts immediately on
+  /// background threads.
+  static std::unique_ptr<Dope> create(ParDescriptor *Root, DopeOptions Opts);
+
+  /// Finalizes the run-time system: waits for registered tasks to end
+  /// (paper: DoPE::destroy). Equivalent to D->wait(); D.reset().
+  static void destroy(std::unique_ptr<Dope> D);
+
+  ~Dope();
+  Dope(const Dope &) = delete;
+  Dope &operator=(const Dope &) = delete;
+
+  /// Blocks until the root region's master task finishes.
+  void wait();
+
+  /// True once the root master task has returned FINISHED.
+  bool finished() const;
+
+  /// Requests an orderly early shutdown: the application observes
+  /// SUSPENDED, quiesces, and the run ends without respawning.
+  void requestStop();
+
+  //===--------------------------------------------------------------------===
+  // Mechanism-developer API (paper Fig. 9)
+  //===--------------------------------------------------------------------===
+
+  /// Smoothed per-instance execution time of \p T in seconds.
+  double getExecTime(const Task *T) const;
+
+  /// Smoothed load on \p T (LoadCB samples).
+  double getLoad(const Task *T) const;
+
+  /// Registers a platform feature callback (e.g. "SystemPower").
+  void registerCB(const std::string &Feature, FeatureFn Callback,
+                  double MinSampleIntervalSeconds = 0.0);
+
+  /// Reads a platform feature; std::nullopt when unregistered.
+  std::optional<double> getValue(const std::string &Feature) const;
+
+  //===--------------------------------------------------------------------===
+  // Introspection (tests, examples, harnesses)
+  //===--------------------------------------------------------------------===
+
+  /// The configuration currently executing.
+  RegionConfig currentConfig() const;
+
+  /// Number of completed reconfigurations.
+  uint64_t reconfigurationCount() const;
+
+  /// Builds a monitored snapshot of the root region.
+  RegionSnapshot snapshot() const;
+
+  /// Thread budget the executive honours.
+  unsigned maxThreads() const { return Options.MaxThreads; }
+
+private:
+  friend class TaskRuntime;
+
+  Dope(ParDescriptor *Root, DopeOptions Opts);
+
+  /// Body of the epoch loop: run region, handle suspensions, apply new
+  /// configurations until the master finishes.
+  void runMain();
+
+  /// Monitoring/decision loop body.
+  void runController();
+
+  /// Runs \p Region under \p Config until its master task finishes or
+  /// suspends; returns the master's final status. \p UserContext reaches
+  /// every replica through TaskRuntime::context().
+  TaskStatus runRegion(const ParDescriptor &Region, const RegionConfig &Config,
+                       void *UserContext = nullptr);
+
+  /// One replica's task loop.
+  TaskStatus taskLoop(const Task &T, const TaskConfig &Config,
+                      unsigned Replica, void *UserContext);
+
+  /// Executes the active inner region of \p Config on behalf of a parent
+  /// replica (Task::wait).
+  TaskStatus runInnerRegion(const Task &Parent, const TaskConfig &Config,
+                            void *UserContext);
+
+  TaskMetrics &metricsFor(const Task &T);
+  const TaskMetrics *metricsForIfPresent(const Task &T) const;
+
+  /// Fills a RegionSnapshot subtree for \p Region with the extents of
+  /// \p Active (may be null when the region is not currently configured).
+  RegionSnapshot snapshotRegion(const ParDescriptor &Region,
+                                const std::vector<TaskConfig> *Active) const;
+
+  bool suspendRequested() const {
+    return SuspendFlag.load(std::memory_order_acquire);
+  }
+
+  ParDescriptor *Root;
+  DopeOptions Options;
+
+  ThreadPool Pool;
+  FeatureRegistry Features;
+
+  mutable std::mutex ConfigMutex;
+  RegionConfig ActiveConfig;  // guarded by ConfigMutex
+  RegionConfig PendingConfig; // guarded by ConfigMutex
+  bool HasPendingConfig = false;
+
+  std::atomic<bool> SuspendFlag{false};
+  std::atomic<bool> StopFlag{false};
+  std::atomic<bool> Finished{false};
+  std::atomic<uint64_t> ReconfigCount{0};
+  double LastReconfigTime = 0.0; // controller thread only
+
+  // Task metrics, keyed by task id; created eagerly for the whole graph
+  // reachable from Root so lookups are lock-free afterwards.
+  std::unordered_map<unsigned, std::unique_ptr<TaskMetrics>> Metrics;
+
+  std::thread MainThread;
+  std::thread ControllerThread;
+
+  mutable std::mutex DoneMutex;
+  std::condition_variable DoneCond;
+};
+
+} // namespace dope
+
+#endif // DOPE_CORE_DOPE_H

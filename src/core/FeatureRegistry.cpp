@@ -1,0 +1,49 @@
+//===- core/FeatureRegistry.cpp - Platform feature monitoring --------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FeatureRegistry.h"
+
+#include <cassert>
+
+using namespace dope;
+
+void FeatureRegistry::registerFeature(const std::string &Name,
+                                      FeatureFn Callback,
+                                      double MinSampleIntervalSeconds) {
+  assert(Callback && "feature callback must be callable");
+  assert(MinSampleIntervalSeconds >= 0.0 && "negative sampling interval");
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entry &E = Features[Name];
+  E.Callback = std::move(Callback);
+  E.MinInterval = MinSampleIntervalSeconds;
+  E.LastSampleTime = -1e300;
+  E.CachedValue = 0.0;
+}
+
+void FeatureRegistry::unregisterFeature(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Features.erase(Name);
+}
+
+bool FeatureRegistry::hasFeature(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Features.count(Name) != 0;
+}
+
+std::optional<double> FeatureRegistry::getValue(const std::string &Name,
+                                                double NowSeconds) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Features.find(Name);
+  if (It == Features.end())
+    return std::nullopt;
+  const Entry &E = It->second;
+  if (NowSeconds - E.LastSampleTime < E.MinInterval)
+    return E.CachedValue;
+  E.CachedValue = E.Callback();
+  E.LastSampleTime = NowSeconds;
+  return E.CachedValue;
+}

@@ -1,0 +1,72 @@
+//===- core/FeatureRegistry.h - Platform feature monitoring ---*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of named platform features (paper Fig. 9):
+///
+///   void  DoPE::registerCB(string feature, Functor *getValueOfFeatureCB);
+///   void *DoPE::getValue(string feature);
+///
+/// A mechanism developer registers e.g. "SystemPower" with a callback that
+/// queries the power distribution unit; mechanisms then read the feature
+/// by name. Values are doubles; sampling may be rate-limited to model
+/// slow measurement hardware (the paper's PDU supported 13 samples/min).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_CORE_FEATUREREGISTRY_H
+#define DOPE_CORE_FEATUREREGISTRY_H
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace dope {
+
+/// Callback returning the current value of a platform feature.
+using FeatureFn = std::function<double()>;
+
+/// Thread-safe name -> callback registry with optional per-feature
+/// sampling rate limits.
+class FeatureRegistry {
+public:
+  /// Registers (or replaces) a feature callback.
+  ///
+  /// \p MinSampleIntervalSeconds rate-limits the callback: queries arriving
+  /// sooner than the interval return the cached value, modelling slow
+  /// measurement paths. Zero disables the limit.
+  void registerFeature(const std::string &Name, FeatureFn Callback,
+                       double MinSampleIntervalSeconds = 0.0);
+
+  /// Removes a feature; no-op when absent.
+  void unregisterFeature(const std::string &Name);
+
+  bool hasFeature(const std::string &Name) const;
+
+  /// Returns the feature value, or std::nullopt when the feature is not
+  /// registered. \p NowSeconds is the caller's clock, used for rate
+  /// limiting (pass monotonic seconds; the simulator passes virtual time).
+  std::optional<double> getValue(const std::string &Name,
+                                 double NowSeconds) const;
+
+private:
+  struct Entry {
+    FeatureFn Callback;
+    double MinInterval = 0.0;
+    mutable double LastSampleTime = -1e300;
+    mutable double CachedValue = 0.0;
+  };
+
+  mutable std::mutex Mutex;
+  std::map<std::string, Entry> Features;
+};
+
+} // namespace dope
+
+#endif // DOPE_CORE_FEATUREREGISTRY_H

@@ -1,0 +1,97 @@
+//===- core/Mechanism.h - Parallelism adaptation mechanisms ---*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mechanism-developer face of DoPE (Sec. 5 of the paper). A mechanism
+/// is an optimization routine that takes an objective (encoded by which
+/// mechanism the administrator selects), a set of constraints (threads,
+/// power), and monitored application/platform features, and determines the
+/// optimal parallelism configuration:
+///
+///   ParDescriptor *Mechanism::reconfigureParallelism(ParDescriptor *pd,
+///                                                    int nthreads);
+///
+/// Here the signature is value-oriented: mechanisms receive a read-only
+/// RegionSnapshot (metrics + structure) and the currently running
+/// RegionConfig, and return the configuration to switch to. Returning the
+/// current configuration (or std::nullopt) means "no change"; the
+/// executive only triggers the suspend/quiesce protocol on a change.
+///
+/// Both the native executive (core/Dope.h) and the discrete-event platform
+/// simulator (sim/) drive mechanisms through this one interface, so the
+/// same mechanism code is exercised in unit tests, native runs, and the
+/// paper-scale simulated experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_CORE_MECHANISM_H
+#define DOPE_CORE_MECHANISM_H
+
+#include "core/Config.h"
+#include "core/FeatureRegistry.h"
+#include "core/Monitor.h"
+
+#include <optional>
+#include <string>
+
+namespace dope {
+
+/// Constraint and environment information passed to a mechanism at every
+/// reconfiguration opportunity.
+struct MechanismContext {
+  /// Maximum number of hardware threads available (administrator
+  /// constraint "with N threads").
+  unsigned MaxThreads = 1;
+
+  /// Power budget in watts; <= 0 means unconstrained.
+  double PowerBudgetWatts = 0.0;
+
+  /// Platform features (power, temperature, ...), may be null.
+  const FeatureRegistry *Features = nullptr;
+
+  /// Current time in seconds (monotonic native clock or virtual simulator
+  /// clock).
+  double NowSeconds = 0.0;
+
+  /// Convenience: reads a platform feature, with \p Fallback when absent.
+  double feature(const std::string &Name, double Fallback = 0.0) const {
+    if (!Features)
+      return Fallback;
+    if (std::optional<double> Value = Features->getValue(Name, NowSeconds))
+      return *Value;
+    return Fallback;
+  }
+};
+
+/// Base class for all parallelism adaptation mechanisms.
+class Mechanism {
+public:
+  virtual ~Mechanism();
+
+  /// Short identifier, e.g. "WQT-H", "TBF".
+  virtual std::string name() const = 0;
+
+  /// Computes the configuration to run next.
+  ///
+  /// \p Root is the monitored snapshot of the root parallel region,
+  /// \p Current the configuration currently executing, and \p Ctx the
+  /// constraints. Returns std::nullopt or a configuration equal to
+  /// \p Current to keep running unchanged.
+  virtual std::optional<RegionConfig>
+  reconfigure(const ParDescriptor &Region, const RegionSnapshot &Root,
+              const RegionConfig &Current, const MechanismContext &Ctx) = 0;
+
+  /// Clears adaptation state (hysteresis counters, hill-climbing history).
+  virtual void reset() {}
+
+protected:
+  Mechanism() = default;
+};
+
+} // namespace dope
+
+#endif // DOPE_CORE_MECHANISM_H

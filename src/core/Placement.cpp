@@ -1,0 +1,135 @@
+//===- core/Placement.cpp - Stage-to-core placement -------------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Placement.h"
+
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dope;
+
+Placement dope::placePartitioned(const Topology &Topo,
+                                 const std::vector<unsigned> &Extents) {
+  const unsigned Sockets = Topo.sockets();
+  const unsigned PerSocket = Topo.coresPerSocket();
+  Placement P;
+  // Per-socket core cursors; wrap within the socket when oversubscribed.
+  std::vector<unsigned> Cursor(Sockets, 0);
+  for (unsigned Extent : Extents) {
+    // Split this stage's replicas proportionally across sockets (even
+    // weights; largest-remainder keeps the split exact).
+    const std::vector<unsigned> Share =
+        proportionalSplit(Extent, std::vector<double>(Sockets, 1.0));
+    std::vector<unsigned> Stage;
+    for (unsigned Socket = 0; Socket != Sockets; ++Socket)
+      for (unsigned R = 0; R != Share[Socket]; ++R) {
+        const unsigned Slot = Cursor[Socket]++ % PerSocket;
+        Stage.push_back(Socket * PerSocket + Slot);
+      }
+    P.Cores.push_back(std::move(Stage));
+  }
+  return P;
+}
+
+Placement dope::placeStriped(const Topology &Topo,
+                             const std::vector<unsigned> &Extents) {
+  Placement P;
+  const unsigned Sockets = Topo.sockets();
+  const unsigned PerSocket = Topo.coresPerSocket();
+  std::vector<unsigned> NextInSocket(Sockets, 0);
+  unsigned StageIndex = 0;
+  for (unsigned Extent : Extents) {
+    std::vector<unsigned> Stage;
+    for (unsigned R = 0; R != Extent; ++R) {
+      const unsigned Socket = (R + StageIndex) % Sockets;
+      const unsigned Slot = NextInSocket[Socket]++ % PerSocket;
+      Stage.push_back(Socket * PerSocket + Slot);
+    }
+    P.Cores.push_back(std::move(Stage));
+    ++StageIndex;
+  }
+  return P;
+}
+
+Placement dope::placeContiguous(const Topology &Topo,
+                                const std::vector<unsigned> &Extents) {
+  Placement P;
+  unsigned Next = 0;
+  const unsigned Total = Topo.totalCores();
+  for (unsigned Extent : Extents) {
+    std::vector<unsigned> Stage;
+    for (unsigned R = 0; R != Extent; ++R) {
+      Stage.push_back(Next % Total);
+      ++Next;
+    }
+    P.Cores.push_back(std::move(Stage));
+  }
+  return P;
+}
+
+/// Per-socket replica fractions of one stage.
+static std::vector<double> socketFractions(const Topology &Topo,
+                                           const std::vector<unsigned> &Cores) {
+  std::vector<double> Frac(Topo.sockets(), 0.0);
+  if (Cores.empty())
+    return Frac;
+  for (unsigned Core : Cores)
+    Frac[Topo.socketOf(Core)] += 1.0;
+  for (double &F : Frac)
+    F /= static_cast<double>(Cores.size());
+  return Frac;
+}
+
+double dope::stageHandoffCost(const Topology &Topo, const Placement &P,
+                              size_t From, RoutingPolicy Routing) {
+  assert(From + 1 < P.Cores.size() && "no downstream stage");
+  const std::vector<unsigned> &Producers = P.Cores[From];
+  const std::vector<unsigned> &Consumers = P.Cores[From + 1];
+  if (Producers.empty() || Consumers.empty())
+    return 0.0;
+
+  if (Routing == RoutingPolicy::Uniform) {
+    double Sum = 0.0;
+    for (unsigned A : Producers)
+      for (unsigned B : Consumers)
+        Sum += Topo.commCost(A, B);
+    return Sum / static_cast<double>(Producers.size() * Consumers.size());
+  }
+
+  // Locality-preferring routing: items originate in proportion to the
+  // producers per socket; each socket's consumers can locally absorb up
+  // to their capacity share. The locally matched fraction pays the mean
+  // intra-socket pair cost (same-core pairs are free); the spill-over
+  // crosses sockets.
+  const std::vector<double> Produce = socketFractions(Topo, Producers);
+  const std::vector<double> Consume = socketFractions(Topo, Consumers);
+  double Local = 0.0;
+  for (unsigned Socket = 0; Socket != Topo.sockets(); ++Socket)
+    Local += std::min(Produce[Socket], Consume[Socket]);
+
+  double IntraSum = 0.0;
+  size_t IntraPairs = 0;
+  for (unsigned A : Producers)
+    for (unsigned B : Consumers)
+      if (Topo.sameSocket(A, B)) {
+        IntraSum += Topo.commCost(A, B);
+        ++IntraPairs;
+      }
+  const double IntraCost =
+      IntraPairs > 0 ? IntraSum / static_cast<double>(IntraPairs) : 1.0;
+  return Local * IntraCost + (1.0 - Local) * Topo.crossSocketFactor();
+}
+
+double dope::meanCommCost(const Topology &Topo, const Placement &P,
+                          RoutingPolicy Routing) {
+  double Total = 0.0;
+  for (size_t S = 0; S + 1 < P.Cores.size(); ++S)
+    Total += stageHandoffCost(Topo, P, S, Routing);
+  return Total;
+}

@@ -1,0 +1,94 @@
+//===- core/Placement.h - Stage-to-core placement ---------------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Placement of pipeline stage replicas onto hardware threads. Beyond
+/// choosing *which* tasks run and *how many* threads each gets, the
+/// executive decides *where* they run: adjacent pipeline stages placed
+/// on the same socket communicate through the shared cache instead of
+/// the interconnect (paper Sec. 1, third bullet: "on which hardware
+/// thread should each stage be placed to maximize locality of
+/// communication").
+///
+/// For a pipeline, locality is maximized by *partitioning*: every socket
+/// hosts a proportional slice of every stage (a mini-pipeline), and the
+/// runtime routes each item to a consumer on the producer's socket
+/// whenever one has capacity. The oblivious baseline stripes each stage
+/// across sockets and routes uniformly. Three pieces model this:
+///
+///   * placePartitioned / placeStriped / placeContiguous — placements;
+///   * stageHandoffCost — expected per-item hand-off cost between two
+///     adjacent stages under uniform or locality-preferring routing;
+///   * meanCommCost — the per-item total across the pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_CORE_PLACEMENT_H
+#define DOPE_CORE_PLACEMENT_H
+
+#include "core/Topology.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace dope {
+
+/// Core assignment for every replica of every stage: Cores[S][R] is the
+/// core of stage S's replica R. When the configuration demands more
+/// threads than the platform has cores, assignments wrap (time-shared
+/// cores).
+struct Placement {
+  std::vector<std::vector<unsigned>> Cores;
+
+  unsigned totalReplicas() const {
+    unsigned Total = 0;
+    for (const std::vector<unsigned> &Stage : Cores)
+      Total += static_cast<unsigned>(Stage.size());
+    return Total;
+  }
+};
+
+/// How produced items are matched to downstream replicas.
+enum class RoutingPolicy {
+  /// Any consumer replica, uniformly (an oblivious work queue).
+  Uniform,
+  /// Prefer a consumer on the producer's socket while one has capacity.
+  LocalityPreferring,
+};
+
+/// Locality-maximizing placement: every socket receives a proportional
+/// slice of every stage, so items can flow end to end without leaving
+/// their socket. Combine with RoutingPolicy::LocalityPreferring.
+Placement placePartitioned(const Topology &Topo,
+                           const std::vector<unsigned> &Extents);
+
+/// Oblivious baseline: stripe each stage's replicas across the sockets.
+Placement placeStriped(const Topology &Topo,
+                       const std::vector<unsigned> &Extents);
+
+/// Naive packing: fill cores in order, stage after stage (adjacent
+/// stages only meet at socket boundaries — poor locality for wide
+/// stages, provided for comparison).
+Placement placeContiguous(const Topology &Topo,
+                          const std::vector<unsigned> &Extents);
+
+/// Expected communication cost of one item's hand-off from stage
+/// \p From to stage \p From + 1 under placement \p P and the given
+/// routing policy. Items are produced in proportion to the producer
+/// replicas per socket and absorbed in proportion to consumer capacity.
+double stageHandoffCost(const Topology &Topo, const Placement &P,
+                        size_t From,
+                        RoutingPolicy Routing = RoutingPolicy::Uniform);
+
+/// Expected total communication cost per item across the pipeline: the
+/// sum of stageHandoffCost over all adjacent stage pairs.
+double meanCommCost(const Topology &Topo, const Placement &P,
+                    RoutingPolicy Routing = RoutingPolicy::Uniform);
+
+} // namespace dope
+
+#endif // DOPE_CORE_PLACEMENT_H

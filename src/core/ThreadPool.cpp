@@ -1,0 +1,69 @@
+//===- core/ThreadPool.cpp - Growable cached thread pool -------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ThreadPool.h"
+
+#include <cassert>
+
+using namespace dope;
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(Jobs.empty() && "destroying pool with queued work");
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  assert(Job && "submitting empty job");
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!ShuttingDown && "submitting to a shut-down pool");
+    Jobs.push_back(std::move(Job));
+    // Every queued job must be matched by an idle-or-new worker: DoPE
+    // jobs are long-running task loops, so two jobs queued behind one
+    // idle worker would leave the second replica unstarted and deadlock
+    // the region (a replica blocked on a queue can only be released by
+    // another replica that never ran). Spawning is conservative — an
+    // extra worker parks harmlessly.
+    if (IdleCount < Jobs.size())
+      Workers.emplace_back([this] { workerMain(); });
+  }
+  WorkAvailable.notify_one();
+}
+
+size_t ThreadPool::threadsCreated() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Workers.size();
+}
+
+size_t ThreadPool::idleThreads() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return IdleCount;
+}
+
+void ThreadPool::workerMain() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      ++IdleCount;
+      WorkAvailable.wait(Lock,
+                         [this] { return !Jobs.empty() || ShuttingDown; });
+      --IdleCount;
+      if (Jobs.empty())
+        return; // shutting down
+      Job = std::move(Jobs.front());
+      Jobs.pop_front();
+    }
+    Job();
+  }
+}

@@ -1,0 +1,64 @@
+//===- core/ThreadPool.h - Growable cached thread pool --------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executive's thread pool. Reconfiguration respawns task loops every
+/// epoch and inner regions respawn per outer-loop iteration, so threads
+/// are cached and reused rather than created per job: the paper attributes
+/// parallel inefficiency partly to "overheads such as thread creation".
+///
+/// The pool grows on demand and never rejects work — the executive bounds
+/// concurrency through configuration validation (total threads <= N), and
+/// a pool that could refuse work would deadlock nested regions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_CORE_THREADPOOL_H
+#define DOPE_CORE_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dope {
+
+/// Growable cached thread pool with fire-and-forget submission.
+class ThreadPool {
+public:
+  ThreadPool() = default;
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Job. An idle cached worker picks it up; if none is idle a
+  /// new worker thread is created.
+  void submit(std::function<void()> Job);
+
+  /// Number of worker threads ever created (monitoring/test hook).
+  size_t threadsCreated() const;
+
+  /// Number of currently idle workers (monitoring/test hook).
+  size_t idleThreads() const;
+
+private:
+  void workerMain();
+
+  mutable std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::deque<std::function<void()>> Jobs;
+  std::vector<std::thread> Workers;
+  size_t IdleCount = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace dope
+
+#endif // DOPE_CORE_THREADPOOL_H

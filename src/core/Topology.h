@@ -1,0 +1,73 @@
+//===- core/Topology.h - Platform topology model ---------------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A socket/core topology of the platform. The paper's evaluation
+/// machine is "4 sockets, each with a 6-core Intel Core Architecture
+/// 64-bit processor" — communication between pipeline stages placed on
+/// different sockets costs more than within a socket, which is why the
+/// run-time decides "on which hardware thread should each stage be
+/// placed to maximize locality of communication" (Sec. 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_CORE_TOPOLOGY_H
+#define DOPE_CORE_TOPOLOGY_H
+
+#include <cassert>
+
+namespace dope {
+
+/// Symmetric sockets-of-cores topology with a relative communication
+/// cost metric.
+class Topology {
+public:
+  /// Default: the paper's 4 x 6 Xeon X7460 platform.
+  Topology(unsigned Sockets = 4, unsigned CoresPerSocket = 6,
+           double CrossSocketFactor = 3.0)
+      : Sockets(Sockets), CoresPerSocket(CoresPerSocket),
+        CrossSocketFactor(CrossSocketFactor) {
+    assert(Sockets >= 1 && CoresPerSocket >= 1 && "empty topology");
+    assert(CrossSocketFactor >= 1.0 &&
+           "cross-socket traffic cannot be cheaper than local");
+  }
+
+  unsigned sockets() const { return Sockets; }
+  unsigned coresPerSocket() const { return CoresPerSocket; }
+  unsigned totalCores() const { return Sockets * CoresPerSocket; }
+
+  /// The socket that hosts \p Core. Cores are numbered socket-major:
+  /// [0, CoresPerSocket) sit on socket 0, and so on.
+  unsigned socketOf(unsigned Core) const {
+    assert(Core < totalCores() && "core id out of range");
+    return Core / CoresPerSocket;
+  }
+
+  bool sameSocket(unsigned A, unsigned B) const {
+    return socketOf(A) == socketOf(B);
+  }
+
+  /// Relative cost of moving one item between threads on \p A and \p B:
+  /// 0 on the same core (cache-resident), 1 within a socket, and
+  /// CrossSocketFactor across sockets.
+  double commCost(unsigned A, unsigned B) const {
+    if (A == B)
+      return 0.0;
+    return sameSocket(A, B) ? 1.0 : CrossSocketFactor;
+  }
+
+  double crossSocketFactor() const { return CrossSocketFactor; }
+
+private:
+  unsigned Sockets;
+  unsigned CoresPerSocket;
+  double CrossSocketFactor;
+};
+
+} // namespace dope
+
+#endif // DOPE_CORE_TOPOLOGY_H

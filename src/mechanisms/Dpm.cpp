@@ -1,0 +1,83 @@
+//===- mechanisms/Dpm.cpp - Dynamic Pipeline Mapping -------------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/Dpm.h"
+
+#include "mechanisms/PipelineView.h"
+
+#include <cassert>
+
+using namespace dope;
+
+DpmMechanism::DpmMechanism(DpmParams Params) : Params(Params) {
+  assert(Params.Deadband >= 0.0 && "negative deadband");
+}
+
+std::optional<RegionConfig>
+DpmMechanism::reconfigure(const ParDescriptor &Region,
+                          const RegionSnapshot &Root,
+                          const RegionConfig &Current,
+                          const MechanismContext &Ctx) {
+  std::optional<PipelineView> View =
+      PipelineView::resolve(Region, Root, Current);
+  if (!View || !View->fullyMeasured())
+    return std::nullopt;
+
+  const std::vector<StageView> &Stages = View->stages();
+  const size_t N = Stages.size();
+  const double SystemThroughput = View->systemThroughput();
+  if (SystemThroughput <= 0.0)
+    return std::nullopt;
+
+  // Utilization of stage i: the fraction of its threads the current
+  // item flow keeps busy, t * s_i / n_i.
+  std::vector<double> Utilization(N, 0.0);
+  std::vector<unsigned> Extents(N);
+  for (size_t I = 0; I != N; ++I) {
+    Extents[I] = Stages[I].Extent;
+    Utilization[I] =
+        SystemThroughput * Stages[I].ExecTime / Stages[I].Extent;
+  }
+
+  // Pick the busiest parallel stage as the receiver.
+  size_t To = PipelineView::npos;
+  for (size_t I = 0; I != N; ++I)
+    if (Stages[I].IsParallel &&
+        (To == PipelineView::npos || Utilization[I] > Utilization[To]))
+      To = I;
+  if (To == PipelineView::npos)
+    return std::nullopt;
+
+  unsigned Used = 0;
+  for (unsigned E : Extents)
+    Used += E;
+
+  if (Used < Ctx.MaxThreads) {
+    // Spare budget: grow the busiest stage while it is saturated.
+    if (Utilization[To] < 1.0 - Params.Deadband)
+      return std::nullopt;
+    ++Extents[To];
+    return View->makeConfig(Extents);
+  }
+
+  // Budget exhausted: steal from the least-utilized shrinkable stage.
+  size_t From = PipelineView::npos;
+  for (size_t I = 0; I != N; ++I) {
+    if (!Stages[I].IsParallel || Extents[I] <= 1 || I == To)
+      continue;
+    if (From == PipelineView::npos ||
+        Utilization[I] < Utilization[From])
+      From = I;
+  }
+  if (From == PipelineView::npos)
+    return std::nullopt;
+  if (Utilization[To] - Utilization[From] <= Params.Deadband)
+    return std::nullopt; // balanced: stop churning
+  --Extents[From];
+  ++Extents[To];
+  return View->makeConfig(Extents);
+}

@@ -1,0 +1,55 @@
+//===- mechanisms/Dpm.h - Dynamic Pipeline Mapping --------------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DPM [Moreno et al., Euro-Par 2008], which the paper cites as "a
+/// technique similar to FDP" (Sec. 9). Where FDP climbs on *measured
+/// throughput* and reverts failed moves, DPM follows per-stage
+/// *utilization* directly: each decision moves one thread from the most
+/// under-utilized stage to the most over-utilized one, with a deadband
+/// so a balanced pipeline stops churning. Simpler than FDP (no history,
+/// no reverts) but blind to effects its utilization model misses —
+/// exactly the contrast the related-work discussion draws.
+///
+/// Implemented as a DoPE mechanism to demonstrate, once more, that new
+/// policies slot in without touching application code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_MECHANISMS_DPM_H
+#define DOPE_MECHANISMS_DPM_H
+
+#include "core/Mechanism.h"
+
+namespace dope {
+
+/// Tuning parameters of DPM.
+struct DpmParams {
+  /// Minimum utilization spread (max - min) that justifies moving a
+  /// thread; below this the mapping is considered balanced.
+  double Deadband = 0.15;
+};
+
+/// Dynamic Pipeline Mapping.
+class DpmMechanism : public Mechanism {
+public:
+  explicit DpmMechanism(DpmParams Params = DpmParams());
+
+  std::string name() const override { return "DPM"; }
+
+  std::optional<RegionConfig>
+  reconfigure(const ParDescriptor &Region, const RegionSnapshot &Root,
+              const RegionConfig &Current, const MechanismContext &Ctx)
+      override;
+
+private:
+  DpmParams Params;
+};
+
+} // namespace dope
+
+#endif // DOPE_MECHANISMS_DPM_H

@@ -1,0 +1,158 @@
+//===- mechanisms/Fdp.cpp - Feedback Directed Pipelining -------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/Fdp.h"
+
+#include "mechanisms/PipelineView.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dope;
+
+FdpMechanism::FdpMechanism(FdpParams Params) : Params(Params) {
+  assert(Params.AcceptEpsilon >= 0.0 && "negative accept epsilon");
+  assert(Params.ReexploreDrift > 0.0 && "re-explore drift must be positive");
+}
+
+void FdpMechanism::reset() {
+  State = SearchState::WarmUp;
+  BaseExtents.clear();
+  BaseThroughput = 0.0;
+  MovePending = false;
+  TriedMoves.clear();
+  PlateauThroughput = 0.0;
+}
+
+std::optional<FdpMechanism::Move>
+FdpMechanism::pickMove(const std::vector<unsigned> &Extents,
+                       const std::vector<double> &ExecTimes,
+                       const std::vector<bool> &Parallel,
+                       unsigned Budget) const {
+  const size_t N = Extents.size();
+
+  // Rank candidate receivers by ascending capacity (slowest first) and
+  // candidate donors by descending capacity (most slack first).
+  std::vector<size_t> Order(N);
+  for (size_t I = 0; I != N; ++I)
+    Order[I] = I;
+  auto Capacity = [&](size_t I) {
+    return ExecTimes[I] > 0.0
+               ? static_cast<double>(Extents[I]) / ExecTimes[I]
+               : 0.0;
+  };
+  std::vector<size_t> Receivers = Order;
+  std::stable_sort(Receivers.begin(), Receivers.end(),
+                   [&](size_t A, size_t B) {
+                     return Capacity(A) < Capacity(B);
+                   });
+  std::vector<size_t> Donors = Order;
+  std::stable_sort(Donors.begin(), Donors.end(), [&](size_t A, size_t B) {
+    return Capacity(A) > Capacity(B);
+  });
+
+  unsigned Used = 0;
+  for (unsigned E : Extents)
+    Used += E;
+
+  for (size_t To : Receivers) {
+    if (!Parallel[To])
+      continue;
+    // Prefer free budget.
+    if (Used < Budget) {
+      const Move Candidate{PipelineView::npos, To};
+      if (!TriedMoves.count(Candidate))
+        return Candidate;
+    }
+    for (size_t From : Donors) {
+      if (From == To || !Parallel[From] || Extents[From] <= 1)
+        continue;
+      const Move Candidate{From, To};
+      if (!TriedMoves.count(Candidate))
+        return Candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<RegionConfig>
+FdpMechanism::reconfigure(const ParDescriptor &Region,
+                          const RegionSnapshot &Root,
+                          const RegionConfig &Current,
+                          const MechanismContext &Ctx) {
+  std::optional<PipelineView> View =
+      PipelineView::resolve(Region, Root, Current);
+  if (!View || !View->fullyMeasured())
+    return std::nullopt;
+
+  const std::vector<StageView> &Stages = View->stages();
+  const size_t N = Stages.size();
+
+  std::vector<unsigned> Extents(N);
+  std::vector<double> ExecTimes(N);
+  std::vector<bool> Parallel(N);
+  for (size_t I = 0; I != N; ++I) {
+    Extents[I] = Stages[I].Extent;
+    ExecTimes[I] = Stages[I].ExecTime;
+    Parallel[I] = Stages[I].IsParallel;
+  }
+  const double Throughput = View->systemThroughput();
+
+  if (State == SearchState::WarmUp) {
+    BaseExtents = Extents;
+    BaseThroughput = Throughput;
+    State = SearchState::Climbing;
+  }
+
+  if (State == SearchState::Converged) {
+    // Re-open the search when the workload shifted the plateau.
+    const double Drift = PlateauThroughput > 0.0
+                             ? std::abs(Throughput - PlateauThroughput) /
+                                   PlateauThroughput
+                             : 0.0;
+    if (Drift <= Params.ReexploreDrift)
+      return std::nullopt;
+    TriedMoves.clear();
+    BaseExtents = Extents;
+    BaseThroughput = Throughput;
+    State = SearchState::Climbing;
+  }
+
+  // Judge the pending move by the throughput measured since it was
+  // applied.
+  if (MovePending) {
+    MovePending = false;
+    if (Throughput > BaseThroughput * (1.0 + Params.AcceptEpsilon)) {
+      // Accept: this becomes the new base and the neighbourhood reopens.
+      BaseExtents = Extents;
+      BaseThroughput = Throughput;
+      TriedMoves.clear();
+    } else {
+      // Revert to the base assignment and remember the failed move.
+      TriedMoves.insert(PendingMove);
+      Extents = BaseExtents;
+    }
+  }
+
+  std::optional<Move> Next =
+      pickMove(Extents, ExecTimes, Parallel, Ctx.MaxThreads);
+  if (!Next) {
+    State = SearchState::Converged;
+    PlateauThroughput = BaseThroughput;
+    // Make sure the base assignment is what actually runs.
+    return View->makeConfig(BaseExtents);
+  }
+
+  if (Next->From != PipelineView::npos) {
+    assert(Extents[Next->From] > 1 && "donor stage has no spare thread");
+    --Extents[Next->From];
+  }
+  ++Extents[Next->To];
+  PendingMove = *Next;
+  MovePending = true;
+  return View->makeConfig(Extents);
+}

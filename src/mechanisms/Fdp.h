@@ -1,0 +1,88 @@
+//===- mechanisms/Fdp.h - Feedback Directed Pipelining ---------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FDP [Suleman et al., PACT 2010], implemented as a DoPE throughput
+/// mechanism (paper Sec. 7.2): task execution times feed a hill-climbing
+/// search over thread assignments. Each step either grows the limiter
+/// stage (when budget is free) or moves one thread from the stage with
+/// the most slack to the limiter; a step that fails to improve measured
+/// throughput is reverted and an alternative move is tried. The search
+/// re-opens when throughput drifts from the accepted plateau, giving the
+/// "constant monitoring" behaviour the paper relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_MECHANISMS_FDP_H
+#define DOPE_MECHANISMS_FDP_H
+
+#include "core/Mechanism.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace dope {
+
+/// Tuning parameters of the FDP hill climber.
+struct FdpParams {
+  /// Relative throughput improvement required to accept a move.
+  double AcceptEpsilon = 0.02;
+  /// Relative drift from the accepted plateau that re-opens the search.
+  double ReexploreDrift = 0.15;
+};
+
+/// Feedback Directed Pipelining.
+class FdpMechanism : public Mechanism {
+public:
+  explicit FdpMechanism(FdpParams Params = FdpParams());
+
+  std::string name() const override { return "FDP"; }
+
+  std::optional<RegionConfig>
+  reconfigure(const ParDescriptor &Region, const RegionSnapshot &Root,
+              const RegionConfig &Current, const MechanismContext &Ctx)
+      override;
+
+  void reset() override;
+
+  /// True once the climber has settled on a plateau (test hook).
+  bool converged() const { return State == SearchState::Converged; }
+
+private:
+  enum class SearchState { WarmUp, Climbing, Converged };
+
+  /// A move: take one thread from stage From (npos = free budget) and
+  /// give it to stage To.
+  struct Move {
+    size_t From;
+    size_t To;
+    bool operator<(const Move &Other) const {
+      return std::pair(From, To) < std::pair(Other.From, Other.To);
+    }
+  };
+
+  /// Picks the next untried move given current extents; nullopt when the
+  /// neighbourhood is exhausted.
+  std::optional<Move> pickMove(const std::vector<unsigned> &Extents,
+                               const std::vector<double> &ExecTimes,
+                               const std::vector<bool> &Parallel,
+                               unsigned Budget) const;
+
+  FdpParams Params;
+  SearchState State = SearchState::WarmUp;
+  std::vector<unsigned> BaseExtents; // extents before the pending move
+  double BaseThroughput = 0.0;       // throughput of BaseExtents
+  bool MovePending = false;
+  Move PendingMove = {0, 0};
+  std::set<Move> TriedMoves;
+  double PlateauThroughput = 0.0;
+};
+
+} // namespace dope
+
+#endif // DOPE_MECHANISMS_FDP_H

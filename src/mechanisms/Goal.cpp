@@ -1,0 +1,39 @@
+//===- mechanisms/Goal.cpp - Administrator performance goals ---------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/Goal.h"
+
+#include "mechanisms/Tbf.h"
+#include "mechanisms/Tpc.h"
+#include "support/Compiler.h"
+
+using namespace dope;
+
+std::string dope::toString(Objective Obj) {
+  switch (Obj) {
+  case Objective::MinResponseTime:
+    return "MinResponseTime";
+  case Objective::MaxThroughput:
+    return "MaxThroughput";
+  case Objective::MaxThroughputPowerCapped:
+    return "MaxThroughputPowerCapped";
+  }
+  DOPE_UNREACHABLE("invalid Objective");
+}
+
+std::unique_ptr<Mechanism>
+dope::makeDefaultMechanism(const PerformanceGoal &Goal) {
+  switch (Goal.Obj) {
+  case Objective::MinResponseTime:
+    return std::make_unique<WqLinearMechanism>(Goal.ResponseParams);
+  case Objective::MaxThroughput:
+    return std::make_unique<TbfMechanism>();
+  case Objective::MaxThroughputPowerCapped:
+    return std::make_unique<TpcMechanism>();
+  }
+  DOPE_UNREACHABLE("invalid Objective");
+}

@@ -1,0 +1,58 @@
+//===- mechanisms/Goal.h - Administrator performance goals -----*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The administrator's face of DoPE (paper Sec. 4): a performance goal is
+/// an objective plus resource constraints ("maximize throughput with 24
+/// threads, 600 Watts"). For each goal there is a best mechanism that
+/// DoPE uses by default (Sec. 7) — "a human need not select a particular
+/// mechanism":
+///
+///   MinResponseTime             -> WQ-Linear
+///   MaxThroughput               -> TBF
+///   MaxThroughputPowerCapped    -> TPC
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_MECHANISMS_GOAL_H
+#define DOPE_MECHANISMS_GOAL_H
+
+#include "core/Mechanism.h"
+#include "mechanisms/WqLinear.h"
+
+#include <memory>
+#include <string>
+
+namespace dope {
+
+/// The objective component of a performance goal.
+enum class Objective {
+  MinResponseTime,
+  MaxThroughput,
+  MaxThroughputPowerCapped,
+};
+
+std::string toString(Objective Obj);
+
+/// A performance goal: objective + constraints.
+struct PerformanceGoal {
+  Objective Obj = Objective::MaxThroughput;
+  /// Constraint: number of hardware threads ("with N threads").
+  unsigned MaxThreads = 1;
+  /// Constraint: power budget in watts; <= 0 when unconstrained.
+  double PowerBudgetWatts = 0.0;
+  /// Response-time goals additionally need the application's efficiency
+  /// knee and SLA-derived queue bound (ignored by the other objectives).
+  WqLinearParams ResponseParams;
+};
+
+/// Creates the default mechanism for \p Goal.
+std::unique_ptr<Mechanism> makeDefaultMechanism(const PerformanceGoal &Goal);
+
+} // namespace dope
+
+#endif // DOPE_MECHANISMS_GOAL_H

@@ -1,0 +1,195 @@
+//===- mechanisms/PipelineView.cpp - Locating the active pipeline ----------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/PipelineView.h"
+
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace dope;
+
+static StageView makeStageView(const Task *T, const TaskSnapshot *Snap,
+                               unsigned Extent) {
+  StageView SV;
+  SV.Stage = T;
+  SV.IsParallel = T->kind() == TaskKind::Parallel;
+  SV.Extent = Extent;
+  if (Snap) {
+    SV.ExecTime = Snap->ExecTime;
+    SV.Load = Snap->Load;
+    SV.LastLoad = Snap->LastLoad;
+    SV.Invocations = Snap->Invocations;
+  }
+  return SV;
+}
+
+std::optional<PipelineView> PipelineView::resolve(const ParDescriptor &Region,
+                                                  const RegionSnapshot &Snap,
+                                                  const RegionConfig &Config) {
+  assert(Config.Tasks.size() == Region.size() && "config arity mismatch");
+  PipelineView View;
+  View.Root = &Region;
+
+  if (Region.size() > 1) {
+    // Direct pipeline: the root region's tasks are the stages.
+    View.Pipeline = &Region;
+    for (size_t I = 0; I != Region.size(); ++I) {
+      const TaskSnapshot *TS =
+          I < Snap.Tasks.size() ? &Snap.Tasks[I] : nullptr;
+      View.Stages.push_back(makeStageView(Region.tasks()[I], TS,
+                                          Config.Tasks[I].Extent));
+    }
+    return View;
+  }
+
+  // Driver shape: single task whose active alternative is the pipeline.
+  const Task *Driver = Region.masterTask();
+  if (!Driver->hasInner())
+    return std::nullopt;
+  const TaskConfig &DriverConfig = Config.Tasks.front();
+  const int Alt = DriverConfig.AltIndex >= 0 ? DriverConfig.AltIndex : 0;
+  const ParDescriptor *Pipeline =
+      Driver->descriptor()->alternative(static_cast<size_t>(Alt));
+
+  View.Driver = Driver;
+  View.AltIndex = Alt;
+  View.DriverExtent = DriverConfig.Extent;
+  View.Pipeline = Pipeline;
+
+  const RegionSnapshot *InnerSnap = nullptr;
+  if (!Snap.Tasks.empty() &&
+      static_cast<size_t>(Alt) < Snap.Tasks.front().InnerAlternatives.size())
+    InnerSnap = &Snap.Tasks.front().InnerAlternatives[Alt];
+
+  for (size_t I = 0; I != Pipeline->size(); ++I) {
+    const TaskSnapshot *TS =
+        InnerSnap && I < InnerSnap->Tasks.size() ? &InnerSnap->Tasks[I]
+                                                 : nullptr;
+    unsigned Extent = 1;
+    if (DriverConfig.AltIndex == Alt && I < DriverConfig.Inner.size())
+      Extent = DriverConfig.Inner[I].Extent;
+    View.Stages.push_back(makeStageView(Pipeline->tasks()[I], TS, Extent));
+  }
+  return View;
+}
+
+bool PipelineView::fullyMeasured() const {
+  for (const StageView &SV : Stages)
+    if (SV.Invocations == 0 || SV.ExecTime <= 0.0)
+      return false;
+  return !Stages.empty();
+}
+
+unsigned PipelineView::sequentialCount() const {
+  unsigned Count = 0;
+  for (const StageView &SV : Stages)
+    Count += SV.IsParallel ? 0 : 1;
+  return Count;
+}
+
+size_t PipelineView::bottleneckStage() const {
+  size_t Best = npos;
+  double BestCapacity = 0.0;
+  for (size_t I = 0; I != Stages.size(); ++I) {
+    const double Capacity = Stages[I].capacity();
+    if (Capacity <= 0.0)
+      continue;
+    if (Best == npos || Capacity < BestCapacity) {
+      Best = I;
+      BestCapacity = Capacity;
+    }
+  }
+  return Best;
+}
+
+double PipelineView::systemThroughput() const {
+  const size_t Bottleneck = bottleneckStage();
+  return Bottleneck == npos ? 0.0 : Stages[Bottleneck].capacity();
+}
+
+bool PipelineView::hasAlternatives() const {
+  return Driver && Driver->descriptor()->alternativeCount() > 1;
+}
+
+size_t PipelineView::alternativeCount() const {
+  return Driver ? Driver->descriptor()->alternativeCount() : 0;
+}
+
+int PipelineView::smallestAlternative() const {
+  if (!Driver)
+    return AltIndex;
+  int Best = AltIndex;
+  size_t BestSize = Pipeline->size();
+  const auto &Alts = Driver->descriptor()->alternatives();
+  for (size_t A = 0; A != Alts.size(); ++A) {
+    if (Alts[A]->size() < BestSize) {
+      Best = static_cast<int>(A);
+      BestSize = Alts[A]->size();
+    }
+  }
+  return Best;
+}
+
+RegionConfig
+PipelineView::makeConfig(const std::vector<unsigned> &Extents) const {
+  assert(Extents.size() == Stages.size() && "stage extent arity mismatch");
+
+  std::vector<TaskConfig> StageConfigs;
+  for (size_t I = 0; I != Stages.size(); ++I) {
+    TaskConfig TC;
+    TC.Extent = Stages[I].IsParallel ? std::max(1u, Extents[I]) : 1;
+    StageConfigs.push_back(TC);
+  }
+
+  RegionConfig Config;
+  if (!Driver) {
+    Config.Tasks = std::move(StageConfigs);
+    return Config;
+  }
+  TaskConfig DriverConfig;
+  DriverConfig.Extent = DriverExtent;
+  DriverConfig.AltIndex = AltIndex;
+  DriverConfig.Inner = std::move(StageConfigs);
+  Config.Tasks.push_back(std::move(DriverConfig));
+  return Config;
+}
+
+RegionConfig PipelineView::makeAlternativeConfig(int NewAlt,
+                                                 unsigned MaxThreads) const {
+  assert(Driver && "alternative configs require a driver task");
+  assert(NewAlt >= 0 && static_cast<size_t>(NewAlt) <
+                            Driver->descriptor()->alternativeCount() &&
+         "alternative index out of range");
+  const ParDescriptor *NewPipeline =
+      Driver->descriptor()->alternative(static_cast<size_t>(NewAlt));
+
+  unsigned SeqCount = 0;
+  std::vector<double> Weights;
+  for (const Task *T : NewPipeline->tasks()) {
+    const bool IsSeq = T->kind() == TaskKind::Sequential;
+    SeqCount += IsSeq ? 1 : 0;
+    Weights.push_back(IsSeq ? 0.0 : 1.0);
+  }
+  const unsigned Budget = MaxThreads > SeqCount ? MaxThreads - SeqCount : 0;
+  std::vector<unsigned> Split = proportionalSplit(Budget, Weights, 0);
+
+  TaskConfig DriverConfig;
+  DriverConfig.Extent = DriverExtent;
+  DriverConfig.AltIndex = NewAlt;
+  for (size_t I = 0; I != NewPipeline->size(); ++I) {
+    TaskConfig TC;
+    const bool IsSeq =
+        NewPipeline->tasks()[I]->kind() == TaskKind::Sequential;
+    TC.Extent = IsSeq ? 1 : std::max(1u, Split[I]);
+    DriverConfig.Inner.push_back(TC);
+  }
+
+  RegionConfig Config;
+  Config.Tasks.push_back(std::move(DriverConfig));
+  return Config;
+}

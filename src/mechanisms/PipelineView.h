@@ -1,0 +1,116 @@
+//===- mechanisms/PipelineView.h - Locating the active pipeline -*- C++ -*-==//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Throughput mechanisms (TBF, FDP, SEDA, TPC) reason about a flat
+/// pipeline of stages. Applications express that pipeline either directly
+/// (the root region has several tasks) or under a driver task whose
+/// TaskDescriptor carries the pipeline — and possibly a fused variant — as
+/// inner alternatives. PipelineView abstracts over both shapes and maps
+/// stage extents back into a full RegionConfig.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_MECHANISMS_PIPELINEVIEW_H
+#define DOPE_MECHANISMS_PIPELINEVIEW_H
+
+#include "core/Config.h"
+#include "core/Mechanism.h"
+#include "core/Monitor.h"
+#include "core/Task.h"
+
+#include <optional>
+#include <vector>
+
+namespace dope {
+
+/// One stage of the active pipeline, pairing structure with metrics.
+struct StageView {
+  const Task *Stage = nullptr;
+  bool IsParallel = false;
+  /// Smoothed seconds per item (0 while unmeasured).
+  double ExecTime = 0.0;
+  /// Smoothed input load (queue occupancy).
+  double Load = 0.0;
+  double LastLoad = 0.0;
+  uint64_t Invocations = 0;
+  unsigned Extent = 1;
+
+  /// Items per second this stage sustains at its current extent; infinity
+  /// is represented as 0 when unmeasured.
+  double capacity() const {
+    return ExecTime > 0.0 ? static_cast<double>(Extent) / ExecTime : 0.0;
+  }
+};
+
+/// A resolved view of the active pipeline within a region.
+class PipelineView {
+public:
+  /// Resolves the active pipeline of \p Region given its snapshot and the
+  /// running configuration. Returns std::nullopt when the region has no
+  /// pipeline shape.
+  static std::optional<PipelineView> resolve(const ParDescriptor &Region,
+                                             const RegionSnapshot &Snap,
+                                             const RegionConfig &Config);
+
+  const std::vector<StageView> &stages() const { return Stages; }
+  size_t size() const { return Stages.size(); }
+
+  /// True when every stage has at least one measured invocation.
+  bool fullyMeasured() const;
+
+  /// Number of sequential stages.
+  unsigned sequentialCount() const;
+
+  /// Index of the stage with the lowest capacity (the throughput
+  /// limiter); measured stages only. Returns npos when unmeasured.
+  size_t bottleneckStage() const;
+
+  /// System throughput estimate: the capacity of the bottleneck stage.
+  double systemThroughput() const;
+
+  /// True when the pipeline lives under a driver task that offers more
+  /// than one alternative (e.g. a registered fused task).
+  bool hasAlternatives() const;
+
+  /// Number of alternatives of the driver task (0 for direct pipelines).
+  size_t alternativeCount() const;
+
+  /// The active alternative index (-1 for direct pipelines).
+  int activeAlternative() const { return AltIndex; }
+
+  /// Index of the driver alternative with the fewest tasks — the fused
+  /// variant by convention. Returns the active index when no smaller
+  /// alternative exists.
+  int smallestAlternative() const;
+
+  /// Builds a RegionConfig assigning \p Extents to the pipeline stages
+  /// (arity must match). Sequential stages are forced to extent 1.
+  RegionConfig makeConfig(const std::vector<unsigned> &Extents) const;
+
+  /// Builds a RegionConfig that activates driver alternative \p NewAlt
+  /// and distributes \p MaxThreads across its stages: one thread per
+  /// sequential task, even split across parallel tasks. Only valid when
+  /// hasAlternatives().
+  RegionConfig makeAlternativeConfig(int NewAlt, unsigned MaxThreads) const;
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+private:
+  PipelineView() = default;
+
+  const ParDescriptor *Root = nullptr;     // root region
+  const ParDescriptor *Pipeline = nullptr; // the stage region
+  const Task *Driver = nullptr;            // null for direct pipelines
+  int AltIndex = -1;                       // active alternative
+  unsigned DriverExtent = 1;
+  std::vector<StageView> Stages;
+};
+
+} // namespace dope
+
+#endif // DOPE_MECHANISMS_PIPELINEVIEW_H

@@ -1,0 +1,80 @@
+//===- mechanisms/Proportional.cpp - Exec-time-proportional DoP ------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/Proportional.h"
+
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace dope;
+
+std::vector<TaskConfig>
+ProportionalMechanism::assignRegion(const ParDescriptor &Region,
+                                    const RegionSnapshot &Snap,
+                                    const std::vector<TaskConfig> &Current,
+                                    unsigned Budget) const {
+  const size_t N = Region.size();
+  assert(Current.size() == N && "config arity mismatch");
+
+  // Step 1-2 of Fig. 10: normalize execution times into a share of the
+  // budget. Unmeasured tasks weigh as the average (weight 0 handled by
+  // proportionalSplit's even fallback).
+  std::vector<double> Weights(N, 0.0);
+  for (size_t I = 0; I != N; ++I)
+    if (I < Snap.Tasks.size())
+      Weights[I] = Snap.Tasks[I].ExecTime;
+
+  std::vector<unsigned> Shares =
+      proportionalSplit(Budget >= static_cast<unsigned>(N)
+                            ? Budget
+                            : static_cast<unsigned>(N),
+                        Weights, 1);
+
+  std::vector<TaskConfig> Result;
+  for (size_t I = 0; I != N; ++I) {
+    const Task *T = Region.tasks()[I];
+    TaskConfig TC;
+    const unsigned Share = std::max(1u, Shares[I]);
+
+    const int Alt = Current[I].AltIndex;
+    if (Alt >= 0 && T->hasInner()) {
+      // The task's share flows into its inner loop ("recurse if
+      // needed"); the replica itself hosts the inner master.
+      TC.Extent = 1;
+      TC.AltIndex = Alt;
+      const ParDescriptor *Inner =
+          T->descriptor()->alternative(static_cast<size_t>(Alt));
+      const RegionSnapshot *InnerSnap =
+          I < Snap.Tasks.size() &&
+                  static_cast<size_t>(Alt) <
+                      Snap.Tasks[I].InnerAlternatives.size()
+              ? &Snap.Tasks[I].InnerAlternatives[Alt]
+              : nullptr;
+      static const RegionSnapshot Empty;
+      TC.Inner = assignRegion(*Inner, InnerSnap ? *InnerSnap : Empty,
+                              Current[I].Inner, Share);
+    } else {
+      TC.Extent = T->kind() == TaskKind::Parallel ? Share : 1;
+    }
+    Result.push_back(std::move(TC));
+  }
+  return Result;
+}
+
+std::optional<RegionConfig>
+ProportionalMechanism::reconfigure(const ParDescriptor &Region,
+                                   const RegionSnapshot &Root,
+                                   const RegionConfig &Current,
+                                   const MechanismContext &Ctx) {
+  // Warm-up: wait until at least the master task has measurements.
+  if (Root.Tasks.empty() || Root.Tasks.front().Invocations == 0)
+    return std::nullopt;
+  RegionConfig Config;
+  Config.Tasks = assignRegion(Region, Root, Current.Tasks, Ctx.MaxThreads);
+  return Config;
+}

@@ -1,0 +1,47 @@
+//===- mechanisms/Proportional.h - Exec-time-proportional DoP --*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The example mechanism of Figure 10 in the paper: assign each task a
+/// DoP extent proportional to its (normalized) execution time, recursing
+/// into inner loops with the task's share of the thread budget. "The
+/// intuition ... is that tasks that take longer to execute should be
+/// assigned more resources."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_MECHANISMS_PROPORTIONAL_H
+#define DOPE_MECHANISMS_PROPORTIONAL_H
+
+#include "core/Mechanism.h"
+
+namespace dope {
+
+/// Exec-time-proportional DoP assignment (paper Fig. 10).
+class ProportionalMechanism : public Mechanism {
+public:
+  ProportionalMechanism() = default;
+
+  std::string name() const override { return "Proportional"; }
+
+  std::optional<RegionConfig>
+  reconfigure(const ParDescriptor &Region, const RegionSnapshot &Root,
+              const RegionConfig &Current, const MechanismContext &Ctx)
+      override;
+
+private:
+  /// Assigns \p Budget threads to the tasks of one region, recursing into
+  /// active inner alternatives with each task's share.
+  std::vector<TaskConfig> assignRegion(const ParDescriptor &Region,
+                                       const RegionSnapshot &Snap,
+                                       const std::vector<TaskConfig> &Current,
+                                       unsigned Budget) const;
+};
+
+} // namespace dope
+
+#endif // DOPE_MECHANISMS_PROPORTIONAL_H

@@ -1,0 +1,73 @@
+//===- mechanisms/Seda.cpp - Staged Event-Driven Architecture --------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/Seda.h"
+
+#include "mechanisms/PipelineView.h"
+
+#include <cassert>
+
+using namespace dope;
+
+SedaMechanism::SedaMechanism(SedaParams Params) : Params(Params) {
+  assert(Params.HighWatermark > Params.LowWatermark &&
+         "watermarks must be ordered");
+}
+
+std::optional<RegionConfig>
+SedaMechanism::reconfigure(const ParDescriptor &Region,
+                           const RegionSnapshot &Root,
+                           const RegionConfig &Current,
+                           const MechanismContext &Ctx) {
+  std::optional<PipelineView> View =
+      PipelineView::resolve(Region, Root, Current);
+  if (!View)
+    return std::nullopt;
+
+  const std::vector<StageView> &Stages = View->stages();
+  const unsigned Cap =
+      Params.PerStageCap > 0 ? Params.PerStageCap : Ctx.MaxThreads;
+
+  // Local, uncoordinated per-stage decisions.
+  std::vector<unsigned> Extents;
+  for (const StageView &SV : Stages) {
+    unsigned Extent = SV.Extent;
+    if (SV.IsParallel) {
+      if (SV.LastLoad > Params.HighWatermark && Extent < Cap)
+        ++Extent;
+      else if (SV.LastLoad < Params.LowWatermark && Extent > 1)
+        --Extent;
+    }
+    Extents.push_back(Extent);
+  }
+
+  if (Params.ClampTotal) {
+    // Coordinated variant: shed threads from the least-loaded stages
+    // until the total fits the budget.
+    unsigned Total = 0;
+    for (unsigned E : Extents)
+      Total += E;
+    while (Total > Ctx.MaxThreads) {
+      size_t Victim = PipelineView::npos;
+      double MinLoad = 0.0;
+      for (size_t I = 0; I != Extents.size(); ++I) {
+        if (!Stages[I].IsParallel || Extents[I] <= 1)
+          continue;
+        if (Victim == PipelineView::npos || Stages[I].LastLoad < MinLoad) {
+          Victim = I;
+          MinLoad = Stages[I].LastLoad;
+        }
+      }
+      if (Victim == PipelineView::npos)
+        break;
+      --Extents[Victim];
+      --Total;
+    }
+  }
+
+  return View->makeConfig(Extents);
+}

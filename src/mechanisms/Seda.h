@@ -1,0 +1,60 @@
+//===- mechanisms/Seda.h - Staged Event-Driven Architecture ----*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SEDA controller [Welsh et al., SOSP 2001] as a DoPE throughput
+/// mechanism (paper Sec. 7.2): each stage resizes its thread pool
+/// *locally*, growing when its input queue is backed up and shrinking
+/// when idle — a DoP extent "proportional to load on a task". Crucially
+/// (and this is the paper's criticism), stages do not coordinate their
+/// allocations globally, so the sum of extents can exceed the hardware
+/// thread count; the oversubscription cost shows up in the Table 15
+/// reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_MECHANISMS_SEDA_H
+#define DOPE_MECHANISMS_SEDA_H
+
+#include "core/Mechanism.h"
+
+namespace dope {
+
+/// Tuning parameters of the SEDA per-stage controller.
+struct SedaParams {
+  /// Queue occupancy above which a stage adds a thread.
+  double HighWatermark = 8.0;
+  /// Queue occupancy below which a stage removes a thread.
+  double LowWatermark = 1.0;
+  /// Per-stage thread cap; 0 means "the machine's thread count" (no
+  /// global coordination — each stage may individually reach the cap).
+  unsigned PerStageCap = 0;
+  /// When true the total allocation is clamped to the machine budget, a
+  /// "coordinated SEDA" variant used by the ablation bench. The faithful
+  /// SEDA controller leaves this off.
+  bool ClampTotal = false;
+};
+
+/// SEDA per-stage thread-pool controller.
+class SedaMechanism : public Mechanism {
+public:
+  explicit SedaMechanism(SedaParams Params = SedaParams());
+
+  std::string name() const override { return "SEDA"; }
+
+  std::optional<RegionConfig>
+  reconfigure(const ParDescriptor &Region, const RegionSnapshot &Root,
+              const RegionConfig &Current, const MechanismContext &Ctx)
+      override;
+
+private:
+  SedaParams Params;
+};
+
+} // namespace dope
+
+#endif // DOPE_MECHANISMS_SEDA_H

@@ -1,0 +1,100 @@
+//===- mechanisms/StaticMechanism.cpp - Fixed configurations ---------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/StaticMechanism.h"
+
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace dope;
+
+StaticMechanism::StaticMechanism(RegionConfig Config, std::string Label)
+    : Config(std::move(Config)), Label(std::move(Label)) {}
+
+std::optional<RegionConfig>
+StaticMechanism::reconfigure(const ParDescriptor &Region,
+                             const RegionSnapshot &Root,
+                             const RegionConfig &Current,
+                             const MechanismContext &Ctx) {
+  (void)Region;
+  (void)Root;
+  (void)Current;
+  (void)Ctx;
+  return Config;
+}
+
+/// Fills extents for the tasks of \p Pipeline: sequential tasks get one
+/// thread, parallel tasks share the remainder per \p PerParallel (or an
+/// even split of MaxThreads when PerParallel is 0).
+static std::vector<TaskConfig> configurePipeline(const ParDescriptor &Pipeline,
+                                                 unsigned MaxThreads,
+                                                 unsigned PerParallel) {
+  std::vector<double> Weights;
+  unsigned SeqCount = 0;
+  for (const Task *T : Pipeline.tasks()) {
+    const bool IsSeq = T->kind() == TaskKind::Sequential;
+    SeqCount += IsSeq ? 1 : 0;
+    Weights.push_back(IsSeq ? 0.0 : 1.0);
+  }
+
+  std::vector<unsigned> Extents(Pipeline.size(), 1);
+  if (SeqCount < Pipeline.size()) {
+    if (PerParallel > 0) {
+      for (size_t I = 0; I != Pipeline.size(); ++I)
+        if (Weights[I] > 0.0)
+          Extents[I] = PerParallel;
+    } else {
+      const unsigned Budget =
+          MaxThreads > SeqCount ? MaxThreads - SeqCount : 0;
+      std::vector<unsigned> Split = proportionalSplit(Budget, Weights, 0);
+      for (size_t I = 0; I != Pipeline.size(); ++I)
+        if (Weights[I] > 0.0)
+          Extents[I] = std::max(1u, Split[I]);
+    }
+  }
+
+  std::vector<TaskConfig> Configs;
+  for (unsigned Extent : Extents) {
+    TaskConfig TC;
+    TC.Extent = Extent;
+    Configs.push_back(TC);
+  }
+  return Configs;
+}
+
+/// Applies \p Fill to the pipeline region of \p Root, handling both the
+/// direct shape (root region is the pipeline) and the driver shape (root
+/// has a single task whose alternative 0 is the pipeline).
+static RegionConfig buildPipelineConfig(const ParDescriptor &Root,
+                                        unsigned MaxThreads,
+                                        unsigned PerParallel) {
+  RegionConfig Config;
+  if (Root.size() > 1 || !Root.masterTask()->hasInner()) {
+    Config.Tasks = configurePipeline(Root, MaxThreads, PerParallel);
+    return Config;
+  }
+  const Task *Driver = Root.masterTask();
+  const ParDescriptor *Pipeline = Driver->descriptor()->alternative(0);
+  TaskConfig DriverConfig;
+  DriverConfig.Extent = 1;
+  DriverConfig.AltIndex = 0;
+  DriverConfig.Inner = configurePipeline(*Pipeline, MaxThreads, PerParallel);
+  Config.Tasks.push_back(std::move(DriverConfig));
+  return Config;
+}
+
+RegionConfig dope::makeEvenPipelineConfig(const ParDescriptor &Root,
+                                          unsigned MaxThreads) {
+  return buildPipelineConfig(Root, MaxThreads, /*PerParallel=*/0);
+}
+
+RegionConfig dope::makeOversubscribedConfig(const ParDescriptor &Root,
+                                            unsigned MaxThreads) {
+  assert(MaxThreads >= 1 && "thread budget must be positive");
+  return buildPipelineConfig(Root, MaxThreads, /*PerParallel=*/MaxThreads);
+}

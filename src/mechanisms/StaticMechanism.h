@@ -1,0 +1,58 @@
+//===- mechanisms/StaticMechanism.h - Fixed configurations ----*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-adaptive baselines of the paper's evaluation:
+///
+///  * StaticMechanism — run one fixed configuration forever (the
+///    development-time choice DoPE argues against, and the
+///    "Pthreads-Baseline" even split of Sec. 8.2.2).
+///  * OsOversubscribeMechanism — the "Pthreads-OS" baseline: give every
+///    parallel task as many threads as the machine has contexts and let
+///    the OS scheduler load-balance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_MECHANISMS_STATICMECHANISM_H
+#define DOPE_MECHANISMS_STATICMECHANISM_H
+
+#include "core/Mechanism.h"
+
+namespace dope {
+
+/// Always returns one fixed configuration.
+class StaticMechanism : public Mechanism {
+public:
+  explicit StaticMechanism(RegionConfig Config, std::string Label = "Static");
+
+  std::string name() const override { return Label; }
+
+  std::optional<RegionConfig>
+  reconfigure(const ParDescriptor &Region, const RegionSnapshot &Root,
+              const RegionConfig &Current, const MechanismContext &Ctx)
+      override;
+
+private:
+  RegionConfig Config;
+  std::string Label;
+};
+
+/// Builds the "Pthreads-Baseline" static even distribution for a flat
+/// pipeline region nested under a driver task: one thread per sequential
+/// task, the remaining hardware threads split evenly across parallel
+/// tasks (the "common practice" the paper cites from Navarro et al.).
+RegionConfig makeEvenPipelineConfig(const ParDescriptor &Root,
+                                    unsigned MaxThreads);
+
+/// Builds the "Pthreads-OS" oversubscribed configuration: every parallel
+/// task gets \p MaxThreads threads, sequential tasks get one.
+RegionConfig makeOversubscribedConfig(const ParDescriptor &Root,
+                                      unsigned MaxThreads);
+
+} // namespace dope
+
+#endif // DOPE_MECHANISMS_STATICMECHANISM_H

@@ -1,0 +1,88 @@
+//===- mechanisms/Tbf.cpp - Throughput Balance with Fusion -----------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/Tbf.h"
+
+#include "mechanisms/PipelineView.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dope;
+
+TbfMechanism::TbfMechanism(TbfParams Params) : Params(Params) {
+  assert(Params.FusionThreshold >= 0.0 && Params.FusionThreshold <= 1.0 &&
+         "fusion threshold is a ratio in [0, 1]");
+}
+
+double TbfMechanism::imbalance(const std::vector<double> &StageCapacities) {
+  double MinCapacity = 0.0, MaxCapacity = 0.0;
+  bool Any = false;
+  for (double Capacity : StageCapacities) {
+    if (Capacity <= 0.0)
+      continue;
+    if (!Any) {
+      MinCapacity = MaxCapacity = Capacity;
+      Any = true;
+      continue;
+    }
+    MinCapacity = std::min(MinCapacity, Capacity);
+    MaxCapacity = std::max(MaxCapacity, Capacity);
+  }
+  if (!Any || MaxCapacity <= 0.0)
+    return 0.0;
+  return 1.0 - MinCapacity / MaxCapacity;
+}
+
+std::optional<RegionConfig>
+TbfMechanism::reconfigure(const ParDescriptor &Region,
+                          const RegionSnapshot &Root,
+                          const RegionConfig &Current,
+                          const MechanismContext &Ctx) {
+  std::optional<PipelineView> View =
+      PipelineView::resolve(Region, Root, Current);
+  if (!View)
+    return std::nullopt;
+  // Wait for at least one measurement of each stage before balancing.
+  if (!View->fullyMeasured())
+    return std::nullopt;
+
+  const std::vector<StageView> &Stages = View->stages();
+
+  // Assign extents inversely proportional to per-replica throughput —
+  // i.e. proportional to per-item execution time — with sequential
+  // stages pinned at one thread. Integer max-min waterfilling realizes
+  // the proportional intent exactly: each next thread goes to the stage
+  // currently limiting throughput.
+  std::vector<double> UnitCosts;
+  for (const StageView &SV : Stages)
+    UnitCosts.push_back(SV.IsParallel ? SV.ExecTime : 0.0);
+  std::vector<unsigned> Extents =
+      waterfillSplit(Ctx.MaxThreads, UnitCosts, /*PinnedUnits=*/1);
+
+  // Evaluate imbalance at the balanced assignment: the remaining spread
+  // between stage capacities after the proportional split.
+  std::vector<double> Capacities;
+  for (size_t I = 0; I != Stages.size(); ++I)
+    if (Stages[I].ExecTime > 0.0)
+      Capacities.push_back(static_cast<double>(Extents[I]) /
+                           Stages[I].ExecTime);
+
+  ++MeasuredDecisions;
+  if (Params.EnableFusion && !Fused && View->hasAlternatives() &&
+      MeasuredDecisions > Params.FusionWarmupDecisions &&
+      imbalance(Capacities) > Params.FusionThreshold) {
+    const int FusedAlt = View->smallestAlternative();
+    if (FusedAlt != View->activeAlternative()) {
+      Fused = true;
+      return View->makeAlternativeConfig(FusedAlt, Ctx.MaxThreads);
+    }
+  }
+
+  return View->makeConfig(Extents);
+}

@@ -1,0 +1,82 @@
+//===- mechanisms/Tbf.h - Throughput Balance with Fusion -------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TBF (paper Sec. 7.2): records a moving average of each task's
+/// throughput (the inverse of its execution time) and, at each
+/// reconfiguration, assigns every parallel task a DoP extent inversely
+/// proportional to its average throughput — i.e. proportional to its
+/// per-item execution time — so slower stages get more threads.
+///
+/// If the imbalance between stage throughputs exceeds a threshold
+/// (paper value: 0.5), TBF *fuses* the pipeline by switching the driver
+/// task to a registered fused alternative (the application exposes the
+/// fused task through the TaskDescriptor's choice of ParDescriptors;
+/// DoPE spawns it automatically). The rationale: a heavily unbalanced
+/// pipeline pays communication and synchronization costs for little
+/// benefit.
+///
+/// DoPE-TB is the same mechanism with fusion disabled, isolating the
+/// benefit of fusion in the Table 15 reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_MECHANISMS_TBF_H
+#define DOPE_MECHANISMS_TBF_H
+
+#include "core/Mechanism.h"
+
+namespace dope {
+
+/// Tuning parameters of TBF.
+struct TbfParams {
+  /// Imbalance threshold above which fusion is triggered (paper: 0.5).
+  double FusionThreshold = 0.5;
+  /// Enables task fusion (TBF); disabled gives the TB variant.
+  bool EnableFusion = true;
+  /// Fully-measured decisions required before fusion may trigger: the
+  /// imbalance test runs on *moving averages* of stage throughput, so
+  /// the mechanism first lets the balanced assignment settle. This also
+  /// produces the visible search-then-stabilize staircase of Fig. 13.
+  unsigned FusionWarmupDecisions = 4;
+};
+
+/// Throughput Balance with Fusion.
+class TbfMechanism : public Mechanism {
+public:
+  explicit TbfMechanism(TbfParams Params = TbfParams());
+
+  std::string name() const override {
+    return Params.EnableFusion ? "TBF" : "TB";
+  }
+
+  std::optional<RegionConfig>
+  reconfigure(const ParDescriptor &Region, const RegionSnapshot &Root,
+              const RegionConfig &Current, const MechanismContext &Ctx)
+      override;
+
+  void reset() override {
+    Fused = false;
+    MeasuredDecisions = 0;
+  }
+
+  /// Computes the imbalance metric over stage capacities: 1 - min/max
+  /// over the per-stage throughputs of a balanced assignment. Exposed for
+  /// tests and the ablation bench.
+  static double imbalance(const std::vector<double> &StageCapacities);
+
+  bool fused() const { return Fused; }
+
+private:
+  TbfParams Params;
+  bool Fused = false;
+  unsigned MeasuredDecisions = 0;
+};
+
+} // namespace dope
+
+#endif // DOPE_MECHANISMS_TBF_H

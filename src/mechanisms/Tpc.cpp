@@ -1,0 +1,196 @@
+//===- mechanisms/Tpc.cpp - Throughput Power Controller --------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/Tpc.h"
+
+#include "mechanisms/PipelineView.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dope;
+
+TpcMechanism::TpcMechanism(TpcParams Params) : Params(Params) {}
+
+void TpcMechanism::reset() {
+  State = Phase::Init;
+  History.clear();
+  LastKey.clear();
+  PreOvershootKey.clear();
+  ExploreTried = 0;
+  StableThroughput = 0.0;
+}
+
+static std::vector<unsigned> extentsOf(const PipelineView &View) {
+  std::vector<unsigned> Extents;
+  for (const StageView &SV : View.stages())
+    Extents.push_back(SV.Extent);
+  return Extents;
+}
+
+static unsigned totalOf(const std::vector<unsigned> &Extents) {
+  unsigned Total = 0;
+  for (unsigned E : Extents)
+    Total += E;
+  return Total;
+}
+
+std::optional<RegionConfig>
+TpcMechanism::reconfigure(const ParDescriptor &Region,
+                          const RegionSnapshot &Root,
+                          const RegionConfig &Current,
+                          const MechanismContext &Ctx) {
+  std::optional<PipelineView> View =
+      PipelineView::resolve(Region, Root, Current);
+  if (!View)
+    return std::nullopt;
+
+  const std::vector<StageView> &Stages = View->stages();
+  const size_t N = Stages.size();
+  std::vector<unsigned> Extents = extentsOf(*View);
+
+  // Phase Init: start from all-ones regardless of the initial config.
+  if (State == Phase::Init) {
+    State = Phase::Ramp;
+    LastKey.assign(N, 1);
+    return View->makeConfig(LastKey);
+  }
+
+  if (!View->fullyMeasured())
+    return std::nullopt;
+
+  const double Power = Ctx.feature(PowerFeatureName, 0.0);
+  const double Budget = Ctx.PowerBudgetWatts;
+  const bool HasBudget = Budget > 0.0;
+  const double Throughput = View->systemThroughput();
+
+  // Record what the current configuration delivers.
+  History[Extents] = {Throughput, Power};
+  const bool Overshoot = HasBudget && Power > Budget;
+
+  auto BestFeasible = [&]() -> Key {
+    Key Best;
+    double BestThroughput = -1.0;
+    for (const auto &[K, R] : History) {
+      if (HasBudget && R.Power > Budget)
+        continue;
+      if (R.Throughput > BestThroughput) {
+        Best = K;
+        BestThroughput = R.Throughput;
+      }
+    }
+    return Best.empty() ? Key(N, 1) : Best;
+  };
+
+  switch (State) {
+  case Phase::Init:
+    break; // handled above
+
+  case Phase::Ramp: {
+    if (Overshoot) {
+      // Back off to the configuration prior to the overshoot and explore
+      // its same-total neighbourhood.
+      PreOvershootKey = BestFeasible();
+      ExploreTried = 0;
+      State = Phase::Explore;
+      LastKey = PreOvershootKey;
+      return View->makeConfig(PreOvershootKey);
+    }
+    if (totalOf(Extents) >= Ctx.MaxThreads) {
+      State = Phase::Stable;
+      StableThroughput = Throughput;
+      return std::nullopt;
+    }
+    // Grow the least-throughput task (paper Sec. 7.3).
+    const size_t Bottleneck = View->bottleneckStage();
+    if (Bottleneck == PipelineView::npos || !Stages[Bottleneck].IsParallel) {
+      // A sequential stage limits throughput; nothing to grow.
+      State = Phase::Stable;
+      StableThroughput = Throughput;
+      return std::nullopt;
+    }
+    Key Next = Extents;
+    ++Next[Bottleneck];
+    if (History.count(Next)) {
+      // Already evaluated; if it wasn't better, settle.
+      if (History[Next].Throughput <=
+          Throughput * (1.0 + Params.TargetMargin)) {
+        State = Phase::Stable;
+        StableThroughput = Throughput;
+        return std::nullopt;
+      }
+    }
+    LastKey = Next;
+    return View->makeConfig(Next);
+  }
+
+  case Phase::Explore: {
+    [[maybe_unused]] const unsigned Total = totalOf(PreOvershootKey);
+    if (ExploreTried < Params.ExploreBudget) {
+      // Generate an untried same-total redistribution: move one thread
+      // between a pair of parallel stages.
+      for (size_t From = 0; From != N; ++From) {
+        if (!Stages[From].IsParallel || PreOvershootKey[From] <= 1)
+          continue;
+        for (size_t To = 0; To != N; ++To) {
+          if (To == From || !Stages[To].IsParallel)
+            continue;
+          Key Candidate = PreOvershootKey;
+          --Candidate[From];
+          ++Candidate[To];
+          assert(totalOf(Candidate) == Total && "explore changed total");
+          if (History.count(Candidate))
+            continue;
+          ++ExploreTried;
+          LastKey = Candidate;
+          return View->makeConfig(Candidate);
+        }
+      }
+    }
+    // Exploration exhausted: settle on the best recorded feasible
+    // configuration.
+    const Key Best = BestFeasible();
+    State = Phase::Stable;
+    StableThroughput = History.count(Best) ? History[Best].Throughput : 0.0;
+    LastKey = Best;
+    return View->makeConfig(Best);
+  }
+
+  case Phase::Stable: {
+    if (Overshoot) {
+      // Shed a thread from the stage with the most slack.
+      size_t Donor = PipelineView::npos;
+      double BestCapacity = -1.0;
+      for (size_t I = 0; I != N; ++I) {
+        if (!Stages[I].IsParallel || Extents[I] <= 1)
+          continue;
+        const double Capacity = Stages[I].capacity();
+        if (Capacity > BestCapacity) {
+          Donor = I;
+          BestCapacity = Capacity;
+        }
+      }
+      if (Donor == PipelineView::npos)
+        return std::nullopt;
+      Key Next = Extents;
+      --Next[Donor];
+      LastKey = Next;
+      return View->makeConfig(Next);
+    }
+    // Throughput drifted: the workload changed — re-enter the loop.
+    if (StableThroughput > 0.0 &&
+        std::abs(Throughput - StableThroughput) >
+            StableThroughput * Params.ReexploreDrift) {
+      State = Phase::Ramp;
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,91 @@
+//===- mechanisms/Tpc.h - Throughput Power Controller ----------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TPC (paper Sec. 7.3): a closed-loop controller that maximizes
+/// throughput while holding system power at an administrator-specified
+/// target. The controller
+///
+///   1. initializes every task at DoP extent 1,
+///   2. repeatedly grows the least-throughput task while the power budget
+///      is not exceeded and throughput improves (Ramp),
+///   3. on a power overshoot, backs off and explores alternative
+///      configurations with the same total extent as the configuration
+///      prior to the overshoot, consulting recorded history (Explore),
+///   4. settles on the best-throughput configuration within budget
+///      (Stable) and keeps monitoring power and throughput, re-entering
+///      the loop when either drifts.
+///
+/// The power signal arrives through the platform feature registry under
+/// the name TpcMechanism::PowerFeatureName ("SystemPower"); the paper's
+/// PDU sampled at 13 samples/min and the registry's rate limiting models
+/// exactly that lag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_MECHANISMS_TPC_H
+#define DOPE_MECHANISMS_TPC_H
+
+#include "core/Mechanism.h"
+
+#include <map>
+#include <vector>
+
+namespace dope {
+
+/// Tuning parameters of TPC.
+struct TpcParams {
+  /// Fraction of the budget regarded as "at target" (hysteresis below).
+  double TargetMargin = 0.03;
+  /// Maximum alternative same-total configurations tried per overshoot.
+  unsigned ExploreBudget = 6;
+  /// Relative throughput drift that re-opens the search in Stable.
+  double ReexploreDrift = 0.2;
+};
+
+/// Throughput Power Controller.
+class TpcMechanism : public Mechanism {
+public:
+  /// Feature registry key for the system power signal, in watts.
+  static constexpr const char *PowerFeatureName = "SystemPower";
+
+  explicit TpcMechanism(TpcParams Params = TpcParams());
+
+  std::string name() const override { return "TPC"; }
+
+  std::optional<RegionConfig>
+  reconfigure(const ParDescriptor &Region, const RegionSnapshot &Root,
+              const RegionConfig &Current, const MechanismContext &Ctx)
+      override;
+
+  void reset() override;
+
+  /// Controller phase, for tests and traces.
+  enum class Phase { Init, Ramp, Explore, Stable };
+  Phase phase() const { return State; }
+
+private:
+  struct Record {
+    double Throughput = 0.0;
+    double Power = 0.0;
+  };
+
+  /// History key: the extents vector.
+  using Key = std::vector<unsigned>;
+
+  TpcParams Params;
+  Phase State = Phase::Init;
+  std::map<Key, Record> History;
+  Key LastKey;
+  Key PreOvershootKey;
+  unsigned ExploreTried = 0;
+  double StableThroughput = 0.0;
+};
+
+} // namespace dope
+
+#endif // DOPE_MECHANISMS_TPC_H

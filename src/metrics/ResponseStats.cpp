@@ -1,0 +1,35 @@
+//===- metrics/ResponseStats.cpp - Transaction statistics ------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/ResponseStats.h"
+
+#include <cassert>
+
+using namespace dope;
+
+void ResponseStats::recordTransaction(double ArrivalTime, double StartTime,
+                                      double CompletionTime) {
+  assert(ArrivalTime <= StartTime && StartTime <= CompletionTime &&
+         "transaction times out of order");
+  Response.addSample(CompletionTime - ArrivalTime);
+  Exec.addSample(CompletionTime - StartTime);
+  Wait.addSample(StartTime - ArrivalTime);
+  ResponsePct.addSample(CompletionTime - ArrivalTime);
+  if (FirstArrival < 0.0 || ArrivalTime < FirstArrival)
+    FirstArrival = ArrivalTime;
+  if (CompletionTime > LastCompletion)
+    LastCompletion = CompletionTime;
+}
+
+double ResponseStats::throughput() const {
+  if (Response.count() == 0 || LastCompletion <= FirstArrival)
+    return 0.0;
+  return static_cast<double>(Response.count()) /
+         (LastCompletion - FirstArrival);
+}
+
+void ResponseStats::reset() { *this = ResponseStats(); }

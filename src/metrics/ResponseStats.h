@@ -1,0 +1,57 @@
+//===- metrics/ResponseStats.h - Transaction statistics --------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-transaction statistics for the server experiments: response time
+/// (submission to completion, paper Eqn. 1), execution time (service
+/// only), and wait time. Used by the Fig. 2 / Fig. 11 / Fig. 12 harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_METRICS_RESPONSESTATS_H
+#define DOPE_METRICS_RESPONSESTATS_H
+
+#include "support/Statistics.h"
+
+#include <cstddef>
+
+namespace dope {
+
+/// Accumulates response/execution/wait times of completed transactions.
+class ResponseStats {
+public:
+  /// Records one completed transaction. Times in seconds;
+  /// \p ArrivalTime <= \p StartTime <= \p CompletionTime.
+  void recordTransaction(double ArrivalTime, double StartTime,
+                         double CompletionTime);
+
+  size_t count() const { return Response.count(); }
+  double meanResponseTime() const { return Response.mean(); }
+  double meanExecTime() const { return Exec.mean(); }
+  double meanWaitTime() const { return Wait.mean(); }
+  double responsePercentile(double Q) const {
+    return ResponsePct.percentile(Q);
+  }
+  double maxResponseTime() const { return Response.max(); }
+
+  /// Completed transactions per second over [FirstArrival, LastCompletion].
+  double throughput() const;
+
+  void reset();
+
+private:
+  StreamingStats Response;
+  StreamingStats Exec;
+  StreamingStats Wait;
+  PercentileTracker ResponsePct;
+  double FirstArrival = -1.0;
+  double LastCompletion = 0.0;
+};
+
+} // namespace dope
+
+#endif // DOPE_METRICS_RESPONSESTATS_H

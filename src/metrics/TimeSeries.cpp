@@ -1,0 +1,73 @@
+//===- metrics/TimeSeries.cpp - Time series recording ----------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/TimeSeries.h"
+
+#include <cassert>
+
+using namespace dope;
+
+double TimeSeries::meanOver(double Lo, double Hi) const {
+  assert(Lo <= Hi && "empty window");
+  double Sum = 0.0;
+  size_t Count = 0;
+  for (const Point &P : Points) {
+    if (P.Time < Lo || P.Time >= Hi)
+      continue;
+    Sum += P.Value;
+    ++Count;
+  }
+  return Count == 0 ? 0.0 : Sum / static_cast<double>(Count);
+}
+
+TimeSeries TimeSeries::resample(double Start, double End, double Width) const {
+  assert(Width > 0.0 && "window width must be positive");
+  TimeSeries Out(Name);
+  double Previous = 0.0;
+  for (double Lo = Start; Lo < End; Lo += Width) {
+    double Value = Previous;
+    size_t Count = 0;
+    double Sum = 0.0;
+    for (const Point &P : Points) {
+      if (P.Time < Lo || P.Time >= Lo + Width)
+        continue;
+      Sum += P.Value;
+      ++Count;
+    }
+    if (Count > 0) {
+      Value = Sum / static_cast<double>(Count);
+      Previous = Value;
+    }
+    Out.addPoint(Lo + Width, Value);
+  }
+  return Out;
+}
+
+void RateTracker::recordEvent(double Time) {
+  if (!Started) {
+    Started = true;
+    WindowStart = 0.0;
+  }
+  while (Time >= WindowStart + Window) {
+    Series.addPoint(WindowStart + Window,
+                    static_cast<double>(CountInWindow) / Window);
+    WindowStart += Window;
+    CountInWindow = 0;
+  }
+  ++CountInWindow;
+}
+
+void RateTracker::finish(double Time) {
+  if (!Started)
+    return;
+  while (Time >= WindowStart + Window) {
+    Series.addPoint(WindowStart + Window,
+                    static_cast<double>(CountInWindow) / Window);
+    WindowStart += Window;
+    CountInWindow = 0;
+  }
+}

@@ -1,0 +1,83 @@
+//===- metrics/TimeSeries.h - Time series recording ------------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simple (time, value) series with windowed resampling, used by the
+/// dynamic-behaviour harnesses (Fig. 13 throughput-over-time, Fig. 14
+/// power/throughput traces).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_METRICS_TIMESERIES_H
+#define DOPE_METRICS_TIMESERIES_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dope {
+
+/// An append-only (time, value) series.
+class TimeSeries {
+public:
+  explicit TimeSeries(std::string Name = "") : Name(std::move(Name)) {}
+
+  void addPoint(double Time, double Value) {
+    Points.push_back({Time, Value});
+  }
+
+  struct Point {
+    double Time;
+    double Value;
+  };
+
+  const std::string &name() const { return Name; }
+  size_t size() const { return Points.size(); }
+  bool empty() const { return Points.empty(); }
+  const Point &point(size_t Index) const { return Points[Index]; }
+  const std::vector<Point> &points() const { return Points; }
+
+  /// Mean value over points with Time in [Lo, Hi); 0 when none fall in.
+  double meanOver(double Lo, double Hi) const;
+
+  /// Resamples into fixed windows of \p Width seconds starting at
+  /// \p Start; each output point is the mean of its window (windows with
+  /// no samples repeat the previous value).
+  TimeSeries resample(double Start, double End, double Width) const;
+
+private:
+  std::string Name;
+  std::vector<Point> Points;
+};
+
+/// Counts events per fixed window to produce a rate series — the
+/// throughput-over-time traces of Figs. 13 and 14.
+class RateTracker {
+public:
+  explicit RateTracker(double WindowSeconds) : Window(WindowSeconds) {}
+
+  /// Records one completed item at \p Time (non-decreasing).
+  void recordEvent(double Time);
+
+  /// Closes the current window (call once at the end of the run).
+  void finish(double Time);
+
+  /// Rate series: one point per window at the window's end time, value in
+  /// events/second.
+  const TimeSeries &series() const { return Series; }
+
+private:
+  double Window;
+  double WindowStart = 0.0;
+  size_t CountInWindow = 0;
+  bool Started = false;
+  TimeSeries Series{"rate"};
+};
+
+} // namespace dope
+
+#endif // DOPE_METRICS_TIMESERIES_H

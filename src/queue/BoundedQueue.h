@@ -1,0 +1,132 @@
+//===- queue/BoundedQueue.h - Bounded blocking MPMC queue -----*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded blocking MPMC queue. Pipeline parallelizations in the paper's
+/// applications (ferret, dedup, x264) bound inter-stage queues so a fast
+/// producer cannot outrun a slow consumer without backpressure; the
+/// resulting occupancy plateau is exactly the signal SEDA/TBF react to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_QUEUE_BOUNDEDQUEUE_H
+#define DOPE_QUEUE_BOUNDEDQUEUE_H
+
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dope {
+
+/// Bounded blocking MPMC queue with close semantics mirroring WorkQueue.
+template <typename T> class BoundedQueue {
+public:
+  explicit BoundedQueue(size_t Capacity) : Capacity(Capacity) {
+    assert(Capacity > 0 && "bounded queue needs capacity");
+  }
+  BoundedQueue(const BoundedQueue &) = delete;
+  BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+  /// Blocks while full. Returns false if the queue is closed (item is
+  /// dropped in that case).
+  bool push(T Item) {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      NotFull.wait(Lock, [this] { return Items.size() < Capacity || Closed; });
+      if (Closed)
+        return false;
+      Items.push_back(std::move(Item));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool tryPush(T Item) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Closed || Items.size() >= Capacity)
+        return false;
+      Items.push_back(std::move(Item));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; nullopt only when closed and drained.
+  std::optional<T> waitAndPop() {
+    std::optional<T> Result;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      NotEmpty.wait(Lock, [this] { return !Items.empty() || Closed; });
+      if (Items.empty())
+        return std::nullopt;
+      Result = std::move(Items.front());
+      Items.pop_front();
+    }
+    NotFull.notify_one();
+    return Result;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> tryPop() {
+    std::optional<T> Result;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Items.empty())
+        return std::nullopt;
+      Result = std::move(Items.front());
+      Items.pop_front();
+    }
+    NotFull.notify_one();
+    return Result;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  void reopen() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Closed = false;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Closed;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Items.size();
+  }
+
+  size_t capacity() const { return Capacity; }
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() >= Capacity; }
+
+private:
+  const size_t Capacity;
+  mutable std::mutex Mutex;
+  std::condition_variable NotEmpty;
+  std::condition_variable NotFull;
+  std::deque<T> Items;
+  bool Closed = false;
+};
+
+} // namespace dope
+
+#endif // DOPE_QUEUE_BOUNDEDQUEUE_H

@@ -1,0 +1,84 @@
+//===- queue/SpscRing.h - Lock-free single-producer ring ------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A wait-free single-producer single-consumer ring buffer. Used on the
+/// hot path between adjacent sequential pipeline stages (e.g. the
+/// Read -> Transform hand-off of the transcoding example) where exactly
+/// one thread sits on each side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_QUEUE_SPSCRING_H
+#define DOPE_QUEUE_SPSCRING_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace dope {
+
+/// Fixed-capacity SPSC ring. Capacity is rounded up to a power of two.
+/// push/pop are wait-free; there is no blocking API by design — callers
+/// that need blocking semantics should use BoundedQueue.
+template <typename T> class SpscRing {
+public:
+  explicit SpscRing(size_t MinCapacity) {
+    size_t Cap = 1;
+    while (Cap < MinCapacity)
+      Cap <<= 1;
+    Slots.resize(Cap);
+    Mask = Cap - 1;
+  }
+  SpscRing(const SpscRing &) = delete;
+  SpscRing &operator=(const SpscRing &) = delete;
+
+  /// Producer side. Returns false when full.
+  bool push(T Item) {
+    const size_t Tail = TailIndex.load(std::memory_order_relaxed);
+    const size_t Head = HeadIndex.load(std::memory_order_acquire);
+    if (Tail - Head > Mask)
+      return false;
+    Slots[Tail & Mask] = std::move(Item);
+    TailIndex.store(Tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> pop() {
+    const size_t Head = HeadIndex.load(std::memory_order_relaxed);
+    const size_t Tail = TailIndex.load(std::memory_order_acquire);
+    if (Head == Tail)
+      return std::nullopt;
+    T Item = std::move(Slots[Head & Mask]);
+    HeadIndex.store(Head + 1, std::memory_order_release);
+    return Item;
+  }
+
+  size_t size() const {
+    const size_t Tail = TailIndex.load(std::memory_order_acquire);
+    const size_t Head = HeadIndex.load(std::memory_order_acquire);
+    return Tail - Head;
+  }
+
+  size_t capacity() const { return Mask + 1; }
+  bool empty() const { return size() == 0; }
+
+private:
+  std::vector<T> Slots;
+  size_t Mask = 0;
+  // Separate cache lines for the two indices to avoid false sharing.
+  alignas(64) std::atomic<size_t> HeadIndex{0};
+  alignas(64) std::atomic<size_t> TailIndex{0};
+};
+
+} // namespace dope
+
+#endif // DOPE_QUEUE_SPSCRING_H

@@ -1,0 +1,129 @@
+//===- queue/WorkQueue.h - Unbounded MPMC work queue ----------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-producer multi-consumer work queue used between pipeline
+/// stages and as the front-of-system request queue. Its occupancy is the
+/// load signal consumed by LoadCB callbacks (Sec. 3.2 of the paper: "The
+/// callback returns the current occupancy of the work queue").
+///
+/// The queue supports a close() operation used to propagate the sentinel
+/// semantics from the paper's FiniCB protocol: consumers blocked in
+/// waitAndPop are released with std::nullopt once the queue is closed and
+/// drained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_QUEUE_WORKQUEUE_H
+#define DOPE_QUEUE_WORKQUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dope {
+
+/// Unbounded blocking MPMC queue with occupancy sampling and close
+/// semantics.
+template <typename T> class WorkQueue {
+public:
+  WorkQueue() = default;
+  WorkQueue(const WorkQueue &) = delete;
+  WorkQueue &operator=(const WorkQueue &) = delete;
+
+  /// Enqueues an item. Returns false (item dropped) if the queue was
+  /// already closed.
+  bool push(T Item) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Closed)
+        return false;
+      Items.push_back(std::move(Item));
+      ++TotalPushed;
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; nullopt when empty (even if not closed).
+  std::optional<T> tryPop() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    ++TotalPopped;
+    return Item;
+  }
+
+  /// Blocking pop; nullopt only when the queue is closed and drained.
+  std::optional<T> waitAndPop() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotEmpty.wait(Lock, [this] { return !Items.empty() || Closed; });
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    ++TotalPopped;
+    return Item;
+  }
+
+  /// Closes the queue: no further pushes are accepted and blocked
+  /// consumers are released once the backlog drains.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+  }
+
+  /// Reopens a closed (and typically drained) queue, e.g. when re-entering
+  /// a parallel region after reconfiguration (InitCB path).
+  void reopen() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Closed = false;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Closed;
+  }
+
+  /// Instantaneous occupancy — the LoadCB signal.
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Items.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Lifetime counters, useful for tests and throughput accounting.
+  size_t totalPushed() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return TotalPushed;
+  }
+  size_t totalPopped() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return TotalPopped;
+  }
+
+private:
+  mutable std::mutex Mutex;
+  std::condition_variable NotEmpty;
+  std::deque<T> Items;
+  bool Closed = false;
+  size_t TotalPushed = 0;
+  size_t TotalPopped = 0;
+};
+
+} // namespace dope
+
+#endif // DOPE_QUEUE_WORKQUEUE_H

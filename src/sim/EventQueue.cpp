@@ -1,0 +1,59 @@
+//===- sim/EventQueue.cpp - Discrete-event simulation core -----------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/EventQueue.h"
+
+using namespace dope;
+
+EventId EventQueue::scheduleAt(double Time, std::function<void()> Fn) {
+  assert(Fn && "scheduling empty event");
+  assert(Time >= Now && "scheduling into the past");
+  const EventId Id = NextId++;
+  Heap.push({Time, Id, std::move(Fn)});
+  ++Live;
+  return Id;
+}
+
+void EventQueue::cancel(EventId Id) {
+  if (Id == 0 || Id >= NextId)
+    return;
+  // The entry stays in the heap but is skipped on pop.
+  if (Cancelled.insert(Id).second && Live > 0)
+    --Live;
+}
+
+bool EventQueue::step(double EndTime) {
+  while (!Heap.empty()) {
+    const Entry &Top = Heap.top();
+    if (Cancelled.count(Top.Id)) {
+      Cancelled.erase(Top.Id);
+      Heap.pop();
+      continue;
+    }
+    if (Top.Time > EndTime)
+      return false;
+    // Copy out before popping; the handler may schedule more events.
+    std::function<void()> Fn = std::move(const_cast<Entry &>(Top).Fn);
+    Now = Top.Time;
+    Heap.pop();
+    --Live;
+    Fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventQueue::runUntil(double EndTime) {
+  uint64_t Dispatched = 0;
+  while (step(EndTime))
+    ++Dispatched;
+  if (Now < EndTime && Live == 0)
+    Now = EndTime;
+  else if (Now < EndTime && !Heap.empty())
+    Now = EndTime; // stopped on a future event
+  return Dispatched;
+}

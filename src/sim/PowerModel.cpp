@@ -1,0 +1,36 @@
+//===- sim/PowerModel.cpp - Platform power model ---------------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/PowerModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dope;
+
+PowerModel::PowerModel(unsigned Cores, double IdleWatts, double PerCoreWatts)
+    : Cores(Cores), IdleWatts(IdleWatts), PerCoreWatts(PerCoreWatts) {
+  assert(Cores >= 1 && "platform needs cores");
+  assert(IdleWatts >= 0.0 && PerCoreWatts >= 0.0 && "negative power");
+}
+
+double PowerModel::watts(double ActiveCores) const {
+  const double Active =
+      std::clamp(ActiveCores, 0.0, static_cast<double>(Cores));
+  return IdleWatts + PerCoreWatts * Active;
+}
+
+double PowerModel::peakWatts() const {
+  return IdleWatts + PerCoreWatts * static_cast<double>(Cores);
+}
+
+double PowerModel::coresForWatts(double Watts) const {
+  if (PerCoreWatts <= 0.0)
+    return 0.0;
+  return std::clamp((Watts - IdleWatts) / PerCoreWatts, 0.0,
+                    static_cast<double>(Cores));
+}

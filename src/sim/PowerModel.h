@@ -1,0 +1,58 @@
+//===- sim/PowerModel.h - Platform power model -----------------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear full-system power model of the simulated platform:
+///
+///   P(active) = Idle + PerCore * min(active, Cores)
+///
+/// Defaults are calibrated against the note in Sec. 8.2.3 of the paper:
+/// "90% of peak total power corresponds to 60% of peak power in the
+/// dynamic CPU range (all cores idle to all cores active)". With C = 24:
+/// 0.9 * (Idle + 24p) = Idle + 0.6 * 24p  =>  Idle = 72p. Choosing a
+/// 600 W peak (the Sec. 4 example constraint "24 threads, 600 Watts")
+/// gives PerCore = 6.25 W and Idle = 450 W.
+///
+/// Real power measurement is slow — the paper's AP7892 PDU supports 13
+/// samples per minute — so consumers should register the model through a
+/// FeatureRegistry with a matching MinSampleInterval to reproduce the
+/// controller lag of Fig. 14.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SIM_POWERMODEL_H
+#define DOPE_SIM_POWERMODEL_H
+
+namespace dope {
+
+/// Linear idle+active-core power model.
+class PowerModel {
+public:
+  PowerModel() = default;
+  PowerModel(unsigned Cores, double IdleWatts, double PerCoreWatts);
+
+  /// Instantaneous power with \p ActiveCores busy (clamped to the core
+  /// count — oversubscribed threads do not add power).
+  double watts(double ActiveCores) const;
+
+  double idleWatts() const { return IdleWatts; }
+  double peakWatts() const;
+  unsigned cores() const { return Cores; }
+
+  /// The number of active cores a power level corresponds to (inverse of
+  /// watts(), clamped to [0, Cores]).
+  double coresForWatts(double Watts) const;
+
+private:
+  unsigned Cores = 24;
+  double IdleWatts = 450.0;
+  double PerCoreWatts = 6.25;
+};
+
+} // namespace dope
+
+#endif // DOPE_SIM_POWERMODEL_H

@@ -1,0 +1,29 @@
+//===- support/Compiler.h - Portability helpers ---------------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability macros used across the DoPE libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SUPPORT_COMPILER_H
+#define DOPE_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a point in control flow that must never be reached. Prints the
+/// message and aborts; mirrors llvm_unreachable semantics in a dependency
+/// free form.
+#define DOPE_UNREACHABLE(Msg)                                                  \
+  do {                                                                         \
+    std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", __FILE__,      \
+                 __LINE__, (Msg));                                             \
+    std::abort();                                                              \
+  } while (false)
+
+#endif // DOPE_SUPPORT_COMPILER_H

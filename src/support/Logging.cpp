@@ -1,0 +1,51 @@
+//===- support/Logging.cpp - Leveled diagnostics --------------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+using namespace dope;
+
+Logger &Logger::instance() {
+  static Logger TheLogger;
+  return TheLogger;
+}
+
+Logger::Logger() : Level(LogLevel::Warn) {
+  if (const char *Env = std::getenv("DOPE_LOG")) {
+    if (!std::strcmp(Env, "quiet"))
+      Level = LogLevel::Quiet;
+    else if (!std::strcmp(Env, "error"))
+      Level = LogLevel::Error;
+    else if (!std::strcmp(Env, "warn"))
+      Level = LogLevel::Warn;
+    else if (!std::strcmp(Env, "info"))
+      Level = LogLevel::Info;
+    else if (!std::strcmp(Env, "debug"))
+      Level = LogLevel::Debug;
+  }
+}
+
+void Logger::log(LogLevel MsgLevel, const char *Format, ...) {
+  if (!enabled(MsgLevel))
+    return;
+  static const char *Tags[] = {"", "error", "warn", "info", "debug"};
+  char Message[1024];
+  va_list Args;
+  va_start(Args, Format);
+  std::vsnprintf(Message, sizeof(Message), Format, Args);
+  va_end(Args);
+
+  static std::mutex EmitMutex;
+  std::lock_guard<std::mutex> Lock(EmitMutex);
+  std::fprintf(stderr, "[dope:%s] %s\n", Tags[static_cast<int>(MsgLevel)],
+               Message);
+}

@@ -1,0 +1,64 @@
+//===- support/Logging.h - Leveled diagnostics ----------------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal leveled logger for the run-time system and experiment
+/// harnesses. Output goes to stderr; the level can be raised at run time
+/// (the DOPE_LOG environment variable or Logger::setLevel).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SUPPORT_LOGGING_H
+#define DOPE_SUPPORT_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace dope {
+
+enum class LogLevel : int {
+  Quiet = 0,
+  Error = 1,
+  Warn = 2,
+  Info = 3,
+  Debug = 4,
+};
+
+/// Process-wide logger. Thread safe: each message is emitted with a single
+/// write.
+class Logger {
+public:
+  /// Returns the process-wide logger instance.
+  static Logger &instance();
+
+  void setLevel(LogLevel NewLevel) { Level = NewLevel; }
+  LogLevel level() const { return Level; }
+  bool enabled(LogLevel Query) const {
+    return static_cast<int>(Query) <= static_cast<int>(Level);
+  }
+
+  /// printf-style emission; prepends the level tag.
+  void log(LogLevel MsgLevel, const char *Format, ...)
+      __attribute__((format(printf, 3, 4)));
+
+private:
+  Logger();
+  LogLevel Level;
+};
+
+#define DOPE_LOG_ERROR(...)                                                    \
+  ::dope::Logger::instance().log(::dope::LogLevel::Error, __VA_ARGS__)
+#define DOPE_LOG_WARN(...)                                                     \
+  ::dope::Logger::instance().log(::dope::LogLevel::Warn, __VA_ARGS__)
+#define DOPE_LOG_INFO(...)                                                     \
+  ::dope::Logger::instance().log(::dope::LogLevel::Info, __VA_ARGS__)
+#define DOPE_LOG_DEBUG(...)                                                    \
+  ::dope::Logger::instance().log(::dope::LogLevel::Debug, __VA_ARGS__)
+
+} // namespace dope
+
+#endif // DOPE_SUPPORT_LOGGING_H

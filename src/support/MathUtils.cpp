@@ -1,0 +1,115 @@
+//===- support/MathUtils.cpp - Small numeric helpers ----------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace dope;
+
+double dope::clampDouble(double X, double Lo, double Hi) {
+  assert(Lo <= Hi && "empty clamp range");
+  return std::min(std::max(X, Lo), Hi);
+}
+
+unsigned dope::clampUnsigned(unsigned X, unsigned Lo, unsigned Hi) {
+  assert(Lo <= Hi && "empty clamp range");
+  return std::min(std::max(X, Lo), Hi);
+}
+
+bool dope::approxEqual(double A, double B, double Tol) {
+  const double Scale = std::max({std::fabs(A), std::fabs(B), 1.0});
+  return std::fabs(A - B) <= Tol * Scale;
+}
+
+std::vector<unsigned>
+dope::proportionalSplit(unsigned Total, const std::vector<double> &Weights,
+                        unsigned MinEach) {
+  const size_t N = Weights.size();
+  std::vector<unsigned> Result(N, MinEach);
+  if (N == 0)
+    return Result;
+
+  // If the floor already exhausts (or exceeds) the budget, stop there.
+  if (Total <= MinEach * N)
+    return Result;
+  unsigned Remaining = Total - MinEach * static_cast<unsigned>(N);
+
+  std::vector<double> Positive(N);
+  double WeightSum = 0.0;
+  for (size_t I = 0; I != N; ++I) {
+    Positive[I] = Weights[I] > 0.0 ? Weights[I] : 0.0;
+    WeightSum += Positive[I];
+  }
+  if (WeightSum <= 0.0)
+    std::fill(Positive.begin(), Positive.end(), 1.0);
+  WeightSum = std::accumulate(Positive.begin(), Positive.end(), 0.0);
+
+  // Largest-remainder method: hand out the integer parts, then distribute
+  // the leftovers to the largest fractional shares (ties to lower index
+  // for determinism).
+  std::vector<double> Exact(N);
+  unsigned Assigned = 0;
+  for (size_t I = 0; I != N; ++I) {
+    Exact[I] = static_cast<double>(Remaining) * Positive[I] / WeightSum;
+    const unsigned Floor = static_cast<unsigned>(Exact[I]);
+    Result[I] += Floor;
+    Assigned += Floor;
+  }
+  unsigned Leftover = Remaining - Assigned;
+
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    const double FracA = Exact[A] - std::floor(Exact[A]);
+    const double FracB = Exact[B] - std::floor(Exact[B]);
+    return FracA > FracB;
+  });
+  for (size_t I = 0; I != N && Leftover > 0; ++I, --Leftover)
+    ++Result[Order[I]];
+  return Result;
+}
+
+std::vector<unsigned>
+dope::waterfillSplit(unsigned Total, const std::vector<double> &UnitCosts,
+                     unsigned PinnedUnits) {
+  const size_t N = UnitCosts.size();
+  std::vector<unsigned> Result(N, 0);
+  unsigned Remaining = Total;
+
+  // Pin zero-cost buckets and give every optimized bucket its first unit.
+  for (size_t I = 0; I != N; ++I) {
+    const unsigned Floor = UnitCosts[I] > 0.0 ? 1 : PinnedUnits;
+    Result[I] = Floor;
+    Remaining -= std::min(Remaining, Floor);
+  }
+
+  // Greedy: each next unit goes to the bucket with the lowest capacity.
+  // Ties break toward the lowest index for determinism.
+  while (Remaining > 0) {
+    size_t Lowest = N;
+    double LowestCapacity = 0.0;
+    for (size_t I = 0; I != N; ++I) {
+      if (UnitCosts[I] <= 0.0)
+        continue;
+      const double Capacity =
+          static_cast<double>(Result[I]) / UnitCosts[I];
+      if (Lowest == N || Capacity < LowestCapacity) {
+        Lowest = I;
+        LowestCapacity = Capacity;
+      }
+    }
+    if (Lowest == N)
+      break; // nothing to optimize
+    ++Result[Lowest];
+    --Remaining;
+  }
+  return Result;
+}

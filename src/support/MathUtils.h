@@ -1,0 +1,62 @@
+//===- support/MathUtils.h - Small numeric helpers ------------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Numeric helpers shared by mechanisms and the simulator: clamping,
+/// proportional integer splits, and relative comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SUPPORT_MATHUTILS_H
+#define DOPE_SUPPORT_MATHUTILS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace dope {
+
+/// Clamps \p X into [Lo, Hi].
+double clampDouble(double X, double Lo, double Hi);
+
+/// Clamps \p X into [Lo, Hi].
+unsigned clampUnsigned(unsigned X, unsigned Lo, unsigned Hi);
+
+/// Returns true when |A - B| <= Tol * max(|A|, |B|, 1).
+bool approxEqual(double A, double B, double Tol = 1e-9);
+
+/// Splits \p Total units across buckets proportionally to \p Weights using
+/// largest-remainder apportionment, guaranteeing at least \p MinEach per
+/// bucket when Total >= MinEach * Weights.size().
+///
+/// This is the core arithmetic behind the proportional mechanisms
+/// (Fig. 10 of the paper assigns "DoP proportional to execution time").
+/// Zero or negative weights are treated as zero; if all weights are zero
+/// the split is even. The returned values sum to exactly \p Total unless
+/// the minimum floor makes that impossible, in which case every bucket
+/// gets \p MinEach.
+std::vector<unsigned> proportionalSplit(unsigned Total,
+                                        const std::vector<double> &Weights,
+                                        unsigned MinEach = 0);
+
+/// Integer max-min waterfilling: splits \p Total units so that the
+/// minimum of N_i / UnitCost_i is maximized (each bucket's "capacity" is
+/// its unit count divided by its per-unit cost). Buckets with
+/// non-positive cost receive exactly \p PinnedUnits units and are
+/// excluded from the optimization.
+///
+/// This is the integer-exact version of "assign DoP inversely
+/// proportional to throughput": greedily handing each next thread to the
+/// stage with the lowest capacity is optimal for the max-min objective.
+/// Returns PinnedUnits for pinned buckets and >= 1 for the others
+/// whenever Total allows.
+std::vector<unsigned> waterfillSplit(unsigned Total,
+                                     const std::vector<double> &UnitCosts,
+                                     unsigned PinnedUnits = 1);
+
+} // namespace dope
+
+#endif // DOPE_SUPPORT_MATHUTILS_H

@@ -1,0 +1,98 @@
+//===- support/MovingAverage.h - Smoothing filters ------------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exponential and windowed moving averages. The DoPE run-time smooths
+/// per-task execution times and load samples with these filters before
+/// handing them to mechanisms (the paper records "a moving average of the
+/// throughput (inverse of execution time) of each task", Sec. 7.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SUPPORT_MOVINGAVERAGE_H
+#define DOPE_SUPPORT_MOVINGAVERAGE_H
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+
+namespace dope {
+
+/// Exponentially weighted moving average.
+///
+/// The first sample initializes the average directly so that start-up
+/// transients do not drag the estimate toward zero.
+class Ema {
+public:
+  /// \p Alpha is the weight of each new sample, in (0, 1].
+  explicit Ema(double Alpha = 0.25) : Alpha(Alpha) {
+    assert(Alpha > 0.0 && Alpha <= 1.0 && "EMA weight out of range");
+  }
+
+  void addSample(double X) {
+    if (Count == 0)
+      Value = X;
+    else
+      Value += Alpha * (X - Value);
+    ++Count;
+  }
+
+  /// Returns the current estimate; zero before any sample arrives.
+  double value() const { return Count == 0 ? 0.0 : Value; }
+
+  size_t sampleCount() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  void reset() {
+    Value = 0.0;
+    Count = 0;
+  }
+
+private:
+  double Alpha;
+  double Value = 0.0;
+  size_t Count = 0;
+};
+
+/// Fixed-width sliding-window mean over the last N samples.
+class WindowedAverage {
+public:
+  explicit WindowedAverage(size_t Width = 16) : Width(Width) {
+    assert(Width > 0 && "window must hold at least one sample");
+  }
+
+  void addSample(double X) {
+    Samples.push_back(X);
+    Sum += X;
+    if (Samples.size() > Width) {
+      Sum -= Samples.front();
+      Samples.pop_front();
+    }
+  }
+
+  double value() const {
+    return Samples.empty() ? 0.0 : Sum / static_cast<double>(Samples.size());
+  }
+
+  size_t sampleCount() const { return Samples.size(); }
+  bool full() const { return Samples.size() == Width; }
+  bool empty() const { return Samples.empty(); }
+
+  void reset() {
+    Samples.clear();
+    Sum = 0.0;
+  }
+
+private:
+  size_t Width;
+  std::deque<double> Samples;
+  double Sum = 0.0;
+};
+
+} // namespace dope
+
+#endif // DOPE_SUPPORT_MOVINGAVERAGE_H

@@ -1,0 +1,75 @@
+//===- support/OptionParser.h - Tiny command line parser ------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal command-line option parsing for the benchmark harnesses and
+/// examples: --name=value / --name value / --flag forms, with typed
+/// accessors, defaults, and generated --help text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SUPPORT_OPTIONPARSER_H
+#define DOPE_SUPPORT_OPTIONPARSER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dope {
+
+/// Declarative option set. Declare options with add*(), then call parse().
+class OptionParser {
+public:
+  explicit OptionParser(std::string ProgramDescription = "");
+
+  void addString(const std::string &Name, const std::string &Default,
+                 const std::string &Help);
+  void addInt(const std::string &Name, long long Default,
+              const std::string &Help);
+  void addDouble(const std::string &Name, double Default,
+                 const std::string &Help);
+  void addFlag(const std::string &Name, const std::string &Help);
+
+  /// Parses argv. Returns false (and fills error()) on malformed input or
+  /// unknown options. Recognizes --help and sets helpRequested().
+  bool parse(int Argc, const char *const *Argv);
+
+  std::string getString(const std::string &Name) const;
+  long long getInt(const std::string &Name) const;
+  double getDouble(const std::string &Name) const;
+  bool getFlag(const std::string &Name) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  bool helpRequested() const { return HelpRequested; }
+  const std::string &error() const { return Error; }
+  std::string helpText() const;
+
+private:
+  enum class OptionKind { String, Int, Double, Flag };
+  struct Option {
+    OptionKind Kind;
+    std::string Default;
+    std::string Value;
+    std::string Help;
+    bool Seen = false;
+  };
+
+  const Option *find(const std::string &Name) const;
+
+  std::string Description;
+  std::map<std::string, Option> Options;
+  std::vector<std::string> DeclOrder;
+  std::vector<std::string> Positional;
+  std::string Error;
+  bool HelpRequested = false;
+};
+
+} // namespace dope
+
+#endif // DOPE_SUPPORT_OPTIONPARSER_H

@@ -1,0 +1,106 @@
+//===- support/Random.cpp - Deterministic random number generation -------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace dope;
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+Rng::Rng(uint64_t Seed) {
+  SplitMix64 SM(Seed);
+  for (uint64_t &Word : State)
+    Word = SM.next();
+}
+
+uint64_t Rng::next() {
+  const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double Rng::uniform() {
+  // Use the high 53 bits for a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "empty uniform range");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+uint64_t Rng::uniformInt(uint64_t N) {
+  assert(N > 0 && "uniformInt requires a nonempty range");
+  // Debiased modulo via rejection sampling.
+  const uint64_t Threshold = -N % N;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % N;
+  }
+}
+
+double Rng::exponential(double Rate) {
+  assert(Rate > 0 && "exponential rate must be positive");
+  // Avoid log(0) by nudging the uniform sample away from zero.
+  double U = uniform();
+  if (U <= 0.0)
+    U = 0x1.0p-53;
+  return -std::log(U) / Rate;
+}
+
+double Rng::normal(double Mean, double Stddev) {
+  // Box-Muller; draw until the radius is usable.
+  double U1 = uniform();
+  if (U1 <= 0.0)
+    U1 = 0x1.0p-53;
+  const double U2 = uniform();
+  const double R = std::sqrt(-2.0 * std::log(U1));
+  return Mean + Stddev * R * std::cos(2.0 * M_PI * U2);
+}
+
+double Rng::logNormal(double Mean, double Cv) {
+  assert(Mean > 0 && "logNormal mean must be positive");
+  assert(Cv >= 0 && "coefficient of variation must be nonnegative");
+  if (Cv == 0.0)
+    return Mean;
+  // Convert (mean, cv) of the log-normal into (mu, sigma) of the
+  // underlying normal.
+  const double Sigma2 = std::log(1.0 + Cv * Cv);
+  const double Mu = std::log(Mean) - 0.5 * Sigma2;
+  return std::exp(normal(Mu, std::sqrt(Sigma2)));
+}
+
+uint64_t Rng::poisson(double Mean) {
+  assert(Mean >= 0 && "poisson mean must be nonnegative");
+  if (Mean == 0.0)
+    return 0;
+  if (Mean > 64.0) {
+    // Normal approximation with continuity correction.
+    const double Sample = normal(Mean, std::sqrt(Mean));
+    return Sample <= 0.0 ? 0 : static_cast<uint64_t>(Sample + 0.5);
+  }
+  // Knuth's product-of-uniforms method.
+  const double Limit = std::exp(-Mean);
+  uint64_t Count = 0;
+  double Product = uniform();
+  while (Product > Limit) {
+    ++Count;
+    Product *= uniform();
+  }
+  return Count;
+}
+
+Rng Rng::split() { return Rng(next()); }

@@ -1,0 +1,62 @@
+//===- support/SpeedupCurve.cpp - Parallel scalability models ------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SpeedupCurve.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dope;
+
+SpeedupCurve::SpeedupCurve(double Alpha, double FixedCost, double Cap)
+    : Alpha(Alpha), FixedCost(FixedCost), Cap(Cap) {
+  assert(Alpha >= 0.0 && "negative per-thread overhead");
+  assert(FixedCost >= 0.0 && "negative fixed cost");
+  assert(Cap > 0.0 && "cap must be positive");
+}
+
+double SpeedupCurve::speedup(unsigned M) const {
+  assert(M >= 1 && "extent must be positive");
+  if (M == 1)
+    return 1.0;
+  const double Raw = static_cast<double>(M) /
+                     (1.0 + FixedCost + Alpha * static_cast<double>(M - 1));
+  return std::min(Cap, Raw);
+}
+
+double SpeedupCurve::efficiency(unsigned M) const {
+  return speedup(M) / static_cast<double>(M);
+}
+
+unsigned SpeedupCurve::mmax(double Threshold, unsigned Limit) const {
+  assert(Threshold > 0.0 && Threshold <= 1.0 && "threshold is a ratio");
+  unsigned Best = 1;
+  for (unsigned M = 2; M <= Limit; ++M)
+    if (efficiency(M) >= Threshold)
+      Best = M;
+  return Best;
+}
+
+unsigned SpeedupCurve::dopMin(unsigned Limit) const {
+  for (unsigned M = 1; M <= Limit; ++M)
+    if (speedup(M) > 1.0 && M > 1)
+      return M;
+  return 0;
+}
+
+unsigned SpeedupCurve::bestExtent(unsigned Limit) const {
+  unsigned Best = 1;
+  double BestSpeedup = 1.0;
+  for (unsigned M = 2; M <= Limit; ++M) {
+    const double S = speedup(M);
+    if (S > BestSpeedup) {
+      Best = M;
+      BestSpeedup = S;
+    }
+  }
+  return Best;
+}

@@ -1,0 +1,76 @@
+//===- support/SpeedupCurve.h - Parallel scalability models --------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalability curves S(m): the speedup of one transaction's inner
+/// parallelization at DoP extent m. The paper characterizes applications
+/// by (a) the observed speedup (x264: 6.3x on 8 threads), (b) the extent
+/// Mmax above which parallel efficiency S(m)/m drops below 0.5, and
+/// (c) DoPmin, the minimum inner extent at which any speedup over
+/// sequential execution is obtained (Table 4; 4 for data compression).
+///
+/// The model used everywhere is the fixed-cost linear-overhead curve
+///
+///   S(1) = 1
+///   S(m) = min(Cap, m / (1 + FixedCost + Alpha * (m - 1)))     (m > 1)
+///
+/// FixedCost captures the one-time cost of going parallel at all (thread
+/// hand-off, pipeline fill) — it produces DoPmin > 2 behaviour; Alpha
+/// captures per-thread communication/synchronization overhead; Cap models
+/// structural limits (pipeline depth).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SUPPORT_SPEEDUPCURVE_H
+#define DOPE_SUPPORT_SPEEDUPCURVE_H
+
+#include <limits>
+
+namespace dope {
+
+/// Fixed-cost, linear-overhead, capped speedup curve.
+class SpeedupCurve {
+public:
+  SpeedupCurve() = default;
+
+  /// \p Alpha per-thread overhead (>= 0), \p FixedCost one-time
+  /// parallelization cost (>= 0), \p Cap structural speedup ceiling
+  /// (> 0, may be infinity).
+  SpeedupCurve(double Alpha, double FixedCost,
+               double Cap = std::numeric_limits<double>::infinity());
+
+  /// Speedup at extent \p M; S(1) == 1, S(m) > 0.
+  double speedup(unsigned M) const;
+
+  /// Parallel efficiency S(m)/m.
+  double efficiency(unsigned M) const;
+
+  /// Largest extent (searching up to \p Limit) whose efficiency is at
+  /// least \p Threshold — the paper's Mmax with Threshold = 0.5. Returns
+  /// 1 when no extent > 1 qualifies.
+  unsigned mmax(double Threshold = 0.5, unsigned Limit = 64) const;
+
+  /// Smallest extent with S(m) > 1 — the paper's DoPmin. Returns 0 when
+  /// no extent up to \p Limit achieves speedup.
+  unsigned dopMin(unsigned Limit = 64) const;
+
+  /// Extent maximizing S(m) for m in [1, Limit] (smallest maximizer).
+  unsigned bestExtent(unsigned Limit = 64) const;
+
+  double alpha() const { return Alpha; }
+  double fixedCost() const { return FixedCost; }
+  double cap() const { return Cap; }
+
+private:
+  double Alpha = 0.05;
+  double FixedCost = 0.0;
+  double Cap = std::numeric_limits<double>::infinity();
+};
+
+} // namespace dope
+
+#endif // DOPE_SUPPORT_SPEEDUPCURVE_H

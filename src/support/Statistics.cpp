@@ -1,0 +1,140 @@
+//===- support/Statistics.cpp - Streaming statistics ----------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dope;
+
+void StreamingStats::addSample(double X) {
+  ++N;
+  Total += X;
+  const double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+  Min = std::min(Min, X);
+  Max = std::max(Max, X);
+}
+
+double StreamingStats::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void StreamingStats::merge(const StreamingStats &Other) {
+  if (Other.N == 0)
+    return;
+  if (N == 0) {
+    *this = Other;
+    return;
+  }
+  const double Delta = Other.Mean - Mean;
+  const size_t Combined = N + Other.N;
+  const double NA = static_cast<double>(N);
+  const double NB = static_cast<double>(Other.N);
+  Mean += Delta * NB / static_cast<double>(Combined);
+  M2 += Other.M2 + Delta * Delta * NA * NB / static_cast<double>(Combined);
+  N = Combined;
+  Total += Other.Total;
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+}
+
+void StreamingStats::reset() { *this = StreamingStats(); }
+
+void PercentileTracker::addSample(double X) {
+  Samples.push_back(X);
+  Sorted = false;
+}
+
+double PercentileTracker::percentile(double Q) const {
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile out of range");
+  if (Samples.empty())
+    return 0.0;
+  if (!Sorted) {
+    std::sort(Samples.begin(), Samples.end());
+    Sorted = true;
+  }
+  const double Rank = Q * static_cast<double>(Samples.size() - 1);
+  const size_t Lo = static_cast<size_t>(Rank);
+  const size_t Hi = std::min(Lo + 1, Samples.size() - 1);
+  const double Frac = Rank - static_cast<double>(Lo);
+  return Samples[Lo] + Frac * (Samples[Hi] - Samples[Lo]);
+}
+
+void PercentileTracker::reset() {
+  Samples.clear();
+  Sorted = true;
+}
+
+Histogram::Histogram(double Lo, double Hi, size_t NumBuckets)
+    : Lo(Lo), Hi(Hi), Counts(NumBuckets, 0) {
+  assert(Lo < Hi && "histogram range is empty");
+  assert(NumBuckets > 0 && "histogram needs at least one bucket");
+}
+
+void Histogram::addSample(double X) {
+  if (X < Lo) {
+    ++Under;
+    return;
+  }
+  if (X >= Hi) {
+    ++Over;
+    return;
+  }
+  const double Width = (Hi - Lo) / static_cast<double>(Counts.size());
+  size_t Index = static_cast<size_t>((X - Lo) / Width);
+  if (Index >= Counts.size())
+    Index = Counts.size() - 1;
+  ++Counts[Index];
+}
+
+double Histogram::bucketLowerEdge(size_t Index) const {
+  assert(Index < Counts.size() && "bucket index out of range");
+  const double Width = (Hi - Lo) / static_cast<double>(Counts.size());
+  return Lo + Width * static_cast<double>(Index);
+}
+
+uint64_t Histogram::totalCount() const {
+  uint64_t Total = Under + Over;
+  for (uint64_t C : Counts)
+    Total += C;
+  return Total;
+}
+
+std::string Histogram::render(size_t MaxWidth) const {
+  uint64_t Peak = 1;
+  for (uint64_t C : Counts)
+    Peak = std::max(Peak, C);
+  std::string Out;
+  for (uint64_t C : Counts) {
+    static const char *Glyphs[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+    const size_t Level =
+        C == 0 ? 0 : 1 + (C * 6) / Peak; // 0 for empty, 1..7 otherwise
+    Out += Glyphs[std::min<size_t>(Level, 7)];
+    if (Out.size() >= MaxWidth)
+      break;
+  }
+  return Out;
+}
+
+double dope::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}

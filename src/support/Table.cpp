@@ -1,0 +1,98 @@
+//===- support/Table.cpp - Aligned text tables and CSV --------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace dope;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+const std::vector<std::string> &Table::row(size_t Index) const {
+  assert(Index < Rows.size() && "row index out of range");
+  return Rows[Index];
+}
+
+std::string Table::renderText() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t C = 0; C != Row.size(); ++C) {
+      Line += Row[C];
+      if (C + 1 != Row.size())
+        Line += std::string(Widths[C] - Row[C].size() + 2, ' ');
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Header);
+  size_t RuleWidth = 0;
+  for (size_t C = 0; C != Widths.size(); ++C)
+    RuleWidth += Widths[C] + (C + 1 != Widths.size() ? 2 : 0);
+  Out += std::string(RuleWidth, '-') + '\n';
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+static std::string escapeCsvCell(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Out = "\"";
+  for (char Ch : Cell) {
+    if (Ch == '"')
+      Out += '"';
+    Out += Ch;
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string Table::renderCsv() const {
+  auto RenderRow = [](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t C = 0; C != Row.size(); ++C) {
+      Line += escapeCsvCell(Row[C]);
+      if (C + 1 != Row.size())
+        Line += ',';
+    }
+    Line += '\n';
+    return Line;
+  };
+  std::string Out = RenderRow(Header);
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+std::string Table::formatDouble(double X, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, X);
+  return Buffer;
+}
+
+std::string Table::formatInt(long long X) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%lld", X);
+  return Buffer;
+}

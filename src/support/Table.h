@@ -1,0 +1,55 @@
+//===- support/Table.h - Aligned text tables and CSV ----------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned text table and CSV rendering used by every benchmark
+/// harness to print the rows/series of the paper's tables and figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SUPPORT_TABLE_H
+#define DOPE_SUPPORT_TABLE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dope {
+
+/// A simple table: a header row plus data rows of strings, rendered either
+/// as aligned monospace text or as CSV.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  size_t rowCount() const { return Rows.size(); }
+  size_t columnCount() const { return Header.size(); }
+  const std::vector<std::string> &row(size_t Index) const;
+
+  /// Renders with columns padded to their widest cell.
+  std::string renderText() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas or quotes).
+  std::string renderCsv() const;
+
+  /// Formats a double with \p Precision fractional digits.
+  static std::string formatDouble(double X, int Precision = 3);
+
+  /// Formats an integer.
+  static std::string formatInt(long long X);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace dope
+
+#endif // DOPE_SUPPORT_TABLE_H

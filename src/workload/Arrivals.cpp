@@ -1,0 +1,60 @@
+//===- workload/Arrivals.cpp - Request arrival processes -------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Arrivals.h"
+
+using namespace dope;
+
+PoissonProcess::PoissonProcess(double RatePerSecond, uint64_t Seed)
+    : Rate(RatePerSecond), Gen(Seed) {
+  assert(Rate > 0.0 && "arrival rate must be positive");
+}
+
+double PoissonProcess::nextArrival() {
+  Last += Gen.exponential(Rate);
+  return Last;
+}
+
+void PoissonProcess::setRate(double RatePerSecond) {
+  assert(RatePerSecond > 0.0 && "arrival rate must be positive");
+  Rate = RatePerSecond;
+}
+
+void LoadTrace::addPhase(double LoadFactor, double DurationSeconds) {
+  assert(LoadFactor >= 0.0 && "negative load factor");
+  assert(DurationSeconds > 0.0 && "phase needs a duration");
+  Phases.push_back({LoadFactor, DurationSeconds});
+}
+
+double LoadTrace::loadFactorAt(double T) const {
+  if (Phases.empty())
+    return 0.0;
+  double Start = 0.0;
+  for (const Phase &P : Phases) {
+    if (T < Start + P.Duration)
+      return P.LoadFactor;
+    Start += P.Duration;
+  }
+  return Phases.back().LoadFactor;
+}
+
+double LoadTrace::totalDuration() const {
+  double Total = 0.0;
+  for (const Phase &P : Phases)
+    Total += P.Duration;
+  return Total;
+}
+
+LoadTrace LoadTrace::makeStepPattern(double LightLoad, double HeavyLoad,
+                                     double PhaseSeconds, unsigned Cycles) {
+  LoadTrace Trace;
+  for (unsigned I = 0; I != Cycles; ++I) {
+    Trace.addPhase(LightLoad, PhaseSeconds);
+    Trace.addPhase(HeavyLoad, PhaseSeconds);
+  }
+  return Trace;
+}

@@ -1,0 +1,85 @@
+//===- workload/Arrivals.h - Request arrival processes ---------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arrival processes for the online-service experiments. The paper
+/// simulates user requests "using a task queuing thread that enqueues
+/// tasks to a work queue according to a Poisson distribution"; the
+/// average arrival rate determines the load factor, normalized so 1.0
+/// equals the platform's maximum sustainable throughput.
+///
+/// PoissonProcess generates a deterministic (seeded) stream of arrival
+/// instants; LoadTrace describes a piecewise-constant load-factor
+/// schedule (steps, bursts, ramps) for the time-varying-load experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_WORKLOAD_ARRIVALS_H
+#define DOPE_WORKLOAD_ARRIVALS_H
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace dope {
+
+/// Seeded Poisson arrival stream.
+class PoissonProcess {
+public:
+  /// \p RatePerSecond is the mean arrival rate (> 0).
+  PoissonProcess(double RatePerSecond, uint64_t Seed);
+
+  /// Returns the next arrival instant (monotonically increasing).
+  double nextArrival();
+
+  /// The instant of the most recent arrival (0 before the first).
+  double lastArrival() const { return Last; }
+
+  double rate() const { return Rate; }
+
+  /// Changes the rate; subsequent gaps use the new rate.
+  void setRate(double RatePerSecond);
+
+private:
+  double Rate;
+  double Last = 0.0;
+  Rng Gen;
+};
+
+/// Piecewise-constant load-factor schedule.
+class LoadTrace {
+public:
+  /// Appends a phase: \p LoadFactor holds for \p DurationSeconds.
+  void addPhase(double LoadFactor, double DurationSeconds);
+
+  /// Load factor at time \p T; the final phase extends to infinity, and
+  /// an empty trace reports 0.
+  double loadFactorAt(double T) const;
+
+  /// Total duration of all phases.
+  double totalDuration() const;
+
+  size_t phaseCount() const { return Phases.size(); }
+
+  /// A standard step pattern: alternating light/heavy phases — the kind
+  /// of load swing WQT-H's hysteresis is designed to ride out.
+  static LoadTrace makeStepPattern(double LightLoad, double HeavyLoad,
+                                   double PhaseSeconds, unsigned Cycles);
+
+private:
+  struct Phase {
+    double LoadFactor;
+    double Duration;
+  };
+  std::vector<Phase> Phases;
+};
+
+} // namespace dope
+
+#endif // DOPE_WORKLOAD_ARRIVALS_H

@@ -1,0 +1,145 @@
+//===- tests/AppsTest.cpp - Application model tests --------------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppRegistry.h"
+#include "apps/NestApps.h"
+#include "apps/PipelineApps.h"
+
+#include "sim/PipelineSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+
+namespace {
+
+TEST(AppRegistry, HasAllSixTableFourRows) {
+  const std::vector<AppInfo> &Registry = appRegistry();
+  ASSERT_EQ(Registry.size(), 6u);
+  EXPECT_EQ(Registry[0].Name, "x264");
+  EXPECT_EQ(Registry[5].Name, "dedup");
+}
+
+TEST(AppRegistry, TableFourValuesTranscribed) {
+  const AppInfo *X264 = findApp("x264");
+  ASSERT_NE(X264, nullptr);
+  EXPECT_EQ(X264->LocAdded, 72u);
+  EXPECT_EQ(X264->LocTotal, 39617u);
+  EXPECT_EQ(X264->NestingLevels, 2u);
+  EXPECT_EQ(X264->InnerDopMin, 2u);
+
+  const AppInfo *Dedup = findApp("dedup");
+  ASSERT_NE(Dedup, nullptr);
+  EXPECT_EQ(Dedup->LocFused, 113u);
+  EXPECT_EQ(Dedup->NestingLevels, 1u);
+
+  const AppInfo *Ferret = findApp("ferret");
+  ASSERT_NE(Ferret, nullptr);
+  EXPECT_EQ(Ferret->LocFused, 59u);
+}
+
+TEST(AppRegistry, UnknownAppIsNull) {
+  EXPECT_EQ(findApp("doom"), nullptr);
+}
+
+TEST(NestApps, X264CalibrationMatchesPaper) {
+  NestAppBundle App = makeX264App();
+  // Sec. 2: 6.3x at 8 threads, best extent 8.
+  EXPECT_NEAR(App.Model.Curve.speedup(8), 6.3, 0.05);
+  EXPECT_EQ(App.Model.Curve.bestExtent(), 8u);
+  EXPECT_EQ(App.MMax, 8u);
+  EXPECT_GT(App.Model.SeqServiceSeconds, 0.0);
+}
+
+TEST(NestApps, BzipHasDopMinFour) {
+  NestAppBundle App = makeBzipApp();
+  EXPECT_EQ(App.Model.Curve.dopMin(), 4u);
+  EXPECT_LT(App.Model.Curve.speedup(2), 1.0);
+  EXPECT_GT(App.Model.Curve.speedup(8), 1.5);
+}
+
+TEST(NestApps, AllFourAppsPresentInOrder) {
+  const std::vector<NestAppBundle> Apps = allNestApps();
+  ASSERT_EQ(Apps.size(), 4u);
+  EXPECT_EQ(Apps[0].Model.Name, "x264");
+  EXPECT_EQ(Apps[1].Model.Name, "swaptions");
+  EXPECT_EQ(Apps[2].Model.Name, "bzip");
+  EXPECT_EQ(Apps[3].Model.Name, "gimp");
+}
+
+TEST(NestApps, WqParamsConsistentWithMMax) {
+  for (const NestAppBundle &App : allNestApps()) {
+    EXPECT_EQ(App.WqtH.MMax, App.MMax) << App.Model.Name;
+    EXPECT_EQ(App.WqLinear.MMax, App.MMax) << App.Model.Name;
+    EXPECT_GE(App.WqLinear.MMin, 1u);
+  }
+}
+
+TEST(PipelineApps, FerretStructure) {
+  PipelineAppModel App = makeFerretApp();
+  ASSERT_EQ(App.Stages.size(), 6u);
+  EXPECT_FALSE(App.Stages.front().Parallel); // load
+  EXPECT_FALSE(App.Stages.back().Parallel);  // out
+  for (size_t I = 1; I + 1 < App.Stages.size(); ++I)
+    EXPECT_TRUE(App.Stages[I].Parallel);
+  ASSERT_EQ(App.FusedStages.size(), 3u);
+  EXPECT_TRUE(App.FusedStages[1].Parallel);
+}
+
+TEST(PipelineApps, DedupStructure) {
+  PipelineAppModel App = makeDedupApp();
+  ASSERT_EQ(App.Stages.size(), 5u);
+  EXPECT_FALSE(App.Stages.front().Parallel);
+  EXPECT_FALSE(App.Stages.back().Parallel);
+  EXPECT_FALSE(App.FusedStages.empty());
+  // Memory-bound: dedup pays far more for thread footprint than ferret.
+  EXPECT_GT(App.ThreadOverheadPenalty,
+            makeFerretApp().ThreadOverheadPenalty * 3.0);
+}
+
+TEST(PipelineApps, FusionSavesWork) {
+  // The fused stage's service time must undercut the sum of the stages
+  // it replaces (that saving is the benefit of stack communication).
+  for (const PipelineAppModel &App : allPipelineApps()) {
+    double ParallelSum = 0.0;
+    for (const PipelineStageSpec &S : App.Stages)
+      if (S.Parallel)
+        ParallelSum += S.ServiceSeconds;
+    double FusedParallel = 0.0;
+    for (const PipelineStageSpec &S : App.FusedStages)
+      if (S.Parallel)
+        FusedParallel += S.ServiceSeconds;
+    EXPECT_LT(FusedParallel, ParallelSum) << App.Name;
+    EXPECT_GT(FusedParallel, 0.8 * ParallelSum) << App.Name;
+  }
+}
+
+TEST(PipelineApps, AnalyticTableFifteenAnchors) {
+  // The analytic capacity model already predicts the Table 15 shape
+  // before any simulation: even-static starves the ferret bottleneck;
+  // oversubscription pays dedup's footprint penalty.
+  PipelineAppModel Ferret = makeFerretApp();
+  PipelineSimOptions Opts;
+  Opts.Contexts = 24;
+  PipelineSim FerretSim(Ferret, Opts);
+  const double FerretEven =
+      FerretSim.analyticThroughput({1, 6, 6, 5, 5, 1});
+  const double FerretOversub =
+      FerretSim.analyticThroughput({1, 24, 24, 24, 24, 1});
+  EXPECT_GT(FerretOversub / FerretEven, 1.5);
+  EXPECT_LT(FerretOversub / FerretEven, 3.2);
+
+  PipelineAppModel Dedup = makeDedupApp();
+  PipelineSim DedupSim(Dedup, Opts);
+  const double DedupEven = DedupSim.analyticThroughput({1, 8, 7, 7, 1});
+  const double DedupOversub =
+      DedupSim.analyticThroughput({1, 24, 24, 24, 1});
+  EXPECT_GT(DedupOversub / DedupEven, 0.6);
+  EXPECT_LT(DedupOversub / DedupEven, 1.15);
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+//===- tests/ConfigTest.cpp - Configuration tree tests ----------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Config.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+using namespace dope::testing_helpers;
+
+namespace {
+
+TEST(Types, ToStringRoundTrip) {
+  EXPECT_EQ(toString(TaskStatus::Executing), "EXECUTING");
+  EXPECT_EQ(toString(TaskStatus::Suspended), "SUSPENDED");
+  EXPECT_EQ(toString(TaskStatus::Finished), "FINISHED");
+  EXPECT_EQ(toString(TaskKind::Sequential), "SEQ");
+  EXPECT_EQ(toString(TaskKind::Parallel), "PAR");
+  EXPECT_EQ(toString(ParKind::DoAll), "DOALL");
+  EXPECT_EQ(toString(ParKind::Pipe), "PIPE");
+  EXPECT_EQ(toString(Dop{8, ParKind::Pipe}), "(8, PIPE)");
+}
+
+TEST(TaskGraph, BuildsServerNest) {
+  ServerNestGraph G = makeServerNestGraph();
+  EXPECT_EQ(G.Root->size(), 1u);
+  EXPECT_EQ(G.Root->masterTask(), G.Outer);
+  EXPECT_TRUE(G.Outer->hasInner());
+  EXPECT_EQ(G.Outer->descriptor()->alternativeCount(), 1u);
+  EXPECT_EQ(G.Outer->descriptor()->alternative(0)->masterTask(),
+            G.InnerWork);
+  EXPECT_EQ(G.Graph->taskCount(), 2u);
+  EXPECT_EQ(G.Graph->taskById(G.Outer->id()), G.Outer);
+}
+
+TEST(TaskGraph, ParKindClassification) {
+  PipelineGraph G = makePipelineGraph(
+      {{"a", false}, {"b", true}, {"c", false}});
+  const ParDescriptor *Pipe = G.Driver->descriptor()->alternative(0);
+  EXPECT_EQ(Pipe->parKind(), ParKind::Pipe);
+
+  ServerNestGraph S = makeServerNestGraph();
+  EXPECT_EQ(S.Outer->descriptor()->alternative(0)->parKind(),
+            ParKind::DoAll);
+}
+
+TEST(Config, DefaultConfigAllOnes) {
+  ServerNestGraph G = makeServerNestGraph();
+  const RegionConfig Config = defaultConfig(*G.Root);
+  ASSERT_EQ(Config.Tasks.size(), 1u);
+  EXPECT_EQ(Config.Tasks[0].Extent, 1u);
+  EXPECT_EQ(Config.Tasks[0].AltIndex, 0);
+  ASSERT_EQ(Config.Tasks[0].Inner.size(), 1u);
+  EXPECT_EQ(Config.Tasks[0].Inner[0].Extent, 1u);
+}
+
+TEST(Config, ValidateAcceptsDefault) {
+  ServerNestGraph G = makeServerNestGraph();
+  std::string Error;
+  EXPECT_TRUE(validateConfig(*G.Root, defaultConfig(*G.Root), &Error))
+      << Error;
+}
+
+TEST(Config, ValidateRejectsZeroExtent) {
+  ServerNestGraph G = makeServerNestGraph();
+  RegionConfig Config = defaultConfig(*G.Root);
+  Config.Tasks[0].Extent = 0;
+  std::string Error;
+  EXPECT_FALSE(validateConfig(*G.Root, Config, &Error));
+  EXPECT_NE(Error.find("extent"), std::string::npos);
+}
+
+TEST(Config, ValidateRejectsParallelSequentialTask) {
+  PipelineGraph G = makePipelineGraph({{"seq", false}, {"par", true}});
+  RegionConfig Config = defaultConfig(*G.Root);
+  Config.Tasks[0].Inner[0].Extent = 2; // the sequential stage
+  std::string Error;
+  EXPECT_FALSE(validateConfig(*G.Root, Config, &Error));
+  EXPECT_NE(Error.find("sequential"), std::string::npos);
+}
+
+TEST(Config, ValidateRejectsBadAlternative) {
+  ServerNestGraph G = makeServerNestGraph();
+  RegionConfig Config = defaultConfig(*G.Root);
+  Config.Tasks[0].AltIndex = 3;
+  EXPECT_FALSE(validateConfig(*G.Root, Config));
+}
+
+TEST(Config, ValidateRejectsArityMismatch) {
+  PipelineGraph G = makePipelineGraph({{"a", true}, {"b", true}});
+  RegionConfig Config = defaultConfig(*G.Root);
+  Config.Tasks[0].Inner.pop_back();
+  EXPECT_FALSE(validateConfig(*G.Root, Config));
+}
+
+TEST(Config, ValidateRejectsInnerWithoutAlternative) {
+  ServerNestGraph G = makeServerNestGraph();
+  RegionConfig Config = defaultConfig(*G.Root);
+  Config.Tasks[0].AltIndex = -1; // keep Inner populated — inconsistent
+  EXPECT_FALSE(validateConfig(*G.Root, Config));
+}
+
+TEST(Config, TotalThreadsCountsNestCorrectly) {
+  ServerNestGraph G = makeServerNestGraph();
+  // <(3, DOALL), (8, DOALL)>: 3 outer replicas, each hosting the inner
+  // master plus 7 extra inner threads: 3 * 8 = 24.
+  RegionConfig Config = defaultConfig(*G.Root);
+  Config.Tasks[0].Extent = 3;
+  Config.Tasks[0].Inner[0].Extent = 8;
+  EXPECT_EQ(totalThreads(*G.Root, Config), 24u);
+}
+
+TEST(Config, TotalThreadsWithoutInner) {
+  ServerNestGraph G = makeServerNestGraph();
+  RegionConfig Config;
+  TaskConfig TC;
+  TC.Extent = 24;
+  Config.Tasks.push_back(TC);
+  EXPECT_EQ(totalThreads(*G.Root, Config), 24u);
+}
+
+TEST(Config, TotalThreadsPipeline) {
+  PipelineGraph G = makePipelineGraph(
+      {{"load", false}, {"work", true}, {"out", false}});
+  RegionConfig Config = defaultConfig(*G.Root);
+  Config.Tasks[0].Inner[1].Extent = 6;
+  // Driver replica hosts the pipeline master (load); work 6 + out 1 add.
+  EXPECT_EQ(totalThreads(*G.Root, Config), 8u);
+}
+
+TEST(Config, ToStringNestNotation) {
+  ServerNestGraph G = makeServerNestGraph();
+  RegionConfig Config = defaultConfig(*G.Root);
+  Config.Tasks[0].Extent = 3;
+  Config.Tasks[0].Inner[0].Extent = 8;
+  const std::string Str = toString(*G.Root, Config);
+  EXPECT_NE(Str.find("(3, DOALL"), std::string::npos);
+  EXPECT_NE(Str.find("(8, PAR)"), std::string::npos);
+}
+
+TEST(Config, EqualityIsStructural) {
+  ServerNestGraph G = makeServerNestGraph();
+  const RegionConfig A = defaultConfig(*G.Root);
+  RegionConfig B = defaultConfig(*G.Root);
+  EXPECT_TRUE(A == B);
+  B.Tasks[0].Inner[0].Extent = 2;
+  EXPECT_FALSE(A == B);
+}
+
+} // namespace

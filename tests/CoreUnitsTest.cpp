@@ -1,0 +1,205 @@
+//===- tests/CoreUnitsTest.cpp - FeatureRegistry/ThreadPool/Metrics tests --===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FeatureRegistry.h"
+#include "core/Monitor.h"
+#include "core/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+using namespace dope;
+
+namespace {
+
+TEST(FeatureRegistry, RegisterAndQuery) {
+  FeatureRegistry R;
+  R.registerFeature("SystemPower", [] { return 540.0; });
+  EXPECT_TRUE(R.hasFeature("SystemPower"));
+  auto Value = R.getValue("SystemPower", 0.0);
+  ASSERT_TRUE(Value.has_value());
+  EXPECT_DOUBLE_EQ(*Value, 540.0);
+}
+
+TEST(FeatureRegistry, UnknownFeatureIsNullopt) {
+  FeatureRegistry R;
+  EXPECT_FALSE(R.getValue("nope", 0.0).has_value());
+  EXPECT_FALSE(R.hasFeature("nope"));
+}
+
+TEST(FeatureRegistry, RateLimitCachesValue) {
+  FeatureRegistry R;
+  int Calls = 0;
+  // 13 samples/minute, like the paper's PDU.
+  R.registerFeature(
+      "SystemPower",
+      [&] {
+        ++Calls;
+        return 100.0 + Calls;
+      },
+      60.0 / 13.0);
+  EXPECT_DOUBLE_EQ(*R.getValue("SystemPower", 0.0), 101.0);
+  // Within the sampling interval: cached.
+  EXPECT_DOUBLE_EQ(*R.getValue("SystemPower", 1.0), 101.0);
+  EXPECT_EQ(Calls, 1);
+  // After the interval: fresh sample.
+  EXPECT_DOUBLE_EQ(*R.getValue("SystemPower", 5.0), 102.0);
+  EXPECT_EQ(Calls, 2);
+}
+
+TEST(FeatureRegistry, ReregisterReplacesCallback) {
+  FeatureRegistry R;
+  R.registerFeature("f", [] { return 1.0; });
+  R.registerFeature("f", [] { return 2.0; });
+  EXPECT_DOUBLE_EQ(*R.getValue("f", 0.0), 2.0);
+}
+
+TEST(FeatureRegistry, Unregister) {
+  FeatureRegistry R;
+  R.registerFeature("f", [] { return 1.0; });
+  R.unregisterFeature("f");
+  EXPECT_FALSE(R.hasFeature("f"));
+  R.unregisterFeature("f"); // idempotent
+}
+
+TEST(ThreadPool, RunsSubmittedJobs) {
+  ThreadPool Pool;
+  std::atomic<int> Count{0};
+  std::mutex M;
+  std::condition_variable Cv;
+  for (int I = 0; I != 20; ++I)
+    Pool.submit([&] {
+      if (Count.fetch_add(1) + 1 == 20)
+        Cv.notify_one();
+    });
+  std::unique_lock<std::mutex> Lock(M);
+  Cv.wait(Lock, [&] { return Count.load() == 20; });
+  EXPECT_EQ(Count.load(), 20);
+}
+
+TEST(ThreadPool, ReusesIdleThreads) {
+  ThreadPool Pool;
+  std::atomic<int> Count{0};
+  auto RunBatch = [&](int N) {
+    std::mutex M;
+    std::condition_variable Cv;
+    std::atomic<int> Batch{0};
+    for (int I = 0; I != N; ++I)
+      Pool.submit([&] {
+        Count.fetch_add(1);
+        if (Batch.fetch_add(1) + 1 == N)
+          Cv.notify_one();
+      });
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] { return Batch.load() == N; });
+  };
+  RunBatch(4);
+  const size_t AfterFirst = Pool.threadsCreated();
+  // Give workers a moment to park.
+  while (Pool.idleThreads() < AfterFirst)
+    std::this_thread::yield();
+  RunBatch(4);
+  // Sequential batches reuse parked workers instead of spawning anew.
+  EXPECT_LE(Pool.threadsCreated(), AfterFirst + 1);
+  EXPECT_EQ(Count.load(), 8);
+}
+
+TEST(ThreadPool, BurstOfBlockingJobsAllStart) {
+  // Regression test: DoPE jobs are long-running task loops, so every
+  // submitted job must get its own thread even when several jobs are
+  // submitted in a burst while a worker is idle. The old spawn condition
+  // (spawn only when no worker is idle) parked a burst behind a single
+  // idle worker and deadlocked the region.
+  ThreadPool Pool;
+
+  // Park one idle worker.
+  {
+    std::mutex M;
+    std::condition_variable Cv;
+    std::atomic<bool> Ran{false};
+    Pool.submit([&] {
+      Ran.store(true);
+      Cv.notify_one();
+    });
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] { return Ran.load(); });
+    while (Pool.idleThreads() == 0)
+      std::this_thread::yield();
+  }
+
+  // Burst-submit 4 jobs that all block until every one of them started.
+  constexpr int Burst = 4;
+  std::atomic<int> Started{0};
+  std::mutex M;
+  std::condition_variable AllStarted;
+  for (int I = 0; I != Burst; ++I)
+    Pool.submit([&] {
+      if (Started.fetch_add(1) + 1 == Burst)
+        AllStarted.notify_all();
+      std::unique_lock<std::mutex> Lock(M);
+      AllStarted.wait(Lock, [&] { return Started.load() == Burst; });
+    });
+
+  std::unique_lock<std::mutex> Lock(M);
+  const bool Ok = AllStarted.wait_for(
+      Lock, std::chrono::seconds(30), [&] { return Started.load() == Burst; });
+  EXPECT_TRUE(Ok) << "only " << Started.load() << "/" << Burst
+                  << " burst jobs started";
+  AllStarted.notify_all();
+}
+
+TEST(ThreadPool, NestedSubmission) {
+  ThreadPool Pool;
+  std::atomic<int> Count{0};
+  std::mutex M;
+  std::condition_variable Cv;
+  Pool.submit([&] {
+    for (int I = 0; I != 5; ++I)
+      Pool.submit([&] {
+        if (Count.fetch_add(1) + 1 == 5)
+          Cv.notify_one();
+      });
+  });
+  std::unique_lock<std::mutex> Lock(M);
+  Cv.wait(Lock, [&] { return Count.load() == 5; });
+  EXPECT_EQ(Count.load(), 5);
+}
+
+TEST(TaskMetrics, RecordsExecTimeEma) {
+  TaskMetrics M(0.5);
+  M.recordExecTime(1.0);
+  EXPECT_DOUBLE_EQ(M.execTime(), 1.0);
+  M.recordExecTime(3.0);
+  EXPECT_DOUBLE_EQ(M.execTime(), 2.0);
+  EXPECT_EQ(M.invocations(), 2u);
+  EXPECT_DOUBLE_EQ(M.totalBusySeconds(), 4.0);
+}
+
+TEST(TaskMetrics, RecordsLoad) {
+  TaskMetrics M;
+  M.recordLoad(10.0);
+  M.recordLoad(20.0);
+  EXPECT_DOUBLE_EQ(M.lastLoad(), 20.0);
+  EXPECT_GT(M.load(), 10.0);
+  EXPECT_LT(M.load(), 20.0);
+}
+
+TEST(TaskMetrics, ResetClears) {
+  TaskMetrics M;
+  M.recordExecTime(1.0);
+  M.recordLoad(5.0);
+  M.reset();
+  EXPECT_DOUBLE_EQ(M.execTime(), 0.0);
+  EXPECT_DOUBLE_EQ(M.load(), 0.0);
+  EXPECT_EQ(M.invocations(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+//===- tests/EdpTest.cpp - Energy-delay-product mechanism tests --------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/Edp.h"
+
+#include "mechanisms/ServerNest.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+using namespace dope::testing_helpers;
+
+namespace {
+
+TEST(Edp, ScoreMatchesClosedForm) {
+  // Ideal linear speedup: EDP(m) = m / m^2 = 1/m.
+  EdpMechanism M({SpeedupCurve(0.0, 0.0), 8, 1.15, 0});
+  EXPECT_DOUBLE_EQ(M.edpScore(1), 1.0);
+  EXPECT_DOUBLE_EQ(M.edpScore(4), 0.25);
+}
+
+TEST(Edp, ScalableCurvePrefersWideExtents) {
+  EdpMechanism M({SpeedupCurve(0.02, 0.0, 18.0), 8, 1.15, 0});
+  EXPECT_EQ(M.extentForDemand(0.0, 24), 8u);
+}
+
+TEST(Edp, OverheadyCurveStaysSequential) {
+  // bzip-like: S(4) = 1.21, so EDP(4) = 4 / 1.47 > 1 = EDP(1).
+  EdpMechanism M({SpeedupCurve(0.3, 1.4, 8.0), 8, 1.15, 0});
+  EXPECT_EQ(M.extentForDemand(0.0, 24), 1u);
+}
+
+TEST(Edp, DemandForcesNarrowExtents) {
+  EdpMechanism M({SpeedupCurve(0.02, 0.0, 18.0), 8, 1.15, 0});
+  // Efficiency at 8 is 0.88: feasible up to demand ~0.76 (0.88 / 1.15).
+  EXPECT_EQ(M.extentForDemand(0.5, 24), 8u);
+  EXPECT_LT(M.extentForDemand(0.85, 24), 8u);
+  EXPECT_EQ(M.extentForDemand(1.0, 24), 1u);
+}
+
+TEST(Edp, ReconfigureProducesValidServerConfig) {
+  ServerNestGraph G = makeServerNestGraph();
+  EdpMechanism M({SpeedupCurve(0.02, 0.0, 18.0), 8, 1.15, 0});
+  RegionConfig Current = makeServerConfig(*G.Root, 24, 1);
+  RegionSnapshot Snap = makeServerSnapshot(G, /*Occupancy=*/0.0, 24, 1);
+  MechanismContext Ctx;
+  Ctx.MaxThreads = 24;
+  std::optional<RegionConfig> Next =
+      M.reconfigure(*G.Root, Snap, Current, Ctx);
+  ASSERT_TRUE(Next.has_value());
+  std::string Error;
+  EXPECT_TRUE(validateConfig(*G.Root, *Next, &Error)) << Error;
+  EXPECT_EQ(serverInnerExtent(*Next), 8u);
+  EXPECT_LE(totalThreads(*G.Root, *Next), 24u);
+}
+
+TEST(Edp, QueuePressureNarrowsExtent) {
+  ServerNestGraph G = makeServerNestGraph();
+  EdpMechanism M({SpeedupCurve(0.02, 0.0, 18.0), 8, 1.15, 0});
+  RegionConfig Current = makeServerConfig(*G.Root, 3, 8);
+  // A standing backlog of 12 transactions on 24 contexts saturates the
+  // demand estimate.
+  RegionSnapshot Snap = makeServerSnapshot(G, /*Occupancy=*/12.0, 3, 8);
+  MechanismContext Ctx;
+  Ctx.MaxThreads = 24;
+  std::optional<RegionConfig> Next =
+      M.reconfigure(*G.Root, Snap, Current, Ctx);
+  ASSERT_TRUE(Next.has_value());
+  EXPECT_EQ(serverInnerExtent(*Next), 1u);
+  EXPECT_EQ(serverOuterExtent(*Next), 24u);
+}
+
+TEST(Edp, IgnoresNonServerShapes) {
+  PipelineGraph G = makePipelineGraph({{"a", true}, {"b", true}});
+  const ParDescriptor *Stages = G.Driver->descriptor()->alternative(0);
+  EdpMechanism M({SpeedupCurve(0.02, 0.0, 18.0), 8, 1.15, 0});
+  RegionConfig Config;
+  Config.Tasks.resize(2);
+  RegionSnapshot Snap;
+  Snap.Tasks.resize(2);
+  MechanismContext Ctx;
+  Ctx.MaxThreads = 24;
+  EXPECT_FALSE(M.reconfigure(*Stages, Snap, Config, Ctx).has_value());
+}
+
+} // namespace

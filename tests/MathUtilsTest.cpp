@@ -1,0 +1,147 @@
+//===- tests/MathUtilsTest.cpp - Numeric helper tests ----------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace dope;
+
+namespace {
+
+TEST(Clamp, DoubleAndUnsigned) {
+  EXPECT_DOUBLE_EQ(clampDouble(5.0, 0.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(clampDouble(-1.0, 0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(clampDouble(2.0, 0.0, 3.0), 2.0);
+  EXPECT_EQ(clampUnsigned(9, 1, 8), 8u);
+  EXPECT_EQ(clampUnsigned(0, 1, 8), 1u);
+}
+
+TEST(ApproxEqual, RelativeTolerance) {
+  EXPECT_TRUE(approxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approxEqual(1.0, 1.1));
+  EXPECT_TRUE(approxEqual(1e9, 1e9 + 0.5, 1e-9));
+}
+
+unsigned sumOf(const std::vector<unsigned> &V) {
+  return std::accumulate(V.begin(), V.end(), 0u);
+}
+
+TEST(ProportionalSplit, ExactTotal) {
+  const std::vector<unsigned> R = proportionalSplit(10, {1.0, 1.0});
+  EXPECT_EQ(sumOf(R), 10u);
+  EXPECT_EQ(R[0], 5u);
+  EXPECT_EQ(R[1], 5u);
+}
+
+TEST(ProportionalSplit, ProportionalToWeights) {
+  const std::vector<unsigned> R = proportionalSplit(12, {1.0, 2.0, 3.0});
+  EXPECT_EQ(sumOf(R), 12u);
+  EXPECT_EQ(R[0], 2u);
+  EXPECT_EQ(R[1], 4u);
+  EXPECT_EQ(R[2], 6u);
+}
+
+TEST(ProportionalSplit, LargestRemainderRounding) {
+  // Shares: 3.33, 3.33, 3.33 -> floors 3,3,3, leftover 1 to the first.
+  const std::vector<unsigned> R = proportionalSplit(10, {1.0, 1.0, 1.0});
+  EXPECT_EQ(sumOf(R), 10u);
+  EXPECT_EQ(R[0], 4u);
+}
+
+TEST(ProportionalSplit, ZeroWeightsFallBackToEven) {
+  const std::vector<unsigned> R = proportionalSplit(9, {0.0, 0.0, 0.0});
+  EXPECT_EQ(sumOf(R), 9u);
+  EXPECT_EQ(R[0], 3u);
+}
+
+TEST(ProportionalSplit, MinEachHonoured) {
+  const std::vector<unsigned> R = proportionalSplit(10, {100.0, 1.0}, 1);
+  EXPECT_EQ(sumOf(R), 10u);
+  EXPECT_GE(R[1], 1u);
+}
+
+TEST(ProportionalSplit, TotalSmallerThanFloors) {
+  const std::vector<unsigned> R = proportionalSplit(2, {1.0, 1.0, 1.0}, 1);
+  // Budget cannot satisfy the floor; every bucket still gets the floor.
+  EXPECT_EQ(R, (std::vector<unsigned>{1, 1, 1}));
+}
+
+TEST(ProportionalSplit, NegativeWeightsTreatedAsZero) {
+  const std::vector<unsigned> R = proportionalSplit(6, {-5.0, 1.0});
+  EXPECT_EQ(sumOf(R), 6u);
+  EXPECT_EQ(R[0], 0u);
+  EXPECT_EQ(R[1], 6u);
+}
+
+TEST(ProportionalSplit, EmptyWeights) {
+  EXPECT_TRUE(proportionalSplit(5, {}).empty());
+}
+
+TEST(WaterfillSplit, EqualCostsSplitEvenly) {
+  const std::vector<unsigned> R = waterfillSplit(12, {1.0, 1.0, 1.0});
+  EXPECT_EQ(sumOf(R), 12u);
+  EXPECT_EQ(R[0], 4u);
+  EXPECT_EQ(R[1], 4u);
+  EXPECT_EQ(R[2], 4u);
+}
+
+TEST(WaterfillSplit, MaxMinOptimalForFerretLikeStages) {
+  // Stage costs 0.8, 8.0, 1.2, 2.0 with budget 22: the proportional
+  // continuous solution is [1.47, 14.67, 2.2, 3.67]; the integer max-min
+  // optimum protects the small stages.
+  const std::vector<unsigned> R =
+      waterfillSplit(22, {0.8, 8.0, 1.2, 2.0});
+  EXPECT_EQ(sumOf(R), 22u);
+  double MinCapacity = 1e300;
+  const std::vector<double> Costs = {0.8, 8.0, 1.2, 2.0};
+  for (size_t I = 0; I != R.size(); ++I)
+    MinCapacity = std::min(MinCapacity, R[I] / Costs[I]);
+  // The pure proportional split [1, 15, 2, 4] bottoms out at 1/0.8 = 1.25;
+  // waterfilling must do strictly better.
+  EXPECT_GT(MinCapacity, 1.26);
+}
+
+TEST(WaterfillSplit, PinnedBucketsExcluded) {
+  const std::vector<unsigned> R = waterfillSplit(10, {0.0, 1.0, 0.0}, 1);
+  EXPECT_EQ(R[0], 1u);
+  EXPECT_EQ(R[2], 1u);
+  EXPECT_EQ(R[1], 8u);
+}
+
+TEST(WaterfillSplit, BudgetSmallerThanStages) {
+  const std::vector<unsigned> R = waterfillSplit(2, {1.0, 1.0, 1.0});
+  // Everyone still gets the mandatory first unit.
+  EXPECT_EQ(R, (std::vector<unsigned>{1, 1, 1}));
+}
+
+TEST(WaterfillSplit, AllPinned) {
+  const std::vector<unsigned> R = waterfillSplit(10, {0.0, 0.0}, 2);
+  EXPECT_EQ(R, (std::vector<unsigned>{2, 2}));
+}
+
+TEST(WaterfillSplit, GreedyIsMaxMinOptimalExhaustive) {
+  // Brute-force check on a small instance: no assignment of 9 units over
+  // costs {1, 2, 3} beats the greedy min-capacity.
+  const std::vector<double> Costs = {1.0, 2.0, 3.0};
+  const std::vector<unsigned> Greedy = waterfillSplit(9, Costs);
+  auto MinCap = [&](unsigned A, unsigned B, unsigned C) {
+    return std::min({A / Costs[0], B / Costs[1], C / Costs[2]});
+  };
+  const double GreedyCap = MinCap(Greedy[0], Greedy[1], Greedy[2]);
+  for (unsigned A = 1; A <= 7; ++A)
+    for (unsigned B = 1; A + B <= 8; ++B) {
+      const unsigned C = 9 - A - B;
+      if (C < 1)
+        continue;
+      EXPECT_LE(MinCap(A, B, C), GreedyCap + 1e-12);
+    }
+}
+
+} // namespace

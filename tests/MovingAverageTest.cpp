@@ -1,0 +1,100 @@
+//===- tests/MovingAverageTest.cpp - Smoothing filter tests ----------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MovingAverage.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+
+namespace {
+
+TEST(Ema, FirstSampleInitializesDirectly) {
+  Ema E(0.1);
+  E.addSample(10.0);
+  EXPECT_DOUBLE_EQ(E.value(), 10.0);
+  EXPECT_EQ(E.sampleCount(), 1u);
+}
+
+TEST(Ema, EmptyIsZero) {
+  Ema E;
+  EXPECT_TRUE(E.empty());
+  EXPECT_DOUBLE_EQ(E.value(), 0.0);
+}
+
+TEST(Ema, ConvergesToConstant) {
+  Ema E(0.25);
+  E.addSample(0.0);
+  for (int I = 0; I != 100; ++I)
+    E.addSample(8.0);
+  EXPECT_NEAR(E.value(), 8.0, 1e-6);
+}
+
+TEST(Ema, StepResponse) {
+  Ema E(0.5);
+  E.addSample(0.0);
+  E.addSample(10.0); // 0 + 0.5 * 10 = 5
+  EXPECT_DOUBLE_EQ(E.value(), 5.0);
+  E.addSample(10.0); // 5 + 0.5 * 5 = 7.5
+  EXPECT_DOUBLE_EQ(E.value(), 7.5);
+}
+
+TEST(Ema, AlphaOneTracksExactly) {
+  Ema E(1.0);
+  E.addSample(3.0);
+  E.addSample(-7.0);
+  EXPECT_DOUBLE_EQ(E.value(), -7.0);
+}
+
+TEST(Ema, ResetClearsState) {
+  Ema E(0.3);
+  E.addSample(4.0);
+  E.reset();
+  EXPECT_TRUE(E.empty());
+  E.addSample(2.0);
+  EXPECT_DOUBLE_EQ(E.value(), 2.0);
+}
+
+TEST(WindowedAverage, MeanOfWindow) {
+  WindowedAverage W(3);
+  W.addSample(1.0);
+  W.addSample(2.0);
+  W.addSample(3.0);
+  EXPECT_DOUBLE_EQ(W.value(), 2.0);
+  EXPECT_TRUE(W.full());
+}
+
+TEST(WindowedAverage, OldSamplesEvicted) {
+  WindowedAverage W(2);
+  W.addSample(100.0);
+  W.addSample(1.0);
+  W.addSample(3.0);
+  EXPECT_DOUBLE_EQ(W.value(), 2.0);
+  EXPECT_EQ(W.sampleCount(), 2u);
+}
+
+TEST(WindowedAverage, PartialWindow) {
+  WindowedAverage W(10);
+  W.addSample(4.0);
+  EXPECT_DOUBLE_EQ(W.value(), 4.0);
+  EXPECT_FALSE(W.full());
+}
+
+TEST(WindowedAverage, EmptyIsZero) {
+  WindowedAverage W(4);
+  EXPECT_TRUE(W.empty());
+  EXPECT_DOUBLE_EQ(W.value(), 0.0);
+}
+
+TEST(WindowedAverage, ResetClears) {
+  WindowedAverage W(2);
+  W.addSample(1.0);
+  W.reset();
+  EXPECT_TRUE(W.empty());
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tests/NativeKernelsTest.cpp - CPU kernel tests ------------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/NativeKernels.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+
+namespace {
+
+TEST(HashWork, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(hashWork(1, 100), hashWork(1, 100));
+  EXPECT_NE(hashWork(1, 100), hashWork(2, 100));
+  EXPECT_NE(hashWork(1, 100), hashWork(1, 101));
+}
+
+TEST(HashWork, ZeroIterationsIsIdentity) {
+  EXPECT_EQ(hashWork(42, 0), 42u);
+}
+
+TEST(Frames, MakeFrameDeterministic) {
+  const Frame A = makeFrame(3, 256, 7);
+  const Frame B = makeFrame(3, 256, 7);
+  EXPECT_EQ(A.Pixels, B.Pixels);
+  EXPECT_EQ(A.Index, 3u);
+  EXPECT_EQ(A.Pixels.size(), 256u);
+  const Frame C = makeFrame(4, 256, 7);
+  EXPECT_NE(A.Pixels, C.Pixels);
+}
+
+TEST(Frames, TransformDeterministicAndContentSensitive) {
+  const Frame In = makeFrame(0, 512, 1);
+  const Frame Out1 = transformFrame(In, 5);
+  const Frame Out2 = transformFrame(In, 5);
+  EXPECT_EQ(Out1.Pixels, Out2.Pixels);
+  EXPECT_NE(Out1.Pixels, In.Pixels);
+  // Different pass counts give different results.
+  EXPECT_NE(transformFrame(In, 4).Pixels, Out1.Pixels);
+}
+
+TEST(Frames, TransformQuantizes) {
+  const Frame Out = transformFrame(makeFrame(0, 512, 1), 1);
+  // Interior pixels are quantized to multiples of 4.
+  for (size_t I = 1; I + 1 < Out.Pixels.size(); ++I)
+    EXPECT_EQ(Out.Pixels[I] % 4, 0u);
+}
+
+TEST(Frames, TinyFramesPassThrough) {
+  const Frame In = makeFrame(0, 2, 1);
+  EXPECT_EQ(transformFrame(In, 3).Pixels, In.Pixels);
+}
+
+TEST(Frames, ChecksumSensitive) {
+  const Frame A = makeFrame(0, 128, 1);
+  Frame B = A;
+  B.Pixels[64] ^= 1;
+  EXPECT_NE(frameChecksum(A), frameChecksum(B));
+  Frame C = A;
+  C.Index = 1;
+  EXPECT_NE(frameChecksum(A), frameChecksum(C));
+}
+
+TEST(MonteCarlo, ConvergesToPi) {
+  EXPECT_NEAR(monteCarloPi(200000, 9), 3.14159, 0.02);
+}
+
+TEST(MonteCarlo, Deterministic) {
+  EXPECT_DOUBLE_EQ(monteCarloPi(1000, 5), monteCarloPi(1000, 5));
+  EXPECT_NE(monteCarloPi(1000, 5), monteCarloPi(1000, 6));
+}
+
+TEST(Rle, RoundTrip) {
+  const std::vector<uint8_t> Input = {1, 1, 1, 2, 3, 3, 0, 0, 0, 0};
+  EXPECT_EQ(rleDecompress(rleCompress(Input)), Input);
+}
+
+TEST(Rle, EmptyInput) {
+  EXPECT_TRUE(rleCompress({}).empty());
+  EXPECT_TRUE(rleDecompress({}).empty());
+}
+
+TEST(Rle, LongRunsSplitAt255) {
+  const std::vector<uint8_t> Input(600, 7);
+  const std::vector<uint8_t> Encoded = rleCompress(Input);
+  // 600 = 255 + 255 + 90: three (run, value) pairs.
+  ASSERT_EQ(Encoded.size(), 6u);
+  EXPECT_EQ(Encoded[0], 255u);
+  EXPECT_EQ(Encoded[4], 90u);
+  EXPECT_EQ(rleDecompress(Encoded), Input);
+}
+
+TEST(Rle, CompressesRuns) {
+  const std::vector<uint8_t> Runs(100, 42);
+  EXPECT_LT(rleCompress(Runs).size(), Runs.size() / 10);
+  // Alternating input is incompressible (2 bytes per input byte).
+  std::vector<uint8_t> Alternating;
+  for (int I = 0; I != 50; ++I)
+    Alternating.push_back(static_cast<uint8_t>(I % 2));
+  EXPECT_EQ(rleCompress(Alternating).size(), 100u);
+}
+
+TEST(Rle, RandomRoundTripSweep) {
+  Rng R(13);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    std::vector<uint8_t> Input;
+    const size_t Length = R.uniformInt(400);
+    for (size_t I = 0; I != Length; ++I)
+      Input.push_back(static_cast<uint8_t>(R.uniformInt(4)));
+    EXPECT_EQ(rleDecompress(rleCompress(Input)), Input);
+  }
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- tests/OptionParserTest.cpp - CLI parsing tests ----------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/OptionParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+
+namespace {
+
+bool parse(OptionParser &P, std::vector<const char *> Args) {
+  Args.insert(Args.begin(), "prog");
+  return P.parse(static_cast<int>(Args.size()), Args.data());
+}
+
+TEST(OptionParser, DefaultsApply) {
+  OptionParser P;
+  P.addInt("threads", 24, "thread budget");
+  P.addDouble("load", 0.5, "load factor");
+  P.addString("app", "x264", "application");
+  P.addFlag("csv", "emit CSV");
+  EXPECT_TRUE(parse(P, {}));
+  EXPECT_EQ(P.getInt("threads"), 24);
+  EXPECT_DOUBLE_EQ(P.getDouble("load"), 0.5);
+  EXPECT_EQ(P.getString("app"), "x264");
+  EXPECT_FALSE(P.getFlag("csv"));
+}
+
+TEST(OptionParser, EqualsAndSpaceForms) {
+  OptionParser P;
+  P.addInt("n", 1, "count");
+  P.addString("name", "", "name");
+  EXPECT_TRUE(parse(P, {"--n=7", "--name", "ferret"}));
+  EXPECT_EQ(P.getInt("n"), 7);
+  EXPECT_EQ(P.getString("name"), "ferret");
+}
+
+TEST(OptionParser, FlagsToggle) {
+  OptionParser P;
+  P.addFlag("verbose", "talk more");
+  EXPECT_TRUE(parse(P, {"--verbose"}));
+  EXPECT_TRUE(P.getFlag("verbose"));
+}
+
+TEST(OptionParser, FlagRejectsValue) {
+  OptionParser P;
+  P.addFlag("verbose", "talk more");
+  EXPECT_FALSE(parse(P, {"--verbose=yes"}));
+  EXPECT_NE(P.error().find("does not take a value"), std::string::npos);
+}
+
+TEST(OptionParser, UnknownOptionFails) {
+  OptionParser P;
+  EXPECT_FALSE(parse(P, {"--nope"}));
+  EXPECT_NE(P.error().find("unknown option"), std::string::npos);
+}
+
+TEST(OptionParser, TypeValidation) {
+  OptionParser P;
+  P.addInt("n", 1, "count");
+  EXPECT_FALSE(parse(P, {"--n=abc"}));
+  OptionParser P2;
+  P2.addDouble("x", 1.0, "value");
+  EXPECT_FALSE(parse(P2, {"--x=12z"}));
+}
+
+TEST(OptionParser, MissingValueFails) {
+  OptionParser P;
+  P.addInt("n", 1, "count");
+  EXPECT_FALSE(parse(P, {"--n"}));
+  EXPECT_NE(P.error().find("expects a value"), std::string::npos);
+}
+
+TEST(OptionParser, PositionalCollected) {
+  OptionParser P;
+  P.addFlag("v", "verbose");
+  EXPECT_TRUE(parse(P, {"alpha", "--v", "beta"}));
+  ASSERT_EQ(P.positional().size(), 2u);
+  EXPECT_EQ(P.positional()[0], "alpha");
+  EXPECT_EQ(P.positional()[1], "beta");
+}
+
+TEST(OptionParser, HelpRequested) {
+  OptionParser P("demo tool");
+  P.addInt("n", 3, "count of things");
+  EXPECT_TRUE(parse(P, {"--help"}));
+  EXPECT_TRUE(P.helpRequested());
+  const std::string Help = P.helpText();
+  EXPECT_NE(Help.find("demo tool"), std::string::npos);
+  EXPECT_NE(Help.find("--n"), std::string::npos);
+  EXPECT_NE(Help.find("count of things"), std::string::npos);
+}
+
+TEST(OptionParser, IntReadableAsDouble) {
+  OptionParser P;
+  P.addInt("n", 2, "count");
+  EXPECT_TRUE(parse(P, {"--n=5"}));
+  EXPECT_DOUBLE_EQ(P.getDouble("n"), 5.0);
+}
+
+TEST(OptionParser, NegativeNumbers) {
+  OptionParser P;
+  P.addInt("n", 0, "count");
+  P.addDouble("x", 0.0, "value");
+  EXPECT_TRUE(parse(P, {"--n=-3", "--x=-2.5"}));
+  EXPECT_EQ(P.getInt("n"), -3);
+  EXPECT_DOUBLE_EQ(P.getDouble("x"), -2.5);
+}
+
+} // namespace

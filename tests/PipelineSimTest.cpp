@@ -1,0 +1,229 @@
+//===- tests/PipelineSimTest.cpp - Pipeline simulation tests ----------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/PipelineSim.h"
+
+#include "apps/PipelineApps.h"
+#include "mechanisms/Seda.h"
+#include "mechanisms/StaticMechanism.h"
+#include "mechanisms/Tbf.h"
+#include "mechanisms/Tpc.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+
+namespace {
+
+PipelineSimOptions quickOptions(uint64_t Items = 600, uint64_t Seed = 5) {
+  PipelineSimOptions Opts;
+  Opts.Contexts = 24;
+  Opts.NumItems = Items;
+  Opts.Seed = Seed;
+  return Opts;
+}
+
+/// A small balanced pipeline for focused tests.
+PipelineAppModel tinyApp() {
+  PipelineAppModel App;
+  App.Name = "tiny";
+  App.Stages = {{"in", false, 0.05, 0.0},
+                {"work", true, 1.0, 0.0},
+                {"out", false, 0.05, 0.0}};
+  App.OversubPenalty = 0.1;
+  App.ThreadOverheadPenalty = 0.1;
+  return App;
+}
+
+TEST(PipelineSim, CompletesAllItems) {
+  PipelineSim Sim(tinyApp(), quickOptions(200));
+  PipelineSimResult R = Sim.run(nullptr, {1, 4, 1});
+  EXPECT_EQ(R.ItemsCompleted, 200u);
+  EXPECT_GT(R.Throughput, 0.0);
+}
+
+TEST(PipelineSim, DeterministicForSeed) {
+  PipelineSim A(tinyApp(), quickOptions(200, 42));
+  PipelineSim B(tinyApp(), quickOptions(200, 42));
+  PipelineSimResult RA = A.run(nullptr, {1, 4, 1});
+  PipelineSimResult RB = B.run(nullptr, {1, 4, 1});
+  EXPECT_DOUBLE_EQ(RA.Throughput, RB.Throughput);
+  EXPECT_DOUBLE_EQ(RA.TotalSeconds, RB.TotalSeconds);
+}
+
+TEST(PipelineSim, ThroughputMatchesAnalyticBound) {
+  // Deterministic service times: measured throughput approaches the
+  // bottleneck capacity min_i(n_i / s_i) = 4 / 1.0.
+  PipelineSim Sim(tinyApp(), quickOptions(800));
+  PipelineSimResult R = Sim.run(nullptr, {1, 4, 1});
+  const double Analytic = Sim.analyticThroughput({1, 4, 1});
+  EXPECT_NEAR(Analytic, 4.0, 1e-9);
+  EXPECT_NEAR(R.Throughput, Analytic, Analytic * 0.1);
+}
+
+TEST(PipelineSim, MoreThreadsMoreThroughputUntilCpuBound) {
+  PipelineSim Sim(tinyApp(), quickOptions(800));
+  const double T4 = Sim.run(nullptr, {1, 4, 1}).Throughput;
+  const double T12 = Sim.run(nullptr, {1, 12, 1}).Throughput;
+  EXPECT_GT(T12, T4 * 2.0);
+  // Beyond the contexts, the pool bound kicks in: 48 worker threads on
+  // 24 contexts cannot triple 12-thread throughput.
+  const double T48 = Sim.run(nullptr, {1, 48, 1}).Throughput;
+  EXPECT_LT(T48, T12 * 2.5);
+}
+
+TEST(PipelineSim, AnalyticOversubscriptionPenalty) {
+  PipelineAppModel App = tinyApp();
+  App.ThreadOverheadPenalty = 1.0;
+  PipelineSim Sim(App, quickOptions());
+  // 50 threads on 24 contexts: footprint factor 1/(1 + 26/24) ~ 0.48.
+  const double Fitted = Sim.analyticThroughput({1, 22, 1});
+  const double Oversub = Sim.analyticThroughput({1, 48, 1});
+  EXPECT_LT(Oversub, Fitted);
+}
+
+TEST(PipelineSim, ImbalancedStagesBottleneckThroughput) {
+  PipelineAppModel App;
+  App.Name = "imbalanced";
+  App.Stages = {{"a", true, 1.0, 0.0}, {"b", true, 4.0, 0.0}};
+  PipelineSim Sim(App, quickOptions(400));
+  // Even split 2/2: bottleneck 2/4 = 0.5. Skewed 1/3: 3/4 = 0.75.
+  const double Even = Sim.run(nullptr, {2, 2}).Throughput;
+  const double Skewed = Sim.run(nullptr, {1, 3}).Throughput;
+  EXPECT_GT(Skewed, Even * 1.3);
+}
+
+TEST(PipelineSim, OpenLoopResponseTimesRecorded) {
+  PipelineSimOptions Opts = quickOptions(300);
+  Opts.OpenLoop = true;
+  Opts.ArrivalRate = 2.0; // capacity is 4/s at {1,4,1}
+  PipelineSim Sim(tinyApp(), Opts);
+  PipelineSimResult R = Sim.run(nullptr, {1, 4, 1});
+  EXPECT_EQ(R.ItemsCompleted, 300u);
+  EXPECT_EQ(R.Stats.count(), 300u);
+  // Light load: response ~ pipeline latency (1.1 s) with little queueing.
+  EXPECT_GT(R.Stats.meanResponseTime(), 1.0);
+  EXPECT_LT(R.Stats.meanResponseTime(), 3.0);
+}
+
+TEST(PipelineSim, OpenLoopSaturationGrowsResponseTime) {
+  PipelineSimOptions Light = quickOptions(300);
+  Light.OpenLoop = true;
+  Light.ArrivalRate = 2.0;
+  PipelineSim LightSim(tinyApp(), Light);
+  const double LightResponse =
+      LightSim.run(nullptr, {1, 4, 1}).Stats.meanResponseTime();
+
+  PipelineSimOptions Heavy = quickOptions(300);
+  Heavy.OpenLoop = true;
+  Heavy.ArrivalRate = 6.0; // above the 4/s capacity
+  PipelineSim HeavySim(tinyApp(), Heavy);
+  const double HeavyResponse =
+      HeavySim.run(nullptr, {1, 4, 1}).Stats.meanResponseTime();
+  EXPECT_GT(HeavyResponse, LightResponse * 3.0);
+}
+
+TEST(PipelineSim, TbfConvergesToBalancedAssignment) {
+  PipelineAppModel App = makeFerretApp();
+  PipelineSimOptions Opts = quickOptions(1500);
+  PipelineSim Sim(App, Opts);
+  TbfMechanism Tbf({0.5, /*EnableFusion=*/false});
+  PipelineSimResult R = Sim.run(&Tbf, {});
+  EXPECT_EQ(R.ItemsCompleted, 1500u);
+  EXPECT_GE(R.Reconfigurations, 1u);
+  // The extract stage (8 s) ends with the lion's share of threads.
+  ASSERT_EQ(R.FinalExtents.size(), 6u);
+  EXPECT_GT(R.FinalExtents[2], R.FinalExtents[1]);
+  EXPECT_GT(R.FinalExtents[2], R.FinalExtents[3]);
+}
+
+TEST(PipelineSim, TbfFusionSwitchesAlternative) {
+  PipelineAppModel App = makeFerretApp();
+  PipelineSim Sim(App, quickOptions(1500));
+  TbfMechanism Tbf({0.5, /*EnableFusion=*/true});
+  PipelineSimResult R = Sim.run(&Tbf, {});
+  EXPECT_EQ(R.ItemsCompleted, 1500u);
+  EXPECT_TRUE(R.EndedFused);
+}
+
+TEST(PipelineSim, TbfBeatsEvenStaticOnFerret) {
+  // The core Table 15 shape: DoPE-TBF > Pthreads-Baseline (even split).
+  PipelineAppModel App = makeFerretApp();
+  PipelineSim Sim(App, quickOptions(1500));
+
+  std::vector<unsigned> Even = {1, 8, 7, 7, 7, 1};
+  // makeEvenPipelineConfig equivalent for the 4 parallel stages of
+  // ferret: 22 over 4 -> 6/6/5/5.
+  Even = {1, 6, 6, 5, 5, 1};
+  const double Baseline = Sim.run(nullptr, Even).Throughput;
+
+  TbfMechanism Tbf;
+  const double Adaptive = Sim.run(&Tbf, Even).Throughput;
+  EXPECT_GT(Adaptive, Baseline * 1.5);
+}
+
+TEST(PipelineSim, SedaRunsAndAdapts) {
+  PipelineAppModel App = makeFerretApp();
+  PipelineSim Sim(App, quickOptions(1000));
+  SedaMechanism Seda;
+  PipelineSimResult R = Sim.run(&Seda, {});
+  EXPECT_EQ(R.ItemsCompleted, 1000u);
+  EXPECT_GE(R.Reconfigurations, 1u);
+}
+
+TEST(PipelineSim, PowerSeriesSampled) {
+  PipelineSim Sim(tinyApp(), quickOptions(400));
+  PipelineSimResult R = Sim.run(nullptr, {1, 8, 1});
+  EXPECT_FALSE(R.PowerSeries.empty());
+  // Power stays within the model's range.
+  for (size_t I = 0; I != R.PowerSeries.size(); ++I) {
+    EXPECT_GE(R.PowerSeries.point(I).Value, 450.0);
+    EXPECT_LE(R.PowerSeries.point(I).Value, 600.0);
+  }
+}
+
+TEST(PipelineSim, TpcRespectsPowerBudget) {
+  PipelineAppModel App = makeFerretApp();
+  PipelineSimOptions Opts = quickOptions(2500);
+  Opts.PowerBudgetWatts = 540.0; // 90% of peak
+  Opts.DecisionIntervalSeconds = 1.0;
+  PipelineSim Sim(App, Opts);
+  TpcMechanism Tpc;
+  PipelineSimResult R = Sim.run(&Tpc, {});
+  EXPECT_EQ(R.ItemsCompleted, 2500u);
+  // After the controller stabilizes, sampled power must hover at or
+  // below the budget (allow the ramp/overshoot prefix).
+  double LatePowerMax = 0.0;
+  const double Cutoff = R.TotalSeconds * 0.6;
+  for (size_t I = 0; I != R.PowerSeries.size(); ++I)
+    if (R.PowerSeries.point(I).Time > Cutoff)
+      LatePowerMax = std::max(LatePowerMax, R.PowerSeries.point(I).Value);
+  EXPECT_LE(LatePowerMax, 540.0 + 6.25 + 1e-9); // within one core
+}
+
+TEST(PipelineSim, DisturbanceSlowsAStage) {
+  PipelineSim Sim(tinyApp(), quickOptions(400));
+  Disturbance D;
+  D.Time = 0.0;
+  D.Stage = 1;
+  D.Factor = 2.0;
+  Sim.addDisturbance(D);
+  const double Slowed = Sim.run(nullptr, {1, 4, 1}).Throughput;
+  Sim.clearDisturbances();
+  const double Normal = Sim.run(nullptr, {1, 4, 1}).Throughput;
+  EXPECT_GT(Normal, Slowed * 1.6);
+}
+
+TEST(PipelineSim, SequentialStagePinnedEvenIfConfigSaysOtherwise) {
+  PipelineSim Sim(tinyApp(), quickOptions(100));
+  PipelineSimResult R = Sim.run(nullptr, {5, 4, 5});
+  ASSERT_EQ(R.FinalExtents.size(), 3u);
+  EXPECT_EQ(R.FinalExtents[0], 1u);
+  EXPECT_EQ(R.FinalExtents[2], 1u);
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- tests/PipelineViewTest.cpp - Pipeline view tests ---------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/PipelineView.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+using namespace dope::testing_helpers;
+
+namespace {
+
+PipelineGraph ferretLikeGraph() {
+  return makePipelineGraph({{"load", false},
+                            {"segment", true},
+                            {"extract", true},
+                            {"rank", true},
+                            {"out", false}},
+                           {{"load", false},
+                            {"query", true},
+                            {"out", false}});
+}
+
+RegionConfig configWithExtents(const PipelineGraph &G,
+                               std::vector<unsigned> Extents,
+                               int Alt = 0) {
+  TaskConfig Driver;
+  Driver.Extent = 1;
+  Driver.AltIndex = Alt;
+  for (unsigned E : Extents) {
+    TaskConfig TC;
+    TC.Extent = E;
+    Driver.Inner.push_back(TC);
+  }
+  RegionConfig Config;
+  Config.Tasks.push_back(Driver);
+  (void)G;
+  return Config;
+}
+
+TEST(PipelineView, ResolvesDriverShape) {
+  PipelineGraph G = ferretLikeGraph();
+  RegionConfig Config = configWithExtents(G, {1, 6, 6, 6, 1});
+  RegionSnapshot Snap = makePipelineSnapshot(
+      G, Config,
+      {{0.1, 0, 5}, {0.8, 2, 5}, {8.0, 30, 5}, {2.0, 1, 5}, {0.1, 0, 5}});
+  std::optional<PipelineView> View =
+      PipelineView::resolve(*G.Root, Snap, Config);
+  ASSERT_TRUE(View.has_value());
+  ASSERT_EQ(View->size(), 5u);
+  EXPECT_TRUE(View->fullyMeasured());
+  EXPECT_EQ(View->sequentialCount(), 2u);
+  EXPECT_EQ(View->stages()[2].Extent, 6u);
+  EXPECT_DOUBLE_EQ(View->stages()[2].ExecTime, 8.0);
+}
+
+TEST(PipelineView, BottleneckAndThroughput) {
+  PipelineGraph G = ferretLikeGraph();
+  RegionConfig Config = configWithExtents(G, {1, 6, 6, 6, 1});
+  RegionSnapshot Snap = makePipelineSnapshot(
+      G, Config,
+      {{0.1, 0, 5}, {0.8, 2, 5}, {8.0, 30, 5}, {2.0, 1, 5}, {0.1, 0, 5}});
+  PipelineView View = *PipelineView::resolve(*G.Root, Snap, Config);
+  EXPECT_EQ(View.bottleneckStage(), 2u); // 6/8 = 0.75 is the minimum
+  EXPECT_NEAR(View.systemThroughput(), 0.75, 1e-9);
+}
+
+TEST(PipelineView, UnmeasuredStageBlocksFullyMeasured) {
+  PipelineGraph G = ferretLikeGraph();
+  RegionConfig Config = configWithExtents(G, {1, 1, 1, 1, 1});
+  RegionSnapshot Snap = makePipelineSnapshot(
+      G, Config,
+      {{0.1, 0, 5}, {0.8, 2, 5}, {0.0, 0, 0}, {2.0, 1, 5}, {0.1, 0, 5}});
+  PipelineView View = *PipelineView::resolve(*G.Root, Snap, Config);
+  EXPECT_FALSE(View.fullyMeasured());
+}
+
+TEST(PipelineView, AlternativesDiscovery) {
+  PipelineGraph G = ferretLikeGraph();
+  RegionConfig Config = configWithExtents(G, {1, 6, 6, 6, 1});
+  RegionSnapshot Snap = makePipelineSnapshot(
+      G, Config,
+      {{0.1, 0, 5}, {0.8, 2, 5}, {8.0, 30, 5}, {2.0, 1, 5}, {0.1, 0, 5}});
+  PipelineView View = *PipelineView::resolve(*G.Root, Snap, Config);
+  EXPECT_TRUE(View.hasAlternatives());
+  EXPECT_EQ(View.alternativeCount(), 2u);
+  EXPECT_EQ(View.activeAlternative(), 0);
+  EXPECT_EQ(View.smallestAlternative(), 1);
+}
+
+TEST(PipelineView, MakeConfigPinsSequentialStages) {
+  PipelineGraph G = ferretLikeGraph();
+  RegionConfig Config = configWithExtents(G, {1, 1, 1, 1, 1});
+  RegionSnapshot Snap = makePipelineSnapshot(
+      G, Config,
+      {{0.1, 0, 5}, {0.8, 2, 5}, {8.0, 30, 5}, {2.0, 1, 5}, {0.1, 0, 5}});
+  PipelineView View = *PipelineView::resolve(*G.Root, Snap, Config);
+  RegionConfig Out = View.makeConfig({9, 9, 9, 9, 9});
+  const TaskConfig &Driver = Out.Tasks.front();
+  EXPECT_EQ(Driver.Inner[0].Extent, 1u); // sequential
+  EXPECT_EQ(Driver.Inner[1].Extent, 9u);
+  EXPECT_EQ(Driver.Inner[4].Extent, 1u);
+  std::string Error;
+  EXPECT_TRUE(validateConfig(*G.Root, Out, &Error)) << Error;
+}
+
+TEST(PipelineView, MakeAlternativeConfigSwitchesAndDistributes) {
+  PipelineGraph G = ferretLikeGraph();
+  RegionConfig Config = configWithExtents(G, {1, 6, 6, 6, 1});
+  RegionSnapshot Snap = makePipelineSnapshot(
+      G, Config,
+      {{0.1, 0, 5}, {0.8, 2, 5}, {8.0, 30, 5}, {2.0, 1, 5}, {0.1, 0, 5}});
+  PipelineView View = *PipelineView::resolve(*G.Root, Snap, Config);
+  RegionConfig Fused = View.makeAlternativeConfig(1, 24);
+  const TaskConfig &Driver = Fused.Tasks.front();
+  EXPECT_EQ(Driver.AltIndex, 1);
+  ASSERT_EQ(Driver.Inner.size(), 3u);
+  EXPECT_EQ(Driver.Inner[0].Extent, 1u);
+  EXPECT_EQ(Driver.Inner[1].Extent, 22u); // 24 - 2 sequential stages
+  EXPECT_EQ(Driver.Inner[2].Extent, 1u);
+  std::string Error;
+  EXPECT_TRUE(validateConfig(*G.Root, Fused, &Error)) << Error;
+}
+
+TEST(PipelineView, DirectPipelineShape) {
+  // A root region holding the stages directly (no driver task).
+  TaskGraph Graph;
+  TaskFn Dummy = dummyFn();
+  Task *A = Graph.createTask("a", Dummy, {}, Graph.seqDescriptor());
+  Task *B = Graph.createTask("b", Dummy, {}, Graph.parDescriptor());
+  ParDescriptor *Root = Graph.createRegion({A, B});
+
+  RegionConfig Config;
+  Config.Tasks.resize(2);
+  Config.Tasks[1].Extent = 4;
+  RegionSnapshot Snap;
+  Snap.Tasks.resize(2);
+  Snap.Tasks[0].ExecTime = 0.5;
+  Snap.Tasks[0].Invocations = 3;
+  Snap.Tasks[1].ExecTime = 1.0;
+  Snap.Tasks[1].Invocations = 3;
+
+  std::optional<PipelineView> View =
+      PipelineView::resolve(*Root, Snap, Config);
+  ASSERT_TRUE(View.has_value());
+  EXPECT_EQ(View->size(), 2u);
+  EXPECT_FALSE(View->hasAlternatives());
+  EXPECT_EQ(View->activeAlternative(), -1);
+  EXPECT_TRUE(View->fullyMeasured());
+
+  RegionConfig Out = View->makeConfig({5, 5});
+  EXPECT_EQ(Out.Tasks[0].Extent, 1u);
+  EXPECT_EQ(Out.Tasks[1].Extent, 5u);
+}
+
+TEST(PipelineView, LeafSingleTaskIsNotAPipeline) {
+  TaskGraph Graph;
+  Task *Only =
+      Graph.createTask("only", dummyFn(), {}, Graph.parDescriptor());
+  ParDescriptor *Root = Graph.createRegion({Only});
+  RegionConfig Config;
+  Config.Tasks.resize(1);
+  RegionSnapshot Snap;
+  Snap.Tasks.resize(1);
+  EXPECT_FALSE(PipelineView::resolve(*Root, Snap, Config).has_value());
+}
+
+} // namespace

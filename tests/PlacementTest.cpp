@@ -1,0 +1,174 @@
+//===- tests/PlacementTest.cpp - Topology and placement tests ----------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Placement.h"
+#include "core/Topology.h"
+
+#include "apps/PipelineApps.h"
+#include "sim/PipelineSim.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace dope;
+
+namespace {
+
+TEST(Topology, PaperPlatformShape) {
+  // 4 sockets x 6 cores = the Xeon X7460 evaluation machine.
+  Topology T;
+  EXPECT_EQ(T.sockets(), 4u);
+  EXPECT_EQ(T.coresPerSocket(), 6u);
+  EXPECT_EQ(T.totalCores(), 24u);
+}
+
+TEST(Topology, SocketMapping) {
+  Topology T(4, 6);
+  EXPECT_EQ(T.socketOf(0), 0u);
+  EXPECT_EQ(T.socketOf(5), 0u);
+  EXPECT_EQ(T.socketOf(6), 1u);
+  EXPECT_EQ(T.socketOf(23), 3u);
+  EXPECT_TRUE(T.sameSocket(0, 5));
+  EXPECT_FALSE(T.sameSocket(5, 6));
+}
+
+TEST(Topology, CommCostTiers) {
+  Topology T(2, 4, 3.0);
+  EXPECT_DOUBLE_EQ(T.commCost(1, 1), 0.0); // same core
+  EXPECT_DOUBLE_EQ(T.commCost(0, 3), 1.0); // same socket
+  EXPECT_DOUBLE_EQ(T.commCost(0, 4), 3.0); // cross socket
+  EXPECT_DOUBLE_EQ(T.commCost(4, 0), 3.0); // symmetric
+}
+
+TEST(Placement, PartitionedGivesEverySocketASliceOfEveryStage) {
+  Topology T(4, 6);
+  const Placement P = placePartitioned(T, {4, 8, 8, 4});
+  EXPECT_EQ(P.totalReplicas(), 24u);
+  for (const auto &Stage : P.Cores) {
+    std::set<unsigned> Sockets;
+    for (unsigned Core : Stage)
+      Sockets.insert(T.socketOf(Core));
+    EXPECT_EQ(Sockets.size(), 4u);
+  }
+}
+
+TEST(Placement, StripedSpreadsAcrossSockets) {
+  Topology T(4, 6);
+  const Placement P = placeStriped(T, {4, 4});
+  for (const auto &Stage : P.Cores) {
+    std::set<unsigned> Sockets;
+    for (unsigned Core : Stage)
+      Sockets.insert(T.socketOf(Core));
+    EXPECT_EQ(Sockets.size(), 4u);
+  }
+}
+
+TEST(Placement, ContiguousFillsCoresInOrder) {
+  Topology T(4, 6);
+  const Placement P = placeContiguous(T, {1, 6, 6, 5, 5, 1});
+  EXPECT_EQ(P.totalReplicas(), 24u);
+  EXPECT_EQ(P.Cores[0][0], 0u);
+  EXPECT_EQ(P.Cores[1].front(), 1u);
+  for (const auto &Stage : P.Cores)
+    for (unsigned Core : Stage)
+      EXPECT_LT(Core, T.totalCores());
+}
+
+TEST(Placement, OversizedExtentsWrap) {
+  Topology T(2, 2);
+  for (const Placement &P :
+       {placePartitioned(T, {3, 3}), placeStriped(T, {3, 3}),
+        placeContiguous(T, {3, 3})}) {
+    EXPECT_EQ(P.totalReplicas(), 6u);
+    for (const auto &Stage : P.Cores)
+      for (unsigned Core : Stage)
+        EXPECT_LT(Core, 4u);
+  }
+}
+
+TEST(Placement, HandoffCostUniformRouting) {
+  Topology T(2, 2, 5.0);
+  Placement P;
+  P.Cores = {{0}, {1}};
+  EXPECT_DOUBLE_EQ(stageHandoffCost(T, P, 0), 1.0);
+  P.Cores = {{0}, {2}};
+  EXPECT_DOUBLE_EQ(stageHandoffCost(T, P, 0), 5.0);
+  P.Cores = {{0}, {0, 2}}; // mean of 0 and 5
+  EXPECT_DOUBLE_EQ(stageHandoffCost(T, P, 0), 2.5);
+}
+
+TEST(Placement, HandoffCostLocalityRouting) {
+  Topology T(2, 2, 5.0);
+  Placement P;
+  // Producers and consumers evenly split over both sockets: locality
+  // routing keeps everything on-socket.
+  P.Cores = {{0, 2}, {1, 3}};
+  EXPECT_DOUBLE_EQ(
+      stageHandoffCost(T, P, 0, RoutingPolicy::LocalityPreferring), 1.0);
+  // All production on socket 0, all consumption on socket 1: every item
+  // must cross.
+  P.Cores = {{0, 1}, {2, 3}};
+  EXPECT_DOUBLE_EQ(
+      stageHandoffCost(T, P, 0, RoutingPolicy::LocalityPreferring), 5.0);
+  // Half the items can stay local, and the local half is cheap: the
+  // producer on core 2 can hand off to the consumer on the same core
+  // (cost 0) or its socket peer (cost 1), mean 0.5. Total:
+  // 0.5 * 0.5 + 0.5 * 5 = 2.75.
+  P.Cores = {{0, 2}, {2, 3}};
+  EXPECT_DOUBLE_EQ(
+      stageHandoffCost(T, P, 0, RoutingPolicy::LocalityPreferring), 2.75);
+}
+
+TEST(Placement, PartitionedLocalityBeatsObliviousStriping) {
+  Topology T(4, 6, 3.0);
+  const std::vector<unsigned> Extents = {1, 6, 6, 5, 5, 1};
+  const double Local =
+      meanCommCost(T, placePartitioned(T, Extents),
+                   RoutingPolicy::LocalityPreferring);
+  const double Oblivious =
+      meanCommCost(T, placeStriped(T, Extents), RoutingPolicy::Uniform);
+  EXPECT_LT(Local, Oblivious * 0.8);
+}
+
+TEST(Placement, SimThroughputPrefersLocalityAwarePlacement) {
+  PipelineAppModel App = makeFerretApp();
+  PipelineSimOptions Opts;
+  Opts.Contexts = 24;
+  Opts.Seed = 3;
+  Opts.NumItems = 600;
+  Opts.CommSecondsPerHop = 0.3; // hand-offs matter
+  Opts.Place = PlacementPolicy::LocalityAware;
+  PipelineSim Local(App, Opts);
+  const double LocalTput =
+      Local.run(nullptr, {1, 2, 14, 2, 4, 1}).Throughput;
+
+  Opts.Place = PlacementPolicy::Oblivious;
+  PipelineSim Striped(App, Opts);
+  const double StripedTput =
+      Striped.run(nullptr, {1, 2, 14, 2, 4, 1}).Throughput;
+  EXPECT_GT(LocalTput, StripedTput * 1.02);
+}
+
+TEST(Placement, NonePolicyAddsNoOverhead) {
+  PipelineAppModel App = makeFerretApp();
+  PipelineSimOptions Base;
+  Base.Contexts = 24;
+  Base.Seed = 3;
+  Base.NumItems = 400;
+  PipelineSim NoComm(App, Base);
+  const double Plain = NoComm.run(nullptr, {1, 6, 6, 5, 5, 1}).Throughput;
+
+  PipelineSimOptions WithPolicy = Base;
+  WithPolicy.Place = PlacementPolicy::LocalityAware;
+  WithPolicy.CommSecondsPerHop = 0.0; // disabled by zero cost
+  PipelineSim ZeroCost(App, WithPolicy);
+  EXPECT_DOUBLE_EQ(ZeroCost.run(nullptr, {1, 6, 6, 5, 5, 1}).Throughput,
+                   Plain);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+//===- tests/ProportionalGoalTest.cpp - Fig.10 mechanism and goals ----------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/Goal.h"
+#include "mechanisms/Proportional.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+using namespace dope::testing_helpers;
+
+namespace {
+
+TEST(Proportional, AssignsByExecutionTime) {
+  // A flat region of two parallel tasks with 3:1 execution times splits
+  // 24 threads 18:6 (paper Fig. 10: DoP proportional to exec time).
+  TaskGraph Graph;
+  TaskFn Dummy = dummyFn();
+  Task *A = Graph.createTask("a", Dummy, {}, Graph.parDescriptor());
+  Task *B = Graph.createTask("b", Dummy, {}, Graph.parDescriptor());
+  ParDescriptor *Root = Graph.createRegion({A, B});
+
+  RegionConfig Current;
+  Current.Tasks.resize(2);
+  RegionSnapshot Snap;
+  Snap.Tasks.resize(2);
+  Snap.Tasks[0].ExecTime = 3.0;
+  Snap.Tasks[0].Invocations = 10;
+  Snap.Tasks[1].ExecTime = 1.0;
+  Snap.Tasks[1].Invocations = 10;
+
+  ProportionalMechanism M;
+  MechanismContext Ctx;
+  Ctx.MaxThreads = 24;
+  std::optional<RegionConfig> Next =
+      M.reconfigure(*Root, Snap, Current, Ctx);
+  ASSERT_TRUE(Next.has_value());
+  EXPECT_EQ(Next->Tasks[0].Extent, 18u);
+  EXPECT_EQ(Next->Tasks[1].Extent, 6u);
+}
+
+TEST(Proportional, SequentialTasksPinned) {
+  TaskGraph Graph;
+  TaskFn Dummy = dummyFn();
+  Task *A = Graph.createTask("seq", Dummy, {}, Graph.seqDescriptor());
+  Task *B = Graph.createTask("par", Dummy, {}, Graph.parDescriptor());
+  ParDescriptor *Root = Graph.createRegion({A, B});
+
+  RegionConfig Current;
+  Current.Tasks.resize(2);
+  RegionSnapshot Snap;
+  Snap.Tasks.resize(2);
+  Snap.Tasks[0].ExecTime = 5.0;
+  Snap.Tasks[0].Invocations = 4;
+  Snap.Tasks[1].ExecTime = 5.0;
+  Snap.Tasks[1].Invocations = 4;
+
+  ProportionalMechanism M;
+  MechanismContext Ctx;
+  Ctx.MaxThreads = 10;
+  RegionConfig Next = *M.reconfigure(*Root, Snap, Current, Ctx);
+  EXPECT_EQ(Next.Tasks[0].Extent, 1u);
+  std::string Error;
+  EXPECT_TRUE(validateConfig(*Root, Next, &Error)) << Error;
+}
+
+TEST(Proportional, RecursesIntoActiveInner) {
+  ServerNestGraph G = makeServerNestGraph();
+  RegionConfig Current = defaultConfig(*G.Root);
+  RegionSnapshot Snap = makeServerSnapshot(G, 0.0, 1, 2);
+  Snap.Tasks[0].InnerAlternatives[0].Tasks[0].ExecTime = 1.0;
+  Snap.Tasks[0].InnerAlternatives[0].Tasks[0].Invocations = 5;
+
+  ProportionalMechanism M;
+  MechanismContext Ctx;
+  Ctx.MaxThreads = 8;
+  RegionConfig Next = *M.reconfigure(*G.Root, Snap, Current, Ctx);
+  ASSERT_EQ(Next.Tasks.size(), 1u);
+  // The driver's share flows into the inner region.
+  EXPECT_EQ(Next.Tasks[0].Extent, 1u);
+  ASSERT_EQ(Next.Tasks[0].Inner.size(), 1u);
+  EXPECT_EQ(Next.Tasks[0].Inner[0].Extent, 8u);
+  std::string Error;
+  EXPECT_TRUE(validateConfig(*G.Root, Next, &Error)) << Error;
+}
+
+TEST(Proportional, WaitsForWarmup) {
+  ServerNestGraph G = makeServerNestGraph();
+  RegionConfig Current = defaultConfig(*G.Root);
+  RegionSnapshot Snap = makeServerSnapshot(G, 0.0);
+  Snap.Tasks[0].Invocations = 0;
+  ProportionalMechanism M;
+  MechanismContext Ctx;
+  Ctx.MaxThreads = 8;
+  EXPECT_FALSE(M.reconfigure(*G.Root, Snap, Current, Ctx).has_value());
+}
+
+TEST(Goal, ObjectiveNames) {
+  EXPECT_EQ(toString(Objective::MinResponseTime), "MinResponseTime");
+  EXPECT_EQ(toString(Objective::MaxThroughput), "MaxThroughput");
+  EXPECT_EQ(toString(Objective::MaxThroughputPowerCapped),
+            "MaxThroughputPowerCapped");
+}
+
+TEST(Goal, DefaultMechanismPerObjective) {
+  PerformanceGoal G;
+  G.Obj = Objective::MinResponseTime;
+  EXPECT_EQ(makeDefaultMechanism(G)->name(), "WQ-Linear");
+  G.Obj = Objective::MaxThroughput;
+  EXPECT_EQ(makeDefaultMechanism(G)->name(), "TBF");
+  G.Obj = Objective::MaxThroughputPowerCapped;
+  EXPECT_EQ(makeDefaultMechanism(G)->name(), "TPC");
+}
+
+TEST(Goal, ResponseParamsForwarded) {
+  PerformanceGoal G;
+  G.Obj = Objective::MinResponseTime;
+  G.ResponseParams.MMax = 6;
+  G.ResponseParams.QMax = 10.0;
+  std::unique_ptr<Mechanism> M = makeDefaultMechanism(G);
+  auto *Wq = dynamic_cast<WqLinearMechanism *>(M.get());
+  ASSERT_NE(Wq, nullptr);
+  EXPECT_EQ(Wq->extentForOccupancy(0.0), 6u);
+}
+
+} // namespace

@@ -1,0 +1,221 @@
+//===- tests/QueueTest.cpp - Concurrent queue tests -------------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "queue/BoundedQueue.h"
+#include "queue/SpscRing.h"
+#include "queue/WorkQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+using namespace dope;
+
+namespace {
+
+TEST(WorkQueue, FifoOrder) {
+  WorkQueue<int> Q;
+  for (int I = 0; I != 5; ++I)
+    Q.push(I);
+  for (int I = 0; I != 5; ++I) {
+    auto Item = Q.tryPop();
+    ASSERT_TRUE(Item.has_value());
+    EXPECT_EQ(*Item, I);
+  }
+  EXPECT_FALSE(Q.tryPop().has_value());
+}
+
+TEST(WorkQueue, OccupancyTracksState) {
+  WorkQueue<int> Q;
+  EXPECT_EQ(Q.size(), 0u);
+  Q.push(1);
+  Q.push(2);
+  EXPECT_EQ(Q.size(), 2u);
+  Q.tryPop();
+  EXPECT_EQ(Q.size(), 1u);
+  EXPECT_EQ(Q.totalPushed(), 2u);
+  EXPECT_EQ(Q.totalPopped(), 1u);
+}
+
+TEST(WorkQueue, CloseReleasesBlockedConsumer) {
+  WorkQueue<int> Q;
+  std::atomic<bool> GotNull{false};
+  std::thread Consumer([&] {
+    auto Item = Q.waitAndPop();
+    GotNull.store(!Item.has_value());
+  });
+  // Give the consumer a chance to block, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Q.close();
+  Consumer.join();
+  EXPECT_TRUE(GotNull.load());
+}
+
+TEST(WorkQueue, CloseDrainsBacklogFirst) {
+  WorkQueue<int> Q;
+  Q.push(7);
+  Q.close();
+  auto First = Q.waitAndPop();
+  ASSERT_TRUE(First.has_value());
+  EXPECT_EQ(*First, 7);
+  EXPECT_FALSE(Q.waitAndPop().has_value());
+}
+
+TEST(WorkQueue, PushAfterCloseRejected) {
+  WorkQueue<int> Q;
+  Q.close();
+  EXPECT_FALSE(Q.push(1));
+  Q.reopen();
+  EXPECT_TRUE(Q.push(2));
+  EXPECT_TRUE(Q.tryPop().has_value());
+}
+
+TEST(WorkQueue, MpmcDeliversEverythingOnce) {
+  WorkQueue<int> Q;
+  constexpr int PerProducer = 5000;
+  constexpr int Producers = 3;
+  constexpr int Consumers = 3;
+  std::atomic<long long> Sum{0};
+  std::atomic<int> Count{0};
+
+  std::vector<std::thread> Threads;
+  for (int P = 0; P != Producers; ++P)
+    Threads.emplace_back([&, P] {
+      for (int I = 0; I != PerProducer; ++I)
+        Q.push(P * PerProducer + I);
+    });
+  for (int C = 0; C != Consumers; ++C)
+    Threads.emplace_back([&] {
+      for (;;) {
+        auto Item = Q.waitAndPop();
+        if (!Item)
+          return;
+        Sum.fetch_add(*Item);
+        Count.fetch_add(1);
+      }
+    });
+  for (int P = 0; P != Producers; ++P)
+    Threads[static_cast<size_t>(P)].join();
+  Q.close();
+  for (size_t T = Producers; T != Threads.size(); ++T)
+    Threads[T].join();
+
+  const long long N = PerProducer * Producers;
+  EXPECT_EQ(Count.load(), N);
+  EXPECT_EQ(Sum.load(), N * (N - 1) / 2);
+}
+
+TEST(BoundedQueue, CapacityEnforcedByTryPush) {
+  BoundedQueue<int> Q(2);
+  EXPECT_TRUE(Q.tryPush(1));
+  EXPECT_TRUE(Q.tryPush(2));
+  EXPECT_FALSE(Q.tryPush(3));
+  EXPECT_TRUE(Q.full());
+  Q.tryPop();
+  EXPECT_TRUE(Q.tryPush(3));
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace) {
+  BoundedQueue<int> Q(1);
+  ASSERT_TRUE(Q.push(1));
+  std::atomic<bool> Pushed{false};
+  std::thread Producer([&] {
+    Q.push(2);
+    Pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(Pushed.load());
+  EXPECT_EQ(*Q.waitAndPop(), 1);
+  Producer.join();
+  EXPECT_TRUE(Pushed.load());
+  EXPECT_EQ(*Q.waitAndPop(), 2);
+}
+
+TEST(BoundedQueue, CloseReleasesBlockedProducer) {
+  BoundedQueue<int> Q(1);
+  ASSERT_TRUE(Q.push(1));
+  std::atomic<bool> Returned{false};
+  std::atomic<bool> Result{true};
+  std::thread Producer([&] {
+    Result.store(Q.push(2));
+    Returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Q.close();
+  Producer.join();
+  EXPECT_TRUE(Returned.load());
+  EXPECT_FALSE(Result.load());
+}
+
+TEST(BoundedQueue, PipelineTransfersAllItems) {
+  BoundedQueue<int> Q(4);
+  constexpr int N = 20000;
+  long long Sum = 0;
+  std::thread Producer([&] {
+    for (int I = 0; I != N; ++I)
+      Q.push(I);
+    Q.close();
+  });
+  for (;;) {
+    auto Item = Q.waitAndPop();
+    if (!Item)
+      break;
+    Sum += *Item;
+  }
+  Producer.join();
+  EXPECT_EQ(Sum, static_cast<long long>(N) * (N - 1) / 2);
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> R(5);
+  EXPECT_EQ(R.capacity(), 8u);
+}
+
+TEST(SpscRing, PushPopOrder) {
+  SpscRing<int> R(4);
+  EXPECT_TRUE(R.push(1));
+  EXPECT_TRUE(R.push(2));
+  EXPECT_EQ(R.size(), 2u);
+  EXPECT_EQ(*R.pop(), 1);
+  EXPECT_EQ(*R.pop(), 2);
+  EXPECT_FALSE(R.pop().has_value());
+}
+
+TEST(SpscRing, FullRejectsPush) {
+  SpscRing<int> R(2);
+  EXPECT_TRUE(R.push(1));
+  EXPECT_TRUE(R.push(2));
+  EXPECT_FALSE(R.push(3));
+  R.pop();
+  EXPECT_TRUE(R.push(3));
+}
+
+TEST(SpscRing, TwoThreadStress) {
+  SpscRing<int> R(64);
+  // Modest N: on a single hardware context this test is a ping-pong of
+  // spin loops, so large counts burn wall clock without adding coverage.
+  constexpr int N = 20000;
+  long long Sum = 0;
+  std::thread Producer([&] {
+    for (int I = 0; I != N;) {
+      if (R.push(I))
+        ++I;
+    }
+  });
+  for (int Got = 0; Got != N;) {
+    if (auto Item = R.pop()) {
+      Sum += *Item;
+      ++Got;
+    }
+  }
+  Producer.join();
+  EXPECT_EQ(Sum, static_cast<long long>(N) * (N - 1) / 2);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===- tests/RandomTest.cpp - RNG unit tests --------------------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace dope;
+
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next() ? 1 : 0;
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng R(7);
+  for (int I = 0; I != 10000; ++I) {
+    const double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng R(11);
+  double Sum = 0.0;
+  const int N = 100000;
+  for (int I = 0; I != N; ++I)
+    Sum += R.uniform();
+  EXPECT_NEAR(Sum / N, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng R(5);
+  for (int I = 0; I != 1000; ++I) {
+    const double U = R.uniform(-3.0, 9.0);
+    EXPECT_GE(U, -3.0);
+    EXPECT_LT(U, 9.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng R(13);
+  int Counts[10] = {};
+  const int N = 100000;
+  for (int I = 0; I != N; ++I)
+    ++Counts[R.uniformInt(10)];
+  for (int C : Counts)
+    EXPECT_NEAR(static_cast<double>(C), N / 10.0, N / 10.0 * 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng R(17);
+  const double Rate = 4.0;
+  double Sum = 0.0;
+  const int N = 100000;
+  for (int I = 0; I != N; ++I) {
+    const double X = R.exponential(Rate);
+    EXPECT_GE(X, 0.0);
+    Sum += X;
+  }
+  EXPECT_NEAR(Sum / N, 1.0 / Rate, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng R(19);
+  const int N = 100000;
+  double Sum = 0.0, Sq = 0.0;
+  for (int I = 0; I != N; ++I) {
+    const double X = R.normal(5.0, 2.0);
+    Sum += X;
+    Sq += X * X;
+  }
+  const double Mean = Sum / N;
+  const double Var = Sq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(Var), 2.0, 0.05);
+}
+
+TEST(Rng, LogNormalMeanAndCv) {
+  Rng R(23);
+  const int N = 200000;
+  double Sum = 0.0, Sq = 0.0;
+  for (int I = 0; I != N; ++I) {
+    const double X = R.logNormal(3.0, 0.25);
+    EXPECT_GT(X, 0.0);
+    Sum += X;
+    Sq += X * X;
+  }
+  const double Mean = Sum / N;
+  const double Var = Sq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(Var) / Mean, 0.25, 0.02);
+}
+
+TEST(Rng, LogNormalZeroCvIsDeterministic) {
+  Rng R(29);
+  EXPECT_DOUBLE_EQ(R.logNormal(7.5, 0.0), 7.5);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng R(31);
+  for (double Mean : {0.5, 4.0, 20.0, 100.0}) {
+    double Sum = 0.0;
+    const int N = 50000;
+    for (int I = 0; I != N; ++I)
+      Sum += static_cast<double>(R.poisson(Mean));
+    EXPECT_NEAR(Sum / N, Mean, Mean * 0.05 + 0.05);
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng R(37);
+  EXPECT_EQ(R.poisson(0.0), 0u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng A(41);
+  Rng B = A.split();
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next() ? 1 : 0;
+  EXPECT_LT(Same, 4);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 SM(0);
+  const uint64_t First = SM.next();
+  SplitMix64 SM2(0);
+  EXPECT_EQ(SM2.next(), First);
+  EXPECT_NE(SM.next(), First);
+}
+
+} // namespace

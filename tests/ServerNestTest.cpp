@@ -1,0 +1,107 @@
+//===- tests/ServerNestTest.cpp - Server nest helper tests ------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/ServerNest.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+using namespace dope::testing_helpers;
+
+namespace {
+
+TEST(ServerNest, DetectsShape) {
+  ServerNestGraph G = makeServerNestGraph();
+  EXPECT_TRUE(isServerNest(*G.Root));
+
+  PipelineGraph Flat = makePipelineGraph({{"a", true}, {"b", true}});
+  // A driver-wrapped pipeline *is* a server nest shape (single task with
+  // inner alternatives); a multi-task root region is not.
+  EXPECT_TRUE(isServerNest(*Flat.Root));
+  const ParDescriptor *Stages = Flat.Driver->descriptor()->alternative(0);
+  EXPECT_FALSE(isServerNest(*Stages));
+}
+
+TEST(ServerNest, SequentialInnerDisablesAlternative) {
+  ServerNestGraph G = makeServerNestGraph();
+  const RegionConfig Config = makeServerConfig(*G.Root, 24, 1);
+  ASSERT_EQ(Config.Tasks.size(), 1u);
+  EXPECT_EQ(Config.Tasks[0].Extent, 24u);
+  EXPECT_EQ(Config.Tasks[0].AltIndex, -1);
+  EXPECT_TRUE(Config.Tasks[0].Inner.empty());
+  EXPECT_EQ(serverInnerExtent(Config), 1u);
+  EXPECT_EQ(serverOuterExtent(Config), 24u);
+}
+
+TEST(ServerNest, ParallelInnerActivatesAlternative) {
+  ServerNestGraph G = makeServerNestGraph();
+  const RegionConfig Config = makeServerConfig(*G.Root, 3, 8);
+  EXPECT_EQ(Config.Tasks[0].Extent, 3u);
+  EXPECT_EQ(Config.Tasks[0].AltIndex, 0);
+  ASSERT_EQ(Config.Tasks[0].Inner.size(), 1u);
+  EXPECT_EQ(Config.Tasks[0].Inner[0].Extent, 8u);
+  EXPECT_EQ(serverInnerExtent(Config), 8u);
+  EXPECT_EQ(totalThreads(*G.Root, Config), 24u);
+}
+
+TEST(ServerNest, InnerPipelineDistribution) {
+  // Inner region read(SEQ) -> transform(PAR) -> write(SEQ): an inner
+  // extent of 8 gives the sequential stages one thread each and the
+  // parallel stage the remaining six.
+  TaskGraph Graph;
+  TaskFn Dummy = dummyFn();
+  Task *Read = Graph.createTask("read", Dummy, {}, Graph.seqDescriptor());
+  Task *Transform =
+      Graph.createTask("transform", Dummy, {}, Graph.parDescriptor());
+  Task *Write = Graph.createTask("write", Dummy, {}, Graph.seqDescriptor());
+  ParDescriptor *Inner = Graph.createRegion({Read, Transform, Write});
+  Task *Outer = Graph.createTask(
+      "transcode", Dummy, {},
+      Graph.createDescriptor(TaskKind::Parallel, {Inner}));
+  ParDescriptor *Root = Graph.createRegion({Outer});
+
+  const RegionConfig Config = makeServerConfig(*Root, 3, 8);
+  ASSERT_EQ(Config.Tasks[0].Inner.size(), 3u);
+  EXPECT_EQ(Config.Tasks[0].Inner[0].Extent, 1u);
+  EXPECT_EQ(Config.Tasks[0].Inner[1].Extent, 6u);
+  EXPECT_EQ(Config.Tasks[0].Inner[2].Extent, 1u);
+  EXPECT_EQ(serverInnerExtent(Config), 8u);
+  EXPECT_EQ(totalThreads(*Root, Config), 24u);
+
+  std::string Error;
+  EXPECT_TRUE(validateConfig(*Root, Config, &Error)) << Error;
+}
+
+TEST(ServerNest, TinyInnerBudgetStillValid) {
+  TaskGraph Graph;
+  TaskFn Dummy = dummyFn();
+  Task *A = Graph.createTask("a", Dummy, {}, Graph.seqDescriptor());
+  Task *B = Graph.createTask("b", Dummy, {}, Graph.parDescriptor());
+  ParDescriptor *Inner = Graph.createRegion({A, B});
+  Task *Outer = Graph.createTask(
+      "outer", Dummy, {},
+      Graph.createDescriptor(TaskKind::Parallel, {Inner}));
+  ParDescriptor *Root = Graph.createRegion({Outer});
+
+  // Inner extent 2 with one seq and one par stage: both get one thread.
+  const RegionConfig Config = makeServerConfig(*Root, 12, 2);
+  EXPECT_EQ(Config.Tasks[0].Inner[0].Extent, 1u);
+  EXPECT_EQ(Config.Tasks[0].Inner[1].Extent, 1u);
+  std::string Error;
+  EXPECT_TRUE(validateConfig(*Root, Config, &Error)) << Error;
+}
+
+TEST(ServerNest, OuterExtentFor) {
+  EXPECT_EQ(outerExtentFor(24, 1), 24u);
+  EXPECT_EQ(outerExtentFor(24, 8), 3u);
+  EXPECT_EQ(outerExtentFor(24, 5), 4u);
+  EXPECT_EQ(outerExtentFor(24, 48), 1u); // never zero
+}
+
+} // namespace

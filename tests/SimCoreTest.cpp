@@ -1,0 +1,160 @@
+//===- tests/SimCoreTest.cpp - Event queue / curves / power tests -----------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/EventQueue.h"
+#include "sim/PowerModel.h"
+#include "support/SpeedupCurve.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace dope;
+
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue Q;
+  std::vector<int> Order;
+  Q.scheduleAt(2.0, [&] { Order.push_back(2); });
+  Q.scheduleAt(1.0, [&] { Order.push_back(1); });
+  Q.scheduleAt(3.0, [&] { Order.push_back(3); });
+  Q.runUntil(10.0);
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(Q.now(), 10.0);
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue Q;
+  std::vector<int> Order;
+  for (int I = 0; I != 5; ++I)
+    Q.scheduleAt(1.0, [&Order, I] { Order.push_back(I); });
+  Q.runUntil(2.0);
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue Q;
+  int Count = 0;
+  std::function<void()> Chain = [&] {
+    if (++Count < 5)
+      Q.scheduleAfter(1.0, Chain);
+  };
+  Q.scheduleAfter(1.0, Chain);
+  Q.runUntil(100.0);
+  EXPECT_EQ(Count, 5);
+  EXPECT_TRUE(Q.empty());
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue Q;
+  bool Fired = false;
+  const EventId Id = Q.scheduleAt(1.0, [&] { Fired = true; });
+  Q.cancel(Id);
+  Q.runUntil(5.0);
+  EXPECT_FALSE(Fired);
+  EXPECT_TRUE(Q.empty());
+}
+
+TEST(EventQueue, CancelUnknownIsNoop) {
+  EventQueue Q;
+  Q.cancel(0);
+  Q.cancel(999);
+  EXPECT_TRUE(Q.empty());
+}
+
+TEST(EventQueue, StepStopsAtBoundary) {
+  EventQueue Q;
+  int Count = 0;
+  Q.scheduleAt(1.0, [&] { ++Count; });
+  Q.scheduleAt(5.0, [&] { ++Count; });
+  EXPECT_TRUE(Q.step(2.0));
+  EXPECT_FALSE(Q.step(2.0)); // next event is beyond the bound
+  EXPECT_EQ(Count, 1);
+  EXPECT_EQ(Q.pendingEvents(), 1u);
+}
+
+TEST(EventQueue, NowAdvancesToEventTimes) {
+  EventQueue Q;
+  double Seen = -1.0;
+  Q.scheduleAt(4.5, [&] { Seen = Q.now(); });
+  Q.runUntil(10.0);
+  EXPECT_DOUBLE_EQ(Seen, 4.5);
+}
+
+TEST(SpeedupCurve, UnitAtOne) {
+  SpeedupCurve C(0.1, 0.5, 8.0);
+  EXPECT_DOUBLE_EQ(C.speedup(1), 1.0);
+}
+
+TEST(SpeedupCurve, LinearOverheadForm) {
+  SpeedupCurve C(0.1, 0.0);
+  // S(11) = 11 / (1 + 0.1 * 10) = 5.5.
+  EXPECT_NEAR(C.speedup(11), 5.5, 1e-12);
+}
+
+TEST(SpeedupCurve, CapApplies) {
+  SpeedupCurve C(0.0, 0.0, 4.0);
+  EXPECT_DOUBLE_EQ(C.speedup(16), 4.0);
+}
+
+TEST(SpeedupCurve, FixedCostSuppressesSmallExtents) {
+  // bzip-like: no speedup below extent 4 (Table 4 DoPmin).
+  SpeedupCurve C(0.3, 1.4, 8.0);
+  EXPECT_LT(C.speedup(2), 1.0);
+  EXPECT_LE(C.speedup(3), 1.0);
+  EXPECT_GT(C.speedup(4), 1.0);
+  EXPECT_EQ(C.dopMin(), 4u);
+}
+
+TEST(SpeedupCurve, X264Calibration) {
+  // Sec. 2: maximum Texec improvement 6.3x at 8 threads per video.
+  SpeedupCurve C(0.033, 0.0, 6.3);
+  EXPECT_NEAR(C.speedup(8), 6.3, 0.05);
+  EXPECT_EQ(C.bestExtent(), 8u);
+  EXPECT_LT(C.speedup(7), C.speedup(8));
+}
+
+TEST(SpeedupCurve, MmaxEfficiencyKnee) {
+  SpeedupCurve C(0.0, 0.0, 6.0);
+  // Efficiency 6/m >= 0.5 up to m = 12.
+  EXPECT_EQ(C.mmax(0.5), 12u);
+  EXPECT_DOUBLE_EQ(C.efficiency(12), 0.5);
+}
+
+TEST(SpeedupCurve, DopMinZeroWhenNeverFaster) {
+  SpeedupCurve C(1.0, 5.0, 2.0);
+  EXPECT_EQ(C.dopMin(8), 0u);
+}
+
+TEST(PowerModel, PaperCalibration) {
+  // Sec. 8.2.3: 90% of peak total power == 60% of the dynamic CPU range.
+  PowerModel P(24, 450.0, 6.25);
+  EXPECT_DOUBLE_EQ(P.peakWatts(), 600.0);
+  EXPECT_DOUBLE_EQ(P.idleWatts(), 450.0);
+  const double Target = 0.9 * P.peakWatts();
+  const double DynamicFraction =
+      (Target - P.idleWatts()) / (P.peakWatts() - P.idleWatts());
+  EXPECT_NEAR(DynamicFraction, 0.6, 1e-12);
+}
+
+TEST(PowerModel, ClampsActiveCores) {
+  PowerModel P(24, 450.0, 6.25);
+  EXPECT_DOUBLE_EQ(P.watts(0.0), 450.0);
+  EXPECT_DOUBLE_EQ(P.watts(24.0), 600.0);
+  EXPECT_DOUBLE_EQ(P.watts(98.0), 600.0); // oversubscription adds nothing
+  EXPECT_DOUBLE_EQ(P.watts(-3.0), 450.0);
+}
+
+TEST(PowerModel, InverseMapping) {
+  PowerModel P(24, 450.0, 6.25);
+  EXPECT_NEAR(P.coresForWatts(540.0), 14.4, 1e-12);
+  EXPECT_DOUBLE_EQ(P.coresForWatts(1000.0), 24.0);
+  EXPECT_DOUBLE_EQ(P.coresForWatts(100.0), 0.0);
+}
+
+} // namespace

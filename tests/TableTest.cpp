@@ -1,0 +1,59 @@
+//===- tests/TableTest.cpp - Table rendering tests --------------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+
+namespace {
+
+TEST(Table, TextAlignsColumns) {
+  Table T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer-name", "22"});
+  const std::string Out = T.renderText();
+  // Header, rule, two rows.
+  EXPECT_NE(Out.find("name         value"), std::string::npos);
+  EXPECT_NE(Out.find("longer-name  22"), std::string::npos);
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(Table, RowAccess) {
+  Table T({"a"});
+  T.addRow({"1"});
+  T.addRow({"2"});
+  EXPECT_EQ(T.rowCount(), 2u);
+  EXPECT_EQ(T.columnCount(), 1u);
+  EXPECT_EQ(T.row(1)[0], "2");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table T({"a", "b"});
+  T.addRow({"plain", "with,comma"});
+  T.addRow({"with\"quote", "ok"});
+  const std::string Csv = T.renderCsv();
+  EXPECT_NE(Csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(Csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(Csv.find("a,b\n"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::formatDouble(2.0, 0), "2");
+  EXPECT_EQ(Table::formatInt(-42), "-42");
+}
+
+TEST(Table, EmptyTableRendersHeaderOnly) {
+  Table T({"only"});
+  const std::string Out = T.renderText();
+  EXPECT_NE(Out.find("only"), std::string::npos);
+  EXPECT_EQ(T.rowCount(), 0u);
+}
+
+} // namespace

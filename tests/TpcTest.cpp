@@ -1,0 +1,187 @@
+//===- tests/TpcTest.cpp - Throughput Power Controller tests ----------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/Tpc.h"
+
+#include "core/FeatureRegistry.h"
+#include "sim/PowerModel.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+using namespace dope::testing_helpers;
+
+namespace {
+
+/// Drives TPC against an analytical plant: stage service times are fixed,
+/// throughput is the bottleneck capacity, and power follows the
+/// PowerModel with "active cores" equal to the useful demand.
+class TpcPlant {
+public:
+  TpcPlant()
+      : G(makePipelineGraph({{"load", false},
+                             {"work1", true},
+                             {"work2", true},
+                             {"out", false}})),
+        Service({0.05, 2.0, 1.0, 0.05}), Power(24, 450.0, 6.25) {
+    Registry.registerFeature("SystemPower",
+                             [this] { return CurrentPower; });
+  }
+
+  /// One decision round; returns the extents TPC chose.
+  std::vector<unsigned> step(TpcMechanism &M, double BudgetWatts) {
+    RegionConfig Config = makeConfig();
+    RegionSnapshot Snap = makeSnapshot();
+
+    MechanismContext Ctx;
+    Ctx.MaxThreads = 24;
+    Ctx.PowerBudgetWatts = BudgetWatts;
+    Ctx.Features = &Registry;
+    Ctx.NowSeconds = Now;
+    Now += 1.0;
+
+    std::optional<RegionConfig> Next =
+        M.reconfigure(*G.Root, Snap, Config, Ctx);
+    if (Next) {
+      Extents.clear();
+      for (const TaskConfig &TC : Next->Tasks.front().Inner)
+        Extents.push_back(TC.Extent);
+    }
+    updatePlant();
+    return Extents;
+  }
+
+  double throughput() const {
+    double Min = 1e300;
+    for (size_t I = 0; I != Service.size(); ++I)
+      Min = std::min(Min, Extents[I] / Service[I]);
+    return Min;
+  }
+
+  unsigned totalExtent() const {
+    unsigned Total = 0;
+    for (unsigned E : Extents)
+      Total += E;
+    return Total;
+  }
+
+  double currentPower() const { return CurrentPower; }
+
+private:
+  RegionConfig makeConfig() const {
+    TaskConfig Driver;
+    Driver.Extent = 1;
+    Driver.AltIndex = 0;
+    for (unsigned E : Extents) {
+      TaskConfig TC;
+      TC.Extent = E;
+      Driver.Inner.push_back(TC);
+    }
+    RegionConfig Config;
+    Config.Tasks.push_back(Driver);
+    return Config;
+  }
+
+  RegionSnapshot makeSnapshot() const {
+    std::vector<StageMetricsSpec> Metrics;
+    for (size_t I = 0; I != Service.size(); ++I)
+      Metrics.push_back({Service[I], 4.0, 25});
+    return makePipelineSnapshot(G, makeConfig(), Metrics);
+  }
+
+  void updatePlant() {
+    // Busy cores: the pipeline only keeps threads busy up to the work
+    // the bottleneck admits (t * sum(s_i) core-seconds per second).
+    const double T = throughput();
+    double TotalService = 0.0;
+    for (double S : Service)
+      TotalService += S;
+    const double Busy =
+        std::min(static_cast<double>(totalExtent()), T * TotalService);
+    CurrentPower = Power.watts(Busy);
+  }
+
+public:
+  PipelineGraph G;
+  std::vector<unsigned> Extents{1, 1, 1, 1};
+  std::vector<double> Service;
+  PowerModel Power;
+  FeatureRegistry Registry;
+  double CurrentPower = 450.0;
+  double Now = 0.0;
+};
+
+TEST(Tpc, InitializesAllExtentsToOne) {
+  TpcPlant Plant;
+  Plant.Extents = {1, 9, 9, 1};
+  TpcMechanism M;
+  const std::vector<unsigned> E = Plant.step(M, 600.0);
+  EXPECT_EQ(E, (std::vector<unsigned>{1, 1, 1, 1}));
+  EXPECT_EQ(M.phase(), TpcMechanism::Phase::Ramp);
+}
+
+TEST(Tpc, RampsUntilPowerBudget) {
+  TpcPlant Plant;
+  TpcMechanism M;
+  const double Budget = 0.9 * Plant.Power.peakWatts(); // 540 W
+  for (int I = 0; I != 60; ++I)
+    Plant.step(M, Budget);
+  // Stabilizes under (or at) the budget...
+  EXPECT_LE(Plant.currentPower(), Budget + Plant.Power.watts(1) -
+                                      Plant.Power.idleWatts() + 1e-9);
+  // ...while using most of it: at least 10 busy cores' worth over idle.
+  EXPECT_GT(Plant.currentPower(), Plant.Power.idleWatts() + 60.0);
+  EXPECT_EQ(M.phase(), TpcMechanism::Phase::Stable);
+}
+
+TEST(Tpc, UnconstrainedRampStopsAtThreadBudget) {
+  TpcPlant Plant;
+  TpcMechanism M;
+  for (int I = 0; I != 80; ++I)
+    Plant.step(M, /*BudgetWatts=*/0.0);
+  EXPECT_LE(Plant.totalExtent(), 24u);
+  EXPECT_GE(Plant.totalExtent(), 20u);
+}
+
+TEST(Tpc, GrowsTheBottleneckFirst) {
+  TpcPlant Plant;
+  TpcMechanism M;
+  Plant.step(M, 600.0); // init -> all ones
+  const std::vector<unsigned> E = Plant.step(M, 600.0);
+  // work1 (2.0 s) is the bottleneck at 1/2 = 0.5 items/s.
+  EXPECT_EQ(E[1], 2u);
+  EXPECT_EQ(E[2], 1u);
+}
+
+TEST(Tpc, ShedsThreadsOnOvershootInStable) {
+  TpcPlant Plant;
+  TpcMechanism M;
+  const double Budget = 0.9 * Plant.Power.peakWatts();
+  for (int I = 0; I != 60; ++I)
+    Plant.step(M, Budget);
+  ASSERT_EQ(M.phase(), TpcMechanism::Phase::Stable);
+  const unsigned Before = Plant.totalExtent();
+  // Tighten the budget sharply: the controller must shed threads.
+  for (int I = 0; I != 20; ++I)
+    Plant.step(M, Budget - 40.0);
+  EXPECT_LT(Plant.totalExtent(), Before);
+}
+
+TEST(Tpc, ResetRestartsFromInit) {
+  TpcPlant Plant;
+  TpcMechanism M;
+  for (int I = 0; I != 10; ++I)
+    Plant.step(M, 600.0);
+  M.reset();
+  EXPECT_EQ(M.phase(), TpcMechanism::Phase::Init);
+  const std::vector<unsigned> E = Plant.step(M, 600.0);
+  EXPECT_EQ(E, (std::vector<unsigned>{1, 1, 1, 1}));
+}
+
+} // namespace

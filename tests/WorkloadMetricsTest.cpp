@@ -1,0 +1,162 @@
+//===- tests/WorkloadMetricsTest.cpp - Workload and metrics tests -----------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/ResponseStats.h"
+#include "metrics/TimeSeries.h"
+#include "workload/Arrivals.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+
+namespace {
+
+TEST(PoissonProcess, ArrivalsMonotonic) {
+  PoissonProcess P(5.0, 1);
+  double Last = 0.0;
+  for (int I = 0; I != 1000; ++I) {
+    const double T = P.nextArrival();
+    EXPECT_GT(T, Last);
+    Last = T;
+  }
+  EXPECT_DOUBLE_EQ(P.lastArrival(), Last);
+}
+
+TEST(PoissonProcess, MeanRateMatches) {
+  PoissonProcess P(4.0, 7);
+  const int N = 40000;
+  double Last = 0.0;
+  for (int I = 0; I != N; ++I)
+    Last = P.nextArrival();
+  EXPECT_NEAR(static_cast<double>(N) / Last, 4.0, 0.1);
+}
+
+TEST(PoissonProcess, DeterministicForSeed) {
+  PoissonProcess A(2.0, 99), B(2.0, 99);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_DOUBLE_EQ(A.nextArrival(), B.nextArrival());
+}
+
+TEST(PoissonProcess, SetRateChangesGapScale) {
+  PoissonProcess P(1.0, 3);
+  P.setRate(100.0);
+  double Last = 0.0;
+  const int N = 5000;
+  for (int I = 0; I != N; ++I)
+    Last = P.nextArrival();
+  EXPECT_NEAR(static_cast<double>(N) / Last, 100.0, 5.0);
+}
+
+TEST(LoadTrace, PhasesAndLookup) {
+  LoadTrace Trace;
+  Trace.addPhase(0.2, 10.0);
+  Trace.addPhase(0.9, 5.0);
+  EXPECT_DOUBLE_EQ(Trace.loadFactorAt(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(Trace.loadFactorAt(9.99), 0.2);
+  EXPECT_DOUBLE_EQ(Trace.loadFactorAt(10.0), 0.9);
+  // The last phase extends forever.
+  EXPECT_DOUBLE_EQ(Trace.loadFactorAt(1000.0), 0.9);
+  EXPECT_DOUBLE_EQ(Trace.totalDuration(), 15.0);
+  EXPECT_EQ(Trace.phaseCount(), 2u);
+}
+
+TEST(LoadTrace, EmptyIsZero) {
+  LoadTrace Trace;
+  EXPECT_DOUBLE_EQ(Trace.loadFactorAt(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(Trace.totalDuration(), 0.0);
+}
+
+TEST(LoadTrace, StepPattern) {
+  LoadTrace Trace = LoadTrace::makeStepPattern(0.2, 0.9, 10.0, 3);
+  EXPECT_EQ(Trace.phaseCount(), 6u);
+  EXPECT_DOUBLE_EQ(Trace.loadFactorAt(5.0), 0.2);
+  EXPECT_DOUBLE_EQ(Trace.loadFactorAt(15.0), 0.9);
+  EXPECT_DOUBLE_EQ(Trace.loadFactorAt(25.0), 0.2);
+  EXPECT_DOUBLE_EQ(Trace.totalDuration(), 60.0);
+}
+
+TEST(ResponseStats, DecomposesWaitAndExec) {
+  ResponseStats S;
+  S.recordTransaction(0.0, 2.0, 5.0);
+  S.recordTransaction(1.0, 1.0, 4.0);
+  EXPECT_EQ(S.count(), 2u);
+  EXPECT_DOUBLE_EQ(S.meanResponseTime(), 4.0); // (5 + 3) / 2
+  EXPECT_DOUBLE_EQ(S.meanWaitTime(), 1.0);     // (2 + 0) / 2
+  EXPECT_DOUBLE_EQ(S.meanExecTime(), 3.0);     // (3 + 3) / 2
+  EXPECT_DOUBLE_EQ(S.maxResponseTime(), 5.0);
+}
+
+TEST(ResponseStats, ThroughputOverSpan) {
+  ResponseStats S;
+  S.recordTransaction(0.0, 0.0, 1.0);
+  S.recordTransaction(1.0, 1.0, 2.0);
+  S.recordTransaction(2.0, 2.0, 4.0);
+  // 3 transactions over [0, 4].
+  EXPECT_DOUBLE_EQ(S.throughput(), 0.75);
+}
+
+TEST(ResponseStats, PercentilesAndReset) {
+  ResponseStats S;
+  for (int I = 1; I <= 100; ++I)
+    S.recordTransaction(0.0, 0.0, static_cast<double>(I));
+  EXPECT_NEAR(S.responsePercentile(0.5), 50.5, 0.01);
+  S.reset();
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.throughput(), 0.0);
+}
+
+TEST(TimeSeries, MeanOverWindow) {
+  TimeSeries S("test");
+  S.addPoint(0.0, 1.0);
+  S.addPoint(1.0, 3.0);
+  S.addPoint(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(S.meanOver(0.0, 2.0), 2.0); // excludes t=2
+  EXPECT_DOUBLE_EQ(S.meanOver(0.5, 3.0), 4.0);
+  EXPECT_DOUBLE_EQ(S.meanOver(10.0, 20.0), 0.0);
+}
+
+TEST(TimeSeries, ResampleFillsGapsWithPrevious) {
+  TimeSeries S;
+  S.addPoint(0.5, 2.0);
+  S.addPoint(3.5, 6.0);
+  TimeSeries R = S.resample(0.0, 4.0, 1.0);
+  ASSERT_EQ(R.size(), 4u);
+  EXPECT_DOUBLE_EQ(R.point(0).Value, 2.0);
+  EXPECT_DOUBLE_EQ(R.point(1).Value, 2.0); // gap repeats previous
+  EXPECT_DOUBLE_EQ(R.point(2).Value, 2.0);
+  EXPECT_DOUBLE_EQ(R.point(3).Value, 6.0);
+}
+
+TEST(RateTracker, CountsPerWindow) {
+  RateTracker R(1.0);
+  R.recordEvent(0.1);
+  R.recordEvent(0.2);
+  R.recordEvent(1.5);
+  R.finish(3.0);
+  const TimeSeries &S = R.series();
+  ASSERT_EQ(S.size(), 3u);
+  EXPECT_DOUBLE_EQ(S.point(0).Value, 2.0); // [0,1): two events
+  EXPECT_DOUBLE_EQ(S.point(1).Value, 1.0); // [1,2): one
+  EXPECT_DOUBLE_EQ(S.point(2).Value, 0.0); // [2,3): none
+}
+
+TEST(RateTracker, EmptyFinishIsSafe) {
+  RateTracker R(1.0);
+  R.finish(10.0);
+  EXPECT_TRUE(R.series().empty());
+}
+
+TEST(RateTracker, WindowWidthScalesRate) {
+  RateTracker R(0.5);
+  R.recordEvent(0.1);
+  R.recordEvent(0.2);
+  R.finish(0.5);
+  ASSERT_EQ(R.series().size(), 1u);
+  EXPECT_DOUBLE_EQ(R.series().point(0).Value, 4.0); // 2 events / 0.5 s
+}
+
+} // namespace
