@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_goals.dir/ext_goals.cpp.o"
+  "CMakeFiles/ext_goals.dir/ext_goals.cpp.o.d"
+  "ext_goals"
+  "ext_goals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_goals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

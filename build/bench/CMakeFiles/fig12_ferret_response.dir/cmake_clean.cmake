@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ferret_response.dir/fig12_ferret_response.cpp.o"
+  "CMakeFiles/fig12_ferret_response.dir/fig12_ferret_response.cpp.o.d"
+  "fig12_ferret_response"
+  "fig12_ferret_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ferret_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ferret_search.dir/fig13_ferret_search.cpp.o"
+  "CMakeFiles/fig13_ferret_search.dir/fig13_ferret_search.cpp.o.d"
+  "fig13_ferret_search"
+  "fig13_ferret_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ferret_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

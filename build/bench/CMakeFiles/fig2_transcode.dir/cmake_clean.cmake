@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_transcode.dir/fig2_transcode.cpp.o"
+  "CMakeFiles/fig2_transcode.dir/fig2_transcode.cpp.o.d"
+  "fig2_transcode"
+  "fig2_transcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_transcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

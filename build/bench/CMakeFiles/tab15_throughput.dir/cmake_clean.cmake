@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab15_throughput.dir/tab15_throughput.cpp.o"
+  "CMakeFiles/tab15_throughput.dir/tab15_throughput.cpp.o.d"
+  "tab15_throughput"
+  "tab15_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab15_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_mechanism_loc.dir/tab3_mechanism_loc.cpp.o"
+  "CMakeFiles/tab3_mechanism_loc.dir/tab3_mechanism_loc.cpp.o.d"
+  "tab3_mechanism_loc"
+  "tab3_mechanism_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_mechanism_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

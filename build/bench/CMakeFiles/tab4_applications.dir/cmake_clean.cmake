@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_applications.dir/tab4_applications.cpp.o"
+  "CMakeFiles/tab4_applications.dir/tab4_applications.cpp.o.d"
+  "tab4_applications"
+  "tab4_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

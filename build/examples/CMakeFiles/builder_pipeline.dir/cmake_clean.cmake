@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builder_pipeline.dir/builder_pipeline.cpp.o"
+  "CMakeFiles/builder_pipeline.dir/builder_pipeline.cpp.o.d"
+  "builder_pipeline"
+  "builder_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builder_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

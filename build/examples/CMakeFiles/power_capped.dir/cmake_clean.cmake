@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_capped.dir/power_capped.cpp.o"
+  "CMakeFiles/power_capped.dir/power_capped.cpp.o.d"
+  "power_capped"
+  "power_capped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_capped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transcode_server.dir/transcode_server.cpp.o"
+  "CMakeFiles/transcode_server.dir/transcode_server.cpp.o.d"
+  "transcode_server"
+  "transcode_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transcode_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

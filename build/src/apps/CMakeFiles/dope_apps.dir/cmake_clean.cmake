@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dope_apps.dir/AppRegistry.cpp.o"
+  "CMakeFiles/dope_apps.dir/AppRegistry.cpp.o.d"
+  "CMakeFiles/dope_apps.dir/NativeKernels.cpp.o"
+  "CMakeFiles/dope_apps.dir/NativeKernels.cpp.o.d"
+  "CMakeFiles/dope_apps.dir/NestApps.cpp.o"
+  "CMakeFiles/dope_apps.dir/NestApps.cpp.o.d"
+  "CMakeFiles/dope_apps.dir/PipelineApps.cpp.o"
+  "CMakeFiles/dope_apps.dir/PipelineApps.cpp.o.d"
+  "libdope_apps.a"
+  "libdope_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dope_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Config.cpp" "src/core/CMakeFiles/dope_core.dir/Config.cpp.o" "gcc" "src/core/CMakeFiles/dope_core.dir/Config.cpp.o.d"
+  "/root/repo/src/core/Dope.cpp" "src/core/CMakeFiles/dope_core.dir/Dope.cpp.o" "gcc" "src/core/CMakeFiles/dope_core.dir/Dope.cpp.o.d"
+  "/root/repo/src/core/FeatureRegistry.cpp" "src/core/CMakeFiles/dope_core.dir/FeatureRegistry.cpp.o" "gcc" "src/core/CMakeFiles/dope_core.dir/FeatureRegistry.cpp.o.d"
+  "/root/repo/src/core/Placement.cpp" "src/core/CMakeFiles/dope_core.dir/Placement.cpp.o" "gcc" "src/core/CMakeFiles/dope_core.dir/Placement.cpp.o.d"
+  "/root/repo/src/core/Task.cpp" "src/core/CMakeFiles/dope_core.dir/Task.cpp.o" "gcc" "src/core/CMakeFiles/dope_core.dir/Task.cpp.o.d"
+  "/root/repo/src/core/ThreadPool.cpp" "src/core/CMakeFiles/dope_core.dir/ThreadPool.cpp.o" "gcc" "src/core/CMakeFiles/dope_core.dir/ThreadPool.cpp.o.d"
+  "/root/repo/src/core/Types.cpp" "src/core/CMakeFiles/dope_core.dir/Types.cpp.o" "gcc" "src/core/CMakeFiles/dope_core.dir/Types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

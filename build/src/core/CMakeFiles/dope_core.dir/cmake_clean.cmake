@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dope_core.dir/Config.cpp.o"
+  "CMakeFiles/dope_core.dir/Config.cpp.o.d"
+  "CMakeFiles/dope_core.dir/Dope.cpp.o"
+  "CMakeFiles/dope_core.dir/Dope.cpp.o.d"
+  "CMakeFiles/dope_core.dir/FeatureRegistry.cpp.o"
+  "CMakeFiles/dope_core.dir/FeatureRegistry.cpp.o.d"
+  "CMakeFiles/dope_core.dir/Placement.cpp.o"
+  "CMakeFiles/dope_core.dir/Placement.cpp.o.d"
+  "CMakeFiles/dope_core.dir/Task.cpp.o"
+  "CMakeFiles/dope_core.dir/Task.cpp.o.d"
+  "CMakeFiles/dope_core.dir/ThreadPool.cpp.o"
+  "CMakeFiles/dope_core.dir/ThreadPool.cpp.o.d"
+  "CMakeFiles/dope_core.dir/Types.cpp.o"
+  "CMakeFiles/dope_core.dir/Types.cpp.o.d"
+  "libdope_core.a"
+  "libdope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mechanisms/Dpm.cpp" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Dpm.cpp.o" "gcc" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Dpm.cpp.o.d"
+  "/root/repo/src/mechanisms/Edp.cpp" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Edp.cpp.o" "gcc" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Edp.cpp.o.d"
+  "/root/repo/src/mechanisms/Fdp.cpp" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Fdp.cpp.o" "gcc" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Fdp.cpp.o.d"
+  "/root/repo/src/mechanisms/Goal.cpp" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Goal.cpp.o" "gcc" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Goal.cpp.o.d"
+  "/root/repo/src/mechanisms/PipelineView.cpp" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/PipelineView.cpp.o" "gcc" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/PipelineView.cpp.o.d"
+  "/root/repo/src/mechanisms/Proportional.cpp" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Proportional.cpp.o" "gcc" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Proportional.cpp.o.d"
+  "/root/repo/src/mechanisms/Seda.cpp" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Seda.cpp.o" "gcc" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Seda.cpp.o.d"
+  "/root/repo/src/mechanisms/ServerNest.cpp" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/ServerNest.cpp.o" "gcc" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/ServerNest.cpp.o.d"
+  "/root/repo/src/mechanisms/StaticMechanism.cpp" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/StaticMechanism.cpp.o" "gcc" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/StaticMechanism.cpp.o.d"
+  "/root/repo/src/mechanisms/Tbf.cpp" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Tbf.cpp.o" "gcc" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Tbf.cpp.o.d"
+  "/root/repo/src/mechanisms/Tpc.cpp" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Tpc.cpp.o" "gcc" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/Tpc.cpp.o.d"
+  "/root/repo/src/mechanisms/WqLinear.cpp" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/WqLinear.cpp.o" "gcc" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/WqLinear.cpp.o.d"
+  "/root/repo/src/mechanisms/WqtH.cpp" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/WqtH.cpp.o" "gcc" "src/mechanisms/CMakeFiles/dope_mechanisms.dir/WqtH.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

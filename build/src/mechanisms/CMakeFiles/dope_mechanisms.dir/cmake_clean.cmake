@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dope_mechanisms.dir/Dpm.cpp.o"
+  "CMakeFiles/dope_mechanisms.dir/Dpm.cpp.o.d"
+  "CMakeFiles/dope_mechanisms.dir/Edp.cpp.o"
+  "CMakeFiles/dope_mechanisms.dir/Edp.cpp.o.d"
+  "CMakeFiles/dope_mechanisms.dir/Fdp.cpp.o"
+  "CMakeFiles/dope_mechanisms.dir/Fdp.cpp.o.d"
+  "CMakeFiles/dope_mechanisms.dir/Goal.cpp.o"
+  "CMakeFiles/dope_mechanisms.dir/Goal.cpp.o.d"
+  "CMakeFiles/dope_mechanisms.dir/PipelineView.cpp.o"
+  "CMakeFiles/dope_mechanisms.dir/PipelineView.cpp.o.d"
+  "CMakeFiles/dope_mechanisms.dir/Proportional.cpp.o"
+  "CMakeFiles/dope_mechanisms.dir/Proportional.cpp.o.d"
+  "CMakeFiles/dope_mechanisms.dir/Seda.cpp.o"
+  "CMakeFiles/dope_mechanisms.dir/Seda.cpp.o.d"
+  "CMakeFiles/dope_mechanisms.dir/ServerNest.cpp.o"
+  "CMakeFiles/dope_mechanisms.dir/ServerNest.cpp.o.d"
+  "CMakeFiles/dope_mechanisms.dir/StaticMechanism.cpp.o"
+  "CMakeFiles/dope_mechanisms.dir/StaticMechanism.cpp.o.d"
+  "CMakeFiles/dope_mechanisms.dir/Tbf.cpp.o"
+  "CMakeFiles/dope_mechanisms.dir/Tbf.cpp.o.d"
+  "CMakeFiles/dope_mechanisms.dir/Tpc.cpp.o"
+  "CMakeFiles/dope_mechanisms.dir/Tpc.cpp.o.d"
+  "CMakeFiles/dope_mechanisms.dir/WqLinear.cpp.o"
+  "CMakeFiles/dope_mechanisms.dir/WqLinear.cpp.o.d"
+  "CMakeFiles/dope_mechanisms.dir/WqtH.cpp.o"
+  "CMakeFiles/dope_mechanisms.dir/WqtH.cpp.o.d"
+  "libdope_mechanisms.a"
+  "libdope_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dope_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dope_metrics.dir/ResponseStats.cpp.o"
+  "CMakeFiles/dope_metrics.dir/ResponseStats.cpp.o.d"
+  "CMakeFiles/dope_metrics.dir/TimeSeries.cpp.o"
+  "CMakeFiles/dope_metrics.dir/TimeSeries.cpp.o.d"
+  "libdope_metrics.a"
+  "libdope_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dope_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

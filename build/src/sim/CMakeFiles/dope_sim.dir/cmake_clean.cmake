@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dope_sim.dir/EventQueue.cpp.o"
+  "CMakeFiles/dope_sim.dir/EventQueue.cpp.o.d"
+  "CMakeFiles/dope_sim.dir/NestServerSim.cpp.o"
+  "CMakeFiles/dope_sim.dir/NestServerSim.cpp.o.d"
+  "CMakeFiles/dope_sim.dir/PipelineSim.cpp.o"
+  "CMakeFiles/dope_sim.dir/PipelineSim.cpp.o.d"
+  "CMakeFiles/dope_sim.dir/PowerModel.cpp.o"
+  "CMakeFiles/dope_sim.dir/PowerModel.cpp.o.d"
+  "libdope_sim.a"
+  "libdope_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dope_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Logging.cpp" "src/support/CMakeFiles/dope_support.dir/Logging.cpp.o" "gcc" "src/support/CMakeFiles/dope_support.dir/Logging.cpp.o.d"
+  "/root/repo/src/support/MathUtils.cpp" "src/support/CMakeFiles/dope_support.dir/MathUtils.cpp.o" "gcc" "src/support/CMakeFiles/dope_support.dir/MathUtils.cpp.o.d"
+  "/root/repo/src/support/OptionParser.cpp" "src/support/CMakeFiles/dope_support.dir/OptionParser.cpp.o" "gcc" "src/support/CMakeFiles/dope_support.dir/OptionParser.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/support/CMakeFiles/dope_support.dir/Random.cpp.o" "gcc" "src/support/CMakeFiles/dope_support.dir/Random.cpp.o.d"
+  "/root/repo/src/support/SpeedupCurve.cpp" "src/support/CMakeFiles/dope_support.dir/SpeedupCurve.cpp.o" "gcc" "src/support/CMakeFiles/dope_support.dir/SpeedupCurve.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/support/CMakeFiles/dope_support.dir/Statistics.cpp.o" "gcc" "src/support/CMakeFiles/dope_support.dir/Statistics.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/support/CMakeFiles/dope_support.dir/Table.cpp.o" "gcc" "src/support/CMakeFiles/dope_support.dir/Table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

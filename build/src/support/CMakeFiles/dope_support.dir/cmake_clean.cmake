@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dope_support.dir/Logging.cpp.o"
+  "CMakeFiles/dope_support.dir/Logging.cpp.o.d"
+  "CMakeFiles/dope_support.dir/MathUtils.cpp.o"
+  "CMakeFiles/dope_support.dir/MathUtils.cpp.o.d"
+  "CMakeFiles/dope_support.dir/OptionParser.cpp.o"
+  "CMakeFiles/dope_support.dir/OptionParser.cpp.o.d"
+  "CMakeFiles/dope_support.dir/Random.cpp.o"
+  "CMakeFiles/dope_support.dir/Random.cpp.o.d"
+  "CMakeFiles/dope_support.dir/SpeedupCurve.cpp.o"
+  "CMakeFiles/dope_support.dir/SpeedupCurve.cpp.o.d"
+  "CMakeFiles/dope_support.dir/Statistics.cpp.o"
+  "CMakeFiles/dope_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/dope_support.dir/Table.cpp.o"
+  "CMakeFiles/dope_support.dir/Table.cpp.o.d"
+  "libdope_support.a"
+  "libdope_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dope_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdope_support.a"
+)

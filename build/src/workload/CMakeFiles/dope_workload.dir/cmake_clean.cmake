@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dope_workload.dir/Arrivals.cpp.o"
+  "CMakeFiles/dope_workload.dir/Arrivals.cpp.o.d"
+  "libdope_workload.a"
+  "libdope_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dope_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/BuildersTest.cpp.o"
+  "CMakeFiles/core_tests.dir/BuildersTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/ConfigTest.cpp.o"
+  "CMakeFiles/core_tests.dir/ConfigTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/CoreUnitsTest.cpp.o"
+  "CMakeFiles/core_tests.dir/CoreUnitsTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/DopeExecutiveTest.cpp.o"
+  "CMakeFiles/core_tests.dir/DopeExecutiveTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/PlacementTest.cpp.o"
+  "CMakeFiles/core_tests.dir/PlacementTest.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_tests.dir/EdpTest.cpp.o"
+  "CMakeFiles/extension_tests.dir/EdpTest.cpp.o.d"
+  "extension_tests"
+  "extension_tests.pdb"
+  "extension_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

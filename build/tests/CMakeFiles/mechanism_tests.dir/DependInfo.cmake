@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/DpmTest.cpp" "tests/CMakeFiles/mechanism_tests.dir/DpmTest.cpp.o" "gcc" "tests/CMakeFiles/mechanism_tests.dir/DpmTest.cpp.o.d"
+  "/root/repo/tests/PipelineViewTest.cpp" "tests/CMakeFiles/mechanism_tests.dir/PipelineViewTest.cpp.o" "gcc" "tests/CMakeFiles/mechanism_tests.dir/PipelineViewTest.cpp.o.d"
+  "/root/repo/tests/ProportionalGoalTest.cpp" "tests/CMakeFiles/mechanism_tests.dir/ProportionalGoalTest.cpp.o" "gcc" "tests/CMakeFiles/mechanism_tests.dir/ProportionalGoalTest.cpp.o.d"
+  "/root/repo/tests/ServerNestTest.cpp" "tests/CMakeFiles/mechanism_tests.dir/ServerNestTest.cpp.o" "gcc" "tests/CMakeFiles/mechanism_tests.dir/ServerNestTest.cpp.o.d"
+  "/root/repo/tests/ThroughputMechanismsTest.cpp" "tests/CMakeFiles/mechanism_tests.dir/ThroughputMechanismsTest.cpp.o" "gcc" "tests/CMakeFiles/mechanism_tests.dir/ThroughputMechanismsTest.cpp.o.d"
+  "/root/repo/tests/TpcTest.cpp" "tests/CMakeFiles/mechanism_tests.dir/TpcTest.cpp.o" "gcc" "tests/CMakeFiles/mechanism_tests.dir/TpcTest.cpp.o.d"
+  "/root/repo/tests/WqMechanismsTest.cpp" "tests/CMakeFiles/mechanism_tests.dir/WqMechanismsTest.cpp.o" "gcc" "tests/CMakeFiles/mechanism_tests.dir/WqMechanismsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/dope_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mechanisms/CMakeFiles/dope_mechanisms.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dope_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dope_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanism_tests.dir/DpmTest.cpp.o"
+  "CMakeFiles/mechanism_tests.dir/DpmTest.cpp.o.d"
+  "CMakeFiles/mechanism_tests.dir/PipelineViewTest.cpp.o"
+  "CMakeFiles/mechanism_tests.dir/PipelineViewTest.cpp.o.d"
+  "CMakeFiles/mechanism_tests.dir/ProportionalGoalTest.cpp.o"
+  "CMakeFiles/mechanism_tests.dir/ProportionalGoalTest.cpp.o.d"
+  "CMakeFiles/mechanism_tests.dir/ServerNestTest.cpp.o"
+  "CMakeFiles/mechanism_tests.dir/ServerNestTest.cpp.o.d"
+  "CMakeFiles/mechanism_tests.dir/ThroughputMechanismsTest.cpp.o"
+  "CMakeFiles/mechanism_tests.dir/ThroughputMechanismsTest.cpp.o.d"
+  "CMakeFiles/mechanism_tests.dir/TpcTest.cpp.o"
+  "CMakeFiles/mechanism_tests.dir/TpcTest.cpp.o.d"
+  "CMakeFiles/mechanism_tests.dir/WqMechanismsTest.cpp.o"
+  "CMakeFiles/mechanism_tests.dir/WqMechanismsTest.cpp.o.d"
+  "mechanism_tests"
+  "mechanism_tests.pdb"
+  "mechanism_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanism_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_tests.dir/QueueTest.cpp.o"
+  "CMakeFiles/queue_tests.dir/QueueTest.cpp.o.d"
+  "queue_tests"
+  "queue_tests.pdb"
+  "queue_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_metrics_tests.dir/WorkloadMetricsTest.cpp.o"
+  "CMakeFiles/workload_metrics_tests.dir/WorkloadMetricsTest.cpp.o.d"
+  "workload_metrics_tests"
+  "workload_metrics_tests.pdb"
+  "workload_metrics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_metrics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/queue_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/mechanism_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/apps_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_metrics_tests[1]_include.cmake")
+include("/root/repo/build/tests/extension_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dope_explore.dir/dope_explore.cpp.o"
+  "CMakeFiles/dope_explore.dir/dope_explore.cpp.o.d"
+  "dope_explore"
+  "dope_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dope_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
