@@ -1,0 +1,352 @@
+//===- bench/ext_faults.cpp - Robustness extension experiments -------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Robustness experiments beyond the paper's figures — the failure-domain
+/// analog of Fig. 13. The paper's pitch is that the executive owns the
+/// application's parallelism decisions; these experiments show the same
+/// separation of concerns pays off when the *platform* fails:
+///
+///   1. Context loss: 6 of 24 hardware contexts are killed mid-run,
+///      wedging the replicas running on them. Adaptive mechanisms
+///      observe the shrunken machine through the "LiveContexts" feature
+///      (MechanismContext::effectiveThreads) and re-plan the DoP; their
+///      throughput recovers to >= 80% of the pre-fault plateau. Static
+///      baselines never reconfigure, so the wedged replicas keep their
+///      stage slots forever and throughput stays degraded.
+///
+///   2. Overload burst: arrivals spike to ~4x capacity. Admission
+///      control sheds load at the outer queue, keeping occupancy (and
+///      response time) bounded; without it the queue and the response
+///      tail grow with the burst.
+///
+///   3. Background noise: transient stage stalls, random stragglers, and
+///      dropped hand-offs. The run completes with every item accounted
+///      for (done + dropped == fed), deterministically under the seed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "mechanisms/Fdp.h"
+#include "mechanisms/Seda.h"
+#include "mechanisms/Tbf.h"
+#include "metrics/FaultStats.h"
+#include "sim/PipelineSim.h"
+#include "workload/Arrivals.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace dope;
+using namespace dope::bench;
+
+namespace {
+
+/// The fault-bench application. Unlike ferret (CPU-bound at 24 contexts,
+/// where losing 25% of the machine caps recovery at 75% by arithmetic),
+/// this pipeline plateaus on its sequential ingest stage with CPU slack
+/// to spare: 18 surviving contexts still exceed the ingest-bound demand,
+/// so full recovery is *possible* — reachable only by re-planning the
+/// DoP around the dead contexts, which is exactly what distinguishes the
+/// adaptive mechanisms from the static baselines.
+PipelineAppModel makeFaultBenchApp() {
+  PipelineAppModel App;
+  App.Name = "webrank";
+  App.Stages = {
+      {"ingest", /*Parallel=*/false, /*ServiceSeconds=*/0.40, /*Cv=*/0.10},
+      {"parse", true, 0.25, 0.15},
+      {"index", true, 3.40, 0.20},
+      {"publish", false, 0.15, 0.10},
+  };
+  App.OversubPenalty = 0.08;
+  App.ThreadOverheadPenalty = 0.10;
+  return App;
+}
+
+/// The paper's Pthreads-Baseline analog: the thread budget split evenly
+/// across the parallel stages, sequential stages pinned at 1.
+std::vector<unsigned> evenExtents(const PipelineAppModel &App,
+                                  unsigned Contexts) {
+  unsigned ParCount = 0;
+  for (const PipelineStageSpec &S : App.Stages)
+    ParCount += S.Parallel ? 1 : 0;
+  const unsigned Budget =
+      Contexts > App.Stages.size() - ParCount
+          ? Contexts - static_cast<unsigned>(App.Stages.size() - ParCount)
+          : ParCount;
+  std::vector<unsigned> Extents;
+  for (const PipelineStageSpec &S : App.Stages)
+    Extents.push_back(S.Parallel ? std::max(1u, Budget / ParCount) : 1);
+  return Extents;
+}
+
+struct Scheme {
+  std::string Name;
+  std::unique_ptr<Mechanism> Mech; // null = static
+  std::vector<unsigned> InitialExtents;
+  bool Adaptive;
+};
+
+struct KillOutcome {
+  PipelineSimResult R;
+  double PreFault = 0.0;
+  double PostFault = 0.0;
+  double Ttr = -1.0;
+};
+
+KillOutcome runWithKill(const PipelineAppModel &App,
+                        const PipelineSimOptions &Base, Scheme &S,
+                        double KillTime, unsigned Kills) {
+  PipelineSim Sim(App, Base);
+  FaultPlan Plan;
+  Plan.Kills.push_back({KillTime, Kills});
+  Sim.setFaultPlan(Plan);
+
+  KillOutcome Out;
+  Out.R = Sim.run(S.Mech.get(), S.InitialExtents);
+
+  const double W = Base.TraceWindowSeconds;
+  // Pre-fault plateau: skip the first windows (mechanism search ramp).
+  Out.PreFault = Out.R.ThroughputSeries.meanOver(0.25 * KillTime, KillTime);
+  // Post-fault level, once any re-planning had a chance to land.
+  Out.PostFault =
+      Out.R.ThroughputSeries.meanOver(KillTime + 2.0 * W, KillTime + 14.0 * W);
+  // Recovery: first window at >= 80% of the pre-fault plateau, sustained
+  // for two windows.
+  Out.Ttr = timeToRecover(Out.R.ThroughputSeries, KillTime,
+                          0.8 * Out.PreFault, 2.0 * W);
+  Out.R.Faults.TimeToRecoverSeconds = Out.Ttr;
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  OptionParser Options(
+      "Robustness extensions: context loss mid-run (the Fig. 13 analog "
+      "under failure), overload with admission control, and background "
+      "fault noise");
+  addCommonOptions(Options);
+  Options.addInt("items", 3000, "items per batch run");
+  Options.addInt("kills", 6, "contexts killed mid-run (of 24)");
+  parseOrExit(Options, Argc, Argv);
+
+  const bool Csv = Options.getFlag("csv");
+  const bool Quick = Options.getFlag("quick");
+  const unsigned Contexts = static_cast<unsigned>(Options.getInt("contexts"));
+  const unsigned Kills = static_cast<unsigned>(Options.getInt("kills"));
+  const uint64_t Seed = static_cast<uint64_t>(Options.getInt("seed"));
+  uint64_t Items = static_cast<uint64_t>(Options.getInt("items"));
+  if (Quick)
+    Items = 1000;
+
+  const PipelineAppModel App = makeFaultBenchApp();
+  bool Ok = true;
+
+  // --- 1: context loss ---------------------------------------------------
+  PipelineSimOptions SimOpts;
+  SimOpts.Contexts = Contexts;
+  SimOpts.Seed = Seed;
+  SimOpts.NumItems = Items;
+  SimOpts.DecisionIntervalSeconds = 2.0;
+  SimOpts.TraceWindowSeconds = 10.0;
+
+  // Calibrate the kill instant against a fault-free adaptive run, then
+  // bound every faulty run (a statically wedged pipeline cannot finish
+  // its batch — without the bound it would idle to the 1e6 s default).
+  double FaultFree;
+  {
+    PipelineSim Sim(App, SimOpts);
+    TbfMechanism Tbf({0.5, /*EnableFusion=*/false});
+    FaultFree = Sim.run(&Tbf, {}).TotalSeconds;
+  }
+  const double KillTime = 0.45 * FaultFree;
+  SimOpts.MaxSimSeconds = 3.0 * FaultFree;
+
+  std::vector<Scheme> Schemes;
+  Schemes.push_back({"Static-Ones", nullptr, {}, false});
+  Schemes.push_back(
+      {"Static-Even", nullptr, evenExtents(App, Contexts), false});
+  Schemes.push_back({"SEDA", std::make_unique<SedaMechanism>(),
+                     evenExtents(App, Contexts), true});
+  Schemes.push_back({"FDP", std::make_unique<FdpMechanism>(),
+                     evenExtents(App, Contexts), true});
+  Schemes.push_back(
+      {"DoPE-TB",
+       std::make_unique<TbfMechanism>(TbfParams{0.5, /*EnableFusion=*/false}),
+       evenExtents(App, Contexts), true});
+
+  Table T({"scheme", "pre-fault (items/s)", "post-fault (items/s)",
+           "post/pre", "recovery (s)", "fault counters"});
+  for (Scheme &S : Schemes) {
+    KillOutcome Out = runWithKill(App, SimOpts, S, KillTime, Kills);
+    const double Ratio =
+        Out.PreFault > 0.0 ? Out.PostFault / Out.PreFault : 0.0;
+    T.addRow({S.Name, Table::formatDouble(Out.PreFault, 3),
+              Table::formatDouble(Out.PostFault, 3),
+              Table::formatDouble(Ratio, 2),
+              Out.Ttr >= 0.0 ? Table::formatDouble(Out.Ttr, 0) : "never",
+              toString(Out.R.Faults)});
+
+    if (S.Adaptive) {
+      Ok &= checkShape(Out.Ttr >= 0.0,
+                       S.Name + " regains >= 80% of pre-fault throughput "
+                               "after losing " +
+                           std::to_string(Kills) + "/" +
+                           std::to_string(Contexts) + " contexts");
+      Ok &= checkShape(Out.R.ItemsCompleted == Items,
+                       S.Name + " completes the whole batch (wedged items "
+                               "salvaged by reconfiguration)");
+    } else {
+      Ok &= checkShape(Out.Ttr < 0.0,
+                       S.Name + " never recovers (no reconfiguration frees "
+                               "the wedged replicas)");
+    }
+    Ok &= checkShape(Out.R.Faults.ContextsKilled == Kills &&
+                         Out.R.LiveContextsAtEnd == Contexts - Kills,
+                     S.Name + " live-context accounting matches the plan");
+  }
+  emitTable("Ext. A: throughput around the loss of " +
+                std::to_string(Kills) + " of " + std::to_string(Contexts) +
+                " contexts at t=" + Table::formatDouble(KillTime, 0) + "s",
+            T, Csv);
+
+  // Determinism: the whole fault path is driven by the run seed.
+  {
+    Scheme A{"det", std::make_unique<TbfMechanism>(
+                        TbfParams{0.5, /*EnableFusion=*/false}),
+             evenExtents(App, Contexts), true};
+    Scheme B{"det", std::make_unique<TbfMechanism>(
+                        TbfParams{0.5, /*EnableFusion=*/false}),
+             evenExtents(App, Contexts), true};
+    KillOutcome RA = runWithKill(App, SimOpts, A, KillTime, Kills);
+    KillOutcome RB = runWithKill(App, SimOpts, B, KillTime, Kills);
+    Ok &= checkShape(RA.R.ItemsCompleted == RB.R.ItemsCompleted &&
+                         RA.R.Throughput == RB.R.Throughput &&
+                         RA.R.Reconfigurations == RB.R.Reconfigurations &&
+                         RA.R.Faults.ReplicasWedged ==
+                             RB.R.Faults.ReplicasWedged,
+                     "fault injection is deterministic under the seed");
+  }
+
+  // --- 2: overload burst and admission control ---------------------------
+  {
+    // Capacity is ingest-bound at 2.5 items/s; cruise at 70% of it and
+    // burst to ~4.3x capacity.
+    PipelineSimOptions OpenOpts;
+    OpenOpts.Contexts = Contexts;
+    OpenOpts.Seed = Seed;
+    OpenOpts.OpenLoop = true;
+    OpenOpts.ArrivalRate = 1.75;
+    OpenOpts.NumItems = Quick ? 400 : 700;
+    OpenOpts.DecisionIntervalSeconds = 2.0;
+    OpenOpts.TraceWindowSeconds = 10.0;
+    OpenOpts.ArrivalTrace = LoadTrace::makeBurstPattern(
+        /*BaseLoad=*/1.0, /*BurstLoad=*/6.0, /*BaseSeconds=*/80.0,
+        /*BurstSeconds=*/40.0);
+    OpenOpts.MaxSimSeconds = 4000.0;
+
+    const size_t Limit = 48;
+    PipelineSimResult NoAc, Ac;
+    {
+      PipelineSim Sim(App, OpenOpts);
+      TbfMechanism Tbf({0.5, /*EnableFusion=*/false});
+      NoAc = Sim.run(&Tbf, evenExtents(App, Contexts));
+    }
+    {
+      OpenOpts.AdmissionLimit = Limit;
+      PipelineSim Sim(App, OpenOpts);
+      TbfMechanism Tbf({0.5, /*EnableFusion=*/false});
+      Ac = Sim.run(&Tbf, evenExtents(App, Contexts));
+    }
+
+    Table B({"policy", "peak outer queue", "shed", "completed",
+             "p95 response (s)", "mean response (s)"});
+    B.addRow({"no admission control",
+              std::to_string(NoAc.PeakOuterQueue),
+              std::to_string(NoAc.Faults.ItemsShed),
+              std::to_string(NoAc.ItemsCompleted),
+              Table::formatDouble(NoAc.Stats.responsePercentile(0.95), 1),
+              Table::formatDouble(NoAc.Stats.meanResponseTime(), 1)});
+    B.addRow({"admission limit " + std::to_string(Limit),
+              std::to_string(Ac.PeakOuterQueue),
+              std::to_string(Ac.Faults.ItemsShed),
+              std::to_string(Ac.ItemsCompleted),
+              Table::formatDouble(Ac.Stats.responsePercentile(0.95), 1),
+              Table::formatDouble(Ac.Stats.meanResponseTime(), 1)});
+    emitTable("Ext. B: overload burst (4x capacity) with and without "
+              "admission control",
+              B, Csv);
+
+    Ok &= checkShape(Ac.PeakOuterQueue <= Limit,
+                     "admission control bounds outer-queue occupancy at "
+                     "the limit (" +
+                         std::to_string(Ac.PeakOuterQueue) + " <= " +
+                         std::to_string(Limit) + ")");
+    Ok &= checkShape(NoAc.PeakOuterQueue > 2 * Limit,
+                     "without admission control the burst overflows the "
+                     "outer queue (peak " +
+                         std::to_string(NoAc.PeakOuterQueue) + ")");
+    Ok &= checkShape(Ac.Faults.ItemsShed > 0 &&
+                         Ac.ItemsCompleted + Ac.Faults.ItemsShed ==
+                             OpenOpts.NumItems,
+                     "shed requests are counted and every arrival is "
+                     "accounted for (completed + shed == fed)");
+    Ok &= checkShape(Ac.Stats.responsePercentile(0.95) <
+                         0.5 * NoAc.Stats.responsePercentile(0.95),
+                     "shedding keeps the p95 response tail bounded under "
+                     "overload");
+  }
+
+  // --- 3: background fault noise -----------------------------------------
+  {
+    PipelineSimOptions NoiseOpts;
+    NoiseOpts.Contexts = Contexts;
+    NoiseOpts.Seed = Seed;
+    NoiseOpts.NumItems = Quick ? 600 : 1500;
+    NoiseOpts.DecisionIntervalSeconds = 2.0;
+    NoiseOpts.TraceWindowSeconds = 10.0;
+    NoiseOpts.MaxSimSeconds = 3.0 * FaultFree;
+
+    PipelineSim Sim(App, NoiseOpts);
+    FaultPlan Plan;
+    // A transient 5x stall of the bottleneck stage...
+    Plan.Stalls.push_back({/*Time=*/0.2 * FaultFree, /*Stage=*/2,
+                           /*Factor=*/5.0, /*DurationSeconds=*/30.0});
+    // ...plus continuous straggler and hand-off-loss noise.
+    Plan.StragglerProbability = 0.02;
+    Plan.StragglerFactor = 4.0;
+    Plan.HandoffDropProbability = 0.01;
+    Sim.setFaultPlan(Plan);
+
+    TbfMechanism Tbf({0.5, /*EnableFusion=*/false});
+    PipelineSimResult R = Sim.run(&Tbf, evenExtents(App, Contexts));
+
+    Table N({"metric", "value"});
+    N.addRow({"items completed", std::to_string(R.ItemsCompleted)});
+    N.addRow({"items dropped", std::to_string(R.Faults.ItemsDropped)});
+    N.addRow({"incidents", std::to_string(R.Faults.Incidents)});
+    N.addRow({"reconfigurations", std::to_string(R.Reconfigurations)});
+    N.addRow({"throughput (items/s)", Table::formatDouble(R.Throughput, 3)});
+    emitTable("Ext. C: transient stall + stragglers + dropped hand-offs",
+              N, Csv);
+
+    Ok &= checkShape(R.ItemsCompleted + R.Faults.ItemsDropped ==
+                         NoiseOpts.NumItems,
+                     "every item is accounted for: completed + dropped == "
+                     "fed");
+    Ok &= checkShape(R.Faults.ItemsDropped > 0,
+                     "hand-off drops occurred and were counted");
+    Ok &= checkShape(R.Faults.Incidents >= 1,
+                     "the stall episode was recorded as an incident");
+  }
+
+  return Ok ? 0 : 1;
+}

@@ -219,8 +219,10 @@ inline Task *buildDriver(TaskGraph &Graph, std::string Name,
                          std::vector<ParDescriptor *> Alternatives) {
   assert(!Alternatives.empty() && "driver needs at least one alternative");
   TaskFn Fn = [](TaskRuntime &RT) {
-    return RT.wait() == TaskStatus::Suspended ? TaskStatus::Suspended
-                                              : TaskStatus::Finished;
+    // SUSPENDED and FAILED propagate to the executive; everything else
+    // means the alternative ran one lifetime to completion.
+    const TaskStatus Inner = RT.wait();
+    return Inner == TaskStatus::Executing ? TaskStatus::Finished : Inner;
   };
   return Graph.createTask(
       std::move(Name), std::move(Fn), LoadFn(),

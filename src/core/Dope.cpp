@@ -10,47 +10,99 @@
 #include "core/Clock.h"
 #include "support/Logging.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace dope;
 
 Mechanism::~Mechanism() = default;
 
-namespace {
+namespace dope {
 
-/// Countdown latch used to join a region's replicas.
-class Latch {
-public:
-  explicit Latch(unsigned Count) : Count(Count) {}
+/// Shared state of one region epoch. Replicas reach it through a
+/// shared_ptr captured by their pool job, so a replica the quiesce
+/// watchdog abandoned can still count down after the spawning runRegion
+/// frame returned.
+struct RegionRunState {
+  /// Countdown latch used to join the epoch's replicas.
+  class Latch {
+  public:
+    explicit Latch(unsigned Count) : Count(Count) {}
 
-  void countDown() {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    assert(Count > 0 && "latch underflow");
-    if (--Count == 0)
-      Cond.notify_all();
+    void countDown() {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      assert(Count > 0 && "latch underflow");
+      if (--Count == 0)
+        Cond.notify_all();
+    }
+
+    void wait() {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Cond.wait(Lock, [this] { return Count == 0; });
+    }
+
+    /// Returns true when the latch reached zero within \p Seconds.
+    bool waitFor(double Seconds) {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      return Cond.wait_for(Lock, std::chrono::duration<double>(Seconds),
+                           [this] { return Count == 0; });
+    }
+
+  private:
+    std::mutex Mutex;
+    std::condition_variable Cond;
+    unsigned Count;
+  };
+
+  RegionRunState(const ParDescriptor &TheRegion, RegionConfig TheConfig,
+                 void *UserContext, unsigned TotalReplicas,
+                 const RegionRunState *Parent)
+      : Region(&TheRegion), Config(std::move(TheConfig)),
+        UserContext(UserContext), Parent(Parent), Done(TotalReplicas),
+        Remaining(Config.Tasks.size()), FiniDone(Config.Tasks.size()) {
+    for (size_t I = 0; I != Config.Tasks.size(); ++I)
+      Remaining[I].store(Config.Tasks[I].Extent, std::memory_order_relaxed);
   }
 
-  void wait() {
-    std::unique_lock<std::mutex> Lock(Mutex);
-    Cond.wait(Lock, [this] { return Count == 0; });
+  /// Runs task \p TaskIndex's FiniCB exactly once per epoch, whether the
+  /// last replica triggers it naturally, the watchdog forces it early, or
+  /// a permanent failure aborts the epoch. Const because abort paths only
+  /// hold const pointers to ancestor epochs.
+  void finiOnce(size_t TaskIndex) const {
+    if (!FiniDone[TaskIndex].exchange(true, std::memory_order_acq_rel))
+      Region->tasks()[TaskIndex]->runFini();
   }
 
-private:
-  std::mutex Mutex;
-  std::condition_variable Cond;
-  unsigned Count;
+  bool abandoned() const {
+    return Abandoned.load(std::memory_order_acquire) ||
+           (Parent && Parent->abandoned());
+  }
+
+  const ParDescriptor *Region;
+  const RegionConfig Config;
+  void *UserContext;
+  const RegionRunState *Parent;
+  Latch Done;
+  std::vector<std::atomic<unsigned>> Remaining;
+  mutable std::vector<std::atomic<bool>> FiniDone;
+  std::atomic<unsigned> MasterFinished{0};
+  std::atomic<bool> Failed{false};
+  std::atomic<bool> Abandoned{false};
 };
 
-} // namespace
+} // namespace dope
 
 //===----------------------------------------------------------------------===//
 // TaskRuntime
 //===----------------------------------------------------------------------===//
 
+bool TaskRuntime::abandoned() const { return Run && Run->abandoned(); }
+
 TaskStatus TaskRuntime::begin() {
   BeginTime = monotonicSeconds();
   if (Executive.StopFlag.load(std::memory_order_acquire) ||
-      Executive.suspendRequested())
+      Executive.suspendRequested() || abandoned())
     return TaskStatus::Suspended;
   return TaskStatus::Executing;
 }
@@ -62,13 +114,13 @@ TaskStatus TaskRuntime::end() {
     BeginTime = -1.0;
   }
   if (Executive.StopFlag.load(std::memory_order_acquire) ||
-      Executive.suspendRequested())
+      Executive.suspendRequested() || abandoned())
     return TaskStatus::Suspended;
   return TaskStatus::Executing;
 }
 
 TaskStatus TaskRuntime::wait(void *InnerContext) {
-  return Executive.runInnerRegion(TheTask, Config, InnerContext);
+  return Executive.runInnerRegion(TheTask, Config, InnerContext, Run);
 }
 
 double TaskRuntime::nowSeconds() const { return monotonicSeconds(); }
@@ -107,6 +159,17 @@ Dope::Dope(ParDescriptor *Root, DopeOptions Opts)
   collectTasks(*Root, AllTasks);
   for (const Task *T : AllTasks)
     Metrics.emplace(T->id(), std::make_unique<TaskMetrics>());
+
+  // Mechanisms size configurations against the live budget
+  // (MechanismContext::effectiveThreads); the native platform loses
+  // contexts when the watchdog writes off wedged replicas.
+  Features.registerFeature(
+      "LiveContexts", [this] { return static_cast<double>(liveThreads()); });
+}
+
+unsigned Dope::liveThreads() const {
+  const unsigned Lost = LostThreads.load(std::memory_order_acquire);
+  return Lost >= Options.MaxThreads ? 1u : Options.MaxThreads - Lost;
 }
 
 std::unique_ptr<Dope> Dope::create(ParDescriptor *Root, DopeOptions Opts) {
@@ -134,10 +197,26 @@ Dope::~Dope() {
     ControllerThread.join();
 }
 
-void Dope::wait() {
+TaskStatus Dope::wait() {
   std::unique_lock<std::mutex> Lock(DoneMutex);
   DoneCond.wait(Lock,
                 [this] { return Finished.load(std::memory_order_acquire); });
+  return FailFlag.load(std::memory_order_acquire) ? TaskStatus::Failed
+                                                  : TaskStatus::Finished;
+}
+
+bool Dope::waitFor(double Seconds) {
+  std::unique_lock<std::mutex> Lock(DoneMutex);
+  return DoneCond.wait_for(
+      Lock, std::chrono::duration<double>(Seconds),
+      [this] { return Finished.load(std::memory_order_acquire); });
+}
+
+TaskStatus Dope::status() const {
+  if (!Finished.load(std::memory_order_acquire))
+    return TaskStatus::Executing;
+  return FailFlag.load(std::memory_order_acquire) ? TaskStatus::Failed
+                                                  : TaskStatus::Finished;
 }
 
 bool Dope::finished() const {
@@ -242,6 +321,38 @@ RegionSnapshot Dope::snapshot() const {
 // Execution
 //===----------------------------------------------------------------------===//
 
+/// Collects pointers to every TaskConfig in the tree, inner levels
+/// included.
+static void collectTaskConfigs(std::vector<TaskConfig> &Tasks,
+                               std::vector<TaskConfig *> &Out) {
+  for (TaskConfig &TC : Tasks) {
+    Out.push_back(&TC);
+    collectTaskConfigs(TC.Inner, Out);
+  }
+}
+
+/// Shrinks \p Config until it occupies at most \p Budget threads by
+/// repeatedly decrementing the widest extent (> 1). Returns true when the
+/// configuration changed. May stop above budget when every extent is
+/// already 1 (the minimal configuration).
+static bool degradeConfigToBudget(const ParDescriptor &Region,
+                                  RegionConfig &Config, unsigned Budget) {
+  bool Changed = false;
+  while (totalThreads(Region, Config) > Budget) {
+    std::vector<TaskConfig *> All;
+    collectTaskConfigs(Config.Tasks, All);
+    TaskConfig *Widest = nullptr;
+    for (TaskConfig *TC : All)
+      if (TC->Extent > 1 && (!Widest || TC->Extent > Widest->Extent))
+        Widest = TC;
+    if (!Widest)
+      break;
+    --Widest->Extent;
+    Changed = true;
+  }
+  return Changed;
+}
+
 void Dope::runMain() {
   for (;;) {
     RegionConfig Config;
@@ -252,6 +363,13 @@ void Dope::runMain() {
         HasPendingConfig = false;
         ReconfigCount.fetch_add(1, std::memory_order_acq_rel);
       }
+      // Contexts wedged inside abandoned replicas shrink the budget;
+      // clamp the next epoch so it does not overcommit what is left.
+      const unsigned Live = liveThreads();
+      if (totalThreads(*Root, ActiveConfig) > Live &&
+          degradeConfigToBudget(*Root, ActiveConfig, Live))
+        DOPE_LOG_WARN("degraded configuration to %s (%u live contexts)",
+                      toString(*Root, ActiveConfig).c_str(), Live);
       Config = ActiveConfig;
     }
     if (StopFlag.load(std::memory_order_acquire))
@@ -260,9 +378,13 @@ void Dope::runMain() {
     // A fresh epoch starts with the suspend request cleared.
     SuspendFlag.store(false, std::memory_order_release);
 
-    const TaskStatus Status = runRegion(*Root, Config);
+    const TaskStatus Status = runRegion(*Root, Config, nullptr, /*IsRoot=*/true);
     if (Status == TaskStatus::Finished)
       break;
+    if (Status == TaskStatus::Failed) {
+      FailFlag.store(true, std::memory_order_release);
+      break;
+    }
     assert(Status == TaskStatus::Suspended && "unexpected region status");
     if (StopFlag.load(std::memory_order_acquire))
       break;
@@ -277,7 +399,8 @@ void Dope::runMain() {
 }
 
 TaskStatus Dope::runRegion(const ParDescriptor &Region,
-                           const RegionConfig &Config, void *UserContext) {
+                           const RegionConfig &Config, void *UserContext,
+                           bool IsRoot, const RegionRunState *Parent) {
   assert(Config.Tasks.size() == Region.size() && "config arity mismatch");
   const std::vector<Task *> &Tasks = Region.tasks();
 
@@ -289,26 +412,27 @@ TaskStatus Dope::runRegion(const ParDescriptor &Region,
   for (const TaskConfig &TC : Config.Tasks)
     TotalReplicas += TC.Extent;
 
-  Latch Done(TotalReplicas);
-  std::vector<std::atomic<unsigned>> Remaining(Tasks.size());
-  for (size_t I = 0; I != Tasks.size(); ++I)
-    Remaining[I].store(Config.Tasks[I].Extent, std::memory_order_relaxed);
+  auto Run = std::make_shared<RegionRunState>(Region, Config, UserContext,
+                                              TotalReplicas, Parent);
 
   const unsigned MasterExtent = Config.Tasks[0].Extent;
-  std::atomic<unsigned> MasterFinished{0};
 
-  auto RunReplica = [&](size_t TaskIndex, unsigned Replica) {
-    const Task &T = *Tasks[TaskIndex];
+  // Captures the shared epoch state by value: a replica abandoned by the
+  // watchdog outlives this frame and must not touch its locals.
+  auto RunReplica = [this](const std::shared_ptr<RegionRunState> &R,
+                           size_t TaskIndex, unsigned Replica) {
+    const Task &T = *R->Region->tasks()[TaskIndex];
     const TaskStatus Status =
-        taskLoop(T, Config.Tasks[TaskIndex], Replica, UserContext);
+        taskLoop(T, R->Config.Tasks[TaskIndex], Replica, R->UserContext, *R);
     if (TaskIndex == 0 && Status == TaskStatus::Finished)
-      MasterFinished.fetch_add(1, std::memory_order_acq_rel);
+      R->MasterFinished.fetch_add(1, std::memory_order_acq_rel);
     // The last replica of a task to stop runs the task's FiniCB, which
     // lets downstream tasks drain to a consistent state (sentinels,
-    // queue closure).
-    if (Remaining[TaskIndex].fetch_sub(1, std::memory_order_acq_rel) == 1)
-      T.runFini();
-    Done.countDown();
+    // queue closure). finiOnce keeps that exactly-once even when the
+    // watchdog forced the FiniCB ahead of a stuck replica.
+    if (R->Remaining[TaskIndex].fetch_sub(1, std::memory_order_acq_rel) == 1)
+      R->finiOnce(TaskIndex);
+    R->Done.countDown();
   };
 
   // Spawn all replicas except the master's replica 0, which runs on the
@@ -318,36 +442,145 @@ TaskStatus Dope::runRegion(const ParDescriptor &Region,
     for (unsigned R = 0; R != Extent; ++R) {
       if (I == 0 && R == 0)
         continue;
-      Pool.submit([&RunReplica, I, R] { RunReplica(I, R); });
+      Pool.submit([RunReplica, Run, I, R] { RunReplica(Run, I, R); });
     }
   }
-  RunReplica(0, 0);
-  Done.wait();
+  RunReplica(Run, 0, 0);
 
-  return MasterFinished.load(std::memory_order_acquire) == MasterExtent
+  // Quiesce watchdog (root epochs only): once the master replica stopped
+  // on this thread, the remaining replicas get QuiesceDeadlineSeconds to
+  // stop. A stuck replica must not deadlock the executive.
+  const double Deadline = IsRoot ? Options.QuiesceDeadlineSeconds : 0.0;
+  if (Deadline <= 0.0) {
+    Run->Done.wait();
+  } else if (!Run->Done.waitFor(Deadline)) {
+    Run->Abandoned.store(true, std::memory_order_release);
+    for (size_t I = 0; I != Tasks.size(); ++I) {
+      if (Run->Remaining[I].load(std::memory_order_acquire) == 0)
+        continue;
+      Log.recordIncident();
+      DOPE_LOG_WARN("watchdog: task '%s' missed the %.3fs quiesce deadline; "
+                    "forcing its FiniCB",
+                    Tasks[I]->name().c_str(), Deadline);
+      // Forcing the FiniCB closes the task's downstream queues, which is
+      // what replicas blocked on a starved hand-off are waiting for.
+      Run->finiOnce(I);
+    }
+    // Grace window: stragglers unblocked by the forced closes drain out;
+    // whoever is still running is written off as lost capacity.
+    if (!Run->Done.waitFor(Deadline)) {
+      unsigned Lost = 0;
+      for (std::atomic<unsigned> &Rem : Run->Remaining)
+        Lost += Rem.load(std::memory_order_acquire);
+      if (Lost != 0) {
+        LostThreads.fetch_add(Lost, std::memory_order_acq_rel);
+        DOPE_LOG_WARN("watchdog: abandoned %u stuck replica(s); "
+                      "%u live context(s) remain",
+                      Lost, liveThreads());
+      }
+    }
+  }
+
+  if (Run->Failed.load(std::memory_order_acquire))
+    return TaskStatus::Failed;
+  return Run->MasterFinished.load(std::memory_order_acquire) == MasterExtent
              ? TaskStatus::Finished
              : TaskStatus::Suspended;
 }
 
+void Dope::recordReplicaFailure(const Task &T, unsigned Replica,
+                                std::string Message, unsigned Attempts,
+                                RegionRunState &Run) {
+  TaskFailure F;
+  F.TaskId = T.id();
+  F.TaskName = T.name();
+  F.Replica = Replica;
+  F.Message = std::move(Message);
+  F.TimeSeconds = monotonicSeconds();
+  F.Attempts = Attempts;
+  const std::string Description = toString(F);
+  if (Log.recordFailure(std::move(F)))
+    DOPE_LOG_ERROR("%s", Description.c_str());
+  Run.Failed.store(true, std::memory_order_release);
+  // Ask the rest of the application to quiesce; the epoch resolves FAILED
+  // once its replicas stop.
+  SuspendFlag.store(true, std::memory_order_release);
+  // A permanent failure aborts the run, so force every FiniCB in the
+  // failing epoch and its ancestors (exactly once each — finiOnce). The
+  // closes unblock replicas wedged on full or empty queues: a producer
+  // blocked pushing toward the dead task can never be drained by it, and
+  // without the forced close it would never observe the suspend.
+  for (const RegionRunState *R = &Run; R; R = R->Parent)
+    for (size_t I = 0; I != R->Region->tasks().size(); ++I)
+      R->finiOnce(I);
+}
+
 TaskStatus Dope::taskLoop(const Task &T, const TaskConfig &Config,
-                          unsigned Replica, void *UserContext) {
-  TaskRuntime RT(*this, T, Config, Replica, UserContext);
+                          unsigned Replica, void *UserContext,
+                          RegionRunState &Run) {
+  TaskRuntime RT(*this, T, Config, Replica, UserContext, &Run);
+  const RetryPolicy &Policy = T.descriptor()->retryPolicy();
+  const unsigned MaxAttempts = std::max(1u, Policy.MaxAttempts);
+  unsigned Attempts = 0;
+  double Backoff = Policy.BackoffSeconds;
   for (;;) {
-    const TaskStatus Status = T.invoke(RT);
-    if (Status != TaskStatus::Executing)
+    if (Run.abandoned())
+      return TaskStatus::Suspended;
+
+    TaskStatus Status = TaskStatus::Executing;
+    std::string Error;
+    bool Threw = false;
+    try {
+      Status = T.invoke(RT);
+    } catch (const std::exception &E) {
+      Threw = true;
+      Error = E.what();
+    } catch (...) {
+      Threw = true;
+      Error = "non-standard exception";
+    }
+
+    if (!Threw) {
+      if (Status == TaskStatus::Executing) {
+        // A clean instance ends the failure streak.
+        Attempts = 0;
+        Backoff = Policy.BackoffSeconds;
+        continue;
+      }
+      if (Status == TaskStatus::Failed)
+        recordReplicaFailure(T, Replica, "functor reported failure", 1, Run);
       return Status;
+    }
+
+    ++Attempts;
+    if (Attempts < MaxAttempts &&
+        !StopFlag.load(std::memory_order_acquire) && !Run.abandoned()) {
+      Log.recordRetry();
+      DOPE_LOG_DEBUG("task '%s' replica %u threw (%s); retry %u/%u",
+                     T.name().c_str(), Replica, Error.c_str(), Attempts,
+                     MaxAttempts - 1);
+      if (Backoff > 0.0) {
+        sleepSeconds(Backoff);
+        Backoff *= Policy.BackoffMultiplier;
+      }
+      continue;
+    }
+    recordReplicaFailure(T, Replica, std::move(Error), Attempts, Run);
+    return TaskStatus::Failed;
   }
 }
 
 TaskStatus Dope::runInnerRegion(const Task &Parent, const TaskConfig &Config,
-                                void *UserContext) {
+                                void *UserContext,
+                                const RegionRunState *ParentRun) {
   if (Config.AltIndex < 0)
     return TaskStatus::Finished;
   const ParDescriptor *Inner =
       Parent.descriptor()->alternative(static_cast<size_t>(Config.AltIndex));
   RegionConfig InnerConfig;
   InnerConfig.Tasks = Config.Inner;
-  return runRegion(*Inner, InnerConfig, UserContext);
+  return runRegion(*Inner, InnerConfig, UserContext, /*IsRoot=*/false,
+                   ParentRun);
 }
 
 //===----------------------------------------------------------------------===//

@@ -33,6 +33,7 @@
 #define DOPE_CORE_DOPE_H
 
 #include "core/Config.h"
+#include "core/Failure.h"
 #include "core/FeatureRegistry.h"
 #include "core/Mechanism.h"
 #include "core/Monitor.h"
@@ -52,6 +53,13 @@
 namespace dope {
 
 class Dope;
+
+/// Shared state of one region epoch (defined in Dope.cpp). Heap-allocated
+/// and reference-counted so replicas abandoned by the quiesce watchdog can
+/// outlive the runRegion frame that spawned them and still count down
+/// safely. Carries a parent pointer so abandoning a root epoch also steers
+/// replicas of its nested inner regions out.
+struct RegionRunState;
 
 /// Per-replica handle passed to task functors; provides the paper's
 /// Task::begin / Task::end / Task::wait methods plus introspection.
@@ -102,15 +110,22 @@ public:
 private:
   friend class Dope;
   TaskRuntime(Dope &Executive, const Task &TheTask, const TaskConfig &Config,
-              unsigned Replica, void *UserContext)
+              unsigned Replica, void *UserContext,
+              const RegionRunState *Run = nullptr)
       : Executive(Executive), TheTask(TheTask), Config(Config),
-        Replica(Replica), UserContext(UserContext) {}
+        Replica(Replica), UserContext(UserContext), Run(Run) {}
+
+  /// True when the quiesce watchdog abandoned this replica's epoch (or an
+  /// enclosing one): the executive moved on, and begin/end steer the
+  /// replica out via SUSPENDED.
+  bool abandoned() const;
 
   Dope &Executive;
   const Task &TheTask;
   const TaskConfig &Config;
   unsigned Replica;
   void *UserContext;
+  const RegionRunState *Run;
   double BeginTime = -1.0;
 };
 
@@ -135,6 +150,18 @@ struct DopeOptions {
 
   /// Lower bound between two reconfigurations, damping thrash.
   double MinReconfigIntervalSeconds = 0.02;
+
+  /// Watchdog deadline for quiescing a root-region epoch, in seconds.
+  /// Once the epoch starts winding down (master replica 0 stopped —
+  /// finished, suspended for reconfiguration, or failed), the remaining
+  /// replicas have this long to stop. Replicas still running at the
+  /// deadline are *abandoned*: their FiniCBs are forced (exactly once,
+  /// closing downstream queues), an incident is recorded per stuck task,
+  /// and the stuck threads are deducted from the "LiveContexts" feature so
+  /// mechanisms re-plan the region at reduced DoP instead of the executive
+  /// deadlocking. Must exceed the pipeline's worst-case drain time.
+  /// 0 (the default) disables the watchdog.
+  double QuiesceDeadlineSeconds = 0.0;
 };
 
 /// The executive. One instance manages one root parallel region.
@@ -153,11 +180,29 @@ public:
   Dope(const Dope &) = delete;
   Dope &operator=(const Dope &) = delete;
 
-  /// Blocks until the root region's master task finishes.
-  void wait();
+  /// Blocks until the root region's master task finishes or the run fails
+  /// permanently; returns the run's final status (FINISHED or FAILED).
+  TaskStatus wait();
+
+  /// Blocks up to \p Seconds for the run to end. Returns true when the run
+  /// ended within the deadline (query status() / failure() for the
+  /// verdict), false on timeout.
+  bool waitFor(double Seconds);
+
+  /// The run's status without blocking: EXECUTING while the application is
+  /// live, then FINISHED or FAILED.
+  TaskStatus status() const;
 
   /// True once the root master task has returned FINISHED.
   bool finished() const;
+
+  /// The first permanent task failure of the run, if any (the run's
+  /// cause of death when status() == FAILED).
+  std::optional<TaskFailure> failure() const { return Log.firstFailure(); }
+
+  /// Counters of the run's failure events: retries, permanent failures,
+  /// watchdog incidents.
+  const FailureLog &failureLog() const { return Log; }
 
   /// Requests an orderly early shutdown: the application observes
   /// SUSPENDED, quiesces, and the run ends without respawning.
@@ -196,6 +241,10 @@ public:
   /// Thread budget the executive honours.
   unsigned maxThreads() const { return Options.MaxThreads; }
 
+  /// Contexts still usable for planning: MaxThreads minus threads wedged
+  /// inside abandoned replicas. Exported as the "LiveContexts" feature.
+  unsigned liveThreads() const;
+
 private:
   friend class TaskRuntime;
 
@@ -208,20 +257,32 @@ private:
   /// Monitoring/decision loop body.
   void runController();
 
-  /// Runs \p Region under \p Config until its master task finishes or
-  /// suspends; returns the master's final status. \p UserContext reaches
-  /// every replica through TaskRuntime::context().
+  /// Runs \p Region under \p Config until its master task finishes,
+  /// suspends, or fails; returns the master's final status. \p UserContext
+  /// reaches every replica through TaskRuntime::context(). \p IsRoot
+  /// enables the quiesce watchdog (root-region epochs only; inner regions
+  /// are covered by the root's watchdog through their parent replica).
   TaskStatus runRegion(const ParDescriptor &Region, const RegionConfig &Config,
-                       void *UserContext = nullptr);
+                       void *UserContext = nullptr, bool IsRoot = false,
+                       const RegionRunState *Parent = nullptr);
 
-  /// One replica's task loop.
+  /// One replica's task loop: the executive's exception boundary. A
+  /// throwing functor is retried per the task descriptor's RetryPolicy;
+  /// exhaustion records the failure and returns FAILED.
   TaskStatus taskLoop(const Task &T, const TaskConfig &Config,
-                      unsigned Replica, void *UserContext);
+                      unsigned Replica, void *UserContext, RegionRunState &Run);
 
   /// Executes the active inner region of \p Config on behalf of a parent
   /// replica (Task::wait).
   TaskStatus runInnerRegion(const Task &Parent, const TaskConfig &Config,
-                            void *UserContext);
+                            void *UserContext, const RegionRunState *ParentRun);
+
+  /// Records a replica's permanent failure (first one becomes the run's
+  /// cause), marks the replica's epoch failed, and requests a global
+  /// suspend so the rest of the application winds down.
+  void recordReplicaFailure(const Task &T, unsigned Replica,
+                            std::string Message, unsigned Attempts,
+                            RegionRunState &Run);
 
   TaskMetrics &metricsFor(const Task &T);
   const TaskMetrics *metricsForIfPresent(const Task &T) const;
@@ -238,23 +299,35 @@ private:
   ParDescriptor *Root;
   DopeOptions Options;
 
-  ThreadPool Pool;
+  // State a replica may touch is declared before Pool: members are
+  // destroyed in reverse order, and the pool destructor is the join point
+  // for replicas the quiesce watchdog abandoned.
   FeatureRegistry Features;
+  FailureLog Log;
+
+  std::atomic<bool> SuspendFlag{false};
+  std::atomic<bool> StopFlag{false};
+  std::atomic<bool> FailFlag{false};
+  std::atomic<bool> Finished{false};
+  std::atomic<uint64_t> ReconfigCount{0};
+
+  /// Threads wedged inside replicas the watchdog abandoned; permanently
+  /// deducted from liveThreads() (conservative — not reclaimed even if a
+  /// straggler eventually unblocks and exits).
+  std::atomic<unsigned> LostThreads{0};
+
+  // Task metrics, keyed by task id; created eagerly for the whole graph
+  // reachable from Root so lookups are lock-free afterwards.
+  std::unordered_map<unsigned, std::unique_ptr<TaskMetrics>> Metrics;
+
+  ThreadPool Pool;
 
   mutable std::mutex ConfigMutex;
   RegionConfig ActiveConfig;  // guarded by ConfigMutex
   RegionConfig PendingConfig; // guarded by ConfigMutex
   bool HasPendingConfig = false;
 
-  std::atomic<bool> SuspendFlag{false};
-  std::atomic<bool> StopFlag{false};
-  std::atomic<bool> Finished{false};
-  std::atomic<uint64_t> ReconfigCount{0};
   double LastReconfigTime = 0.0; // controller thread only
-
-  // Task metrics, keyed by task id; created eagerly for the whole graph
-  // reachable from Root so lookups are lock-free afterwards.
-  std::unordered_map<unsigned, std::unique_ptr<TaskMetrics>> Metrics;
 
   std::thread MainThread;
   std::thread ControllerThread;

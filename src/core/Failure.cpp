@@ -1,0 +1,18 @@
+//===- core/Failure.cpp - Failure domains and retry policies ---------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Failure.h"
+
+using namespace dope;
+
+std::string dope::toString(const TaskFailure &Failure) {
+  return "task '" + Failure.TaskName + "' replica " +
+         std::to_string(Failure.Replica) + " failed after " +
+         std::to_string(Failure.Attempts) +
+         (Failure.Attempts == 1 ? " attempt: " : " attempts: ") +
+         Failure.Message;
+}

@@ -1,0 +1,135 @@
+//===- core/Failure.h - Failure domains and retry policies -----*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executive's failure model. DoPE owns the parallelism of the
+/// application, so it must also own the *failure domain* of every task
+/// replica it spawns: a throwing stage functor is a per-replica event
+/// that the executive records, optionally retries (per-TaskDescriptor
+/// RetryPolicy), and surfaces as TaskStatus::Failed from Task::wait /
+/// Dope::wait — never as std::terminate.
+///
+/// Three kinds of records accumulate in a FailureLog:
+///
+///   * retries    — a functor threw and the policy re-invoked it;
+///   * failures   — a replica exhausted its retry budget (the first
+///                  failure is kept in full as the run's cause);
+///   * incidents  — the quiesce watchdog abandoned a stuck replica and
+///                  degraded the region's DoP instead of deadlocking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_CORE_FAILURE_H
+#define DOPE_CORE_FAILURE_H
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace dope {
+
+/// Bounded-retry policy attached to a TaskDescriptor. The executive
+/// re-invokes a throwing functor up to MaxAttempts times in total,
+/// sleeping an exponentially growing backoff between attempts.
+struct RetryPolicy {
+  /// Total invocation attempts per failure (1 = no retry).
+  unsigned MaxAttempts = 1;
+
+  /// Backoff before the first retry, in seconds (0 = immediate retry).
+  double BackoffSeconds = 0.0;
+
+  /// Multiplier applied to the backoff after every retry.
+  double BackoffMultiplier = 2.0;
+
+  bool operator==(const RetryPolicy &Other) const = default;
+};
+
+/// A replica-level failure: which task/replica failed, why, when, and
+/// after how many attempts.
+struct TaskFailure {
+  unsigned TaskId = 0;
+  std::string TaskName;
+  unsigned Replica = 0;
+  /// exception::what(), or a synthesized description for non-standard
+  /// exceptions and functor-reported failures.
+  std::string Message;
+  /// Executive clock (monotonic seconds) at the time of the failure.
+  double TimeSeconds = 0.0;
+  /// Attempts consumed (== the policy's MaxAttempts on exhaustion).
+  unsigned Attempts = 1;
+};
+
+/// Thread-safe accumulator of one executive's failure events. The first
+/// recorded failure is preserved in full — it is the cause reported by
+/// Dope::failure(); later failures only bump the counter (they are
+/// almost always secondary to the first).
+class FailureLog {
+public:
+  /// Records one retried invocation.
+  void recordRetry() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Retries;
+  }
+
+  /// Records a watchdog incident (stuck replica abandoned, DoP degraded).
+  void recordIncident() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Incidents;
+  }
+
+  /// Records a replica failure; returns true when this is the first
+  /// (i.e. the caller's failure becomes the run's cause).
+  bool recordFailure(TaskFailure Failure) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Failures;
+    if (First)
+      return false;
+    First = std::move(Failure);
+    return true;
+  }
+
+  std::optional<TaskFailure> firstFailure() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return First;
+  }
+
+  uint64_t retries() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Retries;
+  }
+
+  uint64_t failures() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Failures;
+  }
+
+  uint64_t incidents() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Incidents;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    First.reset();
+    Retries = Failures = Incidents = 0;
+  }
+
+private:
+  mutable std::mutex Mutex;
+  std::optional<TaskFailure> First;
+  uint64_t Retries = 0;
+  uint64_t Failures = 0;
+  uint64_t Incidents = 0;
+};
+
+/// Renders "task 'rank' replica 2 failed after 3 attempts: <message>".
+std::string toString(const TaskFailure &Failure);
+
+} // namespace dope
+
+#endif // DOPE_CORE_FAILURE_H

@@ -65,6 +65,22 @@ struct MechanismContext {
       return *Value;
     return Fallback;
   }
+
+  /// The thread budget mechanisms should plan against: the administrator
+  /// constraint MaxThreads shrunk by contexts the platform reports lost
+  /// (the "LiveContexts" feature, registered by the executive and by the
+  /// simulator's fault injector). Falls back to MaxThreads when the
+  /// feature is absent; always in [1, MaxThreads]. Mechanisms that size
+  /// configurations with effectiveThreads() re-plan around core loss with
+  /// no other fault-specific logic.
+  unsigned effectiveThreads() const {
+    const double Live = feature("LiveContexts", static_cast<double>(MaxThreads));
+    if (!(Live >= 1.0))
+      return 1;
+    if (Live >= static_cast<double>(MaxThreads))
+      return MaxThreads;
+    return static_cast<unsigned>(Live);
+  }
 };
 
 /// Base class for all parallelism adaptation mechanisms.

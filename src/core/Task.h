@@ -28,6 +28,7 @@
 #ifndef DOPE_CORE_TASK_H
 #define DOPE_CORE_TASK_H
 
+#include "core/Failure.h"
 #include "core/Types.h"
 
 #include <cassert>
@@ -95,9 +96,15 @@ public:
     return Alternatives;
   }
 
+  /// Retry policy applied by the executive when a replica of a task using
+  /// this descriptor throws (default: no retry — fail on first throw).
+  void setRetryPolicy(RetryPolicy Policy) { Retry = Policy; }
+  const RetryPolicy &retryPolicy() const { return Retry; }
+
 private:
   TaskKind Kind;
   std::vector<ParDescriptor *> Alternatives;
+  RetryPolicy Retry;
 };
 
 /// A DoPE task. Aggregates the functor, callbacks, and descriptor; runtime

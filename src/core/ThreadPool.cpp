@@ -7,6 +7,8 @@
 
 #include "core/ThreadPool.h"
 
+#include "support/Logging.h"
+
 #include <cassert>
 
 using namespace dope;
@@ -40,6 +42,30 @@ void ThreadPool::submit(std::function<void()> Job) {
   WorkAvailable.notify_one();
 }
 
+void ThreadPool::setErrorHook(ErrorHookFn Hook) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ErrorHook = std::move(Hook);
+}
+
+uint64_t ThreadPool::escapedExceptions() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return EscapedExceptions;
+}
+
+void ThreadPool::reportEscaped(const std::string &Description) {
+  ErrorHookFn Hook;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++EscapedExceptions;
+    Hook = ErrorHook;
+  }
+  if (Hook)
+    Hook(Description);
+  else
+    DOPE_LOG_ERROR("exception escaped a thread-pool job: %s",
+                   Description.c_str());
+}
+
 size_t ThreadPool::threadsCreated() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Workers.size();
@@ -64,6 +90,14 @@ void ThreadPool::workerMain() {
       Job = std::move(Jobs.front());
       Jobs.pop_front();
     }
-    Job();
+    // The worker is a failure domain: a throwing job costs one error
+    // report, not the process.
+    try {
+      Job();
+    } catch (const std::exception &E) {
+      reportEscaped(E.what());
+    } catch (...) {
+      reportEscaped("non-standard exception");
+    }
   }
 }

@@ -15,6 +15,12 @@
 /// concurrency through configuration validation (total threads <= N), and
 /// a pool that could refuse work would deadlock nested regions.
 ///
+/// Workers are a failure domain: a job whose exception escapes must not
+/// take the process down with std::terminate. Escaping exceptions are
+/// routed to a pool-level error hook (DoPE's own jobs never let one
+/// escape — the executive's task loop is the exception boundary — so the
+/// hook firing indicates a bug in code submitted around the executive).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DOPE_CORE_THREADPOOL_H
@@ -22,9 +28,11 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -33,6 +41,9 @@ namespace dope {
 /// Growable cached thread pool with fire-and-forget submission.
 class ThreadPool {
 public:
+  /// Called with a description of an exception that escaped a job.
+  using ErrorHookFn = std::function<void(const std::string &)>;
+
   ThreadPool() = default;
   ~ThreadPool();
   ThreadPool(const ThreadPool &) = delete;
@@ -42,6 +53,14 @@ public:
   /// new worker thread is created.
   void submit(std::function<void()> Job);
 
+  /// Installs the handler invoked (on the worker's thread) when a job's
+  /// exception escapes. Without a hook the pool logs the error and keeps
+  /// the worker; it never terminates the process.
+  void setErrorHook(ErrorHookFn Hook);
+
+  /// Number of job exceptions the pool has captured (monitoring/test hook).
+  uint64_t escapedExceptions() const;
+
   /// Number of worker threads ever created (monitoring/test hook).
   size_t threadsCreated() const;
 
@@ -50,11 +69,14 @@ public:
 
 private:
   void workerMain();
+  void reportEscaped(const std::string &Description);
 
   mutable std::mutex Mutex;
   std::condition_variable WorkAvailable;
   std::deque<std::function<void()>> Jobs;
   std::vector<std::thread> Workers;
+  ErrorHookFn ErrorHook;           // guarded by Mutex
+  uint64_t EscapedExceptions = 0;  // guarded by Mutex
   size_t IdleCount = 0;
   bool ShuttingDown = false;
 };

@@ -19,6 +19,8 @@ std::string dope::toString(TaskStatus Status) {
     return "SUSPENDED";
   case TaskStatus::Finished:
     return "FINISHED";
+  case TaskStatus::Failed:
+    return "FAILED";
   }
   DOPE_UNREACHABLE("invalid TaskStatus");
 }

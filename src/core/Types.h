@@ -21,7 +21,10 @@
 namespace dope {
 
 /// Status returned by task functors and by Task::begin/end/wait
-/// (paper: TaskStatus = EXECUTING | SUSPENDED | FINISHED).
+/// (paper: TaskStatus = EXECUTING | SUSPENDED | FINISHED). FAILED is this
+/// reproduction's extension of the paper's enum: the executive converts a
+/// throwing functor into a recorded failure that propagates out of
+/// Task::wait / Dope::wait instead of terminating the process.
 enum class TaskStatus {
   /// The loop continues; the functor will be invoked again.
   Executing,
@@ -30,6 +33,10 @@ enum class TaskStatus {
   Suspended,
   /// The loop exit branch was taken; the task is done.
   Finished,
+  /// The task failed permanently (functor threw and exhausted its retry
+  /// policy, or reported failure explicitly); the run winds down and the
+  /// cause is available from Dope::failure().
+  Failed,
 };
 
 /// Task type (paper: TaskType = SEQ | PAR). A sequential task's functor is

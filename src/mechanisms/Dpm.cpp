@@ -56,7 +56,7 @@ DpmMechanism::reconfigure(const ParDescriptor &Region,
   for (unsigned E : Extents)
     Used += E;
 
-  if (Used < Ctx.MaxThreads) {
+  if (Used < Ctx.effectiveThreads()) {
     // Spare budget: grow the busiest stage while it is saturated.
     if (Utilization[To] < 1.0 - Params.Deadband)
       return std::nullopt;

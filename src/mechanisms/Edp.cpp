@@ -69,7 +69,7 @@ EdpMechanism::reconfigure(const ParDescriptor &Region,
     const double T1Estimate =
         Outer.ExecTime * Params.Curve.speedup(CurrentInner);
     const double MaxThroughput =
-        static_cast<double>(Ctx.MaxThreads) / T1Estimate;
+        static_cast<double>(Ctx.effectiveThreads()) / T1Estimate;
     if (MaxThroughput > 0.0)
       DemandFraction = Outer.Throughput / MaxThroughput;
   }
@@ -77,11 +77,11 @@ EdpMechanism::reconfigure(const ParDescriptor &Region,
   // demand estimate up; half a context's worth of backlog per context
   // saturates it.
   DemandFraction +=
-      Outer.LastLoad / (0.5 * static_cast<double>(Ctx.MaxThreads));
+      Outer.LastLoad / (0.5 * static_cast<double>(Ctx.effectiveThreads()));
   if (DemandFraction > 1.0)
     DemandFraction = 1.0;
 
-  const unsigned Inner = extentForDemand(DemandFraction, Ctx.MaxThreads);
-  const unsigned Outer_ = outerExtentFor(Ctx.MaxThreads, Inner);
+  const unsigned Inner = extentForDemand(DemandFraction, Ctx.effectiveThreads());
+  const unsigned Outer_ = outerExtentFor(Ctx.effectiveThreads(), Inner);
   return makeServerConfig(Region, Outer_, Inner, Params.AltIndex);
 }

@@ -26,6 +26,7 @@ void FdpMechanism::reset() {
   MovePending = false;
   TriedMoves.clear();
   PlateauThroughput = 0.0;
+  PlateauBudget = 0;
 }
 
 std::optional<FdpMechanism::Move>
@@ -109,12 +110,16 @@ FdpMechanism::reconfigure(const ParDescriptor &Region,
   }
 
   if (State == SearchState::Converged) {
-    // Re-open the search when the workload shifted the plateau.
+    // Re-open the search when the workload shifted the plateau, or when
+    // the platform's thread budget moved under it (context loss reported
+    // through the LiveContexts feature): the drift test below compares
+    // configured capacities, which are blind to dead contexts.
     const double Drift = PlateauThroughput > 0.0
                              ? std::abs(Throughput - PlateauThroughput) /
                                    PlateauThroughput
                              : 0.0;
-    if (Drift <= Params.ReexploreDrift)
+    if (Drift <= Params.ReexploreDrift &&
+        Ctx.effectiveThreads() == PlateauBudget)
       return std::nullopt;
     TriedMoves.clear();
     BaseExtents = Extents;
@@ -139,10 +144,11 @@ FdpMechanism::reconfigure(const ParDescriptor &Region,
   }
 
   std::optional<Move> Next =
-      pickMove(Extents, ExecTimes, Parallel, Ctx.MaxThreads);
+      pickMove(Extents, ExecTimes, Parallel, Ctx.effectiveThreads());
   if (!Next) {
     State = SearchState::Converged;
     PlateauThroughput = BaseThroughput;
+    PlateauBudget = Ctx.effectiveThreads();
     // Make sure the base assignment is what actually runs.
     return View->makeConfig(BaseExtents);
   }

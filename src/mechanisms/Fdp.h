@@ -81,6 +81,11 @@ private:
   Move PendingMove = {0, 0};
   std::set<Move> TriedMoves;
   double PlateauThroughput = 0.0;
+  /// Thread budget (effectiveThreads) the plateau was reached under. The
+  /// plateau test compares *configured* capacities, which never move when
+  /// the platform loses contexts under the assignment — so a budget shift
+  /// must re-open the search explicitly.
+  unsigned PlateauBudget = 0;
 };
 
 } // namespace dope

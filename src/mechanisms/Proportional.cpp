@@ -75,6 +75,6 @@ ProportionalMechanism::reconfigure(const ParDescriptor &Region,
   if (Root.Tasks.empty() || Root.Tasks.front().Invocations == 0)
     return std::nullopt;
   RegionConfig Config;
-  Config.Tasks = assignRegion(Region, Root, Current.Tasks, Ctx.MaxThreads);
+  Config.Tasks = assignRegion(Region, Root, Current.Tasks, Ctx.effectiveThreads());
   return Config;
 }

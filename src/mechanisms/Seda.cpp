@@ -30,7 +30,7 @@ SedaMechanism::reconfigure(const ParDescriptor &Region,
 
   const std::vector<StageView> &Stages = View->stages();
   const unsigned Cap =
-      Params.PerStageCap > 0 ? Params.PerStageCap : Ctx.MaxThreads;
+      Params.PerStageCap > 0 ? Params.PerStageCap : Ctx.effectiveThreads();
 
   // Local, uncoordinated per-stage decisions.
   std::vector<unsigned> Extents;
@@ -51,7 +51,7 @@ SedaMechanism::reconfigure(const ParDescriptor &Region,
     unsigned Total = 0;
     for (unsigned E : Extents)
       Total += E;
-    while (Total > Ctx.MaxThreads) {
+    while (Total > Ctx.effectiveThreads()) {
       size_t Victim = PipelineView::npos;
       double MinLoad = 0.0;
       for (size_t I = 0; I != Extents.size(); ++I) {

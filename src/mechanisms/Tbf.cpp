@@ -63,7 +63,7 @@ TbfMechanism::reconfigure(const ParDescriptor &Region,
   for (const StageView &SV : Stages)
     UnitCosts.push_back(SV.IsParallel ? SV.ExecTime : 0.0);
   std::vector<unsigned> Extents =
-      waterfillSplit(Ctx.MaxThreads, UnitCosts, /*PinnedUnits=*/1);
+      waterfillSplit(Ctx.effectiveThreads(), UnitCosts, /*PinnedUnits=*/1);
 
   // Evaluate imbalance at the balanced assignment: the remaining spread
   // between stage capacities after the proportional split.
@@ -80,7 +80,7 @@ TbfMechanism::reconfigure(const ParDescriptor &Region,
     const int FusedAlt = View->smallestAlternative();
     if (FusedAlt != View->activeAlternative()) {
       Fused = true;
-      return View->makeAlternativeConfig(FusedAlt, Ctx.MaxThreads);
+      return View->makeAlternativeConfig(FusedAlt, Ctx.effectiveThreads());
     }
   }
 

@@ -101,7 +101,7 @@ TpcMechanism::reconfigure(const ParDescriptor &Region,
       LastKey = PreOvershootKey;
       return View->makeConfig(PreOvershootKey);
     }
-    if (totalOf(Extents) >= Ctx.MaxThreads) {
+    if (totalOf(Extents) >= Ctx.effectiveThreads()) {
       State = Phase::Stable;
       StableThroughput = Throughput;
       return std::nullopt;

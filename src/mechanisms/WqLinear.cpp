@@ -56,7 +56,7 @@ WqLinearMechanism::reconfigure(const ParDescriptor &Region,
   }
   LastExtent = Extent;
 
-  const unsigned Outer = outerExtentFor(Ctx.MaxThreads, Extent);
+  const unsigned Outer = outerExtentFor(Ctx.effectiveThreads(), Extent);
   return makeServerConfig(Region, Outer, Extent, Params.AltIndex);
 }
 

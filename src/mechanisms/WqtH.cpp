@@ -48,7 +48,7 @@ WqtHMechanism::reconfigure(const ParDescriptor &Region,
   }
 
   const unsigned Inner = InPar ? Params.MMax : 1;
-  const unsigned Outer = outerExtentFor(Ctx.MaxThreads, Inner);
+  const unsigned Outer = outerExtentFor(Ctx.effectiveThreads(), Inner);
   return makeServerConfig(Region, Outer, Inner, Params.AltIndex);
 }
 

@@ -1,0 +1,62 @@
+//===- metrics/FaultStats.cpp - Failure and recovery counters --------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/FaultStats.h"
+
+#include <cstdio>
+
+using namespace dope;
+
+std::string dope::toString(const FaultStats &Stats) {
+  char Buffer[160];
+  if (Stats.TimeToRecoverSeconds >= 0.0)
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "kills=%llu wedged=%llu incidents=%llu retries=%llu "
+                  "shed=%llu dropped=%llu recover=%.1fs",
+                  static_cast<unsigned long long>(Stats.ContextsKilled),
+                  static_cast<unsigned long long>(Stats.ReplicasWedged),
+                  static_cast<unsigned long long>(Stats.Incidents),
+                  static_cast<unsigned long long>(Stats.Retries),
+                  static_cast<unsigned long long>(Stats.ItemsShed),
+                  static_cast<unsigned long long>(Stats.ItemsDropped),
+                  Stats.TimeToRecoverSeconds);
+  else
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "kills=%llu wedged=%llu incidents=%llu retries=%llu "
+                  "shed=%llu dropped=%llu recover=never",
+                  static_cast<unsigned long long>(Stats.ContextsKilled),
+                  static_cast<unsigned long long>(Stats.ReplicasWedged),
+                  static_cast<unsigned long long>(Stats.Incidents),
+                  static_cast<unsigned long long>(Stats.Retries),
+                  static_cast<unsigned long long>(Stats.ItemsShed),
+                  static_cast<unsigned long long>(Stats.ItemsDropped));
+  return Buffer;
+}
+
+double dope::timeToRecover(const TimeSeries &Throughput, double FaultTime,
+                           double TargetRate, double SustainSeconds) {
+  const std::vector<TimeSeries::Point> &Points = Throughput.points();
+  for (size_t I = 0; I != Points.size(); ++I) {
+    if (Points[I].Time < FaultTime || Points[I].Value < TargetRate)
+      continue;
+    // Candidate window: every later window up to Time + SustainSeconds
+    // must hold the rate too (0 accepts the single window).
+    bool Sustained = true;
+    for (size_t J = I + 1;
+         SustainSeconds > 0.0 && J != Points.size(); ++J) {
+      if (Points[J].Time > Points[I].Time + SustainSeconds)
+        break;
+      if (Points[J].Value < TargetRate) {
+        Sustained = false;
+        break;
+      }
+    }
+    if (Sustained)
+      return Points[I].Time - FaultTime;
+  }
+  return -1.0;
+}

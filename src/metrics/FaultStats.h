@@ -1,0 +1,70 @@
+//===- metrics/FaultStats.h - Failure and recovery counters ----*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters describing how a run weathered faults and overload: injected
+/// incidents (context kills, wedged replicas), executive-side retries,
+/// requests shed by admission control, items lost to dropped hand-offs,
+/// and the time the system needed to recover its throughput after a
+/// fault. Filled by the fault-injecting simulator and by the native
+/// executive's failure log; consumed by bench/ext_faults and the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_METRICS_FAULTSTATS_H
+#define DOPE_METRICS_FAULTSTATS_H
+
+#include "metrics/TimeSeries.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dope {
+
+/// Failure/recovery counters of one run.
+struct FaultStats {
+  /// Hardware contexts permanently lost to injected kills.
+  uint64_t ContextsKilled = 0;
+
+  /// Stage replicas wedged by context kills (stuck until the next
+  /// reconfiguration respawns the stage's replicas).
+  uint64_t ReplicasWedged = 0;
+
+  /// Failure incidents: injected kills/stalls in the simulator, watchdog
+  /// abandonments in the native executive.
+  uint64_t Incidents = 0;
+
+  /// Functor invocations the executive retried after an exception.
+  uint64_t Retries = 0;
+
+  /// Requests rejected at the outer queue by admission control.
+  uint64_t ItemsShed = 0;
+
+  /// Items lost to dropped inter-stage hand-offs.
+  uint64_t ItemsDropped = 0;
+
+  /// Seconds from the first fault until throughput recovered (see
+  /// timeToRecover); negative when the run never recovered or no fault
+  /// was injected.
+  double TimeToRecoverSeconds = -1.0;
+};
+
+/// Renders "kills=2 wedged=6 incidents=2 retries=0 shed=120 dropped=3
+/// recover=14.0s".
+std::string toString(const FaultStats &Stats);
+
+/// Seconds between \p FaultTime and the start of the first window of
+/// \p Throughput at or after the fault whose rate sustains at least
+/// \p TargetRate (this window and every later one averaging >= the
+/// target over \p SustainSeconds). Returns a negative value when the
+/// series never recovers.
+double timeToRecover(const TimeSeries &Throughput, double FaultTime,
+                     double TargetRate, double SustainSeconds = 0.0);
+
+} // namespace dope
+
+#endif // DOPE_METRICS_FAULTSTATS_H

@@ -1,0 +1,116 @@
+//===- sim/FaultInjector.h - Deterministic fault injection -----*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded fault injection for the simulated platform. A FaultPlan
+/// describes *what* goes wrong and when:
+///
+///   * ContextKillEvent — permanently removes hardware contexts at a
+///     point in time. Replicas running on the killed contexts wedge:
+///     they hold their stage slot but make no progress until the next
+///     reconfiguration respawns the stage (static baselines never
+///     reconfigure, so they stay degraded — the point of the
+///     experiment). The surviving context count is published through
+///     the FeatureRegistry as "LiveContexts", the one signal adaptive
+///     mechanisms need to re-plan around the shrunken machine.
+///
+///   * StallEvent — a transient straggler episode: a stage's service
+///     time is inflated by a factor for a duration, then reverts.
+///
+///   * StragglerProbability / HandoffDropProbability — continuous
+///     background noise: individual service instances randomly inflated,
+///     individual inter-stage hand-offs randomly lost.
+///
+/// The FaultInjector owns the plan plus a dedicated Rng seeded from the
+/// run seed, so fault placement is deterministic and independent of the
+/// service-time stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SIM_FAULTINJECTOR_H
+#define DOPE_SIM_FAULTINJECTOR_H
+
+#include "support/Random.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dope {
+
+/// Permanently kill \p Count contexts at \p Time.
+struct ContextKillEvent {
+  double Time = 0.0;
+  unsigned Count = 1;
+  /// Wedge only replicas of parallel stages. A wedged sequential stage
+  /// (extent pinned at 1) halts the pipeline in a way no DoP decision
+  /// can repair, which tests a different property than graceful
+  /// degradation; keep true unless that is the point.
+  bool SpareSequentialStages = true;
+};
+
+/// Transiently inflate stage \p Stage's service time by \p Factor for
+/// \p DurationSeconds starting at \p Time (negative stage = all stages).
+struct StallEvent {
+  double Time = 0.0;
+  int Stage = -1;
+  double Factor = 4.0;
+  double DurationSeconds = 1.0;
+};
+
+/// What goes wrong during a simulated run.
+struct FaultPlan {
+  std::vector<ContextKillEvent> Kills;
+  std::vector<StallEvent> Stalls;
+
+  /// Per-service-instance probability of running \p StragglerFactor
+  /// times slower (models interference stragglers).
+  double StragglerProbability = 0.0;
+  double StragglerFactor = 4.0;
+
+  /// Per-hand-off probability of the item being lost between stages.
+  double HandoffDropProbability = 0.0;
+
+  bool empty() const {
+    return Kills.empty() && Stalls.empty() && StragglerProbability <= 0.0 &&
+           HandoffDropProbability <= 0.0;
+  }
+};
+
+/// Applies a FaultPlan with a deterministic random stream.
+class FaultInjector {
+public:
+  FaultInjector(FaultPlan Plan, uint64_t Seed)
+      : Plan(std::move(Plan)), FaultRng(Seed ^ 0xfa17ed5eedULL) {}
+
+  const FaultPlan &plan() const { return Plan; }
+
+  /// True when the current hand-off should be dropped.
+  bool dropHandoff() {
+    return Plan.HandoffDropProbability > 0.0 &&
+           FaultRng.uniform() < Plan.HandoffDropProbability;
+  }
+
+  /// Service-time scale for one instance: StragglerFactor with
+  /// StragglerProbability, else 1.
+  double stragglerScale() {
+    if (Plan.StragglerProbability > 0.0 &&
+        FaultRng.uniform() < Plan.StragglerProbability)
+      return Plan.StragglerFactor;
+    return 1.0;
+  }
+
+  /// Uniform integer in [0, N) for victim selection.
+  uint64_t pickVictim(uint64_t N) { return FaultRng.uniformInt(N); }
+
+private:
+  FaultPlan Plan;
+  Rng FaultRng;
+};
+
+} // namespace dope
+
+#endif // DOPE_SIM_FAULTINJECTOR_H

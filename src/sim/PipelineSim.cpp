@@ -104,14 +104,20 @@ public:
   Engine(const PipelineAppModel &App, const PipelineSimOptions &Opts,
          const std::vector<Disturbance> &Disturbances,
          const ParDescriptor &Root, const Task &Driver, Mechanism *Mech,
-         std::vector<unsigned> InitialExtents)
+         std::vector<unsigned> InitialExtents, FaultInjector *Faults)
       : App(App), Opts(Opts), Disturbances(Disturbances), Root(Root),
-        Driver(Driver), Mech(Mech), ServiceRng(Opts.Seed ^ 0xabcdefULL),
-        ArrivalRng(Opts.Seed), Completions(Opts.TraceWindowSeconds) {
+        Driver(Driver), Mech(Mech), Faults(Faults),
+        ServiceRng(Opts.Seed ^ 0xabcdefULL), ArrivalRng(Opts.Seed),
+        Completions(Opts.TraceWindowSeconds) {
     activateAlternative(0, std::move(InitialExtents));
     Features.registerFeature(
         "SystemPower", [this] { return currentPower(); },
         Opts.PowerSampleIntervalSeconds);
+    // The one signal mechanisms need to re-plan around core loss
+    // (MechanismContext::effectiveThreads reads it).
+    Features.registerFeature("LiveContexts", [this] {
+      return static_cast<double>(liveContexts());
+    });
   }
 
   PipelineSimResult run();
@@ -147,6 +153,15 @@ private:
     return Opts.Power.watts(static_cast<double>(Running.size()));
   }
 
+  unsigned liveContexts() const {
+    return DeadContexts >= Opts.Contexts ? 1u : Opts.Contexts - DeadContexts;
+  }
+
+  /// All items awaiting completion (batch-mode termination must account
+  /// for items that can never complete: shed at admission or lost to a
+  /// dropped hand-off).
+  uint64_t itemsResolved() const { return ItemsDone + ItemsLost + ItemsShed; }
+
   double totalExtent() const {
     double Total = 0.0;
     for (unsigned E : Extents)
@@ -154,14 +169,15 @@ private:
     return Total;
   }
 
-  /// Per-thread progress rate under the processor-sharing model.
+  /// Per-thread progress rate under the processor-sharing model. Killed
+  /// contexts are gone: the sharing pool is the *live* context count.
   double rate() const {
     if (Paused)
       return 0.0;
     const double Busy = static_cast<double>(Running.size());
     if (Busy == 0.0)
       return 1.0;
-    const double C = static_cast<double>(Opts.Contexts);
+    const double C = static_cast<double>(liveContexts());
     const double Footprint =
         1.0 / (1.0 + App.ThreadOverheadPenalty *
                          std::max(0.0, totalExtent() / C - 1.0));
@@ -228,6 +244,13 @@ private:
     const size_t Last = activeSpecs().size() - 1;
     if (Done.Stage == Last) {
       finishItem(Done.It);
+      assert(InUse[Done.Stage] > 0 && "stage accounting underflow");
+      --InUse[Done.Stage];
+      return;
+    }
+    // Injected hand-off loss: the item vanishes between stages.
+    if (Faults && Faults->dropHandoff()) {
+      ++ItemsLost;
       assert(InUse[Done.Stage] > 0 && "stage accounting underflow");
       --InUse[Done.Stage];
       return;
@@ -302,10 +325,15 @@ private:
           Svc.Stage = S;
           Svc.It = It;
           Svc.StartTime = Events.now();
-          Svc.Remaining = ServiceRng.logNormal(
-                              Specs[S].ServiceSeconds * DisturbFactor[S],
-                              Specs[S].Cv) +
-                          CommOverhead[S];
+          double Scale = DisturbFactor[S];
+          if (Faults) {
+            Scale *= stallFactor(S);
+            Scale *= Faults->stragglerScale();
+          }
+          Svc.Remaining =
+              ServiceRng.logNormal(Specs[S].ServiceSeconds * Scale,
+                                   Specs[S].Cv) +
+              CommOverhead[S];
           Running.push_back(Svc);
           ++InUse[S];
           Progress = true;
@@ -321,11 +349,16 @@ private:
         Alt == 1 ? App.FusedStages : App.Stages;
     assert(!Specs.empty() && "activating an absent alternative");
 
-    // Salvage in-flight items in rough pipeline order.
+    // Salvage in-flight items in rough pipeline order. Wedged replicas
+    // are released here too: reconfiguration respawns stage replicas on
+    // live contexts, so their items re-enter at the head of the pipeline.
     std::deque<Item> Salvaged;
     if (!Queues.empty()) {
       for (size_t S = Queues.size(); S-- > 0;) {
         for (const Service &Svc : Running)
+          if (Svc.Stage == S)
+            Salvaged.push_back(Svc.It);
+        for (const Service &Svc : Wedged)
           if (Svc.Stage == S)
             Salvaged.push_back(Svc.It);
         for (const BlockedProducer &P : Blocked[S])
@@ -335,6 +368,7 @@ private:
       }
     }
     Running.clear();
+    Wedged.clear();
 
     ActiveAlt = Alt;
     Queues.assign(Specs.size(), {});
@@ -444,6 +478,16 @@ private:
       for (size_t I = 0; I != Extents.size(); ++I)
         Extents[I] = Specs[I].Parallel ? std::max(1u, NewExtents[I]) : 1;
       recomputeCommOverhead();
+      // Reconfiguration respawns the stages' task loops, which unwedges
+      // replicas stuck on killed contexts: fresh replicas start on live
+      // contexts and the stuck items restart at the head.
+      for (const Service &Svc : Wedged) {
+        assert(InUse[Svc.Stage] > 0 && "stage accounting underflow");
+        --InUse[Svc.Stage];
+        MigrationBacklog.push_back(Svc.It);
+      }
+      Wedged.clear();
+      feed();
     }
     ++Reconfigs;
 
@@ -461,7 +505,7 @@ private:
   }
 
   void decisionTick() {
-    if (ItemsDone >= Opts.NumItems)
+    if (itemsResolved() >= Opts.NumItems)
       return;
     advance();
     // Sample queue occupancies (the LoadCB signal).
@@ -490,7 +534,7 @@ private:
   void powerTick() {
     advance();
     PowerTrace.addPoint(Events.now(), currentPower());
-    if (ItemsDone >= Opts.NumItems)
+    if (itemsResolved() >= Opts.NumItems)
       return;
     Events.scheduleAfter(Opts.PowerSampleIntervalSeconds,
                          [this] { powerTick(); });
@@ -499,14 +543,29 @@ private:
   void scheduleArrival() {
     if (Fed >= Opts.NumItems)
       return;
-    const double Gap = ArrivalRng.exponential(Opts.ArrivalRate);
+    // Burst/overload traces modulate the Poisson rate; an empty trace is
+    // a constant load factor of 1.
+    double LoadFactor = Opts.ArrivalTrace.phaseCount() > 0
+                            ? Opts.ArrivalTrace.loadFactorAt(Events.now())
+                            : 1.0;
+    LoadFactor = std::max(LoadFactor, 1e-3);
+    const double Gap = ArrivalRng.exponential(Opts.ArrivalRate * LoadFactor);
     Events.scheduleAfter(Gap, [this] {
       advance();
-      Queues[0].push_back({Fed, Events.now(), -1.0});
-      ++Fed;
-      startServices();
-      refreshRate();
-      rescheduleHorizon();
+      PeakOuterQueue = std::max(PeakOuterQueue, Queues[0].size());
+      // Admission control: shedding at the outer queue keeps occupancy
+      // (and therefore response time) bounded under overload.
+      if (Opts.AdmissionLimit > 0 &&
+          Queues[0].size() >= Opts.AdmissionLimit) {
+        ++ItemsShed;
+        ++Fed;
+      } else {
+        Queues[0].push_back({Fed, Events.now(), -1.0});
+        ++Fed;
+        startServices();
+        refreshRate();
+        rescheduleHorizon();
+      }
       scheduleArrival();
     });
   }
@@ -525,12 +584,86 @@ private:
     }
   }
 
+  void noteFault() {
+    ++Incidents;
+    if (FirstFaultTime < 0.0)
+      FirstFaultTime = Events.now();
+  }
+
+  /// Removes \p Kill.Count contexts from the platform. A replica running
+  /// on a killed context wedges: it keeps its stage slot (InUse) but
+  /// leaves the processor-sharing pool, so the stage runs short-handed
+  /// until a reconfiguration respawns it.
+  void applyContextKill(const ContextKillEvent &Kill) {
+    advance();
+    noteFault();
+    const std::vector<PipelineStageSpec> &Specs = activeSpecs();
+    for (unsigned K = 0; K != Kill.Count && DeadContexts + 1 < Opts.Contexts;
+         ++K) {
+      ++DeadContexts;
+      // The victim is whichever replica ran on the killed context: a
+      // random running service (sequential stages spared by default —
+      // see ContextKillEvent::SpareSequentialStages).
+      std::vector<size_t> Candidates;
+      for (size_t I = 0; I != Running.size(); ++I)
+        if (!Kill.SpareSequentialStages || Specs[Running[I].Stage].Parallel)
+          Candidates.push_back(I);
+      if (Candidates.empty())
+        continue; // the killed context was idle
+      const size_t Victim =
+          Candidates[Faults->pickVictim(Candidates.size())];
+      Wedged.push_back(Running[Victim]);
+      Running.erase(Running.begin() + static_cast<long>(Victim));
+      ++WedgedCount;
+    }
+    startServices();
+    refreshRate();
+    rescheduleHorizon();
+  }
+
+  void scheduleFaults() {
+    if (!Faults)
+      return;
+    const FaultPlan &Plan = Faults->plan();
+    for (const ContextKillEvent &Kill : Plan.Kills)
+      Events.scheduleAt(Kill.Time,
+                        [this, Kill] { applyContextKill(Kill); });
+    for (size_t I = 0; I != Plan.Stalls.size(); ++I) {
+      const StallEvent Stall = Plan.Stalls[I];
+      // Active stalls are kept apart from DisturbFactor, which
+      // activateAlternative resets on a mid-stall alternative switch.
+      Events.scheduleAt(Stall.Time, [this, Stall, I] {
+        noteFault();
+        ActiveStalls.emplace_back(I, Stall);
+      });
+      Events.scheduleAt(Stall.Time + Stall.DurationSeconds, [this, I] {
+        for (auto It = ActiveStalls.begin(); It != ActiveStalls.end(); ++It)
+          if (It->first == I) {
+            ActiveStalls.erase(It);
+            break;
+          }
+      });
+    }
+  }
+
+  /// Service-time inflation stage \p S currently suffers from transient
+  /// stall episodes.
+  double stallFactor(size_t S) const {
+    double Factor = 1.0;
+    for (const auto &[Id, Stall] : ActiveStalls)
+      if (Stall.Stage < 0 || static_cast<size_t>(Stall.Stage) == S)
+        Factor *= Stall.Factor;
+    return Factor;
+  }
+
   const PipelineAppModel &App;
   const PipelineSimOptions &Opts;
   const std::vector<Disturbance> &Disturbances;
   const ParDescriptor &Root;
   const Task &Driver;
   Mechanism *Mech;
+  /// Fault injection; null when the run has no fault plan.
+  FaultInjector *Faults;
 
   EventQueue Events;
   Rng ServiceRng;
@@ -556,6 +689,19 @@ private:
   double CurrentRate = 1.0;
   EventId HorizonEvent = 0;
 
+  // Fault state. Wedged replicas hold a stage slot (InUse) but are not in
+  // Running, so they consume no CPU; a reconfiguration releases their
+  // items into MigrationBacklog.
+  unsigned DeadContexts = 0;
+  std::vector<Service> Wedged;
+  std::vector<std::pair<size_t, StallEvent>> ActiveStalls;
+  uint64_t ItemsLost = 0;
+  uint64_t ItemsShed = 0;
+  uint64_t WedgedCount = 0;
+  uint64_t Incidents = 0;
+  double FirstFaultTime = -1.0;
+  size_t PeakOuterQueue = 0;
+
   ResponseStats Stats;
   RateTracker Completions;
   TimeSeries PowerTrace{"power"};
@@ -564,6 +710,7 @@ private:
 
 PipelineSimResult Engine::run() {
   scheduleDisturbances();
+  scheduleFaults();
   if (Opts.OpenLoop) {
     assert(Opts.ArrivalRate > 0.0 && "open loop needs an arrival rate");
     scheduleArrival();
@@ -578,11 +725,11 @@ PipelineSimResult Engine::run() {
   Events.scheduleAfter(Opts.PowerSampleIntervalSeconds,
                        [this] { powerTick(); });
 
-  while (ItemsDone < Opts.NumItems && Events.now() < Opts.MaxSimSeconds) {
+  while (itemsResolved() < Opts.NumItems && Events.now() < Opts.MaxSimSeconds) {
     if (!Events.step(Opts.MaxSimSeconds))
       break;
   }
-  if (ItemsDone < Opts.NumItems)
+  if (itemsResolved() < Opts.NumItems)
     DOPE_LOG_WARN("pipeline sim ended early: %llu/%llu items (t=%.1fs)",
                   static_cast<unsigned long long>(ItemsDone),
                   static_cast<unsigned long long>(Opts.NumItems),
@@ -604,6 +751,14 @@ PipelineSimResult Engine::run() {
   Result.Reconfigurations = Reconfigs;
   Result.FinalExtents = Extents;
   Result.EndedFused = ActiveAlt == 1;
+  Result.Faults.ContextsKilled = DeadContexts;
+  Result.Faults.ReplicasWedged = WedgedCount;
+  Result.Faults.Incidents = Incidents;
+  Result.Faults.ItemsShed = ItemsShed;
+  Result.Faults.ItemsDropped = ItemsLost;
+  Result.FirstFaultTime = FirstFaultTime;
+  Result.LiveContextsAtEnd = liveContexts();
+  Result.PeakOuterQueue = PeakOuterQueue;
   return Result;
 }
 
@@ -613,7 +768,9 @@ PipelineSimResult PipelineSim::run(Mechanism *Mech,
                                    std::vector<unsigned> InitialExtents) {
   if (Mech)
     Mech->reset();
+  FaultInjector Injector(Faults, Opts.Seed);
   Engine E(App, Opts, Disturbances, *Root, *Driver, Mech,
-           std::move(InitialExtents));
+           std::move(InitialExtents),
+           Faults.empty() ? nullptr : &Injector);
   return E.run();
 }

@@ -35,12 +35,15 @@
 #include "core/Placement.h"
 #include "core/Task.h"
 #include "core/Topology.h"
+#include "metrics/FaultStats.h"
 #include "metrics/ResponseStats.h"
 #include "metrics/TimeSeries.h"
 #include "sim/EventQueue.h"
+#include "sim/FaultInjector.h"
 #include "sim/PowerModel.h"
 #include "support/MovingAverage.h"
 #include "support/Random.h"
+#include "workload/Arrivals.h"
 
 #include <cstdint>
 #include <deque>
@@ -105,6 +108,13 @@ struct PipelineSimOptions {
   /// Open loop: Poisson arrivals at ArrivalRate. Batch otherwise.
   bool OpenLoop = false;
   double ArrivalRate = 1.0;
+  /// Load-factor schedule modulating the open-loop arrival rate over time
+  /// (burst/overload traces); an empty trace keeps the rate constant.
+  LoadTrace ArrivalTrace;
+  /// Admission control: arrivals finding this many items already waiting
+  /// in the outer queue are shed (counted, not enqueued), bounding queue
+  /// occupancy under overload. 0 disables shedding.
+  size_t AdmissionLimit = 0;
   /// Items to push through the pipeline.
   uint64_t NumItems = 2000;
   /// Mechanism decision cadence.
@@ -155,6 +165,17 @@ struct PipelineSimResult {
   std::vector<unsigned> FinalExtents;
   /// True when the run ended on the fused alternative.
   bool EndedFused = false;
+  /// Failure/recovery counters (kills, wedges, sheds, drops).
+  /// TimeToRecoverSeconds is left for the harness to fill — the engine
+  /// does not know the caller's recovery target.
+  FaultStats Faults;
+  /// Virtual time of the first injected fault; negative without faults.
+  double FirstFaultTime = -1.0;
+  /// Live contexts at the end of the run (Contexts minus kills).
+  unsigned LiveContextsAtEnd = 0;
+  /// Peak outer-queue occupancy observed at arrival instants (open loop);
+  /// with admission control this is bounded by AdmissionLimit.
+  size_t PeakOuterQueue = 0;
 };
 
 /// The pipeline simulator.
@@ -171,6 +192,11 @@ public:
   /// Adds a disturbance applied during subsequent run() calls.
   void addDisturbance(const Disturbance &D) { Disturbances.push_back(D); }
   void clearDisturbances() { Disturbances.clear(); }
+
+  /// Installs the fault plan applied during subsequent run() calls (the
+  /// injector itself is re-seeded per run from the options seed).
+  void setFaultPlan(FaultPlan Plan) { Faults = std::move(Plan); }
+  const FaultPlan &faultPlan() const { return Faults; }
 
   /// Analytic throughput bound of a configuration: the lesser of the
   /// bottleneck stage capacity min_i(n_i / s_i) and the CPU pool bound
@@ -190,6 +216,7 @@ private:
   PipelineAppModel App;
   PipelineSimOptions Opts;
   std::vector<Disturbance> Disturbances;
+  FaultPlan Faults;
 
   TaskGraph Graph;
   ParDescriptor *Root = nullptr;

@@ -58,3 +58,13 @@ LoadTrace LoadTrace::makeStepPattern(double LightLoad, double HeavyLoad,
   }
   return Trace;
 }
+
+LoadTrace LoadTrace::makeBurstPattern(double BaseLoad, double BurstLoad,
+                                      double BaseSeconds,
+                                      double BurstSeconds) {
+  LoadTrace Trace;
+  Trace.addPhase(BaseLoad, BaseSeconds);
+  Trace.addPhase(BurstLoad, BurstSeconds);
+  Trace.addPhase(BaseLoad, BaseSeconds);
+  return Trace;
+}

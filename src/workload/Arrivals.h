@@ -72,6 +72,12 @@ public:
   static LoadTrace makeStepPattern(double LightLoad, double HeavyLoad,
                                    double PhaseSeconds, unsigned Cycles);
 
+  /// An overload burst: baseline load, then a burst well past capacity
+  /// (BurstLoad > 1), then baseline again for the drain/recovery phase.
+  /// Used by the admission-control experiments.
+  static LoadTrace makeBurstPattern(double BaseLoad, double BurstLoad,
+                                    double BaseSeconds, double BurstSeconds);
+
 private:
   struct Phase {
     double LoadFactor;

@@ -11,10 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <vector>
 
 using namespace dope;
 
@@ -154,6 +158,46 @@ TEST(ThreadPool, BurstOfBlockingJobsAllStart) {
   EXPECT_TRUE(Ok) << "only " << Started.load() << "/" << Burst
                   << " burst jobs started";
   AllStarted.notify_all();
+}
+
+TEST(ThreadPool, EscapedExceptionsHitErrorHookNotTerminate) {
+  // Failure domain: a job that lets an exception escape must not take the
+  // process down (an escaped exception in a std::thread calls
+  // std::terminate). The pool catches it, counts it, and reports it
+  // through the error hook; the worker survives to run later jobs.
+  ThreadPool Pool;
+  std::mutex M;
+  std::condition_variable Cv;
+  std::vector<std::string> Reports;
+  Pool.setErrorHook([&](const std::string &What) {
+    std::lock_guard<std::mutex> Lock(M);
+    Reports.push_back(What);
+    Cv.notify_one();
+  });
+
+  Pool.submit([] { throw std::runtime_error("job exploded"); });
+  Pool.submit([] { throw 42; }); // non-standard exception
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] { return Reports.size() == 2; });
+  }
+  EXPECT_EQ(Pool.escapedExceptions(), 2u);
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    EXPECT_NE(std::find(Reports.begin(), Reports.end(), "job exploded"),
+              Reports.end());
+  }
+
+  // The surviving workers still run jobs.
+  std::atomic<bool> Ran{false};
+  Pool.submit([&] {
+    Ran.store(true);
+    Cv.notify_one();
+  });
+  std::mutex M2;
+  std::unique_lock<std::mutex> Lock(M2);
+  Cv.wait(Lock, [&] { return Ran.load(); });
+  EXPECT_TRUE(Ran.load());
 }
 
 TEST(ThreadPool, NestedSubmission) {

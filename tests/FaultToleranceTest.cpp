@@ -1,0 +1,212 @@
+//===- tests/FaultToleranceTest.cpp - Executive failure domains ------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of the executive's failure model: throwing functors become
+/// TaskStatus::Failed from Dope::wait (never std::terminate), FiniCBs run
+/// exactly once on the failure path, the per-descriptor RetryPolicy
+/// retries transient faults, and the quiesce watchdog degrades a stuck
+/// region instead of deadlocking it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Builders.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+using namespace dope;
+
+namespace {
+
+TEST(FaultTolerance, ThrowingFunctorFailsRunWithExactlyOnceFini) {
+  TaskGraph Graph;
+  std::atomic<int> FiniCount{0};
+  Task *Boom = Graph.createTask(
+      "boom",
+      [](TaskRuntime &) -> TaskStatus {
+        throw std::runtime_error("kaboom");
+      },
+      LoadFn(), Graph.seqDescriptor(), HookFn(),
+      [&] { FiniCount.fetch_add(1); });
+  ParDescriptor *Root = Graph.createRegion({Boom});
+
+  DopeOptions Opts;
+  Opts.MaxThreads = 2;
+  std::unique_ptr<Dope> D = Dope::create(Root, std::move(Opts));
+  EXPECT_EQ(D->wait(), TaskStatus::Failed);
+  EXPECT_EQ(D->status(), TaskStatus::Failed);
+
+  std::optional<TaskFailure> Cause = D->failure();
+  ASSERT_TRUE(Cause.has_value());
+  EXPECT_EQ(Cause->TaskName, "boom");
+  EXPECT_EQ(Cause->Message, "kaboom");
+  EXPECT_EQ(Cause->Attempts, 1u);
+  EXPECT_GE(D->failureLog().failures(), 1u);
+  EXPECT_EQ(FiniCount.load(), 1);
+}
+
+TEST(FaultTolerance, FunctorReportedFailureFailsRun) {
+  TaskGraph Graph;
+  Task *T = Graph.createTask(
+      "reporter", [](TaskRuntime &) { return TaskStatus::Failed; },
+      LoadFn(), Graph.seqDescriptor());
+  ParDescriptor *Root = Graph.createRegion({T});
+
+  DopeOptions Opts;
+  Opts.MaxThreads = 2;
+  std::unique_ptr<Dope> D = Dope::create(Root, std::move(Opts));
+  EXPECT_EQ(D->wait(), TaskStatus::Failed);
+  std::optional<TaskFailure> Cause = D->failure();
+  ASSERT_TRUE(Cause.has_value());
+  EXPECT_EQ(Cause->TaskName, "reporter");
+}
+
+TEST(FaultTolerance, RetryPolicyRecoversTransientFault) {
+  TaskGraph Graph;
+  std::atomic<int> Calls{0};
+  TaskDescriptor *Desc = Graph.seqDescriptor();
+  Desc->setRetryPolicy({/*MaxAttempts=*/3, /*BackoffSeconds=*/0.0});
+  Task *Flaky = Graph.createTask(
+      "flaky",
+      [&](TaskRuntime &) -> TaskStatus {
+        if (Calls.fetch_add(1) < 2)
+          throw std::runtime_error("transient");
+        return TaskStatus::Finished;
+      },
+      LoadFn(), Desc);
+  ParDescriptor *Root = Graph.createRegion({Flaky});
+
+  DopeOptions Opts;
+  Opts.MaxThreads = 2;
+  std::unique_ptr<Dope> D = Dope::create(Root, std::move(Opts));
+  EXPECT_EQ(D->wait(), TaskStatus::Finished);
+  EXPECT_EQ(Calls.load(), 3);
+  EXPECT_EQ(D->failureLog().retries(), 2u);
+  EXPECT_EQ(D->failureLog().failures(), 0u);
+  EXPECT_FALSE(D->failure().has_value());
+}
+
+TEST(FaultTolerance, RetryPolicyExhaustionFailsWithAttemptCount) {
+  TaskGraph Graph;
+  std::atomic<int> Calls{0};
+  TaskDescriptor *Desc = Graph.seqDescriptor();
+  Desc->setRetryPolicy({/*MaxAttempts=*/2, /*BackoffSeconds=*/0.0});
+  Task *Doomed = Graph.createTask(
+      "doomed",
+      [&](TaskRuntime &) -> TaskStatus {
+        Calls.fetch_add(1);
+        throw std::runtime_error("permanent");
+      },
+      LoadFn(), Desc);
+  ParDescriptor *Root = Graph.createRegion({Doomed});
+
+  DopeOptions Opts;
+  Opts.MaxThreads = 2;
+  std::unique_ptr<Dope> D = Dope::create(Root, std::move(Opts));
+  EXPECT_EQ(D->wait(), TaskStatus::Failed);
+  EXPECT_EQ(Calls.load(), 2);
+  EXPECT_EQ(D->failureLog().retries(), 1u);
+  std::optional<TaskFailure> Cause = D->failure();
+  ASSERT_TRUE(Cause.has_value());
+  EXPECT_EQ(Cause->Attempts, 2u);
+  EXPECT_EQ(Cause->Message, "permanent");
+}
+
+TEST(FaultTolerance, PipelineStageFailurePropagatesAndDrains) {
+  // A throwing middle stage must fail the whole run: the executive
+  // requests a global suspend, the source's FiniCB closes its queue, the
+  // survivors drain to closure, and Dope::wait reports FAILED with the
+  // stage as the cause — no deadlock, no terminate.
+  TaskGraph Graph;
+  std::atomic<int> Next{0};
+  std::atomic<int> Consumed{0};
+  constexpr int Items = 200;
+
+  PipelineBuilder B(Graph);
+  B.queueCapacity(8);
+  B.source<int>("gen", [&]() -> std::optional<int> {
+    const int I = Next.fetch_add(1);
+    if (I >= Items)
+      return std::nullopt;
+    return I;
+  });
+  B.stage<int, int>("explode", [](int X) -> int {
+    if (X == 50)
+      throw std::runtime_error("stage blew up");
+    return X;
+  });
+  B.sink<int>("count", [&](int) { Consumed.fetch_add(1); });
+  ParDescriptor *Pipe = B.build();
+
+  DopeOptions Opts;
+  Opts.MaxThreads = 4;
+  std::unique_ptr<Dope> D = Dope::create(Pipe, std::move(Opts));
+  EXPECT_EQ(D->wait(), TaskStatus::Failed);
+  std::optional<TaskFailure> Cause = D->failure();
+  ASSERT_TRUE(Cause.has_value());
+  EXPECT_EQ(Cause->TaskName, "explode");
+  EXPECT_EQ(Cause->Message, "stage blew up");
+  EXPECT_LT(Consumed.load(), Items);
+}
+
+TEST(FaultTolerance, WatchdogDegradesStuckQuiesceInsteadOfDeadlocking) {
+  // A stage replica wedges on an external resource and never observes the
+  // drain. Without a watchdog, Dope::wait blocks forever; with one, the
+  // epoch is abandoned: FiniCBs are forced (closing the downstream
+  // queues so the sink drains out), an incident is recorded, and the
+  // wedged thread is deducted from the live-context budget.
+  std::mutex GateMutex;
+  std::condition_variable GateCv;
+  bool GateOpen = false;
+
+  TaskGraph Graph;
+  std::atomic<int> Next{0};
+  constexpr int Items = 4;
+
+  PipelineBuilder B(Graph);
+  B.queueCapacity(8);
+  B.source<int>("gen", [&]() -> std::optional<int> {
+    const int I = Next.fetch_add(1);
+    if (I >= Items)
+      return std::nullopt;
+    return I;
+  });
+  B.stage<int, int>("wedge", [&](int X) -> int {
+    std::unique_lock<std::mutex> Lock(GateMutex);
+    GateCv.wait(Lock, [&] { return GateOpen; });
+    return X;
+  });
+  B.sink<int>("drop", [](int) {});
+  ParDescriptor *Pipe = B.build();
+
+  DopeOptions Opts;
+  Opts.MaxThreads = 4;
+  Opts.QuiesceDeadlineSeconds = 0.25;
+  std::unique_ptr<Dope> D = Dope::create(Pipe, std::move(Opts));
+
+  ASSERT_TRUE(D->waitFor(30.0)) << "watchdog failed to unwedge the run";
+  EXPECT_EQ(D->status(), TaskStatus::Finished);
+  EXPECT_GE(D->failureLog().incidents(), 1u);
+  EXPECT_LT(D->liveThreads(), D->maxThreads());
+
+  // Release the wedged replica before destroying the executive — the
+  // thread-pool destructor joins all workers, including abandoned ones.
+  {
+    std::lock_guard<std::mutex> Lock(GateMutex);
+    GateOpen = true;
+  }
+  GateCv.notify_all();
+  D.reset();
+}
+
+} // namespace

@@ -226,4 +226,127 @@ TEST(PipelineSim, SequentialStagePinnedEvenIfConfigSaysOtherwise) {
   EXPECT_EQ(R.FinalExtents[2], 1u);
 }
 
+//===----------------------------------------------------------------------===//
+// Fault injection
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineSimFaults, ContextKillsWedgeStaticRun) {
+  // A static assignment never reconfigures, so replicas wedged by the
+  // kill hold their items forever and the batch cannot resolve: the run
+  // ends only at the safety bound, with the lost capacity visible in
+  // the live-context accounting.
+  PipelineSimOptions Opts = quickOptions(300);
+  Opts.MaxSimSeconds = 200.0;
+  PipelineSim Sim(tinyApp(), Opts);
+  FaultPlan Plan;
+  Plan.Kills.push_back({/*Time=*/5.0, /*Count=*/4});
+  Sim.setFaultPlan(Plan);
+  PipelineSimResult R = Sim.run(nullptr, {1, 8, 1});
+  EXPECT_EQ(R.Faults.ContextsKilled, 4u);
+  EXPECT_GE(R.Faults.ReplicasWedged, 1u);
+  EXPECT_LE(R.Faults.ReplicasWedged, 4u);
+  EXPECT_EQ(R.LiveContextsAtEnd, 20u);
+  EXPECT_NEAR(R.FirstFaultTime, 5.0, 1e-9);
+  EXPECT_LT(R.ItemsCompleted, 300u);
+  EXPECT_DOUBLE_EQ(R.TotalSeconds, 200.0);
+}
+
+TEST(PipelineSimFaults, AdaptiveMechanismRecoversFromContextKills) {
+  // Same kill under SEDA: the wedged stage's queue grows, SEDA widens
+  // it, and the reconfiguration respawns the replicas on live contexts,
+  // salvaging the stuck items — the batch completes well before the
+  // safety bound.
+  PipelineSimOptions Opts = quickOptions(300);
+  Opts.MaxSimSeconds = 200.0;
+  PipelineSim Sim(tinyApp(), Opts);
+  FaultPlan Plan;
+  Plan.Kills.push_back({/*Time=*/5.0, /*Count=*/4});
+  Sim.setFaultPlan(Plan);
+  SedaMechanism Seda;
+  PipelineSimResult R = Sim.run(&Seda, {1, 8, 1});
+  EXPECT_EQ(R.ItemsCompleted, 300u);
+  EXPECT_GE(R.Reconfigurations, 1u);
+  EXPECT_GE(R.Faults.ReplicasWedged, 1u);
+  EXPECT_LT(R.TotalSeconds, 200.0);
+}
+
+TEST(PipelineSimFaults, AdmissionControlBoundsOuterQueueAndCountsShed) {
+  PipelineAppModel App = tinyApp();
+  PipelineSimOptions Opts = quickOptions(400);
+  Opts.OpenLoop = true;
+  Opts.ArrivalRate = 3.0; // capacity 4/s at {1,4,1}
+  Opts.ArrivalTrace = LoadTrace::makeBurstPattern(1.0, 4.0, 30.0, 30.0);
+  Opts.AdmissionLimit = 16;
+  PipelineSim Sim(App, Opts);
+  PipelineSimResult R = Sim.run(nullptr, {1, 4, 1});
+  EXPECT_LE(R.PeakOuterQueue, 16u);
+  EXPECT_GT(R.Faults.ItemsShed, 0u);
+  // Every arrival is accounted for: completed or shed, nothing vanishes.
+  EXPECT_EQ(R.ItemsCompleted + R.Faults.ItemsShed, 400u);
+
+  Opts.AdmissionLimit = 0;
+  PipelineSim NoAc(App, Opts);
+  PipelineSimResult RN = NoAc.run(nullptr, {1, 4, 1});
+  EXPECT_GT(RN.PeakOuterQueue, 16u);
+  EXPECT_EQ(RN.Faults.ItemsShed, 0u);
+  EXPECT_EQ(RN.ItemsCompleted, 400u);
+}
+
+TEST(PipelineSimFaults, HandoffDropsAccounted) {
+  PipelineSimOptions Opts = quickOptions(400);
+  Opts.MaxSimSeconds = 500.0;
+  PipelineSim Sim(tinyApp(), Opts);
+  FaultPlan Plan;
+  Plan.HandoffDropProbability = 0.05;
+  Sim.setFaultPlan(Plan);
+  PipelineSimResult R = Sim.run(nullptr, {1, 4, 1});
+  EXPECT_GT(R.Faults.ItemsDropped, 0u);
+  EXPECT_EQ(R.ItemsCompleted + R.Faults.ItemsDropped, 400u);
+  // Lost items must not stall batch termination.
+  EXPECT_LT(R.TotalSeconds, 500.0);
+}
+
+TEST(PipelineSimFaults, StallEventRecordedAsIncidentAndReverts) {
+  PipelineSimOptions Opts = quickOptions(300);
+  PipelineSim Sim(tinyApp(), Opts);
+  FaultPlan Plan;
+  Plan.Stalls.push_back(
+      {/*Time=*/5.0, /*Stage=*/1, /*Factor=*/4.0, /*DurationSeconds=*/10.0});
+  Sim.setFaultPlan(Plan);
+  PipelineSimResult Stalled = Sim.run(nullptr, {1, 4, 1});
+  EXPECT_GE(Stalled.Faults.Incidents, 1u);
+  EXPECT_EQ(Stalled.ItemsCompleted, 300u);
+
+  Sim.setFaultPlan(FaultPlan());
+  PipelineSimResult Clean = Sim.run(nullptr, {1, 4, 1});
+  // The stall costs time but reverts, so the run finishes — slower than
+  // the fault-free baseline, faster than a permanent 4x degradation.
+  EXPECT_GT(Stalled.TotalSeconds, Clean.TotalSeconds);
+  EXPECT_LT(Stalled.TotalSeconds, Clean.TotalSeconds * 4.0);
+}
+
+TEST(PipelineSimFaults, FaultInjectionDeterministicForSeed) {
+  FaultPlan Plan;
+  Plan.Kills.push_back({/*Time=*/4.0, /*Count=*/3});
+  Plan.StragglerProbability = 0.05;
+  Plan.StragglerFactor = 3.0;
+  Plan.HandoffDropProbability = 0.02;
+
+  auto RunOnce = [&Plan] {
+    PipelineSimOptions Opts = quickOptions(300, 11);
+    Opts.MaxSimSeconds = 400.0;
+    PipelineSim Sim(tinyApp(), Opts);
+    Sim.setFaultPlan(Plan);
+    SedaMechanism Seda;
+    return Sim.run(&Seda, {1, 6, 1});
+  };
+  PipelineSimResult A = RunOnce();
+  PipelineSimResult B = RunOnce();
+  EXPECT_DOUBLE_EQ(A.Throughput, B.Throughput);
+  EXPECT_EQ(A.ItemsCompleted, B.ItemsCompleted);
+  EXPECT_EQ(A.Faults.ReplicasWedged, B.Faults.ReplicasWedged);
+  EXPECT_EQ(A.Faults.ItemsDropped, B.Faults.ItemsDropped);
+  EXPECT_EQ(A.Reconfigurations, B.Reconfigurations);
+}
+
 } // namespace

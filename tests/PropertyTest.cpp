@@ -46,7 +46,7 @@ namespace {
 class AllocatorProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(AllocatorProperty, ProportionalSplitConserves) {
-  Rng R(GetParam());
+  Rng R(loggedSeed(GetParam()));
   const size_t N = 1 + R.uniformInt(8);
   const unsigned Total =
       static_cast<unsigned>(N + R.uniformInt(64));
@@ -62,7 +62,7 @@ TEST_P(AllocatorProperty, ProportionalSplitConserves) {
 }
 
 TEST_P(AllocatorProperty, WaterfillConservesAndDominatesProportional) {
-  Rng R(GetParam() ^ 0xabcdULL);
+  Rng R(loggedSeed(GetParam()) ^ 0xabcdULL);
   const size_t N = 2 + R.uniformInt(6);
   std::vector<double> Costs;
   for (size_t I = 0; I != N; ++I)
@@ -221,7 +221,7 @@ INSTANTIATE_TEST_SUITE_P(LoadGrid, NestSimProperty,
 class PipelineSimProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(PipelineSimProperty, ItemConservationAndBoundedThroughput) {
-  const uint64_t Seed = GetParam();
+  const uint64_t Seed = loggedSeed(GetParam());
   PipelineAppModel App = makeFerretApp();
   PipelineSimOptions Opts;
   Opts.Contexts = 24;

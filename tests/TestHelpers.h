@@ -19,12 +19,29 @@
 #include "core/Monitor.h"
 #include "core/Task.h"
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace dope {
 namespace testing_helpers {
+
+/// Seed for a randomized test. The DOPE_TEST_SEED environment variable
+/// overrides \p Default, and the chosen seed is always printed, so a
+/// failure seen anywhere reproduces exactly with
+/// DOPE_TEST_SEED=<seed> ctest -R <test>.
+inline uint64_t loggedSeed(uint64_t Default) {
+  uint64_t Seed = Default;
+  if (const char *Env = std::getenv("DOPE_TEST_SEED"); Env && *Env)
+    Seed = std::strtoull(Env, nullptr, 0);
+  std::printf("[   SEED   ] %llu (override with DOPE_TEST_SEED)\n",
+              static_cast<unsigned long long>(Seed));
+  std::fflush(stdout);
+  return Seed;
+}
 
 inline TaskFn dummyFn() {
   return [](TaskRuntime &) { return TaskStatus::Finished; };

@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "metrics/FaultStats.h"
 #include "metrics/ResponseStats.h"
 #include "metrics/TimeSeries.h"
 #include "workload/Arrivals.h"
@@ -148,6 +149,70 @@ TEST(RateTracker, EmptyFinishIsSafe) {
   RateTracker R(1.0);
   R.finish(10.0);
   EXPECT_TRUE(R.series().empty());
+}
+
+TEST(LoadTrace, BurstPattern) {
+  LoadTrace Trace = LoadTrace::makeBurstPattern(0.5, 3.0, 10.0, 5.0);
+  EXPECT_EQ(Trace.phaseCount(), 3u);
+  EXPECT_DOUBLE_EQ(Trace.loadFactorAt(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(Trace.loadFactorAt(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(Trace.loadFactorAt(14.9), 3.0);
+  EXPECT_DOUBLE_EQ(Trace.loadFactorAt(15.0), 0.5);
+  // The trailing baseline phase covers the drain tail forever.
+  EXPECT_DOUBLE_EQ(Trace.loadFactorAt(1000.0), 0.5);
+  EXPECT_DOUBLE_EQ(Trace.totalDuration(), 25.0);
+}
+
+TEST(FaultStats, ToStringRendersCounters) {
+  FaultStats S;
+  S.ContextsKilled = 2;
+  S.ReplicasWedged = 6;
+  S.Incidents = 2;
+  S.Retries = 1;
+  S.ItemsShed = 120;
+  S.ItemsDropped = 3;
+  S.TimeToRecoverSeconds = 14.0;
+  EXPECT_EQ(toString(S), "kills=2 wedged=6 incidents=2 retries=1 "
+                         "shed=120 dropped=3 recover=14.0s");
+  S.TimeToRecoverSeconds = -1.0;
+  EXPECT_EQ(toString(S), "kills=2 wedged=6 incidents=2 retries=1 "
+                         "shed=120 dropped=3 recover=never");
+}
+
+TEST(TimeToRecover, FindsFirstWindowAtTarget) {
+  TimeSeries S("tput");
+  for (int T = 0; T != 10; ++T)
+    S.addPoint(T, 4.0); // pre-fault
+  for (int T = 10; T != 20; ++T)
+    S.addPoint(T, 1.0); // degraded
+  for (int T = 20; T != 30; ++T)
+    S.addPoint(T, 4.0); // recovered
+  EXPECT_DOUBLE_EQ(timeToRecover(S, 10.0, 3.5), 10.0);
+  // Windows before the fault don't count even though they hit the rate.
+  EXPECT_DOUBLE_EQ(timeToRecover(S, 0.0, 3.5), 0.0);
+}
+
+TEST(TimeToRecover, SustainRejectsBlips) {
+  TimeSeries S("tput");
+  for (int T = 0; T != 5; ++T)
+    S.addPoint(T, 1.0);
+  S.addPoint(5.0, 4.0); // one-window blip
+  for (int T = 6; T != 10; ++T)
+    S.addPoint(T, 1.0);
+  for (int T = 10; T != 20; ++T)
+    S.addPoint(T, 4.0); // real recovery
+  // Without a sustain requirement the blip counts...
+  EXPECT_DOUBLE_EQ(timeToRecover(S, 0.0, 3.5), 5.0);
+  // ...with one it does not.
+  EXPECT_DOUBLE_EQ(timeToRecover(S, 0.0, 3.5, 3.0), 10.0);
+}
+
+TEST(TimeToRecover, NegativeWhenNeverRecovered) {
+  TimeSeries S("tput");
+  for (int T = 0; T != 20; ++T)
+    S.addPoint(T, 1.0);
+  EXPECT_LT(timeToRecover(S, 5.0, 3.5), 0.0);
+  EXPECT_LT(timeToRecover(TimeSeries("empty"), 0.0, 1.0), 0.0);
 }
 
 TEST(RateTracker, WindowWidthScalesRate) {
