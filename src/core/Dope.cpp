@@ -101,6 +101,8 @@ bool TaskRuntime::abandoned() const { return Run && Run->abandoned(); }
 
 TaskStatus TaskRuntime::begin() {
   BeginTime = monotonicSeconds();
+  if (Tracer *Tr = Executive.Trace)
+    Tr->recordAt(BeginTime, TraceKind::TaskBegin, TheTask.name(), Replica);
   if (Executive.StopFlag.load(std::memory_order_acquire) ||
       Executive.suspendRequested() || abandoned())
     return TaskStatus::Suspended;
@@ -109,9 +111,12 @@ TaskStatus TaskRuntime::begin() {
 
 TaskStatus TaskRuntime::end() {
   if (BeginTime >= 0.0) {
-    Executive.metricsFor(TheTask).recordExecTime(monotonicSeconds() -
-                                                 BeginTime);
+    const double Now = monotonicSeconds();
+    const double Elapsed = Now - BeginTime;
+    Executive.metricsFor(TheTask).recordExecTime(Elapsed);
     BeginTime = -1.0;
+    if (Tracer *Tr = Executive.Trace)
+      Tr->recordAt(Now, TraceKind::TaskEnd, TheTask.name(), Replica, Elapsed);
   }
   if (Executive.StopFlag.load(std::memory_order_acquire) ||
       Executive.suspendRequested() || abandoned())
@@ -120,6 +125,8 @@ TaskStatus TaskRuntime::end() {
 }
 
 TaskStatus TaskRuntime::wait(void *InnerContext) {
+  if (Tracer *Tr = Executive.Trace)
+    Tr->record(TraceKind::TaskWait, TheTask.name(), Replica);
   return Executive.runInnerRegion(TheTask, Config, InnerContext, Run);
 }
 
@@ -165,6 +172,26 @@ Dope::Dope(ParDescriptor *Root, DopeOptions Opts)
   // contexts when the watchdog writes off wedged replicas.
   Features.registerFeature(
       "LiveContexts", [this] { return static_cast<double>(liveThreads()); });
+
+  if (Options.Trace) {
+    Trace = Options.Trace;
+  } else if (!Options.TraceFile.empty()) {
+    OwnedTrace = std::make_unique<Tracer>(Options.TraceCapacityPerThread);
+    Trace = OwnedTrace.get();
+  }
+  if (Trace) {
+    Features.setTracer(Trace);
+    // All executive records are stamped with monotonicSeconds (seconds
+    // since process-local origin); retarget the tracer's clock so
+    // records it stamps itself (waits, decisions, faults, mirrored log
+    // lines) share that domain instead of raw steady_clock time.
+    Trace->setClock([] { return monotonicSeconds(); });
+    // Route log lines into the trace (shared timestamp domain). Only an
+    // owned tracer claims the process-wide slot; external tracers are
+    // activated by their owner.
+    if (OwnedTrace && !Tracer::active())
+      Tracer::setActive(Trace);
+  }
 }
 
 unsigned Dope::liveThreads() const {
@@ -195,6 +222,16 @@ Dope::~Dope() {
     MainThread.join();
   if (ControllerThread.joinable())
     ControllerThread.join();
+
+  if (Trace) {
+    if (!Options.TraceFile.empty()) {
+      std::string Error;
+      if (!writeTraceFile(Trace->drain(), Options.TraceFile, &Error))
+        DOPE_LOG_WARN("trace: %s", Error.c_str());
+    }
+    // Hand an external tracer back on its default clock.
+    Trace->setClock({});
+  }
 }
 
 TaskStatus Dope::wait() {
@@ -362,14 +399,23 @@ void Dope::runMain() {
         ActiveConfig = PendingConfig;
         HasPendingConfig = false;
         ReconfigCount.fetch_add(1, std::memory_order_acq_rel);
+        if (Trace)
+          Trace->record(TraceKind::Reconfig, "apply",
+                        totalThreads(*Root, ActiveConfig), 0.0,
+                        toString(*Root, ActiveConfig));
       }
       // Contexts wedged inside abandoned replicas shrink the budget;
       // clamp the next epoch so it does not overcommit what is left.
       const unsigned Live = liveThreads();
       if (totalThreads(*Root, ActiveConfig) > Live &&
-          degradeConfigToBudget(*Root, ActiveConfig, Live))
+          degradeConfigToBudget(*Root, ActiveConfig, Live)) {
         DOPE_LOG_WARN("degraded configuration to %s (%u live contexts)",
                       toString(*Root, ActiveConfig).c_str(), Live);
+        if (Trace)
+          Trace->record(TraceKind::Reconfig, "degrade",
+                        totalThreads(*Root, ActiveConfig), Live,
+                        toString(*Root, ActiveConfig));
+      }
       Config = ActiveConfig;
     }
     if (StopFlag.load(std::memory_order_acquire))
@@ -459,6 +505,9 @@ TaskStatus Dope::runRegion(const ParDescriptor &Region,
       if (Run->Remaining[I].load(std::memory_order_acquire) == 0)
         continue;
       Log.recordIncident();
+      if (Trace)
+        Trace->record(TraceKind::Fault, "watchdog", Deadline, 0.0,
+                      Tasks[I]->name() + " missed quiesce deadline");
       DOPE_LOG_WARN("watchdog: task '%s' missed the %.3fs quiesce deadline; "
                     "forcing its FiniCB",
                     Tasks[I]->name().c_str(), Deadline);
@@ -474,6 +523,9 @@ TaskStatus Dope::runRegion(const ParDescriptor &Region,
         Lost += Rem.load(std::memory_order_acquire);
       if (Lost != 0) {
         LostThreads.fetch_add(Lost, std::memory_order_acq_rel);
+        if (Trace)
+          Trace->record(TraceKind::Fault, "lost-contexts", Lost,
+                        liveThreads());
         DOPE_LOG_WARN("watchdog: abandoned %u stuck replica(s); "
                       "%u live context(s) remain",
                       Lost, liveThreads());
@@ -499,6 +551,9 @@ void Dope::recordReplicaFailure(const Task &T, unsigned Replica,
   F.TimeSeconds = monotonicSeconds();
   F.Attempts = Attempts;
   const std::string Description = toString(F);
+  if (Trace)
+    Trace->record(TraceKind::Fault, "task-failure", Replica, Attempts,
+                  Description);
   if (Log.recordFailure(std::move(F)))
     DOPE_LOG_ERROR("%s", Description.c_str());
   Run.Failed.store(true, std::memory_order_release);
@@ -556,6 +611,9 @@ TaskStatus Dope::taskLoop(const Task &T, const TaskConfig &Config,
     if (Attempts < MaxAttempts &&
         !StopFlag.load(std::memory_order_acquire) && !Run.abandoned()) {
       Log.recordRetry();
+      if (Trace)
+        Trace->record(TraceKind::Fault, "retry", Replica, Attempts,
+                      T.name() + ": " + Error);
       DOPE_LOG_DEBUG("task '%s' replica %u threw (%s); retry %u/%u",
                      T.name().c_str(), Replica, Error.c_str(), Attempts,
                      MaxAttempts - 1);
@@ -598,8 +656,12 @@ void Dope::runController() {
     std::vector<const Task *> AllTasks;
     collectTasks(*Root, AllTasks);
     for (const Task *T : AllTasks)
-      if (T->hasLoadCallback())
-        metricsFor(*T).recordLoad(T->sampleLoad());
+      if (T->hasLoadCallback()) {
+        const double Load = T->sampleLoad();
+        metricsFor(*T).recordLoad(Load);
+        if (Trace)
+          Trace->record(TraceKind::QueueDepth, T->name(), Load);
+      }
 
     if (!Options.Mech)
       continue;
@@ -613,26 +675,38 @@ void Dope::runController() {
     Ctx.PowerBudgetWatts = Options.PowerBudgetWatts;
     Ctx.Features = &Features;
     Ctx.NowSeconds = Now;
+    Ctx.Trace = Trace;
 
     RegionConfig Current = currentConfig();
     RegionSnapshot Snap = snapshot();
     std::optional<RegionConfig> Next =
         Options.Mech->reconfigure(*Root, Snap, Current, Ctx);
-    if (!Next || *Next == Current)
-      continue;
-
-    std::string Error;
-    if (!validateConfig(*Root, *Next, &Error)) {
-      DOPE_LOG_WARN("mechanism '%s' produced invalid config: %s",
-                    Options.Mech->name().c_str(), Error.c_str());
-      continue;
+    const bool Changed = Next && !(*Next == Current);
+    bool Accepted = Changed;
+    if (Changed) {
+      std::string Error;
+      if (!validateConfig(*Root, *Next, &Error)) {
+        DOPE_LOG_WARN("mechanism '%s' produced invalid config: %s",
+                      Options.Mech->name().c_str(), Error.c_str());
+        Accepted = false;
+      } else if (totalThreads(*Root, *Next) > Options.MaxThreads) {
+        DOPE_LOG_WARN("mechanism '%s' exceeded thread budget (%u > %u)",
+                      Options.Mech->name().c_str(), totalThreads(*Root, *Next),
+                      Options.MaxThreads);
+        Accepted = false;
+      }
     }
-    if (totalThreads(*Root, *Next) > Options.MaxThreads) {
-      DOPE_LOG_WARN("mechanism '%s' exceeded thread budget (%u > %u)",
-                    Options.Mech->name().c_str(), totalThreads(*Root, *Next),
-                    Options.MaxThreads);
-      continue;
+    if (Trace) {
+      // Every consult is recorded; B marks the ones that actually changed
+      // the running configuration (rejected proposals trace the config
+      // that keeps running).
+      const RegionConfig &Chosen = Accepted ? *Next : Current;
+      Trace->recordAt(Now, TraceKind::Decision, Options.Mech->name(),
+                      totalThreads(*Root, Chosen), Accepted ? 1.0 : 0.0,
+                      toString(*Root, Chosen));
     }
+    if (!Accepted)
+      continue;
 
     {
       std::lock_guard<std::mutex> Lock(ConfigMutex);

@@ -40,6 +40,7 @@
 #include "core/Task.h"
 #include "core/ThreadPool.h"
 #include "core/Types.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -151,6 +152,22 @@ struct DopeOptions {
   /// Lower bound between two reconfigurations, damping thrash.
   double MinReconfigIntervalSeconds = 0.02;
 
+  /// When non-empty, the executive records a structured trace of the run
+  /// (feature samples, decisions, queue depths, task begin/end/wait,
+  /// failure events) and writes it here at destruction. ".json" gets
+  /// Chrome trace_event JSON (chrome://tracing / Perfetto); any other
+  /// extension gets the compact JSONL decision log that `dope_trace`
+  /// dumps, diffs, and summarizes.
+  std::string TraceFile;
+
+  /// External tracer to record into instead of an executive-owned one
+  /// (harnesses that aggregate several runs into one trace). The caller
+  /// keeps ownership and drains it; TraceFile is still honoured.
+  Tracer *Trace = nullptr;
+
+  /// Ring capacity per recording thread of the executive-owned tracer.
+  size_t TraceCapacityPerThread = 65536;
+
   /// Watchdog deadline for quiescing a root-region epoch, in seconds.
   /// Once the epoch starts winding down (master replica 0 stopped —
   /// finished, suspended for reconfiguration, or failed), the remaining
@@ -245,6 +262,9 @@ public:
   /// inside abandoned replicas. Exported as the "LiveContexts" feature.
   unsigned liveThreads() const;
 
+  /// The tracer recording this run, or null when tracing is off.
+  Tracer *tracer() const { return Trace; }
+
 private:
   friend class TaskRuntime;
 
@@ -304,6 +324,11 @@ private:
   // for replicas the quiesce watchdog abandoned.
   FeatureRegistry Features;
   FailureLog Log;
+
+  /// Tracing: Trace points at OwnedTrace or DopeOptions::Trace; null
+  /// means tracing is off and every trace point is one pointer test.
+  std::unique_ptr<Tracer> OwnedTrace;
+  Tracer *Trace = nullptr;
 
   std::atomic<bool> SuspendFlag{false};
   std::atomic<bool> StopFlag{false};

@@ -7,6 +7,8 @@
 
 #include "core/FeatureRegistry.h"
 
+#include "support/Trace.h"
+
 #include <cassert>
 
 using namespace dope;
@@ -45,5 +47,7 @@ std::optional<double> FeatureRegistry::getValue(const std::string &Name,
     return E.CachedValue;
   E.CachedValue = E.Callback();
   E.LastSampleTime = NowSeconds;
+  if (Trace)
+    Trace->recordAt(NowSeconds, TraceKind::FeatureSample, Name, E.CachedValue);
   return E.CachedValue;
 }

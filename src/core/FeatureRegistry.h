@@ -29,6 +29,8 @@
 
 namespace dope {
 
+class Tracer;
+
 /// Callback returning the current value of a platform feature.
 using FeatureFn = std::function<double()>;
 
@@ -55,6 +57,11 @@ public:
   std::optional<double> getValue(const std::string &Name,
                                  double NowSeconds) const;
 
+  /// Attaches a tracer: every *fresh* sample (one that actually invoked
+  /// the callback, as opposed to a rate-limited cached read) is recorded
+  /// as a FeatureSample stamped with the caller's clock. Null detaches.
+  void setTracer(Tracer *T) { Trace = T; }
+
 private:
   struct Entry {
     FeatureFn Callback;
@@ -65,6 +72,7 @@ private:
 
   mutable std::mutex Mutex;
   std::map<std::string, Entry> Features;
+  Tracer *Trace = nullptr;
 };
 
 } // namespace dope

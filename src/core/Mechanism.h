@@ -34,6 +34,7 @@
 #include "core/Config.h"
 #include "core/FeatureRegistry.h"
 #include "core/Monitor.h"
+#include "support/Trace.h"
 
 #include <optional>
 #include <string>
@@ -57,13 +58,21 @@ struct MechanismContext {
   /// clock).
   double NowSeconds = 0.0;
 
+  /// Tracer recording decision inputs, may be null. When set, every
+  /// feature() read is recorded as a FeatureRead so a trace shows exactly
+  /// which features a mechanism consulted for each decision.
+  Tracer *Trace = nullptr;
+
   /// Convenience: reads a platform feature, with \p Fallback when absent.
   double feature(const std::string &Name, double Fallback = 0.0) const {
-    if (!Features)
-      return Fallback;
-    if (std::optional<double> Value = Features->getValue(Name, NowSeconds))
-      return *Value;
-    return Fallback;
+    double Result = Fallback;
+    if (Features) {
+      if (std::optional<double> Value = Features->getValue(Name, NowSeconds))
+        Result = *Value;
+    }
+    if (Trace)
+      Trace->recordAt(NowSeconds, TraceKind::FeatureRead, Name, Result);
+    return Result;
   }
 
   /// The thread budget mechanisms should plan against: the administrator

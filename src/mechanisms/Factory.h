@@ -1,0 +1,47 @@
+//===- mechanisms/Factory.h - Canonical mechanism construction -*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Creates mechanisms by their paper names with the canonical parameters
+/// used by the golden-trace conformance suite. The `dope_trace regen`
+/// tool and MechanismConformanceTest must construct byte-identical
+/// controllers, so the construction lives here, in one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_MECHANISMS_FACTORY_H
+#define DOPE_MECHANISMS_FACTORY_H
+
+#include "core/Mechanism.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dope {
+
+/// Creates the canonical instance of the mechanism named \p Name
+/// ("WQT-H", "WQ-Linear", "TBF", "TB", "FDP", "SEDA", "TPC"); null for
+/// unknown names. Parameters are the defaults used throughout the
+/// benchmarks, pinned here so golden traces stay stable.
+std::unique_ptr<Mechanism> createMechanismByName(const std::string &Name);
+
+/// One (mechanism, stream) pairing of the conformance suite: replaying
+/// golden/<StreamName>.stream.jsonl through createMechanismByName(
+/// MechanismName) must reproduce golden/<MechanismName>.decisions.jsonl.
+struct ConformanceCase {
+  const char *MechanismName;
+  const char *StreamName;
+};
+
+/// All pairings covered by the golden suite — the paper's seven
+/// mechanisms, each on a stream that exercises its decision logic.
+const std::vector<ConformanceCase> &conformanceCases();
+
+} // namespace dope
+
+#endif // DOPE_MECHANISMS_FACTORY_H

@@ -7,9 +7,16 @@
 
 #include "metrics/TimeSeries.h"
 
+#include "support/Trace.h"
+
 #include <cassert>
 
 using namespace dope;
+
+void TimeSeries::appendTo(Tracer &Trace) const {
+  for (const Point &P : Points)
+    Trace.recordAt(P.Time, TraceKind::Counter, Name, P.Value);
+}
 
 double TimeSeries::meanOver(double Lo, double Hi) const {
   assert(Lo <= Hi && "empty window");

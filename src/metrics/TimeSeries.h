@@ -21,6 +21,8 @@
 
 namespace dope {
 
+class Tracer;
+
 /// An append-only (time, value) series.
 class TimeSeries {
 public:
@@ -48,6 +50,10 @@ public:
   /// \p Start; each output point is the mean of its window (windows with
   /// no samples repeat the previous value).
   TimeSeries resample(double Start, double End, double Width) const;
+
+  /// Appends every point as a Counter record (at the point's own time)
+  /// so harness-collected series land on the same timeline as decisions.
+  void appendTo(Tracer &Trace) const;
 
 private:
   std::string Name;

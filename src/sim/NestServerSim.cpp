@@ -55,6 +55,16 @@ NestSimResult NestServerSim::run(Mechanism *Mech, unsigned InitialOuter,
 
   NestSimResult Result;
 
+  // Retarget the tracer's clock to virtual time for the duration of the
+  // run, and make it the process-wide sink for mirrored log lines.
+  Tracer *Sink = Opts.TraceSink;
+  Tracer *PrevActive = nullptr;
+  if (Sink) {
+    PrevActive = Tracer::active();
+    Sink->setClock([&Events] { return Events.now(); });
+    Tracer::setActive(Sink);
+  }
+
   // Mutable simulation state.
   RegionConfig Config =
       makeServerConfig(*Root, InitialOuter, InitialInner, /*AltIndex=*/0);
@@ -163,6 +173,9 @@ NestSimResult NestServerSim::run(Mechanism *Mech, unsigned InitialOuter,
     const double Now = Events.now();
     LastQueueSample = static_cast<double>(Queue.size());
     LoadEma.addSample(LastQueueSample);
+    if (Sink)
+      Sink->recordAt(Now, TraceKind::QueueDepth, OuterTask->name(),
+                     LastQueueSample, static_cast<double>(ActiveJobs));
 
     if (Mech) {
       RegionSnapshot Snap;
@@ -196,15 +209,26 @@ NestSimResult NestServerSim::run(Mechanism *Mech, unsigned InitialOuter,
       MechanismContext Ctx;
       Ctx.MaxThreads = Opts.Contexts;
       Ctx.NowSeconds = Now;
+      Ctx.Trace = Sink;
 
       std::optional<RegionConfig> Next =
           Mech->reconfigure(*Root, Snap, Config, Ctx);
-      if (Next && !(*Next == Config)) {
+      const bool Changed = Next && !(*Next == Config);
+      if (Sink) {
+        const RegionConfig &Chosen = Changed ? *Next : Config;
+        Sink->recordAt(Now, TraceKind::Decision, Mech->name(),
+                       totalThreads(*Root, Chosen), Changed ? 1.0 : 0.0,
+                       toString(*Root, Chosen));
+      }
+      if (Changed) {
         Config = *Next;
         OuterK = serverOuterExtent(Config);
         InnerM = serverInnerExtent(Config);
         ++Result.Reconfigurations;
         PausedUntil = Now + Opts.ReconfigPauseSeconds;
+        if (Sink)
+          Sink->recordAt(Now, TraceKind::Reconfig, "sim", OuterK, InnerM,
+                         toString(*Root, Config));
         Events.scheduleAfter(Opts.ReconfigPauseSeconds, [&] { TryStart(); });
       }
     }
@@ -218,6 +242,12 @@ NestSimResult NestServerSim::run(Mechanism *Mech, unsigned InitialOuter,
          Events.now() < Opts.MaxSimSeconds) {
     if (!Events.step(Opts.MaxSimSeconds))
       break;
+  }
+
+  if (Sink) {
+    Sink->setClock({});
+    if (Tracer::active() == Sink)
+      Tracer::setActive(PrevActive);
   }
 
   Result.TotalSeconds = Events.now();

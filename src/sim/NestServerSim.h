@@ -32,6 +32,7 @@
 #include "support/SpeedupCurve.h"
 #include "support/MovingAverage.h"
 #include "support/Random.h"
+#include "support/Trace.h"
 #include "workload/Arrivals.h"
 
 #include <cstdint>
@@ -81,6 +82,12 @@ struct NestSimOptions {
   uint64_t WarmupTransactions = 0;
   /// Safety bound on virtual time.
   double MaxSimSeconds = 1e6;
+  /// Structured tracer recording work-queue depth, mechanism decisions,
+  /// and reconfigurations in virtual time; null disables tracing. During
+  /// run() the tracer's clock is retargeted to the simulator's virtual
+  /// clock (and restored afterwards). Named TraceSink because Trace above
+  /// is the load schedule.
+  Tracer *TraceSink = nullptr;
 };
 
 /// Results of one simulated run.

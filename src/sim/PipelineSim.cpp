@@ -118,6 +118,8 @@ public:
     Features.registerFeature("LiveContexts", [this] {
       return static_cast<double>(liveContexts());
     });
+    Trace = Opts.TraceSink;
+    Features.setTracer(Trace);
   }
 
   PipelineSimResult run();
@@ -490,6 +492,10 @@ private:
       feed();
     }
     ++Reconfigs;
+    if (Trace)
+      Trace->recordAt(Events.now(), TraceKind::Reconfig, "sim",
+                      totalThreads(Root, Config), 0.0,
+                      toString(Root, Config));
 
     // Suspend/quiesce/respawn cost: nothing progresses for the pause.
     Paused = true;
@@ -509,9 +515,13 @@ private:
       return;
     advance();
     // Sample queue occupancies (the LoadCB signal).
+    const std::vector<PipelineStageSpec> &Specs = activeSpecs();
     for (size_t S = 0; S != Queues.size(); ++S) {
       Metrics[S].LastLoad = static_cast<double>(Queues[S].size());
       Metrics[S].Load.addSample(Metrics[S].LastLoad);
+      if (Trace)
+        Trace->recordAt(Events.now(), TraceKind::QueueDepth, Specs[S].Name,
+                        Metrics[S].LastLoad);
     }
     ThreadsTrace.addPoint(Events.now(), totalExtent());
 
@@ -521,10 +531,18 @@ private:
       Ctx.PowerBudgetWatts = Opts.PowerBudgetWatts;
       Ctx.Features = &Features;
       Ctx.NowSeconds = Events.now();
+      Ctx.Trace = Trace;
       RegionConfig Config = currentConfig();
       std::optional<RegionConfig> Next =
           Mech->reconfigure(Root, buildSnapshot(), Config, Ctx);
-      if (Next && !(*Next == Config))
+      const bool Changed = Next && !(*Next == Config);
+      if (Trace) {
+        const RegionConfig &Chosen = Changed ? *Next : Config;
+        Trace->recordAt(Events.now(), TraceKind::Decision, Mech->name(),
+                        totalThreads(Root, Chosen), Changed ? 1.0 : 0.0,
+                        toString(Root, Chosen));
+      }
+      if (Changed)
         applyConfig(*Next);
     }
     Events.scheduleAfter(Opts.DecisionIntervalSeconds,
@@ -597,6 +615,9 @@ private:
   void applyContextKill(const ContextKillEvent &Kill) {
     advance();
     noteFault();
+    if (Trace)
+      Trace->recordAt(Events.now(), TraceKind::Fault, "context-kill",
+                      Kill.Count, liveContexts());
     const std::vector<PipelineStageSpec> &Specs = activeSpecs();
     for (unsigned K = 0; K != Kill.Count && DeadContexts + 1 < Opts.Contexts;
          ++K) {
@@ -634,6 +655,9 @@ private:
       // activateAlternative resets on a mid-stall alternative switch.
       Events.scheduleAt(Stall.Time, [this, Stall, I] {
         noteFault();
+        if (Trace)
+          Trace->recordAt(Events.now(), TraceKind::Fault, "stall",
+                          Stall.Factor, Stall.DurationSeconds);
         ActiveStalls.emplace_back(I, Stall);
       });
       Events.scheduleAt(Stall.Time + Stall.DurationSeconds, [this, I] {
@@ -664,6 +688,9 @@ private:
   Mechanism *Mech;
   /// Fault injection; null when the run has no fault plan.
   FaultInjector *Faults;
+
+  /// Structured trace sink (Opts.TraceSink), null when tracing is off.
+  Tracer *Trace = nullptr;
 
   EventQueue Events;
   Rng ServiceRng;
@@ -709,6 +736,16 @@ private:
 };
 
 PipelineSimResult Engine::run() {
+  // Tracing runs in virtual time: retarget the tracer clock for the
+  // duration of the run so mirrored log lines land in the same domain,
+  // and restore it before this engine (captured by the clock) dies.
+  Tracer *PrevActive = nullptr;
+  if (Trace) {
+    PrevActive = Tracer::active();
+    Trace->setClock([this] { return Events.now(); });
+    Tracer::setActive(Trace);
+  }
+
   scheduleDisturbances();
   scheduleFaults();
   if (Opts.OpenLoop) {
@@ -759,6 +796,12 @@ PipelineSimResult Engine::run() {
   Result.FirstFaultTime = FirstFaultTime;
   Result.LiveContextsAtEnd = liveContexts();
   Result.PeakOuterQueue = PeakOuterQueue;
+
+  if (Trace) {
+    Trace->setClock({});
+    if (Tracer::active() == Trace)
+      Tracer::setActive(PrevActive);
+  }
   return Result;
 }
 

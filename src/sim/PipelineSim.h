@@ -43,6 +43,7 @@
 #include "sim/PowerModel.h"
 #include "support/MovingAverage.h"
 #include "support/Random.h"
+#include "support/Trace.h"
 #include "workload/Arrivals.h"
 
 #include <cstdint>
@@ -134,6 +135,11 @@ struct PipelineSimOptions {
   double PowerSampleIntervalSeconds = 60.0 / 13.0;
   /// Width of throughput/power trace windows.
   double TraceWindowSeconds = 1.0;
+  /// Structured tracer recording decisions, queue depths, reconfigs, and
+  /// fault events in virtual time; null disables tracing. During run()
+  /// the tracer's clock is retargeted to the simulator's virtual clock
+  /// (and restored afterwards) so mirrored log lines share the domain.
+  Tracer *TraceSink = nullptr;
 };
 
 /// A scheduled disturbance: at Time, scale stage Stage's service time by

@@ -7,6 +7,8 @@
 
 #include "support/Logging.h"
 
+#include "support/Trace.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +45,14 @@ void Logger::log(LogLevel MsgLevel, const char *Format, ...) {
   va_start(Args, Format);
   std::vsnprintf(Message, sizeof(Message), Format, Args);
   va_end(Args);
+
+  // Mirror the line into the active tracer (when one exists) so log
+  // lines and trace records share a single timestamp domain — sim runs
+  // retarget the tracer clock to virtual time, and the mirrored record
+  // is stamped by that same clock.
+  if (Tracer *T = Tracer::active())
+    T->record(TraceKind::Log, Tags[static_cast<int>(MsgLevel)], 0.0, 0.0,
+              Message);
 
   static std::mutex EmitMutex;
   std::lock_guard<std::mutex> Lock(EmitMutex);

@@ -8,6 +8,8 @@
 #include "support/Random.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace dope;
 
@@ -104,3 +106,13 @@ uint64_t Rng::poisson(double Mean) {
 }
 
 Rng Rng::split() { return Rng(next()); }
+
+uint64_t dope::loggedTestSeed(uint64_t Default) {
+  uint64_t Seed = Default;
+  if (const char *Env = std::getenv("DOPE_TEST_SEED"))
+    Seed = std::strtoull(Env, nullptr, 0);
+  std::printf("[   SEED   ] %llu (override with DOPE_TEST_SEED)\n",
+              static_cast<unsigned long long>(Seed));
+  std::fflush(stdout);
+  return Seed;
+}

@@ -84,6 +84,13 @@ private:
   uint64_t State[4];
 };
 
+/// The one logged-seed helper shared by every randomized test and
+/// harness: returns \p Default unless the DOPE_TEST_SEED environment
+/// variable overrides it, and prints the seed in gtest style
+/// ("[   SEED   ] <seed> (override with DOPE_TEST_SEED)") so a failing
+/// randomized run can always be reproduced.
+uint64_t loggedTestSeed(uint64_t Default);
+
 } // namespace dope
 
 #endif // DOPE_SUPPORT_RANDOM_H

@@ -1,0 +1,337 @@
+//===- support/Trace.cpp - Structured decision tracing ---------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+
+using namespace dope;
+
+//===----------------------------------------------------------------------===//
+// Kind names
+//===----------------------------------------------------------------------===//
+
+static constexpr const char *KindNames[] = {
+    "feature",  "feature-read", "decision", "queue", "begin", "end",
+    "wait",     "reconfig",     "fault",    "log",   "counter"};
+
+const char *dope::toString(TraceKind Kind) {
+  return KindNames[static_cast<size_t>(Kind)];
+}
+
+std::optional<TraceKind> dope::traceKindFromString(std::string_view Name) {
+  for (size_t I = 0; I != std::size(KindNames); ++I)
+    if (Name == KindNames[I])
+      return static_cast<TraceKind>(I);
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
+
+static double steadySeconds() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+/// One thread's ring. The writing thread and drain() synchronize on the
+/// per-buffer mutex; writers of different threads never share a buffer,
+/// so the lock is uncontended outside drains.
+struct Tracer::ThreadBuffer {
+  explicit ThreadBuffer(uint32_t Tid) : Tid(Tid) {}
+
+  std::mutex Mutex;
+  const uint32_t Tid;
+  std::vector<TraceRecord> Ring;
+  size_t Head = 0; // oldest record once the ring wrapped
+  uint64_t Written = 0;
+  uint64_t Dropped = 0;
+};
+
+namespace {
+
+/// Thread-local association of tracer id -> buffer. Ids are process
+/// unique and never reused, so a stale slot of a destroyed tracer can
+/// never be mistaken for a live one. The buffer is stored untyped
+/// because ThreadBuffer is private to Tracer.
+struct TlsSlot {
+  uint64_t TracerId;
+  void *Buf;
+};
+
+thread_local std::vector<TlsSlot> TlsSlots;
+
+std::atomic<uint64_t> NextTracerId{1};
+std::atomic<Tracer *> ActiveTracer{nullptr};
+
+} // namespace
+
+Tracer::Tracer(size_t CapacityPerThread)
+    : Capacity(std::max<size_t>(16, CapacityPerThread)),
+      Id(NextTracerId.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::~Tracer() {
+  Tracer *Self = this;
+  ActiveTracer.compare_exchange_strong(Self, nullptr,
+                                       std::memory_order_acq_rel);
+}
+
+Tracer *Tracer::active() {
+  return ActiveTracer.load(std::memory_order_acquire);
+}
+
+void Tracer::setActive(Tracer *T) {
+  ActiveTracer.store(T, std::memory_order_release);
+}
+
+void Tracer::setClock(std::function<double()> NewClock) {
+  std::lock_guard<std::mutex> Lock(ClockMutex);
+  Clock = std::move(NewClock);
+}
+
+double Tracer::now() const {
+  {
+    std::lock_guard<std::mutex> Lock(ClockMutex);
+    if (Clock)
+      return Clock();
+  }
+  return steadySeconds();
+}
+
+Tracer::ThreadBuffer &Tracer::buffer() {
+  for (const TlsSlot &Slot : TlsSlots)
+    if (Slot.TracerId == Id)
+      return *static_cast<ThreadBuffer *>(Slot.Buf);
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  Buffers.push_back(
+      std::make_unique<ThreadBuffer>(static_cast<uint32_t>(Buffers.size())));
+  ThreadBuffer *Buf = Buffers.back().get();
+  TlsSlots.push_back({Id, Buf});
+  return *Buf;
+}
+
+void Tracer::append(ThreadBuffer &Buf, TraceRecord R) {
+  std::lock_guard<std::mutex> Lock(Buf.Mutex);
+  R.Tid = Buf.Tid;
+  ++Buf.Written;
+  if (Buf.Ring.size() < Capacity) {
+    Buf.Ring.push_back(std::move(R));
+    return;
+  }
+  Buf.Ring[Buf.Head] = std::move(R);
+  Buf.Head = (Buf.Head + 1) % Capacity;
+  ++Buf.Dropped;
+}
+
+void Tracer::record(TraceKind Kind, std::string_view Name, double A, double B,
+                    std::string Detail) {
+  recordAt(now(), Kind, Name, A, B, std::move(Detail));
+}
+
+void Tracer::recordAt(double Time, TraceKind Kind, std::string_view Name,
+                      double A, double B, std::string Detail) {
+  TraceRecord R;
+  R.Time = Time;
+  R.Kind = Kind;
+  R.Name.assign(Name);
+  R.A = A;
+  R.B = B;
+  R.Detail = std::move(Detail);
+  append(buffer(), std::move(R));
+}
+
+std::vector<TraceRecord> Tracer::drain() {
+  std::vector<TraceRecord> Out;
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  for (const std::unique_ptr<ThreadBuffer> &Buf : Buffers) {
+    std::lock_guard<std::mutex> BufLock(Buf->Mutex);
+    // Chronological ring order: from the oldest (Head) around.
+    for (size_t I = 0; I != Buf->Ring.size(); ++I)
+      Out.push_back(
+          std::move(Buf->Ring[(Buf->Head + I) % Buf->Ring.size()]));
+    Buf->Ring.clear();
+    Buf->Head = 0;
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceRecord &L, const TraceRecord &R) {
+                     return L.Time < R.Time;
+                   });
+  return Out;
+}
+
+uint64_t Tracer::droppedRecords() const {
+  auto *Self = const_cast<Tracer *>(this);
+  std::lock_guard<std::mutex> Lock(Self->RegistryMutex);
+  uint64_t Total = 0;
+  for (const std::unique_ptr<ThreadBuffer> &Buf : Self->Buffers) {
+    std::lock_guard<std::mutex> BufLock(Buf->Mutex);
+    Total += Buf->Dropped;
+  }
+  return Total;
+}
+
+uint64_t Tracer::recordedTotal() const {
+  auto *Self = const_cast<Tracer *>(this);
+  std::lock_guard<std::mutex> Lock(Self->RegistryMutex);
+  uint64_t Total = 0;
+  for (const std::unique_ptr<ThreadBuffer> &Buf : Self->Buffers) {
+    std::lock_guard<std::mutex> BufLock(Buf->Mutex);
+    Total += Buf->Written;
+  }
+  return Total;
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
+void dope::writeTraceJsonl(const std::vector<TraceRecord> &Records,
+                           std::ostream &OS) {
+  for (const TraceRecord &R : Records) {
+    JsonValue O = JsonValue::makeObject();
+    O.set("t", JsonValue(R.Time));
+    O.set("kind", JsonValue(toString(R.Kind)));
+    O.set("tid", JsonValue(static_cast<double>(R.Tid)));
+    O.set("name", JsonValue(R.Name));
+    if (R.A != 0.0)
+      O.set("a", JsonValue(R.A));
+    if (R.B != 0.0)
+      O.set("b", JsonValue(R.B));
+    if (!R.Detail.empty())
+      O.set("detail", JsonValue(R.Detail));
+    OS << O.dump() << '\n';
+  }
+}
+
+std::optional<std::vector<TraceRecord>>
+dope::readTraceJsonl(std::istream &IS, std::string *Error) {
+  std::vector<TraceRecord> Out;
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    std::string ParseError;
+    std::optional<JsonValue> V = JsonValue::parse(Line, &ParseError);
+    if (!V || !V->isObject()) {
+      if (Error)
+        *Error = "line " + std::to_string(LineNo) + ": " +
+                 (ParseError.empty() ? "not an object" : ParseError);
+      return std::nullopt;
+    }
+    std::optional<TraceKind> Kind =
+        traceKindFromString(V->getString("kind"));
+    if (!Kind) {
+      if (Error)
+        *Error = "line " + std::to_string(LineNo) + ": unknown kind '" +
+                 V->getString("kind") + "'";
+      return std::nullopt;
+    }
+    TraceRecord R;
+    R.Time = V->getNumber("t");
+    R.Kind = *Kind;
+    R.Tid = static_cast<uint32_t>(V->getNumber("tid"));
+    R.Name = V->getString("name");
+    R.A = V->getNumber("a");
+    R.B = V->getNumber("b");
+    R.Detail = V->getString("detail");
+    Out.push_back(std::move(R));
+  }
+  return Out;
+}
+
+void dope::writeChromeTrace(const std::vector<TraceRecord> &Records,
+                            std::ostream &OS) {
+  // trace_event JSON array form; timestamps in microseconds. Task
+  // begin/end map to duration events on the writer's thread track;
+  // features and queue depths map to counter tracks; everything else is
+  // an instant event.
+  OS << "[";
+  bool First = true;
+  auto Emit = [&](const JsonValue &Event) {
+    if (!First)
+      OS << ",\n";
+    First = false;
+    OS << Event.dump();
+  };
+  for (const TraceRecord &R : Records) {
+    JsonValue E = JsonValue::makeObject();
+    const double Us = R.Time * 1e6;
+    E.set("pid", JsonValue(1));
+    E.set("tid", JsonValue(static_cast<double>(R.Tid)));
+    E.set("ts", JsonValue(Us));
+    switch (R.Kind) {
+    case TraceKind::TaskBegin:
+      E.set("ph", JsonValue("B"));
+      E.set("name", JsonValue(R.Name));
+      break;
+    case TraceKind::TaskEnd:
+      E.set("ph", JsonValue("E"));
+      E.set("name", JsonValue(R.Name));
+      break;
+    case TraceKind::FeatureSample:
+    case TraceKind::FeatureRead:
+    case TraceKind::QueueDepth:
+    case TraceKind::Counter: {
+      E.set("ph", JsonValue("C"));
+      E.set("name", JsonValue(R.Name));
+      JsonValue Args = JsonValue::makeObject();
+      Args.set("value", JsonValue(R.A));
+      E.set("args", std::move(Args));
+      break;
+    }
+    default: {
+      E.set("ph", JsonValue("i"));
+      E.set("s", JsonValue("g"));
+      E.set("name",
+            JsonValue(std::string(toString(R.Kind)) + ":" + R.Name));
+      JsonValue Args = JsonValue::makeObject();
+      if (!R.Detail.empty())
+        Args.set("detail", JsonValue(R.Detail));
+      if (R.A != 0.0)
+        Args.set("a", JsonValue(R.A));
+      if (R.B != 0.0)
+        Args.set("b", JsonValue(R.B));
+      E.set("args", std::move(Args));
+      break;
+    }
+    }
+    Emit(E);
+  }
+  OS << "]\n";
+}
+
+bool dope::writeTraceFile(const std::vector<TraceRecord> &Records,
+                          const std::string &Path, std::string *Error) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  const bool Chrome =
+      Path.size() >= 5 && Path.compare(Path.size() - 5, 5, ".json") == 0;
+  if (Chrome)
+    writeChromeTrace(Records, OS);
+  else
+    writeTraceJsonl(Records, OS);
+  OS.flush();
+  if (!OS) {
+    if (Error)
+      *Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}

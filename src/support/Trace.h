@@ -1,0 +1,188 @@
+//===- support/Trace.h - Structured decision tracing -----------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability substrate: a low-overhead structured tracer that
+/// records the executive's *decision dynamics* — feature samples,
+/// reconfiguration decisions, queue depths, task suspension points, and
+/// fault events — rather than just end-of-run aggregates.
+///
+/// Writers append fixed-capacity per-thread ring buffers (one uncontended
+/// mutex per thread; the oldest records are overwritten under pressure
+/// and counted as dropped), so tracing a hot Task::begin/end path costs
+/// an allocation-free append in the common case. A drain merges all
+/// buffers into one time-sorted record vector.
+///
+/// Exporters serialize drained records as Chrome trace_event JSON (load
+/// into chrome://tracing / Perfetto) or as compact JSONL — the decision
+/// log format that `tools/dope_trace` dumps, diffs, and summarizes and
+/// that the golden-trace conformance suite asserts on.
+///
+/// Clock domain: every record is stamped by the tracer's clock, which
+/// defaults to native monotonic seconds and is retargeted to virtual
+/// time by the simulators; the Logging sink (support/Logging.cpp) stamps
+/// log lines with the same clock while a tracer is active, so logs and
+/// trace records interleave consistently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SUPPORT_TRACE_H
+#define DOPE_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dope {
+
+/// What one trace record describes.
+enum class TraceKind : uint8_t {
+  /// A fresh platform-feature sample through FeatureRegistry::getValue
+  /// (Name = feature, A = value).
+  FeatureSample,
+  /// A mechanism reading a feature at decision time through
+  /// MechanismContext::feature (Name = feature, A = value).
+  FeatureRead,
+  /// One reconfigureParallelism consult (Name = mechanism, Detail = the
+  /// chosen configuration rendered by toString, A = total threads of the
+  /// choice, B = 1 when the decision changed the running configuration).
+  Decision,
+  /// A queue-occupancy / load sample (Name = task or queue, A = depth).
+  QueueDepth,
+  /// Task::begin of one instance (Name = task, A = replica index).
+  TaskBegin,
+  /// Task::end of one instance (Name = task, A = replica index,
+  /// B = instance seconds).
+  TaskEnd,
+  /// Task::wait — entering the task's inner region (Name = task,
+  /// A = replica index).
+  TaskWait,
+  /// A configuration change applied by the executive or simulator
+  /// (Name = source, Detail = new configuration).
+  Reconfig,
+  /// A failure-domain event: retry, permanent failure, watchdog incident,
+  /// injected fault (Name = event class, Detail = description).
+  Fault,
+  /// A log line routed from support/Logging (Name = level,
+  /// Detail = message).
+  Log,
+  /// A generic counter sample (Name = series, A = value).
+  Counter,
+};
+
+/// Canonical lower-case name of a record kind ("decision", "fault", ...).
+const char *toString(TraceKind Kind);
+
+/// Inverse of toString; std::nullopt for unknown names.
+std::optional<TraceKind> traceKindFromString(std::string_view Name);
+
+/// One trace record. Fixed shape: two scalar payloads plus two strings
+/// (Name interned by the caller's context; Detail usually empty outside
+/// decisions and faults).
+struct TraceRecord {
+  double Time = 0.0;
+  TraceKind Kind = TraceKind::Counter;
+  /// Stable per-tracer writer index (0 = first thread that recorded).
+  uint32_t Tid = 0;
+  std::string Name;
+  double A = 0.0;
+  double B = 0.0;
+  std::string Detail;
+};
+
+/// The tracer: a set of per-thread ring buffers behind one handle.
+class Tracer {
+public:
+  /// \p CapacityPerThread bounds each thread's ring; the oldest records
+  /// are overwritten (and counted) beyond it.
+  explicit Tracer(size_t CapacityPerThread = 65536);
+  ~Tracer();
+  Tracer(const Tracer &) = delete;
+  Tracer &operator=(const Tracer &) = delete;
+
+  /// Retargets the timestamp domain (e.g. to a simulator's virtual
+  /// clock). An empty function restores native monotonic seconds.
+  void setClock(std::function<double()> Clock);
+
+  /// Current time under the tracer's clock.
+  double now() const;
+
+  /// Appends a record stamped with now().
+  void record(TraceKind Kind, std::string_view Name, double A = 0.0,
+              double B = 0.0, std::string Detail = std::string());
+
+  /// Appends a record with an explicit timestamp (simulators pass
+  /// virtual time directly).
+  void recordAt(double Time, TraceKind Kind, std::string_view Name,
+                double A = 0.0, double B = 0.0,
+                std::string Detail = std::string());
+
+  /// Merges and clears all per-thread buffers; records are sorted by
+  /// time (stable, so same-timestamp records keep per-thread order).
+  std::vector<TraceRecord> drain();
+
+  /// Records overwritten because a ring was full.
+  uint64_t droppedRecords() const;
+
+  /// Total records ever appended (including later-overwritten ones).
+  uint64_t recordedTotal() const;
+
+  /// Process-wide active tracer, used by the Logging sink to mirror log
+  /// lines into the trace with a consistent clock. Set by whoever owns
+  /// the tracer (executive, simulator, harness); cleared on destruction.
+  static Tracer *active();
+  static void setActive(Tracer *T);
+
+private:
+  struct ThreadBuffer;
+
+  ThreadBuffer &buffer();
+  void append(ThreadBuffer &Buf, TraceRecord R);
+
+  const size_t Capacity;
+  const uint64_t Id; // process-unique, guards thread-local lookups
+  std::function<double()> Clock;
+  mutable std::mutex ClockMutex;
+
+  std::mutex RegistryMutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> Buffers;
+};
+
+//===----------------------------------------------------------------------===//
+// Exporters / import
+//===----------------------------------------------------------------------===//
+
+/// Writes records as a Chrome trace_event JSON document: begin/end pairs
+/// for task instances, instant events for decisions/reconfigs/faults/
+/// logs, counter tracks for features and queue depths.
+void writeChromeTrace(const std::vector<TraceRecord> &Records,
+                      std::ostream &OS);
+
+/// Writes the compact JSONL form: one record object per line.
+void writeTraceJsonl(const std::vector<TraceRecord> &Records,
+                     std::ostream &OS);
+
+/// Reads the JSONL form back. Unknown kinds and malformed lines abort
+/// the read with an error. Returns std::nullopt on failure.
+std::optional<std::vector<TraceRecord>>
+readTraceJsonl(std::istream &IS, std::string *Error = nullptr);
+
+/// Writes \p Records to \p Path, choosing the format by extension:
+/// ".json" gets Chrome trace_event JSON, anything else JSONL. Returns
+/// false (with \p Error filled) when the file cannot be written.
+bool writeTraceFile(const std::vector<TraceRecord> &Records,
+                    const std::string &Path, std::string *Error = nullptr);
+
+} // namespace dope
+
+#endif // DOPE_SUPPORT_TRACE_H

@@ -16,10 +16,13 @@
 #include "apps/NestApps.h"
 #include "apps/PipelineApps.h"
 #include "core/Placement.h"
+#include "core/Replay.h"
 #include "mechanisms/Dpm.h"
+#include "mechanisms/Factory.h"
 #include "mechanisms/Fdp.h"
 #include "mechanisms/Seda.h"
 #include "mechanisms/ServerNest.h"
+#include "mechanisms/Tpc.h"
 #include "mechanisms/Tbf.h"
 #include "mechanisms/WqLinear.h"
 #include "sim/NestServerSim.h"
@@ -354,5 +357,217 @@ TEST_P(MechanismBudgetProperty, ConfigsStayWithinBudget) {
 
 INSTANTIATE_TEST_SUITE_P(BudgetGrid, MechanismBudgetProperty,
                          ::testing::Values(6u, 8u, 12u, 24u, 48u));
+
+//===----------------------------------------------------------------------===
+// Replay invariants: budget discipline on randomized feature streams
+//===----------------------------------------------------------------------===
+//
+// The replay harness deliberately does NOT clamp proposals to the thread
+// budget (core/Replay.h): budget discipline is a property of the
+// mechanisms themselves, and these sweeps are where it is checked, on
+// streams no golden file ever pinned down. Streams keep "LiveContexts"
+// constant so the budget in force is unambiguous per run.
+
+/// A randomized driver-wrapped pipeline stream. \p Live (the
+/// "LiveContexts" platform feature) is held constant across steps.
+FeatureStream randomPipelineStream(Rng &R, unsigned &LiveOut) {
+  FeatureStream S;
+  S.Name = "random-pipeline";
+  S.Kind = FeatureStream::GraphKind::Pipeline;
+  const size_t NumStages = 2 + R.uniformInt(3);
+  for (size_t I = 0; I != NumStages; ++I)
+    S.Stages.push_back({"s" + std::to_string(I), true});
+  // Budget always admits driver + one thread per stage.
+  S.MaxThreads = static_cast<unsigned>(NumStages) + 2 +
+                 static_cast<unsigned>(R.uniformInt(12));
+  const unsigned Live = static_cast<unsigned>(NumStages) + 2 +
+                        static_cast<unsigned>(R.uniformInt(
+                            S.MaxThreads - NumStages - 1));
+  LiveOut = std::min(Live, S.MaxThreads);
+
+  const size_t NumSteps = 8 + R.uniformInt(9);
+  double Time = 0.0;
+  for (size_t I = 0; I != NumSteps; ++I) {
+    ReplayStep Step;
+    Time += 0.25 + R.uniform(0.0, 0.5);
+    Step.Time = Time;
+    Step.Features.push_back({"LiveContexts", static_cast<double>(LiveOut)});
+    for (size_t St = 0; St != NumStages; ++St) {
+      Step.ExecTime.push_back(R.uniform(0.02, 1.0));
+      Step.Load.push_back(R.uniform(0.0, 12.0));
+    }
+    S.Steps.push_back(std::move(Step));
+  }
+  return S;
+}
+
+/// A randomized server-nest stream. LiveContexts stays at or above the
+/// work-queue mechanisms' canonical MMax (8) so their inner extent is
+/// always representable within the budget.
+FeatureStream randomNestStream(Rng &R, unsigned &LiveOut) {
+  FeatureStream S;
+  S.Name = "random-nest";
+  S.Kind = FeatureStream::GraphKind::ServerNest;
+  S.Stages.push_back({"server", true});
+  S.MaxThreads = 8 + static_cast<unsigned>(R.uniformInt(17));
+  LiveOut = 8 + static_cast<unsigned>(R.uniformInt(S.MaxThreads - 7));
+
+  const size_t NumSteps = 10 + R.uniformInt(11);
+  double Time = 0.0;
+  for (size_t I = 0; I != NumSteps; ++I) {
+    ReplayStep Step;
+    Time += 0.25 + R.uniform(0.0, 0.5);
+    Step.Time = Time;
+    Step.Features.push_back({"LiveContexts", static_cast<double>(LiveOut)});
+    Step.ExecTime.push_back(0.2 + R.uniform(0.0, 1.0));
+    Step.Load.push_back(R.uniform(0.0, 20.0));
+    S.Steps.push_back(std::move(Step));
+  }
+  return S;
+}
+
+/// Asserts the budget invariants on every decision of one replay.
+void expectBudgetDiscipline(const ReplayResult &Result, unsigned Live,
+                            const std::string &Who) {
+  EXPECT_EQ(Result.InvalidProposals, 0u) << Who;
+  for (const ReplayDecision &D : Result.Decisions) {
+    // The budget the harness recorded is the one the stream pinned.
+    EXPECT_EQ(D.Budget, Live) << Who << " decision at step " << D.Step;
+    // No single task is ever wider than the budget...
+    for (unsigned E : D.Extents)
+      EXPECT_LE(E, D.Budget)
+          << Who << " decision at step " << D.Step << ": " << D.Config;
+    // ...and the extents sum within it.
+    EXPECT_LE(D.TotalThreads, D.Budget)
+        << Who << " decision at step " << D.Step << ": " << D.Config;
+  }
+}
+
+class ReplayBudgetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReplayBudgetProperty, PipelineMechanismsStayWithinBudget) {
+  Rng R(loggedSeed(GetParam()) ^ 0x9e3779b97f4a7c15ULL);
+  unsigned Live = 0;
+  const FeatureStream Stream = randomPipelineStream(R, Live);
+
+  for (const char *Name : {"TBF", "TB", "FDP"}) {
+    std::unique_ptr<Mechanism> Mech = createMechanismByName(Name);
+    ASSERT_NE(Mech, nullptr) << Name;
+    ReplayMechanismHarness Harness(Stream);
+    expectBudgetDiscipline(Harness.run(*Mech), Live, Name);
+  }
+
+  // The faithful SEDA controller is uncoordinated by design; the clamped
+  // variant must obey the global budget like everything else.
+  SedaMechanism Seda({/*HighWatermark=*/6.0, /*LowWatermark=*/1.0,
+                      /*PerStageCap=*/0, /*ClampTotal=*/true});
+  ReplayMechanismHarness Harness(Stream);
+  expectBudgetDiscipline(Harness.run(Seda), Live, "SEDA-clamped");
+}
+
+TEST_P(ReplayBudgetProperty, NestMechanismsStayWithinBudget) {
+  Rng R(loggedSeed(GetParam()) ^ 0xc2b2ae3d27d4eb4fULL);
+  unsigned Live = 0;
+  const FeatureStream Stream = randomNestStream(R, Live);
+
+  for (const char *Name : {"WQT-H", "WQ-Linear"}) {
+    std::unique_ptr<Mechanism> Mech = createMechanismByName(Name);
+    ASSERT_NE(Mech, nullptr) << Name;
+    ReplayMechanismHarness Harness(Stream);
+    expectBudgetDiscipline(Harness.run(*Mech), Live, Name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedGrid, ReplayBudgetProperty,
+                         ::testing::Range<uint64_t>(0, 12));
+
+//===----------------------------------------------------------------------===
+// TPC power-cap invariants under a closed-loop replay
+//===----------------------------------------------------------------------===
+
+class TpcPowerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TpcPowerProperty, NeverGrowsUnderOvershootAndSettlesWithinCap) {
+  Rng R(loggedSeed(GetParam()) ^ 0xd6e8feb86659fd93ULL);
+
+  // Linear platform power model: idle floor plus a per-thread increment.
+  // The cap sits halfway between two achievable totals, strictly below
+  // what the thread budget alone would allow, so power is the binding
+  // constraint and an overshoot genuinely occurs mid-ramp.
+  const double IdleWatts = R.uniform(5.0, 15.0);
+  const double WattsPerThread = R.uniform(4.0, 8.0);
+  const unsigned FeasibleTotal = 4 + static_cast<unsigned>(R.uniformInt(5));
+  const double CapWatts =
+      IdleWatts + WattsPerThread * (FeasibleTotal + 0.5);
+
+  FeatureStream S;
+  S.Name = "tpc-closed-loop";
+  S.Kind = FeatureStream::GraphKind::Pipeline;
+  const size_t NumStages = 2 + R.uniformInt(2);
+  for (size_t I = 0; I != NumStages; ++I)
+    S.Stages.push_back({"s" + std::to_string(I), true});
+  S.MaxThreads = FeasibleTotal + 4; // threads alone would over-draw power
+  S.PowerBudgetWatts = CapWatts;
+
+  // Constant per-stage service times: throughput then depends only on
+  // the extents TPC itself chooses, so Stable does not re-open the
+  // search from workload drift and the run converges.
+  std::vector<double> Exec;
+  for (size_t I = 0; I != NumStages; ++I)
+    Exec.push_back(0.1 + R.uniform(0.0, 0.4));
+  for (size_t I = 0; I != 30; ++I) {
+    ReplayStep Step;
+    Step.Time = 0.5 * static_cast<double>(I + 1);
+    Step.ExecTime = Exec;
+    Step.Load.assign(NumStages, 2.0);
+    S.Steps.push_back(std::move(Step));
+  }
+
+  TpcMechanism Tpc;
+  ReplayMechanismHarness Harness(std::move(S));
+  const ParDescriptor &Root = Harness.root();
+
+  // Close the loop: each step observes the power the *currently applied*
+  // configuration draws under the linear model.
+  Harness.setStepHook([&](size_t, const RegionConfig &Current,
+                          std::map<std::string, double> &Features) {
+    Features["SystemPower"] =
+        IdleWatts + WattsPerThread * totalThreads(Root, Current);
+  });
+
+  const ReplayResult Result = Harness.run(Tpc);
+  EXPECT_EQ(Result.InvalidProposals, 0u);
+  EXPECT_FALSE(Result.Decisions.empty());
+
+  auto ModelWatts = [&](unsigned Threads) {
+    return IdleWatts + WattsPerThread * Threads;
+  };
+  // The configuration in force before each decision; replay starts from
+  // the all-ones default (driver + one thread per stage).
+  unsigned CurrentTotal = static_cast<unsigned>(NumStages) + 1;
+  for (const ReplayDecision &D : Result.Decisions) {
+    EXPECT_LE(D.TotalThreads, D.Budget)
+        << "step " << D.Step << ": " << D.Config;
+    // Ramp grows one thread at a time and only while under the cap, so
+    // no accepted configuration overshoots by more than one increment.
+    EXPECT_LE(ModelWatts(D.TotalThreads), CapWatts + WattsPerThread + 1e-9)
+        << "step " << D.Step << ": " << D.Config;
+    // A decision taken while the observed power exceeds the cap must
+    // shed threads, never grow.
+    if (ModelWatts(CurrentTotal) > CapWatts) {
+      EXPECT_LT(D.TotalThreads, CurrentTotal)
+          << "step " << D.Step << " grew under overshoot: " << D.Config;
+    }
+    CurrentTotal = D.TotalThreads;
+  }
+
+  // The controller settles, and what it settles on respects the cap.
+  EXPECT_LE(ModelWatts(totalThreads(Root, Result.FinalConfig)),
+            CapWatts + 1e-9);
+  EXPECT_EQ(Tpc.phase(), TpcMechanism::Phase::Stable);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedGrid, TpcPowerProperty,
+                         ::testing::Range<uint64_t>(0, 10));
 
 } // namespace

@@ -18,10 +18,9 @@
 #include "core/Config.h"
 #include "core/Monitor.h"
 #include "core/Task.h"
+#include "support/Random.h"
 
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,15 +31,10 @@ namespace testing_helpers {
 /// Seed for a randomized test. The DOPE_TEST_SEED environment variable
 /// overrides \p Default, and the chosen seed is always printed, so a
 /// failure seen anywhere reproduces exactly with
-/// DOPE_TEST_SEED=<seed> ctest -R <test>.
+/// DOPE_TEST_SEED=<seed> ctest -R <test>. (The implementation lives in
+/// support/Random.h so non-test harnesses can use the same convention.)
 inline uint64_t loggedSeed(uint64_t Default) {
-  uint64_t Seed = Default;
-  if (const char *Env = std::getenv("DOPE_TEST_SEED"); Env && *Env)
-    Seed = std::strtoull(Env, nullptr, 0);
-  std::printf("[   SEED   ] %llu (override with DOPE_TEST_SEED)\n",
-              static_cast<unsigned long long>(Seed));
-  std::fflush(stdout);
-  return Seed;
+  return loggedTestSeed(Default);
 }
 
 inline TaskFn dummyFn() {
