@@ -1,0 +1,343 @@
+//===- arbiter/Arbiter.cpp - Platform parallelism arbiter ----------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "arbiter/Arbiter.h"
+
+#include "support/Logging.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dope;
+
+Arbiter::Arbiter(ArbiterOptions Opts) : Opts(std::move(Opts)) {
+  assert(this->Opts.TotalThreads >= 1 && "platform needs at least a thread");
+  assert(this->Opts.EpochSeconds > 0.0 && "epoch must be positive");
+}
+
+unsigned Arbiter::grantableThreads() const {
+  unsigned Pool = Opts.TotalThreads;
+  if (Opts.PowerBudgetWatts > 0.0 && Opts.WattsPerThread > 0.0) {
+    const double Avail =
+        (Opts.PowerBudgetWatts - Opts.IdlePowerWatts) / Opts.WattsPerThread;
+    const unsigned Capped =
+        Avail <= 0.0 ? 0u : static_cast<unsigned>(std::floor(Avail));
+    Pool = std::min(Pool, Capped);
+  }
+  // Liveness beats the power cap: every seated tenant keeps its floor
+  // even when the budget would starve it (the cap then only squeezes
+  // discretionary grants).
+  unsigned Floors = 0;
+  for (const TenantState &T : Tenants)
+    Floors += std::max(1u, T.Spec.MinThreads);
+  return std::max(Pool, Floors);
+}
+
+const Arbiter::TenantState &Arbiter::stateOf(TenantId Id) const {
+  auto It = std::lower_bound(
+      Tenants.begin(), Tenants.end(), Id,
+      [](const TenantState &T, TenantId Id) { return T.Id < Id; });
+  assert(It != Tenants.end() && It->Id == Id && "unknown tenant id");
+  return *It;
+}
+
+Lease Arbiter::leaseOf(TenantId Id) const {
+  const TenantState &T = stateOf(Id);
+  return {T.Granted, T.Granted * Opts.WattsPerThread};
+}
+
+const TenantSpec &Arbiter::specOf(TenantId Id) const {
+  return stateOf(Id).Spec;
+}
+
+size_t Arbiter::tenantCount() const { return Tenants.size(); }
+
+double Arbiter::lastBidOf(TenantId Id) const { return stateOf(Id).LastBid; }
+
+/// Absolute bid a latency tenant uses to defend held threads: above the
+/// normalized marginal bid of any well-scaling tenant (<= ~1 x weight
+/// for typical weights) but far below an SLO-urgency bid, so held
+/// threads move only toward an emergency.
+static constexpr double DefendBid = 2.0;
+
+bool Arbiter::sloBurning(const TenantState &T) const {
+  return T.Spec.Goal == TenantGoal::ResponseTime && T.Spec.SloSeconds > 0.0 &&
+         T.HasSample && T.LastSample.P95ResponseSeconds > T.Spec.SloSeconds;
+}
+
+double Arbiter::bid(const TenantState &T, unsigned Have) const {
+  // Base utility: normalized marginal speedup of thread Have+1 when the
+  // estimator has a curve; harmonic equal-share bidding otherwise (the
+  // 1/(k+1) schedule makes weighted water-filling converge to weighted
+  // proportional shares among history-less tenants).
+  double Utility;
+  const SpeedupCurveFit &Fit = T.Estimator.fit();
+  if (T.Estimator.hasHistory() && Fit.BaseRate > 0.0)
+    Utility = T.Estimator.marginalRate(Have) / Fit.BaseRate;
+  else
+    Utility = 1.0 / static_cast<double>(Have + 1);
+
+  // Demand: a tenant predicted to already serve its offered load (or
+  // observed fully idle) bids for spare capacity at a deep discount.
+  // Threads beyond covered demand have no utility to their holder no
+  // matter how well the app would scale — without this, a learned
+  // near-linear curve bids ~1 x weight for every thread on the machine.
+  // A backlogged tenant needs drain headroom before its demand counts
+  // as covered.
+  if (T.HasSample) {
+    const double Headroom = T.LastSample.QueueDepth >= 1.0 ? 1.5 : 1.0;
+    const bool Saturating =
+        T.LastSample.OfferedRate > 0.0 && T.Estimator.hasHistory() &&
+        Fit.BaseRate > 0.0 &&
+        T.Estimator.predictRate(std::max(1u, Have)) >=
+            Headroom * T.LastSample.OfferedRate;
+    const bool Idle =
+        T.LastSample.OfferedRate <= 0.0 && T.LastSample.QueueDepth < 1.0;
+    if (Saturating || Idle)
+      Utility *= Opts.IdleBidDiscount;
+  }
+
+  // A backlogged tenant's held threads are all productive, even where
+  // the one-more-thread marginal collapses (real capacity curves
+  // quantize into plateaus — e.g. a pipeline whose bottleneck stage
+  // needs two more replicas before throughput moves). Floor the bid
+  // for held threads at the tenant's average normalized utility so a
+  // backlog never reads as "these threads help nobody" and invites
+  // another tenant to sweep the pool with an idle-grade bid.
+  if (T.HasSample && T.LastSample.QueueDepth >= 1.0 && Have < T.Granted &&
+      T.Granted > 0 && T.Estimator.hasHistory() && Fit.BaseRate > 0.0) {
+    const double AvgUtil =
+        T.LastSample.Throughput / (Fit.BaseRate * T.Granted);
+    Utility = std::max(Utility, AvgUtil);
+  }
+
+  // SLO pressure for latency tenants: burning SLOs outbid everyone;
+  // within-SLO tenants defend what they hold; comfortable ones cede —
+  // but gracefully, two threads per epoch, so a quiet tenant drains to
+  // its equilibrium instead of free-falling to its floor and paying a
+  // multi-epoch recovery cliff when its load returns. The defend bid is
+  // absolute (applied after the weight) and sits above any non-urgent
+  // marginal bid, so only an SLO emergency elsewhere preempts held
+  // threads.
+  double Defend = -1.0;
+  if (T.Spec.Goal == TenantGoal::ResponseTime && T.Spec.SloSeconds > 0.0 &&
+      T.HasSample && T.LastSample.P95ResponseSeconds > 0.0) {
+    const double Ratio =
+        T.LastSample.P95ResponseSeconds / T.Spec.SloSeconds;
+    if (Ratio > 1.0) {
+      // A breached SLO is direct evidence of insufficient capacity and
+      // overrides a (possibly demand-polluted) curve that claims more
+      // threads would not help: bid at least the equal-share schedule,
+      // boosted by the violation ratio. But grab with a target, not
+      // greed: once the curve predicts capacity covering the offered
+      // load with 50% drain headroom, further threads are overshoot
+      // that would be ceded back two per epoch while other tenants
+      // starve — bid those at the deep discount instead.
+      const bool CoversDemand =
+          T.Estimator.hasHistory() && Fit.BaseRate > 0.0 &&
+          T.LastSample.OfferedRate > 0.0 &&
+          T.Estimator.predictRate(std::max(1u, Have)) >=
+              1.5 * T.LastSample.OfferedRate;
+      if (CoversDemand) {
+        Utility *= Opts.IdleBidDiscount;
+      } else {
+        Utility = std::max(Utility, 1.0 / static_cast<double>(Have + 1));
+        Utility *= Opts.SloUrgencyBoost * Ratio;
+      }
+    } else if (Ratio < Opts.SloComfortFraction &&
+               T.LastSample.QueueDepth < 1.0) {
+      // bid(T, Have) prices thread number Have + 1, so defending
+      // threads 1..Granted-2 means Have + 3 <= Granted. Ceding exactly
+      // two per epoch also stays above HysteresisThreads = 1 — a
+      // one-thread cede would be suppressed as drift and the tenant
+      // would never drain.
+      if (Have + 3 <= T.Granted)
+        Defend = DefendBid;
+      else
+        Utility *= 0.25;
+    } else if (Have < T.Granted) {
+      Defend = DefendBid; // inside the SLO but not comfortable: hold
+    }
+  }
+
+  Utility *= T.Spec.Weight;
+  if (Defend > 0.0)
+    Utility = std::max(Utility, Defend);
+
+  // Tiny weighted floor: the water-fill always places the whole pool
+  // (idle threads help nobody), and ties between all-idle tenants still
+  // resolve toward weighted shares.
+  const double Floor =
+      1e-6 * T.Spec.Weight / static_cast<double>(Have + 1);
+  return std::max(Utility, Floor);
+}
+
+std::vector<unsigned> Arbiter::waterFill() const {
+  const unsigned Pool = grantableThreads();
+  std::vector<unsigned> Alloc(Tenants.size(), 0);
+  std::vector<unsigned> Cap(Tenants.size(), 0);
+  unsigned Placed = 0;
+  for (size_t I = 0; I != Tenants.size(); ++I) {
+    const TenantSpec &S = Tenants[I].Spec;
+    Cap[I] = S.MaxThreads == 0 ? Opts.TotalThreads
+                               : std::min(S.MaxThreads, Opts.TotalThreads);
+    Alloc[I] = std::min(std::max(1u, S.MinThreads), Cap[I]);
+    Placed += Alloc[I];
+  }
+
+  // Discretionary threads go one at a time to the highest bidder; ties
+  // break toward the lowest tenant id for determinism.
+  while (Placed < Pool) {
+    size_t Best = Tenants.size();
+    double BestBid = -1.0;
+    for (size_t I = 0; I != Tenants.size(); ++I) {
+      if (Alloc[I] >= Cap[I])
+        continue;
+      const double B = bid(Tenants[I], Alloc[I]);
+      if (B > BestBid) {
+        BestBid = B;
+        Best = I;
+      }
+    }
+    if (Best == Tenants.size())
+      break; // everyone at their cap; leave the rest idle
+    ++Alloc[Best];
+    ++Placed;
+  }
+  return Alloc;
+}
+
+std::vector<LeaseChange>
+Arbiter::apply(const std::vector<unsigned> &Target, double Now,
+               const char *Reason) {
+  assert(Target.size() == Tenants.size());
+  std::vector<LeaseChange> Changes;
+
+  for (size_t I = 0; I != Tenants.size(); ++I) {
+    TenantState &T = Tenants[I];
+    T.LastBid = bid(T, Target[I]);
+    if (Opts.Trace)
+      Opts.Trace->recordAt(Now, TraceKind::TenantUtility, T.Spec.Name,
+                           T.LastBid, static_cast<double>(T.Granted));
+  }
+
+  // Revocations first so a host applying changes in order never holds
+  // more threads than the platform owns.
+  for (int Pass = 0; Pass != 2; ++Pass) {
+    for (size_t I = 0; I != Tenants.size(); ++I) {
+      TenantState &T = Tenants[I];
+      const unsigned New = Target[I], Old = T.Granted;
+      const bool Shrink = New < Old;
+      if (New == Old || (Pass == 0) != Shrink)
+        continue;
+      if (Opts.Trace)
+        Opts.Trace->recordAt(Now,
+                             Shrink ? TraceKind::LeaseRevoke
+                                    : TraceKind::LeaseGrant,
+                             T.Spec.Name, static_cast<double>(New),
+                             static_cast<double>(Old), Reason);
+      DOPE_LOG_DEBUG("arbiter: %s lease %s %u -> %u (%s)",
+                     T.Spec.Name.c_str(), Shrink ? "revoke" : "grant", Old,
+                     New, Reason);
+      Changes.push_back({T.Spec.Name, Now, Old, New, Reason});
+      T.Granted = New;
+    }
+  }
+  return Changes;
+}
+
+TenantId Arbiter::addTenant(TenantSpec Spec, double NowSeconds,
+                            std::vector<LeaseChange> *Changes) {
+  assert(Spec.Weight > 0.0 && "tenant weight must be positive");
+  TenantState T;
+  T.Id = NextId++;
+  T.Spec = std::move(Spec);
+  if (T.Spec.MinThreads == 0)
+    T.Spec.MinThreads = 1;
+  Tenants.push_back(std::move(T));
+
+  // A join re-splits immediately: the newcomer cannot wait an epoch for
+  // its first thread, and sitting tenants shrink to make room.
+  std::vector<LeaseChange> Applied =
+      apply(waterFill(), NowSeconds, "join");
+  LastRebalance = NowSeconds;
+  EverRebalanced = true;
+  if (Changes)
+    Changes->insert(Changes->end(), Applied.begin(), Applied.end());
+  return Tenants.back().Id;
+}
+
+void Arbiter::removeTenant(TenantId Id, double NowSeconds,
+                           std::vector<LeaseChange> *Changes) {
+  auto It = std::lower_bound(
+      Tenants.begin(), Tenants.end(), Id,
+      [](const TenantState &T, TenantId Id) { return T.Id < Id; });
+  assert(It != Tenants.end() && It->Id == Id && "unknown tenant id");
+  if (Opts.Trace && It->Granted > 0)
+    Opts.Trace->recordAt(NowSeconds, TraceKind::LeaseRevoke, It->Spec.Name,
+                         0.0, static_cast<double>(It->Granted), "leave");
+  if (Changes)
+    Changes->push_back({It->Spec.Name, NowSeconds, It->Granted, 0, "leave"});
+  DOPE_LOG_DEBUG("arbiter: tenant %s leaves, returning %u threads",
+                 It->Spec.Name.c_str(), It->Granted);
+  Tenants.erase(It);
+  // The freed threads are re-offered at the next epoch; a leave never
+  // interrupts the survivors mid-epoch.
+}
+
+void Arbiter::reportSample(TenantId Id, const TenantSample &Sample) {
+  auto It = std::lower_bound(
+      Tenants.begin(), Tenants.end(), Id,
+      [](const TenantState &T, TenantId Id) { return T.Id < Id; });
+  assert(It != Tenants.end() && It->Id == Id && "unknown tenant id");
+  It->LastSample = Sample;
+  It->HasSample = true;
+  // Only saturated windows teach the estimator: an underloaded window's
+  // throughput equals the offered load, which says capacity(k) >= rate,
+  // not capacity(k) == rate — feeding it as an equality would teach the
+  // curve that threads don't help.
+  if (Sample.QueueDepth >= 1.0)
+    It->Estimator.observe(Sample.GrantedThreads, Sample.Throughput);
+}
+
+std::vector<LeaseChange> Arbiter::rebalance(double NowSeconds) {
+  if (Tenants.empty())
+    return {};
+  if (EverRebalanced && NowSeconds < LastRebalance + Opts.EpochSeconds)
+    return {};
+
+  const std::vector<unsigned> Target = waterFill();
+
+  unsigned MaxDelta = 0;
+  bool Urgent = false;
+  for (size_t I = 0; I != Tenants.size(); ++I) {
+    const unsigned Old = Tenants[I].Granted, New = Target[I];
+    MaxDelta = std::max(MaxDelta, Old > New ? Old - New : New - Old);
+    if (New > Old && sloBurning(Tenants[I]))
+      Urgent = true;
+  }
+
+  LastRebalance = NowSeconds;
+  EverRebalanced = true;
+
+  // Hysteresis: drifting by a thread or two is noise, not signal —
+  // unless a latency tenant is past its SLO, in which case even one
+  // thread moves now.
+  if (MaxDelta == 0 || (MaxDelta <= Opts.HysteresisThreads && !Urgent)) {
+    if (Opts.Trace)
+      for (TenantState &T : Tenants) {
+        T.LastBid = bid(T, T.Granted);
+        Opts.Trace->recordAt(NowSeconds, TraceKind::TenantUtility,
+                             T.Spec.Name, T.LastBid,
+                             static_cast<double>(T.Granted));
+      }
+    return {};
+  }
+
+  return apply(Target, NowSeconds, Urgent ? "slo-urgent" : "rebalance");
+}

@@ -1,0 +1,168 @@
+//===- arbiter/Arbiter.h - Platform parallelism arbiter --------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The platform-level degree-of-parallelism arbiter. Where one DoPE
+/// executive orchestrates parallelism *within* a region, the arbiter
+/// orchestrates thread and power budget *across* regions: N tenants each
+/// hold a revocable lease, and on a fixed epoch the arbiter re-divides
+/// the platform by weighted max-min water-filling over marginal-utility
+/// bids learned from each tenant's observed throughput-vs-threads
+/// history (UtilityEstimator). Tenants with no history bid equal-share.
+///
+/// Design properties:
+///  - Deterministic: same tenant set + same samples + same epoch times
+///    produce the same lease sequence (ties break by tenant id; no
+///    wall-clock or RNG anywhere).
+///  - Hysteresis: a rebalance whose largest per-tenant delta is within
+///    HysteresisThreads is suppressed entirely unless some
+///    ResponseTime tenant is violating its SLO — small drifts never
+///    thrash leases.
+///  - Revoke-before-grant: returned LeaseChanges list shrinking tenants
+///    first so a caller applying them in order never overcommits.
+///  - Power budget: an optional linear power model caps the grantable
+///    thread pool below the physical thread count.
+///
+/// The arbiter is passive — it owns no thread. Hosts call reportSample
+/// as tenant telemetry arrives and rebalance(Now) on their epoch tick;
+/// the simulator drives it from virtual time, a native host from a
+/// monotonic clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_ARBITER_ARBITER_H
+#define DOPE_ARBITER_ARBITER_H
+
+#include "arbiter/Lease.h"
+#include "arbiter/Tenant.h"
+#include "arbiter/UtilityEstimator.h"
+#include "support/Trace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dope {
+
+struct ArbiterOptions {
+  /// Physical hardware threads the platform can hand out.
+  unsigned TotalThreads = 24;
+
+  /// Platform power cap in watts; <= 0 disables the power model.
+  double PowerBudgetWatts = 0.0;
+
+  /// Linear active-power model: watts consumed per granted thread.
+  double WattsPerThread = 0.0;
+
+  /// Static platform power drawn regardless of grants.
+  double IdlePowerWatts = 0.0;
+
+  /// Seconds between rebalances; rebalance() calls inside an epoch are
+  /// no-ops (tenant join/leave forces an immediate re-split).
+  double EpochSeconds = 2.0;
+
+  /// Suppress a rebalance whose largest per-tenant delta is at most
+  /// this many threads (unless an SLO is burning). 0 disables
+  /// hysteresis.
+  unsigned HysteresisThreads = 1;
+
+  /// Bid multiplier applied to a ResponseTime tenant whose p95 exceeds
+  /// its SLO, scaled further by the violation ratio.
+  double SloUrgencyBoost = 8.0;
+
+  /// A ResponseTime tenant with p95 below this fraction of its SLO and
+  /// a drained queue is "comfortable" and bids at a discount.
+  double SloComfortFraction = 0.5;
+
+  /// Discount on the marginal bid of a tenant already serving its
+  /// offered load — spare threads flow to tenants that can use them.
+  double IdleBidDiscount = 0.05;
+
+  /// Optional sink for LeaseGrant / LeaseRevoke / TenantUtility records.
+  Tracer *Trace = nullptr;
+};
+
+/// Stable tenant handle (not reused after removeTenant).
+using TenantId = uint32_t;
+
+class Arbiter {
+public:
+  explicit Arbiter(ArbiterOptions Opts);
+
+  /// Admits a tenant and immediately re-splits the platform (every
+  /// sitting tenant may shrink to make room; the join bypasses the
+  /// epoch gate and hysteresis). Returned changes include the
+  /// newcomer's initial grant.
+  TenantId addTenant(TenantSpec Spec, double NowSeconds,
+                     std::vector<LeaseChange> *Changes = nullptr);
+
+  /// Evicts a tenant; its lease returns to the pool and is re-offered
+  /// at the next rebalance (no immediate re-split: joining tenants need
+  /// threads now, leaving tenants just create slack). The final
+  /// revocation to zero is appended to \p Changes when provided.
+  void removeTenant(TenantId Id, double NowSeconds,
+                    std::vector<LeaseChange> *Changes = nullptr);
+
+  /// Feeds one epoch of telemetry; throughput observations accumulate
+  /// into the tenant's utility estimator.
+  void reportSample(TenantId Id, const TenantSample &Sample);
+
+  /// Re-divides the platform if an epoch has elapsed since the last
+  /// applied rebalance. Returns the applied lease changes, revocations
+  /// first; empty when inside the epoch, when hysteresis suppressed the
+  /// move, or when the allocation is already optimal.
+  std::vector<LeaseChange> rebalance(double NowSeconds);
+
+  Lease leaseOf(TenantId Id) const;
+  const TenantSpec &specOf(TenantId Id) const;
+  size_t tenantCount() const;
+
+  /// Threads the power budget allows the arbiter to hand out
+  /// (min(TotalThreads, power-capped pool), never below the sum of
+  /// tenant floors once tenants are seated).
+  unsigned grantableThreads() const;
+
+  /// The bid the named tenant made for one more thread at the last
+  /// rebalance (diagnostic; 0 before any rebalance).
+  double lastBidOf(TenantId Id) const;
+
+private:
+  struct TenantState {
+    TenantId Id = 0;
+    TenantSpec Spec;
+    UtilityEstimator Estimator;
+    unsigned Granted = 0;
+    TenantSample LastSample;
+    bool HasSample = false;
+    double LastBid = 0.0;
+  };
+
+  /// Marginal bid of tenant \p T for thread number \p Have + 1.
+  double bid(const TenantState &T, unsigned Have) const;
+
+  /// True when \p T is a ResponseTime tenant currently over its SLO.
+  bool sloBurning(const TenantState &T) const;
+
+  /// Weighted max-min water-filling over all tenants; returns the
+  /// target allocation aligned with Tenants order.
+  std::vector<unsigned> waterFill() const;
+
+  /// Applies \p Target, emitting trace records and LeaseChanges.
+  std::vector<LeaseChange> apply(const std::vector<unsigned> &Target,
+                                 double Now, const char *Reason);
+
+  const TenantState &stateOf(TenantId Id) const;
+
+  ArbiterOptions Opts;
+  std::vector<TenantState> Tenants; // sorted by Id (append-only ids)
+  TenantId NextId = 1;
+  double LastRebalance = 0.0;
+  bool EverRebalanced = false;
+};
+
+} // namespace dope
+
+#endif // DOPE_ARBITER_ARBITER_H

@@ -1,0 +1,59 @@
+//===- arbiter/Lease.h - Revocable resource leases -------------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The currency of the platform arbiter: a revocable thread-and-power
+/// lease. A lease is a *ceiling*, not a pinning — the tenant's own
+/// mechanism plans any configuration within it (the lease reaches the
+/// tenant's executive as its thread envelope and its mechanisms as
+/// MechanismContext::effectiveThreads). The arbiter may revoke part of a
+/// lease at an epoch boundary; the tenant degrades gracefully through
+/// its suspend/quiesce path rather than losing tasks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_ARBITER_LEASE_H
+#define DOPE_ARBITER_LEASE_H
+
+#include <string>
+
+namespace dope {
+
+/// What one tenant currently holds.
+struct Lease {
+  /// Hardware threads the tenant may occupy (its thread envelope).
+  unsigned Threads = 0;
+
+  /// Power attributed to the lease under the arbiter's linear model, in
+  /// watts; 0 when the arbiter runs without a power model.
+  double PowerWatts = 0.0;
+};
+
+/// One applied lease transition, as returned by Arbiter::rebalance.
+/// Revocations are ordered before grants so a caller applying changes in
+/// sequence never overcommits the platform.
+struct LeaseChange {
+  /// Tenant the change applies to.
+  std::string Tenant;
+
+  /// Virtual time of the decision in seconds.
+  double Time = 0.0;
+
+  unsigned OldThreads = 0;
+  unsigned NewThreads = 0;
+
+  /// Why the arbiter moved: "join", "leave", "rebalance", "slo-urgent",
+  /// "equal-share".
+  std::string Reason;
+
+  /// True when the change enlarges the lease.
+  bool isGrant() const { return NewThreads > OldThreads; }
+};
+
+} // namespace dope
+
+#endif // DOPE_ARBITER_LEASE_H

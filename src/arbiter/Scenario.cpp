@@ -1,0 +1,170 @@
+//===- arbiter/Scenario.cpp - Canonical arbiter scenarios ----------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "arbiter/Scenario.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dope;
+
+ArbiterScenario dope::makeCanonicalColocationScenario() {
+  ArbiterScenario S;
+  S.Name = "arbiter-colocation";
+  S.EndSeconds = 120.0;
+
+  S.Options.TotalThreads = 24;
+  S.Options.EpochSeconds = 2.0;
+  S.Options.HysteresisThreads = 1;
+  S.Options.PowerBudgetWatts = 260.0;
+  S.Options.WattsPerThread = 10.0;
+  S.Options.IdlePowerWatts = 40.0; // power cap => 22 grantable threads
+
+  // Latency-sensitive interactive tenant: scales modestly, light load
+  // with a mid-run burst that pushes it past its SLO unless the
+  // arbiter reinforces it.
+  ScenarioTenantModel Search;
+  Search.Spec.Name = "search";
+  Search.Spec.Goal = TenantGoal::ResponseTime;
+  Search.Spec.Weight = 2.0;
+  Search.Spec.MinThreads = 2;
+  Search.Spec.SloSeconds = 0.5;
+  Search.BaseRate = 8.0;
+  Search.ServiceSeconds = 0.08;
+  Search.Curve = SpeedupCurve(0.08, 0.1);
+  Search.OfferedPhases = {{40.0, 10.0}, {30.0, 60.0}, {50.0, 12.0}};
+  S.Tenants.push_back(Search);
+
+  // Throughput-hungry batch tenant: scales well, always oversubscribed
+  // — it happily absorbs every spare thread.
+  ScenarioTenantModel Encode;
+  Encode.Spec.Name = "encode";
+  Encode.Spec.Goal = TenantGoal::Throughput;
+  Encode.Spec.Weight = 1.0;
+  Encode.Spec.MinThreads = 1;
+  Encode.BaseRate = 3.0;
+  Encode.ServiceSeconds = 0.4;
+  Encode.Curve = SpeedupCurve(0.03, 0.05);
+  Encode.OfferedPhases = {{120.0, 1000.0}};
+  S.Tenants.push_back(Encode);
+
+  // Poorly-scaling analytics tenant that joins at t=30 and leaves at
+  // t=90 (handled by the runner via JoinSeconds/LeaveSeconds derived
+  // from phase 0 having zero offered load before t=30).
+  ScenarioTenantModel Analytics;
+  Analytics.Spec.Name = "analytics";
+  Analytics.Spec.Goal = TenantGoal::Throughput;
+  Analytics.Spec.Weight = 1.0;
+  Analytics.Spec.MinThreads = 1;
+  Analytics.Spec.MaxThreads = 6;
+  Analytics.BaseRate = 2.0;
+  Analytics.ServiceSeconds = 0.6;
+  Analytics.Curve = SpeedupCurve(0.25, 0.3, 4.0);
+  Analytics.OfferedPhases = {{120.0, 400.0}};
+  S.Tenants.push_back(Analytics);
+
+  return S;
+}
+
+namespace {
+
+double offeredAt(const ScenarioTenantModel &M, double T) {
+  if (M.OfferedPhases.empty())
+    return 0.0;
+  double Total = 0.0;
+  for (const auto &[Dur, Rate] : M.OfferedPhases)
+    Total += Dur;
+  double Pos = Total > 0.0 ? std::fmod(T, Total) : 0.0;
+  for (const auto &[Dur, Rate] : M.OfferedPhases) {
+    if (Pos < Dur)
+      return Rate;
+    Pos -= Dur;
+  }
+  return M.OfferedPhases.back().second;
+}
+
+struct TenantRun {
+  const ScenarioTenantModel *Model = nullptr;
+  TenantId Id = 0;
+  bool Joined = false;
+  double Backlog = 0.0; // items queued beyond capacity
+};
+
+} // namespace
+
+std::vector<LeaseChange> dope::runArbiterScenario(const ArbiterScenario &S,
+                                                  Tracer *Trace) {
+  ArbiterOptions Opts = S.Options;
+  Opts.Trace = Trace;
+  Arbiter Arb(Opts);
+
+  // The third tenant (when present) joins at 1/4 of the run and leaves
+  // at 3/4 — the canonical scenario exercises join re-splits and
+  // leave slack reclamation.
+  const double JoinAt = S.EndSeconds * 0.25;
+  const double LeaveAt = S.EndSeconds * 0.75;
+
+  std::vector<TenantRun> Runs;
+  Runs.reserve(S.Tenants.size());
+  std::vector<LeaseChange> All;
+
+  for (size_t I = 0; I != S.Tenants.size(); ++I) {
+    TenantRun R;
+    R.Model = &S.Tenants[I];
+    if (I < 2) {
+      R.Id = Arb.addTenant(R.Model->Spec, 0.0, &All);
+      R.Joined = true;
+    }
+    Runs.push_back(R);
+  }
+
+  const double Epoch = Opts.EpochSeconds;
+  for (double Now = Epoch; Now <= S.EndSeconds + 1e-9; Now += Epoch) {
+    // Membership changes happen before telemetry at the epoch tick.
+    for (size_t I = 2; I < Runs.size(); ++I) {
+      TenantRun &R = Runs[I];
+      if (!R.Joined && Now >= JoinAt && Now < LeaveAt) {
+        R.Id = Arb.addTenant(R.Model->Spec, Now, &All);
+        R.Joined = true;
+      } else if (R.Joined && Now >= LeaveAt) {
+        Arb.removeTenant(R.Id, Now, &All);
+        R.Joined = false;
+        R.Backlog = 0.0;
+      }
+    }
+
+    // Close the loop: each joined tenant reports what it "achieved"
+    // over the past epoch given its current lease.
+    for (TenantRun &R : Runs) {
+      if (!R.Joined)
+        continue;
+      const ScenarioTenantModel &M = *R.Model;
+      const unsigned K = std::max(1u, Arb.leaseOf(R.Id).Threads);
+      const double Offered = offeredAt(M, Now - Epoch);
+      const double Capacity = M.BaseRate * M.Curve.speedup(K);
+      const double Served = std::min(Offered + R.Backlog / Epoch, Capacity);
+      R.Backlog = std::max(0.0, R.Backlog + (Offered - Served) * Epoch);
+      // p95 = intrinsic service time plus the queueing delay an item at
+      // the back of the backlog would see.
+      const double Wait = Capacity > 0.0 ? R.Backlog / Capacity : 0.0;
+      TenantSample Sample;
+      Sample.Time = Now;
+      Sample.GrantedThreads = K;
+      Sample.Throughput = Served;
+      Sample.OfferedRate = Offered;
+      Sample.P95ResponseSeconds = M.ServiceSeconds + Wait;
+      Sample.QueueDepth = R.Backlog;
+      Arb.reportSample(R.Id, Sample);
+    }
+
+    std::vector<LeaseChange> Applied = Arb.rebalance(Now);
+    All.insert(All.end(), Applied.begin(), Applied.end());
+  }
+
+  return All;
+}

@@ -1,0 +1,73 @@
+//===- arbiter/Scenario.h - Canonical arbiter scenarios --------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic closed-loop arbiter exercise used twice: the
+/// `dope_trace regen` tool renders its lease decisions into the golden
+/// trace under tests/golden/, and ArbiterConformanceTest re-runs it and
+/// diffs byte-identically. Each scenario tenant is a tiny synthetic
+/// model — a speedup curve, a base rate, and a phased offered-load
+/// schedule — so the feedback loop (grant -> throughput -> utility ->
+/// regrant) closes without any simulator machinery or randomness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_ARBITER_SCENARIO_H
+#define DOPE_ARBITER_SCENARIO_H
+
+#include "arbiter/Arbiter.h"
+#include "support/SpeedupCurve.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dope {
+
+/// Synthetic tenant model for scripted scenarios. Throughput at k
+/// threads is min(offered, BaseRate * Curve.speedup(k)); p95 response
+/// grows with the backlog the model accumulates when offered exceeds
+/// capacity.
+struct ScenarioTenantModel {
+  TenantSpec Spec;
+
+  /// Completions per second at one thread.
+  double BaseRate = 1.0;
+
+  /// Intrinsic service latency contributing to p95 even when drained.
+  double ServiceSeconds = 0.1;
+
+  SpeedupCurve Curve;
+
+  /// (duration seconds, offered rate items/s) phases, cycled if the
+  /// scenario outlives them.
+  std::vector<std::pair<double, double>> OfferedPhases;
+};
+
+struct ArbiterScenario {
+  std::string Name;
+  ArbiterOptions Options; // Options.Trace is overridden by the runner
+  std::vector<ScenarioTenantModel> Tenants;
+  double EndSeconds = 60.0;
+};
+
+/// The scenario behind the golden lease trace: a 24-thread platform
+/// hosting a latency-sensitive "search" tenant (bursty offered load,
+/// 0.5 s p95 SLO), a throughput-hungry "encode" batch tenant, and an
+/// "analytics" tenant that joins late and leaves early.
+ArbiterScenario makeCanonicalColocationScenario();
+
+/// Runs \p S to completion, reporting synthetic samples and rebalancing
+/// each epoch. Lease/utility records go to \p Trace when non-null
+/// (stamped with virtual time). Returns every applied lease change in
+/// order.
+std::vector<LeaseChange> runArbiterScenario(const ArbiterScenario &S,
+                                            Tracer *Trace);
+
+} // namespace dope
+
+#endif // DOPE_ARBITER_SCENARIO_H

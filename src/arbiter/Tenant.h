@@ -1,0 +1,83 @@
+//===- arbiter/Tenant.h - Tenant identity, goals, telemetry ----*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// What a tenant declares to the arbiter (TenantSpec) and what it
+/// reports back each epoch (TenantSample). A tenant is one DoPE region —
+/// one executive with its own mechanism and goal — sharing the platform
+/// with others. The arbiter never inspects tenant internals; everything
+/// it knows arrives through these two structs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_ARBITER_TENANT_H
+#define DOPE_ARBITER_TENANT_H
+
+#include <string>
+
+namespace dope {
+
+/// The per-tenant performance goal the arbiter optimizes toward. This is
+/// the platform-level projection of the executive's own goal hierarchy:
+/// a Throughput tenant wants its offered load served, a ResponseTime
+/// tenant additionally wants p95 response under its SLO.
+enum class TenantGoal {
+  Throughput,
+  ResponseTime,
+};
+
+/// Immutable declaration a tenant makes when it joins the platform.
+struct TenantSpec {
+  /// Stable display name; also the Name field on lease trace records.
+  std::string Name;
+
+  TenantGoal Goal = TenantGoal::Throughput;
+
+  /// Relative share weight for weighted max-min arbitration (> 0).
+  /// A weight-2 tenant outbids a weight-1 tenant at equal marginal
+  /// utility.
+  double Weight = 1.0;
+
+  /// Floor the arbiter never revokes below (>= 1): the tenant must keep
+  /// making progress even when outbid everywhere.
+  unsigned MinThreads = 1;
+
+  /// Per-tenant ceiling; 0 means "platform cap".
+  unsigned MaxThreads = 0;
+
+  /// p95 response-time SLO in seconds; only meaningful for
+  /// ResponseTime tenants (0 disables SLO urgency).
+  double SloSeconds = 0.0;
+};
+
+/// One epoch of tenant telemetry, reported before a rebalance. Rates are
+/// measured over the reporting window, not cumulative.
+struct TenantSample {
+  /// Virtual time the window closed, in seconds.
+  double Time = 0.0;
+
+  /// Threads the tenant held while the window was measured.
+  unsigned GrantedThreads = 0;
+
+  /// Completions per second achieved over the window.
+  double Throughput = 0.0;
+
+  /// Arrivals per second offered over the window. Lets the arbiter
+  /// distinguish "saturated" from "idle": extra threads are worthless to
+  /// a tenant already serving everything offered.
+  double OfferedRate = 0.0;
+
+  /// p95 response time over the window, seconds (0 when no completions).
+  double P95ResponseSeconds = 0.0;
+
+  /// Items queued at window close — backlog pressure.
+  double QueueDepth = 0.0;
+};
+
+} // namespace dope
+
+#endif // DOPE_ARBITER_TENANT_H

@@ -149,6 +149,7 @@ Dope::Dope(ParDescriptor *Root, DopeOptions Opts)
     : Root(Root), Options(std::move(Opts)) {
   assert(Root && "root region required");
   assert(Options.MaxThreads >= 1 && "need at least one thread");
+  Envelope.store(Options.MaxThreads, std::memory_order_release);
 
   if (Options.InitialConfig.Tasks.empty())
     ActiveConfig = defaultConfig(*Root);
@@ -195,8 +196,32 @@ Dope::Dope(ParDescriptor *Root, DopeOptions Opts)
 }
 
 unsigned Dope::liveThreads() const {
+  const unsigned Env = Envelope.load(std::memory_order_acquire);
   const unsigned Lost = LostThreads.load(std::memory_order_acquire);
-  return Lost >= Options.MaxThreads ? 1u : Options.MaxThreads - Lost;
+  return Lost >= Env ? 1u : Env - Lost;
+}
+
+void Dope::setThreadEnvelope(unsigned Threads) {
+  const unsigned New = std::clamp(Threads, 1u, Options.MaxThreads);
+  const unsigned Old = Envelope.exchange(New, std::memory_order_acq_rel);
+  if (New == Old)
+    return;
+  if (Trace)
+    Trace->record(New < Old ? TraceKind::LeaseRevoke : TraceKind::LeaseGrant,
+                  "envelope", New, Old);
+  DOPE_LOG_DEBUG("thread envelope %u -> %u", Old, New);
+  // A shrink below the running footprint must be realized through the
+  // quiesce path: request a suspend so runMain re-enters the region with
+  // the configuration degraded to the new live budget. Growth needs no
+  // interruption — the next mechanism consult sees the wider ceiling.
+  bool ShrinkBelowActive = false;
+  {
+    std::lock_guard<std::mutex> Lock(ConfigMutex);
+    ShrinkBelowActive =
+        New < Old && totalThreads(*Root, ActiveConfig) > liveThreads();
+  }
+  if (ShrinkBelowActive)
+    SuspendFlag.store(true, std::memory_order_release);
 }
 
 std::unique_ptr<Dope> Dope::create(ParDescriptor *Root, DopeOptions Opts) {
@@ -689,10 +714,10 @@ void Dope::runController() {
         DOPE_LOG_WARN("mechanism '%s' produced invalid config: %s",
                       Options.Mech->name().c_str(), Error.c_str());
         Accepted = false;
-      } else if (totalThreads(*Root, *Next) > Options.MaxThreads) {
-        DOPE_LOG_WARN("mechanism '%s' exceeded thread budget (%u > %u)",
+      } else if (totalThreads(*Root, *Next) > threadEnvelope()) {
+        DOPE_LOG_WARN("mechanism '%s' exceeded thread envelope (%u > %u)",
                       Options.Mech->name().c_str(), totalThreads(*Root, *Next),
-                      Options.MaxThreads);
+                      threadEnvelope());
         Accepted = false;
       }
     }

@@ -255,11 +255,35 @@ public:
   /// Builds a monitored snapshot of the root region.
   RegionSnapshot snapshot() const;
 
-  /// Thread budget the executive honours.
+  /// Thread budget the executive honours (the administrator's hard cap).
   unsigned maxThreads() const { return Options.MaxThreads; }
 
-  /// Contexts still usable for planning: MaxThreads minus threads wedged
-  /// inside abandoned replicas. Exported as the "LiveContexts" feature.
+  //===--------------------------------------------------------------------===
+  // Thread envelope (platform-arbiter lease)
+  //===--------------------------------------------------------------------===
+
+  /// Adjusts the runtime thread envelope — the share of the machine a
+  /// platform arbiter currently leases to this executive. Clamped to
+  /// [1, MaxThreads]. Shrinking below the active configuration's
+  /// footprint triggers the suspend/quiesce protocol: the running epoch
+  /// steers out at its next begin/end and the executive re-enters the
+  /// region degraded to the new budget — no task is killed. Growing
+  /// raises the ceiling mechanisms plan against (effectiveThreads) so
+  /// the next decision can widen the configuration again. Thread-safe;
+  /// callable at any time during the run.
+  void setThreadEnvelope(unsigned Threads);
+
+  /// The envelope currently in force, in [1, MaxThreads]. Equals
+  /// MaxThreads unless a lease narrowed it.
+  unsigned threadEnvelope() const {
+    return Envelope.load(std::memory_order_acquire);
+  }
+
+  /// Contexts still usable for planning: the thread envelope minus
+  /// threads wedged inside abandoned replicas. Exported as the
+  /// "LiveContexts" feature, so mechanisms sizing configurations with
+  /// MechanismContext::effectiveThreads honour leases and core loss
+  /// through one ceiling.
   unsigned liveThreads() const;
 
   /// The tracer recording this run, or null when tracing is off.
@@ -331,6 +355,8 @@ private:
   Tracer *Trace = nullptr;
 
   std::atomic<bool> SuspendFlag{false};
+  /// Runtime thread envelope in [1, MaxThreads]; see setThreadEnvelope.
+  std::atomic<unsigned> Envelope{1};
   std::atomic<bool> StopFlag{false};
   std::atomic<bool> FailFlag{false};
   std::atomic<bool> Finished{false};

@@ -69,6 +69,9 @@ void dope::writeFeatureStream(const FeatureStream &Stream, std::ostream &OS) {
   for (const ReplayStep &Step : Stream.Steps) {
     JsonValue O = JsonValue::makeObject();
     O.set("t", JsonValue(Step.Time));
+    if (Step.ThreadEnvelope != 0)
+      O.set("envelope",
+            JsonValue(static_cast<double>(Step.ThreadEnvelope)));
     if (!Step.Features.empty()) {
       JsonValue F = JsonValue::makeObject();
       for (const auto &[Name, Value] : Step.Features)
@@ -150,6 +153,8 @@ std::optional<FeatureStream> dope::readFeatureStream(std::istream &IS,
 
     ReplayStep Step;
     Step.Time = V->getNumber("t");
+    Step.ThreadEnvelope =
+        static_cast<unsigned>(V->getNumber("envelope", 0.0));
     if (const JsonValue *F = V->get("features")) {
       if (!F->isObject())
         return Fail("line " + std::to_string(LineNo) + ": malformed features");
@@ -404,9 +409,12 @@ ReplayResult ReplayMechanismHarness::run(Mechanism &M, Tracer *Trace) {
   RegionConfig Current = defaultConfig(*Root);
   ReplayResult Result;
   std::set<std::string> Registered;
+  unsigned Envelope = Stream.MaxThreads;
 
   for (size_t I = 0; I != Stream.Steps.size(); ++I) {
     const ReplayStep &Step = Stream.Steps[I];
+    if (Step.ThreadEnvelope != 0)
+      Envelope = std::clamp(Step.ThreadEnvelope, 1u, Stream.MaxThreads);
 
     CurrentFeatures.clear();
     for (const auto &[Name, Value] : Step.Features)
@@ -437,7 +445,7 @@ ReplayResult ReplayMechanismHarness::run(Mechanism &M, Tracer *Trace) {
         buildSnapshot(Step, Current, /*Invocations=*/10 + I);
 
     MechanismContext Ctx;
-    Ctx.MaxThreads = Stream.MaxThreads;
+    Ctx.MaxThreads = Envelope;
     Ctx.PowerBudgetWatts = Stream.PowerBudgetWatts;
     Ctx.Features = &Registry;
     Ctx.NowSeconds = Step.Time;

@@ -64,6 +64,14 @@ struct ReplayStep {
   /// Virtual time of the step in seconds (MechanismContext::NowSeconds).
   double Time = 0.0;
 
+  /// Thread envelope in force from this step on: the arbiter's lease as
+  /// seen by the tenant's executive (Dope::setThreadEnvelope). 0 means
+  /// "unchanged"; the stream starts at FeatureStream::MaxThreads. The
+  /// harness clamps the value into [1, MaxThreads] and feeds it to the
+  /// mechanism as its MaxThreads ceiling, so lease grant/revoke
+  /// sequences replay deterministically.
+  unsigned ThreadEnvelope = 0;
+
   /// Platform features visible at this step ("SystemPower",
   /// "LiveContexts", ...), in stable order for byte-identical files.
   std::vector<std::pair<std::string, double>> Features;

@@ -66,6 +66,11 @@ const std::vector<ConformanceCase> &dope::conformanceCases() {
       {"FDP", "pipeline-steady"},
       {"SEDA", "pipeline-bursts"},
       {"TPC", "pipeline-power-ramp"},
+      // Arbiter coverage: the same mechanisms under mid-stream thread
+      // envelope (lease) steps — grants widen, revocations force the
+      // planned configuration back under the new ceiling.
+      {"TB", "pipeline-lease-steps", "TB-lease"},
+      {"WQT-H", "nest-lease-steps", "WQT-H-lease"},
   };
   return Cases;
 }

@@ -32,10 +32,19 @@ std::unique_ptr<Mechanism> createMechanismByName(const std::string &Name);
 
 /// One (mechanism, stream) pairing of the conformance suite: replaying
 /// golden/<StreamName>.stream.jsonl through createMechanismByName(
-/// MechanismName) must reproduce golden/<MechanismName>.decisions.jsonl.
+/// MechanismName) must reproduce golden/<decisionsFile()>.decisions.jsonl.
 struct ConformanceCase {
   const char *MechanismName;
   const char *StreamName;
+
+  /// Basename of the golden decisions file; null defaults to
+  /// MechanismName. Lets one mechanism appear in several cases (e.g.
+  /// TB both free-running and under lease revocations).
+  const char *DecisionsName = nullptr;
+
+  const char *decisionsFile() const {
+    return DecisionsName ? DecisionsName : MechanismName;
+  }
 };
 
 /// All pairings covered by the golden suite — the paper's seven

@@ -1,0 +1,52 @@
+//===- metrics/TenantStats.cpp - Per-tenant colocation metrics -----------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/TenantStats.h"
+
+#include <algorithm>
+
+using namespace dope;
+
+double TenantStats::goalAttainment() const {
+  if (LatencySensitive) {
+    if (Completed == 0)
+      return Arrived == 0 ? 1.0 : 0.0;
+    return static_cast<double>(SloHits) / static_cast<double>(Completed);
+  }
+  if (Arrived == 0)
+    return 1.0;
+  return static_cast<double>(Completed) / static_cast<double>(Arrived);
+}
+
+double TenantStats::meanThreads(double DurationSeconds) const {
+  return DurationSeconds > 0.0 ? ThreadSeconds / DurationSeconds : 0.0;
+}
+
+FairnessSummary
+dope::summarizeTenants(const std::vector<TenantStats> &Tenants) {
+  FairnessSummary Summary;
+  if (Tenants.empty())
+    return Summary;
+
+  double WeightSum = 0.0, Weighted = 0.0;
+  double Sum = 0.0, SumSq = 0.0;
+  Summary.MinAttainment = 1.0;
+  for (const TenantStats &T : Tenants) {
+    const double A = T.goalAttainment();
+    WeightSum += T.Weight;
+    Weighted += T.Weight * A;
+    Sum += A;
+    SumSq += A * A;
+    Summary.MinAttainment = std::min(Summary.MinAttainment, A);
+  }
+  Summary.AggregateAttainment = WeightSum > 0.0 ? Weighted / WeightSum : 0.0;
+  Summary.JainIndex =
+      SumSq > 0.0
+          ? (Sum * Sum) / (static_cast<double>(Tenants.size()) * SumSq)
+          : 1.0;
+  return Summary;
+}

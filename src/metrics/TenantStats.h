@@ -1,0 +1,83 @@
+//===- metrics/TenantStats.h - Per-tenant colocation metrics ---*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-tenant accounting for colocation experiments plus the fairness /
+/// isolation summary the bench reports: weighted aggregate goal
+/// attainment and a Jain index over per-tenant attainment. Goal
+/// attainment normalizes both goal kinds to [0, 1] so tenants with
+/// different goals can be aggregated: a throughput tenant attains the
+/// fraction of its offered work it served; a latency tenant attains the
+/// fraction of its completions inside its SLO.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_METRICS_TENANTSTATS_H
+#define DOPE_METRICS_TENANTSTATS_H
+
+#include "metrics/ResponseStats.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dope {
+
+struct TenantStats {
+  std::string Name;
+
+  /// True for response-time-goal tenants (attainment = SLO hit rate).
+  bool LatencySensitive = false;
+
+  /// Arbitration weight, echoed into the weighted aggregate.
+  double Weight = 1.0;
+
+  /// p95-style per-item SLO in seconds (latency tenants).
+  double SloSeconds = 0.0;
+
+  uint64_t Arrived = 0;
+  uint64_t Completed = 0;
+  uint64_t Shed = 0;
+
+  /// Completions whose response time was within SloSeconds.
+  uint64_t SloHits = 0;
+
+  ResponseStats Responses;
+
+  /// Integral of granted threads over time (thread-seconds actually
+  /// leased to this tenant).
+  double ThreadSeconds = 0.0;
+
+  /// Lease transitions this tenant experienced.
+  uint64_t LeaseChanges = 0;
+
+  /// Normalized goal attainment in [0, 1]; 1.0 for a tenant that was
+  /// never offered work.
+  double goalAttainment() const;
+
+  /// Mean threads held over \p DurationSeconds.
+  double meanThreads(double DurationSeconds) const;
+};
+
+/// Cross-tenant fairness / isolation summary.
+struct FairnessSummary {
+  /// Weight-weighted mean of per-tenant goal attainment.
+  double AggregateAttainment = 0.0;
+
+  /// Worst single tenant — the isolation number.
+  double MinAttainment = 0.0;
+
+  /// Jain fairness index over per-tenant attainment: 1.0 when all
+  /// tenants attain equally, toward 1/N as one tenant monopolizes.
+  double JainIndex = 1.0;
+};
+
+FairnessSummary summarizeTenants(const std::vector<TenantStats> &Tenants);
+
+} // namespace dope
+
+#endif // DOPE_METRICS_TENANTSTATS_H

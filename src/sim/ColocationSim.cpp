@@ -1,0 +1,325 @@
+//===- sim/ColocationSim.cpp - Multi-tenant platform simulator -----------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ColocationSim.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+using namespace dope;
+
+const char *dope::toString(ColocationPolicy Policy) {
+  switch (Policy) {
+  case ColocationPolicy::Arbiter:
+    return "arbiter";
+  case ColocationPolicy::StaticSplit:
+    return "static-split";
+  case ColocationPolicy::Oversubscribed:
+    return "oversubscribed";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Pipeline throughput at \p K threads: greedy replication — grow the
+/// bottleneck parallel stage until threads run out; below one thread
+/// per stage the pipeline time-multiplexes and throughput is
+/// CPU-bound at K / sum(s_i).
+double pipelineCapacity(const PipelineAppModel &M, unsigned K) {
+  if (K == 0 || M.Stages.empty())
+    return 0.0;
+  double TotalService = 0.0;
+  for (const PipelineStageSpec &S : M.Stages)
+    TotalService += S.ServiceSeconds;
+  if (TotalService <= 0.0)
+    return 0.0;
+  const unsigned NumStages = static_cast<unsigned>(M.Stages.size());
+  if (K < NumStages) {
+    // Time-multiplexed: CPU-bound at K / sum(s_i), but never above what
+    // the one-replica-per-stage pipeline sustains — keeps capacity
+    // monotone across the K == NumStages boundary.
+    double MinStageRate = std::numeric_limits<double>::infinity();
+    for (const PipelineStageSpec &S : M.Stages)
+      MinStageRate = std::min(MinStageRate, 1.0 / S.ServiceSeconds);
+    return std::min(static_cast<double>(K) / TotalService, MinStageRate);
+  }
+
+  std::vector<unsigned> Extent(M.Stages.size(), 1);
+  for (unsigned Spare = K - NumStages; Spare != 0; --Spare) {
+    size_t Bottleneck = M.Stages.size();
+    double WorstRate = std::numeric_limits<double>::infinity();
+    for (size_t I = 0; I != M.Stages.size(); ++I) {
+      if (!M.Stages[I].Parallel)
+        continue;
+      const double Rate = Extent[I] / M.Stages[I].ServiceSeconds;
+      if (Rate < WorstRate) {
+        WorstRate = Rate;
+        Bottleneck = I;
+      }
+    }
+    if (Bottleneck == M.Stages.size())
+      break; // all stages sequential; extra threads are useless
+    ++Extent[Bottleneck];
+  }
+  double Rate = std::numeric_limits<double>::infinity();
+  for (size_t I = 0; I != M.Stages.size(); ++I)
+    Rate = std::min(Rate, Extent[I] / M.Stages[I].ServiceSeconds);
+  return Rate;
+}
+
+/// Nested-parallel server throughput at \p K threads: pick the inner
+/// extent m maximizing (K / m) * S(m) concurrent streams of 1/T1 each.
+double nestCapacity(const NestAppModel &M, unsigned K, unsigned *BestM) {
+  if (K == 0 || M.SeqServiceSeconds <= 0.0)
+    return 0.0;
+  double Best = 0.0;
+  unsigned BestExtent = 1;
+  for (unsigned Mi = 1; Mi <= K; ++Mi) {
+    const double Streams = static_cast<double>(K) / Mi;
+    const double Rate =
+        Streams * M.Curve.speedup(Mi) / M.SeqServiceSeconds;
+    if (Rate > Best) {
+      Best = Rate;
+      BestExtent = Mi;
+    }
+  }
+  if (BestM)
+    *BestM = BestExtent;
+  return Best;
+}
+
+struct TenantRuntime {
+  const ColocationTenantSpec *Spec = nullptr;
+  TenantId Id = 0;
+  unsigned Granted = 0;
+  double ServiceCredit = 0.0;
+  double PausedUntil = 0.0;
+  std::deque<double> Queue; // arrival timestamps
+  Rng Arrivals{1};
+
+  // Per-epoch telemetry window.
+  uint64_t WindowArrived = 0;
+  uint64_t WindowCompleted = 0;
+  std::vector<double> WindowResponses;
+
+  TenantStats Stats;
+
+  // Cached per-(policy, lease) capacity/latency.
+  double Capacity = 0.0;
+  double Latency = 0.0;
+};
+
+double percentileOf(std::vector<double> Values, double Q) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  const double Pos = Q * static_cast<double>(Values.size() - 1);
+  const size_t Lo = static_cast<size_t>(Pos);
+  const size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  const double Frac = Pos - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+} // namespace
+
+double ColocationSim::capacity(const ColocationTenantSpec &Spec,
+                               unsigned Threads) {
+  if (Spec.Kind == ColocationTenantSpec::AppKind::Pipeline)
+    return pipelineCapacity(Spec.Pipeline, Threads);
+  return nestCapacity(Spec.Nest, Threads, nullptr);
+}
+
+double ColocationSim::serviceLatency(const ColocationTenantSpec &Spec,
+                                     unsigned Threads) {
+  if (Spec.Kind == ColocationTenantSpec::AppKind::Pipeline) {
+    double Total = 0.0;
+    for (const PipelineStageSpec &S : Spec.Pipeline.Stages)
+      Total += S.ServiceSeconds;
+    return Total;
+  }
+  unsigned BestM = 1;
+  nestCapacity(Spec.Nest, std::max(1u, Threads), &BestM);
+  return Spec.Nest.SeqServiceSeconds / Spec.Nest.Curve.speedup(BestM);
+}
+
+ColocationSim::ColocationSim(std::vector<ColocationTenantSpec> Tenants,
+                             ColocationSimOptions Options)
+    : Specs(std::move(Tenants)), Opts(std::move(Options)) {
+  assert(!Specs.empty() && "colocation needs at least one tenant");
+  assert(Opts.Contexts >= Specs.size() && "a thread per tenant, minimum");
+  assert(Opts.StepSeconds > 0.0 && Opts.DurationSeconds > 0.0);
+}
+
+ColocationSimResult ColocationSim::run() {
+  const size_t N = Specs.size();
+  Tracer *Trace = Opts.TraceSink;
+
+  ArbiterOptions ArbOpts = Opts.Arbiter;
+  ArbOpts.TotalThreads = Opts.Contexts;
+  ArbOpts.Trace = Trace;
+  Arbiter Arb(ArbOpts);
+
+  // Contention model for the oversubscribed baseline: every tenant
+  // spawns for the whole machine, so N * Contexts runnable threads
+  // compete for Contexts.
+  const double OversubFactor =
+      1.0 + Opts.OversubPenalty * (static_cast<double>(N) - 1.0);
+
+  std::vector<TenantRuntime> Run(N);
+  for (size_t I = 0; I != N; ++I) {
+    TenantRuntime &T = Run[I];
+    T.Spec = &Specs[I];
+    T.Arrivals = Rng(Opts.Seed + 0x9e37 * (I + 1));
+    T.Stats.Name = Specs[I].Tenant.Name;
+    T.Stats.LatencySensitive =
+        Specs[I].Tenant.Goal == TenantGoal::ResponseTime;
+    T.Stats.Weight = Specs[I].Tenant.Weight;
+    T.Stats.SloSeconds = Specs[I].Tenant.SloSeconds;
+
+    switch (Opts.Policy) {
+    case ColocationPolicy::Arbiter:
+      T.Id = Arb.addTenant(Specs[I].Tenant, 0.0);
+      T.Granted = Arb.leaseOf(T.Id).Threads;
+      break;
+    case ColocationPolicy::StaticSplit: {
+      const unsigned Equal =
+          std::max(1u, Opts.Contexts / static_cast<unsigned>(N));
+      T.Granted = I < Opts.StaticShares.size() && Opts.StaticShares[I] > 0
+                      ? Opts.StaticShares[I]
+                      : Equal;
+      break;
+    }
+    case ColocationPolicy::Oversubscribed:
+      // Fair-share slice of the thrashing machine.
+      T.Granted = std::max(1u, Opts.Contexts / static_cast<unsigned>(N));
+      break;
+    }
+
+    T.Capacity = capacity(Specs[I], T.Granted);
+    T.Latency = serviceLatency(Specs[I], T.Granted);
+    if (Opts.Policy == ColocationPolicy::Oversubscribed) {
+      T.Capacity /= OversubFactor;
+      T.Latency *= static_cast<double>(N) * OversubFactor;
+    }
+  }
+
+  const double Dt = Opts.StepSeconds;
+  const double Epoch = ArbOpts.EpochSeconds;
+  double NextEpoch = Epoch;
+  uint64_t TotalLeaseChanges = 0;
+
+  for (double Now = 0.0; Now < Opts.DurationSeconds - 1e-12; Now += Dt) {
+    const double StepEnd = Now + Dt;
+    const bool Measured = StepEnd > Opts.WarmupSeconds;
+
+    for (TenantRuntime &T : Run) {
+      const ColocationTenantSpec &S = *T.Spec;
+
+      // Arrivals over this step.
+      const double Load = S.ArrivalSchedule.phaseCount() == 0
+                              ? 1.0
+                              : S.ArrivalSchedule.loadFactorAt(Now);
+      const double Rate = S.ArrivalRate * Load;
+      const uint64_t Arrived =
+          Rate > 0.0 ? T.Arrivals.poisson(Rate * Dt) : 0;
+      for (uint64_t A = 0; A != Arrived; ++A) {
+        ++T.WindowArrived;
+        if (Measured)
+          ++T.Stats.Arrived;
+        if (S.AdmissionLimit != 0 && T.Queue.size() >= S.AdmissionLimit) {
+          if (Measured)
+            ++T.Stats.Shed;
+          continue;
+        }
+        T.Queue.push_back(Now);
+      }
+
+      // Service: fluid capacity accrues credit; whole items complete.
+      const double Cap = StepEnd <= T.PausedUntil ? 0.0 : T.Capacity;
+      T.ServiceCredit += Cap * Dt;
+      while (T.ServiceCredit >= 1.0 && !T.Queue.empty()) {
+        T.ServiceCredit -= 1.0;
+        const double Arrival = T.Queue.front();
+        T.Queue.pop_front();
+        const double Completion = StepEnd + T.Latency;
+        const double Response = Completion - Arrival;
+        ++T.WindowCompleted;
+        T.WindowResponses.push_back(Response);
+        if (Measured) {
+          ++T.Stats.Completed;
+          T.Stats.Responses.recordTransaction(Arrival, StepEnd, Completion);
+          if (T.Stats.SloSeconds > 0.0 && Response <= T.Stats.SloSeconds)
+            ++T.Stats.SloHits;
+          else if (T.Stats.SloSeconds <= 0.0)
+            ++T.Stats.SloHits; // no SLO: every completion counts
+        }
+      }
+      if (T.Queue.empty())
+        T.ServiceCredit = std::min(T.ServiceCredit, 1.0);
+
+      T.Stats.ThreadSeconds += T.Granted * Dt;
+    }
+
+    // Epoch boundary: telemetry in, leases out.
+    if (StepEnd + 1e-12 >= NextEpoch) {
+      for (TenantRuntime &T : Run) {
+        if (Opts.Policy == ColocationPolicy::Arbiter) {
+          TenantSample Sample;
+          Sample.Time = NextEpoch;
+          Sample.GrantedThreads = T.Granted;
+          Sample.Throughput =
+              static_cast<double>(T.WindowCompleted) / Epoch;
+          Sample.OfferedRate = static_cast<double>(T.WindowArrived) / Epoch;
+          Sample.P95ResponseSeconds = percentileOf(T.WindowResponses, 0.95);
+          Sample.QueueDepth = static_cast<double>(T.Queue.size());
+          Arb.reportSample(T.Id, Sample);
+        }
+        if (Trace) {
+          Trace->recordAt(NextEpoch, TraceKind::Counter,
+                          "threads:" + T.Stats.Name,
+                          static_cast<double>(T.Granted));
+          Trace->recordAt(NextEpoch, TraceKind::Counter,
+                          "queue:" + T.Stats.Name,
+                          static_cast<double>(T.Queue.size()));
+        }
+        T.WindowArrived = 0;
+        T.WindowCompleted = 0;
+        T.WindowResponses.clear();
+      }
+
+      if (Opts.Policy == ColocationPolicy::Arbiter) {
+        const std::vector<LeaseChange> Changes = Arb.rebalance(NextEpoch);
+        TotalLeaseChanges += Changes.size();
+        for (const LeaseChange &C : Changes) {
+          for (TenantRuntime &T : Run) {
+            if (T.Stats.Name != C.Tenant)
+              continue;
+            T.Granted = C.NewThreads;
+            T.PausedUntil = NextEpoch + Opts.ReconfigPauseSeconds;
+            ++T.Stats.LeaseChanges;
+            T.Capacity = capacity(*T.Spec, T.Granted);
+            T.Latency = serviceLatency(*T.Spec, T.Granted);
+          }
+        }
+      }
+      NextEpoch += Epoch;
+    }
+  }
+
+  ColocationSimResult Result;
+  Result.DurationSeconds = Opts.DurationSeconds;
+  Result.LeaseChanges = TotalLeaseChanges;
+  for (TenantRuntime &T : Run)
+    Result.Tenants.push_back(std::move(T.Stats));
+  Result.Fairness = summarizeTenants(Result.Tenants);
+  return Result;
+}

@@ -1,0 +1,136 @@
+//===- sim/ColocationSim.h - Multi-tenant platform simulator ---*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Co-scheduling simulator: several DoPE-style tenants (pipeline batch
+/// jobs and nested-parallel servers) share one platform's hardware
+/// contexts under a pluggable division policy:
+///
+///  - Arbiter: the platform arbiter re-divides threads each epoch from
+///    observed per-tenant telemetry (the tentpole under test).
+///  - StaticSplit: a fixed partition (the "provisioned silos" baseline).
+///  - Oversubscribed: every tenant spawns as if it owned the machine
+///    and the OS time-slices — the paper's Pthreads-OS baseline lifted
+///    to multi-tenancy.
+///
+/// Unlike PipelineSim/NestServerSim (event-driven, single tenant), this
+/// is a fixed-step fluid simulation: each tenant is reduced to a
+/// capacity curve capacity(k) derived from its app model, and real
+/// per-item FIFO queues preserve genuine wait-time distributions so p95
+/// response and SLO attainment are meaningful. Deterministic under a
+/// seed: arrivals are the only randomness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SIM_COLOCATIONSIM_H
+#define DOPE_SIM_COLOCATIONSIM_H
+
+#include "arbiter/Arbiter.h"
+#include "metrics/TenantStats.h"
+#include "sim/NestServerSim.h"
+#include "sim/PipelineSim.h"
+#include "support/Trace.h"
+#include "workload/Arrivals.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dope {
+
+enum class ColocationPolicy {
+  Arbiter,
+  StaticSplit,
+  Oversubscribed,
+};
+
+const char *toString(ColocationPolicy Policy);
+
+/// One tenant of the shared platform: an arbitration contract plus an
+/// application model the simulator reduces to capacity/latency curves.
+struct ColocationTenantSpec {
+  TenantSpec Tenant;
+
+  enum class AppKind { Pipeline, NestServer };
+  AppKind Kind = AppKind::Pipeline;
+
+  /// Kind == Pipeline: capacity(k) via greedy stage replication.
+  PipelineAppModel Pipeline;
+
+  /// Kind == NestServer: capacity(k) via the best inner extent.
+  NestAppModel Nest;
+
+  /// Base offered load, items/second.
+  double ArrivalRate = 1.0;
+
+  /// Load-factor schedule modulating ArrivalRate (empty = constant).
+  LoadTrace ArrivalSchedule;
+
+  /// Arrivals finding this many queued items are shed; 0 disables.
+  size_t AdmissionLimit = 0;
+};
+
+struct ColocationSimOptions {
+  unsigned Contexts = 24;
+  uint64_t Seed = 42;
+  double DurationSeconds = 300.0;
+
+  /// Fluid-step quantum.
+  double StepSeconds = 0.05;
+
+  /// Statistics ignore completions before this time.
+  double WarmupSeconds = 0.0;
+
+  ColocationPolicy Policy = ColocationPolicy::Arbiter;
+
+  /// Arbiter policy configuration (Trace is wired by the sim;
+  /// TotalThreads is overridden with Contexts).
+  ArbiterOptions Arbiter;
+
+  /// Capacity lost by a tenant while it quiesces into a changed lease.
+  double ReconfigPauseSeconds = 0.1;
+
+  /// StaticSplit: per-tenant thread shares; empty = equal split.
+  std::vector<unsigned> StaticShares;
+
+  /// Oversubscribed: contention penalty per unit of oversubscription.
+  double OversubPenalty = 0.15;
+
+  /// Optional trace sink (lease decisions, per-epoch counters). The sim
+  /// stamps records with virtual time.
+  Tracer *TraceSink = nullptr;
+};
+
+struct ColocationSimResult {
+  std::vector<TenantStats> Tenants;
+  FairnessSummary Fairness;
+  uint64_t LeaseChanges = 0;
+  double DurationSeconds = 0.0;
+};
+
+class ColocationSim {
+public:
+  ColocationSim(std::vector<ColocationTenantSpec> Tenants,
+                ColocationSimOptions Options);
+
+  ColocationSimResult run();
+
+  /// Sustainable completions/second of \p Spec's app given \p Threads —
+  /// exposed for tests and for sizing scenarios.
+  static double capacity(const ColocationTenantSpec &Spec, unsigned Threads);
+
+  /// Intrinsic (no-queueing) per-item latency at \p Threads.
+  static double serviceLatency(const ColocationTenantSpec &Spec,
+                               unsigned Threads);
+
+private:
+  std::vector<ColocationTenantSpec> Specs;
+  ColocationSimOptions Opts;
+};
+
+} // namespace dope
+
+#endif // DOPE_SIM_COLOCATIONSIM_H

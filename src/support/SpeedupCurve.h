@@ -28,7 +28,9 @@
 #ifndef DOPE_SUPPORT_SPEEDUPCURVE_H
 #define DOPE_SUPPORT_SPEEDUPCURVE_H
 
+#include <cstddef>
 #include <limits>
+#include <vector>
 
 namespace dope {
 
@@ -70,6 +72,45 @@ private:
   double FixedCost = 0.0;
   double Cap = std::numeric_limits<double>::infinity();
 };
+
+/// One observation of a scalability experiment: the measured rate (e.g.
+/// throughput in items/second — any consistent unit) achieved at extent
+/// \p Extent. Rates need not be normalized: the fit estimates the
+/// sequential base rate alongside the curve.
+struct SpeedupSample {
+  unsigned Extent = 1;
+  double Rate = 0.0;
+};
+
+/// Result of fitting a SpeedupCurve to observed (extent, rate) samples.
+struct SpeedupCurveFit {
+  /// The fitted curve; predicted rate at extent m is
+  /// BaseRate * Curve.speedup(m).
+  SpeedupCurve Curve;
+
+  /// Estimated sequential rate (rate at extent 1).
+  double BaseRate = 0.0;
+
+  /// Root-mean-square residual of the fit in rate units.
+  double Rmse = 0.0;
+
+  /// Samples the fit was computed from.
+  size_t SampleCount = 0;
+
+  /// Predicted rate at extent \p M.
+  double predictRate(unsigned M) const {
+    return BaseRate * Curve.speedup(M);
+  }
+};
+
+/// Least-squares fit of the fixed-cost linear-overhead curve to noisy
+/// (extent, rate) samples: a coarse-to-fine grid search over
+/// (Alpha, FixedCost) with the base rate solved in closed form per
+/// candidate. Deterministic — identical samples produce an identical
+/// fit. Requires at least two samples at distinct extents; with fewer
+/// (or with non-positive rates only) the fallback is a default curve
+/// with BaseRate = 0, which callers treat as "no history".
+SpeedupCurveFit fitSpeedupCurve(const std::vector<SpeedupSample> &Samples);
 
 } // namespace dope
 

@@ -22,8 +22,10 @@ using namespace dope;
 //===----------------------------------------------------------------------===//
 
 static constexpr const char *KindNames[] = {
-    "feature",  "feature-read", "decision", "queue", "begin", "end",
-    "wait",     "reconfig",     "fault",    "log",   "counter"};
+    "feature",  "feature-read", "decision",    "queue",
+    "begin",    "end",          "wait",        "reconfig",
+    "fault",    "log",          "counter",     "lease-grant",
+    "lease-revoke", "tenant-utility"};
 
 const char *dope::toString(TraceKind Kind) {
   return KindNames[static_cast<size_t>(Kind)];
@@ -284,6 +286,7 @@ void dope::writeChromeTrace(const std::vector<TraceRecord> &Records,
     case TraceKind::FeatureSample:
     case TraceKind::FeatureRead:
     case TraceKind::QueueDepth:
+    case TraceKind::TenantUtility:
     case TraceKind::Counter: {
       E.set("ph", JsonValue("C"));
       E.set("name", JsonValue(R.Name));

@@ -78,6 +78,18 @@ enum class TraceKind : uint8_t {
   Log,
   /// A generic counter sample (Name = series, A = value).
   Counter,
+  /// The platform arbiter granted (or re-granted) a tenant's lease
+  /// (Name = tenant, A = threads granted, B = previous threads,
+  /// Detail = reason: "join", "rebalance", "equal-share", ...).
+  LeaseGrant,
+  /// The platform arbiter revoked part or all of a tenant's lease
+  /// (Name = tenant, A = threads after revocation, B = previous
+  /// threads, Detail = reason).
+  LeaseRevoke,
+  /// A tenant's marginal-utility sample at arbitration time
+  /// (Name = tenant, A = marginal utility of the next thread,
+  /// B = threads held when sampled).
+  TenantUtility,
 };
 
 /// Canonical lower-case name of a record kind ("decision", "fault", ...).

@@ -1,0 +1,127 @@
+//===- tests/ArbiterConformanceTest.cpp - Golden lease-trace conformance ---===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The arbiter's analogue of the mechanism conformance suite: re-running
+/// the canonical colocation scenario must reproduce the committed lease
+/// grant/revoke trace (tests/golden/arbiter-colocation.leases.jsonl)
+/// byte-identically. The scenario closes the loop — grants change the
+/// synthetic tenants' throughput, which changes utilities, which change
+/// the next grants — so the golden freezes the whole decision chain:
+/// water-filling, utility estimation, SLO urgency, hysteresis, and the
+/// join/leave re-split policy.
+///
+//===----------------------------------------------------------------------===//
+
+#include "arbiter/Scenario.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace dope;
+
+#ifndef DOPE_GOLDEN_DIR
+#error "DOPE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+std::string leaseTraceOf(const ArbiterScenario &Scenario) {
+  Tracer Trace(1 << 16);
+  runArbiterScenario(Scenario, &Trace);
+  std::vector<TraceRecord> Leases;
+  for (TraceRecord &R : Trace.drain())
+    if (R.Kind == TraceKind::LeaseGrant || R.Kind == TraceKind::LeaseRevoke)
+      Leases.push_back(std::move(R));
+  std::ostringstream OS;
+  writeTraceJsonl(Leases, OS);
+  return OS.str();
+}
+
+} // namespace
+
+TEST(ArbiterConformance, CanonicalScenarioMatchesGolden) {
+  const std::string Path =
+      std::string(DOPE_GOLDEN_DIR) + "/arbiter-colocation.leases.jsonl";
+  std::ifstream IS(Path);
+  ASSERT_TRUE(IS.good()) << "missing golden lease trace: " << Path
+                         << " (run the trace-regen target)";
+  std::stringstream Golden;
+  Golden << IS.rdbuf();
+
+  const std::string Actual = leaseTraceOf(makeCanonicalColocationScenario());
+  EXPECT_EQ(Golden.str(), Actual)
+      << "arbiter lease decisions diverged from the golden trace "
+         "(intentional change? regenerate with the trace-regen target and "
+         "review the diff)";
+}
+
+TEST(ArbiterConformance, ScenarioIsDeterministic) {
+  const ArbiterScenario Scenario = makeCanonicalColocationScenario();
+  EXPECT_EQ(leaseTraceOf(Scenario), leaseTraceOf(Scenario));
+}
+
+TEST(ArbiterConformance, LeaseTraceRoundTrips) {
+  Tracer Trace(1 << 16);
+  runArbiterScenario(makeCanonicalColocationScenario(), &Trace);
+  const std::vector<TraceRecord> Records = Trace.drain();
+
+  std::ostringstream OS;
+  writeTraceJsonl(Records, OS);
+  std::istringstream IS(OS.str());
+  std::string Error;
+  std::optional<std::vector<TraceRecord>> Read = readTraceJsonl(IS, &Error);
+  ASSERT_TRUE(Read.has_value()) << Error;
+  ASSERT_EQ(Read->size(), Records.size());
+  for (size_t I = 0; I != Records.size(); ++I) {
+    EXPECT_EQ((*Read)[I].Kind, Records[I].Kind);
+    EXPECT_EQ((*Read)[I].Name, Records[I].Name);
+    EXPECT_EQ((*Read)[I].A, Records[I].A);
+    EXPECT_EQ((*Read)[I].B, Records[I].B);
+  }
+
+  // The scenario must exercise all three new record kinds.
+  auto CountOf = [&](TraceKind K) {
+    size_t N = 0;
+    for (const TraceRecord &R : Records)
+      N += R.Kind == K;
+    return N;
+  };
+  EXPECT_GT(CountOf(TraceKind::LeaseGrant), 0u);
+  EXPECT_GT(CountOf(TraceKind::LeaseRevoke), 0u);
+  EXPECT_GT(CountOf(TraceKind::TenantUtility), 0u);
+}
+
+TEST(ArbiterConformance, LeaseSequenceNeverOvercommits) {
+  // Walk the golden changes in order, tracking every tenant's holding:
+  // applying revocations before grants must keep the platform within
+  // its grantable pool at every intermediate point.
+  const ArbiterScenario Scenario = makeCanonicalColocationScenario();
+  ArbiterOptions Opts = Scenario.Options;
+  Opts.Trace = nullptr;
+  const Arbiter Probe(Opts);
+  const unsigned Pool = Probe.grantableThreads();
+
+  Tracer Trace(1 << 16);
+  const std::vector<LeaseChange> Changes =
+      runArbiterScenario(Scenario, &Trace);
+  ASSERT_FALSE(Changes.empty());
+
+  std::map<std::string, unsigned> Held;
+  for (const LeaseChange &C : Changes) {
+    Held[C.Tenant] = C.NewThreads;
+    unsigned Total = 0;
+    for (const auto &[Name, Threads] : Held)
+      Total += Threads;
+    EXPECT_LE(Total, Pool) << "overcommitted after " << C.Tenant << " at t="
+                           << C.Time;
+  }
+}

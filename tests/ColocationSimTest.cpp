@@ -1,0 +1,199 @@
+//===- tests/ColocationSimTest.cpp - Multi-tenant simulator tests ----------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ColocationSim.h"
+
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+
+namespace {
+
+/// Latency-sensitive nested-parallel server: needs only a sliver of the
+/// machine at base load, triple load during the mid-run burst.
+ColocationTenantSpec frontendTenant() {
+  ColocationTenantSpec T;
+  T.Tenant.Name = "frontend";
+  T.Tenant.Goal = TenantGoal::ResponseTime;
+  T.Tenant.Weight = 2.0;
+  T.Tenant.MinThreads = 2;
+  T.Tenant.SloSeconds = 0.5;
+  T.Kind = ColocationTenantSpec::AppKind::NestServer;
+  T.Nest.Name = "frontend";
+  T.Nest.SeqServiceSeconds = 0.05;
+  T.Nest.Curve = SpeedupCurve(0.1, 0.2);
+  T.ArrivalRate = 40.0;
+  T.ArrivalSchedule.addPhase(1.0, 30.0);
+  T.ArrivalSchedule.addPhase(3.0, 20.0); // antagonist burst: 120/s
+  T.ArrivalSchedule.addPhase(1.0, 1e9);
+  return T;
+}
+
+/// Throughput-hungry pipeline batch job: oversubscribed at any grant the
+/// platform can give it — it absorbs every spare thread.
+ColocationTenantSpec batchTenant() {
+  ColocationTenantSpec T;
+  T.Tenant.Name = "batch";
+  T.Tenant.Goal = TenantGoal::Throughput;
+  T.Tenant.Weight = 1.0;
+  T.Kind = ColocationTenantSpec::AppKind::Pipeline;
+  T.Pipeline.Name = "batch";
+  T.Pipeline.Stages = {{"decode", true, 0.02, 0.15},
+                       {"work", true, 0.1, 0.15},
+                       {"sink", true, 0.03, 0.15}};
+  T.ArrivalRate = 200.0;
+  return T;
+}
+
+ColocationSimOptions quickOptions(ColocationPolicy Policy) {
+  ColocationSimOptions Opts;
+  Opts.Contexts = 24;
+  Opts.Seed = 42;
+  Opts.DurationSeconds = 80.0;
+  Opts.StepSeconds = 0.05;
+  Opts.WarmupSeconds = 4.0;
+  Opts.Policy = Policy;
+  return Opts;
+}
+
+ColocationSimResult runPolicy(ColocationPolicy Policy, uint64_t Seed = 42) {
+  ColocationSimOptions Opts = quickOptions(Policy);
+  Opts.Seed = Seed;
+  ColocationSim Sim({frontendTenant(), batchTenant()}, Opts);
+  return Sim.run();
+}
+
+TEST(ColocationSim, CapacityCurvesAreSane) {
+  const ColocationTenantSpec Front = frontendTenant();
+  const ColocationTenantSpec Batch = batchTenant();
+  // More threads never reduce capacity, and the curves are nontrivial.
+  for (unsigned K = 1; K < 24; ++K) {
+    EXPECT_LE(ColocationSim::capacity(Front, K),
+              ColocationSim::capacity(Front, K + 1) + 1e-9);
+    EXPECT_LE(ColocationSim::capacity(Batch, K),
+              ColocationSim::capacity(Batch, K + 1) + 1e-9);
+  }
+  // Pipeline bottleneck math: at 12 threads greedy replication yields
+  // stage extents (2, 7, 3) and the 0.1 s stage bounds throughput.
+  EXPECT_NEAR(ColocationSim::capacity(Batch, 12), 70.0, 1e-9);
+  // One nest thread serves 1/T1 = 20/s.
+  EXPECT_NEAR(ColocationSim::capacity(Front, 1), 20.0, 1e-9);
+  EXPECT_GT(ColocationSim::serviceLatency(Front, 4), 0.0);
+  EXPECT_NEAR(ColocationSim::serviceLatency(Batch, 12), 0.15, 1e-9);
+}
+
+TEST(ColocationSim, DeterministicUnderSameSeed) {
+  const ColocationSimResult A = runPolicy(ColocationPolicy::Arbiter, 7);
+  const ColocationSimResult B = runPolicy(ColocationPolicy::Arbiter, 7);
+  ASSERT_EQ(A.Tenants.size(), B.Tenants.size());
+  for (size_t I = 0; I != A.Tenants.size(); ++I) {
+    EXPECT_EQ(A.Tenants[I].Arrived, B.Tenants[I].Arrived);
+    EXPECT_EQ(A.Tenants[I].Completed, B.Tenants[I].Completed);
+    EXPECT_EQ(A.Tenants[I].SloHits, B.Tenants[I].SloHits);
+    EXPECT_EQ(A.Tenants[I].LeaseChanges, B.Tenants[I].LeaseChanges);
+  }
+  EXPECT_EQ(A.LeaseChanges, B.LeaseChanges);
+  EXPECT_DOUBLE_EQ(A.Fairness.AggregateAttainment,
+                   B.Fairness.AggregateAttainment);
+}
+
+TEST(ColocationSim, AllPoliciesCompleteWork) {
+  for (ColocationPolicy P :
+       {ColocationPolicy::Arbiter, ColocationPolicy::StaticSplit,
+        ColocationPolicy::Oversubscribed}) {
+    const ColocationSimResult R = runPolicy(P);
+    ASSERT_EQ(R.Tenants.size(), 2u) << toString(P);
+    for (const TenantStats &T : R.Tenants) {
+      EXPECT_GT(T.Arrived, 0u) << toString(P) << " " << T.Name;
+      EXPECT_GT(T.Completed, 0u) << toString(P) << " " << T.Name;
+    }
+    EXPECT_GT(R.Fairness.AggregateAttainment, 0.0) << toString(P);
+    EXPECT_LE(R.Fairness.AggregateAttainment, 1.0 + 1e-9) << toString(P);
+  }
+}
+
+TEST(ColocationSim, LeaseChangesOnlyUnderArbiter) {
+  EXPECT_GT(runPolicy(ColocationPolicy::Arbiter).LeaseChanges, 0u);
+  EXPECT_EQ(runPolicy(ColocationPolicy::StaticSplit).LeaseChanges, 0u);
+  EXPECT_EQ(runPolicy(ColocationPolicy::Oversubscribed).LeaseChanges, 0u);
+}
+
+TEST(ColocationSim, ArbiterBeatsStaticSplitOnAggregateAttainment) {
+  // The half-split strands ~10 threads on the frontend silo; the
+  // arbiter hands them to the starved batch tenant and snaps back
+  // during the frontend burst.
+  const ColocationSimResult Arb = runPolicy(ColocationPolicy::Arbiter);
+  const ColocationSimResult Split = runPolicy(ColocationPolicy::StaticSplit);
+  EXPECT_GT(Arb.Fairness.AggregateAttainment,
+            Split.Fairness.AggregateAttainment);
+
+  // And not by sacrificing the latency tenant: the frontend keeps its
+  // SLO hit rate high through the burst.
+  const TenantStats &Front = Arb.Tenants[0];
+  ASSERT_EQ(Front.Name, "frontend");
+  EXPECT_GT(Front.goalAttainment(), 0.9);
+}
+
+TEST(ColocationSim, OversubscriptionDegradesBothTenants) {
+  // Against the static half-split (identical 12/12 grants), the
+  // oversubscribed baseline is strictly worse: time-slicing two
+  // machine-wide tenant footprints stretches every response and taxes
+  // every stage's throughput.
+  const ColocationSimResult Split = runPolicy(ColocationPolicy::StaticSplit);
+  const ColocationSimResult Os = runPolicy(ColocationPolicy::Oversubscribed);
+  ASSERT_EQ(Split.Tenants[0].Name, "frontend");
+  EXPECT_GT(Os.Tenants[0].Responses.meanResponseTime(),
+            Split.Tenants[0].Responses.meanResponseTime());
+  EXPECT_LT(Os.Tenants[1].Completed, Split.Tenants[1].Completed);
+
+  // And the arbiter's batch tenant, fed the frontend's idle threads,
+  // out-serves the thrashing baseline's batch tenant outright.
+  const ColocationSimResult Arb = runPolicy(ColocationPolicy::Arbiter);
+  EXPECT_GT(Arb.Tenants[1].goalAttainment(),
+            Os.Tenants[1].goalAttainment());
+}
+
+TEST(ColocationSim, AdmissionLimitShedsInsteadOfQueueing) {
+  ColocationTenantSpec Overloaded = batchTenant();
+  Overloaded.Tenant.Name = "overloaded";
+  Overloaded.ArrivalRate = 500.0; // far beyond any capacity
+  Overloaded.AdmissionLimit = 50;
+  ColocationSimOptions Opts = quickOptions(ColocationPolicy::StaticSplit);
+  Opts.DurationSeconds = 30.0;
+  ColocationSim Sim({frontendTenant(), Overloaded}, Opts);
+  const ColocationSimResult R = Sim.run();
+  const TenantStats &T = R.Tenants[1];
+  EXPECT_GT(T.Shed, 0u);
+  EXPECT_LE(T.Completed + T.Shed, T.Arrived);
+  // With a 50-item cap, nothing waits longer than cap/capacity plus
+  // intrinsic latency — far under the unbounded backlog's wait.
+  const double Cap = ColocationSim::capacity(Overloaded, 12);
+  EXPECT_LT(T.Responses.maxResponseTime(), 50.0 / Cap + 1.0);
+}
+
+TEST(ColocationSim, TraceSinkSeesLeaseAndCounterRecords) {
+  Tracer Trace(1 << 16);
+  ColocationSimOptions Opts = quickOptions(ColocationPolicy::Arbiter);
+  Opts.DurationSeconds = 30.0;
+  Opts.TraceSink = &Trace;
+  ColocationSim Sim({frontendTenant(), batchTenant()}, Opts);
+  Sim.run();
+  size_t Leases = 0, Counters = 0, Utilities = 0;
+  for (const TraceRecord &R : Trace.drain()) {
+    Leases += R.Kind == TraceKind::LeaseGrant ||
+              R.Kind == TraceKind::LeaseRevoke;
+    Counters += R.Kind == TraceKind::Counter;
+    Utilities += R.Kind == TraceKind::TenantUtility;
+  }
+  EXPECT_GT(Leases, 0u);
+  EXPECT_GT(Counters, 0u);
+  EXPECT_GT(Utilities, 0u);
+}
+
+} // namespace

@@ -1,0 +1,178 @@
+//===- tests/DopeEnvelopeTest.cpp - Runtime thread-envelope tests ----------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The thread envelope is the arbiter-facing half of the executive: a
+// lease can shrink or grow the budget mid-run, after create() froze
+// DopeOptions::MaxThreads. Shrinks must be realized through the
+// suspend/quiesce path (no task killed), grows must let the next
+// decision widen the configuration again.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dope.h"
+
+#include "core/Config.h"
+#include "queue/WorkQueue.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace dope;
+
+namespace {
+
+/// DOALL worker over an open queue the test feeds: lets the run stay
+/// live while envelopes change, then drain to completion.
+struct OpenLoopApp {
+  TaskGraph Graph;
+  WorkQueue<int> Queue;
+  std::atomic<uint64_t> Count{0};
+  ParDescriptor *Root = nullptr;
+  Task *Work = nullptr;
+
+  OpenLoopApp() {
+    TaskFn Fn = [this](TaskRuntime &RT) {
+      if (RT.begin() == TaskStatus::Suspended)
+        return TaskStatus::Suspended;
+      // Poll rather than block: a replica parked in waitAndPop() on an
+      // empty queue can never observe a suspend request, and the master
+      // replica doing so would wedge the whole epoch.
+      std::optional<int> Item = Queue.tryPop();
+      if (!Item) {
+        if (Queue.closed())
+          return TaskStatus::Finished;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return RT.end();
+      }
+      Count.fetch_add(1);
+      if (RT.end() == TaskStatus::Suspended)
+        return TaskStatus::Suspended;
+      return TaskStatus::Executing;
+    };
+    LoadFn Load = [this] { return static_cast<double>(Queue.size()); };
+    Work = Graph.createTask("worker", Fn, Load, Graph.parDescriptor());
+    Root = Graph.createRegion({Work});
+  }
+};
+
+/// Polls until \p Pred holds or ~5 s pass.
+template <typename PredT> bool eventually(PredT Pred) {
+  for (int I = 0; I != 500; ++I) {
+    if (Pred())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return Pred();
+}
+
+TEST(DopeEnvelope, DefaultsToMaxThreadsAndClamps) {
+  OpenLoopApp App;
+  DopeOptions Opts;
+  Opts.MaxThreads = 4;
+  std::unique_ptr<Dope> D = Dope::create(App.Root, std::move(Opts));
+  EXPECT_EQ(D->threadEnvelope(), 4u);
+  EXPECT_EQ(D->liveThreads(), 4u);
+
+  D->setThreadEnvelope(99); // clamped to the administrator cap
+  EXPECT_EQ(D->threadEnvelope(), 4u);
+  D->setThreadEnvelope(0); // clamped to the minimum of one thread
+  EXPECT_EQ(D->threadEnvelope(), 1u);
+
+  App.Queue.close();
+  D->wait();
+}
+
+TEST(DopeEnvelope, ShrinkDegradesRunningConfigViaQuiesce) {
+  OpenLoopApp App;
+  for (int I = 0; I != 64; ++I)
+    App.Queue.push(I);
+
+  DopeOptions Opts;
+  Opts.MaxThreads = 4;
+  RegionConfig Wide;
+  TaskConfig TC;
+  TC.Extent = 4;
+  Wide.Tasks.push_back(TC);
+  Opts.InitialConfig = Wide;
+  std::unique_ptr<Dope> D = Dope::create(App.Root, std::move(Opts));
+  ASSERT_TRUE(eventually([&] { return App.Count.load() > 0; }));
+  EXPECT_EQ(totalThreads(*App.Root, D->currentConfig()), 4u);
+
+  // Lease shrinks below the running footprint: the epoch must steer out
+  // through suspend/quiesce and re-enter degraded — without losing work.
+  D->setThreadEnvelope(2);
+  EXPECT_EQ(D->liveThreads(), 2u);
+  ASSERT_TRUE(eventually([&] {
+    return totalThreads(*App.Root, D->currentConfig()) <= 2u;
+  })) << "running config never degraded to the shrunken envelope";
+
+  // The degraded region keeps making progress.
+  const uint64_t Before = App.Count.load();
+  for (int I = 0; I != 64; ++I)
+    App.Queue.push(I);
+  ASSERT_TRUE(eventually([&] { return App.Count.load() > Before; }));
+
+  App.Queue.close();
+  EXPECT_EQ(D->wait(), TaskStatus::Finished);
+  EXPECT_EQ(App.Count.load(), 128u);
+}
+
+TEST(DopeEnvelope, GrowRaisesLiveThreadsAgain) {
+  OpenLoopApp App;
+  DopeOptions Opts;
+  Opts.MaxThreads = 6;
+  std::unique_ptr<Dope> D = Dope::create(App.Root, std::move(Opts));
+
+  D->setThreadEnvelope(2);
+  EXPECT_EQ(D->liveThreads(), 2u);
+  D->setThreadEnvelope(5);
+  EXPECT_EQ(D->threadEnvelope(), 5u);
+  EXPECT_EQ(D->liveThreads(), 5u);
+
+  App.Queue.close();
+  EXPECT_EQ(D->wait(), TaskStatus::Finished);
+}
+
+TEST(DopeEnvelope, EnvelopeChangesAreTraced) {
+  Tracer Trace(1 << 12);
+  OpenLoopApp App;
+  DopeOptions Opts;
+  Opts.MaxThreads = 4;
+  Opts.Trace = &Trace;
+  std::unique_ptr<Dope> D = Dope::create(App.Root, std::move(Opts));
+
+  D->setThreadEnvelope(2); // revoke
+  D->setThreadEnvelope(2); // no-op: must not trace
+  D->setThreadEnvelope(4); // grant
+
+  App.Queue.close();
+  D->wait();
+  D.reset();
+
+  size_t Revokes = 0, Grants = 0;
+  for (const TraceRecord &R : Trace.drain()) {
+    if (R.Name != "envelope")
+      continue;
+    if (R.Kind == TraceKind::LeaseRevoke) {
+      ++Revokes;
+      EXPECT_EQ(R.A, 2.0);
+      EXPECT_EQ(R.B, 4.0);
+    } else if (R.Kind == TraceKind::LeaseGrant) {
+      ++Grants;
+      EXPECT_EQ(R.A, 4.0);
+      EXPECT_EQ(R.B, 2.0);
+    }
+  }
+  EXPECT_EQ(Revokes, 1u);
+  EXPECT_EQ(Grants, 1u);
+}
+
+} // namespace

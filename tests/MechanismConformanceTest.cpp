@@ -73,7 +73,7 @@ TEST_P(MechanismConformance, ReplayMatchesGolden) {
   FeatureStream Stream = loadStream(Case.StreamName);
   ASSERT_FALSE(Stream.Steps.empty());
   const std::vector<ReplayDecision> Golden =
-      loadGoldenDecisions(Case.MechanismName);
+      loadGoldenDecisions(Case.decisionsFile());
 
   std::unique_ptr<Mechanism> Mech = createMechanismByName(Case.MechanismName);
   ASSERT_NE(Mech, nullptr);
@@ -82,6 +82,14 @@ TEST_P(MechanismConformance, ReplayMatchesGolden) {
   const ReplayResult Result = Harness.run(*Mech);
   EXPECT_EQ(Result.InvalidProposals, 0u)
       << Case.MechanismName << " proposed structurally invalid configs";
+
+  // Budget discipline: no accepted decision may exceed the thread
+  // envelope in force when it was made (the harness does not clamp —
+  // this is the mechanisms' own responsibility, and what makes lease
+  // revocation safe to apply through them).
+  for (const ReplayDecision &D : Result.Decisions)
+    EXPECT_LE(D.TotalThreads, D.Budget)
+        << Case.MechanismName << " overran its envelope at step " << D.Step;
 
   if (std::optional<std::string> Report =
           diffDecisions(Golden, Result.Decisions))
@@ -147,7 +155,7 @@ TEST_P(MechanismConformance, TracedReplayRecordsEveryConsult) {
 
 static std::string caseName(
     const ::testing::TestParamInfo<ConformanceCase> &Info) {
-  std::string Name = Info.param.MechanismName;
+  std::string Name = Info.param.decisionsFile();
   for (char &C : Name)
     if (C == '-')
       C = '_';

@@ -112,4 +112,47 @@ TEST(OptionParser, NegativeNumbers) {
   EXPECT_DOUBLE_EQ(P.getDouble("x"), -2.5);
 }
 
+TEST(OptionParser, RepeatedOptionLastWins) {
+  // Scripts commonly layer a base command line with overrides appended
+  // at the end; the last occurrence must win for every option type.
+  OptionParser P;
+  P.addInt("n", 0, "count");
+  P.addDouble("x", 0.0, "value");
+  P.addString("app", "", "application");
+  EXPECT_TRUE(parse(P, {"--n=3", "--x=1.5", "--app=x264", "--n", "9",
+                        "--x=2.25", "--app=ferret"}));
+  EXPECT_EQ(P.getInt("n"), 9);
+  EXPECT_DOUBLE_EQ(P.getDouble("x"), 2.25);
+  EXPECT_EQ(P.getString("app"), "ferret");
+}
+
+TEST(OptionParser, RepeatedFlagStaysSet) {
+  OptionParser P;
+  P.addFlag("verbose", "talk more");
+  EXPECT_TRUE(parse(P, {"--verbose", "--verbose"}));
+  EXPECT_TRUE(P.getFlag("verbose"));
+}
+
+TEST(OptionParser, RepeatedOptionLastTypoStillFails) {
+  // A repeat does not launder a malformed value: the second occurrence
+  // is parsed with full validation.
+  OptionParser P;
+  P.addInt("n", 1, "count");
+  EXPECT_FALSE(parse(P, {"--n=3", "--n=oops"}));
+}
+
+TEST(OptionParser, UnknownOptionNamesTheOffender) {
+  OptionParser P;
+  P.addInt("n", 1, "count");
+  EXPECT_FALSE(parse(P, {"--n=2", "--bogus=7"}));
+  EXPECT_NE(P.error().find("bogus"), std::string::npos)
+      << "error should name the unknown option: " << P.error();
+}
+
+TEST(OptionParser, UnknownOptionAfterPositionals) {
+  OptionParser P;
+  EXPECT_FALSE(parse(P, {"input.dat", "--nope"}));
+  EXPECT_NE(P.error().find("unknown option"), std::string::npos);
+}
+
 } // namespace

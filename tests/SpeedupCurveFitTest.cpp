@@ -1,0 +1,121 @@
+//===- tests/SpeedupCurveFitTest.cpp - Curve fitting on noisy samples ------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SpeedupCurve.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace dope;
+
+namespace {
+
+std::vector<SpeedupSample> sampleCurve(const SpeedupCurve &Curve,
+                                       double BaseRate, unsigned MaxExtent,
+                                       double NoiseFraction, Rng &R) {
+  std::vector<SpeedupSample> Samples;
+  for (unsigned M = 1; M <= MaxExtent; ++M) {
+    const double True = BaseRate * Curve.speedup(M);
+    const double Noise = 1.0 + NoiseFraction * (2.0 * R.uniform() - 1.0);
+    Samples.push_back({M, True * Noise});
+  }
+  return Samples;
+}
+
+TEST(SpeedupCurveFit, RecoversCleanCurve) {
+  const SpeedupCurve Truth(0.08, 0.15);
+  std::vector<SpeedupSample> Samples;
+  for (unsigned M = 1; M <= 16; ++M)
+    Samples.push_back({M, 5.0 * Truth.speedup(M)});
+
+  const SpeedupCurveFit Fit = fitSpeedupCurve(Samples);
+  ASSERT_GT(Fit.BaseRate, 0.0);
+  EXPECT_NEAR(Fit.BaseRate, 5.0, 0.25);
+  // Parameters are only identifiable up to prediction equivalence, so
+  // judge the fit by its predictions.
+  for (unsigned M = 1; M <= 16; ++M)
+    EXPECT_NEAR(Fit.predictRate(M), 5.0 * Truth.speedup(M),
+                0.05 * 5.0 * Truth.speedup(M))
+        << "at extent " << M;
+  EXPECT_LT(Fit.Rmse, 0.5);
+}
+
+TEST(SpeedupCurveFit, RecoversUnderNoise) {
+  // Seeded noise: reproduce any failure with DOPE_TEST_SEED=<seed>.
+  Rng R(testing_helpers::loggedSeed(0xc0ffee));
+  const SpeedupCurve Truth(0.05, 0.2);
+  const double BaseRate = 12.0;
+
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    const std::vector<SpeedupSample> Samples =
+        sampleCurve(Truth, BaseRate, 24, /*NoiseFraction=*/0.1, R);
+    const SpeedupCurveFit Fit = fitSpeedupCurve(Samples);
+    ASSERT_GT(Fit.BaseRate, 0.0);
+    EXPECT_EQ(Fit.SampleCount, 24u);
+    // 10% multiplicative noise: predictions should still land within
+    // 20% of truth across the whole range.
+    for (unsigned M = 1; M <= 24; M += 3) {
+      const double True = BaseRate * Truth.speedup(M);
+      EXPECT_NEAR(Fit.predictRate(M), True, 0.2 * True)
+          << "trial " << Trial << " extent " << M;
+    }
+  }
+}
+
+TEST(SpeedupCurveFit, MonotonePredictionsForConcaveTruth) {
+  Rng R(testing_helpers::loggedSeed(42));
+  const SpeedupCurve Truth(0.1, 0.1);
+  const std::vector<SpeedupSample> Samples =
+      sampleCurve(Truth, 4.0, 16, 0.05, R);
+  const SpeedupCurveFit Fit = fitSpeedupCurve(Samples);
+  ASSERT_GT(Fit.BaseRate, 0.0);
+  // The fitted family is monotone in m for alpha < 1, so marginal rates
+  // are non-negative — what the arbiter's bidding relies on.
+  for (unsigned M = 1; M < 24; ++M)
+    EXPECT_GE(Fit.predictRate(M + 1) + 1e-9, Fit.predictRate(M));
+}
+
+TEST(SpeedupCurveFit, NoHistoryFallbacks) {
+  // Empty, single-sample, and single-extent inputs all report BaseRate
+  // 0 — the "no history" signal the arbiter maps to equal-share bids.
+  EXPECT_EQ(fitSpeedupCurve({}).BaseRate, 0.0);
+  EXPECT_EQ(fitSpeedupCurve({{4, 10.0}}).BaseRate, 0.0);
+  EXPECT_EQ(fitSpeedupCurve({{4, 10.0}, {4, 11.0}, {4, 9.5}}).BaseRate, 0.0);
+  // Non-positive rates and zero extents are discarded, not fitted.
+  EXPECT_EQ(fitSpeedupCurve({{1, -5.0}, {2, 0.0}, {0, 3.0}}).BaseRate, 0.0);
+}
+
+TEST(SpeedupCurveFit, Deterministic) {
+  Rng R(testing_helpers::loggedSeed(7));
+  const std::vector<SpeedupSample> Samples =
+      sampleCurve(SpeedupCurve(0.07, 0.3), 9.0, 12, 0.15, R);
+  const SpeedupCurveFit A = fitSpeedupCurve(Samples);
+  const SpeedupCurveFit B = fitSpeedupCurve(Samples);
+  EXPECT_EQ(A.BaseRate, B.BaseRate);
+  EXPECT_EQ(A.Curve.alpha(), B.Curve.alpha());
+  EXPECT_EQ(A.Curve.fixedCost(), B.Curve.fixedCost());
+  EXPECT_EQ(A.Rmse, B.Rmse);
+}
+
+TEST(SpeedupCurveFit, SaturatingCurveBeatsLinearExtrapolation) {
+  // Samples from a heavily saturating app (cap 4x): the fit must not
+  // predict meaningful gains past the knee.
+  const SpeedupCurve Truth(0.3, 0.2, 4.0);
+  std::vector<SpeedupSample> Samples;
+  for (unsigned M = 1; M <= 16; ++M)
+    Samples.push_back({M, 2.0 * Truth.speedup(M)});
+  const SpeedupCurveFit Fit = fitSpeedupCurve(Samples);
+  ASSERT_GT(Fit.BaseRate, 0.0);
+  const double GainAtTail = Fit.predictRate(24) - Fit.predictRate(16);
+  EXPECT_LT(GainAtTail, 0.35 * Fit.predictRate(16))
+      << "fit extrapolates saturating app as if it kept scaling";
+}
+
+} // namespace

@@ -25,12 +25,16 @@
 ///
 ///   dope_trace regen --dir <dir>
 ///       Regenerates the golden conformance suite: the committed feature
-///       streams AND the expected decision sequences of all seven
-///       mechanisms. Run after an intentional mechanism change, then
-///       review the decision diffs like any other code change.
+///       streams, the expected decision sequences of all seven
+///       mechanisms (including the lease-step cases replaying arbiter
+///       revocations through a mechanism), and the lease grant/revoke
+///       trace of the canonical arbiter colocation scenario. Run after
+///       an intentional mechanism or arbiter change, then review the
+///       diffs like any other code change.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "arbiter/Scenario.h"
 #include "core/Replay.h"
 #include "mechanisms/Factory.h"
 #include "support/Trace.h"
@@ -301,6 +305,53 @@ FeatureStream makePipelinePowerRamp() {
   return S;
 }
 
+/// A steady three-stage pipeline whose thread envelope steps down and
+/// back up mid-stream — the arbiter revoking and then re-granting part
+/// of the tenant's lease. TB must fold its balanced configuration under
+/// the shrunken ceiling, then re-expand when the lease returns.
+FeatureStream makePipelineLeaseSteps() {
+  FeatureStream S;
+  S.Name = "pipeline-lease-steps";
+  S.Kind = FeatureStream::GraphKind::Pipeline;
+  S.MaxThreads = 12;
+  S.Stages = {{"split", true}, {"compress", true}, {"pack", true}};
+  for (size_t I = 0; I != 18; ++I) {
+    ReplayStep Step;
+    Step.Time = 0.5 * static_cast<double>(I + 1);
+    if (I == 6)
+      Step.ThreadEnvelope = 5; // lease revoked: 12 -> 5
+    else if (I == 12)
+      Step.ThreadEnvelope = 10; // partial re-grant: 5 -> 10
+    Step.ExecTime = {0.1, 0.4, 0.15};
+    Step.Load = {2.0, 4.0, 2.0};
+    S.Steps.push_back(std::move(Step));
+  }
+  return S;
+}
+
+/// A saturated server nest under the same treatment: WQT-H holds high
+/// DoP while the queue is deep, gets squeezed to a 4-thread lease, and
+/// recovers when the envelope re-opens.
+FeatureStream makeNestLeaseSteps() {
+  FeatureStream S;
+  S.Name = "nest-lease-steps";
+  S.Kind = FeatureStream::GraphKind::ServerNest;
+  S.MaxThreads = 16;
+  S.Stages = {{"server", true}};
+  for (size_t I = 0; I != 20; ++I) {
+    ReplayStep Step;
+    Step.Time = 0.25 * static_cast<double>(I + 1);
+    if (I == 8)
+      Step.ThreadEnvelope = 4; // lease revoked: 16 -> 4
+    else if (I == 14)
+      Step.ThreadEnvelope = 16; // full lease restored
+    Step.ExecTime = {1.0, 0.5};
+    Step.Load = {10.0, 10.0};
+    S.Steps.push_back(std::move(Step));
+  }
+  return S;
+}
+
 std::optional<FeatureStream> makeStreamByName(const std::string &Name) {
   if (Name == "nest-load-swing")
     return makeNestLoadSwing();
@@ -312,6 +363,10 @@ std::optional<FeatureStream> makeStreamByName(const std::string &Name) {
     return makePipelineBursts();
   if (Name == "pipeline-power-ramp")
     return makePipelinePowerRamp();
+  if (Name == "pipeline-lease-steps")
+    return makePipelineLeaseSteps();
+  if (Name == "nest-lease-steps")
+    return makeNestLeaseSteps();
   return std::nullopt;
 }
 
@@ -437,7 +492,7 @@ int cmdRegen(const std::vector<std::string> &Args) {
       return 1;
     }
     const std::string Path =
-        Dir + "/" + std::string(Case.MechanismName) + ".decisions.jsonl";
+        Dir + "/" + std::string(Case.decisionsFile()) + ".decisions.jsonl";
     std::ofstream OS(Path);
     if (!OS) {
       std::fprintf(stderr, "dope_trace: cannot open '%s'\n", Path.c_str());
@@ -445,8 +500,30 @@ int cmdRegen(const std::vector<std::string> &Args) {
     }
     writeDecisions(Result.Decisions, OS);
     std::printf("decision %-22s %4zu decisions (on %s) -> %s\n",
-                Case.MechanismName, Result.Decisions.size(),
+                Case.decisionsFile(), Result.Decisions.size(),
                 Case.StreamName, Path.c_str());
+  }
+
+  // Finally the arbiter's own golden: the lease grant/revoke sequence of
+  // the canonical colocation scenario, byte-identical under replay
+  // (ArbiterConformanceTest re-runs the scenario and diffs).
+  {
+    Tracer Trace;
+    const ArbiterScenario Scenario = makeCanonicalColocationScenario();
+    runArbiterScenario(Scenario, &Trace);
+    std::vector<TraceRecord> Leases;
+    for (TraceRecord &R : Trace.drain())
+      if (R.Kind == TraceKind::LeaseGrant || R.Kind == TraceKind::LeaseRevoke)
+        Leases.push_back(std::move(R));
+    const std::string Path = Dir + "/" + Scenario.Name + ".leases.jsonl";
+    std::ofstream OS(Path);
+    if (!OS) {
+      std::fprintf(stderr, "dope_trace: cannot open '%s'\n", Path.c_str());
+      return 1;
+    }
+    writeTraceJsonl(Leases, OS);
+    std::printf("leases   %-22s %4zu records -> %s\n", Scenario.Name.c_str(),
+                Leases.size(), Path.c_str());
   }
   return 0;
 }
