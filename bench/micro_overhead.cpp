@@ -20,10 +20,10 @@
 ///                  begin/end/decision into per-thread rings.
 ///
 /// The harness reports median wall times over several interleaved trials
-/// and checks that full monitoring costs only a few percent (the paper's
-/// <1% is measured on idle dedicated hardware; this harness allows a
-/// little more noise) and that tracing adds less than 5% on top of the
-/// monitored executive.
+/// and checks that full monitoring costs under 2% (the paper's <1% is
+/// measured on idle dedicated hardware; per-replica batched exec windows
+/// put this harness at ~0-1%, and the threshold allows CI noise) and
+/// that tracing adds less than 5% on top of the monitored executive.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -172,9 +172,10 @@ int main(int Argc, char **Argv) {
   std::printf("tracing overhead vs monitored executive: %.2f%%\n",
               TracingOverhead * 100.0);
   bool Ok = true;
-  Ok &= checkShape(MonitoringOverhead < 0.05,
-                   "per-instance monitoring costs only a few percent "
-                   "(paper: < 1% on dedicated hardware)");
+  Ok &= checkShape(MonitoringOverhead < 0.02,
+                   "per-instance monitoring costs under 2% (paper: < 1% on "
+                   "dedicated hardware; batched exec windows measure "
+                   "~0-1% here)");
   Ok &= checkShape(M / P < 1.15,
                    "the full executive tracks the raw Pthreads loop");
   Ok &= checkShape(TracingOverhead < 0.05,

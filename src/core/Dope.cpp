@@ -109,11 +109,29 @@ TaskStatus TaskRuntime::begin() {
   return TaskStatus::Executing;
 }
 
+void TaskRuntime::flushWindow() {
+  if (Window.Count == 0)
+    return;
+  Executive.metricsFor(TheTask).recordExecTimeBatch(Window.Count,
+                                                    Window.TotalSeconds);
+  Window.Count = 0;
+  Window.TotalSeconds = 0.0;
+}
+
 TaskStatus TaskRuntime::end() {
   if (BeginTime >= 0.0) {
     const double Now = monotonicSeconds();
     const double Elapsed = Now - BeginTime;
-    Executive.metricsFor(TheTask).recordExecTime(Elapsed);
+    // Accumulate locally; flush to the shared TaskMetrics in batches so
+    // monitoring "each and every instance" costs two loads and two adds
+    // per instance, not a mutex round-trip.
+    if (Window.Count == 0)
+      Window.FirstSampleTime = Now;
+    ++Window.Count;
+    Window.TotalSeconds += Elapsed;
+    if (Window.Count >= WindowMaxSamples ||
+        Now - Window.FirstSampleTime >= WindowMaxSeconds)
+      flushWindow();
     BeginTime = -1.0;
     if (Tracer *Tr = Executive.Trace)
       Tr->recordAt(Now, TraceKind::TaskEnd, TheTask.name(), Replica, Elapsed);
@@ -165,8 +183,11 @@ Dope::Dope(ParDescriptor *Root, DopeOptions Opts)
 
   std::vector<const Task *> AllTasks;
   collectTasks(*Root, AllTasks);
-  for (const Task *T : AllTasks)
-    Metrics.emplace(T->id(), std::make_unique<TaskMetrics>());
+  for (const Task *T : AllTasks) {
+    if (T->id() >= Metrics.size())
+      Metrics.resize(T->id() + 1);
+    Metrics[T->id()] = std::make_unique<TaskMetrics>();
+  }
 
   // Mechanisms size configurations against the live budget
   // (MechanismContext::effectiveThreads); the native platform loses
@@ -328,14 +349,13 @@ uint64_t Dope::reconfigurationCount() const {
 }
 
 TaskMetrics &Dope::metricsFor(const Task &T) {
-  auto It = Metrics.find(T.id());
-  assert(It != Metrics.end() && "task not registered with this executive");
-  return *It->second;
+  assert(T.id() < Metrics.size() && Metrics[T.id()] &&
+         "task not registered with this executive");
+  return *Metrics[T.id()];
 }
 
 const TaskMetrics *Dope::metricsForIfPresent(const Task &T) const {
-  auto It = Metrics.find(T.id());
-  return It == Metrics.end() ? nullptr : It->second.get();
+  return T.id() < Metrics.size() ? Metrics[T.id()].get() : nullptr;
 }
 
 RegionSnapshot

@@ -108,6 +108,13 @@ public:
   /// Monotonic seconds (the executive's clock).
   double nowSeconds() const;
 
+  TaskRuntime(const TaskRuntime &) = delete;
+  TaskRuntime &operator=(const TaskRuntime &) = delete;
+
+  /// Flushes any locally accumulated exec-time samples to the shared
+  /// TaskMetrics. Called automatically on destruction (replica exit).
+  ~TaskRuntime() { flushWindow(); }
+
 private:
   friend class Dope;
   TaskRuntime(Dope &Executive, const Task &TheTask, const TaskConfig &Config,
@@ -115,6 +122,8 @@ private:
               const RegionRunState *Run = nullptr)
       : Executive(Executive), TheTask(TheTask), Config(Config),
         Replica(Replica), UserContext(UserContext), Run(Run) {}
+
+  void flushWindow();
 
   /// True when the quiesce watchdog abandoned this replica's epoch (or an
   /// enclosing one): the executive moved on, and begin/end steer the
@@ -128,6 +137,21 @@ private:
   void *UserContext;
   const RegionRunState *Run;
   double BeginTime = -1.0;
+
+  /// Replica-local exec-time accumulation window. Each replica owns one
+  /// (the runtime lives on the replica's stack), so per-instance
+  /// monitoring touches no shared cache line; the shared TaskMetrics
+  /// mutex is taken only when the window flushes — every
+  /// WindowMaxSamples instances, after WindowMaxSeconds, or on replica
+  /// exit. Padded so two runtimes can never false-share.
+  static constexpr uint32_t WindowMaxSamples = 64;
+  static constexpr double WindowMaxSeconds = 0.005;
+  struct alignas(64) ExecWindow {
+    uint32_t Count = 0;
+    double TotalSeconds = 0.0;
+    double FirstSampleTime = 0.0;
+  };
+  ExecWindow Window;
 };
 
 /// Options for Dope::create.
@@ -367,9 +391,11 @@ private:
   /// straggler eventually unblocks and exits).
   std::atomic<unsigned> LostThreads{0};
 
-  // Task metrics, keyed by task id; created eagerly for the whole graph
-  // reachable from Root so lookups are lock-free afterwards.
-  std::unordered_map<unsigned, std::unique_ptr<TaskMetrics>> Metrics;
+  // Task metrics, indexed by dense task id; created eagerly for the
+  // whole graph reachable from Root so the per-instance hot path
+  // (TaskRuntime::end) is one bounds-checked array load, not a hash
+  // lookup.
+  std::vector<std::unique_ptr<TaskMetrics>> Metrics;
 
   ThreadPool Pool;
 

@@ -26,17 +26,19 @@ void FeatureRegistry::registerFeature(const std::string &Name,
   E.CachedValue = 0.0;
 }
 
-void FeatureRegistry::unregisterFeature(const std::string &Name) {
+void FeatureRegistry::unregisterFeature(std::string_view Name) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  Features.erase(Name);
+  auto It = Features.find(Name);
+  if (It != Features.end())
+    Features.erase(It);
 }
 
-bool FeatureRegistry::hasFeature(const std::string &Name) const {
+bool FeatureRegistry::hasFeature(std::string_view Name) const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Features.count(Name) != 0;
+  return Features.find(Name) != Features.end();
 }
 
-std::optional<double> FeatureRegistry::getValue(const std::string &Name,
+std::optional<double> FeatureRegistry::getValue(std::string_view Name,
                                                 double NowSeconds) const {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Features.find(Name);

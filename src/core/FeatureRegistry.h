@@ -26,6 +26,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace dope {
 
@@ -47,14 +48,17 @@ public:
                        double MinSampleIntervalSeconds = 0.0);
 
   /// Removes a feature; no-op when absent.
-  void unregisterFeature(const std::string &Name);
+  void unregisterFeature(std::string_view Name);
 
-  bool hasFeature(const std::string &Name) const;
+  bool hasFeature(std::string_view Name) const;
 
   /// Returns the feature value, or std::nullopt when the feature is not
   /// registered. \p NowSeconds is the caller's clock, used for rate
   /// limiting (pass monotonic seconds; the simulator passes virtual time).
-  std::optional<double> getValue(const std::string &Name,
+  ///
+  /// Lookups are heterogeneous (string_view), so reading a feature by
+  /// literal name on the monitoring path allocates nothing.
+  std::optional<double> getValue(std::string_view Name,
                                  double NowSeconds) const;
 
   /// Attaches a tracer: every *fresh* sample (one that actually invoked
@@ -71,7 +75,8 @@ private:
   };
 
   mutable std::mutex Mutex;
-  std::map<std::string, Entry> Features;
+  // std::less<> enables find(string_view) without a temporary string.
+  std::map<std::string, Entry, std::less<>> Features;
   Tracer *Trace = nullptr;
 };
 

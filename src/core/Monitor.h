@@ -42,6 +42,19 @@ public:
     TotalBusySeconds += Seconds;
   }
 
+  /// Records a window of \p Count begin..end intervals totalling
+  /// \p TotalSeconds in one lock acquisition. Replica threads accumulate
+  /// locally and flush here on epoch boundaries, so the shared mutex is
+  /// taken once per window instead of once per task instance.
+  void recordExecTimeBatch(uint64_t Count, double TotalSeconds) {
+    if (Count == 0)
+      return;
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ExecTimeEma.addBatch(Count, TotalSeconds / static_cast<double>(Count));
+    InvocationCount += Count;
+    TotalBusySeconds += TotalSeconds;
+  }
+
   /// Records a load sample (LoadCB value).
   void recordLoad(double Load) {
     std::lock_guard<std::mutex> Lock(Mutex);

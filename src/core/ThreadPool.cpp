@@ -36,8 +36,10 @@ void ThreadPool::submit(std::function<void()> Job) {
     // the region (a replica blocked on a queue can only be released by
     // another replica that never ran). Spawning is conservative — an
     // extra worker parks harmlessly.
-    if (IdleCount < Jobs.size())
+    if (IdleCount < Jobs.size()) {
       Workers.emplace_back([this] { workerMain(); });
+      SpawnedCount.store(Workers.size(), std::memory_order_relaxed);
+    }
   }
   WorkAvailable.notify_one();
 }
@@ -47,16 +49,11 @@ void ThreadPool::setErrorHook(ErrorHookFn Hook) {
   ErrorHook = std::move(Hook);
 }
 
-uint64_t ThreadPool::escapedExceptions() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return EscapedExceptions;
-}
-
 void ThreadPool::reportEscaped(const std::string &Description) {
   ErrorHookFn Hook;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    ++EscapedExceptions;
+    EscapedCount.fetch_add(1, std::memory_order_relaxed);
     Hook = ErrorHook;
   }
   if (Hook)
@@ -66,25 +63,17 @@ void ThreadPool::reportEscaped(const std::string &Description) {
                    Description.c_str());
 }
 
-size_t ThreadPool::threadsCreated() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Workers.size();
-}
-
-size_t ThreadPool::idleThreads() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return IdleCount;
-}
-
 void ThreadPool::workerMain() {
   for (;;) {
     std::function<void()> Job;
     {
       std::unique_lock<std::mutex> Lock(Mutex);
       ++IdleCount;
+      IdleSnapshot.store(IdleCount, std::memory_order_relaxed);
       WorkAvailable.wait(Lock,
                          [this] { return !Jobs.empty() || ShuttingDown; });
       --IdleCount;
+      IdleSnapshot.store(IdleCount, std::memory_order_relaxed);
       if (Jobs.empty())
         return; // shutting down
       Job = std::move(Jobs.front());

@@ -26,6 +26,7 @@
 #ifndef DOPE_CORE_THREADPOOL_H
 #define DOPE_CORE_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -58,14 +59,22 @@ public:
   /// the worker; it never terminates the process.
   void setErrorHook(ErrorHookFn Hook);
 
-  /// Number of job exceptions the pool has captured (monitoring/test hook).
-  uint64_t escapedExceptions() const;
+  /// Number of job exceptions the pool has captured (monitoring/test
+  /// hook). Lock-free: monitoring must not contend with submission.
+  uint64_t escapedExceptions() const {
+    return EscapedCount.load(std::memory_order_relaxed);
+  }
 
   /// Number of worker threads ever created (monitoring/test hook).
-  size_t threadsCreated() const;
+  /// Lock-free.
+  size_t threadsCreated() const {
+    return SpawnedCount.load(std::memory_order_relaxed);
+  }
 
-  /// Number of currently idle workers (monitoring/test hook).
-  size_t idleThreads() const;
+  /// Number of currently idle workers (monitoring/test hook). Lock-free.
+  size_t idleThreads() const {
+    return IdleSnapshot.load(std::memory_order_relaxed);
+  }
 
 private:
   void workerMain();
@@ -75,10 +84,13 @@ private:
   std::condition_variable WorkAvailable;
   std::deque<std::function<void()>> Jobs;
   std::vector<std::thread> Workers;
-  ErrorHookFn ErrorHook;           // guarded by Mutex
-  uint64_t EscapedExceptions = 0;  // guarded by Mutex
-  size_t IdleCount = 0;
+  ErrorHookFn ErrorHook; // guarded by Mutex
+  size_t IdleCount = 0;  // guarded by Mutex (spawn decision reads it)
   bool ShuttingDown = false;
+  // Relaxed mirrors of the guarded state for lock-free monitoring reads.
+  std::atomic<uint64_t> EscapedCount{0};
+  std::atomic<size_t> SpawnedCount{0};
+  std::atomic<size_t> IdleSnapshot{0};
 };
 
 } // namespace dope

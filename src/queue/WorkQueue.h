@@ -11,6 +11,12 @@
 /// load signal consumed by LoadCB callbacks (Sec. 3.2 of the paper: "The
 /// callback returns the current occupancy of the work queue").
 ///
+/// Occupancy and the lifetime counters are mirrored into relaxed
+/// atomics updated under the mutex, so the executive's LoadCB sampling
+/// (size()/empty()) never contends with producers and consumers for the
+/// queue lock — monitoring stays off the data path. The mutex guards
+/// only push/pop/close.
+///
 /// The queue supports a close() operation used to propagate the sentinel
 /// semantics from the paper's FiniCB protocol: consumers blocked in
 /// waitAndPop are released with std::nullopt once the queue is closed and
@@ -21,6 +27,7 @@
 #ifndef DOPE_QUEUE_WORKQUEUE_H
 #define DOPE_QUEUE_WORKQUEUE_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -46,7 +53,8 @@ public:
       if (Closed)
         return false;
       Items.push_back(std::move(Item));
-      ++TotalPushed;
+      Occupancy.store(Items.size(), std::memory_order_relaxed);
+      Pushed.fetch_add(1, std::memory_order_relaxed);
     }
     NotEmpty.notify_one();
     return true;
@@ -59,7 +67,8 @@ public:
       return std::nullopt;
     T Item = std::move(Items.front());
     Items.pop_front();
-    ++TotalPopped;
+    Occupancy.store(Items.size(), std::memory_order_relaxed);
+    Popped.fetch_add(1, std::memory_order_relaxed);
     return Item;
   }
 
@@ -71,7 +80,8 @@ public:
       return std::nullopt;
     T Item = std::move(Items.front());
     Items.pop_front();
-    ++TotalPopped;
+    Occupancy.store(Items.size(), std::memory_order_relaxed);
+    Popped.fetch_add(1, std::memory_order_relaxed);
     return Item;
   }
 
@@ -81,6 +91,7 @@ public:
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       Closed = true;
+      ClosedFlag.store(true, std::memory_order_relaxed);
     }
     NotEmpty.notify_all();
   }
@@ -90,29 +101,24 @@ public:
   void reopen() {
     std::lock_guard<std::mutex> Lock(Mutex);
     Closed = false;
+    ClosedFlag.store(false, std::memory_order_relaxed);
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    return Closed;
-  }
+  bool closed() const { return ClosedFlag.load(std::memory_order_relaxed); }
 
-  /// Instantaneous occupancy — the LoadCB signal.
-  size_t size() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    return Items.size();
-  }
+  /// Instantaneous occupancy — the LoadCB signal. Lock-free: reads the
+  /// mirrored atomic, never the queue mutex.
+  size_t size() const { return Occupancy.load(std::memory_order_relaxed); }
 
   bool empty() const { return size() == 0; }
 
   /// Lifetime counters, useful for tests and throughput accounting.
+  /// Lock-free for the same reason as size().
   size_t totalPushed() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    return TotalPushed;
+    return Pushed.load(std::memory_order_relaxed);
   }
   size_t totalPopped() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    return TotalPopped;
+    return Popped.load(std::memory_order_relaxed);
   }
 
 private:
@@ -120,8 +126,11 @@ private:
   std::condition_variable NotEmpty;
   std::deque<T> Items;
   bool Closed = false;
-  size_t TotalPushed = 0;
-  size_t TotalPopped = 0;
+  // Mirrors of the mutex-guarded state for lock-free observers.
+  std::atomic<size_t> Occupancy{0};
+  std::atomic<size_t> Pushed{0};
+  std::atomic<size_t> Popped{0};
+  std::atomic<bool> ClosedFlag{false};
 };
 
 } // namespace dope

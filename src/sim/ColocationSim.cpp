@@ -12,7 +12,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <deque>
+#include "support/RingDeque.h"
 
 using namespace dope;
 
@@ -103,7 +103,7 @@ struct TenantRuntime {
   unsigned Granted = 0;
   double ServiceCredit = 0.0;
   double PausedUntil = 0.0;
-  std::deque<double> Queue; // arrival timestamps
+  RingDeque<double> Queue; // arrival timestamps
   Rng Arrivals{1};
 
   // Per-epoch telemetry window.

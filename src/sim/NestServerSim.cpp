@@ -9,6 +9,8 @@
 
 #include "mechanisms/ServerNest.h"
 
+#include "support/RingDeque.h"
+
 #include <cassert>
 #include <cmath>
 #include <functional>
@@ -71,7 +73,7 @@ NestSimResult NestServerSim::run(Mechanism *Mech, unsigned InitialOuter,
   unsigned OuterK = serverOuterExtent(Config);
   unsigned InnerM = serverInnerExtent(Config);
 
-  std::deque<Job> Queue;
+  RingDeque<Job> Queue;
   unsigned ActiveJobs = 0;
   unsigned BusyContexts = 0;
   uint64_t Arrived = 0;

@@ -8,6 +8,7 @@
 #include "sim/PipelineSim.h"
 
 #include "support/Logging.h"
+#include "support/RingDeque.h"
 
 #include <algorithm>
 #include <cassert>
@@ -354,7 +355,7 @@ private:
     // Salvage in-flight items in rough pipeline order. Wedged replicas
     // are released here too: reconfiguration respawns stage replicas on
     // live contexts, so their items re-enter at the head of the pipeline.
-    std::deque<Item> Salvaged;
+    RingDeque<Item> Salvaged;
     if (!Queues.empty()) {
       for (size_t S = Queues.size(); S-- > 0;) {
         for (const Service &Svc : Running)
@@ -699,14 +700,14 @@ private:
 
   int ActiveAlt = 0;
   std::vector<unsigned> Extents;
-  std::vector<std::deque<Item>> Queues;
-  std::vector<std::deque<BlockedProducer>> Blocked;
+  std::vector<RingDeque<Item>> Queues;
+  std::vector<RingDeque<BlockedProducer>> Blocked;
   std::vector<unsigned> InUse;
   std::vector<StageMetrics> Metrics;
   std::vector<double> DisturbFactor;
   std::vector<double> CommOverhead;
   std::vector<Service> Running;
-  std::deque<Item> MigrationBacklog;
+  RingDeque<Item> MigrationBacklog;
 
   uint64_t Fed = 0;
   uint64_t ItemsDone = 0;

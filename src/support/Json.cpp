@@ -52,6 +52,11 @@ bool JsonValue::getBool(std::string_view Key, bool Fallback) const {
 std::string JsonValue::escape(std::string_view S) {
   std::string Out;
   Out.reserve(S.size());
+  escapeTo(Out, S);
+  return Out;
+}
+
+void JsonValue::escapeTo(std::string &Out, std::string_view S) {
   for (char C : S) {
     switch (C) {
     case '"':
@@ -79,10 +84,9 @@ std::string JsonValue::escape(std::string_view S) {
       }
     }
   }
-  return Out;
 }
 
-static void appendNumber(std::string &Out, double D) {
+void JsonValue::appendNumber(std::string &Out, double D) {
   if (std::isfinite(D) && D == std::floor(D) && std::abs(D) < 1e15) {
     char Buf[32];
     std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(D));

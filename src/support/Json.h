@@ -105,6 +105,17 @@ public:
   /// Escapes \p S for embedding in a JSON string literal (no quotes).
   static std::string escape(std::string_view S);
 
+  /// Appends the escaped form of \p S to \p Out (no quotes); same bytes
+  /// as escape() without the intermediate string. For serializers that
+  /// build output directly (e.g. batched trace emission).
+  static void escapeTo(std::string &Out, std::string_view S);
+
+  /// Appends \p D formatted exactly as dump() formats numbers: integral
+  /// magnitudes below 1e15 as integers, everything else as %.17g.
+  /// Byte-for-byte compatibility here is what keeps hand-built JSON
+  /// (trace exporters) identical to JsonValue-built JSON (goldens).
+  static void appendNumber(std::string &Out, double D);
+
 private:
   Kind TheKind;
   bool BoolValue = false;

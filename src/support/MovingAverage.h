@@ -41,6 +41,27 @@ public:
     ++Count;
   }
 
+  /// Folds in \p N samples summarized by their mean, as if addSample had
+  /// been called \p N times with \p Mean: the update
+  /// v' = m + (v - m)(1 - a)^N is the closed form of N identical
+  /// single-sample steps. Used by batched monitoring paths that flush a
+  /// per-thread window instead of locking per sample.
+  void addBatch(size_t N, double Mean) {
+    if (N == 0)
+      return;
+    if (Count == 0) {
+      Value = Mean;
+      Count = N;
+      return;
+    }
+    double Keep = 1.0;
+    const double Decay = 1.0 - Alpha;
+    for (size_t I = 0; I != N; ++I)
+      Keep *= Decay;
+    Value = Mean + (Value - Mean) * Keep;
+    Count += N;
+  }
+
   /// Returns the current estimate; zero before any sample arrives.
   double value() const { return Count == 0 ? 0.0 : Value; }
 

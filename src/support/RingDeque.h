@@ -1,0 +1,201 @@
+//===- support/RingDeque.h - Growable circular FIFO buffer -----*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A power-of-two circular buffer with deque-like FIFO semantics. The
+/// simulator queues (`PipelineSim`, `NestServerSim`, `ColocationSim`)
+/// only ever push at the back and pop at the front; `std::deque` pays
+/// for that with chunked heap blocks allocated and freed as the queue
+/// oscillates around a block boundary. RingDeque allocates one
+/// geometrically grown buffer and then never touches the allocator in
+/// steady state, which is what an object pool should look like for
+/// items whose lifetime *is* their queue residency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SUPPORT_RINGDEQUE_H
+#define DOPE_SUPPORT_RINGDEQUE_H
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace dope {
+
+template <typename T> class RingDeque {
+public:
+  RingDeque() = default;
+
+  RingDeque(const RingDeque &Other) { copyFrom(Other); }
+
+  RingDeque(RingDeque &&Other) noexcept
+      : Buf(Other.Buf), Cap(Other.Cap), Head(Other.Head), Count(Other.Count) {
+    Other.Buf = nullptr;
+    Other.Cap = Other.Head = Other.Count = 0;
+  }
+
+  RingDeque &operator=(const RingDeque &Other) {
+    if (this != &Other) {
+      destroy();
+      copyFrom(Other);
+    }
+    return *this;
+  }
+
+  RingDeque &operator=(RingDeque &&Other) noexcept {
+    if (this != &Other) {
+      destroy();
+      Buf = Other.Buf;
+      Cap = Other.Cap;
+      Head = Other.Head;
+      Count = Other.Count;
+      Other.Buf = nullptr;
+      Other.Cap = Other.Head = Other.Count = 0;
+    }
+    return *this;
+  }
+
+  ~RingDeque() { destroy(); }
+
+  bool empty() const { return Count == 0; }
+  size_t size() const { return Count; }
+
+  T &front() {
+    assert(Count && "front of empty RingDeque");
+    return Buf[Head];
+  }
+  const T &front() const {
+    assert(Count && "front of empty RingDeque");
+    return Buf[Head];
+  }
+
+  T &back() {
+    assert(Count && "back of empty RingDeque");
+    return Buf[wrap(Head + Count - 1)];
+  }
+  const T &back() const {
+    assert(Count && "back of empty RingDeque");
+    return Buf[wrap(Head + Count - 1)];
+  }
+
+  T &operator[](size_t I) {
+    assert(I < Count && "RingDeque index out of range");
+    return Buf[wrap(Head + I)];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Count && "RingDeque index out of range");
+    return Buf[wrap(Head + I)];
+  }
+
+  void push_back(const T &Value) { emplace_back(Value); }
+  void push_back(T &&Value) { emplace_back(std::move(Value)); }
+
+  template <typename... Args> T &emplace_back(Args &&...As) {
+    if (Count == Cap)
+      grow();
+    T *Slot = Buf + wrap(Head + Count);
+    ::new (static_cast<void *>(Slot)) T(std::forward<Args>(As)...);
+    ++Count;
+    return *Slot;
+  }
+
+  void pop_front() {
+    assert(Count && "pop_front of empty RingDeque");
+    Buf[Head].~T();
+    Head = wrap(Head + 1);
+    --Count;
+  }
+
+  void clear() {
+    for (size_t I = 0; I != Count; ++I)
+      Buf[wrap(Head + I)].~T();
+    Head = 0;
+    Count = 0;
+  }
+
+  /// Minimal forward iterator so range-for works for inspection loops.
+  template <typename Ref, typename Container> class IteratorImpl {
+  public:
+    IteratorImpl(Container *C, size_t I) : C(C), I(I) {}
+    Ref operator*() const { return (*C)[I]; }
+    IteratorImpl &operator++() {
+      ++I;
+      return *this;
+    }
+    bool operator!=(const IteratorImpl &O) const { return I != O.I; }
+    bool operator==(const IteratorImpl &O) const { return I == O.I; }
+
+  private:
+    Container *C;
+    size_t I;
+  };
+
+  using iterator = IteratorImpl<T &, RingDeque>;
+  using const_iterator = IteratorImpl<const T &, const RingDeque>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, Count); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, Count); }
+
+private:
+  size_t wrap(size_t I) const { return I & (Cap - 1); }
+
+  void grow() {
+    const size_t NewCap = Cap ? Cap * 2 : 16;
+    T *NewBuf = static_cast<T *>(
+        ::operator new(NewCap * sizeof(T), std::align_val_t(alignof(T))));
+    for (size_t I = 0; I != Count; ++I) {
+      T &Src = Buf[wrap(Head + I)];
+      ::new (static_cast<void *>(NewBuf + I)) T(std::move(Src));
+      Src.~T();
+    }
+    release(Buf);
+    Buf = NewBuf;
+    Cap = NewCap;
+    Head = 0;
+  }
+
+  void copyFrom(const RingDeque &Other) {
+    Buf = nullptr;
+    Cap = Head = Count = 0;
+    if (Other.Count == 0)
+      return;
+    size_t NewCap = 16;
+    while (NewCap < Other.Count)
+      NewCap *= 2;
+    Buf = static_cast<T *>(
+        ::operator new(NewCap * sizeof(T), std::align_val_t(alignof(T))));
+    Cap = NewCap;
+    for (size_t I = 0; I != Other.Count; ++I) {
+      ::new (static_cast<void *>(Buf + I)) T(Other[I]);
+      ++Count; // incremental so a throwing copy ctor leaks nothing
+    }
+  }
+
+  void destroy() {
+    clear();
+    release(Buf);
+    Buf = nullptr;
+    Cap = 0;
+  }
+
+  static void release(T *P) {
+    if (P)
+      ::operator delete(P, std::align_val_t(alignof(T)));
+  }
+
+  T *Buf = nullptr;
+  size_t Cap = 0;
+  size_t Head = 0;
+  size_t Count = 0;
+};
+
+} // namespace dope
+
+#endif // DOPE_SUPPORT_RINGDEQUE_H

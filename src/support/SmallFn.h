@@ -1,0 +1,123 @@
+//===- support/SmallFn.h - Small-buffer-optimized callable -----*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A move-only `void()` callable with inline storage sized for the
+/// simulator's event closures. `std::function` heap-allocates any capture
+/// list larger than ~16 bytes, which made every scheduled event an
+/// allocation on the hottest path in the repository; SmallFn keeps
+/// captures up to 48 bytes inline (the largest closure in the sims today)
+/// and only falls back to the heap beyond that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SUPPORT_SMALLFN_H
+#define DOPE_SUPPORT_SMALLFN_H
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dope {
+
+class SmallFn {
+public:
+  static constexpr size_t InlineBytes = 48;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F> &>>>
+  SmallFn(F &&Fn) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= InlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void *>(Storage)) D(std::forward<F>(Fn));
+      VT = inlineVTable<D>();
+    } else {
+      *reinterpret_cast<D **>(Storage) = new D(std::forward<F>(Fn));
+      VT = heapVTable<D>();
+    }
+  }
+
+  SmallFn(SmallFn &&Other) noexcept {
+    if (Other.VT) {
+      VT = Other.VT;
+      VT->Relocate(Other.Storage, Storage);
+      Other.VT = nullptr;
+    }
+  }
+
+  SmallFn &operator=(SmallFn &&Other) noexcept {
+    if (this != &Other) {
+      reset();
+      if (Other.VT) {
+        VT = Other.VT;
+        VT->Relocate(Other.Storage, Storage);
+        Other.VT = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn &) = delete;
+  SmallFn &operator=(const SmallFn &) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void reset() {
+    if (VT) {
+      VT->Destroy(Storage);
+      VT = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return VT != nullptr; }
+
+  void operator()() { VT->Invoke(Storage); }
+
+private:
+  struct VTable {
+    void (*Invoke)(void *);
+    /// Move-constructs into Dst and leaves Src destroyed.
+    void (*Relocate)(void *Src, void *Dst);
+    void (*Destroy)(void *);
+  };
+
+  template <typename D> static const VTable *inlineVTable() {
+    static constexpr VTable Table = {
+        [](void *S) { (*static_cast<D *>(S))(); },
+        [](void *Src, void *Dst) {
+          D *From = static_cast<D *>(Src);
+          ::new (Dst) D(std::move(*From));
+          From->~D();
+        },
+        [](void *S) { static_cast<D *>(S)->~D(); }};
+    return &Table;
+  }
+
+  template <typename D> static const VTable *heapVTable() {
+    static constexpr VTable Table = {
+        [](void *S) { (**static_cast<D **>(S))(); },
+        [](void *Src, void *Dst) {
+          *static_cast<D **>(Dst) = *static_cast<D **>(Src);
+        },
+        [](void *S) { delete *static_cast<D **>(S); }};
+    return &Table;
+  }
+
+  alignas(std::max_align_t) unsigned char Storage[InlineBytes];
+  const VTable *VT = nullptr;
+};
+
+} // namespace dope
+
+#endif // DOPE_SUPPORT_SMALLFN_H

@@ -198,22 +198,51 @@ uint64_t Tracer::recordedTotal() const {
 // Exporters
 //===----------------------------------------------------------------------===//
 
+/// Exporters append into one buffer and hand it to the stream in large
+/// chunks: per-record ostream << calls dominated export time at trace
+/// sizes the figure harnesses produce. The JSON bytes are built with
+/// JsonValue::appendNumber / escapeTo, so output is identical to the
+/// JsonValue-based writer the goldens were recorded with.
+static constexpr size_t FlushChunkBytes = 1 << 16;
+
+static void flushBuffer(std::string &Buf, std::ostream &OS, bool Force) {
+  if (Buf.empty() || (!Force && Buf.size() < FlushChunkBytes))
+    return;
+  OS.write(Buf.data(), static_cast<std::streamsize>(Buf.size()));
+  Buf.clear();
+}
+
 void dope::writeTraceJsonl(const std::vector<TraceRecord> &Records,
                            std::ostream &OS) {
+  std::string Buf;
+  Buf.reserve(FlushChunkBytes + 1024);
   for (const TraceRecord &R : Records) {
-    JsonValue O = JsonValue::makeObject();
-    O.set("t", JsonValue(R.Time));
-    O.set("kind", JsonValue(toString(R.Kind)));
-    O.set("tid", JsonValue(static_cast<double>(R.Tid)));
-    O.set("name", JsonValue(R.Name));
-    if (R.A != 0.0)
-      O.set("a", JsonValue(R.A));
-    if (R.B != 0.0)
-      O.set("b", JsonValue(R.B));
-    if (!R.Detail.empty())
-      O.set("detail", JsonValue(R.Detail));
-    OS << O.dump() << '\n';
+    Buf += "{\"t\":";
+    JsonValue::appendNumber(Buf, R.Time);
+    Buf += ",\"kind\":\"";
+    Buf += toString(R.Kind);
+    Buf += "\",\"tid\":";
+    JsonValue::appendNumber(Buf, static_cast<double>(R.Tid));
+    Buf += ",\"name\":\"";
+    JsonValue::escapeTo(Buf, R.Name);
+    Buf += '"';
+    if (R.A != 0.0) {
+      Buf += ",\"a\":";
+      JsonValue::appendNumber(Buf, R.A);
+    }
+    if (R.B != 0.0) {
+      Buf += ",\"b\":";
+      JsonValue::appendNumber(Buf, R.B);
+    }
+    if (!R.Detail.empty()) {
+      Buf += ",\"detail\":\"";
+      JsonValue::escapeTo(Buf, R.Detail);
+      Buf += '"';
+    }
+    Buf += "}\n";
+    flushBuffer(Buf, OS, /*Force=*/false);
   }
+  flushBuffer(Buf, OS, /*Force=*/true);
 }
 
 std::optional<std::vector<TraceRecord>>
@@ -260,60 +289,71 @@ void dope::writeChromeTrace(const std::vector<TraceRecord> &Records,
   // begin/end map to duration events on the writer's thread track;
   // features and queue depths map to counter tracks; everything else is
   // an instant event.
-  OS << "[";
+  std::string Buf;
+  Buf.reserve(FlushChunkBytes + 1024);
+  Buf += '[';
   bool First = true;
-  auto Emit = [&](const JsonValue &Event) {
-    if (!First)
-      OS << ",\n";
-    First = false;
-    OS << Event.dump();
-  };
   for (const TraceRecord &R : Records) {
-    JsonValue E = JsonValue::makeObject();
-    const double Us = R.Time * 1e6;
-    E.set("pid", JsonValue(1));
-    E.set("tid", JsonValue(static_cast<double>(R.Tid)));
-    E.set("ts", JsonValue(Us));
+    if (!First)
+      Buf += ",\n";
+    First = false;
+    Buf += "{\"pid\":1,\"tid\":";
+    JsonValue::appendNumber(Buf, static_cast<double>(R.Tid));
+    Buf += ",\"ts\":";
+    JsonValue::appendNumber(Buf, R.Time * 1e6);
     switch (R.Kind) {
     case TraceKind::TaskBegin:
-      E.set("ph", JsonValue("B"));
-      E.set("name", JsonValue(R.Name));
-      break;
     case TraceKind::TaskEnd:
-      E.set("ph", JsonValue("E"));
-      E.set("name", JsonValue(R.Name));
+      Buf += R.Kind == TraceKind::TaskBegin ? ",\"ph\":\"B\",\"name\":\""
+                                            : ",\"ph\":\"E\",\"name\":\"";
+      JsonValue::escapeTo(Buf, R.Name);
+      Buf += "\"}";
       break;
     case TraceKind::FeatureSample:
     case TraceKind::FeatureRead:
     case TraceKind::QueueDepth:
     case TraceKind::TenantUtility:
-    case TraceKind::Counter: {
-      E.set("ph", JsonValue("C"));
-      E.set("name", JsonValue(R.Name));
-      JsonValue Args = JsonValue::makeObject();
-      Args.set("value", JsonValue(R.A));
-      E.set("args", std::move(Args));
+    case TraceKind::Counter:
+      Buf += ",\"ph\":\"C\",\"name\":\"";
+      JsonValue::escapeTo(Buf, R.Name);
+      Buf += "\",\"args\":{\"value\":";
+      JsonValue::appendNumber(Buf, R.A);
+      Buf += "}}";
       break;
-    }
     default: {
-      E.set("ph", JsonValue("i"));
-      E.set("s", JsonValue("g"));
-      E.set("name",
-            JsonValue(std::string(toString(R.Kind)) + ":" + R.Name));
-      JsonValue Args = JsonValue::makeObject();
-      if (!R.Detail.empty())
-        Args.set("detail", JsonValue(R.Detail));
-      if (R.A != 0.0)
-        Args.set("a", JsonValue(R.A));
-      if (R.B != 0.0)
-        Args.set("b", JsonValue(R.B));
-      E.set("args", std::move(Args));
+      Buf += ",\"ph\":\"i\",\"s\":\"g\",\"name\":\"";
+      JsonValue::escapeTo(Buf, toString(R.Kind));
+      Buf += ':';
+      JsonValue::escapeTo(Buf, R.Name);
+      Buf += "\",\"args\":{";
+      bool FirstArg = true;
+      if (!R.Detail.empty()) {
+        Buf += "\"detail\":\"";
+        JsonValue::escapeTo(Buf, R.Detail);
+        Buf += '"';
+        FirstArg = false;
+      }
+      if (R.A != 0.0) {
+        if (!FirstArg)
+          Buf += ',';
+        Buf += "\"a\":";
+        JsonValue::appendNumber(Buf, R.A);
+        FirstArg = false;
+      }
+      if (R.B != 0.0) {
+        if (!FirstArg)
+          Buf += ',';
+        Buf += "\"b\":";
+        JsonValue::appendNumber(Buf, R.B);
+      }
+      Buf += "}}";
       break;
     }
     }
-    Emit(E);
+    flushBuffer(Buf, OS, /*Force=*/false);
   }
-  OS << "]\n";
+  Buf += "]\n";
+  flushBuffer(Buf, OS, /*Force=*/true);
 }
 
 bool dope::writeTraceFile(const std::vector<TraceRecord> &Records,

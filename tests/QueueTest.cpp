@@ -111,6 +111,72 @@ TEST(WorkQueue, MpmcDeliversEverythingOnce) {
   EXPECT_EQ(Sum.load(), N * (N - 1) / 2);
 }
 
+TEST(WorkQueue, MultiProducerStressWithLockFreeReaders) {
+  // Producers and consumers hammer the queue while reader threads spin
+  // on the lock-free monitoring accessors (size/empty/totalPushed/
+  // totalPopped) — the LoadCB path, which must never take the mutex or
+  // observe counters moving backwards.
+  WorkQueue<int> Q;
+  constexpr int PerProducer = 20000;
+  constexpr int Producers = 4;
+  constexpr int Consumers = 4;
+  std::atomic<long long> Sum{0};
+  std::atomic<int> Count{0};
+  std::atomic<bool> Done{false};
+  std::atomic<bool> ReaderOk{true};
+
+  std::vector<std::thread> Readers;
+  for (int R = 0; R != 2; ++R)
+    Readers.emplace_back([&] {
+      size_t LastPushed = 0, LastPopped = 0;
+      while (!Done.load(std::memory_order_relaxed)) {
+        const size_t Pushed = Q.totalPushed();
+        const size_t Popped = Q.totalPopped();
+        // Lifetime counters are monotone; each is read atomically.
+        if (Pushed < LastPushed || Popped < LastPopped)
+          ReaderOk.store(false, std::memory_order_relaxed);
+        LastPushed = Pushed;
+        LastPopped = Popped;
+        (void)Q.size();
+        (void)Q.empty();
+      }
+    });
+
+  std::vector<std::thread> Threads;
+  for (int P = 0; P != Producers; ++P)
+    Threads.emplace_back([&, P] {
+      for (int I = 0; I != PerProducer; ++I)
+        Q.push(P * PerProducer + I);
+    });
+  for (int C = 0; C != Consumers; ++C)
+    Threads.emplace_back([&] {
+      for (;;) {
+        auto Item = Q.waitAndPop();
+        if (!Item)
+          return;
+        Sum.fetch_add(*Item);
+        Count.fetch_add(1);
+      }
+    });
+  for (int P = 0; P != Producers; ++P)
+    Threads[static_cast<size_t>(P)].join();
+  Q.close();
+  for (size_t T = Producers; T != Threads.size(); ++T)
+    Threads[T].join();
+  Done.store(true);
+  for (std::thread &R : Readers)
+    R.join();
+
+  const long long N = static_cast<long long>(PerProducer) * Producers;
+  EXPECT_EQ(Count.load(), N);
+  EXPECT_EQ(Sum.load(), N * (N - 1) / 2);
+  EXPECT_TRUE(ReaderOk.load());
+  EXPECT_EQ(Q.totalPushed(), static_cast<size_t>(N));
+  EXPECT_EQ(Q.totalPopped(), static_cast<size_t>(N));
+  EXPECT_EQ(Q.size(), 0u);
+  EXPECT_TRUE(Q.empty());
+}
+
 TEST(BoundedQueue, CapacityEnforcedByTryPush) {
   BoundedQueue<int> Q(2);
   EXPECT_TRUE(Q.tryPush(1));
