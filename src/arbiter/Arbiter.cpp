@@ -21,6 +21,11 @@ Arbiter::Arbiter(ArbiterOptions Opts) : Opts(std::move(Opts)) {
 }
 
 unsigned Arbiter::grantableThreads() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return grantableThreadsLocked();
+}
+
+unsigned Arbiter::grantableThreadsLocked() const {
   unsigned Pool = Opts.TotalThreads;
   if (Opts.PowerBudgetWatts > 0.0 && Opts.WattsPerThread > 0.0) {
     const double Avail =
@@ -47,17 +52,28 @@ const Arbiter::TenantState &Arbiter::stateOf(TenantId Id) const {
 }
 
 Lease Arbiter::leaseOf(TenantId Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   const TenantState &T = stateOf(Id);
   return {T.Granted, T.Granted * Opts.WattsPerThread};
 }
 
 const TenantSpec &Arbiter::specOf(TenantId Id) const {
+  // Specs are immutable after addTenant normalizes them, so handing the
+  // reference out after dropping the lock is safe; the lock only
+  // protects the lookup against concurrent add/remove.
+  std::lock_guard<std::mutex> Lock(Mutex);
   return stateOf(Id).Spec;
 }
 
-size_t Arbiter::tenantCount() const { return Tenants.size(); }
+size_t Arbiter::tenantCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Tenants.size();
+}
 
-double Arbiter::lastBidOf(TenantId Id) const { return stateOf(Id).LastBid; }
+double Arbiter::lastBidOf(TenantId Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return stateOf(Id).LastBid;
+}
 
 /// Absolute bid a latency tenant uses to defend held threads: above the
 /// normalized marginal bid of any well-scaling tenant (<= ~1 x weight
@@ -178,7 +194,7 @@ double Arbiter::bid(const TenantState &T, unsigned Have) const {
 }
 
 std::vector<unsigned> Arbiter::waterFill() const {
-  const unsigned Pool = grantableThreads();
+  const unsigned Pool = grantableThreadsLocked();
   std::vector<unsigned> Alloc(Tenants.size(), 0);
   std::vector<unsigned> Cap(Tenants.size(), 0);
   unsigned Placed = 0;
@@ -254,6 +270,7 @@ Arbiter::apply(const std::vector<unsigned> &Target, double Now,
 TenantId Arbiter::addTenant(TenantSpec Spec, double NowSeconds,
                             std::vector<LeaseChange> *Changes) {
   assert(Spec.Weight > 0.0 && "tenant weight must be positive");
+  std::lock_guard<std::mutex> Lock(Mutex);
   TenantState T;
   T.Id = NextId++;
   T.Spec = std::move(Spec);
@@ -274,6 +291,7 @@ TenantId Arbiter::addTenant(TenantSpec Spec, double NowSeconds,
 
 void Arbiter::removeTenant(TenantId Id, double NowSeconds,
                            std::vector<LeaseChange> *Changes) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = std::lower_bound(
       Tenants.begin(), Tenants.end(), Id,
       [](const TenantState &T, TenantId Id) { return T.Id < Id; });
@@ -291,6 +309,7 @@ void Arbiter::removeTenant(TenantId Id, double NowSeconds,
 }
 
 void Arbiter::reportSample(TenantId Id, const TenantSample &Sample) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = std::lower_bound(
       Tenants.begin(), Tenants.end(), Id,
       [](const TenantState &T, TenantId Id) { return T.Id < Id; });
@@ -306,6 +325,7 @@ void Arbiter::reportSample(TenantId Id, const TenantSample &Sample) {
 }
 
 std::vector<LeaseChange> Arbiter::rebalance(double NowSeconds) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   if (Tenants.empty())
     return {};
   if (EverRebalanced && NowSeconds < LastRebalance + Opts.EpochSeconds)

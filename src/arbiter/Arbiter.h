@@ -40,9 +40,11 @@
 #include "arbiter/Lease.h"
 #include "arbiter/Tenant.h"
 #include "arbiter/UtilityEstimator.h"
+#include "support/ThreadAnnotations.h"
 #include "support/Trace.h"
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace dope {
@@ -141,26 +143,36 @@ private:
   };
 
   /// Marginal bid of tenant \p T for thread number \p Have + 1.
-  double bid(const TenantState &T, unsigned Have) const;
+  double bid(const TenantState &T, unsigned Have) const DOPE_REQUIRES(Mutex);
 
   /// True when \p T is a ResponseTime tenant currently over its SLO.
-  bool sloBurning(const TenantState &T) const;
+  bool sloBurning(const TenantState &T) const DOPE_REQUIRES(Mutex);
 
   /// Weighted max-min water-filling over all tenants; returns the
   /// target allocation aligned with Tenants order.
-  std::vector<unsigned> waterFill() const;
+  std::vector<unsigned> waterFill() const DOPE_REQUIRES(Mutex);
+
+  /// Lock-held body of grantableThreads(); waterFill calls it while
+  /// already inside the arbiter mutex.
+  unsigned grantableThreadsLocked() const DOPE_REQUIRES(Mutex);
 
   /// Applies \p Target, emitting trace records and LeaseChanges.
   std::vector<LeaseChange> apply(const std::vector<unsigned> &Target,
-                                 double Now, const char *Reason);
+                                 double Now, const char *Reason)
+      DOPE_REQUIRES(Mutex);
 
-  const TenantState &stateOf(TenantId Id) const;
+  const TenantState &stateOf(TenantId Id) const DOPE_REQUIRES(Mutex);
 
   ArbiterOptions Opts;
-  std::vector<TenantState> Tenants; // sorted by Id (append-only ids)
-  TenantId NextId = 1;
-  double LastRebalance = 0.0;
-  bool EverRebalanced = false;
+  // Hosts drive the arbiter from several threads (each tenant's epoch
+  // tick may live on its own thread); one mutex serializes the whole
+  // lease state.
+  mutable std::mutex Mutex;
+  // Sorted by Id (append-only ids).
+  std::vector<TenantState> Tenants DOPE_GUARDED_BY(Mutex);
+  TenantId NextId DOPE_GUARDED_BY(Mutex) = 1;
+  double LastRebalance DOPE_GUARDED_BY(Mutex) = 0.0;
+  bool EverRebalanced DOPE_GUARDED_BY(Mutex) = false;
 };
 
 } // namespace dope

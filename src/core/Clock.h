@@ -1,4 +1,4 @@
-//===- core/Clock.h - Monotonic time helpers ------------------*- C++ -*-===//
+//===- core/Clock.h - Monotonic time helpers (forwarder) ------*- C++ -*-===//
 //
 // Part of the DoPE reproduction project.
 // SPDX-License-Identifier: MIT
@@ -6,34 +6,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Monotonic wall-clock helpers for the native run-time system. (The
-/// paper's implementation uses per-thread clock_gettime timers; steady
-/// clock seconds serve the same role here.)
+/// Compatibility forwarder: the clock helpers moved to support/Clock.h,
+/// the whitelisted home of raw wall-clock reads (see the determinism
+/// contract in DESIGN.md §12). Include that header directly in new code.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DOPE_CORE_CLOCK_H
 #define DOPE_CORE_CLOCK_H
 
-#include <chrono>
-#include <thread>
-
-namespace dope {
-
-/// Seconds since an arbitrary fixed epoch, monotonic.
-inline double monotonicSeconds() {
-  using Clock = std::chrono::steady_clock;
-  static const Clock::time_point Origin = Clock::now();
-  return std::chrono::duration<double>(Clock::now() - Origin).count();
-}
-
-/// Sleeps the calling thread for the given number of seconds.
-inline void sleepSeconds(double Seconds) {
-  if (Seconds <= 0)
-    return;
-  std::this_thread::sleep_for(std::chrono::duration<double>(Seconds));
-}
-
-} // namespace dope
+#include "support/Clock.h"
 
 #endif // DOPE_CORE_CLOCK_H

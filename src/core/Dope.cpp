@@ -7,12 +7,12 @@
 
 #include "core/Dope.h"
 
-#include "core/Clock.h"
+#include "support/Clock.h"
+#include "support/Compiler.h"
 #include "support/Logging.h"
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 
 using namespace dope;
 
@@ -45,7 +45,7 @@ struct RegionRunState {
     /// Returns true when the latch reached zero within \p Seconds.
     bool waitFor(double Seconds) {
       std::unique_lock<std::mutex> Lock(Mutex);
-      return Cond.wait_for(Lock, std::chrono::duration<double>(Seconds),
+      return Cond.wait_for(Lock, secondsDuration(Seconds),
                            [this] { return Count == 0; });
     }
 
@@ -99,7 +99,7 @@ struct RegionRunState {
 
 bool TaskRuntime::abandoned() const { return Run && Run->abandoned(); }
 
-TaskStatus TaskRuntime::begin() {
+DOPE_HOT TaskStatus TaskRuntime::begin() {
   BeginTime = monotonicSeconds();
   if (Tracer *Tr = Executive.Trace)
     Tr->recordAt(BeginTime, TraceKind::TaskBegin, TheTask.name(), Replica);
@@ -118,7 +118,7 @@ void TaskRuntime::flushWindow() {
   Window.TotalSeconds = 0.0;
 }
 
-TaskStatus TaskRuntime::end() {
+DOPE_HOT TaskStatus TaskRuntime::end() {
   if (BeginTime >= 0.0) {
     const double Now = monotonicSeconds();
     const double Elapsed = Now - BeginTime;
@@ -291,7 +291,7 @@ TaskStatus Dope::wait() {
 bool Dope::waitFor(double Seconds) {
   std::unique_lock<std::mutex> Lock(DoneMutex);
   return DoneCond.wait_for(
-      Lock, std::chrono::duration<double>(Seconds),
+      Lock, secondsDuration(Seconds),
       [this] { return Finished.load(std::memory_order_acquire); });
 }
 

@@ -40,6 +40,8 @@
 #include "core/Task.h"
 #include "core/ThreadPool.h"
 #include "core/Types.h"
+#include "support/Compiler.h"
+#include "support/ThreadAnnotations.h"
 #include "support/Trace.h"
 
 #include <atomic>
@@ -68,11 +70,11 @@ class TaskRuntime {
 public:
   /// Signals that the CPU-intensive part of the task instance has begun.
   /// Returns SUSPENDED when the executive intends to reconfigure.
-  TaskStatus begin();
+  DOPE_HOT TaskStatus begin();
 
   /// Signals that the CPU-intensive part has ended; records the instance's
   /// execution time. Returns SUSPENDED when reconfiguration is pending.
-  TaskStatus end();
+  DOPE_HOT TaskStatus end();
 
   /// Executes the task's active inner parallelism alternative to
   /// completion (one inner-loop lifetime), returning the status of the
@@ -400,9 +402,9 @@ private:
   ThreadPool Pool;
 
   mutable std::mutex ConfigMutex;
-  RegionConfig ActiveConfig;  // guarded by ConfigMutex
-  RegionConfig PendingConfig; // guarded by ConfigMutex
-  bool HasPendingConfig = false;
+  RegionConfig ActiveConfig DOPE_GUARDED_BY(ConfigMutex);
+  RegionConfig PendingConfig DOPE_GUARDED_BY(ConfigMutex);
+  bool HasPendingConfig DOPE_GUARDED_BY(ConfigMutex) = false;
 
   double LastReconfigTime = 0.0; // controller thread only
 

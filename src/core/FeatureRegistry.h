@@ -21,6 +21,8 @@
 #ifndef DOPE_CORE_FEATUREREGISTRY_H
 #define DOPE_CORE_FEATUREREGISTRY_H
 
+#include "support/ThreadAnnotations.h"
+
 #include <functional>
 #include <map>
 #include <mutex>
@@ -64,7 +66,10 @@ public:
   /// Attaches a tracer: every *fresh* sample (one that actually invoked
   /// the callback, as opposed to a rate-limited cached read) is recorded
   /// as a FeatureSample stamped with the caller's clock. Null detaches.
-  void setTracer(Tracer *T) { Trace = T; }
+  void setTracer(Tracer *T) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Trace = T;
+  }
 
 private:
   struct Entry {
@@ -76,8 +81,8 @@ private:
 
   mutable std::mutex Mutex;
   // std::less<> enables find(string_view) without a temporary string.
-  std::map<std::string, Entry, std::less<>> Features;
-  Tracer *Trace = nullptr;
+  std::map<std::string, Entry, std::less<>> Features DOPE_GUARDED_BY(Mutex);
+  Tracer *Trace DOPE_GUARDED_BY(Mutex) = nullptr;
 };
 
 } // namespace dope

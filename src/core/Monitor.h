@@ -20,6 +20,7 @@
 #include "core/Task.h"
 #include "core/Types.h"
 #include "support/MovingAverage.h"
+#include "support/ThreadAnnotations.h"
 
 #include <cstdint>
 #include <mutex>
@@ -101,11 +102,11 @@ public:
 
 private:
   mutable std::mutex Mutex;
-  Ema ExecTimeEma;
-  Ema LoadEma;
-  uint64_t InvocationCount = 0;
-  double TotalBusySeconds = 0.0;
-  double LastLoad = 0.0;
+  Ema ExecTimeEma DOPE_GUARDED_BY(Mutex);
+  Ema LoadEma DOPE_GUARDED_BY(Mutex);
+  uint64_t InvocationCount DOPE_GUARDED_BY(Mutex) = 0;
+  double TotalBusySeconds DOPE_GUARDED_BY(Mutex) = 0.0;
+  double LastLoad DOPE_GUARDED_BY(Mutex) = 0.0;
 };
 
 struct RegionSnapshot;

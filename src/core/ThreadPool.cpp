@@ -14,13 +14,18 @@
 using namespace dope;
 
 ThreadPool::~ThreadPool() {
+  // Move the worker handles out under the lock, then join outside it:
+  // joining under the pool mutex would deadlock workers still draining
+  // their final wakeup, and Workers is guarded by Mutex.
+  std::vector<std::thread> Joinable;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     assert(Jobs.empty() && "destroying pool with queued work");
     ShuttingDown = true;
+    Joinable.swap(Workers);
   }
   WorkAvailable.notify_all();
-  for (std::thread &Worker : Workers)
+  for (std::thread &Worker : Joinable)
     Worker.join();
 }
 

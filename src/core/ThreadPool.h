@@ -26,6 +26,9 @@
 #ifndef DOPE_CORE_THREADPOOL_H
 #define DOPE_CORE_THREADPOOL_H
 
+#include "support/Compiler.h"
+#include "support/ThreadAnnotations.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -61,18 +64,18 @@ public:
 
   /// Number of job exceptions the pool has captured (monitoring/test
   /// hook). Lock-free: monitoring must not contend with submission.
-  uint64_t escapedExceptions() const {
+  DOPE_HOT uint64_t escapedExceptions() const {
     return EscapedCount.load(std::memory_order_relaxed);
   }
 
   /// Number of worker threads ever created (monitoring/test hook).
   /// Lock-free.
-  size_t threadsCreated() const {
+  DOPE_HOT size_t threadsCreated() const {
     return SpawnedCount.load(std::memory_order_relaxed);
   }
 
   /// Number of currently idle workers (monitoring/test hook). Lock-free.
-  size_t idleThreads() const {
+  DOPE_HOT size_t idleThreads() const {
     return IdleSnapshot.load(std::memory_order_relaxed);
   }
 
@@ -82,11 +85,12 @@ private:
 
   mutable std::mutex Mutex;
   std::condition_variable WorkAvailable;
-  std::deque<std::function<void()>> Jobs;
-  std::vector<std::thread> Workers;
-  ErrorHookFn ErrorHook; // guarded by Mutex
-  size_t IdleCount = 0;  // guarded by Mutex (spawn decision reads it)
-  bool ShuttingDown = false;
+  std::deque<std::function<void()>> Jobs DOPE_GUARDED_BY(Mutex);
+  std::vector<std::thread> Workers DOPE_GUARDED_BY(Mutex);
+  ErrorHookFn ErrorHook DOPE_GUARDED_BY(Mutex);
+  // Spawn decision reads IdleCount under the lock.
+  size_t IdleCount DOPE_GUARDED_BY(Mutex) = 0;
+  bool ShuttingDown DOPE_GUARDED_BY(Mutex) = false;
   // Relaxed mirrors of the guarded state for lock-free monitoring reads.
   std::atomic<uint64_t> EscapedCount{0};
   std::atomic<size_t> SpawnedCount{0};

@@ -27,6 +27,9 @@
 #ifndef DOPE_QUEUE_WORKQUEUE_H
 #define DOPE_QUEUE_WORKQUEUE_H
 
+#include "support/Compiler.h"
+#include "support/ThreadAnnotations.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -104,28 +107,32 @@ public:
     ClosedFlag.store(false, std::memory_order_relaxed);
   }
 
-  bool closed() const { return ClosedFlag.load(std::memory_order_relaxed); }
+  DOPE_HOT bool closed() const {
+    return ClosedFlag.load(std::memory_order_relaxed);
+  }
 
   /// Instantaneous occupancy — the LoadCB signal. Lock-free: reads the
   /// mirrored atomic, never the queue mutex.
-  size_t size() const { return Occupancy.load(std::memory_order_relaxed); }
+  DOPE_HOT size_t size() const {
+    return Occupancy.load(std::memory_order_relaxed);
+  }
 
-  bool empty() const { return size() == 0; }
+  DOPE_HOT bool empty() const { return size() == 0; }
 
   /// Lifetime counters, useful for tests and throughput accounting.
   /// Lock-free for the same reason as size().
-  size_t totalPushed() const {
+  DOPE_HOT size_t totalPushed() const {
     return Pushed.load(std::memory_order_relaxed);
   }
-  size_t totalPopped() const {
+  DOPE_HOT size_t totalPopped() const {
     return Popped.load(std::memory_order_relaxed);
   }
 
 private:
   mutable std::mutex Mutex;
   std::condition_variable NotEmpty;
-  std::deque<T> Items;
-  bool Closed = false;
+  std::deque<T> Items DOPE_GUARDED_BY(Mutex);
+  bool Closed DOPE_GUARDED_BY(Mutex) = false;
   // Mirrors of the mutex-guarded state for lock-free observers.
   std::atomic<size_t> Occupancy{0};
   std::atomic<size_t> Pushed{0};

@@ -16,6 +16,20 @@
 #include <cstdio>
 #include <cstdlib>
 
+/// Marks a monitoring hot-path function: Task::begin/Task::end, LoadCB
+/// sampling, the WorkQueue lock-free readers, and Tracer::record. The
+/// `dope_lint` hot-path purity checks (HP001-HP003, DESIGN.md §12)
+/// verify that the *direct body* of an annotated function takes no
+/// mutex, performs no explicit allocation (new / make_unique /
+/// make_shared / malloc), and calls no non-hot virtual. Annotate both
+/// the declaration and the out-of-line definition — the checks are
+/// token-level and look at whichever they scan.
+#if defined(__clang__)
+#define DOPE_HOT __attribute__((annotate("dope_hot")))
+#else
+#define DOPE_HOT
+#endif
+
 /// Marks a point in control flow that must never be reached. Prints the
 /// message and aborts; mirrors llvm_unreachable semantics in a dependency
 /// free form.

@@ -1,0 +1,84 @@
+//===- support/ThreadAnnotations.h - Clang thread-safety macros -*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wrappers over clang's thread-safety analysis attributes
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under clang
+/// the macros expand to the capability attributes and the analysis is
+/// enabled with -Wthread-safety (the CMake option DOPE_THREAD_SAFETY=ON
+/// turns it into an error; full analysis of std::mutex / std::lock_guard
+/// requires libc++ with _LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS, which
+/// the option defines). Under every other compiler the macros expand to
+/// nothing, so the annotations double as checked documentation: the
+/// GUARDED_BY / REQUIRES contract is visible at the declaration even
+/// where the analysis cannot run.
+///
+/// Convention in this codebase:
+///  - every mutex-guarded member carries DOPE_GUARDED_BY(TheMutex);
+///  - private helpers called with a lock already held carry
+///    DOPE_REQUIRES(TheMutex) instead of re-locking;
+///  - relaxed-atomic mirrors of guarded state (the lock-free monitoring
+///    pattern, DESIGN.md §11) are deliberately *not* guarded — they are
+///    safe to read without the lock by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SUPPORT_THREADANNOTATIONS_H
+#define DOPE_SUPPORT_THREADANNOTATIONS_H
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DOPE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DOPE_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/// Marks a type as a capability (a mutex-like object).
+#define DOPE_CAPABILITY(x) DOPE_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires a capability for its lifetime.
+#define DOPE_SCOPED_CAPABILITY DOPE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define DOPE_GUARDED_BY(x) DOPE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define DOPE_PT_GUARDED_BY(x) DOPE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the capability held (and does not
+/// release it).
+#define DOPE_REQUIRES(...) \
+  DOPE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the capability held in shared mode.
+#define DOPE_REQUIRES_SHARED(...) \
+  DOPE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability and holds it on return.
+#define DOPE_ACQUIRE(...) \
+  DOPE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability.
+#define DOPE_RELEASE(...) \
+  DOPE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns the given value.
+#define DOPE_TRY_ACQUIRE(...) \
+  DOPE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called while holding the capability
+/// (deadlock prevention).
+#define DOPE_EXCLUDES(...) DOPE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the given capability.
+#define DOPE_RETURN_CAPABILITY(x) DOPE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use with a
+/// comment explaining why the access pattern is safe.
+#define DOPE_NO_THREAD_SAFETY_ANALYSIS \
+  DOPE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // DOPE_SUPPORT_THREADANNOTATIONS_H

@@ -7,11 +7,11 @@
 
 #include "support/Trace.h"
 
+#include "support/Clock.h"
 #include "support/Json.h"
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <fstream>
 #include <ostream>
 
@@ -42,11 +42,6 @@ std::optional<TraceKind> dope::traceKindFromString(std::string_view Name) {
 // Tracer
 //===----------------------------------------------------------------------===//
 
-static double steadySeconds() {
-  using namespace std::chrono;
-  return duration<double>(steady_clock::now().time_since_epoch()).count();
-}
-
 /// One thread's ring. The writing thread and drain() synchronize on the
 /// per-buffer mutex; writers of different threads never share a buffer,
 /// so the lock is uncontended outside drains.
@@ -55,10 +50,11 @@ struct Tracer::ThreadBuffer {
 
   std::mutex Mutex;
   const uint32_t Tid;
-  std::vector<TraceRecord> Ring;
-  size_t Head = 0; // oldest record once the ring wrapped
-  uint64_t Written = 0;
-  uint64_t Dropped = 0;
+  std::vector<TraceRecord> Ring DOPE_GUARDED_BY(Mutex);
+  // Oldest record once the ring wrapped.
+  size_t Head DOPE_GUARDED_BY(Mutex) = 0;
+  uint64_t Written DOPE_GUARDED_BY(Mutex) = 0;
+  uint64_t Dropped DOPE_GUARDED_BY(Mutex) = 0;
 };
 
 namespace {
@@ -108,7 +104,11 @@ double Tracer::now() const {
     if (Clock)
       return Clock();
   }
-  return steadySeconds();
+  // Default clock domain: the process-wide monotonic origin every other
+  // native component stamps with (support/Clock.h) — not a raw
+  // steady_clock read, which the determinism lint (DL001) forbids
+  // outside the Clock abstraction.
+  return monotonicSeconds();
 }
 
 Tracer::ThreadBuffer &Tracer::buffer() {
@@ -136,13 +136,14 @@ void Tracer::append(ThreadBuffer &Buf, TraceRecord R) {
   ++Buf.Dropped;
 }
 
-void Tracer::record(TraceKind Kind, std::string_view Name, double A, double B,
-                    std::string Detail) {
+DOPE_HOT void Tracer::record(TraceKind Kind, std::string_view Name, double A,
+                             double B, std::string Detail) {
   recordAt(now(), Kind, Name, A, B, std::move(Detail));
 }
 
-void Tracer::recordAt(double Time, TraceKind Kind, std::string_view Name,
-                      double A, double B, std::string Detail) {
+DOPE_HOT void Tracer::recordAt(double Time, TraceKind Kind,
+                               std::string_view Name, double A, double B,
+                               std::string Detail) {
   TraceRecord R;
   R.Time = Time;
   R.Kind = Kind;

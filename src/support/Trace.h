@@ -33,6 +33,9 @@
 #ifndef DOPE_SUPPORT_TRACE_H
 #define DOPE_SUPPORT_TRACE_H
 
+#include "support/Compiler.h"
+#include "support/ThreadAnnotations.h"
+
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -130,14 +133,14 @@ public:
   double now() const;
 
   /// Appends a record stamped with now().
-  void record(TraceKind Kind, std::string_view Name, double A = 0.0,
-              double B = 0.0, std::string Detail = std::string());
+  DOPE_HOT void record(TraceKind Kind, std::string_view Name, double A = 0.0,
+                       double B = 0.0, std::string Detail = std::string());
 
   /// Appends a record with an explicit timestamp (simulators pass
   /// virtual time directly).
-  void recordAt(double Time, TraceKind Kind, std::string_view Name,
-                double A = 0.0, double B = 0.0,
-                std::string Detail = std::string());
+  DOPE_HOT void recordAt(double Time, TraceKind Kind, std::string_view Name,
+                         double A = 0.0, double B = 0.0,
+                         std::string Detail = std::string());
 
   /// Merges and clears all per-thread buffers; records are sorted by
   /// time (stable, so same-timestamp records keep per-thread order).
@@ -163,11 +166,12 @@ private:
 
   const size_t Capacity;
   const uint64_t Id; // process-unique, guards thread-local lookups
-  std::function<double()> Clock;
   mutable std::mutex ClockMutex;
+  std::function<double()> Clock DOPE_GUARDED_BY(ClockMutex);
 
   std::mutex RegistryMutex;
-  std::vector<std::unique_ptr<ThreadBuffer>> Buffers;
+  std::vector<std::unique_ptr<ThreadBuffer>> Buffers
+      DOPE_GUARDED_BY(RegistryMutex);
 };
 
 //===----------------------------------------------------------------------===//

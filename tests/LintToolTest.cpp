@@ -1,0 +1,190 @@
+//===- tests/LintToolTest.cpp - dope_lint conformance suite ----------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the dope_lint binary end to end (ctest label: lint):
+//  - every check ID reproduces its golden diagnostic on a known-bad
+//    fixture (tests/lint/fixtures -> tests/lint/expected),
+//  - the clean and suppression fixtures stay silent,
+//  - the tool reports zero findings over the repository's own src/
+//    (via the exported compile_commands.json),
+//  - a seeded regression — re-introducing a raw system_clock read into
+//    a mechanism — is caught,
+//  - JSON output parses and the check table lists every ID.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RunResult {
+  int ExitCode = -1;
+  std::string Output;
+};
+
+/// Runs the lint binary with \p Args, capturing stdout.
+RunResult runLint(const std::string &Args) {
+  RunResult R;
+  std::string Cmd = std::string(DOPE_LINT_BIN) + " " + Args + " 2>/dev/null";
+  FILE *P = popen(Cmd.c_str(), "r");
+  if (!P) {
+    R.Output = "<popen failed>";
+    return R;
+  }
+  std::array<char, 4096> Buf;
+  size_t N;
+  while ((N = fread(Buf.data(), 1, Buf.size(), P)) > 0)
+    R.Output.append(Buf.data(), N);
+  int Status = pclose(P);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+std::string readFile(const fs::path &Path) {
+  std::ifstream IS(Path);
+  std::ostringstream SS;
+  SS << IS.rdbuf();
+  return SS.str();
+}
+
+std::string fixture(const std::string &Name) {
+  return std::string(DOPE_LINT_FIXTURES) + "/" + Name + ".cpp";
+}
+
+std::string expected(const std::string &Name) {
+  return std::string(DOPE_LINT_FIXTURES) + "/../expected/" + Name + ".txt";
+}
+
+/// Golden comparison for one fixture: exact diagnostics, exact exit
+/// code (1 when the golden lists findings, 0 when it is empty).
+void checkGolden(const std::string &Name) {
+  RunResult R = runLint("--basenames --quiet " + fixture(Name));
+  std::string Want = readFile(expected(Name));
+  EXPECT_EQ(R.Output, Want) << "fixture " << Name
+                            << " diverged from its golden diagnostics";
+  EXPECT_EQ(R.ExitCode, Want.empty() ? 0 : 1) << "fixture " << Name;
+}
+
+} // namespace
+
+TEST(LintGolden, DeterminismClock) { checkGolden("bad_clock"); }
+TEST(LintGolden, DeterminismRandom) { checkGolden("bad_random"); }
+TEST(LintGolden, HotPathLock) { checkGolden("bad_hot_lock"); }
+TEST(LintGolden, HotPathAlloc) { checkGolden("bad_hot_alloc"); }
+TEST(LintGolden, HotPathVirtual) { checkGolden("bad_hot_virtual"); }
+TEST(LintGolden, BeginEndPairing) { checkGolden("bad_pairing"); }
+TEST(LintGolden, WaitBeforeDestroy) { checkGolden("bad_create_nowait"); }
+TEST(LintGolden, FiniOnce) { checkGolden("bad_fini_twice"); }
+TEST(LintGolden, TraceKindNames) { checkGolden("bad_trace_names"); }
+TEST(LintGolden, TraceKindSwitch) { checkGolden("bad_trace_switch"); }
+TEST(LintGolden, CleanFixtureSilent) { checkGolden("good_clean"); }
+TEST(LintGolden, SuppressionsHonored) { checkGolden("suppressed"); }
+
+/// Every check ID the goldens exercise must appear in --list-checks, so
+/// the fixture suite and the check table cannot drift apart.
+TEST(LintTool, ListChecksCoversAllIds) {
+  RunResult R = runLint("--list-checks");
+  EXPECT_EQ(R.ExitCode, 0);
+  for (const char *Id : {"DL001", "DL002", "HP001", "HP002", "HP003",
+                         "AP001", "AP002", "AP003", "TS001", "TS002"})
+    EXPECT_NE(R.Output.find(Id), std::string::npos) << Id;
+}
+
+/// The repository's own sources must satisfy every contract: scan the
+/// TUs of the exported compilation database plus the headers under
+/// src/ and require zero findings.
+TEST(LintTool, SrcTreeIsClean) {
+  ASSERT_TRUE(fs::exists(DOPE_COMPDB))
+      << "compile_commands.json missing — configure exports it";
+  RunResult R = runLint(std::string("--compdb ") + DOPE_COMPDB + " --root " +
+                        DOPE_SOURCE_ROOT + "/src --quiet");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_EQ(R.Output, "") << "src/ must stay lint-clean";
+}
+
+/// Seeded regression: re-introduce a raw wall-clock read into a copy of
+/// a mechanism translation unit and require DL001 to fire on the
+/// injected line. This is the drift the determinism contract exists to
+/// catch — a mechanism that reads the wall clock diverges under replay.
+TEST(LintTool, SeededClockRegressionCaught) {
+  fs::path Mechanism;
+  for (const fs::directory_entry &E :
+       fs::directory_iterator(std::string(DOPE_SOURCE_ROOT) +
+                              "/src/mechanisms")) {
+    if (E.path().extension() == ".cpp") {
+      Mechanism = E.path();
+      break;
+    }
+  }
+  ASSERT_FALSE(Mechanism.empty()) << "no mechanism sources found";
+
+  fs::path Tmp = fs::temp_directory_path() / "dope_lint_seeded.cpp";
+  std::string Source = readFile(Mechanism);
+  unsigned LineCount =
+      static_cast<unsigned>(std::count(Source.begin(), Source.end(), '\n'));
+  Source += "\nstatic double dopeLintSeededDrift() {\n"
+            "  return std::chrono::duration<double>(\n"
+            "             std::chrono::system_clock::now()"
+            ".time_since_epoch())\n"
+            "      .count();\n"
+            "}\n";
+  {
+    std::ofstream OS(Tmp);
+    OS << Source;
+  }
+  const unsigned InjectedLine = LineCount + 4; // system_clock's line
+
+  RunResult R = runLint(Tmp.string());
+  fs::remove(Tmp);
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("DL001"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find(":" + std::to_string(InjectedLine) + ":"),
+            std::string::npos)
+      << "finding not on the injected line\n"
+      << R.Output;
+}
+
+/// --json output must parse and carry the same findings as the text
+/// form, so CI consumers can rely on the schema.
+TEST(LintTool, JsonOutputParses) {
+  RunResult R = runLint("--json --basenames " + fixture("bad_clock"));
+  EXPECT_EQ(R.ExitCode, 1);
+  std::string Error;
+  std::optional<dope::JsonValue> Doc = dope::JsonValue::parse(R.Output,
+                                                              &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  const dope::JsonValue *Findings = Doc->get("findings");
+  ASSERT_NE(Findings, nullptr);
+  ASSERT_TRUE(Findings->isArray());
+  ASSERT_EQ(Findings->size(), 2u);
+  for (size_t I = 0; I != Findings->size(); ++I) {
+    const dope::JsonValue &F = Findings->at(I);
+    EXPECT_EQ(F.getString("check"), "DL001");
+    EXPECT_EQ(F.getString("severity"), "error");
+    EXPECT_EQ(F.getString("file"), "bad_clock.cpp");
+    EXPECT_GT(F.getNumber("line"), 0.0);
+    EXPECT_FALSE(F.getString("message").empty());
+  }
+}
+
+/// --allow disables a check wholesale.
+TEST(LintTool, AllowDisablesCheck) {
+  RunResult R = runLint("--quiet --allow DL001 " + fixture("bad_clock"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_EQ(R.Output, "");
+}

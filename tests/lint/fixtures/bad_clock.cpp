@@ -1,0 +1,13 @@
+// DL001 fixture: raw std::chrono clock reads outside support/Clock.h.
+// Never compiled — scanned by dope_lint in the lint test suite.
+#include <chrono>
+
+double wallSeconds() {
+  auto Now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(Now.time_since_epoch()).count();
+}
+
+double monoSeconds() {
+  auto Now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(Now.time_since_epoch()).count();
+}

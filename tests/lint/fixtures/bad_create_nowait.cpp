@@ -1,0 +1,14 @@
+// AP002 fixture: Dope::create without wait/waitFor/destroy.
+// Never compiled — scanned by dope_lint in the lint test suite.
+
+void leakyHost() {
+  auto Executive = Dope::create(Config);
+  Executive->run(Graph);
+  // missing Executive->wait() / destroy(): tears down a live region.
+}
+
+void carefulHost() {
+  auto Executive = Dope::create(Config);
+  Executive->run(Graph);
+  Executive->wait();
+}

@@ -1,0 +1,13 @@
+// AP003 fixture: FiniCB registered twice for one descriptor.
+// Never compiled — scanned by dope_lint in the lint test suite.
+
+void buildGraph(TaskGraph &G, TaskDescriptor &Desc) {
+  G.createTask("stage-a", stageA, loadA, Desc, InitCB{}, FiniCB{closeA});
+  G.createTask("stage-b", stageB, loadB, Desc, InitCB{}, FiniCB{closeB});
+}
+
+void buildGraphOk(TaskGraph &G, TaskDescriptor &DescA,
+                  TaskDescriptor &DescB) {
+  G.createTask("stage-a", stageA, loadA, DescA, InitCB{}, FiniCB{closeA});
+  G.createTask("stage-b", stageB, loadB, DescB, InitCB{}, FiniCB{closeB});
+}

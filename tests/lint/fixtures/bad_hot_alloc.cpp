@@ -1,0 +1,14 @@
+// HP002 fixture: a DOPE_HOT function body allocating.
+// Never compiled — scanned by dope_lint in the lint test suite.
+#include <memory>
+
+struct Recorder {
+  DOPE_HOT void recordBoxed(double V) {
+    auto Box = std::make_unique<double>(V);
+    sink(std::move(Box));
+  }
+
+  DOPE_HOT double *recordRaw(double V) { return new double(V); }
+
+  void sink(std::unique_ptr<double> Box);
+};

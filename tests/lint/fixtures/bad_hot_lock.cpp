@@ -1,0 +1,20 @@
+// HP001 fixture: a DOPE_HOT function body acquiring locks.
+// Never compiled — scanned by dope_lint in the lint test suite.
+#include <mutex>
+
+struct Sampler {
+  std::mutex Mutex;
+  double Value = 0.0;
+
+  DOPE_HOT double read() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Value;
+  }
+
+  DOPE_HOT double readExplicit() {
+    Mutex.lock();
+    double V = Value;
+    Mutex.unlock();
+    return V;
+  }
+};

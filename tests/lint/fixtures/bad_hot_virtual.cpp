@@ -1,0 +1,13 @@
+// HP003 fixture: a DOPE_HOT function calling a non-hot virtual.
+// Never compiled — scanned by dope_lint in the lint test suite.
+
+struct LoadSource {
+  virtual double sampleCost() = 0;
+  virtual ~LoadSource() = default;
+};
+
+struct Monitor {
+  LoadSource *Source = nullptr;
+
+  DOPE_HOT double observe() { return Source->sampleCost(); }
+};

@@ -1,0 +1,21 @@
+// AP001 fixture: Task::begin without matching Task::end.
+// Never compiled — scanned by dope_lint in the lint test suite.
+
+void unbalancedWorker(TaskRuntime &RT) {
+  RT.begin();
+  process();
+  // missing RT.end(): the executive's suspend protocol would hang.
+}
+
+void doubleBegin(TaskRuntime &RT) {
+  RT.begin();
+  RT.begin();
+  process();
+  RT.end();
+}
+
+void balancedWorker(TaskRuntime &RT) {
+  RT.begin();
+  process();
+  RT.end();
+}

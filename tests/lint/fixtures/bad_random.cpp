@@ -1,0 +1,11 @@
+// DL002 fixture: raw RNG primitives outside support/Random.
+// Never compiled — scanned by dope_lint in the lint test suite.
+#include <cstdlib>
+#include <random>
+
+int legacyRoll() { return rand() % 6; }
+
+int modernRoll() {
+  std::mt19937 Gen(std::random_device{}());
+  return static_cast<int>(Gen() % 6);
+}

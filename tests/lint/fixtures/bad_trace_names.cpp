@@ -1,0 +1,12 @@
+// TS001 fixture: TraceKind enumerators vs KindNames serializer drift.
+// Never compiled — scanned by dope_lint in the lint test suite.
+
+enum class TraceKind : unsigned char {
+  FeatureSample,
+  Decision,
+  Reconfig,
+  Fault,
+};
+
+static constexpr const char *KindNames[] = {"feature", "decision",
+                                            "reconfig"};

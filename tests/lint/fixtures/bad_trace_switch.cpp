@@ -1,0 +1,28 @@
+// TS002 fixture: defaultless switch over TraceKind missing enumerators.
+// Never compiled — scanned by dope_lint in the lint test suite.
+
+enum class TraceKind : unsigned char {
+  FeatureSample,
+  Decision,
+  Reconfig,
+  Fault,
+};
+
+int replayDispatch(TraceKind K) {
+  switch (K) {
+  case TraceKind::FeatureSample:
+    return 1;
+  case TraceKind::Decision:
+    return 2;
+  }
+  return 0;
+}
+
+int coveredDispatch(TraceKind K) {
+  switch (K) {
+  case TraceKind::FeatureSample:
+    return 1;
+  default:
+    return 0;
+  }
+}

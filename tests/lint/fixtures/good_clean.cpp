@@ -1,0 +1,35 @@
+// Clean fixture: exercises every check's trigger territory without
+// violating any contract. dope_lint must report zero findings here.
+// Never compiled — scanned by dope_lint in the lint test suite.
+#include <atomic>
+#include <mutex>
+
+struct Sampler {
+  std::atomic<double> Mirror{0.0};
+  std::mutex Mutex;
+  double Guarded = 0.0;
+
+  // Hot reader: relaxed atomic mirror, no lock, no allocation.
+  DOPE_HOT double read() const {
+    return Mirror.load(std::memory_order_relaxed);
+  }
+
+  // Cold writer may lock freely.
+  void write(double V) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Guarded = V;
+    Mirror.store(V, std::memory_order_relaxed);
+  }
+};
+
+void balancedWorker(TaskRuntime &RT) {
+  RT.begin();
+  process();
+  RT.end();
+}
+
+void host() {
+  auto Executive = Dope::create(Config);
+  Executive->run(Graph);
+  Executive->wait();
+}

@@ -1,0 +1,20 @@
+// Suppression fixture: real violations silenced by dope-lint markers.
+// dope_lint must report zero findings here.
+// Never compiled — scanned by dope_lint in the lint test suite.
+#include <chrono>
+#include <cstdlib>
+
+double calibrationOnly() {
+  // Calibration harness, deliberately outside the Clock abstraction.
+  // dope-lint: allow(DL001)
+  auto Now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(Now.time_since_epoch()).count();
+}
+
+int chaosRoll() {
+  return rand() % 6; // dope-lint: allow(DL002)
+}
+
+int chaosRollBlanket() {
+  return rand() % 6; // dope-lint: allow(all)
+}

@@ -1,0 +1,748 @@
+//===- tools/dope_lint/Checks.cpp - DoPE contract checks -------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "Checks.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace dopelint;
+
+//===----------------------------------------------------------------------===//
+// Check table
+//===----------------------------------------------------------------------===//
+
+const std::vector<CheckInfo> &dopelint::allChecks() {
+  static const std::vector<CheckInfo> Checks = {
+      {"DL001", "error", "determinism-clock",
+       "raw std::chrono clock read outside support/Clock.h"},
+      {"DL002", "error", "determinism-random",
+       "raw RNG primitive outside support/Random"},
+      {"HP001", "error", "hot-path-lock",
+       "DOPE_HOT function body acquires a lock"},
+      {"HP002", "error", "hot-path-alloc",
+       "DOPE_HOT function body allocates"},
+      {"HP003", "warning", "hot-path-virtual-call",
+       "DOPE_HOT function body calls a non-DOPE_HOT virtual"},
+      {"AP001", "error", "begin-end-pairing",
+       "Task::begin / Task::end imbalance on one TaskRuntime"},
+      {"AP002", "warning", "wait-before-destroy",
+       "Dope::create without wait/waitFor/destroy in the same function"},
+      {"AP003", "warning", "fini-once",
+       "FiniCB registered more than once for one descriptor"},
+      {"TS001", "error", "trace-kind-names",
+       "TraceKind enumerators and KindNames serializer table disagree"},
+      {"TS002", "error", "trace-kind-switch",
+       "defaultless switch over TraceKind misses enumerators"},
+  };
+  return Checks;
+}
+
+static const char *severityOf(const std::string &Id) {
+  for (const CheckInfo &C : allChecks())
+    if (Id == C.Id)
+      return C.Severity;
+  return "error";
+}
+
+bool dopelint::isDeterminismWhitelisted(const std::string &Path) {
+  auto EndsWith = [&](const char *Suffix) {
+    size_t N = std::string(Suffix).size();
+    return Path.size() >= N && Path.compare(Path.size() - N, N, Suffix) == 0;
+  };
+  return EndsWith("support/Clock.h") || EndsWith("core/Clock.h") ||
+         EndsWith("support/Random.h") || EndsWith("support/Random.cpp");
+}
+
+//===----------------------------------------------------------------------===//
+// Scope detection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One function (or lambda) body found in a file.
+struct Scope {
+  std::string Name; ///< Bare name; "<lambda>" for lambdas.
+  bool Hot = false;
+  bool Virtual = false; ///< `virtual` or `override`/`final` in the header.
+  unsigned Line = 0;
+  /// Token indices of the header parameter list (between the header's
+  /// parens) — AP001 finds `TaskRuntime &RT` parameters here.
+  std::vector<size_t> HeaderToks;
+  /// Token indices of the direct body, excluding nested scopes'
+  /// bodies. The HP/AP checks are *direct-body* checks by design: a
+  /// nested lambda is its own scope with its own annotations.
+  std::vector<size_t> OwnToks;
+};
+
+bool isKeywordNoCall(const std::string &S) {
+  static const std::set<std::string> K = {
+      "if",       "while",    "for",      "switch",   "catch",
+      "return",   "sizeof",   "alignof",  "decltype", "alignas",
+      "assert",   "new",      "delete",   "static_assert",
+      "noexcept", "defined",  "throw",    "co_return","co_await",
+      "co_yield", "requires", "typeid",   "static_cast",
+      "dynamic_cast", "const_cast", "reinterpret_cast"};
+  return K.count(S) != 0;
+}
+
+size_t matchForward(const std::vector<Token> &T, size_t Open,
+                    const char *OpenP, const char *CloseP) {
+  int Depth = 0;
+  for (size_t I = Open; I < T.size(); ++I) {
+    if (T[I].Kind == TokKind::Punct) {
+      if (T[I].Text == OpenP)
+        ++Depth;
+      else if (T[I].Text == CloseP && --Depth == 0)
+        return I;
+    }
+  }
+  return T.size();
+}
+
+bool isPunct(const Token &T, const char *P) {
+  return T.Kind == TokKind::Punct && T.Text == P;
+}
+bool isIdent(const Token &T, const char *S) {
+  return T.Kind == TokKind::Ident && T.Text == S;
+}
+
+/// Walks a constructor initializer list starting at the `:` token;
+/// returns the index of the body `{` or SIZE_MAX on reject.
+size_t skipCtorInit(const std::vector<Token> &T, size_t I) {
+  ++I; // past ':'
+  while (I < T.size()) {
+    // Member (possibly qualified / templated) name.
+    while (I < T.size() && !isPunct(T[I], "(") && !isPunct(T[I], "{") &&
+           !isPunct(T[I], ";") && !isPunct(T[I], "}"))
+      ++I;
+    if (I >= T.size() || isPunct(T[I], ";") || isPunct(T[I], "}"))
+      return SIZE_MAX;
+    // `{` directly after the member name is a brace init; a `{` at the
+    // start of an initializer position could only be the body when the
+    // list has ended (handled after the group + comma logic).
+    if (isPunct(T[I], "("))
+      I = matchForward(T, I, "(", ")") + 1;
+    else
+      I = matchForward(T, I, "{", "}") + 1;
+    if (I < T.size() && isPunct(T[I], "..."))
+      ++I;
+    if (I < T.size() && isPunct(T[I], ",")) {
+      ++I;
+      continue;
+    }
+    if (I < T.size() && isPunct(T[I], "{"))
+      return I;
+    return SIZE_MAX;
+  }
+  return SIZE_MAX;
+}
+
+/// After a candidate's closing paren at \p CloseParen, walks the
+/// specifier tail (const, noexcept, override, trailing return, ctor
+/// inits, ...) looking for a function body. Returns the body `{` index
+/// or SIZE_MAX when the construct is not a definition. Sets
+/// \p SawOverride when the tail marks the function virtual.
+size_t findBody(const std::vector<Token> &T, size_t CloseParen,
+                bool &SawOverride) {
+  size_t I = CloseParen + 1;
+  while (I < T.size()) {
+    const Token &Tok = T[I];
+    if (isPunct(Tok, "{"))
+      return I;
+    if (isPunct(Tok, ";") || isPunct(Tok, "}") || isPunct(Tok, "=") ||
+        isPunct(Tok, ",") || isPunct(Tok, ")"))
+      return SIZE_MAX;
+    if (isPunct(Tok, ":"))
+      return skipCtorInit(T, I);
+    if (isIdent(Tok, "override") || isIdent(Tok, "final")) {
+      SawOverride = true;
+      ++I;
+      continue;
+    }
+    if (isIdent(Tok, "noexcept") || isIdent(Tok, "throw")) {
+      ++I;
+      if (I < T.size() && isPunct(T[I], "("))
+        I = matchForward(T, I, "(", ")") + 1;
+      continue;
+    }
+    if (isPunct(Tok, "->")) {
+      // Trailing return type: anything up to the body brace.
+      ++I;
+      while (I < T.size() && !isPunct(T[I], "{") && !isPunct(T[I], ";") &&
+             !isPunct(T[I], "}"))
+        ++I;
+      continue;
+    }
+    if (isPunct(Tok, "[")) { // attribute [[...]]
+      I = matchForward(T, I, "[", "]") + 1;
+      continue;
+    }
+    if (Tok.Kind == TokKind::Ident || isPunct(Tok, "&") ||
+        isPunct(Tok, "&&") || isPunct(Tok, "...")) {
+      ++I; // const / mutable / try / ref-qualifier / macro specifier
+      continue;
+    }
+    return SIZE_MAX;
+  }
+  return SIZE_MAX;
+}
+
+/// Scans backward from the candidate name for DOPE_HOT / virtual in the
+/// same declaration (bounded; stops at statement/body boundaries).
+void scanHeaderPrefix(const std::vector<Token> &T, size_t NameIdx, bool &Hot,
+                      bool &Virtual) {
+  size_t Steps = 0;
+  for (size_t K = NameIdx; K-- > 0 && Steps < 64; ++Steps) {
+    const Token &Tok = T[K];
+    if (isPunct(Tok, ";") || isPunct(Tok, "{") || isPunct(Tok, "}"))
+      return;
+    if (isPunct(Tok, ":") && K > 0 &&
+        (isIdent(T[K - 1], "public") || isIdent(T[K - 1], "private") ||
+         isIdent(T[K - 1], "protected")))
+      return;
+    if (isIdent(Tok, "DOPE_HOT"))
+      Hot = true;
+    if (isIdent(Tok, "virtual"))
+      Virtual = true;
+  }
+}
+
+std::vector<Scope> collectScopes(const std::vector<Token> &T) {
+  // Pass A: find every function header and remember its body brace.
+  std::map<size_t, Scope> BodyStart;
+  for (size_t I = 0; I + 1 < T.size(); ++I) {
+    if (T[I].InPP)
+      continue;
+    Scope S;
+    size_t Body = SIZE_MAX;
+    size_t HeaderOpen = SIZE_MAX;
+    if (T[I].Kind == TokKind::Ident && isPunct(T[I + 1], "(") &&
+        !isKeywordNoCall(T[I].Text)) {
+      size_t Close = matchForward(T, I + 1, "(", ")");
+      if (Close >= T.size())
+        continue;
+      bool SawOverride = false;
+      Body = findBody(T, Close, SawOverride);
+      if (Body == SIZE_MAX)
+        continue;
+      S.Name = T[I].Text;
+      S.Line = T[I].Line;
+      S.Virtual = SawOverride;
+      HeaderOpen = I + 1;
+      scanHeaderPrefix(T, I, S.Hot, S.Virtual);
+      for (size_t H = HeaderOpen + 1; H < Close; ++H)
+        S.HeaderToks.push_back(H);
+    } else if (isPunct(T[I], "]") && isPunct(T[I + 1], "(")) {
+      size_t Close = matchForward(T, I + 1, "(", ")");
+      if (Close >= T.size())
+        continue;
+      bool SawOverride = false;
+      Body = findBody(T, Close, SawOverride);
+      if (Body == SIZE_MAX)
+        continue;
+      S.Name = "<lambda>";
+      S.Line = T[I].Line;
+      for (size_t H = I + 2; H < Close; ++H)
+        S.HeaderToks.push_back(H);
+    } else if (isPunct(T[I], "]") && isPunct(T[I + 1], "{")) {
+      Body = I + 1;
+      S.Name = "<lambda>";
+      S.Line = T[I].Line;
+    } else {
+      continue;
+    }
+    if (Body != SIZE_MAX && !BodyStart.count(Body))
+      BodyStart.emplace(Body, std::move(S));
+  }
+
+  // Pass B: attribute each token to the innermost enclosing scope.
+  std::vector<Scope> Done;
+  struct Active {
+    Scope S;
+    int BodyDepth;
+  };
+  std::vector<Active> Stack;
+  int Depth = 0;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (isPunct(T[I], "{")) {
+      ++Depth;
+      auto It = BodyStart.find(I);
+      if (It != BodyStart.end()) {
+        Stack.push_back({std::move(It->second), Depth});
+        continue;
+      }
+    } else if (isPunct(T[I], "}")) {
+      if (!Stack.empty() && Stack.back().BodyDepth == Depth) {
+        Done.push_back(std::move(Stack.back().S));
+        Stack.pop_back();
+        --Depth;
+        continue;
+      }
+      --Depth;
+    }
+    if (!Stack.empty())
+      Stack.back().S.OwnToks.push_back(I);
+  }
+  while (!Stack.empty()) { // unterminated at EOF: keep what we saw
+    Done.push_back(std::move(Stack.back().S));
+    Stack.pop_back();
+  }
+  return Done;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pass 1: global index
+//===----------------------------------------------------------------------===//
+
+static void indexTraceSchema(const FileTokens &File, GlobalIndex &Index) {
+  const std::vector<Token> &T = File.Lex.Tokens;
+  for (size_t I = 0; I + 2 < T.size(); ++I) {
+    if (isIdent(T[I], "enum") && isIdent(T[I + 1], "class") &&
+        isIdent(T[I + 2], "TraceKind")) {
+      size_t J = I + 3;
+      while (J < T.size() && !isPunct(T[J], "{") && !isPunct(T[J], ";"))
+        ++J; // skip the underlying-type clause
+      if (J >= T.size() || !isPunct(T[J], "{"))
+        continue;
+      size_t End = matchForward(T, J, "{", "}");
+      int Depth = 0;
+      bool AtName = true; // next ident at depth 1 is an enumerator name
+      for (size_t K = J; K < End; ++K) {
+        if (isPunct(T[K], "{") || isPunct(T[K], "("))
+          ++Depth;
+        else if (isPunct(T[K], "}") || isPunct(T[K], ")"))
+          --Depth;
+        else if (Depth == 1 && isPunct(T[K], ","))
+          AtName = true;
+        else if (Depth == 1 && T[K].Kind == TokKind::Ident && AtName) {
+          Index.TraceKindEnumerators.push_back(T[K].Text);
+          AtName = false;
+        }
+      }
+    }
+    if (isIdent(T[I], "KindNames")) {
+      size_t J = I + 1;
+      while (J < T.size() && !isPunct(T[J], "{") && !isPunct(T[J], ";"))
+        ++J;
+      if (J >= T.size() || !isPunct(T[J], "{"))
+        continue;
+      size_t End = matchForward(T, J, "{", "}");
+      int Count = 0;
+      for (size_t K = J + 1; K < End; ++K)
+        if (T[K].Kind == TokKind::String)
+          ++Count;
+      Index.KindNamesStrings = Count;
+      Index.KindNamesFile = File.Path;
+      Index.KindNamesLine = T[I].Line;
+    }
+  }
+}
+
+GlobalIndex dopelint::buildIndex(const std::vector<FileTokens> &Files) {
+  GlobalIndex Index;
+  for (const FileTokens &File : Files) {
+    const std::vector<Token> &T = File.Lex.Tokens;
+    for (size_t I = 0; I < T.size(); ++I) {
+      // DOPE_HOT <ret-type...> name( — take the first ident directly
+      // before a '(' within the declaration.
+      if (isIdent(T[I], "DOPE_HOT")) {
+        for (size_t J = I + 1; J + 1 < T.size() && J < I + 24; ++J) {
+          if (isPunct(T[J], ";") || isPunct(T[J], "{"))
+            break;
+          if (T[J].Kind == TokKind::Ident && isPunct(T[J + 1], "(") &&
+              !(J > 0 && isPunct(T[J - 1], "~"))) {
+            Index.HotFunctions.insert(T[J].Text);
+            break;
+          }
+        }
+      }
+      if (isIdent(T[I], "virtual")) {
+        for (size_t J = I + 1; J + 1 < T.size() && J < I + 24; ++J) {
+          if (isPunct(T[J], ";") || isPunct(T[J], "{") ||
+              isPunct(T[J], "}"))
+            break;
+          if (T[J].Kind == TokKind::Ident && isPunct(T[J + 1], "(") &&
+              !(J > 0 && isPunct(T[J - 1], "~"))) {
+            Index.VirtualFunctions.insert(T[J].Text);
+            break;
+          }
+        }
+      }
+    }
+    for (const Scope &S : collectScopes(T)) {
+      if (S.Name == "<lambda>")
+        continue;
+      if (S.Hot)
+        Index.HotFunctions.insert(S.Name);
+      if (S.Virtual)
+        Index.VirtualFunctions.insert(S.Name);
+      else
+        Index.NonVirtualDefs.insert(S.Name);
+    }
+    indexTraceSchema(File, Index);
+  }
+  return Index;
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 2: per-file checks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class FileChecker {
+public:
+  FileChecker(const FileTokens &File, const GlobalIndex &Index,
+              const CheckOptions &Opts)
+      : File(File), T(File.Lex.Tokens), Index(Index), Opts(Opts) {}
+
+  std::vector<Finding> run() {
+    if (!isDeterminismWhitelisted(File.Path))
+      checkDeterminism();
+    Scopes = collectScopes(T);
+    for (const Scope &S : Scopes) {
+      if (S.Hot)
+        checkHotPurity(S);
+      checkPairing(S);
+      checkWaitBeforeDestroy(S);
+      checkFiniOnce(S);
+    }
+    checkTraceSchema();
+    checkTraceSwitches();
+    std::stable_sort(Findings.begin(), Findings.end(),
+                     [](const Finding &A, const Finding &B) {
+                       return A.Line < B.Line;
+                     });
+    return std::move(Findings);
+  }
+
+private:
+  const FileTokens &File;
+  const std::vector<Token> &T;
+  const GlobalIndex &Index;
+  const CheckOptions &Opts;
+  std::vector<Scope> Scopes;
+  std::vector<Finding> Findings;
+
+  bool suppressed(const std::string &Id, unsigned Line) const {
+    // A suppression comment covers its own line and the next one, so
+    // both trailing (`code; // dope-lint: allow(X)`) and leading
+    // (comment-above) placements work.
+    for (unsigned L : {Line, Line ? Line - 1 : 0}) {
+      auto It = File.Lex.Suppressions.find(L);
+      if (It != File.Lex.Suppressions.end() &&
+          (It->second.count(Id) || It->second.count("all")))
+        return true;
+    }
+    return false;
+  }
+
+  void report(const char *Id, unsigned Line, std::string Message) {
+    if (Opts.Disabled.count(Id) || suppressed(Id, Line))
+      return;
+    Findings.push_back({Id, severityOf(Id), File.Path, Line,
+                        std::move(Message)});
+  }
+
+  //===--------------------------------------------------------------===//
+  // DL001 / DL002
+  //===--------------------------------------------------------------===//
+
+  void checkDeterminism() {
+    static const std::set<std::string> Clocks = {
+        "system_clock", "steady_clock", "high_resolution_clock"};
+    static const std::set<std::string> Rng = {
+        "rand",          "srand",      "random_device",
+        "mt19937",       "mt19937_64", "default_random_engine",
+        "minstd_rand",   "minstd_rand0"};
+    for (const Token &Tok : T) {
+      if (Tok.Kind != TokKind::Ident || Tok.InPP)
+        continue;
+      if (Clocks.count(Tok.Text))
+        report("DL001", Tok.Line,
+               "raw std::chrono::" + Tok.Text +
+                   " outside support/Clock.h; route time through "
+                   "dope::monotonicSeconds()/secondsDuration() so runs "
+                   "stay replayable");
+      else if (Rng.count(Tok.Text))
+        report("DL002", Tok.Line,
+               "raw RNG primitive '" + Tok.Text +
+                   "' outside support/Random; use dope::Rng with a "
+                   "logged seed so runs stay reproducible");
+    }
+  }
+
+  //===--------------------------------------------------------------===//
+  // HP001 / HP002 / HP003
+  //===--------------------------------------------------------------===//
+
+  void checkHotPurity(const Scope &S) {
+    static const std::set<std::string> LockTypes = {
+        "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+    static const std::set<std::string> LockCalls = {
+        "lock", "try_lock", "lock_shared", "try_lock_shared"};
+    static const std::set<std::string> PthreadLocks = {
+        "pthread_mutex_lock", "pthread_spin_lock", "pthread_rwlock_rdlock",
+        "pthread_rwlock_wrlock"};
+    static const std::set<std::string> Allocs = {
+        "make_unique", "make_shared", "malloc", "calloc", "realloc"};
+
+    for (size_t Idx : S.OwnToks) {
+      const Token &Tok = T[Idx];
+      if (Tok.Kind != TokKind::Ident)
+        continue;
+      if (LockTypes.count(Tok.Text) || PthreadLocks.count(Tok.Text)) {
+        report("HP001", Tok.Line,
+               "hot path '" + S.Name + "' acquires a lock via '" +
+                   Tok.Text +
+                   "'; DOPE_HOT monitoring paths must stay lock-free "
+                   "(mirror state into relaxed atomics instead)");
+        continue;
+      }
+      if (LockCalls.count(Tok.Text) && Idx > 0 && Idx + 1 < T.size() &&
+          (isPunct(T[Idx - 1], ".") || isPunct(T[Idx - 1], "->")) &&
+          isPunct(T[Idx + 1], "(")) {
+        report("HP001", Tok.Line,
+               "hot path '" + S.Name + "' calls ." + Tok.Text +
+                   "(); DOPE_HOT monitoring paths must stay lock-free");
+        continue;
+      }
+      if (Tok.Text == "new" || Allocs.count(Tok.Text)) {
+        report("HP002", Tok.Line,
+               "hot path '" + S.Name + "' allocates via '" + Tok.Text +
+                   "'; DOPE_HOT paths run per task instance and must "
+                   "not hit the allocator");
+        continue;
+      }
+      // Call to a known virtual that is neither DOPE_HOT nor shadowed
+      // by a non-virtual definition of the same name.
+      if (Idx + 1 < T.size() && isPunct(T[Idx + 1], "(") &&
+          !isKeywordNoCall(Tok.Text) && Tok.Text != S.Name &&
+          !(Idx > 0 && isPunct(T[Idx - 1], "::")) &&
+          Index.VirtualFunctions.count(Tok.Text) &&
+          !Index.HotFunctions.count(Tok.Text) &&
+          !Index.NonVirtualDefs.count(Tok.Text)) {
+        report("HP003", Tok.Line,
+               "hot path '" + S.Name + "' calls virtual '" + Tok.Text +
+                   "()' which is not DOPE_HOT; annotate the callee or "
+                   "devirtualize the hot path");
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------===//
+  // AP001
+  //===--------------------------------------------------------------===//
+
+  void checkPairing(const Scope &S) {
+    // TaskRuntime &V declarations in the header or body.
+    std::vector<std::string> Vars;
+    auto ScanDecls = [&](const std::vector<size_t> &Toks) {
+      for (size_t Idx : Toks) {
+        if (isIdent(T[Idx], "TaskRuntime") && Idx + 2 < T.size() &&
+            isPunct(T[Idx + 1], "&") &&
+            T[Idx + 2].Kind == TokKind::Ident)
+          Vars.push_back(T[Idx + 2].Text);
+      }
+    };
+    ScanDecls(S.HeaderToks);
+    ScanDecls(S.OwnToks);
+    for (const std::string &V : Vars) {
+      unsigned Begins = 0, Ends = 0;
+      for (size_t Idx : S.OwnToks) {
+        if (!isIdent(T[Idx], V.c_str()) || Idx + 3 >= T.size())
+          continue;
+        if (!isPunct(T[Idx + 1], ".") || !isPunct(T[Idx + 3], "("))
+          continue;
+        if (isIdent(T[Idx + 2], "begin"))
+          ++Begins;
+        else if (isIdent(T[Idx + 2], "end"))
+          ++Ends;
+      }
+      if (Begins != Ends && (Begins || Ends))
+        report("AP001", S.Line,
+               "function '" + S.Name + "' calls " + V + ".begin() " +
+                   std::to_string(Begins) + " time(s) but " + V +
+                   ".end() " + std::to_string(Ends) +
+                   " time(s); every begin must pair with an end on "
+                   "all paths");
+    }
+  }
+
+  //===--------------------------------------------------------------===//
+  // AP002
+  //===--------------------------------------------------------------===//
+
+  void checkWaitBeforeDestroy(const Scope &S) {
+    size_t CreateAt = SIZE_MAX;
+    unsigned CreateLine = 0;
+    for (size_t Idx : S.OwnToks) {
+      if (isIdent(T[Idx], "Dope") && Idx + 2 < T.size() &&
+          isPunct(T[Idx + 1], "::") && isIdent(T[Idx + 2], "create")) {
+        CreateAt = Idx;
+        CreateLine = T[Idx].Line;
+        break;
+      }
+    }
+    if (CreateAt == SIZE_MAX)
+      return;
+    for (size_t Idx : S.OwnToks) {
+      if (Idx <= CreateAt)
+        continue;
+      if (isIdent(T[Idx], "wait") || isIdent(T[Idx], "waitFor") ||
+          isIdent(T[Idx], "destroy"))
+        return;
+    }
+    report("AP002", CreateLine,
+           "function '" + S.Name +
+               "' calls Dope::create but never wait()/waitFor()/"
+               "destroy(); destroying a live region skips the FiniCB "
+               "quiesce protocol");
+  }
+
+  //===--------------------------------------------------------------===//
+  // AP003
+  //===--------------------------------------------------------------===//
+
+  void checkFiniOnce(const Scope &S) {
+    // createTask(Name, Fn, Load, Desc, Init, Fini): two calls binding a
+    // non-empty FiniCB to the same descriptor expression register the
+    // finalizer twice — it must run exactly once per region drain.
+    std::map<std::string, unsigned> FiniByDesc;
+    for (size_t Idx : S.OwnToks) {
+      if (!isIdent(T[Idx], "createTask") || Idx + 1 >= T.size() ||
+          !isPunct(T[Idx + 1], "("))
+        continue;
+      size_t Close = matchForward(T, Idx + 1, "(", ")");
+      if (Close >= T.size())
+        continue;
+      // Split top-level arguments.
+      std::vector<std::pair<size_t, size_t>> Args; // [begin, end)
+      int Paren = 0, Brace = 0, Square = 0;
+      size_t ArgBegin = Idx + 2;
+      for (size_t K = Idx + 2; K <= Close; ++K) {
+        const Token &Tok = T[K];
+        if (K == Close || (isPunct(Tok, ",") && Paren == 0 && Brace == 0 &&
+                           Square == 0)) {
+          if (K > ArgBegin)
+            Args.push_back({ArgBegin, K});
+          ArgBegin = K + 1;
+          continue;
+        }
+        if (isPunct(Tok, "("))
+          ++Paren;
+        else if (isPunct(Tok, ")"))
+          --Paren;
+        else if (isPunct(Tok, "{"))
+          ++Brace;
+        else if (isPunct(Tok, "}"))
+          --Brace;
+        else if (isPunct(Tok, "["))
+          ++Square;
+        else if (isPunct(Tok, "]"))
+          --Square;
+      }
+      if (Args.size() < 6)
+        continue;
+      auto ArgText = [&](size_t N) {
+        std::string Out;
+        for (size_t K = Args[N].first; K < Args[N].second; ++K) {
+          if (!Out.empty())
+            Out += ' ';
+          Out += T[K].Text;
+        }
+        return Out;
+      };
+      std::string Fini = ArgText(5);
+      if (Fini.empty() || Fini == "{ }" || Fini == "nullptr")
+        continue;
+      std::string Desc = ArgText(3);
+      auto It = FiniByDesc.find(Desc);
+      if (It != FiniByDesc.end())
+        report("AP003", T[Idx].Line,
+               "function '" + S.Name +
+                   "' registers a FiniCB for descriptor '" + Desc +
+                   "' again (first at line " + std::to_string(It->second) +
+                   "); FiniCB must be registered at most once per "
+                   "descriptor");
+      else
+        FiniByDesc.emplace(std::move(Desc), T[Idx].Line);
+    }
+  }
+
+  //===--------------------------------------------------------------===//
+  // TS001
+  //===--------------------------------------------------------------===//
+
+  void checkTraceSchema() {
+    if (File.Path != Index.KindNamesFile || Index.KindNamesStrings < 0 ||
+        Index.TraceKindEnumerators.empty())
+      return;
+    int Enums = static_cast<int>(Index.TraceKindEnumerators.size());
+    if (Enums != Index.KindNamesStrings)
+      report("TS001", Index.KindNamesLine,
+             "TraceKind has " + std::to_string(Enums) +
+                 " enumerators but KindNames serializes " +
+                 std::to_string(Index.KindNamesStrings) +
+                 "; every TraceKind needs a serializer entry (and a "
+                 "replay case) or drained traces will not round-trip");
+  }
+
+  //===--------------------------------------------------------------===//
+  // TS002
+  //===--------------------------------------------------------------===//
+
+  void checkTraceSwitches() {
+    if (Index.TraceKindEnumerators.empty())
+      return;
+    for (size_t I = 0; I + 1 < T.size(); ++I) {
+      if (!isIdent(T[I], "switch") || !isPunct(T[I + 1], "("))
+        continue;
+      size_t CondClose = matchForward(T, I + 1, "(", ")");
+      if (CondClose + 1 >= T.size() || !isPunct(T[CondClose + 1], "{"))
+        continue;
+      size_t BodyClose = matchForward(T, CondClose + 1, "{", "}");
+      std::set<std::string> Cases;
+      bool HasDefault = false;
+      for (size_t K = CondClose + 2; K < BodyClose; ++K) {
+        if (isIdent(T[K], "case") && K + 3 < T.size() &&
+            isIdent(T[K + 1], "TraceKind") && isPunct(T[K + 2], "::") &&
+            T[K + 3].Kind == TokKind::Ident)
+          Cases.insert(T[K + 3].Text);
+        if (isIdent(T[K], "default") && K + 1 < T.size() &&
+            isPunct(T[K + 1], ":"))
+          HasDefault = true;
+      }
+      if (Cases.empty() || HasDefault)
+        continue;
+      std::string Missing;
+      for (const std::string &E : Index.TraceKindEnumerators)
+        if (!Cases.count(E)) {
+          if (!Missing.empty())
+            Missing += ", ";
+          Missing += E;
+        }
+      if (!Missing.empty())
+        report("TS002", T[I].Line,
+               "defaultless switch over TraceKind misses enumerator(s) " +
+                   Missing +
+                   "; cover every kind or add a default so trace-schema "
+                   "growth cannot silently skip records");
+    }
+  }
+};
+
+} // namespace
+
+std::vector<Finding> dopelint::runChecks(const FileTokens &File,
+                                         const GlobalIndex &Index,
+                                         const CheckOptions &Opts) {
+  return FileChecker(File, Index, Opts).run();
+}

@@ -1,0 +1,106 @@
+//===- tools/dope_lint/Checks.h - DoPE contract checks ---------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DoPE-specific contract checks (DESIGN.md §12). Each check has a
+/// stable ID and severity and runs over the frontend-agnostic token
+/// stream (Lexer.h / LibclangFrontend.h):
+///
+///   DL001 determinism-clock    raw std::chrono clock reads outside
+///                              support/Clock.h
+///   DL002 determinism-random   rand()/random_device/mt19937 outside
+///                              support/Random
+///   HP001 hot-path-lock        DOPE_HOT function body takes a mutex
+///   HP002 hot-path-alloc       DOPE_HOT function body allocates
+///   HP003 hot-path-virtual     DOPE_HOT function body calls a
+///                              non-DOPE_HOT virtual
+///   AP001 begin-end-pairing    Task begin/end imbalance on one
+///                              TaskRuntime within one function
+///   AP002 wait-before-destroy  Dope::create without wait/waitFor/
+///                              destroy in the same function
+///   AP003 fini-once            FiniCB registered twice for one
+///                              descriptor in one function
+///   TS001 trace-kind-names     TraceKind enumerator count != KindNames
+///                              serializer entries
+///   TS002 trace-kind-switch    defaultless switch over TraceKind not
+///                              covering every enumerator
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_TOOLS_LINT_CHECKS_H
+#define DOPE_TOOLS_LINT_CHECKS_H
+
+#include "Lexer.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dopelint {
+
+struct CheckInfo {
+  const char *Id;
+  const char *Severity; ///< "error" or "warning".
+  const char *Name;
+  const char *Description;
+};
+
+/// The full check table, in ID order.
+const std::vector<CheckInfo> &allChecks();
+
+struct Finding {
+  std::string CheckId;
+  std::string Severity;
+  std::string File;
+  unsigned Line = 0;
+  std::string Message;
+};
+
+/// One scanned file: path plus its token stream.
+struct FileTokens {
+  std::string Path;
+  LexOutput Lex;
+};
+
+/// Cross-file symbol knowledge collected in pass 1. HP003 needs the
+/// global virtual/hot sets (a call in A.cpp dispatches to a virtual
+/// declared in B.h); TS001/TS002 need the TraceKind schema.
+struct GlobalIndex {
+  std::set<std::string> HotFunctions;
+  std::set<std::string> VirtualFunctions;
+  /// Names with at least one non-virtual function *definition* anywhere
+  /// in the scanned set. A name-based virtual-call check cannot tell
+  /// Task::name() (non-virtual) from Mechanism::name() (virtual), so
+  /// ambiguous names are exempted from HP003 rather than guessed at.
+  std::set<std::string> NonVirtualDefs;
+  std::vector<std::string> TraceKindEnumerators;
+  int KindNamesStrings = -1; ///< -1 while the serializer table is unseen.
+  std::string KindNamesFile;
+  unsigned KindNamesLine = 0;
+};
+
+GlobalIndex buildIndex(const std::vector<FileTokens> &Files);
+
+struct CheckOptions {
+  /// Check IDs disabled via --allow.
+  std::set<std::string> Disabled;
+};
+
+/// Runs every enabled check over \p File. Findings suppressed by
+/// `// dope-lint: allow(ID)` on the finding's line (or the line above)
+/// are dropped.
+std::vector<Finding> runChecks(const FileTokens &File,
+                               const GlobalIndex &Index,
+                               const CheckOptions &Opts);
+
+/// True when \p Path is an allowed home for raw clock / RNG primitives
+/// (support/Clock.h, core/Clock.h forwarder, support/Random.*).
+bool isDeterminismWhitelisted(const std::string &Path);
+
+} // namespace dopelint
+
+#endif // DOPE_TOOLS_LINT_CHECKS_H

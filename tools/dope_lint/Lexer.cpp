@@ -1,0 +1,286 @@
+//===- tools/dope_lint/Lexer.cpp - C++ token stream for dope_lint ----------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "Lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+using namespace dopelint;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// Multi-character punctuation, longest first so maximal munch wins.
+/// Mirrors clang's token set: "<<=" must not lex as "<" "<=".
+constexpr const char *MultiPunct[] = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++", "--", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  ".*",  "##"};
+
+/// Parses a `dope-lint: allow(A,B)` marker out of comment text; returns
+/// the listed IDs (possibly "all"), empty when the marker is absent.
+std::set<std::string> parseSuppression(const std::string &Comment) {
+  std::set<std::string> Ids;
+  const char *Marker = "dope-lint:";
+  size_t Pos = Comment.find(Marker);
+  if (Pos == std::string::npos)
+    return Ids;
+  Pos += std::strlen(Marker);
+  while (Pos < Comment.size() && std::isspace((unsigned char)Comment[Pos]))
+    ++Pos;
+  const char *Verb = "allow(";
+  if (Comment.compare(Pos, std::strlen(Verb), Verb) != 0)
+    return Ids;
+  Pos += std::strlen(Verb);
+  std::string Cur;
+  for (; Pos < Comment.size(); ++Pos) {
+    char C = Comment[Pos];
+    if (C == ')' || C == ',') {
+      if (!Cur.empty())
+        Ids.insert(Cur);
+      Cur.clear();
+      if (C == ')')
+        break;
+    } else if (!std::isspace((unsigned char)C)) {
+      Cur += C;
+    }
+  }
+  return Ids;
+}
+
+class LexerImpl {
+public:
+  explicit LexerImpl(const std::string &Source) : Src(Source) {}
+
+  LexOutput run() {
+    while (Pos < Src.size())
+      step();
+    return std::move(Out);
+  }
+
+private:
+  const std::string &Src;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+  bool InPP = false; ///< Inside a preprocessor directive (until EOL).
+  LexOutput Out;
+
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+
+  void advance(size_t N = 1) {
+    for (size_t I = 0; I != N && Pos < Src.size(); ++I, ++Pos) {
+      if (Src[Pos] == '\n') {
+        ++Line;
+        Col = 1;
+        InPP = false;
+      } else {
+        ++Col;
+      }
+    }
+  }
+
+  void emit(TokKind Kind, std::string Text, unsigned L, unsigned C) {
+    Token T;
+    T.Kind = Kind;
+    T.Text = std::move(Text);
+    T.Line = L;
+    T.Col = C;
+    T.InPP = InPP;
+    Out.Tokens.push_back(std::move(T));
+  }
+
+  void noteSuppression(const std::string &Comment, unsigned AtLine) {
+    std::set<std::string> Ids = parseSuppression(Comment);
+    if (!Ids.empty())
+      Out.Suppressions[AtLine].insert(Ids.begin(), Ids.end());
+  }
+
+  void step() {
+    char C = peek();
+
+    if (C == '\\' && peek(1) == '\n') { // line continuation: keep InPP
+      bool WasPP = InPP;
+      advance(2);
+      InPP = WasPP;
+      return;
+    }
+    if (std::isspace((unsigned char)C)) {
+      advance();
+      return;
+    }
+    if (C == '/' && peek(1) == '/')
+      return lexLineComment();
+    if (C == '/' && peek(1) == '*')
+      return lexBlockComment();
+    if (C == '#' && !InPP) {
+      InPP = true;
+      emit(TokKind::Punct, "#", Line, Col);
+      advance();
+      return;
+    }
+    if (isIdentStart(C))
+      return lexIdentOrPrefixedLiteral();
+    if (std::isdigit((unsigned char)C) ||
+        (C == '.' && std::isdigit((unsigned char)peek(1))))
+      return lexNumber();
+    if (C == '"')
+      return lexString(/*Raw=*/false, "");
+    if (C == '\'')
+      return lexCharLit();
+    lexPunct();
+  }
+
+  void lexLineComment() {
+    unsigned L = Line;
+    std::string Text;
+    while (Pos < Src.size() && peek() != '\n') {
+      Text += peek();
+      advance();
+    }
+    noteSuppression(Text, L);
+  }
+
+  void lexBlockComment() {
+    unsigned L = Line;
+    std::string Text;
+    advance(2);
+    while (Pos < Src.size() && !(peek() == '*' && peek(1) == '/')) {
+      Text += peek();
+      advance();
+    }
+    advance(2);
+    noteSuppression(Text, L);
+  }
+
+  /// Identifiers, keywords, and literal prefixes (R"...", u8"...", L'x').
+  void lexIdentOrPrefixedLiteral() {
+    unsigned L = Line, C = Col;
+    std::string Text;
+    while (isIdentChar(peek())) {
+      Text += peek();
+      advance();
+    }
+    // Raw string: prefix ends in R and a quote follows.
+    if (!Text.empty() && Text.back() == 'R' && peek() == '"' &&
+        (Text == "R" || Text == "u8R" || Text == "uR" || Text == "UR" ||
+         Text == "LR"))
+      return lexRawString(L, C);
+    // Encoded string/char prefix (u8"...", L'x', ...).
+    if ((Text == "u8" || Text == "u" || Text == "U" || Text == "L")) {
+      if (peek() == '"')
+        return lexString(false, Text);
+      if (peek() == '\'')
+        return lexCharLit();
+    }
+    emit(TokKind::Ident, std::move(Text), L, C);
+  }
+
+  void lexNumber() {
+    unsigned L = Line, C = Col;
+    std::string Text;
+    // pp-number: digits, idents, dots, digit separators, exponent signs.
+    while (isIdentChar(peek()) || peek() == '.' ||
+           (peek() == '\'' &&
+            std::isalnum(static_cast<unsigned char>(peek(1)))) ||
+           ((peek() == '+' || peek() == '-') && !Text.empty() &&
+            (Text.back() == 'e' || Text.back() == 'E' ||
+             Text.back() == 'p' || Text.back() == 'P'))) {
+      Text += peek();
+      advance();
+    }
+    emit(TokKind::Number, std::move(Text), L, C);
+  }
+
+  void lexString(bool, const std::string &) {
+    unsigned L = Line, C = Col;
+    std::string Text;
+    advance(); // opening quote
+    while (Pos < Src.size() && peek() != '"') {
+      if (peek() == '\\' && Pos + 1 < Src.size()) {
+        Text += peek();
+        Text += peek(1);
+        advance(2);
+        continue;
+      }
+      if (peek() == '\n')
+        break; // unterminated; recover at EOL
+      Text += peek();
+      advance();
+    }
+    advance(); // closing quote
+    emit(TokKind::String, std::move(Text), L, C);
+  }
+
+  void lexRawString(unsigned L, unsigned C) {
+    advance(); // opening quote
+    std::string Delim;
+    while (Pos < Src.size() && peek() != '(') {
+      Delim += peek();
+      advance();
+    }
+    advance(); // '('
+    std::string Close = ")" + Delim + "\"";
+    std::string Text;
+    while (Pos < Src.size() && Src.compare(Pos, Close.size(), Close) != 0) {
+      Text += peek();
+      advance();
+    }
+    advance(Close.size());
+    emit(TokKind::String, std::move(Text), L, C);
+  }
+
+  void lexCharLit() {
+    unsigned L = Line, C = Col;
+    std::string Text;
+    advance(); // opening quote
+    while (Pos < Src.size() && peek() != '\'') {
+      if (peek() == '\\' && Pos + 1 < Src.size()) {
+        Text += peek();
+        Text += peek(1);
+        advance(2);
+        continue;
+      }
+      if (peek() == '\n')
+        break;
+      Text += peek();
+      advance();
+    }
+    advance(); // closing quote
+    emit(TokKind::CharLit, std::move(Text), L, C);
+  }
+
+  void lexPunct() {
+    unsigned L = Line, C = Col;
+    for (const char *P : MultiPunct) {
+      size_t N = std::strlen(P);
+      if (Src.compare(Pos, N, P) == 0) {
+        emit(TokKind::Punct, P, L, C);
+        advance(N);
+        return;
+      }
+    }
+    emit(TokKind::Punct, std::string(1, peek()), L, C);
+    advance();
+  }
+};
+
+} // namespace
+
+LexOutput dopelint::lex(const std::string &Source) {
+  return LexerImpl(Source).run();
+}

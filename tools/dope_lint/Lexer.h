@@ -1,0 +1,62 @@
+//===- tools/dope_lint/Lexer.h - C++ token stream for dope_lint -*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The built-in frontend: a self-contained C++ tokenizer producing the
+/// token stream the dope_lint checks run over. It deliberately mirrors
+/// libclang's CXToken granularity (identifiers, literals, maximal-munch
+/// punctuation) so the optional libclang frontend (LibclangFrontend.h)
+/// and this lexer feed the checks identical streams — the checks never
+/// know which frontend produced their input.
+///
+/// Handled: // and /* */ comments, string/char literals (with escapes),
+/// raw strings R"delim(...)delim", preprocessor directives (tokens are
+/// kept but flagged InPP, including backslash-continued lines), and
+/// `// dope-lint: allow(ID[,ID...])` suppression comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_TOOLS_LINT_LEXER_H
+#define DOPE_TOOLS_LINT_LEXER_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dopelint {
+
+enum class TokKind {
+  Ident,   ///< Identifier or keyword.
+  Number,  ///< Numeric literal (integer or floating, any base).
+  String,  ///< String literal, including raw strings; text excludes quotes.
+  CharLit, ///< Character literal; text excludes quotes.
+  Punct,   ///< Punctuation, maximal munch ("::", "->", "<<=", ...).
+};
+
+struct Token {
+  TokKind Kind = TokKind::Punct;
+  std::string Text;
+  unsigned Line = 0; ///< 1-based.
+  unsigned Col = 0;  ///< 1-based.
+  bool InPP = false; ///< Inside a preprocessor directive.
+};
+
+struct LexOutput {
+  std::vector<Token> Tokens;
+  /// Line -> check IDs suppressed on that line via
+  /// `// dope-lint: allow(DL001)`. The ID "all" suppresses everything.
+  std::map<unsigned, std::set<std::string>> Suppressions;
+};
+
+/// Tokenizes \p Source. Never fails: unrecognized bytes become
+/// single-character Punct tokens, unterminated literals run to EOF.
+LexOutput lex(const std::string &Source);
+
+} // namespace dopelint
+
+#endif // DOPE_TOOLS_LINT_LEXER_H

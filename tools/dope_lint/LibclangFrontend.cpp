@@ -1,0 +1,152 @@
+//===- tools/dope_lint/LibclangFrontend.cpp - libclang tokenizer -----------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "LibclangFrontend.h"
+
+#ifdef DOPE_LINT_HAVE_LIBCLANG
+
+#include <clang-c/Index.h>
+
+#include <cstring>
+
+using namespace dopelint;
+
+bool dopelint::libclangAvailable() { return true; }
+
+namespace {
+
+/// Maps a CXToken to the built-in lexer's token shape so the checks see
+/// one stream regardless of frontend.
+void appendToken(CXTranslationUnit TU, CXToken CTok, LexOutput &Out) {
+  CXString Spelling = clang_getTokenSpelling(TU, CTok);
+  const char *Text = clang_getCString(Spelling);
+  CXSourceLocation Loc = clang_getTokenLocation(TU, CTok);
+  unsigned Line = 0, Col = 0;
+  clang_getSpellingLocation(Loc, nullptr, &Line, &Col, nullptr);
+
+  switch (clang_getTokenKind(CTok)) {
+  case CXToken_Comment: {
+    // Comments carry only suppression markers, exactly like the
+    // built-in lexer.
+    std::string C = Text ? Text : "";
+    size_t Pos = C.find("dope-lint:");
+    if (Pos != std::string::npos) {
+      // Reuse the built-in parser by lexing the comment as a line
+      // comment.
+      LexOutput Tmp = lex("// " + C.substr(Pos) + "\n");
+      for (const auto &Entry : Tmp.Suppressions)
+        Out.Suppressions[Line].insert(Entry.second.begin(),
+                                      Entry.second.end());
+    }
+    break;
+  }
+  case CXToken_Punctuation: {
+    Token T;
+    T.Kind = TokKind::Punct;
+    T.Text = Text ? Text : "";
+    T.Line = Line;
+    T.Col = Col;
+    Out.Tokens.push_back(std::move(T));
+    break;
+  }
+  case CXToken_Keyword:
+  case CXToken_Identifier: {
+    Token T;
+    T.Kind = TokKind::Ident;
+    T.Text = Text ? Text : "";
+    T.Line = Line;
+    T.Col = Col;
+    Out.Tokens.push_back(std::move(T));
+    break;
+  }
+  case CXToken_Literal: {
+    Token T;
+    T.Line = Line;
+    T.Col = Col;
+    std::string S = Text ? Text : "";
+    if (!S.empty() && (S.front() == '"' || (S.front() == 'R' &&
+                                            S.find('"') != std::string::npos))) {
+      T.Kind = TokKind::String;
+      size_t Open = S.find('"');
+      size_t CloseQ = S.rfind('"');
+      T.Text = CloseQ > Open ? S.substr(Open + 1, CloseQ - Open - 1) : S;
+    } else if (!S.empty() && S.front() == '\'') {
+      T.Kind = TokKind::CharLit;
+      T.Text = S.size() >= 2 ? S.substr(1, S.size() - 2) : S;
+    } else {
+      T.Kind = TokKind::Number;
+      T.Text = std::move(S);
+    }
+    Out.Tokens.push_back(std::move(T));
+    break;
+  }
+  }
+  clang_disposeString(Spelling);
+}
+
+} // namespace
+
+bool dopelint::lexWithLibclang(const std::string &Path,
+                               const std::vector<std::string> &Args,
+                               LexOutput &Out, std::string &Error) {
+  CXIndex Index = clang_createIndex(/*excludeDeclsFromPCH=*/0,
+                                    /*displayDiagnostics=*/0);
+  std::vector<const char *> Argv;
+  for (const std::string &A : Args) {
+    // The argv from compile_commands.json includes the compiler and the
+    // source file; libclang wants only the flags.
+    if (A == Path || A.rfind("-o", 0) == 0)
+      continue;
+    Argv.push_back(A.c_str());
+  }
+  if (!Argv.empty())
+    Argv.erase(Argv.begin()); // drop the compiler executable
+
+  CXTranslationUnit TU = nullptr;
+  CXErrorCode EC = clang_parseTranslationUnit2(
+      Index, Path.c_str(), Argv.data(), static_cast<int>(Argv.size()),
+      nullptr, 0, CXTranslationUnit_DetailedPreprocessingRecord, &TU);
+  if (EC != CXError_Success || !TU) {
+    clang_disposeIndex(Index);
+    Error = "libclang failed to parse '" + Path + "'";
+    return false;
+  }
+
+  CXFile File = clang_getFile(TU, Path.c_str());
+  CXSourceLocation Begin = clang_getLocationForOffset(TU, File, 0);
+  size_t Size = 0;
+  clang_getFileContents(TU, File, &Size);
+  CXSourceLocation End =
+      clang_getLocationForOffset(TU, File, static_cast<unsigned>(Size));
+  CXSourceRange Range = clang_getRange(Begin, End);
+
+  CXToken *Tokens = nullptr;
+  unsigned NumTokens = 0;
+  clang_tokenize(TU, Range, &Tokens, &NumTokens);
+  for (unsigned I = 0; I != NumTokens; ++I)
+    appendToken(TU, Tokens[I], Out);
+  clang_disposeTokens(TU, Tokens, NumTokens);
+  clang_disposeTranslationUnit(TU);
+  clang_disposeIndex(Index);
+  return true;
+}
+
+#else // !DOPE_LINT_HAVE_LIBCLANG
+
+using namespace dopelint;
+
+bool dopelint::libclangAvailable() { return false; }
+
+bool dopelint::lexWithLibclang(const std::string &,
+                               const std::vector<std::string> &, LexOutput &,
+                               std::string &Error) {
+  Error = "dope_lint was built without libclang (clang-c/Index.h not "
+          "found at configure time); using the built-in lexer frontend";
+  return false;
+}
+
+#endif // DOPE_LINT_HAVE_LIBCLANG

@@ -1,0 +1,41 @@
+//===- tools/dope_lint/LibclangFrontend.h - libclang tokenizer -*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optional libclang (clang C API) frontend. When the build found
+/// clang-c/Index.h and libclang (DOPE_LINT_HAVE_LIBCLANG), files are
+/// tokenized through a real clang translation unit driven by the
+/// compile_commands.json flags; otherwise the built-in lexer (Lexer.h)
+/// produces an equivalent stream and this frontend reports itself
+/// unavailable. The checks are frontend-agnostic either way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_TOOLS_LINT_LIBCLANG_FRONTEND_H
+#define DOPE_TOOLS_LINT_LIBCLANG_FRONTEND_H
+
+#include "Lexer.h"
+
+#include <string>
+#include <vector>
+
+namespace dopelint {
+
+/// True when this binary was built against libclang.
+bool libclangAvailable();
+
+/// Tokenizes \p Path through libclang using \p Args (the compile
+/// command's argv; may be empty). Returns false with \p Error set when
+/// libclang is unavailable or the parse fails — callers fall back to
+/// the built-in lexer.
+bool lexWithLibclang(const std::string &Path,
+                     const std::vector<std::string> &Args, LexOutput &Out,
+                     std::string &Error);
+
+} // namespace dopelint
+
+#endif // DOPE_TOOLS_LINT_LIBCLANG_FRONTEND_H
