@@ -39,6 +39,7 @@
 #include "apps/PipelineApps.h"
 #include "mechanisms/ServerNest.h"
 #include "mechanisms/WqtH.h"
+#include "sim/ChaosInvariants.h"
 #include "sim/ColocationSim.h"
 #include "sim/EventQueue.h"
 #include "sim/NestServerSim.h"
@@ -49,6 +50,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -224,6 +226,116 @@ double colocationItemsPerSec(double Duration, unsigned Contexts,
 }
 
 //===----------------------------------------------------------------------===//
+// Lease-protocol recovery metrics
+//===----------------------------------------------------------------------===//
+
+/// The chaos platform of bench/ext_chaos reduced to two gated numbers.
+/// Both are simulated-time quantities, so they are exactly reproducible
+/// and gate robustness regressions rather than machine speed:
+///   * TimeToRecoverSeconds — simulated seconds for a snapshot-restarted
+///     arbiter to re-converge to the uninterrupted run's allocation
+///     (lower is better; a regression means warm restart got slower).
+///   * AttainmentRetainedFraction — fraction of fault-free weighted SLO
+///     attainment the honest tenants keep while one byzantine reporter
+///     and one envelope violator share the platform (higher is better;
+///     a regression means containment got leakier).
+struct RecoveryNumbers {
+  double TimeToRecoverSeconds = -1.0;
+  double AttainmentRetainedFraction = -1.0;
+};
+
+RecoveryNumbers recoveryMetrics(double Duration, unsigned Contexts,
+                                uint64_t Seed) {
+  constexpr double EpochSeconds = 2.0;
+  constexpr double LeaseTtl = 5.0;
+
+  auto makeTenants = [] {
+    ColocationTenantSpec Front;
+    Front.Tenant.Name = "frontend";
+    Front.Tenant.Goal = TenantGoal::ResponseTime;
+    Front.Tenant.Weight = 2.0;
+    Front.Tenant.MinThreads = 4;
+    Front.Tenant.SloSeconds = 0.5;
+    Front.Kind = ColocationTenantSpec::AppKind::NestServer;
+    Front.Nest.Name = "frontend";
+    Front.Nest.SeqServiceSeconds = 0.05;
+    Front.Nest.Curve = SpeedupCurve(0.1, 0.2);
+    Front.ArrivalRate = 30.0;
+
+    auto batch = [](const std::string &Name, double Rate) {
+      ColocationTenantSpec T;
+      T.Tenant.Name = Name;
+      T.Tenant.Goal = TenantGoal::Throughput;
+      T.Tenant.Weight = 1.0;
+      T.Kind = ColocationTenantSpec::AppKind::Pipeline;
+      T.Pipeline.Name = Name;
+      T.Pipeline.Stages = {{"decode", true, 0.02, 0.15},
+                           {"work", true, 0.1, 0.15},
+                           {"sink", true, 0.03, 0.15}};
+      T.ArrivalRate = Rate;
+      return T;
+    };
+    return std::vector<ColocationTenantSpec>{Front, batch("batch", 120.0),
+                                             batch("miner", 80.0),
+                                             batch("indexer", 60.0)};
+  };
+
+  auto runOnce = [&](std::vector<ColocationTenantSpec> Tenants,
+                     const ArbiterOutage &Outage) {
+    ColocationSimOptions Opts;
+    Opts.Contexts = Contexts;
+    Opts.Seed = Seed;
+    Opts.DurationSeconds = Duration;
+    Opts.StepSeconds = 0.05;
+    Opts.WarmupSeconds = 4.0;
+    Opts.Policy = ColocationPolicy::Arbiter;
+    Opts.Arbiter.EpochSeconds = EpochSeconds;
+    Opts.Arbiter.LeaseTtlSeconds = LeaseTtl;
+    Opts.Outage = Outage;
+    ColocationSim Sim(std::move(Tenants), Opts);
+    return Sim.run();
+  };
+  auto onEpoch = [&](double T) {
+    return std::max(EpochSeconds,
+                    std::round(T / EpochSeconds) * EpochSeconds);
+  };
+
+  RecoveryNumbers Numbers;
+  const ColocationSimResult Baseline = runOnce(makeTenants(), {});
+
+  // Snapshot restart: kill mid-run, restore, measure re-convergence to
+  // within 5% of the platform against the uninterrupted timeline.
+  ArbiterOutage Outage;
+  Outage.KillSeconds = onEpoch(0.45 * Duration);
+  Outage.RestartSeconds = onEpoch(0.55 * Duration);
+  Outage.Mode = ArbiterOutage::RestartMode::Snapshot;
+  const ColocationSimResult Interrupted = runOnce(makeTenants(), Outage);
+  const unsigned Tolerance =
+      std::max(1u, static_cast<unsigned>(std::ceil(0.05 * Contexts)));
+  const RecoveryMetrics R = allocationRecovery(
+      Baseline, Interrupted, Outage.RestartSeconds, Tolerance);
+  // Rounds x epoch rather than the raw offset: recovery at the restart
+  // epoch itself would read 0.0, which the ratio gate cannot compare.
+  if (R.recovered())
+    Numbers.TimeToRecoverSeconds = R.RoundsToRecover * EpochSeconds;
+
+  // Containment: byzantine miner + envelope-violating indexer; compare
+  // the honest tenants' weighted attainment against the fault-free run.
+  std::vector<ColocationTenantSpec> Chaos = makeTenants();
+  Chaos[2].Misbehavior.ByzantineFromSeconds = onEpoch(0.125 * Duration);
+  Chaos[2].Misbehavior.ReportedRateFactor = 3.0;
+  Chaos[2].Misbehavior.NonMonotoneClock = true;
+  Chaos[3].Misbehavior.EnvelopeViolationThreads = 2;
+  const ColocationSimResult Contained = runOnce(std::move(Chaos), {});
+  const std::vector<std::string> Honest = {"frontend", "batch"};
+  const double FaultFree = weightedAttainmentOf(Baseline, Honest);
+  if (FaultFree > 0.0)
+    Numbers.AttainmentRetainedFraction =
+        weightedAttainmentOf(Contained, Honest) / FaultFree;
+  return Numbers;
+}
+
+//===----------------------------------------------------------------------===//
 // End-to-end harness timing
 //===----------------------------------------------------------------------===//
 
@@ -284,6 +396,11 @@ constexpr GatedMetric GatedMetrics[] = {
     {"sims.pipeline_items_per_sec", true},
     {"sims.nest_transactions_per_sec", true},
     {"sims.colocation_items_per_sec", true},
+    // Simulated-time robustness metrics (see recoveryMetrics): gated
+    // directionally like everything else, but deterministic, so any
+    // drift is a protocol change rather than machine noise.
+    {"recovery.time_to_recover_seconds", false},
+    {"recovery.attainment_retained_fraction", true},
     {"end_to_end.fig2_transcode_seconds", false},
     {"end_to_end.fig11_response_time_seconds", false},
 };
@@ -412,6 +529,15 @@ int main(int Argc, char **Argv) {
   Sims.set("colocation_items_per_sec", JsonValue(ColocationRate));
   Out.set("sims", std::move(Sims));
 
+  // Lease-protocol recovery (deterministic simulated-time metrics).
+  const double RecoveryDuration = Quick ? 80.0 : 160.0;
+  const RecoveryNumbers Rec = recoveryMetrics(RecoveryDuration, Contexts, Seed);
+  JsonValue Recovery = JsonValue::makeObject();
+  Recovery.set("time_to_recover_seconds", JsonValue(Rec.TimeToRecoverSeconds));
+  Recovery.set("attainment_retained_fraction",
+               JsonValue(Rec.AttainmentRetainedFraction));
+  Out.set("recovery", std::move(Recovery));
+
   // Tracing overhead: the identical nest run with a sink attached,
   // relative to the untraced run above; draining and JSONL export are
   // timed separately since they happen off the simulated hot path.
@@ -461,6 +587,10 @@ int main(int Argc, char **Argv) {
   T.addRow({"nest sim (transactions/s)", Table::formatDouble(NestRate, 0)});
   T.addRow(
       {"colocation sim (items/s)", Table::formatDouble(ColocationRate, 0)});
+  T.addRow({"arbiter recovery time (sim s)",
+            Table::formatDouble(Rec.TimeToRecoverSeconds, 2)});
+  T.addRow({"attainment retained (fraction)",
+            Table::formatDouble(Rec.AttainmentRetainedFraction, 3)});
   T.addRow({"tracing run overhead", Table::formatDouble(TracingOverhead, 3)});
   T.addRow({"trace export (s)", Table::formatDouble(ExportSec, 4)});
   if (Fig2Sec >= 0.0)

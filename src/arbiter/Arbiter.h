@@ -37,9 +37,11 @@
 #ifndef DOPE_ARBITER_ARBITER_H
 #define DOPE_ARBITER_ARBITER_H
 
+#include "arbiter/ComplianceMonitor.h"
 #include "arbiter/Lease.h"
 #include "arbiter/Tenant.h"
 #include "arbiter/UtilityEstimator.h"
+#include "support/Json.h"
 #include "support/ThreadAnnotations.h"
 #include "support/Trace.h"
 
@@ -83,7 +85,20 @@ struct ArbiterOptions {
   /// offered load — spare threads flow to tenants that can use them.
   double IdleBidDiscount = 0.05;
 
-  /// Optional sink for LeaseGrant / LeaseRevoke / TenantUtility records.
+  /// Lease time-to-live in seconds; 0 disables expiry. When set, a
+  /// tenant whose last heartbeat (sample report) is at least this old at
+  /// a rebalance call has its lease expired deterministically: the
+  /// threads return to the pool (traced as LeaseExpire, change reason
+  /// "expire") and the pool is re-split immediately. A fresh heartbeat
+  /// revives the tenant at the next rebalance. The TTL clock starts at
+  /// admission, so a tenant that joins and never reports still expires.
+  double LeaseTtlSeconds = 0.0;
+
+  /// Misbehavior detection and escalation (see ComplianceMonitor).
+  ComplianceOptions Compliance;
+
+  /// Optional sink for LeaseGrant / LeaseRevoke / LeaseExpire /
+  /// Heartbeat / ComplianceVerdict / TenantUtility records.
   Tracer *Trace = nullptr;
 };
 
@@ -131,15 +146,57 @@ public:
   /// rebalance (diagnostic; 0 before any rebalance).
   double lastBidOf(TenantId Id) const;
 
+  /// Liveness / containment diagnostics (tests and hosts).
+  bool isExpired(TenantId Id) const;
+  bool isEvicted(TenantId Id) const;
+  double lastHeartbeatOf(TenantId Id) const;
+  CompliancePenalty penaltyOf(TenantId Id) const;
+  double complianceScoreOf(TenantId Id) const;
+
+  /// Serializes the full arbiter state — tenant specs, grants, heartbeat
+  /// and compliance ledgers, and every smoothed utility observation — as
+  /// a JSON object (schema "dope-arbiter-snapshot-v1"). A restarted
+  /// arbiter restored from a snapshot makes the same decisions the dead
+  /// one would have.
+  JsonValue snapshot() const;
+
+  /// Rebuilds state from snapshot(); replaces all current tenants.
+  /// Returns false (leaving the arbiter untouched) on schema mismatch or
+  /// a malformed document.
+  bool restore(const JsonValue &Snapshot);
+
+  /// Cold-start alternative to restore(): replays a recorded trace
+  /// journal into the current tenant set (matched by tenant name).
+  /// Saturated Heartbeat records re-teach each tenant's utility curve;
+  /// lease records re-align Granted with what tenants actually hold, so
+  /// the first post-restart rebalance starts from the real allocation
+  /// instead of an equal split. Records naming no seated tenant (e.g. a
+  /// Dope executive's "envelope" lease events) are skipped. Returns the
+  /// number of records applied.
+  size_t warmStart(const std::vector<TraceRecord> &Journal);
+
 private:
   struct TenantState {
     TenantId Id = 0;
     TenantSpec Spec;
     UtilityEstimator Estimator;
+    ComplianceMonitor Monitor;
     unsigned Granted = 0;
     TenantSample LastSample;
     bool HasSample = false;
     double LastBid = 0.0;
+    /// Last proof of liveness (sample report time; admission time until
+    /// the first report).
+    double LastHeartbeat = 0.0;
+    /// Lease expired by TTL; excluded from the water-fill until a fresh
+    /// heartbeat revives it.
+    bool Expired = false;
+    /// Evicted for repeated non-compliance; terminal.
+    bool Evicted = false;
+    /// When this tenant's grant last changed — compliance checks skip
+    /// sample windows spanning a lease change (the tenant legitimately
+    /// held different counts within one window).
+    double LastLeaseChange = -1.0;
   };
 
   /// Marginal bid of tenant \p T for thread number \p Have + 1.
@@ -161,7 +218,24 @@ private:
                                  double Now, const char *Reason)
       DOPE_REQUIRES(Mutex);
 
+  /// True when the tenant participates in the water-fill (not expired,
+  /// not evicted).
+  static bool seated(const TenantState &T) {
+    return !T.Expired && !T.Evicted;
+  }
+
+  /// Flags a violation on \p T and traces the verdict.
+  void flagViolation(TenantState &T, ComplianceViolation V, double Now)
+      DOPE_REQUIRES(Mutex);
+
+  /// TTL-expires dead leases and latches evictions; appends the zeroing
+  /// changes to \p Changes and returns true when the pool must re-split
+  /// immediately (bypassing the epoch gate and hysteresis).
+  bool expireAndEvict(double Now, std::vector<LeaseChange> &Changes)
+      DOPE_REQUIRES(Mutex);
+
   const TenantState &stateOf(TenantId Id) const DOPE_REQUIRES(Mutex);
+  TenantState &stateOfMut(TenantId Id) DOPE_REQUIRES(Mutex);
 
   ArbiterOptions Opts;
   // Hosts drive the arbiter from several threads (each tenant's epoch
@@ -173,6 +247,11 @@ private:
   TenantId NextId DOPE_GUARDED_BY(Mutex) = 1;
   double LastRebalance DOPE_GUARDED_BY(Mutex) = 0.0;
   bool EverRebalanced DOPE_GUARDED_BY(Mutex) = false;
+  /// The next rebalance() call must re-split regardless of the epoch
+  /// gate (set by expiry, eviction, and revival).
+  bool ForceRebalance DOPE_GUARDED_BY(Mutex) = false;
+  /// Reason label for a forced re-split ("revive", "rebalance", ...).
+  const char *ForceReason DOPE_GUARDED_BY(Mutex) = "rebalance";
 };
 
 } // namespace dope

@@ -1,0 +1,72 @@
+//===- arbiter/ComplianceMonitor.cpp - Misbehaving-tenant containment -----===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "arbiter/ComplianceMonitor.h"
+
+#include <algorithm>
+
+using namespace dope;
+
+const char *dope::toString(ComplianceViolation V) {
+  switch (V) {
+  case ComplianceViolation::EnvelopeExceeded:
+    return "envelope-exceeded";
+  case ComplianceViolation::NonMonotoneClock:
+    return "non-monotone-clock";
+  case ComplianceViolation::FutureClock:
+    return "future-clock";
+  case ComplianceViolation::ImplausibleThroughput:
+    return "implausible-throughput";
+  }
+  return "unknown";
+}
+
+const char *dope::toString(CompliancePenalty P) {
+  switch (P) {
+  case CompliancePenalty::None:
+    return "none";
+  case CompliancePenalty::BidDiscount:
+    return "bid-discount";
+  case CompliancePenalty::LeaseClamp:
+    return "lease-clamp";
+  case CompliancePenalty::Evict:
+    return "evict";
+  }
+  return "unknown";
+}
+
+double ComplianceMonitor::flag(ComplianceViolation V) {
+  (void)V; // all classes weigh the same; severity lives in the ladder
+  Score += 1.0;
+  ++Violations;
+  ViolatedSinceTick = true;
+  return Score;
+}
+
+void ComplianceMonitor::epochTick() {
+  if (!ViolatedSinceTick)
+    Score = std::max(0.0, Score - Opts.ScoreDecayPerEpoch);
+  ViolatedSinceTick = false;
+}
+
+CompliancePenalty ComplianceMonitor::penalty() const {
+  if (!Opts.Enabled)
+    return CompliancePenalty::None;
+  if (Score >= Opts.EvictThreshold)
+    return CompliancePenalty::Evict;
+  if (Score >= Opts.ClampThreshold)
+    return CompliancePenalty::LeaseClamp;
+  if (Score >= Opts.DiscountThreshold)
+    return CompliancePenalty::BidDiscount;
+  return CompliancePenalty::None;
+}
+
+void ComplianceMonitor::restoreScore(double NewScore, uint64_t NewViolations) {
+  Score = std::max(0.0, NewScore);
+  Violations = NewViolations;
+  ViolatedSinceTick = false;
+}

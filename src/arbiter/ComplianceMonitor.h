@@ -1,0 +1,132 @@
+//===- arbiter/ComplianceMonitor.h - Misbehaving-tenant containment -*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-tenant misbehavior accounting. The arbiter trusts tenant
+/// telemetry by construction — samples drive the utility curves that
+/// drive the water-fill — so one byzantine or greedy tenant could starve
+/// everyone else. The monitor turns each detected violation (running
+/// above the granted envelope, non-monotone or future-dated sample
+/// clocks, throughput outside the fitted curve's confidence band) into a
+/// score, decays the score while the tenant behaves, and maps the score
+/// onto an escalation ladder:
+///
+///   None -> BidDiscount -> LeaseClamp -> Evict
+///
+/// The ladder is deliberately forgiving at the bottom (a single noisy
+/// window decays away) and terminal at the top (eviction latches in the
+/// arbiter; a tenant that earned it re-joins only through operator
+/// action). The monitor itself is pure bookkeeping — deterministic,
+/// no clock, no RNG — so arbiter decisions stay replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_ARBITER_COMPLIANCEMONITOR_H
+#define DOPE_ARBITER_COMPLIANCEMONITOR_H
+
+#include <cstdint>
+
+namespace dope {
+
+/// Tuning for misbehavior detection and escalation.
+struct ComplianceOptions {
+  /// Master switch; disabled monitors never flag and never penalize.
+  bool Enabled = true;
+
+  /// A saturated window is implausible when its throughput exceeds
+  /// PlausibleRateFactor * predicted + 3 * fit RMSE. Factor 2 tolerates
+  /// honest transients (bursty drains, curve lag) while catching a
+  /// tenant inflating its rate to win bids.
+  double PlausibleRateFactor = 2.0;
+
+  /// Confidence bands need an established curve: plausibility is only
+  /// checked once the estimator spans this many distinct thread counts.
+  unsigned MinExtentsForBand = 3;
+
+  /// Score at which the tenant's bids are discounted.
+  double DiscountThreshold = 2.0;
+
+  /// Score at which the tenant's lease is clamped to its floor.
+  double ClampThreshold = 4.0;
+
+  /// Score at which the tenant is evicted (latched by the arbiter).
+  double EvictThreshold = 6.0;
+
+  /// Multiplier applied to a penalized tenant's bids (including its
+  /// defend bid): repeated non-compliance makes greed expensive.
+  double BidDiscount = 0.25;
+
+  /// Score subtracted per clean epoch — good behavior walks a tenant
+  /// back down the ladder (eviction excepted).
+  double ScoreDecayPerEpoch = 0.25;
+};
+
+/// Violation classes the arbiter can detect from telemetry alone.
+enum class ComplianceViolation : uint8_t {
+  /// Sample reports more threads in use than the lease grants.
+  EnvelopeExceeded,
+  /// Sample timestamp not after the previous sample's.
+  NonMonotoneClock,
+  /// Sample timestamp ahead of the arbiter's clock by more than an
+  /// epoch — a forged heartbeat that would fake liveness forever.
+  FutureClock,
+  /// Saturated-window throughput outside the fitted curve's band.
+  ImplausibleThroughput,
+};
+
+/// Escalation rungs, ordered by severity.
+enum class CompliancePenalty : uint8_t {
+  None = 0,
+  BidDiscount = 1,
+  LeaseClamp = 2,
+  Evict = 3,
+};
+
+const char *toString(ComplianceViolation V);
+const char *toString(CompliancePenalty P);
+
+/// True when \p P is at least as severe as \p Rung.
+inline bool penaltyAtLeast(CompliancePenalty P, CompliancePenalty Rung) {
+  return static_cast<uint8_t>(P) >= static_cast<uint8_t>(Rung);
+}
+
+/// One tenant's misbehavior ledger.
+class ComplianceMonitor {
+public:
+  ComplianceMonitor() = default;
+  explicit ComplianceMonitor(const ComplianceOptions &Opts) : Opts(Opts) {}
+
+  /// Records one violation; returns the updated score.
+  double flag(ComplianceViolation V);
+
+  /// Epoch boundary: decays the score when no violation landed since the
+  /// previous tick (good behavior is forgiven; eviction is not — the
+  /// arbiter latches it before ticking).
+  void epochTick();
+
+  /// Accumulated misbehavior score.
+  double score() const { return Score; }
+
+  /// Current rung for the accumulated score.
+  CompliancePenalty penalty() const;
+
+  /// Total violations ever flagged.
+  uint64_t violationCount() const { return Violations; }
+
+  /// Restores the ledger from a snapshot.
+  void restoreScore(double NewScore, uint64_t NewViolations);
+
+private:
+  ComplianceOptions Opts;
+  double Score = 0.0;
+  uint64_t Violations = 0;
+  bool ViolatedSinceTick = false;
+};
+
+} // namespace dope
+
+#endif // DOPE_ARBITER_COMPLIANCEMONITOR_H

@@ -22,6 +22,13 @@ void UtilityEstimator::observe(unsigned Threads, double Rate) {
   Dirty = true;
 }
 
+void UtilityEstimator::setObservation(unsigned Threads, double Rate) {
+  if (Threads == 0 || Rate <= 0.0)
+    return;
+  Observed[Threads] = Rate;
+  Dirty = true;
+}
+
 const SpeedupCurveFit &UtilityEstimator::fit() const {
   if (Dirty) {
     std::vector<SpeedupSample> Samples;

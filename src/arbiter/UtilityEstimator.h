@@ -59,6 +59,15 @@ public:
   /// Distinct thread counts observed so far.
   size_t distinctExtents() const { return Observed.size(); }
 
+  /// The smoothed (threads -> rate) table itself — what a snapshot
+  /// persists and a warm restart restores.
+  const std::map<unsigned, double> &observations() const { return Observed; }
+
+  /// Restores one smoothed observation verbatim (no EMA blending), as
+  /// read back from a snapshot. Zero threads / non-positive rates are
+  /// ignored, mirroring observe().
+  void setObservation(unsigned Threads, double Rate);
+
   /// Drop all history (e.g. after a phase change the caller detects).
   void reset();
 

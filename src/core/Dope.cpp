@@ -168,6 +168,9 @@ Dope::Dope(ParDescriptor *Root, DopeOptions Opts)
   assert(Root && "root region required");
   assert(Options.MaxThreads >= 1 && "need at least one thread");
   Envelope.store(Options.MaxThreads, std::memory_order_release);
+  // The full-machine envelope an executive starts with counts as
+  // granted now; the TTL clock (when enabled) starts here.
+  EnvelopeRenewedAt.store(monotonicSeconds(), std::memory_order_release);
 
   if (Options.InitialConfig.Tasks.empty())
     ActiveConfig = defaultConfig(*Root);
@@ -222,8 +225,15 @@ unsigned Dope::liveThreads() const {
   return Lost >= Env ? 1u : Env - Lost;
 }
 
+void Dope::renewThreadEnvelope() {
+  EnvelopeRenewedAt.store(monotonicSeconds(), std::memory_order_release);
+}
+
 void Dope::setThreadEnvelope(unsigned Threads) {
   const unsigned New = std::clamp(Threads, 1u, Options.MaxThreads);
+  // Any envelope message from the arbiter — including a re-grant of the
+  // current value — proves the arbiter is alive and renews the lease.
+  renewThreadEnvelope();
   const unsigned Old = Envelope.exchange(New, std::memory_order_acq_rel);
   if (New == Old)
     return;
@@ -696,6 +706,31 @@ void Dope::runController() {
     sleepSeconds(Options.MonitorIntervalSeconds);
     if (Finished.load(std::memory_order_acquire))
       break;
+
+    // Envelope lease TTL: an arbiter that stopped renewing may be dead
+    // or partitioned — treat the unrenewed envelope as expired and
+    // shrink gracefully to the self-preservation floor through the
+    // ordinary quiesce path (setThreadEnvelope suspends the epoch if the
+    // active footprint exceeds the floor; nothing is killed). The shrink
+    // itself renews the lease timestamp, so expiry fires once; a later
+    // renewal or re-grant restores the wider ceiling.
+    if (Options.EnvelopeTtlSeconds > 0.0) {
+      const unsigned Floor =
+          std::clamp(Options.EnvelopeExpireFloor, 1u, Options.MaxThreads);
+      const double Renewed =
+          EnvelopeRenewedAt.load(std::memory_order_acquire);
+      if (threadEnvelope() > Floor &&
+          monotonicSeconds() >= Renewed + Options.EnvelopeTtlSeconds) {
+        if (Trace)
+          Trace->record(TraceKind::LeaseExpire, "envelope",
+                        static_cast<double>(Floor),
+                        static_cast<double>(threadEnvelope()), "ttl");
+        DOPE_LOG_WARN("thread envelope lease expired (no renewal in %.3fs); "
+                      "shrinking %u -> %u",
+                      Options.EnvelopeTtlSeconds, threadEnvelope(), Floor);
+        setThreadEnvelope(Floor);
+      }
+    }
 
     // Sample application load features.
     std::vector<const Task *> AllTasks;

@@ -205,6 +205,21 @@ struct DopeOptions {
   /// deadlocking. Must exceed the pipeline's worst-case drain time.
   /// 0 (the default) disables the watchdog.
   double QuiesceDeadlineSeconds = 0.0;
+
+  /// Thread-envelope lease TTL in seconds; 0 (the default) disables
+  /// expiry. When set, the envelope granted by setThreadEnvelope must be
+  /// renewed (another setThreadEnvelope or renewThreadEnvelope call)
+  /// within this long; an unrenewed envelope is treated as an expired
+  /// lease — the arbiter that granted it may be dead or partitioned —
+  /// and the executive gracefully shrinks to EnvelopeExpireFloor
+  /// through the ordinary quiesce path (traced as LeaseExpire). No task
+  /// is killed; a later renewal grows the envelope again.
+  double EnvelopeTtlSeconds = 0.0;
+
+  /// Envelope an expired lease shrinks to (clamped to [1, MaxThreads]):
+  /// the self-preservation floor the executive assumes it may keep
+  /// without a live arbiter.
+  unsigned EnvelopeExpireFloor = 1;
 };
 
 /// The executive. One instance manages one root parallel region.
@@ -305,6 +320,12 @@ public:
     return Envelope.load(std::memory_order_acquire);
   }
 
+  /// Renews the envelope lease without changing it — a heartbeat from
+  /// the granting arbiter. Only meaningful with
+  /// DopeOptions::EnvelopeTtlSeconds > 0 (setThreadEnvelope also
+  /// renews). Thread-safe.
+  void renewThreadEnvelope();
+
   /// Contexts still usable for planning: the thread envelope minus
   /// threads wedged inside abandoned replicas. Exported as the
   /// "LiveContexts" feature, so mechanisms sizing configurations with
@@ -383,6 +404,10 @@ private:
   std::atomic<bool> SuspendFlag{false};
   /// Runtime thread envelope in [1, MaxThreads]; see setThreadEnvelope.
   std::atomic<unsigned> Envelope{1};
+  /// monotonicSeconds() of the last envelope grant or renewal; the
+  /// controller expires the lease when EnvelopeTtlSeconds lapse without
+  /// one.
+  std::atomic<double> EnvelopeRenewedAt{0.0};
   std::atomic<bool> StopFlag{false};
   std::atomic<bool> FailFlag{false};
   std::atomic<bool> Finished{false};

@@ -90,6 +90,16 @@ void dope::writeFeatureStream(const FeatureStream &Stream, std::ostream &OS) {
   }
 }
 
+/// True when no non-empty line remains in \p IS — a parse failure on the
+/// previous line was the file's torn tail, not interior corruption.
+static bool atTornTail(std::istream &IS) {
+  std::string Rest;
+  while (std::getline(IS, Rest))
+    if (!Rest.empty())
+      return false;
+  return true;
+}
+
 static bool parseStages(const JsonValue *A,
                         std::vector<ReplayStageSpec> &Out) {
   if (!A)
@@ -109,12 +119,15 @@ static bool parseStages(const JsonValue *A,
 }
 
 std::optional<FeatureStream> dope::readFeatureStream(std::istream &IS,
-                                                     std::string *Error) {
+                                                     std::string *Error,
+                                                     bool *TornTail) {
   auto Fail = [&](const std::string &Message) -> std::optional<FeatureStream> {
     if (Error)
       *Error = Message;
     return std::nullopt;
   };
+  if (TornTail)
+    *TornTail = false;
 
   FeatureStream Stream;
   std::string Line;
@@ -126,9 +139,18 @@ std::optional<FeatureStream> dope::readFeatureStream(std::istream &IS,
       continue;
     std::string ParseError;
     std::optional<JsonValue> V = JsonValue::parse(Line, &ParseError);
-    if (!V || !V->isObject())
+    if (!V || !V->isObject()) {
+      // A crash mid-write leaves a truncated last record; keep the
+      // intact prefix rather than failing the whole stream. The header
+      // must still parse — a torn header is an empty stream.
+      if (SawHeader && atTornTail(IS)) {
+        if (TornTail)
+          *TornTail = true;
+        break;
+      }
       return Fail("line " + std::to_string(LineNo) + ": " +
                   (ParseError.empty() ? "not an object" : ParseError));
+    }
 
     if (!SawHeader) {
       SawHeader = true;
@@ -196,7 +218,9 @@ void dope::writeDecisions(const std::vector<ReplayDecision> &Decisions,
 }
 
 std::optional<std::vector<ReplayDecision>>
-dope::readDecisions(std::istream &IS, std::string *Error) {
+dope::readDecisions(std::istream &IS, std::string *Error, bool *TornTail) {
+  if (TornTail)
+    *TornTail = false;
   std::vector<ReplayDecision> Out;
   std::string Line;
   size_t LineNo = 0;
@@ -207,6 +231,11 @@ dope::readDecisions(std::istream &IS, std::string *Error) {
     std::string ParseError;
     std::optional<JsonValue> V = JsonValue::parse(Line, &ParseError);
     if (!V || !V->isObject()) {
+      if (atTornTail(IS)) {
+        if (TornTail)
+          *TornTail = true;
+        break;
+      }
       if (Error)
         *Error = "line " + std::to_string(LineNo) + ": " +
                  (ParseError.empty() ? "not an object" : ParseError);

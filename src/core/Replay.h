@@ -116,9 +116,13 @@ struct FeatureStream {
 void writeFeatureStream(const FeatureStream &Stream, std::ostream &OS);
 
 /// Reads a stream written by writeFeatureStream; std::nullopt + \p Error
-/// on malformed input.
+/// on malformed input. A malformed *final* record is tolerated as a torn
+/// tail — the writer died mid-line — and the intact prefix is returned,
+/// with \p TornTail (when provided) set so callers can report it;
+/// corruption anywhere earlier still fails the whole read.
 std::optional<FeatureStream> readFeatureStream(std::istream &IS,
-                                               std::string *Error = nullptr);
+                                               std::string *Error = nullptr,
+                                               bool *TornTail = nullptr);
 
 /// One accepted reconfiguration during a replay.
 struct ReplayDecision {
@@ -147,9 +151,12 @@ struct ReplayDecision {
 void writeDecisions(const std::vector<ReplayDecision> &Decisions,
                     std::ostream &OS);
 
-/// Reads decisions written by writeDecisions.
+/// Reads decisions written by writeDecisions. Like readFeatureStream, a
+/// torn final line is tolerated (\p TornTail reports it); earlier
+/// corruption fails the read.
 std::optional<std::vector<ReplayDecision>>
-readDecisions(std::istream &IS, std::string *Error = nullptr);
+readDecisions(std::istream &IS, std::string *Error = nullptr,
+              bool *TornTail = nullptr);
 
 /// Compares an actual decision sequence against an expected (golden) one.
 /// Returns std::nullopt on an exact match, otherwise a readable report

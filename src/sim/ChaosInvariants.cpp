@@ -1,0 +1,207 @@
+//===- sim/ChaosInvariants.cpp - Lease protocol invariant checker --------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ChaosInvariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+using namespace dope;
+
+namespace {
+
+bool isLeaseKind(TraceKind K) {
+  return K == TraceKind::LeaseGrant || K == TraceKind::LeaseRevoke ||
+         K == TraceKind::LeaseExpire;
+}
+
+std::string describeHolders(const std::map<std::string, unsigned> &Held) {
+  std::ostringstream OS;
+  bool First = true;
+  for (const auto &[Name, Threads] : Held) {
+    if (Threads == 0)
+      continue;
+    if (!First)
+      OS << " ";
+    OS << Name << "=" << Threads;
+    First = false;
+  }
+  return OS.str();
+}
+
+} // namespace
+
+ChaosInvariantReport
+dope::checkChaosInvariants(const std::vector<TraceRecord> &Journal,
+                           const ChaosInvariantOptions &Opts) {
+  ChaosInvariantReport Report;
+
+  // Threads each tenant holds per the journal, and its last proof of
+  // liveness (a heartbeat, or presence at a registration grant).
+  std::map<std::string, unsigned> Held;
+  std::map<std::string, double> LastAlive;
+
+  auto violate = [&](const char *Invariant, double Time, size_t Index,
+                     std::string Message) {
+    ChaosViolation V;
+    V.Invariant = Invariant;
+    V.Time = Time;
+    V.RecordIndex = Index;
+    V.Message = std::move(Message);
+    Report.Violations.push_back(std::move(V));
+  };
+
+  // End-of-decision-batch hook: once the batch of lease decisions at
+  // one timestamp has fully landed, no tenant silent for a whole TTL
+  // may still hold threads. (Checked only at batches that contain a
+  // lease record — while the arbiter is down nobody *can* revoke, and
+  // the protocol only promises expiry at the next decision.)
+  auto checkZombies = [&](double BatchTime, size_t Index) {
+    if (Opts.LeaseTtlSeconds <= 0.0)
+      return;
+    for (const auto &[Name, Threads] : Held) {
+      if (Threads == 0)
+        continue;
+      auto It = LastAlive.find(Name);
+      const double Alive = It == LastAlive.end() ? 0.0 : It->second;
+      if (BatchTime >= Alive + Opts.LeaseTtlSeconds + 1e-9) {
+        std::ostringstream OS;
+        OS << Name << " still holds " << Threads << " threads at t="
+           << BatchTime << " though last alive at t=" << Alive << " (ttl "
+           << Opts.LeaseTtlSeconds << ")";
+        violate("zombie-lease", BatchTime, Index, OS.str());
+      }
+    }
+  };
+
+  double BatchTime = 0.0;
+  bool BatchHasLease = false;
+  bool BatchSawGrant = false;
+  size_t BatchEndIndex = 0;
+
+  auto closeBatch = [&]() {
+    if (BatchHasLease)
+      checkZombies(BatchTime, BatchEndIndex);
+    BatchHasLease = false;
+    BatchSawGrant = false;
+  };
+
+  bool InBatch = false;
+  for (size_t I = 0; I != Journal.size(); ++I) {
+    const TraceRecord &R = Journal[I];
+    if (!InBatch || std::abs(R.Time - BatchTime) > 1e-9) {
+      closeBatch();
+      BatchTime = R.Time;
+      InBatch = true;
+    }
+    BatchEndIndex = I;
+
+    if (R.Kind == TraceKind::Heartbeat) {
+      ++Report.HeartbeatRecords;
+      auto &Alive = LastAlive[R.Name];
+      Alive = std::max(Alive, R.Time);
+      continue;
+    }
+    if (!isLeaseKind(R.Kind))
+      continue;
+
+    ++Report.LeaseRecords;
+    BatchHasLease = true;
+    const unsigned New = static_cast<unsigned>(std::lround(std::max(0.0, R.A)));
+    const unsigned Old = Held[R.Name];
+    Held[R.Name] = New;
+    if (R.Detail == "join" && New > 0) {
+      // Registering is a control-plane action only a live tenant takes.
+      auto &Alive = LastAlive[R.Name];
+      Alive = std::max(Alive, R.Time);
+    }
+
+    // Revoke-before-grant within one decision batch: a host applying
+    // the batch in order must never transiently overcommit. Initial
+    // seating ("join") is grants-only by construction and exempt.
+    if (R.Detail != "join") {
+      if (New > Old) {
+        BatchSawGrant = true;
+      } else if (New < Old && BatchSawGrant) {
+        std::ostringstream OS;
+        OS << "revocation of " << R.Name << " (" << Old << " -> " << New
+           << ") ordered after a grant in the t=" << R.Time << " batch";
+        violate("revoke-order", R.Time, I, OS.str());
+      }
+    }
+
+    unsigned Total = 0;
+    for (const auto &[Name, Threads] : Held)
+      Total += Threads;
+    if (Total > Opts.PlatformThreads) {
+      std::ostringstream OS;
+      OS << "leases sum to " << Total << " > budget " << Opts.PlatformThreads
+         << " after record " << I << " (" << describeHolders(Held) << ")";
+      violate("budget", R.Time, I, OS.str());
+    }
+  }
+  closeBatch();
+
+  return Report;
+}
+
+RecoveryMetrics dope::allocationRecovery(const ColocationSimResult &Baseline,
+                                         const ColocationSimResult &Chaos,
+                                         double RestartSeconds,
+                                         unsigned ToleranceThreads) {
+  RecoveryMetrics R;
+  const auto &B = Baseline.AllocationTimeline;
+  const auto &C = Chaos.AllocationTimeline;
+  size_t I = 0, J = 0;
+  while (I < B.size() && B[I].Time < RestartSeconds - 1e-9)
+    ++I;
+  while (J < C.size() && C[J].Time < RestartSeconds - 1e-9)
+    ++J;
+
+  int Round = 0;
+  int FirstOk = -1;
+  double FirstOkTime = -1.0;
+  for (; I < B.size() && J < C.size(); ++I, ++J) {
+    ++Round; // the restart epoch's own allocation is round 1
+    unsigned Dist = 0;
+    const size_t K = std::min(B[I].Granted.size(), C[J].Granted.size());
+    for (size_t T = 0; T != K; ++T) {
+      const unsigned A = B[I].Granted[T];
+      const unsigned Z = C[J].Granted[T];
+      Dist += A > Z ? A - Z : Z - A;
+    }
+    R.FinalDistance = Dist;
+    if (Dist <= ToleranceThreads) {
+      if (FirstOk < 0) {
+        FirstOk = Round;
+        FirstOkTime = C[J].Time;
+      }
+    } else {
+      // Recovery must be sticky: diverging again resets the clock.
+      FirstOk = -1;
+    }
+  }
+  if (FirstOk >= 0) {
+    R.RoundsToRecover = FirstOk;
+    R.TimeToRecoverSeconds = FirstOkTime - RestartSeconds;
+  }
+  return R;
+}
+
+double
+dope::weightedAttainmentOf(const ColocationSimResult &Result,
+                           const std::vector<std::string> &Tenants) {
+  double Sum = 0.0;
+  for (const TenantStats &T : Result.Tenants) {
+    if (std::find(Tenants.begin(), Tenants.end(), T.Name) == Tenants.end())
+      continue;
+    Sum += T.Weight * T.goalAttainment();
+  }
+  return Sum;
+}

@@ -1,0 +1,103 @@
+//===- sim/ChaosInvariants.h - Lease protocol invariant checker -*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline checker for the arbiter lease protocol, run over a
+/// ColocationSimResult::ProtocolJournal after a chaos schedule. It
+/// asserts the safety properties the hardened protocol promises no
+/// matter which party misbehaved or died:
+///
+///  1. Budget: after every journaled lease record, the sum of threads
+///     held across tenants never exceeds the platform budget.
+///  2. Revoke-before-grant: within one decision batch (records sharing
+///     a timestamp and a reason other than "join"), no grant precedes a
+///     revocation — a host applying the batch in order must never
+///     transiently overcommit.
+///  3. No zombie leases: a tenant that has been silent for a full TTL
+///     holds no threads once any post-deadline decision lands.
+///
+/// Plus the recovery metrics the chaos bench gates on: how fast an
+/// interrupted run's allocation re-converges to the uninterrupted one,
+/// and what fraction of fault-free attainment the well-behaved tenants
+/// kept while a chaos schedule ran.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SIM_CHAOSINVARIANTS_H
+#define DOPE_SIM_CHAOSINVARIANTS_H
+
+#include "sim/ColocationSim.h"
+#include "support/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace dope {
+
+struct ChaosInvariantOptions {
+  /// Platform thread budget leases must stay within.
+  unsigned PlatformThreads = 24;
+
+  /// Lease TTL used by the run; <= 0 disables the zombie-lease check.
+  double LeaseTtlSeconds = 0.0;
+};
+
+/// One invariant violation, tied to the journal record that exposed it.
+struct ChaosViolation {
+  std::string Invariant; // "budget", "revoke-order", "zombie-lease"
+  double Time = 0.0;
+  size_t RecordIndex = 0;
+  std::string Message;
+};
+
+struct ChaosInvariantReport {
+  std::vector<ChaosViolation> Violations;
+  uint64_t LeaseRecords = 0;
+  uint64_t HeartbeatRecords = 0;
+  bool ok() const { return Violations.empty(); }
+};
+
+/// Checks the protocol invariants over a host journal (time-ordered, as
+/// ColocationSim emits it).
+ChaosInvariantReport
+checkChaosInvariants(const std::vector<TraceRecord> &Journal,
+                     const ChaosInvariantOptions &Opts);
+
+/// How an interrupted run's allocation re-converged to the baseline's.
+struct RecoveryMetrics {
+  /// Epoch rounds after the restart until the summed per-tenant
+  /// allocation distance first drops within tolerance; -1 if never.
+  int RoundsToRecover = -1;
+
+  /// Seconds from the restart to that epoch; -1 if never recovered.
+  double TimeToRecoverSeconds = -1.0;
+
+  /// Allocation distance sum |granted_i - baseline_i| at the final
+  /// compared epoch.
+  unsigned FinalDistance = 0;
+
+  bool recovered() const { return RoundsToRecover >= 0; }
+};
+
+/// Diffs the chaos run's AllocationTimeline against the uninterrupted
+/// baseline's, starting at the first epoch at or after \p RestartSeconds;
+/// recovery means summed per-tenant distance <= \p ToleranceThreads and
+/// staying there for the remainder of both timelines.
+RecoveryMetrics allocationRecovery(const ColocationSimResult &Baseline,
+                                   const ColocationSimResult &Chaos,
+                                   double RestartSeconds,
+                                   unsigned ToleranceThreads);
+
+/// Sum of weight * SLO attainment over the named tenants — the
+/// containment floor compares this between a fault-free and a chaos run
+/// for the tenants that behaved.
+double weightedAttainmentOf(const ColocationSimResult &Result,
+                            const std::vector<std::string> &Tenants);
+
+} // namespace dope
+
+#endif // DOPE_SIM_CHAOSINVARIANTS_H

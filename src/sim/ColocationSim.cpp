@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include "support/RingDeque.h"
 
 using namespace dope;
@@ -111,6 +112,12 @@ struct TenantRuntime {
   uint64_t WindowCompleted = 0;
   std::vector<double> WindowResponses;
 
+  // Chaos state.
+  bool Crashed = false;   // process died; never comes back
+  bool Evicted = false;   // containment killed it; never comes back
+  bool SelfFloor = false; // lease expired while alive: serving at floor
+  uint64_t EpochIndex = 0;
+
   TenantStats Stats;
 
   // Cached per-(policy, lease) capacity/latency.
@@ -166,7 +173,10 @@ ColocationSimResult ColocationSim::run() {
   ArbiterOptions ArbOpts = Opts.Arbiter;
   ArbOpts.TotalThreads = Opts.Contexts;
   ArbOpts.Trace = Trace;
-  Arbiter Arb(ArbOpts);
+  // Behind a pointer so chaos runs can kill and restart it mid-run.
+  std::unique_ptr<Arbiter> Arb;
+  if (Opts.Policy == ColocationPolicy::Arbiter)
+    Arb = std::make_unique<Arbiter>(ArbOpts);
 
   // Contention model for the oversubscribed baseline: every tenant
   // spawns for the whole machine, so N * Contexts runnable threads
@@ -174,7 +184,47 @@ ColocationSimResult ColocationSim::run() {
   const double OversubFactor =
       1.0 + Opts.OversubPenalty * (static_cast<double>(N) - 1.0);
 
+  ColocationSimResult Result;
+  std::vector<TraceRecord> &Journal = Result.ProtocolJournal;
+  auto JournalRecord = [&Journal](double Time, TraceKind Kind,
+                                  const std::string &Name, double A, double B,
+                                  std::string Detail) {
+    TraceRecord R;
+    R.Time = Time;
+    R.Kind = Kind;
+    R.Name = Name;
+    R.A = A;
+    R.B = B;
+    R.Detail = std::move(Detail);
+    Journal.push_back(std::move(R));
+  };
+
   std::vector<TenantRuntime> Run(N);
+
+  // Threads the tenant actually occupies right now: zero once dead or
+  // evicted; the self-preservation floor while its lease is expired but
+  // the process lives; its violation surplus on top of any live lease.
+  auto usedThreads = [](const TenantRuntime &T) -> unsigned {
+    if (T.Crashed || T.Evicted)
+      return 0;
+    unsigned Base = T.Granted;
+    if (Base == 0 && T.SelfFloor)
+      Base = std::max(1u, T.Spec->Tenant.MinThreads);
+    if (Base > 0)
+      Base += T.Spec->Misbehavior.EnvelopeViolationThreads;
+    return Base;
+  };
+
+  auto refreshCurves = [&](TenantRuntime &T) {
+    const unsigned Used = usedThreads(T);
+    T.Capacity = Used == 0 ? 0.0 : capacity(*T.Spec, Used);
+    T.Latency = serviceLatency(*T.Spec, std::max(1u, Used));
+    if (Opts.Policy == ColocationPolicy::Oversubscribed) {
+      T.Capacity /= OversubFactor;
+      T.Latency *= static_cast<double>(N) * OversubFactor;
+    }
+  };
+
   for (size_t I = 0; I != N; ++I) {
     TenantRuntime &T = Run[I];
     T.Spec = &Specs[I];
@@ -187,8 +237,7 @@ ColocationSimResult ColocationSim::run() {
 
     switch (Opts.Policy) {
     case ColocationPolicy::Arbiter:
-      T.Id = Arb.addTenant(Specs[I].Tenant, 0.0);
-      T.Granted = Arb.leaseOf(T.Id).Threads;
+      T.Id = Arb->addTenant(Specs[I].Tenant, 0.0);
       break;
     case ColocationPolicy::StaticSplit: {
       const unsigned Equal =
@@ -203,13 +252,24 @@ ColocationSimResult ColocationSim::run() {
       T.Granted = std::max(1u, Opts.Contexts / static_cast<unsigned>(N));
       break;
     }
-
-    T.Capacity = capacity(Specs[I], T.Granted);
-    T.Latency = serviceLatency(Specs[I], T.Granted);
-    if (Opts.Policy == ColocationPolicy::Oversubscribed) {
-      T.Capacity /= OversubFactor;
-      T.Latency *= static_cast<double>(N) * OversubFactor;
+  }
+  // Read seats only after every tenant has joined — each join re-splits
+  // the pool, so earlier reads would hold stale (overcommitted) grants.
+  if (Opts.Policy == ColocationPolicy::Arbiter) {
+    for (TenantRuntime &T : Run) {
+      T.Granted = Arb->leaseOf(T.Id).Threads;
+      JournalRecord(0.0, TraceKind::LeaseGrant, T.Stats.Name,
+                    static_cast<double>(T.Granted), 0.0, "join");
     }
+  }
+  for (TenantRuntime &T : Run)
+    refreshCurves(T);
+  if (Opts.Policy == ColocationPolicy::Arbiter) {
+    AllocationSample Seat;
+    Seat.Time = 0.0;
+    for (const TenantRuntime &T : Run)
+      Seat.Granted.push_back(T.Granted);
+    Result.AllocationTimeline.push_back(std::move(Seat));
   }
 
   const double Dt = Opts.StepSeconds;
@@ -217,14 +277,146 @@ ColocationSimResult ColocationSim::run() {
   double NextEpoch = Epoch;
   uint64_t TotalLeaseChanges = 0;
 
+  // Outage bookkeeping.
+  bool ArbKilled = false;
+  bool ArbRestarted = false;
+  std::string SnapshotJson; // taken at kill time for Snapshot restarts
+
+  auto applyChanges = [&](const std::vector<LeaseChange> &Changes,
+                          double Now) {
+    TotalLeaseChanges += Changes.size();
+    for (const LeaseChange &C : Changes) {
+      for (TenantRuntime &T : Run) {
+        if (T.Stats.Name != C.Tenant)
+          continue;
+        T.Granted = C.NewThreads;
+        if (C.Reason == "evict") {
+          // Containment: the platform kills the tenant's workers.
+          T.Evicted = true;
+          T.SelfFloor = false;
+        } else if (C.Reason == "expire") {
+          // A live tenant whose lease expired (heartbeats lost in
+          // transit) shrinks itself to its floor, like a Dope executive
+          // whose envelope TTL lapsed; a dead one is simply gone.
+          T.SelfFloor = !T.Crashed;
+        } else if (C.NewThreads > 0) {
+          T.SelfFloor = false;
+        }
+        if (!T.Crashed && !T.Evicted)
+          T.PausedUntil = Now + Opts.ReconfigPauseSeconds;
+        ++T.Stats.LeaseChanges;
+        refreshCurves(T);
+        JournalRecord(Now,
+                      C.Reason == "expire" ? TraceKind::LeaseExpire
+                      : C.isGrant()        ? TraceKind::LeaseGrant
+                                           : TraceKind::LeaseRevoke,
+                      C.Tenant, static_cast<double>(C.NewThreads),
+                      static_cast<double>(C.OldThreads), C.Reason);
+      }
+    }
+  };
+
+  auto restartArbiter = [&](double Now) {
+    Arb = std::make_unique<Arbiter>(ArbOpts);
+    bool Restored = false;
+    if (Opts.Outage.Mode == ArbiterOutage::RestartMode::Snapshot) {
+      std::string Err;
+      const std::optional<JsonValue> Snap =
+          JsonValue::parse(SnapshotJson, &Err);
+      Restored = Snap.has_value() && Arb->restore(*Snap);
+    }
+    if (!Restored) {
+      // Cold and WarmTrace paths: live tenants re-register. WarmTrace
+      // then replays the host journal so the arbiter re-learns utility
+      // curves and the actual holdings instead of starting from an
+      // equal split; Cold really does start from the naive re-split
+      // (that is the slow path warm restarts are measured against).
+      const bool Warm =
+          Opts.Outage.Mode == ArbiterOutage::RestartMode::WarmTrace;
+      // Tenants that died during the outage are gone for good: the
+      // reborn arbiter never hears of them, so release their journaled
+      // leases before the survivors are seated.
+      for (TenantRuntime &T : Run) {
+        if ((T.Crashed || T.Evicted) && T.Granted > 0) {
+          JournalRecord(Now, TraceKind::LeaseExpire, T.Stats.Name, 0.0,
+                        static_cast<double>(T.Granted), "restart-gc");
+          T.Granted = 0;
+          refreshCurves(T);
+        }
+      }
+      for (TenantRuntime &T : Run) {
+        if (T.Crashed || T.Evicted)
+          continue;
+        T.Id = Arb->addTenant(T.Spec->Tenant, Now, nullptr);
+        if (Warm)
+          // Re-registering is itself proof of liveness; journal it so a
+          // (later) warm restart and the invariant checker see it.
+          JournalRecord(Now, TraceKind::Heartbeat, T.Stats.Name,
+                        static_cast<double>(T.Granted), 0.0, "re-register");
+      }
+      if (Warm)
+        Arb->warmStart(Journal);
+      // Transition runtime holdings to the reborn arbiter's seats as
+      // one batch, revocations first, so the hand-over never
+      // overcommits the platform. Under WarmTrace the seats were
+      // re-aligned with the journal and the batch is usually empty.
+      std::vector<LeaseChange> Shrink, Grow;
+      for (TenantRuntime &T : Run) {
+        if (T.Crashed || T.Evicted)
+          continue;
+        const unsigned New = Arb->leaseOf(T.Id).Threads;
+        if (New == T.Granted)
+          continue;
+        LeaseChange C;
+        C.Tenant = T.Stats.Name;
+        C.Time = Now;
+        C.OldThreads = T.Granted;
+        C.NewThreads = New;
+        C.Reason = "restart";
+        (New < T.Granted ? Shrink : Grow).push_back(std::move(C));
+      }
+      applyChanges(Shrink, Now);
+      applyChanges(Grow, Now);
+    }
+    JournalRecord(Now, TraceKind::Fault, "arbiter", 0.0, 0.0,
+                  Restored ? "restart:snapshot"
+                  : Opts.Outage.Mode == ArbiterOutage::RestartMode::WarmTrace
+                      ? "restart:warm-trace"
+                      : "restart:cold");
+    if (Trace)
+      Trace->recordAt(Now, TraceKind::Fault, "arbiter-restart");
+  };
+
   for (double Now = 0.0; Now < Opts.DurationSeconds - 1e-12; Now += Dt) {
     const double StepEnd = Now + Dt;
     const bool Measured = StepEnd > Opts.WarmupSeconds;
 
+    // Tenant crash transitions, then the step's contention scale: when
+    // misbehaving tenants occupy more contexts than exist, everyone's
+    // capacity shrinks pro rata.
+    unsigned TotalUsed = 0;
+    for (TenantRuntime &T : Run) {
+      const TenantMisbehavior &M = T.Spec->Misbehavior;
+      if (!T.Crashed && M.CrashSeconds >= 0.0 && StepEnd > M.CrashSeconds) {
+        T.Crashed = true;
+        refreshCurves(T);
+        JournalRecord(M.CrashSeconds, TraceKind::Fault, T.Stats.Name, 0.0,
+                      0.0, "tenant-crash");
+        if (Trace)
+          Trace->recordAt(M.CrashSeconds, TraceKind::Fault,
+                          "crash:" + T.Stats.Name);
+      }
+      TotalUsed += usedThreads(T);
+    }
+    const double Contention =
+        TotalUsed > Opts.Contexts
+            ? static_cast<double>(Opts.Contexts) / TotalUsed
+            : 1.0;
+
     for (TenantRuntime &T : Run) {
       const ColocationTenantSpec &S = *T.Spec;
 
-      // Arrivals over this step.
+      // Arrivals over this step (users keep sending to dead tenants).
       const double Load = S.ArrivalSchedule.phaseCount() == 0
                               ? 1.0
                               : S.ArrivalSchedule.loadFactorAt(Now);
@@ -244,7 +436,8 @@ ColocationSimResult ColocationSim::run() {
       }
 
       // Service: fluid capacity accrues credit; whole items complete.
-      const double Cap = StepEnd <= T.PausedUntil ? 0.0 : T.Capacity;
+      const double Cap =
+          (StepEnd <= T.PausedUntil ? 0.0 : T.Capacity) * Contention;
       T.ServiceCredit += Cap * Dt;
       while (T.ServiceCredit >= 1.0 && !T.Queue.empty()) {
         T.ServiceCredit -= 1.0;
@@ -266,22 +459,66 @@ ColocationSimResult ColocationSim::run() {
       if (T.Queue.empty())
         T.ServiceCredit = std::min(T.ServiceCredit, 1.0);
 
-      T.Stats.ThreadSeconds += T.Granted * Dt;
+      T.Stats.ThreadSeconds += usedThreads(T) * Dt;
     }
 
     // Epoch boundary: telemetry in, leases out.
     if (StepEnd + 1e-12 >= NextEpoch) {
+      // Arbiter outage transitions happen on the boundary, before any
+      // reporting: a killed arbiter hears nothing this epoch.
+      if (Opts.Policy == ColocationPolicy::Arbiter &&
+          Opts.Outage.enabled()) {
+        if (!ArbKilled && NextEpoch + 1e-12 >= Opts.Outage.KillSeconds) {
+          SnapshotJson = Arb->snapshot().dump();
+          Arb.reset();
+          ArbKilled = true;
+          JournalRecord(NextEpoch, TraceKind::Fault, "arbiter", 0.0, 0.0,
+                        "kill");
+          if (Trace)
+            Trace->recordAt(NextEpoch, TraceKind::Fault, "arbiter-kill");
+        }
+        if (ArbKilled && !ArbRestarted && Opts.Outage.RestartSeconds >= 0.0 &&
+            NextEpoch + 1e-12 >= Opts.Outage.RestartSeconds) {
+          restartArbiter(NextEpoch);
+          ArbRestarted = true;
+        }
+      }
+      const bool ArbUp =
+          Opts.Policy == ColocationPolicy::Arbiter && Arb != nullptr;
+
       for (TenantRuntime &T : Run) {
+        const TenantMisbehavior &M = T.Spec->Misbehavior;
         if (Opts.Policy == ColocationPolicy::Arbiter) {
           TenantSample Sample;
           Sample.Time = NextEpoch;
-          Sample.GrantedThreads = T.Granted;
+          Sample.GrantedThreads = usedThreads(T);
           Sample.Throughput =
               static_cast<double>(T.WindowCompleted) / Epoch;
           Sample.OfferedRate = static_cast<double>(T.WindowArrived) / Epoch;
           Sample.P95ResponseSeconds = percentileOf(T.WindowResponses, 0.95);
           Sample.QueueDepth = static_cast<double>(T.Queue.size());
-          Arb.reportSample(T.Id, Sample);
+          if (M.byzantineAt(NextEpoch)) {
+            Sample.Throughput *= M.ReportedRateFactor;
+            Sample.OfferedRate *= M.ReportedRateFactor;
+            if (M.NonMonotoneClock && (T.EpochIndex & 1))
+              Sample.Time = NextEpoch - 1.5 * Epoch;
+          }
+          bool Sent = !T.Crashed && !T.Evicted && !M.silentAt(NextEpoch);
+          if (Sent && Opts.Faults && Opts.Faults->dropHeartbeat())
+            Sent = false;
+          if (Sent)
+            // The host journals every report the tenant emits, even
+            // while the arbiter is down — this is what a WarmTrace
+            // restart replays.
+            JournalRecord(Sample.Time, TraceKind::Heartbeat, T.Stats.Name,
+                          static_cast<double>(Sample.GrantedThreads),
+                          Sample.Throughput,
+                          Sample.OfferedRate > Sample.Throughput ||
+                                  Sample.QueueDepth > 0.0
+                              ? "saturated"
+                              : "");
+          if (Sent && ArbUp)
+            Arb->reportSample(T.Id, Sample);
         }
         if (Trace) {
           Trace->recordAt(NextEpoch, TraceKind::Counter,
@@ -294,28 +531,23 @@ ColocationSimResult ColocationSim::run() {
         T.WindowArrived = 0;
         T.WindowCompleted = 0;
         T.WindowResponses.clear();
+        ++T.EpochIndex;
       }
 
+      if (ArbUp)
+        applyChanges(Arb->rebalance(NextEpoch), NextEpoch);
+
       if (Opts.Policy == ColocationPolicy::Arbiter) {
-        const std::vector<LeaseChange> Changes = Arb.rebalance(NextEpoch);
-        TotalLeaseChanges += Changes.size();
-        for (const LeaseChange &C : Changes) {
-          for (TenantRuntime &T : Run) {
-            if (T.Stats.Name != C.Tenant)
-              continue;
-            T.Granted = C.NewThreads;
-            T.PausedUntil = NextEpoch + Opts.ReconfigPauseSeconds;
-            ++T.Stats.LeaseChanges;
-            T.Capacity = capacity(*T.Spec, T.Granted);
-            T.Latency = serviceLatency(*T.Spec, T.Granted);
-          }
-        }
+        AllocationSample Alloc;
+        Alloc.Time = NextEpoch;
+        for (const TenantRuntime &T : Run)
+          Alloc.Granted.push_back(T.Granted);
+        Result.AllocationTimeline.push_back(std::move(Alloc));
       }
       NextEpoch += Epoch;
     }
   }
 
-  ColocationSimResult Result;
   Result.DurationSeconds = Opts.DurationSeconds;
   Result.LeaseChanges = TotalLeaseChanges;
   for (TenantRuntime &T : Run)

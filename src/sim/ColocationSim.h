@@ -31,6 +31,7 @@
 
 #include "arbiter/Arbiter.h"
 #include "metrics/TenantStats.h"
+#include "sim/FaultInjector.h"
 #include "sim/NestServerSim.h"
 #include "sim/PipelineSim.h"
 #include "support/Trace.h"
@@ -49,10 +50,54 @@ enum class ColocationPolicy {
 
 const char *toString(ColocationPolicy Policy);
 
+/// How one tenant deviates from the honest lease protocol. All fields
+/// default off; the chaos harness (bench/ext_chaos) drives them to test
+/// the arbiter's liveness and containment machinery.
+struct TenantMisbehavior {
+  /// The tenant process dies at this time: it stops serving and stops
+  /// reporting, and never comes back. Its lease must expire by TTL.
+  /// Negative disables.
+  double CrashSeconds = -1.0;
+
+  /// Heartbeat-loss window [SilentFromSeconds, SilentUntilSeconds): the
+  /// tenant keeps serving but its reports never reach the arbiter (a
+  /// control-plane partition). Disabled when the window is empty.
+  double SilentFromSeconds = 0.0;
+  double SilentUntilSeconds = 0.0;
+
+  /// Byzantine sampler from this time on: reported throughput and
+  /// offered rate are inflated by ReportedRateFactor. Negative disables.
+  double ByzantineFromSeconds = -1.0;
+  double ReportedRateFactor = 3.0;
+
+  /// Byzantine clock: once byzantine, every other sample carries a
+  /// rewound timestamp (non-monotone).
+  bool NonMonotoneClock = false;
+
+  /// Envelope violator: the tenant runs this many threads above its
+  /// granted lease, stealing capacity from the others.
+  unsigned EnvelopeViolationThreads = 0;
+
+  bool any() const {
+    return CrashSeconds >= 0.0 || SilentUntilSeconds > SilentFromSeconds ||
+           ByzantineFromSeconds >= 0.0 || EnvelopeViolationThreads > 0;
+  }
+  bool silentAt(double T) const {
+    return SilentUntilSeconds > SilentFromSeconds && T >= SilentFromSeconds &&
+           T < SilentUntilSeconds;
+  }
+  bool byzantineAt(double T) const {
+    return ByzantineFromSeconds >= 0.0 && T >= ByzantineFromSeconds;
+  }
+};
+
 /// One tenant of the shared platform: an arbitration contract plus an
 /// application model the simulator reduces to capacity/latency curves.
 struct ColocationTenantSpec {
   TenantSpec Tenant;
+
+  /// Protocol deviations for chaos runs (defaults: honest tenant).
+  TenantMisbehavior Misbehavior;
 
   enum class AppKind { Pipeline, NestServer };
   AppKind Kind = AppKind::Pipeline;
@@ -71,6 +116,32 @@ struct ColocationTenantSpec {
 
   /// Arrivals finding this many queued items are shed; 0 disables.
   size_t AdmissionLimit = 0;
+};
+
+/// Arbiter kill/restart schedule for chaos runs.
+struct ArbiterOutage {
+  /// The arbiter process dies at this epoch boundary (negative: never).
+  /// Leases freeze while it is down; tenants keep serving what they
+  /// hold and their reports are journaled by the host but land nowhere.
+  double KillSeconds = -1.0;
+
+  /// The arbiter restarts at this epoch boundary (negative: never).
+  double RestartSeconds = -1.0;
+
+  enum class RestartMode {
+    /// Fresh arbiter; live tenants re-register and re-learn from
+    /// scratch (the slow path warm restarts are measured against).
+    Cold,
+    /// Restore from the JSON snapshot taken at kill time.
+    Snapshot,
+    /// Re-register live tenants, then reconstruct utility curves and
+    /// actual holdings from the host's protocol journal (Arbiter::
+    /// warmStart over recorded Heartbeat/lease records).
+    WarmTrace,
+  };
+  RestartMode Mode = RestartMode::Snapshot;
+
+  bool enabled() const { return KillSeconds >= 0.0; }
 };
 
 struct ColocationSimOptions {
@@ -102,6 +173,21 @@ struct ColocationSimOptions {
   /// Optional trace sink (lease decisions, per-epoch counters). The sim
   /// stamps records with virtual time.
   Tracer *TraceSink = nullptr;
+
+  /// Arbiter kill/restart schedule (chaos runs; disabled by default).
+  ArbiterOutage Outage;
+
+  /// Optional fault injector consulted once per tenant-epoch for
+  /// heartbeat loss (FaultPlan::HeartbeatDropProbability). The caller
+  /// keeps ownership; null disables.
+  FaultInjector *Faults = nullptr;
+};
+
+/// The arbiter-side allocation at one epoch boundary, in tenant spec
+/// order — what recovery metrics diff against an uninterrupted run.
+struct AllocationSample {
+  double Time = 0.0;
+  std::vector<unsigned> Granted;
 };
 
 struct ColocationSimResult {
@@ -109,6 +195,15 @@ struct ColocationSimResult {
   FairnessSummary Fairness;
   uint64_t LeaseChanges = 0;
   double DurationSeconds = 0.0;
+
+  /// Per-epoch granted threads (Arbiter policy only).
+  std::vector<AllocationSample> AllocationTimeline;
+
+  /// The host's durable protocol log: every heartbeat a tenant sent
+  /// (even while the arbiter was down) and every lease change applied,
+  /// as trace records. This is the journal a WarmTrace restart replays,
+  /// and what ChaosInvariants checks.
+  std::vector<TraceRecord> ProtocolJournal;
 };
 
 class ColocationSim {

@@ -74,9 +74,14 @@ struct FaultPlan {
   /// Per-hand-off probability of the item being lost between stages.
   double HandoffDropProbability = 0.0;
 
+  /// Per-report probability of a tenant's heartbeat/sample being lost on
+  /// its way to the arbiter (models a flaky control plane; the tenant
+  /// keeps serving but looks increasingly dead).
+  double HeartbeatDropProbability = 0.0;
+
   bool empty() const {
     return Kills.empty() && Stalls.empty() && StragglerProbability <= 0.0 &&
-           HandoffDropProbability <= 0.0;
+           HandoffDropProbability <= 0.0 && HeartbeatDropProbability <= 0.0;
   }
 };
 
@@ -92,6 +97,12 @@ public:
   bool dropHandoff() {
     return Plan.HandoffDropProbability > 0.0 &&
            FaultRng.uniform() < Plan.HandoffDropProbability;
+  }
+
+  /// True when the current heartbeat/sample report should be lost.
+  bool dropHeartbeat() {
+    return Plan.HeartbeatDropProbability > 0.0 &&
+           FaultRng.uniform() < Plan.HeartbeatDropProbability;
   }
 
   /// Service-time scale for one instance: StragglerFactor with

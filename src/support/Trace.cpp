@@ -25,7 +25,8 @@ static constexpr const char *KindNames[] = {
     "feature",  "feature-read", "decision",    "queue",
     "begin",    "end",          "wait",        "reconfig",
     "fault",    "log",          "counter",     "lease-grant",
-    "lease-revoke", "tenant-utility"};
+    "lease-revoke", "tenant-utility", "lease-expire", "heartbeat",
+    "compliance"};
 
 const char *dope::toString(TraceKind Kind) {
   return KindNames[static_cast<size_t>(Kind)];
@@ -284,6 +285,50 @@ dope::readTraceJsonl(std::istream &IS, std::string *Error) {
   return Out;
 }
 
+std::vector<TraceRecord> dope::readTraceJsonlLenient(std::istream &IS,
+                                                     TraceReadStats *Stats) {
+  std::vector<TraceRecord> Out;
+  TraceReadStats Local;
+  std::string Line;
+  uint64_t LineNo = 0;
+  auto Skip = [&](std::string Why) {
+    if (Local.Skipped == 0) {
+      Local.FirstSkippedLine = LineNo;
+      Local.FirstError = std::move(Why);
+    }
+    ++Local.Skipped;
+  };
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    std::string ParseError;
+    std::optional<JsonValue> V = JsonValue::parse(Line, &ParseError);
+    if (!V || !V->isObject()) {
+      Skip(ParseError.empty() ? "not an object" : ParseError);
+      continue;
+    }
+    std::optional<TraceKind> Kind = traceKindFromString(V->getString("kind"));
+    if (!Kind) {
+      Skip("unknown kind '" + V->getString("kind") + "'");
+      continue;
+    }
+    TraceRecord R;
+    R.Time = V->getNumber("t");
+    R.Kind = *Kind;
+    R.Tid = static_cast<uint32_t>(V->getNumber("tid"));
+    R.Name = V->getString("name");
+    R.A = V->getNumber("a");
+    R.B = V->getNumber("b");
+    R.Detail = V->getString("detail");
+    ++Local.Parsed;
+    Out.push_back(std::move(R));
+  }
+  if (Stats)
+    *Stats = std::move(Local);
+  return Out;
+}
+
 void dope::writeChromeTrace(const std::vector<TraceRecord> &Records,
                             std::ostream &OS) {
   // trace_event JSON array form; timestamps in microseconds. Task
@@ -314,6 +359,7 @@ void dope::writeChromeTrace(const std::vector<TraceRecord> &Records,
     case TraceKind::FeatureRead:
     case TraceKind::QueueDepth:
     case TraceKind::TenantUtility:
+    case TraceKind::Heartbeat:
     case TraceKind::Counter:
       Buf += ",\"ph\":\"C\",\"name\":\"";
       JsonValue::escapeTo(Buf, R.Name);

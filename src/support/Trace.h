@@ -93,6 +93,23 @@ enum class TraceKind : uint8_t {
   /// (Name = tenant, A = marginal utility of the next thread,
   /// B = threads held when sampled).
   TenantUtility,
+  /// A lease expired because its holder stopped heartbeating within the
+  /// TTL — the arbiter reclaims the threads; on the executive side, an
+  /// unrenewed envelope shrinking through quiesce (Name = tenant or
+  /// "envelope", A = threads after expiry, B = previous threads,
+  /// Detail = reason: "ttl").
+  LeaseExpire,
+  /// A tenant liveness proof attached to a sample report (Name = tenant,
+  /// A = threads the tenant reports holding, B = measured throughput,
+  /// Detail = "saturated" when the window had backlog — these windows
+  /// double as the utility-curve reconstruction stream for warm
+  /// restarts).
+  Heartbeat,
+  /// A compliance verdict against a tenant (Name = tenant,
+  /// A = accumulated misbehavior score, B = penalty rung
+  /// (0 none, 1 bid discount, 2 lease clamp, 3 evicted),
+  /// Detail = the violation class that triggered the verdict).
+  ComplianceVerdict,
 };
 
 /// Canonical lower-case name of a record kind ("decision", "fault", ...).
@@ -192,6 +209,26 @@ void writeTraceJsonl(const std::vector<TraceRecord> &Records,
 /// the read with an error. Returns std::nullopt on failure.
 std::optional<std::vector<TraceRecord>>
 readTraceJsonl(std::istream &IS, std::string *Error = nullptr);
+
+/// What a lenient JSONL read skipped. A crash mid-write leaves a torn
+/// final record (and a foreign tool may leave corrupt lines anywhere);
+/// recovery readers want the surviving records plus an honest count of
+/// what was dropped, not an abort.
+struct TraceReadStats {
+  /// Records successfully parsed.
+  uint64_t Parsed = 0;
+  /// Lines skipped (malformed JSON, non-objects, unknown kinds).
+  uint64_t Skipped = 0;
+  /// 1-based line number and message of the first skipped line.
+  uint64_t FirstSkippedLine = 0;
+  std::string FirstError;
+};
+
+/// Reads the JSONL form, skipping malformed or unknown-kind lines
+/// instead of aborting; \p Stats (when non-null) reports how many lines
+/// were parsed and skipped. Blank lines are neither parsed nor skipped.
+std::vector<TraceRecord> readTraceJsonlLenient(std::istream &IS,
+                                               TraceReadStats *Stats = nullptr);
 
 /// Writes \p Records to \p Path, choosing the format by extension:
 /// ".json" gets Chrome trace_event JSON, anything else JSONL. Returns

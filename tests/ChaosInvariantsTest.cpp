@@ -1,0 +1,213 @@
+//===- tests/ChaosInvariantsTest.cpp - Protocol invariant checker tests ----===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The checker itself must be trustworthy before the chaos soak can lean
+// on it: hand-built journals with known defects must trip exactly the
+// intended invariant, and known-clean journals (including the join batch
+// and arbiter-down windows the rules deliberately exempt) must pass.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ChaosInvariants.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+
+namespace {
+
+TraceRecord rec(double Time, TraceKind Kind, const char *Name, double A,
+                double B, const char *Detail = "") {
+  TraceRecord R;
+  R.Time = Time;
+  R.Kind = Kind;
+  R.Name = Name;
+  R.A = A;
+  R.B = B;
+  R.Detail = Detail;
+  return R;
+}
+
+ChaosInvariantOptions options(unsigned Budget = 8, double Ttl = 5.0) {
+  ChaosInvariantOptions Opts;
+  Opts.PlatformThreads = Budget;
+  Opts.LeaseTtlSeconds = Ttl;
+  return Opts;
+}
+
+TEST(ChaosInvariants, CleanJournalPasses) {
+  std::vector<TraceRecord> J = {
+      rec(0.0, TraceKind::LeaseGrant, "a", 4, 0, "join"),
+      rec(0.0, TraceKind::LeaseGrant, "b", 4, 0, "join"),
+      rec(2.0, TraceKind::Heartbeat, "a", 4, 30.0),
+      rec(2.0, TraceKind::Heartbeat, "b", 4, 30.0),
+      rec(2.0, TraceKind::LeaseRevoke, "b", 2, 4, "rebalance"),
+      rec(2.0, TraceKind::LeaseGrant, "a", 6, 4, "rebalance"),
+  };
+  const ChaosInvariantReport Report = checkChaosInvariants(J, options());
+  EXPECT_TRUE(Report.ok()) << (Report.Violations.empty()
+                                   ? ""
+                                   : Report.Violations.front().Message);
+  EXPECT_EQ(Report.LeaseRecords, 4u);
+  EXPECT_EQ(Report.HeartbeatRecords, 2u);
+}
+
+TEST(ChaosInvariants, BudgetOvercommitIsCaught) {
+  std::vector<TraceRecord> J = {
+      rec(0.0, TraceKind::LeaseGrant, "a", 6, 0, "join"),
+      rec(0.0, TraceKind::LeaseGrant, "b", 6, 0, "join"), // 12 > 8
+  };
+  const ChaosInvariantReport Report = checkChaosInvariants(J, options());
+  ASSERT_EQ(Report.Violations.size(), 1u);
+  EXPECT_EQ(Report.Violations[0].Invariant, "budget");
+  EXPECT_EQ(Report.Violations[0].RecordIndex, 1u);
+}
+
+TEST(ChaosInvariants, GrantOrderedBeforeRevokeIsCaught) {
+  // Same-timestamp decision batch applied in journal order: the grant
+  // lands while b still holds its old lease, transiently overcommitting
+  // a host that applies sequentially — even though the end state fits.
+  std::vector<TraceRecord> J = {
+      rec(0.0, TraceKind::LeaseGrant, "a", 4, 0, "join"),
+      rec(0.0, TraceKind::LeaseGrant, "b", 4, 0, "join"),
+      rec(2.0, TraceKind::LeaseGrant, "a", 6, 4, "rebalance"),
+      rec(2.0, TraceKind::LeaseRevoke, "b", 2, 4, "rebalance"),
+  };
+  const ChaosInvariantReport Report = checkChaosInvariants(J, options());
+  bool SawOrder = false;
+  for (const ChaosViolation &V : Report.Violations)
+    SawOrder |= V.Invariant == "revoke-order";
+  EXPECT_TRUE(SawOrder);
+}
+
+TEST(ChaosInvariants, JoinBatchesAreExemptFromOrdering) {
+  // Initial seating is grants-only by construction; the ordering rule
+  // must not fire on it, in any order, nor across later joins.
+  std::vector<TraceRecord> J = {
+      rec(0.0, TraceKind::LeaseGrant, "a", 5, 0, "join"),
+      rec(0.0, TraceKind::LeaseGrant, "b", 3, 0, "join"),
+      rec(4.0, TraceKind::Heartbeat, "a", 5, 30.0),
+      rec(4.0, TraceKind::Heartbeat, "b", 3, 30.0),
+      rec(4.0, TraceKind::LeaseRevoke, "a", 3, 5, "rebalance"),
+      rec(4.0, TraceKind::LeaseGrant, "c", 2, 0, "join"),
+  };
+  const ChaosInvariantReport Report = checkChaosInvariants(J, options());
+  EXPECT_TRUE(Report.ok()) << (Report.Violations.empty()
+                                   ? ""
+                                   : Report.Violations.front().Message);
+}
+
+TEST(ChaosInvariants, ZombieLeaseIsCaughtAtTheNextDecision) {
+  // b never heartbeats after joining at t=0; by the t=10 decision batch
+  // (ttl 5) its 4 threads are a zombie lease the arbiter failed to
+  // reclaim.
+  std::vector<TraceRecord> J = {
+      rec(0.0, TraceKind::LeaseGrant, "a", 4, 0, "join"),
+      rec(0.0, TraceKind::LeaseGrant, "b", 4, 0, "join"),
+      rec(10.0, TraceKind::Heartbeat, "a", 4, 30.0),
+      rec(10.0, TraceKind::LeaseGrant, "a", 4, 4, "rebalance"),
+  };
+  const ChaosInvariantReport Report = checkChaosInvariants(J, options());
+  ASSERT_FALSE(Report.ok());
+  EXPECT_EQ(Report.Violations[0].Invariant, "zombie-lease");
+
+  // The same journal with the lease properly expired passes.
+  std::vector<TraceRecord> Fixed = J;
+  Fixed.insert(Fixed.begin() + 2,
+               rec(5.0, TraceKind::LeaseExpire, "b", 0, 4, "ttl"));
+  EXPECT_TRUE(checkChaosInvariants(Fixed, options()).ok());
+}
+
+TEST(ChaosInvariants, QuietWindowsAreNotZombieChecked) {
+  // Heartbeat-only batches while the arbiter is down cannot revoke
+  // anything; the zombie rule only fires once a lease decision lands.
+  std::vector<TraceRecord> J = {
+      rec(0.0, TraceKind::LeaseGrant, "a", 4, 0, "join"),
+      rec(0.0, TraceKind::LeaseGrant, "b", 4, 0, "join"),
+      rec(12.0, TraceKind::Heartbeat, "a", 4, 30.0), // b long dead, no
+      rec(14.0, TraceKind::Heartbeat, "a", 4, 30.0), // decisions though
+  };
+  EXPECT_TRUE(checkChaosInvariants(J, options()).ok());
+}
+
+TEST(ChaosInvariants, TtlZeroDisablesZombieCheck) {
+  std::vector<TraceRecord> J = {
+      rec(0.0, TraceKind::LeaseGrant, "a", 4, 0, "join"),
+      rec(50.0, TraceKind::LeaseGrant, "a", 4, 4, "rebalance"),
+  };
+  EXPECT_TRUE(checkChaosInvariants(J, options(8, 0.0)).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Recovery metrics
+//===----------------------------------------------------------------------===//
+
+ColocationSimResult timeline(
+    std::vector<std::pair<double, std::vector<unsigned>>> Points) {
+  ColocationSimResult R;
+  for (auto &[T, G] : Points)
+    R.AllocationTimeline.push_back({T, std::move(G)});
+  return R;
+}
+
+TEST(ChaosInvariants, RecoveryCountsRoundsFromTheRestartEpoch) {
+  const ColocationSimResult Base = timeline(
+      {{0, {4, 4}}, {2, {5, 3}}, {4, {5, 3}}, {6, {5, 3}}, {8, {5, 3}}});
+  const ColocationSimResult Chaos = timeline(
+      {{0, {4, 4}}, {2, {8, 0}}, {4, {8, 0}}, {6, {6, 2}}, {8, {5, 3}}});
+
+  const RecoveryMetrics R = allocationRecovery(Base, Chaos, 4.0, 1);
+  ASSERT_TRUE(R.recovered());
+  // Epochs compared: t=4 (dist 6), t=6 (dist 2), t=8 (dist 0) — round 3.
+  EXPECT_EQ(R.RoundsToRecover, 3);
+  EXPECT_DOUBLE_EQ(R.TimeToRecoverSeconds, 4.0);
+  EXPECT_EQ(R.FinalDistance, 0u);
+}
+
+TEST(ChaosInvariants, RecoveryMustBeSticky) {
+  const ColocationSimResult Base =
+      timeline({{0, {5, 3}}, {2, {5, 3}}, {4, {5, 3}}, {6, {5, 3}}});
+  // Converges at t=2, diverges again at t=4: the t=2 touch is not
+  // recovery.
+  const ColocationSimResult Flappy =
+      timeline({{0, {5, 3}}, {2, {5, 3}}, {4, {8, 0}}, {6, {5, 3}}});
+  const RecoveryMetrics R = allocationRecovery(Base, Flappy, 0.0, 1);
+  ASSERT_TRUE(R.recovered());
+  EXPECT_EQ(R.RoundsToRecover, 4);
+
+  const ColocationSimResult Never =
+      timeline({{0, {5, 3}}, {2, {8, 0}}, {4, {8, 0}}, {6, {8, 0}}});
+  const RecoveryMetrics N = allocationRecovery(Base, Never, 0.0, 1);
+  EXPECT_FALSE(N.recovered());
+  EXPECT_EQ(N.RoundsToRecover, -1);
+  EXPECT_EQ(N.FinalDistance, 6u);
+}
+
+TEST(ChaosInvariants, WeightedAttainmentSelectsNamedTenants) {
+  ColocationSimResult R;
+  TenantStats A;
+  A.Name = "a";
+  A.Weight = 2.0;
+  A.Arrived = 100;
+  A.Completed = 100; // attainment 1.0
+  TenantStats B;
+  B.Name = "b";
+  B.Weight = 1.0;
+  B.Arrived = 100;
+  B.Completed = 50; // attainment 0.5
+  TenantStats C;
+  C.Name = "ignored";
+  C.Weight = 10.0;
+  C.Arrived = 100;
+  C.Completed = 0;
+  R.Tenants = {A, B, C};
+
+  EXPECT_DOUBLE_EQ(weightedAttainmentOf(R, {"a", "b"}), 2.0 * 1.0 + 0.5);
+  EXPECT_DOUBLE_EQ(weightedAttainmentOf(R, {"b"}), 0.5);
+}
+
+} // namespace

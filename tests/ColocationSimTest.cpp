@@ -7,6 +7,7 @@
 
 #include "sim/ColocationSim.h"
 
+#include "sim/ChaosInvariants.h"
 #include "support/Trace.h"
 
 #include <gtest/gtest.h>
@@ -194,6 +195,99 @@ TEST(ColocationSim, TraceSinkSeesLeaseAndCounterRecords) {
   EXPECT_GT(Leases, 0u);
   EXPECT_GT(Counters, 0u);
   EXPECT_GT(Utilities, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Lease-protocol chaos coverage
+//===----------------------------------------------------------------------===//
+
+TEST(ColocationSim, JournalOpensWithJoinGrantsForEveryTenant) {
+  ColocationSimOptions Opts = quickOptions(ColocationPolicy::Arbiter);
+  Opts.DurationSeconds = 20.0;
+  ColocationSim Sim({frontendTenant(), batchTenant()}, Opts);
+  const ColocationSimResult R = Sim.run();
+  ASSERT_GE(R.ProtocolJournal.size(), 2u);
+  size_t Joins = 0;
+  for (const TraceRecord &Rec : R.ProtocolJournal) {
+    if (Rec.Time > 0.0)
+      break;
+    if (Rec.Kind == TraceKind::LeaseGrant && Rec.Detail == "join")
+      ++Joins;
+  }
+  EXPECT_EQ(Joins, 2u);
+}
+
+TEST(ColocationSim, CrashedTenantLeaseExpiresByTtl) {
+  ColocationSimOptions Opts = quickOptions(ColocationPolicy::Arbiter);
+  Opts.DurationSeconds = 48.0;
+  Opts.Arbiter.EpochSeconds = 2.0;
+  Opts.Arbiter.LeaseTtlSeconds = 5.0;
+  ColocationTenantSpec Doomed = batchTenant();
+  Doomed.Misbehavior.CrashSeconds = 20.0;
+  ColocationSim Sim({frontendTenant(), Doomed}, Opts);
+  const ColocationSimResult R = Sim.run();
+
+  // The crashed tenant's threads come back via a TTL expiry, within one
+  // epoch of the deadline, and never again after that.
+  double ExpireTime = -1.0;
+  for (const TraceRecord &Rec : R.ProtocolJournal)
+    if (Rec.Kind == TraceKind::LeaseExpire && Rec.Name == "batch") {
+      ExpireTime = Rec.Time;
+      break;
+    }
+  // The last heartbeat lands at the epoch boundary before the crash
+  // (t=18), so the TTL deadline is 23 and the sweep at t=24 reclaims.
+  ASSERT_GE(ExpireTime, 0.0) << "no LeaseExpire journaled for the crash";
+  EXPECT_GE(ExpireTime, 20.0 + 5.0 - Opts.Arbiter.EpochSeconds);
+  EXPECT_LE(ExpireTime, 20.0 + 5.0 + Opts.Arbiter.EpochSeconds + 1e-9);
+
+  // Post-expiry the allocation timeline shows the survivor holding the
+  // machine and the corpse holding nothing.
+  ASSERT_FALSE(R.AllocationTimeline.empty());
+  const AllocationSample &Last = R.AllocationTimeline.back();
+  ASSERT_EQ(Last.Granted.size(), 2u);
+  EXPECT_EQ(Last.Granted[1], 0u);
+  EXPECT_GT(Last.Granted[0], 0u);
+
+  ChaosInvariantOptions Inv;
+  Inv.PlatformThreads = Opts.Contexts;
+  Inv.LeaseTtlSeconds = Opts.Arbiter.LeaseTtlSeconds;
+  const ChaosInvariantReport Report =
+      checkChaosInvariants(R.ProtocolJournal, Inv);
+  EXPECT_TRUE(Report.ok()) << (Report.Violations.empty()
+                                   ? ""
+                                   : Report.Violations.front().Message);
+}
+
+TEST(ColocationSim, OutageRunCompletesAndKeepsTheJournalInvariant) {
+  for (const ArbiterOutage::RestartMode Mode :
+       {ArbiterOutage::RestartMode::Snapshot,
+        ArbiterOutage::RestartMode::WarmTrace}) {
+    ColocationSimOptions Opts = quickOptions(ColocationPolicy::Arbiter);
+    Opts.DurationSeconds = 48.0;
+    Opts.Arbiter.EpochSeconds = 2.0;
+    Opts.Arbiter.LeaseTtlSeconds = 5.0;
+    Opts.Outage.KillSeconds = 16.0;
+    Opts.Outage.RestartSeconds = 22.0;
+    Opts.Outage.Mode = Mode;
+    ColocationSim Sim({frontendTenant(), batchTenant()}, Opts);
+    const ColocationSimResult R = Sim.run();
+
+    // Both tenants keep completing work through the outage.
+    ASSERT_EQ(R.Tenants.size(), 2u);
+    EXPECT_GT(R.Tenants[0].Completed, 0u);
+    EXPECT_GT(R.Tenants[1].Completed, 0u);
+
+    ChaosInvariantOptions Inv;
+    Inv.PlatformThreads = Opts.Contexts;
+    Inv.LeaseTtlSeconds = Opts.Arbiter.LeaseTtlSeconds;
+    const ChaosInvariantReport Report =
+        checkChaosInvariants(R.ProtocolJournal, Inv);
+    EXPECT_TRUE(Report.ok())
+        << "mode " << static_cast<int>(Mode) << ": "
+        << (Report.Violations.empty() ? ""
+                                      : Report.Violations.front().Message);
+  }
 }
 
 } // namespace

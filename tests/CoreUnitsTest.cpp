@@ -75,12 +75,16 @@ TEST(FeatureRegistry, Unregister) {
 }
 
 TEST(ThreadPool, RunsSubmittedJobs) {
-  ThreadPool Pool;
   std::atomic<int> Count{0};
   std::mutex M;
   std::condition_variable Cv;
+  ThreadPool Pool;
+  // Notify under the mutex: the waiter can then only observe the final
+  // count after the notifier released it, so the condition variable is
+  // never destroyed mid-notify and the wakeup cannot be lost.
   for (int I = 0; I != 20; ++I)
     Pool.submit([&] {
+      std::lock_guard<std::mutex> Lock(M);
       if (Count.fetch_add(1) + 1 == 20)
         Cv.notify_one();
     });
@@ -99,6 +103,7 @@ TEST(ThreadPool, ReusesIdleThreads) {
     for (int I = 0; I != N; ++I)
       Pool.submit([&] {
         Count.fetch_add(1);
+        std::lock_guard<std::mutex> Lock(M);
         if (Batch.fetch_add(1) + 1 == N)
           Cv.notify_one();
       });
@@ -122,33 +127,38 @@ TEST(ThreadPool, BurstOfBlockingJobsAllStart) {
   // submitted in a burst while a worker is idle. The old spawn condition
   // (spawn only when no worker is idle) parked a burst behind a single
   // idle worker and deadlocked the region.
+  //
+  // The burst jobs block on AllStarted past the main thread's wait, so
+  // their shared state must outlive the pool: declare it first and let
+  // the pool's joining destructor run before it is torn down.
+  constexpr int Burst = 4;
+  std::atomic<int> Started{0};
+  std::mutex M;
+  std::condition_variable AllStarted;
   ThreadPool Pool;
 
   // Park one idle worker.
   {
-    std::mutex M;
-    std::condition_variable Cv;
+    std::mutex ParkM;
+    std::condition_variable ParkCv;
     std::atomic<bool> Ran{false};
     Pool.submit([&] {
+      std::lock_guard<std::mutex> Lock(ParkM);
       Ran.store(true);
-      Cv.notify_one();
+      ParkCv.notify_one();
     });
-    std::unique_lock<std::mutex> Lock(M);
-    Cv.wait(Lock, [&] { return Ran.load(); });
+    std::unique_lock<std::mutex> Lock(ParkM);
+    ParkCv.wait(Lock, [&] { return Ran.load(); });
     while (Pool.idleThreads() == 0)
       std::this_thread::yield();
   }
 
   // Burst-submit 4 jobs that all block until every one of them started.
-  constexpr int Burst = 4;
-  std::atomic<int> Started{0};
-  std::mutex M;
-  std::condition_variable AllStarted;
   for (int I = 0; I != Burst; ++I)
     Pool.submit([&] {
+      std::unique_lock<std::mutex> Lock(M);
       if (Started.fetch_add(1) + 1 == Burst)
         AllStarted.notify_all();
-      std::unique_lock<std::mutex> Lock(M);
       AllStarted.wait(Lock, [&] { return Started.load() == Burst; });
     });
 
@@ -191,23 +201,26 @@ TEST(ThreadPool, EscapedExceptionsHitErrorHookNotTerminate) {
   // The surviving workers still run jobs.
   std::atomic<bool> Ran{false};
   Pool.submit([&] {
+    std::lock_guard<std::mutex> Lock(M);
     Ran.store(true);
     Cv.notify_one();
   });
-  std::mutex M2;
-  std::unique_lock<std::mutex> Lock(M2);
-  Cv.wait(Lock, [&] { return Ran.load(); });
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] { return Ran.load(); });
+  }
   EXPECT_TRUE(Ran.load());
 }
 
 TEST(ThreadPool, NestedSubmission) {
-  ThreadPool Pool;
   std::atomic<int> Count{0};
   std::mutex M;
   std::condition_variable Cv;
+  ThreadPool Pool;
   Pool.submit([&] {
     for (int I = 0; I != 5; ++I)
       Pool.submit([&] {
+        std::lock_guard<std::mutex> Lock(M);
         if (Count.fetch_add(1) + 1 == 5)
           Cv.notify_one();
       });

@@ -175,4 +175,44 @@ TEST(DopeEnvelope, EnvelopeChangesAreTraced) {
   EXPECT_EQ(Grants, 1u);
 }
 
+TEST(DopeEnvelope, TtlExpiryShrinksToTheFloorAndRenewRearms) {
+  Tracer Trace(1 << 12);
+  OpenLoopApp App;
+  DopeOptions Opts;
+  Opts.MaxThreads = 4;
+  Opts.Trace = &Trace;
+  Opts.EnvelopeTtlSeconds = 0.15;
+  Opts.EnvelopeExpireFloor = 1;
+  std::unique_ptr<Dope> D = Dope::create(App.Root, std::move(Opts));
+  EXPECT_EQ(D->threadEnvelope(), 4u);
+
+  // Renewals keep the lease alive past several TTL windows.
+  for (int I = 0; I != 5; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    D->renewThreadEnvelope();
+  }
+  EXPECT_EQ(D->threadEnvelope(), 4u);
+
+  // Stop renewing: the controller must expire the lease on its own and
+  // gracefully shrink to the floor.
+  ASSERT_TRUE(eventually([&] { return D->threadEnvelope() == 1u; }))
+      << "envelope never expired without heartbeats";
+
+  App.Queue.close();
+  D->wait();
+  D.reset();
+
+  size_t Expiries = 0;
+  for (const TraceRecord &R : Trace.drain()) {
+    if (R.Kind != TraceKind::LeaseExpire)
+      continue;
+    ++Expiries;
+    EXPECT_EQ(R.Name, "envelope");
+    EXPECT_EQ(R.Detail, "ttl");
+    EXPECT_EQ(R.A, 1.0); // new envelope: the floor
+    EXPECT_EQ(R.B, 4.0); // what lapsed
+  }
+  EXPECT_EQ(Expiries, 1u) << "expiry must fire exactly once per lapse";
+}
+
 } // namespace

@@ -1,0 +1,142 @@
+//===- tests/FaultInjectorTest.cpp - Deterministic fault injection tests ---===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Chaos results are only debuggable if fault placement is a pure
+// function of the seed: the same plan + seed must produce the same
+// fault stream standalone, across repeated full simulations, and
+// regardless of how many worker threads a sweep fans runs across.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/FaultInjector.h"
+
+#include "ParallelSweep.h"
+#include "sim/ColocationSim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace dope;
+using dope::bench::parallelSweep;
+
+namespace {
+
+FaultPlan heartbeatPlan(double P) {
+  FaultPlan Plan;
+  Plan.HeartbeatDropProbability = P;
+  return Plan;
+}
+
+TEST(FaultInjector, SameSeedSameStream) {
+  FaultPlan Plan = heartbeatPlan(0.3);
+  Plan.StragglerProbability = 0.2;
+  Plan.HandoffDropProbability = 0.1;
+  FaultInjector A(Plan, 1234), B(Plan, 1234);
+  for (int I = 0; I != 2000; ++I) {
+    EXPECT_EQ(A.dropHeartbeat(), B.dropHeartbeat());
+    EXPECT_EQ(A.dropHandoff(), B.dropHandoff());
+    EXPECT_DOUBLE_EQ(A.stragglerScale(), B.stragglerScale());
+    EXPECT_EQ(A.pickVictim(17), B.pickVictim(17));
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultInjector A(heartbeatPlan(0.5), 1), B(heartbeatPlan(0.5), 2);
+  int Differing = 0;
+  for (int I = 0; I != 1000; ++I)
+    Differing += A.dropHeartbeat() != B.dropHeartbeat();
+  EXPECT_GT(Differing, 0);
+}
+
+TEST(FaultInjector, HeartbeatDropRespectsProbabilityEndpoints) {
+  FaultInjector Never(heartbeatPlan(0.0), 7);
+  FaultInjector Always(heartbeatPlan(1.0), 7);
+  for (int I = 0; I != 500; ++I) {
+    EXPECT_FALSE(Never.dropHeartbeat());
+    EXPECT_TRUE(Always.dropHeartbeat());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism through a full chaos simulation
+//===----------------------------------------------------------------------===//
+
+bool journalsEqual(const std::vector<TraceRecord> &A,
+                   const std::vector<TraceRecord> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (A[I].Time != B[I].Time || A[I].Kind != B[I].Kind ||
+        A[I].Name != B[I].Name || A[I].A != B[I].A || A[I].B != B[I].B ||
+        A[I].Detail != B[I].Detail)
+      return false;
+  return true;
+}
+
+/// A small chaos colocation: two pipeline tenants, one crashing, lossy
+/// heartbeats, and an arbiter kill/restart — everything that could go
+/// nondeterministic if fault placement leaked state.
+ColocationSimResult chaosRun(uint64_t Seed) {
+  auto tenant = [](const char *Name, double Rate) {
+    ColocationTenantSpec T;
+    T.Tenant.Name = Name;
+    T.Tenant.Goal = TenantGoal::Throughput;
+    T.Kind = ColocationTenantSpec::AppKind::Pipeline;
+    T.Pipeline.Name = Name;
+    T.Pipeline.Stages = {{"in", true, 0.02, 0.1}, {"work", true, 0.08, 0.1}};
+    T.ArrivalRate = Rate;
+    return T;
+  };
+  std::vector<ColocationTenantSpec> Tenants = {tenant("a", 60.0),
+                                               tenant("b", 40.0)};
+  Tenants[1].Misbehavior.CrashSeconds = 30.0;
+
+  ColocationSimOptions Opts;
+  Opts.Contexts = 8;
+  Opts.Seed = Seed;
+  Opts.DurationSeconds = 48.0;
+  Opts.StepSeconds = 0.05;
+  Opts.Policy = ColocationPolicy::Arbiter;
+  Opts.Arbiter.EpochSeconds = 2.0;
+  Opts.Arbiter.LeaseTtlSeconds = 5.0;
+  Opts.Outage.KillSeconds = 16.0;
+  Opts.Outage.RestartSeconds = 22.0;
+  Opts.Outage.Mode = ArbiterOutage::RestartMode::Snapshot;
+
+  FaultInjector Faults(heartbeatPlan(0.1), Seed);
+  Opts.Faults = &Faults;
+
+  ColocationSim Sim(std::move(Tenants), Opts);
+  return Sim.run();
+}
+
+TEST(FaultInjector, ChaosRunsAreReproducibleUnderOneSeed) {
+  const ColocationSimResult First = chaosRun(99);
+  const ColocationSimResult Again = chaosRun(99);
+  EXPECT_TRUE(journalsEqual(First.ProtocolJournal, Again.ProtocolJournal));
+  ASSERT_EQ(First.AllocationTimeline.size(), Again.AllocationTimeline.size());
+  for (size_t I = 0; I != First.AllocationTimeline.size(); ++I)
+    EXPECT_EQ(First.AllocationTimeline[I].Granted,
+              Again.AllocationTimeline[I].Granted);
+}
+
+TEST(FaultInjector, ChaosSweepIsIdenticalAcrossJobCounts) {
+  constexpr size_t Seeds = 6;
+  auto Point = [](size_t I) { return chaosRun(500 + I); };
+  const std::vector<ColocationSimResult> Sequential =
+      parallelSweep<ColocationSimResult>(Seeds, 1, Point);
+  const std::vector<ColocationSimResult> Fanned =
+      parallelSweep<ColocationSimResult>(Seeds, 4, Point);
+  ASSERT_EQ(Sequential.size(), Fanned.size());
+  for (size_t I = 0; I != Seeds; ++I)
+    EXPECT_TRUE(journalsEqual(Sequential[I].ProtocolJournal,
+                              Fanned[I].ProtocolJournal))
+        << "seed point " << I << " depends on sweep parallelism";
+}
+
+} // namespace

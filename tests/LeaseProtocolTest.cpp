@@ -1,0 +1,328 @@
+//===- tests/LeaseProtocolTest.cpp - Hardened lease protocol tests ---------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The liveness and containment half of the arbiter: lease TTLs and the
+// heartbeat that renews them, the compliance escalation ladder, and the
+// warm-restart paths (snapshot/restore and trace-journal warmStart).
+// Edge cases pinned here are protocol contracts, not implementation
+// accidents: a lease is dead at *exactly* the TTL, a heartbeat landing
+// just before the deadline keeps it alive, equal sample timestamps are
+// legitimate batching, and eviction latches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arbiter/Arbiter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace dope;
+
+namespace {
+
+ArbiterOptions baseOptions() {
+  ArbiterOptions Opts;
+  Opts.TotalThreads = 8;
+  Opts.EpochSeconds = 2.0;
+  Opts.LeaseTtlSeconds = 5.0;
+  Opts.HysteresisThreads = 0;
+  return Opts;
+}
+
+TenantSpec spec(const std::string &Name, double Weight = 1.0,
+                unsigned MinThreads = 1) {
+  TenantSpec S;
+  S.Name = Name;
+  S.Weight = Weight;
+  S.MinThreads = MinThreads;
+  return S;
+}
+
+/// An honest saturated sample: throughput earned at exactly the granted
+/// thread count, with backlog so the window teaches the estimator.
+TenantSample sample(double Time, unsigned Granted, double Throughput) {
+  TenantSample S;
+  S.Time = Time;
+  S.GrantedThreads = Granted;
+  S.Throughput = Throughput;
+  S.OfferedRate = Throughput * 1.5;
+  S.QueueDepth = 4.0;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness: TTL expiry and heartbeat revival
+//===----------------------------------------------------------------------===//
+
+TEST(LeaseProtocol, LeaseIsDeadExactlyAtTtl) {
+  Arbiter Arb(baseOptions());
+  const TenantId A = Arb.addTenant(spec("a"), 0.0);
+  const TenantId B = Arb.addTenant(spec("b"), 0.0);
+
+  // Keep B alive; A never reports after admission (heartbeat t=0).
+  Arb.reportSample(B, sample(2.0, Arb.leaseOf(B).Threads, 40.0));
+  Arb.rebalance(2.0);
+  EXPECT_FALSE(Arb.isExpired(A));
+
+  // Just inside the TTL the lease is still valid...
+  Arb.reportSample(B, sample(4.9, Arb.leaseOf(B).Threads, 40.0));
+  Arb.rebalance(4.9);
+  EXPECT_FALSE(Arb.isExpired(A));
+
+  // ...and at exactly LastHeartbeat + TTL it is already dead: the
+  // boundary is deterministic, not a race.
+  Arb.reportSample(B, sample(5.0, Arb.leaseOf(B).Threads, 40.0));
+  std::vector<LeaseChange> Changes = Arb.rebalance(5.0);
+  EXPECT_TRUE(Arb.isExpired(A));
+  EXPECT_EQ(Arb.leaseOf(A).Threads, 0u);
+
+  bool SawExpire = false;
+  for (const LeaseChange &C : Changes)
+    if (C.Tenant == "a" && C.Reason == "expire" && C.NewThreads == 0)
+      SawExpire = true;
+  EXPECT_TRUE(SawExpire) << "expiry must surface as an explicit change";
+}
+
+TEST(LeaseProtocol, ExpiredThreadsReturnToThePool) {
+  Arbiter Arb(baseOptions());
+  const TenantId A = Arb.addTenant(spec("a"), 0.0);
+  const TenantId B = Arb.addTenant(spec("b"), 0.0);
+  EXPECT_EQ(Arb.leaseOf(A).Threads + Arb.leaseOf(B).Threads, 8u);
+
+  Arb.reportSample(B, sample(5.0, Arb.leaseOf(B).Threads, 40.0));
+  Arb.rebalance(5.0);
+  EXPECT_TRUE(Arb.isExpired(A));
+  // The survivor absorbs the dead tenant's share immediately — expiry
+  // forces a re-split past the epoch gate.
+  EXPECT_EQ(Arb.leaseOf(B).Threads, 8u);
+}
+
+TEST(LeaseProtocol, FreshHeartbeatRevivesPastTheEpochGate) {
+  Arbiter Arb(baseOptions());
+  const TenantId A = Arb.addTenant(spec("a"), 0.0);
+  const TenantId B = Arb.addTenant(spec("b"), 0.0);
+  Arb.reportSample(B, sample(5.0, Arb.leaseOf(B).Threads, 40.0));
+  Arb.rebalance(5.0);
+  ASSERT_TRUE(Arb.isExpired(A));
+
+  // The heartbeat itself revives; the next rebalance re-seats A even
+  // though a full epoch has not elapsed since the last re-split.
+  Arb.reportSample(A, sample(5.5, 0, 0.0));
+  EXPECT_FALSE(Arb.isExpired(A));
+  Arb.rebalance(5.5);
+  EXPECT_GE(Arb.leaseOf(A).Threads, 1u);
+  EXPECT_LE(Arb.leaseOf(A).Threads + Arb.leaseOf(B).Threads, 8u);
+}
+
+TEST(LeaseProtocol, HeartbeatRacingTheDeadlineKeepsTheLease) {
+  Arbiter Arb(baseOptions());
+  const TenantId A = Arb.addTenant(spec("a"), 0.0);
+  const TenantId B = Arb.addTenant(spec("b"), 0.0);
+
+  // A's renewal lands a hair before the expiry sweep at t=5.
+  Arb.reportSample(A, sample(4.99, Arb.leaseOf(A).Threads, 40.0));
+  Arb.reportSample(B, sample(5.0, Arb.leaseOf(B).Threads, 40.0));
+  Arb.rebalance(5.0);
+  EXPECT_FALSE(Arb.isExpired(A));
+  EXPECT_GE(Arb.leaseOf(A).Threads, 1u);
+
+  // A stale heartbeat (timestamp not newer than the last) renews
+  // nothing: the TTL clock never runs backwards.
+  Arb.reportSample(A, sample(4.99, Arb.leaseOf(A).Threads, 40.0));
+  EXPECT_DOUBLE_EQ(Arb.lastHeartbeatOf(A), 4.99);
+  Arb.reportSample(B, sample(9.99, Arb.leaseOf(B).Threads, 40.0));
+  Arb.rebalance(9.99);
+  EXPECT_TRUE(Arb.isExpired(A));
+}
+
+//===----------------------------------------------------------------------===//
+// Containment: the compliance escalation ladder
+//===----------------------------------------------------------------------===//
+
+TEST(LeaseProtocol, HonestTenantIsNeverPenalized) {
+  Arbiter Arb(baseOptions());
+  const TenantId A = Arb.addTenant(spec("a"), 0.0);
+  const TenantId B = Arb.addTenant(spec("b"), 0.0);
+  for (int Epoch = 1; Epoch <= 20; ++Epoch) {
+    const double Now = 2.0 * Epoch;
+    Arb.reportSample(A, sample(Now, Arb.leaseOf(A).Threads, 30.0));
+    Arb.reportSample(B, sample(Now, Arb.leaseOf(B).Threads, 30.0));
+    Arb.rebalance(Now);
+  }
+  EXPECT_EQ(Arb.penaltyOf(A), CompliancePenalty::None);
+  EXPECT_EQ(Arb.penaltyOf(B), CompliancePenalty::None);
+  EXPECT_DOUBLE_EQ(Arb.complianceScoreOf(A), 0.0);
+}
+
+TEST(LeaseProtocol, EqualSampleTimestampsAreLegitimateBatching) {
+  Arbiter Arb(baseOptions());
+  const TenantId A = Arb.addTenant(spec("a"), 0.0);
+  // Hosts may flush several windows onto one epoch tick; equal
+  // timestamps must not read as a rewound clock.
+  Arb.reportSample(A, sample(2.0, Arb.leaseOf(A).Threads, 30.0));
+  Arb.reportSample(A, sample(2.0, Arb.leaseOf(A).Threads, 31.0));
+  EXPECT_DOUBLE_EQ(Arb.complianceScoreOf(A), 0.0);
+
+  // A strictly rewound clock is a violation.
+  Arb.reportSample(A, sample(1.0, Arb.leaseOf(A).Threads, 30.0));
+  EXPECT_GT(Arb.complianceScoreOf(A), 0.0);
+}
+
+TEST(LeaseProtocol, FutureClockIsClampedAndFlagged) {
+  Arbiter Arb(baseOptions());
+  const TenantId A = Arb.addTenant(spec("a"), 0.0);
+  // A heartbeat from the far future would fake liveness forever.
+  Arb.reportSample(A, sample(100.0, Arb.leaseOf(A).Threads, 30.0));
+  Arb.rebalance(2.0);
+  EXPECT_GT(Arb.complianceScoreOf(A), 0.0);
+  EXPECT_LE(Arb.lastHeartbeatOf(A), 2.0);
+}
+
+TEST(LeaseProtocol, LadderEscalatesThroughClampToLatchedEviction) {
+  ArbiterOptions Opts = baseOptions();
+  Opts.LeaseTtlSeconds = 0.0; // isolate containment from liveness
+  Arbiter Arb(Opts);
+  const TenantId Greedy = Arb.addTenant(spec("greedy", 1.0, 2), 0.0);
+  const TenantId Honest = Arb.addTenant(spec("honest"), 0.0);
+
+  // First window is never checked against the lease (no previous
+  // sample); establish history honestly.
+  Arb.reportSample(Greedy, sample(2.0, Arb.leaseOf(Greedy).Threads, 30.0));
+  Arb.reportSample(Honest, sample(2.0, Arb.leaseOf(Honest).Threads, 30.0));
+  Arb.rebalance(2.0);
+
+  bool SawDiscount = false, SawClamp = false;
+  int Epoch = 2;
+  for (; Epoch <= 30 && !Arb.isEvicted(Greedy); ++Epoch) {
+    const double Now = 2.0 * Epoch;
+    // Reports holding far more threads than any lease could grant.
+    Arb.reportSample(Greedy, sample(Now, 16, 120.0));
+    Arb.reportSample(Honest, sample(Now, Arb.leaseOf(Honest).Threads, 30.0));
+    Arb.rebalance(Now);
+    const CompliancePenalty P = Arb.penaltyOf(Greedy);
+    SawDiscount |= P == CompliancePenalty::BidDiscount;
+    SawClamp |= P == CompliancePenalty::LeaseClamp;
+  }
+
+  EXPECT_TRUE(SawDiscount) << "ladder must pass through the discount rung";
+  EXPECT_TRUE(SawClamp) << "ladder must pass through the clamp rung";
+  ASSERT_TRUE(Arb.isEvicted(Greedy));
+  EXPECT_EQ(Arb.leaseOf(Greedy).Threads, 0u);
+  EXPECT_EQ(Arb.leaseOf(Honest).Threads, 8u);
+  EXPECT_EQ(Arb.penaltyOf(Honest), CompliancePenalty::None);
+
+  // Eviction latches: even a flood of clean reports never re-seats.
+  for (int I = 0; I != 10; ++I)
+    Arb.reportSample(Greedy,
+                     sample(2.0 * (Epoch + I), 2, 10.0));
+  Arb.rebalance(2.0 * (Epoch + 10));
+  EXPECT_TRUE(Arb.isEvicted(Greedy));
+  EXPECT_EQ(Arb.leaseOf(Greedy).Threads, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Warm restart: snapshot/restore and journal warmStart
+//===----------------------------------------------------------------------===//
+
+/// Drives \p Arb through several honest epochs so it has history worth
+/// snapshotting; returns the time of the last rebalance.
+double warmUp(Arbiter &Arb, TenantId A, TenantId B) {
+  double Now = 0.0;
+  for (int Epoch = 1; Epoch <= 6; ++Epoch) {
+    Now = 2.0 * Epoch;
+    Arb.reportSample(A, sample(Now, Arb.leaseOf(A).Threads,
+                               8.0 * Arb.leaseOf(A).Threads));
+    Arb.reportSample(B, sample(Now, Arb.leaseOf(B).Threads,
+                               3.0 + 0.5 * Arb.leaseOf(B).Threads));
+    Arb.rebalance(Now);
+  }
+  return Now;
+}
+
+TEST(LeaseProtocol, SnapshotRestoreRoundTripsDecisions) {
+  ArbiterOptions Opts = baseOptions();
+  Arbiter Original(Opts);
+  const TenantId A = Original.addTenant(spec("scalable", 1.0), 0.0);
+  const TenantId B = Original.addTenant(spec("flat", 1.0), 0.0);
+  const double Now = warmUp(Original, A, B);
+
+  Arbiter Restored(Opts);
+  ASSERT_TRUE(Restored.restore(Original.snapshot()));
+  ASSERT_EQ(Restored.tenantCount(), 2u);
+  EXPECT_EQ(Restored.leaseOf(A).Threads, Original.leaseOf(A).Threads);
+  EXPECT_EQ(Restored.leaseOf(B).Threads, Original.leaseOf(B).Threads);
+  EXPECT_DOUBLE_EQ(Restored.lastHeartbeatOf(A),
+                   Original.lastHeartbeatOf(A));
+
+  // The restored arbiter must make the decisions the dead one would
+  // have: identical telemetry from here on yields identical changes.
+  for (int Epoch = 1; Epoch <= 4; ++Epoch) {
+    const double T = Now + 2.0 * Epoch;
+    for (Arbiter *Arb : {&Original, &Restored}) {
+      Arb->reportSample(A, sample(T, Arb->leaseOf(A).Threads,
+                                  8.0 * Arb->leaseOf(A).Threads));
+      Arb->reportSample(B, sample(T, Arb->leaseOf(B).Threads,
+                                  3.0 + 0.5 * Arb->leaseOf(B).Threads));
+    }
+    const std::vector<LeaseChange> Want = Original.rebalance(T);
+    const std::vector<LeaseChange> Got = Restored.rebalance(T);
+    ASSERT_EQ(Got.size(), Want.size()) << "epoch " << Epoch;
+    for (size_t I = 0; I != Want.size(); ++I) {
+      EXPECT_EQ(Got[I].Tenant, Want[I].Tenant);
+      EXPECT_EQ(Got[I].NewThreads, Want[I].NewThreads);
+    }
+  }
+}
+
+TEST(LeaseProtocol, RestoreRejectsForeignDocumentsUntouched) {
+  Arbiter Arb(baseOptions());
+  const TenantId A = Arb.addTenant(spec("a"), 0.0);
+  const unsigned Before = Arb.leaseOf(A).Threads;
+
+  JsonValue Wrong = JsonValue::makeObject();
+  Wrong.set("schema", JsonValue("not-an-arbiter-snapshot"));
+  EXPECT_FALSE(Arb.restore(Wrong));
+  EXPECT_FALSE(Arb.restore(JsonValue(42.0)));
+  EXPECT_EQ(Arb.tenantCount(), 1u);
+  EXPECT_EQ(Arb.leaseOf(A).Threads, Before);
+}
+
+TEST(LeaseProtocol, WarmStartRealignsHoldingsAndSkipsStrangers) {
+  Arbiter Arb(baseOptions());
+  const TenantId A = Arb.addTenant(spec("a"), 0.0);
+  const TenantId B = Arb.addTenant(spec("b"), 0.0);
+
+  // A host journal: saturated heartbeats that re-teach the curve, then
+  // the lease positions the tenants actually hold. Records naming no
+  // seated tenant (an executive's "envelope" events) must be ignored.
+  std::vector<TraceRecord> Journal;
+  auto Rec = [&](TraceKind K, const char *Name, double T, double A0,
+                 double B0, const char *Detail) {
+    TraceRecord R;
+    R.Kind = K;
+    R.Name = Name;
+    R.Time = T;
+    R.A = A0;
+    R.B = B0;
+    R.Detail = Detail;
+    Journal.push_back(R);
+  };
+  Rec(TraceKind::Heartbeat, "a", 2.0, 2.0, 16.0, "saturated");
+  Rec(TraceKind::Heartbeat, "a", 4.0, 4.0, 30.0, "saturated");
+  Rec(TraceKind::Heartbeat, "b", 4.0, 4.0, 5.0, "saturated");
+  Rec(TraceKind::LeaseGrant, "a", 6.0, 6.0, 2.0, "rebalance");
+  Rec(TraceKind::LeaseRevoke, "b", 6.0, 2.0, 6.0, "rebalance");
+  Rec(TraceKind::LeaseExpire, "envelope", 6.0, 1.0, 4.0, "ttl");
+
+  const size_t Applied = Arb.warmStart(Journal);
+  EXPECT_EQ(Applied, 5u) << "the stranger record must be skipped";
+  EXPECT_EQ(Arb.leaseOf(A).Threads, 6u);
+  EXPECT_EQ(Arb.leaseOf(B).Threads, 2u);
+}
+
+} // namespace

@@ -251,6 +251,72 @@ TEST(TraceExport, JsonlRejectsUnknownKind) {
   EXPECT_NE(Error.find("nonsense"), std::string::npos);
 }
 
+TEST(TraceExport, LeaseProtocolKindsRoundTrip) {
+  std::vector<TraceRecord> Records;
+  TraceRecord R;
+  R.Time = 5.0;
+  R.Kind = TraceKind::LeaseExpire;
+  R.Name = "tenant-a";
+  R.A = 0;
+  R.B = 6;
+  R.Detail = "ttl";
+  Records.push_back(R);
+  R.Time = 5.5;
+  R.Kind = TraceKind::Heartbeat;
+  R.Name = "tenant-b";
+  R.A = 4;
+  R.B = 30.0;
+  R.Detail = "saturated";
+  Records.push_back(R);
+  R.Time = 6.0;
+  R.Kind = TraceKind::ComplianceVerdict;
+  R.Name = "tenant-c";
+  R.A = 4.0;
+  R.B = 2.0;
+  R.Detail = "envelope-exceeded";
+  Records.push_back(R);
+
+  std::stringstream SS;
+  writeTraceJsonl(Records, SS);
+  std::string Error;
+  std::optional<std::vector<TraceRecord>> Back = readTraceJsonl(SS, &Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  ASSERT_EQ(Back->size(), 3u);
+  EXPECT_EQ((*Back)[0].Kind, TraceKind::LeaseExpire);
+  EXPECT_EQ((*Back)[0].Detail, "ttl");
+  EXPECT_EQ((*Back)[1].Kind, TraceKind::Heartbeat);
+  EXPECT_EQ((*Back)[1].Detail, "saturated");
+  EXPECT_EQ((*Back)[2].Kind, TraceKind::ComplianceVerdict);
+  EXPECT_EQ((*Back)[2].B, 2.0);
+}
+
+TEST(TraceExport, LenientReaderSkipsCorruptionWithHonestCounts) {
+  // A crashed writer's file: valid records, a corrupt interior line (a
+  // foreign tool interleaved), and a torn final record.
+  std::stringstream SS;
+  SS << "{\"t\":1,\"kind\":\"heartbeat\",\"name\":\"a\",\"a\":4}\n"
+     << "not json at all\n"
+     << "{\"t\":2,\"kind\":\"lease-grant\",\"name\":\"a\",\"a\":6}\n"
+     << "{\"t\":3,\"kind\":\"lease-revoke\",\"na";
+
+  TraceReadStats Stats;
+  const std::vector<TraceRecord> Records = readTraceJsonlLenient(SS, &Stats);
+  ASSERT_EQ(Records.size(), 2u);
+  EXPECT_EQ(Records[0].Kind, TraceKind::Heartbeat);
+  EXPECT_EQ(Records[1].Kind, TraceKind::LeaseGrant);
+  EXPECT_EQ(Stats.Parsed, 2u);
+  EXPECT_EQ(Stats.Skipped, 2u);
+  EXPECT_EQ(Stats.FirstSkippedLine, 2u);
+  EXPECT_FALSE(Stats.FirstError.empty());
+
+  // A clean stream reports zero skips.
+  std::stringstream Clean;
+  writeTraceJsonl(sampleRecords(), Clean);
+  TraceReadStats CleanStats;
+  EXPECT_EQ(readTraceJsonlLenient(Clean, &CleanStats).size(), 3u);
+  EXPECT_EQ(CleanStats.Skipped, 0u);
+}
+
 TEST(TraceExport, ChromeTraceIsWellFormedJson) {
   std::stringstream SS;
   writeChromeTrace(sampleRecords(), SS);
@@ -382,6 +448,59 @@ TEST(ReplayIo, DecisionsRoundTripAndDiff) {
   Report = diffDecisions({D1, D2}, {D1});
   ASSERT_TRUE(Report.has_value());
   EXPECT_NE(Report->find("end of sequence"), std::string::npos);
+}
+
+TEST(ReplayIo, FeatureStreamToleratesATornFinalRecord) {
+  const FeatureStream S = sampleStream();
+  std::stringstream Whole;
+  writeFeatureStream(S, Whole);
+  const std::string Text = Whole.str();
+
+  // Chop the final record mid-line: the writer died there. The intact
+  // prefix must load, with the torn tail reported.
+  const size_t LastLine = Text.rfind('\n', Text.size() - 2);
+  ASSERT_NE(LastLine, std::string::npos);
+  std::stringstream Torn(Text.substr(0, LastLine + 1 + 20));
+  std::string Error;
+  bool TornTail = false;
+  std::optional<FeatureStream> Back =
+      readFeatureStream(Torn, &Error, &TornTail);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  EXPECT_TRUE(TornTail);
+  EXPECT_EQ(Back->Steps.size(), S.Steps.size() - 1);
+
+  // Corruption that is NOT the tail still fails the whole read: the
+  // suffix after the bad line proves the file did not end there.
+  std::stringstream Interior(std::string("garbage\n") + Text);
+  TornTail = false;
+  EXPECT_FALSE(readFeatureStream(Interior, &Error, &TornTail).has_value());
+  EXPECT_FALSE(TornTail);
+}
+
+TEST(ReplayIo, DecisionsTolerateATornFinalRecord) {
+  ReplayDecision D1;
+  D1.Step = 1;
+  D1.Config = "<(2, PAR)>";
+  D1.TotalThreads = 2;
+  D1.Extents = {2};
+  ReplayDecision D2 = D1;
+  D2.Step = 2;
+
+  std::stringstream Whole;
+  writeDecisions({D1, D2}, Whole);
+  const std::string Text = Whole.str();
+  const size_t LastLine = Text.rfind('\n', Text.size() - 2);
+  ASSERT_NE(LastLine, std::string::npos);
+
+  std::stringstream Torn(Text.substr(0, LastLine + 1 + 10));
+  std::string Error;
+  bool TornTail = false;
+  std::optional<std::vector<ReplayDecision>> Back =
+      readDecisions(Torn, &Error, &TornTail);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  EXPECT_TRUE(TornTail);
+  ASSERT_EQ(Back->size(), 1u);
+  EXPECT_EQ((*Back)[0], D1);
 }
 
 //===----------------------------------------------------------------------===//

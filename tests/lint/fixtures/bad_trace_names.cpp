@@ -1,12 +1,18 @@
 // TS001 fixture: TraceKind enumerators vs KindNames serializer drift.
-// Never compiled — scanned by dope_lint in the lint test suite.
+// Mirrors the lease-protocol schema growth: the enum gained
+// LeaseExpire/Heartbeat/ComplianceVerdict but the serializer table was
+// only partially extended. Never compiled — scanned by dope_lint.
 
 enum class TraceKind : unsigned char {
   FeatureSample,
   Decision,
   Reconfig,
   Fault,
+  LeaseExpire,
+  Heartbeat,
+  ComplianceVerdict,
 };
 
-static constexpr const char *KindNames[] = {"feature", "decision",
-                                            "reconfig"};
+static constexpr const char *KindNames[] = {"feature",      "decision",
+                                            "reconfig",     "fault",
+                                            "lease-expire", "heartbeat"};

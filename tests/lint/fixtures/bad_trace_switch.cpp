@@ -1,11 +1,15 @@
-// TS002 fixture: defaultless switch over TraceKind missing enumerators.
-// Never compiled — scanned by dope_lint in the lint test suite.
+// TS002 fixture: defaultless switch over TraceKind missing enumerators
+// — here the lease-protocol kinds a pre-hardening dispatcher never
+// heard of. Never compiled — scanned by dope_lint.
 
 enum class TraceKind : unsigned char {
   FeatureSample,
   Decision,
   Reconfig,
   Fault,
+  LeaseExpire,
+  Heartbeat,
+  ComplianceVerdict,
 };
 
 int replayDispatch(TraceKind K) {
@@ -14,6 +18,10 @@ int replayDispatch(TraceKind K) {
     return 1;
   case TraceKind::Decision:
     return 2;
+  case TraceKind::Reconfig:
+    return 3;
+  case TraceKind::Fault:
+    return 4;
   }
   return 0;
 }

@@ -64,19 +64,34 @@ int usage() {
   return 2;
 }
 
-std::optional<std::vector<TraceRecord>> loadTrace(const std::string &Path) {
+/// Traces come from crashed runs as often as clean ones, so loading is
+/// lenient: malformed lines (torn tails, interleaved writes, unknown
+/// kinds from newer builds) are skipped with a count instead of failing
+/// the whole file. Callers exit 3 when anything was skipped so scripts
+/// notice the gap while humans still get the intact records.
+std::optional<std::vector<TraceRecord>> loadTrace(const std::string &Path,
+                                                  TraceReadStats &Stats) {
   std::ifstream IS(Path);
   if (!IS) {
     std::fprintf(stderr, "dope_trace: cannot open '%s'\n", Path.c_str());
     return std::nullopt;
   }
-  std::string Error;
-  std::optional<std::vector<TraceRecord>> Records =
-      readTraceJsonl(IS, &Error);
-  if (!Records)
-    std::fprintf(stderr, "dope_trace: %s: %s\n", Path.c_str(),
-                 Error.c_str());
+  std::vector<TraceRecord> Records = readTraceJsonlLenient(IS, &Stats);
+  if (Stats.Skipped != 0)
+    std::fprintf(stderr,
+                 "dope_trace: %s: skipped %llu malformed line(s), first at "
+                 "line %llu (%s); kept %llu\n",
+                 Path.c_str(), static_cast<unsigned long long>(Stats.Skipped),
+                 static_cast<unsigned long long>(Stats.FirstSkippedLine),
+                 Stats.FirstError.c_str(),
+                 static_cast<unsigned long long>(Stats.Parsed));
   return Records;
+}
+
+/// Exit code for commands that read a trace: corruption is reported but
+/// not fatal — 0 clean, 3 when records were skipped.
+int traceExit(const TraceReadStats &Stats) {
+  return Stats.Skipped != 0 ? 3 : 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -91,7 +106,8 @@ int cmdDump(const std::vector<std::string> &Args) {
     if (Args[I] == "--chrome" && I + 1 < Args.size())
       ChromeOut = Args[++I];
 
-  std::optional<std::vector<TraceRecord>> Records = loadTrace(Args[0]);
+  TraceReadStats Stats;
+  std::optional<std::vector<TraceRecord>> Records = loadTrace(Args[0], Stats);
   if (!Records)
     return 1;
 
@@ -105,7 +121,7 @@ int cmdDump(const std::vector<std::string> &Args) {
     writeChromeTrace(*Records, OS);
     std::printf("wrote %zu events to %s\n", Records->size(),
                 ChromeOut.c_str());
-    return 0;
+    return traceExit(Stats);
   }
 
   std::printf("%12s  %-12s %3s  %-24s %10s %10s  %s\n", "time", "kind",
@@ -114,18 +130,19 @@ int cmdDump(const std::vector<std::string> &Args) {
     std::printf("%12.6f  %-12s %3u  %-24s %10.4g %10.4g  %s\n", R.Time,
                 toString(R.Kind), R.Tid, R.Name.c_str(), R.A, R.B,
                 R.Detail.c_str());
-  return 0;
+  return traceExit(Stats);
 }
 
 int cmdStats(const std::vector<std::string> &Args) {
   if (Args.empty())
     return usage();
-  std::optional<std::vector<TraceRecord>> Records = loadTrace(Args[0]);
+  TraceReadStats Stats;
+  std::optional<std::vector<TraceRecord>> Records = loadTrace(Args[0], Stats);
   if (!Records)
     return 1;
   if (Records->empty()) {
     std::printf("empty trace\n");
-    return 0;
+    return traceExit(Stats);
   }
 
   std::map<std::string, uint64_t> ByKind;
@@ -147,7 +164,7 @@ int cmdStats(const std::vector<std::string> &Args) {
   for (const auto &[Tid, Count] : ByTid)
     std::printf("  tid %3u      %8llu\n", Tid,
                 static_cast<unsigned long long>(Count));
-  return 0;
+  return traceExit(Stats);
 }
 
 //===----------------------------------------------------------------------===//
@@ -162,11 +179,17 @@ loadDecisions(const std::string &Path) {
     return std::nullopt;
   }
   std::string Error;
+  bool TornTail = false;
   std::optional<std::vector<ReplayDecision>> Decisions =
-      readDecisions(IS, &Error);
+      readDecisions(IS, &Error, &TornTail);
   if (!Decisions)
     std::fprintf(stderr, "dope_trace: %s: %s\n", Path.c_str(),
                  Error.c_str());
+  else if (TornTail)
+    std::fprintf(stderr,
+                 "dope_trace: %s: torn final line dropped (writer died "
+                 "mid-record); comparing the intact prefix\n",
+                 Path.c_str());
   return Decisions;
 }
 
@@ -396,12 +419,19 @@ int cmdReplay(const std::vector<std::string> &Args) {
     return 1;
   }
   std::string Error;
-  std::optional<FeatureStream> Stream = readFeatureStream(IS, &Error);
+  bool TornTail = false;
+  std::optional<FeatureStream> Stream =
+      readFeatureStream(IS, &Error, &TornTail);
   if (!Stream) {
     std::fprintf(stderr, "dope_trace: %s: %s\n", StreamPath.c_str(),
                  Error.c_str());
     return 1;
   }
+  if (TornTail)
+    std::fprintf(stderr,
+                 "dope_trace: %s: torn final line dropped (writer died "
+                 "mid-record); replaying the intact prefix\n",
+                 StreamPath.c_str());
   std::unique_ptr<Mechanism> Mech = createMechanismByName(MechanismName);
   if (!Mech) {
     std::fprintf(stderr, "dope_trace: unknown mechanism '%s'\n",
