@@ -1,0 +1,284 @@
+//===- bench/ext_scale.cpp - Sharded engine scaling acceptance -------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scaling acceptance for the sharded simulation core: a platform-sized
+/// colocation scenario (120 tenants, millions of simulated events) run
+/// on the conservative time-barrier engine at 1/2/4/8 shards, plus a
+/// pipeline replica fleet sweep. Two claims are checked:
+///
+///   1. Determinism — every sharded run must be *bit-identical* to the
+///      single-shard oracle: per-tenant stats, fairness, allocation
+///      timeline, protocol journal, and the work-proportional simulated
+///      event count. This is a hard gate; a miss fails the binary.
+///
+///   2. Scaling — events per wall second at each shard count. On a
+///      multi-core runner the 8-shard rate should clearly beat the
+///      1-shard rate; the rates are reported here and gated
+///      directionally against the committed baseline by the perf suite
+///      (a 1-core CI runner legitimately sees no speedup, so raw
+///      speedup is informational, not a local pass/fail).
+///
+/// --shards N restricts the sweep to one shard count (plus the oracle
+/// for the determinism diff); --quick shrinks the scenario for smoke
+/// runs (24 tenants).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "apps/PipelineApps.h"
+#include "sim/ColocationSim.h"
+#include "sim/ShardedPipeline.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace dope;
+using namespace dope::bench;
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double secondsSince(SteadyClock::time_point Start) {
+  return std::chrono::duration<double>(SteadyClock::now() - Start).count();
+}
+
+/// A platform-sized mixed fleet: every third tenant is a
+/// latency-sensitive nested-parallel frontend, the rest are
+/// throughput-goal batch pipelines with staggered arrival rates so no
+/// two shards own identical work.
+std::vector<ColocationTenantSpec> fleetTenants(unsigned Count) {
+  std::vector<ColocationTenantSpec> Specs;
+  Specs.reserve(Count);
+  for (unsigned I = 0; I != Count; ++I) {
+    ColocationTenantSpec T;
+    if (I % 3 == 0) {
+      T.Tenant.Name = "svc" + std::to_string(I);
+      T.Tenant.Goal = TenantGoal::ResponseTime;
+      T.Tenant.Weight = 2.0;
+      T.Tenant.MinThreads = 1;
+      T.Tenant.SloSeconds = 0.5;
+      T.Kind = ColocationTenantSpec::AppKind::NestServer;
+      T.Nest.Name = T.Tenant.Name;
+      T.Nest.SeqServiceSeconds = 0.05;
+      T.Nest.Curve = SpeedupCurve(0.1, 0.2);
+      T.ArrivalRate = 20.0 + (I % 7);
+    } else {
+      T.Tenant.Name = "job" + std::to_string(I);
+      T.Tenant.Goal = TenantGoal::Throughput;
+      T.Tenant.Weight = 1.0;
+      T.Kind = ColocationTenantSpec::AppKind::Pipeline;
+      T.Pipeline.Name = T.Tenant.Name;
+      T.Pipeline.Stages = {{"decode", true, 0.02, 0.15},
+                           {"work", true, 0.1, 0.15},
+                           {"sink", true, 0.03, 0.15}};
+      T.ArrivalRate = 40.0 + 5.0 * (I % 13);
+    }
+    Specs.push_back(std::move(T));
+  }
+  return Specs;
+}
+
+ColocationSimResult runFleet(unsigned Tenants, double Duration,
+                             unsigned Shards, uint64_t Seed,
+                             double &WallSeconds) {
+  ColocationSimOptions Opts;
+  Opts.Contexts = 2 * Tenants;
+  Opts.Seed = Seed;
+  Opts.DurationSeconds = Duration;
+  Opts.StepSeconds = 0.05;
+  Opts.WarmupSeconds = 4.0;
+  Opts.Shards = Shards;
+  Opts.Policy = ColocationPolicy::Arbiter;
+  Opts.Arbiter.EpochSeconds = 2.0;
+  Opts.Arbiter.LeaseTtlSeconds = 5.0;
+
+  ColocationSim Sim(fleetTenants(Tenants), Opts);
+  const auto Start = SteadyClock::now();
+  ColocationSimResult R = Sim.run();
+  WallSeconds = secondsSince(Start);
+  return R;
+}
+
+bool sameStats(const TenantStats &A, const TenantStats &B) {
+  return A.Name == B.Name && A.Arrived == B.Arrived &&
+         A.Completed == B.Completed && A.Shed == B.Shed &&
+         A.SloHits == B.SloHits && A.ThreadSeconds == B.ThreadSeconds &&
+         A.LeaseChanges == B.LeaseChanges &&
+         A.Responses.count() == B.Responses.count() &&
+         A.Responses.meanResponseTime() == B.Responses.meanResponseTime() &&
+         A.goalAttainment() == B.goalAttainment();
+}
+
+bool sameRecord(const TraceRecord &A, const TraceRecord &B) {
+  return A.Time == B.Time && A.Kind == B.Kind && A.Name == B.Name &&
+         A.A == B.A && A.B == B.B && A.Detail == B.Detail;
+}
+
+/// Bit-exact comparison of everything the colocation sim reports. Any
+/// difference means the sharded engine let thread interleaving leak
+/// into simulation state.
+bool identicalResults(const ColocationSimResult &Oracle,
+                      const ColocationSimResult &Sharded) {
+  if (Oracle.Tenants.size() != Sharded.Tenants.size() ||
+      Oracle.LeaseChanges != Sharded.LeaseChanges ||
+      Oracle.SimulatedEvents != Sharded.SimulatedEvents ||
+      Oracle.Fairness.AggregateAttainment !=
+          Sharded.Fairness.AggregateAttainment ||
+      Oracle.Fairness.MinAttainment != Sharded.Fairness.MinAttainment ||
+      Oracle.Fairness.JainIndex != Sharded.Fairness.JainIndex)
+    return false;
+  for (size_t I = 0; I != Oracle.Tenants.size(); ++I)
+    if (!sameStats(Oracle.Tenants[I], Sharded.Tenants[I]))
+      return false;
+  if (Oracle.AllocationTimeline.size() != Sharded.AllocationTimeline.size())
+    return false;
+  for (size_t I = 0; I != Oracle.AllocationTimeline.size(); ++I) {
+    const AllocationSample &A = Oracle.AllocationTimeline[I];
+    const AllocationSample &B = Sharded.AllocationTimeline[I];
+    if (A.Time != B.Time || A.Granted != B.Granted)
+      return false;
+  }
+  if (Oracle.ProtocolJournal.size() != Sharded.ProtocolJournal.size())
+    return false;
+  for (size_t I = 0; I != Oracle.ProtocolJournal.size(); ++I)
+    if (!sameRecord(Oracle.ProtocolJournal[I], Sharded.ProtocolJournal[I]))
+      return false;
+  return true;
+}
+
+PipelineFleetResult runPipelines(unsigned Shards, uint64_t Items,
+                                 uint64_t Seed, double &WallSeconds) {
+  PipelineFleetOptions Opts;
+  Opts.Shards = Shards;
+  Opts.App = makeFerretApp();
+  Opts.Base.Seed = Seed;
+  Opts.Base.NumItems = Items;
+  Opts.Base.Contexts = 24;
+  Opts.InitialExtents = {1, 2, 8, 2, 4, 1};
+  const auto Start = SteadyClock::now();
+  PipelineFleetResult R = runPipelineFleet(Opts);
+  WallSeconds = secondsSince(Start);
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  OptionParser Options(
+      "Sharded-engine scaling acceptance: a 120-tenant colocation "
+      "platform and a pipeline replica fleet swept over shard counts, "
+      "with every sharded run checked bit-identical to the single-shard "
+      "oracle");
+  addCommonOptions(Options);
+  Options.addInt("shards", 0,
+                 "run only this shard count against the oracle "
+                 "(0 = full 1/2/4/8 sweep)");
+  parseOrExit(Options, Argc, Argv);
+
+  const bool Csv = Options.getFlag("csv");
+  const bool Quick = Options.getFlag("quick");
+  const uint64_t Seed = static_cast<uint64_t>(Options.getInt("seed"));
+  const unsigned Only = static_cast<unsigned>(Options.getInt("shards"));
+
+  const unsigned Tenants = Quick ? 40 : 120;
+  const double Duration = Quick ? 80.0 : 120.0;
+  const uint64_t FleetItems = Quick ? 4000 : 40000;
+
+  std::vector<unsigned> Sweep;
+  if (Only > 0)
+    Sweep = {Only};
+  else if (Quick)
+    Sweep = {2, 4};
+  else
+    Sweep = {2, 4, 8};
+
+  bool Ok = true;
+
+  // Colocation platform: oracle first, then the sharded sweep.
+  double OracleWall = 0.0;
+  const ColocationSimResult Oracle =
+      runFleet(Tenants, Duration, 1, Seed, OracleWall);
+  const double OracleRate =
+      OracleWall > 0.0
+          ? static_cast<double>(Oracle.SimulatedEvents) / OracleWall
+          : 0.0;
+
+  Table T({"shards", "events", "wall_s", "events_per_s", "identical"});
+  T.addRow({"1", std::to_string(Oracle.SimulatedEvents),
+            Table::formatDouble(OracleWall, 3),
+            Table::formatDouble(OracleRate, 0), "oracle"});
+  double BestRate = OracleRate;
+  for (unsigned Shards : Sweep) {
+    double Wall = 0.0;
+    const ColocationSimResult R =
+        runFleet(Tenants, Duration, Shards, Seed, Wall);
+    const bool Same = identicalResults(Oracle, R);
+    Ok &= checkShape(Same, "shards=" + std::to_string(Shards) +
+                               " colocation run is bit-identical to the "
+                               "single-shard oracle");
+    const double Rate =
+        Wall > 0.0 ? static_cast<double>(R.SimulatedEvents) / Wall : 0.0;
+    BestRate = std::max(BestRate, Rate);
+    T.addRow({std::to_string(Shards), std::to_string(R.SimulatedEvents),
+              Table::formatDouble(Wall, 3), Table::formatDouble(Rate, 0),
+              Same ? "yes" : "NO"});
+  }
+  emitTable("Colocation platform shard sweep (" + std::to_string(Tenants) +
+                " tenants, " + Table::formatDouble(Duration, 0) + " sim s)",
+            T, Csv);
+
+  const uint64_t EventFloor = Quick ? 200000 : 1000000;
+  Ok &= checkShape(Oracle.SimulatedEvents >= EventFloor,
+                   "platform scenario simulates >= " +
+                       std::to_string(EventFloor) + " events (got " +
+                       std::to_string(Oracle.SimulatedEvents) + ")");
+  std::printf("[info] peak colocation rate %.0f events/s (oracle %.0f)\n",
+              BestRate, OracleRate);
+
+  // Pipeline replica fleet: load split across replicas, items conserved,
+  // repeat runs identical.
+  Table F({"shards", "items", "wall_s", "items_per_s", "fleet_p95_s"});
+  for (unsigned Shards : Sweep) {
+    double Wall = 0.0, Wall2 = 0.0;
+    const PipelineFleetResult R = runPipelines(Shards, FleetItems, Seed, Wall);
+    const PipelineFleetResult Again =
+        runPipelines(Shards, FleetItems, Seed, Wall2);
+    bool Same = R.ItemsCompleted == Again.ItemsCompleted &&
+                R.Replicas.size() == Again.Replicas.size();
+    for (size_t I = 0; Same && I != R.Replicas.size(); ++I)
+      Same = R.Replicas[I].ItemsCompleted == Again.Replicas[I].ItemsCompleted &&
+             R.Replicas[I].TotalSeconds == Again.Replicas[I].TotalSeconds &&
+             R.Replicas[I].Throughput == Again.Replicas[I].Throughput;
+    Ok &= checkShape(Same, "fleet of " + std::to_string(Shards) +
+                               " is deterministic across repeat runs");
+    Ok &= checkShape(R.ItemsCompleted == FleetItems,
+                     "fleet of " + std::to_string(Shards) +
+                         " conserves the batch (" +
+                         std::to_string(R.ItemsCompleted) + "/" +
+                         std::to_string(FleetItems) + " items)");
+    F.addRow({std::to_string(Shards), std::to_string(R.ItemsCompleted),
+              Table::formatDouble(Wall, 3),
+              Table::formatDouble(Wall > 0.0 ? R.ItemsCompleted / Wall : 0.0,
+                                  0),
+              Table::formatDouble(R.P95ResponseSeconds, 3)});
+  }
+  emitTable("Pipeline replica fleet (ferret, " +
+                std::to_string(FleetItems) + " items)",
+            F, Csv);
+
+  if (!Ok)
+    std::printf("RESULT: FAIL\n");
+  else
+    std::printf("RESULT: OK\n");
+  return Ok ? 0 : 1;
+}

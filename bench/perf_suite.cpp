@@ -225,6 +225,61 @@ double colocationItemsPerSec(double Duration, unsigned Contexts,
   return Sec > 0.0 ? static_cast<double>(Completed) / Sec : 0.0;
 }
 
+/// Shard-scaling probe: one many-tenant colocation run at \p Shards,
+/// returning simulated events per wall second (the work-proportional
+/// SimulatedEvents counter, invariant across shard counts — so the
+/// ratio between shard counts is pure engine scaling, not workload
+/// drift). bench/ext_scale runs the full sweep with determinism
+/// cross-checks; this probe feeds the gated perf metric.
+double shardScaleEventsPerSec(unsigned Tenants, double Duration,
+                              unsigned Shards, uint64_t Seed) {
+  std::vector<ColocationTenantSpec> Specs;
+  Specs.reserve(Tenants);
+  for (unsigned I = 0; I != Tenants; ++I) {
+    ColocationTenantSpec T;
+    if (I % 3 == 0) {
+      T.Tenant.Name = "svc" + std::to_string(I);
+      T.Tenant.Goal = TenantGoal::ResponseTime;
+      T.Tenant.Weight = 2.0;
+      T.Tenant.MinThreads = 1;
+      T.Tenant.SloSeconds = 0.5;
+      T.Kind = ColocationTenantSpec::AppKind::NestServer;
+      T.Nest.Name = T.Tenant.Name;
+      T.Nest.SeqServiceSeconds = 0.05;
+      T.Nest.Curve = SpeedupCurve(0.1, 0.2);
+      T.ArrivalRate = 15.0 + (I % 7);
+    } else {
+      T.Tenant.Name = "job" + std::to_string(I);
+      T.Tenant.Goal = TenantGoal::Throughput;
+      T.Tenant.Weight = 1.0;
+      T.Kind = ColocationTenantSpec::AppKind::Pipeline;
+      T.Pipeline.Name = T.Tenant.Name;
+      T.Pipeline.Stages = {{"decode", true, 0.02, 0.15},
+                           {"work", true, 0.1, 0.15},
+                           {"sink", true, 0.03, 0.15}};
+      T.ArrivalRate = 25.0 + 3.0 * (I % 11);
+    }
+    Specs.push_back(std::move(T));
+  }
+
+  ColocationSimOptions Opts;
+  Opts.Contexts = 2 * Tenants;
+  Opts.Seed = Seed;
+  Opts.DurationSeconds = Duration;
+  Opts.StepSeconds = 0.05;
+  Opts.WarmupSeconds = 4.0;
+  Opts.Shards = Shards;
+  Opts.Policy = ColocationPolicy::Arbiter;
+  Opts.Arbiter.EpochSeconds = 2.0;
+  Opts.Arbiter.LeaseTtlSeconds = 5.0;
+
+  ColocationSim Sim(std::move(Specs), Opts);
+  const auto Start = SteadyClock::now();
+  const ColocationSimResult R = Sim.run();
+  const double Sec = secondsSince(Start);
+  return Sec > 0.0 ? static_cast<double>(R.SimulatedEvents) / Sec : 0.0;
+}
+
 //===----------------------------------------------------------------------===//
 // Lease-protocol recovery metrics
 //===----------------------------------------------------------------------===//
@@ -281,13 +336,14 @@ RecoveryNumbers recoveryMetrics(double Duration, unsigned Contexts,
   };
 
   auto runOnce = [&](std::vector<ColocationTenantSpec> Tenants,
-                     const ArbiterOutage &Outage) {
+                     const ArbiterOutage &Outage, double Warmup = 4.0,
+                     double RunSeconds = 0.0) {
     ColocationSimOptions Opts;
     Opts.Contexts = Contexts;
     Opts.Seed = Seed;
-    Opts.DurationSeconds = Duration;
+    Opts.DurationSeconds = RunSeconds > 0.0 ? RunSeconds : Duration;
     Opts.StepSeconds = 0.05;
-    Opts.WarmupSeconds = 4.0;
+    Opts.WarmupSeconds = Warmup;
     Opts.Policy = ColocationPolicy::Arbiter;
     Opts.Arbiter.EpochSeconds = EpochSeconds;
     Opts.Arbiter.LeaseTtlSeconds = LeaseTtl;
@@ -319,19 +375,32 @@ RecoveryNumbers recoveryMetrics(double Duration, unsigned Contexts,
   if (R.recovered())
     Numbers.TimeToRecoverSeconds = R.RoundsToRecover * EpochSeconds;
 
-  // Containment: byzantine miner + envelope-violating indexer; compare
-  // the honest tenants' weighted attainment against the fault-free run.
-  std::vector<ColocationTenantSpec> Chaos = makeTenants();
-  Chaos[2].Misbehavior.ByzantineFromSeconds = onEpoch(0.125 * Duration);
-  Chaos[2].Misbehavior.ReportedRateFactor = 3.0;
-  Chaos[2].Misbehavior.NonMonotoneClock = true;
-  Chaos[3].Misbehavior.EnvelopeViolationThreads = 2;
-  const ColocationSimResult Contained = runOnce(std::move(Chaos), {});
+  // Containment: byzantine miner + envelope-violating indexer from
+  // FaultStart on. The honest tenants' post-fault attainment is
+  // normalized against the same schedule's own pre-fault window — not
+  // against a separate fault-free run, whose perturbed allocations made
+  // the old ratio exceed 1.0 — and clamped: "retained" is a fraction.
+  const double FaultStart = onEpoch(0.125 * Duration);
+  auto chaosTenants = [&] {
+    std::vector<ColocationTenantSpec> Chaos = makeTenants();
+    Chaos[2].Misbehavior.ByzantineFromSeconds = FaultStart;
+    Chaos[2].Misbehavior.ReportedRateFactor = 3.0;
+    Chaos[2].Misbehavior.NonMonotoneClock = true;
+    Chaos[3].Misbehavior.EnvelopeViolationThreads = 2;
+    return Chaos;
+  };
   const std::vector<std::string> Honest = {"frontend", "batch"};
-  const double FaultFree = weightedAttainmentOf(Baseline, Honest);
-  if (FaultFree > 0.0)
-    Numbers.AttainmentRetainedFraction =
-        weightedAttainmentOf(Contained, Honest) / FaultFree;
+  // Pre-fault window [warmup, FaultStart): the same spec truncated just
+  // before the faults activate — identical trajectory, clean stats.
+  const ColocationSimResult PreWindow =
+      runOnce(chaosTenants(), {}, 4.0, FaultStart);
+  // Post-fault window [FaultStart, Duration): warmup masks everything
+  // before the faults, so the stats cover only life under containment.
+  const ColocationSimResult PostWindow =
+      runOnce(chaosTenants(), {}, FaultStart);
+  Numbers.AttainmentRetainedFraction =
+      attainmentRetained(weightedAttainmentOf(PreWindow, Honest),
+                         weightedAttainmentOf(PostWindow, Honest));
   return Numbers;
 }
 
@@ -401,6 +470,10 @@ constexpr GatedMetric GatedMetrics[] = {
     // drift is a protocol change rather than machine noise.
     {"recovery.time_to_recover_seconds", false},
     {"recovery.attainment_retained_fraction", true},
+    // Sharded-engine throughput at the widest sweep point. The 8-over-1
+    // speedup is recorded but not gated: it is a property of the
+    // runner's core count, not of the code.
+    {"shard_scaling.events_per_sec_8", true},
     {"end_to_end.fig2_transcode_seconds", false},
     {"end_to_end.fig11_response_time_seconds", false},
 };
@@ -538,6 +611,30 @@ int main(int Argc, char **Argv) {
                JsonValue(Rec.AttainmentRetainedFraction));
   Out.set("recovery", std::move(Recovery));
 
+  // Shard scaling: the same many-tenant colocation model on the sharded
+  // engine at 1/2/4/8 shards. Results are bit-identical across shard
+  // counts (the shard suite proves that), so events/s ratios are pure
+  // engine scaling. Only the 8-shard rate is gated; the speedup itself
+  // depends on the runner's core count and is recorded for inspection.
+  const unsigned ScaleTenants = Quick ? 24 : 48;
+  const double ScaleDuration = Quick ? 20.0 : 40.0;
+  JsonValue ShardScaling = JsonValue::makeObject();
+  ShardScaling.set("tenants", JsonValue(uint64_t(ScaleTenants)));
+  double ShardRate1 = 0.0, ShardRate8 = 0.0;
+  for (unsigned Shards : {1u, 2u, 4u, 8u}) {
+    const double Rate =
+        shardScaleEventsPerSec(ScaleTenants, ScaleDuration, Shards, Seed);
+    ShardScaling.set("events_per_sec_" + std::to_string(Shards),
+                     JsonValue(Rate));
+    if (Shards == 1)
+      ShardRate1 = Rate;
+    if (Shards == 8)
+      ShardRate8 = Rate;
+  }
+  const double ShardSpeedup = ShardRate1 > 0.0 ? ShardRate8 / ShardRate1 : 0.0;
+  ShardScaling.set("speedup_8_over_1", JsonValue(ShardSpeedup));
+  Out.set("shard_scaling", std::move(ShardScaling));
+
   // Tracing overhead: the identical nest run with a sink attached,
   // relative to the untraced run above; draining and JSONL export are
   // timed separately since they happen off the simulated hot path.
@@ -591,6 +688,11 @@ int main(int Argc, char **Argv) {
             Table::formatDouble(Rec.TimeToRecoverSeconds, 2)});
   T.addRow({"attainment retained (fraction)",
             Table::formatDouble(Rec.AttainmentRetainedFraction, 3)});
+  T.addRow({"sharded colocation 1 shard (events/s)",
+            Table::formatDouble(ShardRate1, 0)});
+  T.addRow({"sharded colocation 8 shards (events/s)",
+            Table::formatDouble(ShardRate8, 0)});
+  T.addRow({"shard speedup 8/1", Table::formatDouble(ShardSpeedup, 2)});
   T.addRow({"tracing run overhead", Table::formatDouble(TracingOverhead, 3)});
   T.addRow({"trace export (s)", Table::formatDouble(ExportSec, 4)});
   if (Fig2Sec >= 0.0)

@@ -205,3 +205,11 @@ dope::weightedAttainmentOf(const ColocationSimResult &Result,
   }
   return Sum;
 }
+
+double dope::attainmentRetained(double PreFaultAttainment,
+                                double PostFaultAttainment) {
+  if (PreFaultAttainment <= 0.0)
+    return 1.0;
+  const double Ratio = PostFaultAttainment / PreFaultAttainment;
+  return std::min(1.0, std::max(0.0, Ratio));
+}

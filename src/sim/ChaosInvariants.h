@@ -98,6 +98,16 @@ RecoveryMetrics allocationRecovery(const ColocationSimResult &Baseline,
 double weightedAttainmentOf(const ColocationSimResult &Result,
                             const std::vector<std::string> &Tenants);
 
+/// Fraction of pre-fault attainment retained after the fault, as a
+/// well-formed metric: a run can attain *more* after a fault than
+/// before it (perturbed allocations sometimes favor the honest tenants,
+/// and two different runs' windows are not directly comparable), so the
+/// raw ratio is clamped to [0, 1] — "retained" never exceeds whole. A
+/// non-positive pre-fault attainment yields 1.0 (nothing was attained,
+/// so nothing was lost).
+double attainmentRetained(double PreFaultAttainment,
+                          double PostFaultAttainment);
+
 } // namespace dope
 
 #endif // DOPE_SIM_CHAOSINVARIANTS_H

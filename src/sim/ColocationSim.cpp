@@ -4,16 +4,40 @@
 // SPDX-License-Identifier: MIT
 //
 //===----------------------------------------------------------------------===//
+//
+// Execution model (see DESIGN.md §14): the simulation runs on the
+// conservative sharded engine. Tenants are partitioned round-robin
+// across shards; each shard advances the fixed-step fluid model for its
+// tenants through one arbiter epoch (the lookahead window), then all
+// shards meet at a barrier whose serial section is the *coordinator*:
+// it alone owns the arbiter, the protocol journal, the fault injector,
+// and the outage schedule, and it processes tenants in spec order — so
+// the decision stream is byte-identical to the historical sequential
+// loop no matter how many shards ran the windows.
+//
+// Cross-tenant coupling inside a window is limited to the per-step
+// contention factor, which is a pure function of (a) the control state
+// every tenant had at the last barrier (granted threads, eviction,
+// self-floor) and (b) the statically known crash schedule. Each shard
+// therefore recomputes the global thread sum locally from the published
+// control mirror without communicating. Everything else crosses shards
+// only through mailboxes collected at the barrier in canonical
+// (time, source shard, sequence) order.
+//
+//===----------------------------------------------------------------------===//
 
 #include "sim/ColocationSim.h"
 
+#include "sim/CrossShardMailbox.h"
+#include "sim/ShardedSim.h"
 #include "support/Random.h"
+#include "support/RingDeque.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <memory>
-#include "support/RingDeque.h"
+#include <stdexcept>
 
 using namespace dope;
 
@@ -98,10 +122,21 @@ double nestCapacity(const NestAppModel &M, unsigned K, unsigned *BestM) {
   return Best;
 }
 
+double percentileOf(std::vector<double> Values, double Q) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  const double Pos = Q * static_cast<double>(Values.size() - 1);
+  const size_t Lo = static_cast<size_t>(Pos);
+  const size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  const double Frac = Pos - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+/// Shard-local state of one tenant. Everything here is touched only by
+/// the owning shard's worker between barriers.
 struct TenantRuntime {
   const ColocationTenantSpec *Spec = nullptr;
-  TenantId Id = 0;
-  unsigned Granted = 0;
   double ServiceCredit = 0.0;
   double PausedUntil = 0.0;
   RingDeque<double> Queue; // arrival timestamps
@@ -112,10 +147,9 @@ struct TenantRuntime {
   uint64_t WindowCompleted = 0;
   std::vector<double> WindowResponses;
 
-  // Chaos state.
-  bool Crashed = false;   // process died; never comes back
-  bool Evicted = false;   // containment killed it; never comes back
-  bool SelfFloor = false; // lease expired while alive: serving at floor
+  /// Process died (statically scheduled); the owning shard flips this
+  /// at the crossing step, the coordinator mirrors it for journaling.
+  bool Crashed = false;
   uint64_t EpochIndex = 0;
 
   TenantStats Stats;
@@ -125,15 +159,662 @@ struct TenantRuntime {
   double Latency = 0.0;
 };
 
-double percentileOf(std::vector<double> Values, double Q) {
-  if (Values.empty())
-    return 0.0;
-  std::sort(Values.begin(), Values.end());
-  const double Pos = Q * static_cast<double>(Values.size() - 1);
-  const size_t Lo = static_cast<size_t>(Pos);
-  const size_t Hi = std::min(Lo + 1, Values.size() - 1);
-  const double Frac = Pos - static_cast<double>(Lo);
-  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+/// Control-plane state of one tenant, published by the coordinator at
+/// barriers and read-only to every shard during a window. This mirror —
+/// not the shard-local runtime — is what contention sums read, so the
+/// sum is identical no matter which shard computes it.
+struct TenantControl {
+  unsigned Granted = 0;
+  bool Evicted = false;   // containment killed it; never comes back
+  bool SelfFloor = false; // lease expired while alive: serving at floor
+};
+
+/// Shard → coordinator: one tenant's epoch telemetry.
+struct EpochReport {
+  uint32_t SpecIndex = 0;
+  TenantSample Sample;
+  /// Tenant was alive and non-silent this epoch; the coordinator still
+  /// owns the injector's heartbeat-drop draw (shared RNG stream, spec
+  /// order) so the draw sequence matches the sequential sim exactly.
+  bool SentCandidate = false;
+};
+
+/// Coordinator → shard: re-derive the tenant's cached curves from the
+/// updated control mirror, and apply the lease-change side effects the
+/// sequential sim performed inline.
+struct TenantDirective {
+  uint32_t SpecIndex = 0;
+  bool CountLeaseChange = false;
+  bool Pause = false;
+};
+
+/// One run of the colocation model on the sharded engine. Borrows specs
+/// and options from ColocationSim; lives for a single run().
+class ColocationEngine {
+public:
+  ColocationEngine(const std::vector<ColocationTenantSpec> &Specs,
+                   const ColocationSimOptions &Opts)
+      : Specs(Specs), Opts(Opts), N(Specs.size()),
+        Shards(std::max(1u, Opts.Shards)), Trace(Opts.TraceSink),
+        Dt(Opts.StepSeconds),
+        OversubFactor(1.0 + Opts.OversubPenalty *
+                                (static_cast<double>(N) - 1.0)),
+        Reports(Shards) {
+    ArbOpts = Opts.Arbiter;
+    ArbOpts.TotalThreads = Opts.Contexts;
+    ArbOpts.Trace = Trace;
+    EpochLen = ArbOpts.EpochSeconds;
+  }
+
+  ColocationSimResult run();
+
+private:
+  //===--------------------------------------------------------------===//
+  // Shared read-only helpers (pure functions of published state)
+  //===--------------------------------------------------------------===//
+
+  bool crashedAt(size_t I, double StepEnd) const {
+    const double At = Specs[I].Misbehavior.CrashSeconds;
+    return At >= 0.0 && StepEnd > At;
+  }
+
+  /// Lease-derived thread demand ignoring liveness.
+  unsigned baseUsed(size_t I) const {
+    unsigned Base = Control[I].Granted;
+    if (Base == 0 && Control[I].SelfFloor)
+      Base = std::max(1u, Specs[I].Tenant.MinThreads);
+    if (Base > 0)
+      Base += Specs[I].Misbehavior.EnvelopeViolationThreads;
+    return Base;
+  }
+
+  /// Threads tenant I occupies during the step ending at \p StepEnd:
+  /// zero once dead or evicted; the self-preservation floor while its
+  /// lease is expired but the process lives; its violation surplus on
+  /// top of any live lease. Usable for *any* tenant from *any* shard:
+  /// liveness comes from the static crash schedule, everything else
+  /// from the barrier-published control mirror.
+  unsigned usedThreadsAt(size_t I, double StepEnd) const {
+    if (Control[I].Evicted || crashedAt(I, StepEnd))
+      return 0;
+    return baseUsed(I);
+  }
+
+  /// Same, from the owning shard's live crash flag (valid only on the
+  /// owner between the crash transition and the next barrier).
+  unsigned usedThreadsLive(size_t I) const {
+    if (Run[I].Crashed || Control[I].Evicted)
+      return 0;
+    return baseUsed(I);
+  }
+
+  /// Same, from the coordinator's crash mirror (valid inside the serial
+  /// section, where the mirror has replayed the closing window).
+  unsigned usedThreadsCoord(size_t I) const {
+    if (CrashedMirror[I] || Control[I].Evicted)
+      return 0;
+    return baseUsed(I);
+  }
+
+  void refreshCurves(size_t I) {
+    TenantRuntime &T = Run[I];
+    const unsigned Used = usedThreadsLive(I);
+    T.Capacity =
+        Used == 0 ? 0.0 : ColocationSim::capacity(*T.Spec, Used);
+    T.Latency = ColocationSim::serviceLatency(*T.Spec, std::max(1u, Used));
+    if (Opts.Policy == ColocationPolicy::Oversubscribed) {
+      T.Capacity /= OversubFactor;
+      T.Latency *= static_cast<double>(N) * OversubFactor;
+    }
+  }
+
+  //===--------------------------------------------------------------===//
+  // Shard side: one epoch window of fluid steps
+  //===--------------------------------------------------------------===//
+
+  void runShardEpoch(ShardContext &Ctx);
+  void stepShard(unsigned Shard, double StepEnd);
+
+  //===--------------------------------------------------------------===//
+  // Coordinator side: the barrier serial section
+  //===--------------------------------------------------------------===//
+
+  bool coordinatorBarrier();
+  void applyChanges(const std::vector<LeaseChange> &Changes, double Now);
+  void restartArbiter(double Now);
+
+  void journalRecord(double Time, TraceKind Kind, const std::string &Name,
+                     double A, double B, std::string Detail) {
+    TraceRecord R;
+    R.Time = Time;
+    R.Kind = Kind;
+    R.Name = Name;
+    R.A = A;
+    R.B = B;
+    R.Detail = std::move(Detail);
+    Result.ProtocolJournal.push_back(std::move(R));
+  }
+
+  void setup();
+
+  //===--------------------------------------------------------------===//
+  // State
+  //===--------------------------------------------------------------===//
+
+  const std::vector<ColocationTenantSpec> &Specs;
+  const ColocationSimOptions &Opts;
+  const size_t N;
+  const unsigned Shards;
+  Tracer *Trace;
+  const double Dt;
+  double EpochLen = 0.0;
+  const double OversubFactor;
+  ArbiterOptions ArbOpts;
+
+  // Partition: spec index -> owning shard, and the inverse lists.
+  std::vector<uint32_t> OwnerOf;
+  std::vector<std::vector<uint32_t>> Owned;
+
+  // Shard-local tenant state (indexed by spec; each entry touched only
+  // by its owner between barriers) and the published control mirror
+  // (written only in the serial section).
+  std::vector<TenantRuntime> Run;
+  std::vector<TenantControl> Control;
+
+  /// Per-shard window clock. Every shard advances the same float
+  /// accumulators (Now += Dt, NextEpoch += EpochLen) from zero, so step
+  /// and boundary times are bit-identical across shard counts.
+  struct ShardClock {
+    double Now = 0.0;
+    double NextEpoch = 0.0;
+    bool Done = false;
+    uint64_t SimEvents = 0;
+  };
+  std::vector<ShardClock> Clocks;
+
+  // Mailboxes: telemetry up, lease directives down.
+  CrossShardMailbox<EpochReport> Reports;
+  std::vector<std::unique_ptr<CrossShardMailbox<TenantDirective>>> Directives;
+
+  // Coordinator-only state (serial section + pre/post-run setup).
+  std::unique_ptr<Arbiter> Arb;
+  std::vector<TenantId> Ids;
+  std::vector<char> CrashedMirror; // journal-order crash flags
+  double CoordNow = 0.0;
+  double NextEpoch = 0.0;
+  uint64_t TotalLeaseChanges = 0;
+  bool ArbKilled = false;
+  bool ArbRestarted = false;
+  std::string SnapshotJson; // taken at kill time for Snapshot restarts
+  ColocationSimResult Result;
+};
+
+void ColocationEngine::setup() {
+  OwnerOf.resize(N);
+  Owned.resize(Shards);
+  for (size_t I = 0; I != N; ++I) {
+    OwnerOf[I] = static_cast<uint32_t>(I % Shards);
+    Owned[OwnerOf[I]].push_back(static_cast<uint32_t>(I));
+  }
+  Run.resize(N);
+  Control.resize(N);
+  Ids.resize(N, 0);
+  CrashedMirror.assign(N, 0);
+  Clocks.resize(Shards);
+  Directives.reserve(Shards);
+  for (unsigned S = 0; S != Shards; ++S)
+    Directives.emplace_back(
+        std::make_unique<CrossShardMailbox<TenantDirective>>(1));
+
+  if (Opts.Policy == ColocationPolicy::Arbiter)
+    Arb = std::make_unique<Arbiter>(ArbOpts);
+
+  for (size_t I = 0; I != N; ++I) {
+    TenantRuntime &T = Run[I];
+    T.Spec = &Specs[I];
+    T.Arrivals = Rng(Opts.Seed + 0x9e37 * (I + 1));
+    T.Stats.Name = Specs[I].Tenant.Name;
+    T.Stats.LatencySensitive =
+        Specs[I].Tenant.Goal == TenantGoal::ResponseTime;
+    T.Stats.Weight = Specs[I].Tenant.Weight;
+    T.Stats.SloSeconds = Specs[I].Tenant.SloSeconds;
+
+    switch (Opts.Policy) {
+    case ColocationPolicy::Arbiter:
+      Ids[I] = Arb->addTenant(Specs[I].Tenant, 0.0);
+      break;
+    case ColocationPolicy::StaticSplit: {
+      const unsigned Equal =
+          std::max(1u, Opts.Contexts / static_cast<unsigned>(N));
+      Control[I].Granted =
+          I < Opts.StaticShares.size() && Opts.StaticShares[I] > 0
+              ? Opts.StaticShares[I]
+              : Equal;
+      break;
+    }
+    case ColocationPolicy::Oversubscribed:
+      // Fair-share slice of the thrashing machine.
+      Control[I].Granted =
+          std::max(1u, Opts.Contexts / static_cast<unsigned>(N));
+      break;
+    }
+  }
+  // Read seats only after every tenant has joined — each join re-splits
+  // the pool, so earlier reads would hold stale (overcommitted) grants.
+  if (Opts.Policy == ColocationPolicy::Arbiter) {
+    for (size_t I = 0; I != N; ++I) {
+      Control[I].Granted = Arb->leaseOf(Ids[I]).Threads;
+      journalRecord(0.0, TraceKind::LeaseGrant, Run[I].Stats.Name,
+                    static_cast<double>(Control[I].Granted), 0.0, "join");
+    }
+  }
+  for (size_t I = 0; I != N; ++I)
+    refreshCurves(I);
+  if (Opts.Policy == ColocationPolicy::Arbiter) {
+    AllocationSample Seat;
+    Seat.Time = 0.0;
+    for (size_t I = 0; I != N; ++I)
+      Seat.Granted.push_back(Control[I].Granted);
+    Result.AllocationTimeline.push_back(std::move(Seat));
+  }
+
+  NextEpoch = EpochLen;
+  for (ShardClock &C : Clocks)
+    C.NextEpoch = EpochLen;
+}
+
+void ColocationEngine::runShardEpoch(ShardContext &Ctx) {
+  const unsigned S = Ctx.shard();
+  ShardClock &C = Clocks[S];
+
+  // Deliver the previous barrier's lease directives before the window
+  // opens — exactly where the sequential loop applied them.
+  for (auto &Env : Directives[S]->collect()) {
+    const TenantDirective &D = Env.Payload;
+    TenantRuntime &T = Run[D.SpecIndex];
+    if (D.Pause)
+      T.PausedUntil = Env.Time + Opts.ReconfigPauseSeconds;
+    if (D.CountLeaseChange)
+      ++T.Stats.LeaseChanges;
+    refreshCurves(D.SpecIndex);
+  }
+  if (C.Done)
+    return;
+
+  // One window of fixed steps, each dispatched through the shard's
+  // event queue. The loop structure (duration check before the step,
+  // epoch check after) mirrors the sequential loop so the step grid and
+  // boundary decisions are float-identical.
+  for (;;) {
+    if (C.Now >= Opts.DurationSeconds - 1e-12) {
+      C.Done = true;
+      return; // mid-window end: no epoch processing, like the old loop
+    }
+    const double StepEnd = C.Now + Dt;
+    Ctx.events().scheduleAt(StepEnd,
+                            [this, S, StepEnd] { stepShard(S, StepEnd); });
+    Ctx.runEventsUntil(StepEnd);
+    C.Now += Dt;
+    if (StepEnd + 1e-12 >= C.NextEpoch)
+      break;
+  }
+
+  // Epoch boundary: post this shard's telemetry and reset windows. The
+  // coordinator journals, feeds the arbiter, and rebalances in spec
+  // order at the barrier.
+  const double E = C.NextEpoch;
+  for (uint32_t I : Owned[S]) {
+    TenantRuntime &T = Run[I];
+    const TenantMisbehavior &M = T.Spec->Misbehavior;
+    EpochReport R;
+    R.SpecIndex = I;
+    if (Opts.Policy == ColocationPolicy::Arbiter) {
+      // GrantedThreads is filled by the coordinator: the boundary's
+      // outage kill/restart runs before sampling and can change grants,
+      // and the sequential sim sampled the post-transition value.
+      R.Sample.Time = E;
+      R.Sample.Throughput = static_cast<double>(T.WindowCompleted) / EpochLen;
+      R.Sample.OfferedRate = static_cast<double>(T.WindowArrived) / EpochLen;
+      R.Sample.P95ResponseSeconds = percentileOf(T.WindowResponses, 0.95);
+      R.Sample.QueueDepth = static_cast<double>(T.Queue.size());
+      if (M.byzantineAt(E)) {
+        R.Sample.Throughput *= M.ReportedRateFactor;
+        R.Sample.OfferedRate *= M.ReportedRateFactor;
+        if (M.NonMonotoneClock && (T.EpochIndex & 1))
+          R.Sample.Time = E - 1.5 * EpochLen;
+      }
+      R.SentCandidate = !T.Crashed && !Control[I].Evicted && !M.silentAt(E);
+    } else {
+      R.Sample.QueueDepth = static_cast<double>(T.Queue.size());
+    }
+    Reports.post(S, E, std::move(R));
+    T.WindowArrived = 0;
+    T.WindowCompleted = 0;
+    T.WindowResponses.clear();
+    ++T.EpochIndex;
+  }
+  C.NextEpoch += EpochLen;
+}
+
+void ColocationEngine::stepShard(unsigned Shard, double StepEnd) {
+  ShardClock &C = Clocks[Shard];
+  const double Now = C.Now; // step begin, accumulated — not StepEnd - Dt
+  const bool Measured = StepEnd > Opts.WarmupSeconds;
+
+  // Own-tenant crash transitions (capacity only; the coordinator emits
+  // the journal/trace records at the barrier, in spec order).
+  for (uint32_t I : Owned[Shard]) {
+    TenantRuntime &T = Run[I];
+    if (!T.Crashed && crashedAt(I, StepEnd)) {
+      T.Crashed = true;
+      refreshCurves(I);
+    }
+  }
+
+  // The step's contention scale: when misbehaving tenants occupy more
+  // contexts than exist, everyone's capacity shrinks pro rata. Every
+  // shard derives the same global sum from the control mirror plus the
+  // static crash schedule.
+  unsigned TotalUsed = 0;
+  for (size_t I = 0; I != N; ++I)
+    TotalUsed += usedThreadsAt(I, StepEnd);
+  const double Contention =
+      TotalUsed > Opts.Contexts
+          ? static_cast<double>(Opts.Contexts) / TotalUsed
+          : 1.0;
+
+  for (uint32_t I : Owned[Shard]) {
+    TenantRuntime &T = Run[I];
+    const ColocationTenantSpec &S = *T.Spec;
+    ++C.SimEvents; // the tenant-step update itself
+
+    // Arrivals over this step (users keep sending to dead tenants).
+    const double Load = S.ArrivalSchedule.phaseCount() == 0
+                            ? 1.0
+                            : S.ArrivalSchedule.loadFactorAt(Now);
+    const double Rate = S.ArrivalRate * Load;
+    const uint64_t Arrived =
+        Rate > 0.0 ? T.Arrivals.poisson(Rate * Dt) : 0;
+    C.SimEvents += Arrived;
+    for (uint64_t A = 0; A != Arrived; ++A) {
+      ++T.WindowArrived;
+      if (Measured)
+        ++T.Stats.Arrived;
+      if (S.AdmissionLimit != 0 && T.Queue.size() >= S.AdmissionLimit) {
+        if (Measured)
+          ++T.Stats.Shed;
+        continue;
+      }
+      T.Queue.push_back(Now);
+    }
+
+    // Service: fluid capacity accrues credit; whole items complete.
+    const double Cap =
+        (StepEnd <= T.PausedUntil ? 0.0 : T.Capacity) * Contention;
+    T.ServiceCredit += Cap * Dt;
+    while (T.ServiceCredit >= 1.0 && !T.Queue.empty()) {
+      T.ServiceCredit -= 1.0;
+      const double Arrival = T.Queue.front();
+      T.Queue.pop_front();
+      const double Completion = StepEnd + T.Latency;
+      const double Response = Completion - Arrival;
+      ++T.WindowCompleted;
+      ++C.SimEvents;
+      T.WindowResponses.push_back(Response);
+      if (Measured) {
+        ++T.Stats.Completed;
+        T.Stats.Responses.recordTransaction(Arrival, StepEnd, Completion);
+        if (T.Stats.SloSeconds > 0.0 && Response <= T.Stats.SloSeconds)
+          ++T.Stats.SloHits;
+        else if (T.Stats.SloSeconds <= 0.0)
+          ++T.Stats.SloHits; // no SLO: every completion counts
+      }
+    }
+    if (T.Queue.empty())
+      T.ServiceCredit = std::min(T.ServiceCredit, 1.0);
+
+    T.Stats.ThreadSeconds += usedThreadsLive(I) * Dt;
+  }
+}
+
+bool ColocationEngine::coordinatorBarrier() {
+  // Replay the window's step grid for crash journaling: the same float
+  // accumulation and loop structure as the shards (and the historical
+  // sequential loop), so crossings land on identical steps and the
+  // journal keeps its (crossing step, spec index) order.
+  bool Crossed = false;
+  while (CoordNow < Opts.DurationSeconds - 1e-12) {
+    const double StepEnd = CoordNow + Dt;
+    for (size_t I = 0; I != N; ++I) {
+      if (!CrashedMirror[I] && crashedAt(I, StepEnd)) {
+        CrashedMirror[I] = 1;
+        const double At = Specs[I].Misbehavior.CrashSeconds;
+        journalRecord(At, TraceKind::Fault, Specs[I].Tenant.Name, 0.0, 0.0,
+                      "tenant-crash");
+        if (Trace)
+          Trace->recordAt(At, TraceKind::Fault,
+                          "crash:" + Specs[I].Tenant.Name);
+      }
+    }
+    CoordNow += Dt;
+    if (StepEnd + 1e-12 >= NextEpoch) {
+      Crossed = true;
+      break;
+    }
+  }
+  if (!Crossed)
+    return false; // duration exhausted mid-window: the run is over
+
+  const double E = NextEpoch;
+
+  // Arbiter outage transitions happen on the boundary, before any
+  // reporting: a killed arbiter hears nothing this epoch.
+  if (Opts.Policy == ColocationPolicy::Arbiter && Opts.Outage.enabled()) {
+    if (!ArbKilled && E + 1e-12 >= Opts.Outage.KillSeconds) {
+      SnapshotJson = Arb->snapshot().dump();
+      Arb.reset();
+      ArbKilled = true;
+      journalRecord(E, TraceKind::Fault, "arbiter", 0.0, 0.0, "kill");
+      if (Trace)
+        Trace->recordAt(E, TraceKind::Fault, "arbiter-kill");
+    }
+    if (ArbKilled && !ArbRestarted && Opts.Outage.RestartSeconds >= 0.0 &&
+        E + 1e-12 >= Opts.Outage.RestartSeconds) {
+      restartArbiter(E);
+      ArbRestarted = true;
+    }
+  }
+  const bool ArbUp =
+      Opts.Policy == ColocationPolicy::Arbiter && Arb != nullptr;
+
+  // Collect every shard's telemetry (canonical mailbox order), then
+  // process tenants in spec order — the order the sequential loop used,
+  // and the order the injector's shared RNG stream must be consumed in.
+  std::vector<ShardEnvelope<EpochReport>> Envs = Reports.collect();
+  std::vector<const EpochReport *> BySpec(N, nullptr);
+  for (const ShardEnvelope<EpochReport> &Env : Envs)
+    BySpec[Env.Payload.SpecIndex] = &Env.Payload;
+
+  for (size_t I = 0; I != N; ++I) {
+    const EpochReport *R = BySpec[I];
+    if (!R)
+      throw std::logic_error(
+          "ColocationSim: missing epoch report for tenant " +
+          Specs[I].Tenant.Name);
+    if (Opts.Policy == ColocationPolicy::Arbiter) {
+      TenantSample Sample = R->Sample;
+      // Grants as of this boundary — after any kill/restart transition,
+      // exactly what the sequential sim sampled.
+      Sample.GrantedThreads = usedThreadsCoord(I);
+      bool Sent = R->SentCandidate;
+      if (Sent && Opts.Faults && Opts.Faults->dropHeartbeat())
+        Sent = false;
+      if (Sent)
+        // The host journals every report the tenant emits, even while
+        // the arbiter is down — this is what a WarmTrace restart
+        // replays.
+        journalRecord(Sample.Time, TraceKind::Heartbeat, Run[I].Stats.Name,
+                      static_cast<double>(Sample.GrantedThreads),
+                      Sample.Throughput,
+                      Sample.OfferedRate > Sample.Throughput ||
+                              Sample.QueueDepth > 0.0
+                          ? "saturated"
+                          : "");
+      if (Sent && ArbUp)
+        Arb->reportSample(Ids[I], Sample);
+    }
+    if (Trace) {
+      Trace->recordAt(E, TraceKind::Counter, "threads:" + Run[I].Stats.Name,
+                      static_cast<double>(Control[I].Granted));
+      Trace->recordAt(E, TraceKind::Counter, "queue:" + Run[I].Stats.Name,
+                      R->Sample.QueueDepth);
+    }
+  }
+
+  if (ArbUp)
+    applyChanges(Arb->rebalance(E), E);
+
+  if (Opts.Policy == ColocationPolicy::Arbiter) {
+    AllocationSample Alloc;
+    Alloc.Time = E;
+    for (size_t I = 0; I != N; ++I)
+      Alloc.Granted.push_back(Control[I].Granted);
+    Result.AllocationTimeline.push_back(std::move(Alloc));
+  }
+  NextEpoch += EpochLen;
+  return true;
+}
+
+void ColocationEngine::applyChanges(const std::vector<LeaseChange> &Changes,
+                                    double Now) {
+  TotalLeaseChanges += Changes.size();
+  for (const LeaseChange &Ch : Changes) {
+    for (size_t I = 0; I != N; ++I) {
+      if (Run[I].Stats.Name != Ch.Tenant)
+        continue;
+      Control[I].Granted = Ch.NewThreads;
+      if (Ch.Reason == "evict") {
+        // Containment: the platform kills the tenant's workers.
+        Control[I].Evicted = true;
+        Control[I].SelfFloor = false;
+      } else if (Ch.Reason == "expire") {
+        // A live tenant whose lease expired (heartbeats lost in
+        // transit) shrinks itself to its floor, like a Dope executive
+        // whose envelope TTL lapsed; a dead one is simply gone.
+        Control[I].SelfFloor = !CrashedMirror[I];
+      } else if (Ch.NewThreads > 0) {
+        Control[I].SelfFloor = false;
+      }
+      TenantDirective D;
+      D.SpecIndex = static_cast<uint32_t>(I);
+      D.CountLeaseChange = true;
+      D.Pause = !CrashedMirror[I] && !Control[I].Evicted;
+      Directives[OwnerOf[I]]->post(0, Now, D);
+      journalRecord(Now,
+                    Ch.Reason == "expire" ? TraceKind::LeaseExpire
+                    : Ch.isGrant()        ? TraceKind::LeaseGrant
+                                          : TraceKind::LeaseRevoke,
+                    Ch.Tenant, static_cast<double>(Ch.NewThreads),
+                    static_cast<double>(Ch.OldThreads), Ch.Reason);
+    }
+  }
+}
+
+void ColocationEngine::restartArbiter(double Now) {
+  Arb = std::make_unique<Arbiter>(ArbOpts);
+  bool Restored = false;
+  if (Opts.Outage.Mode == ArbiterOutage::RestartMode::Snapshot) {
+    std::string Err;
+    const std::optional<JsonValue> Snap =
+        JsonValue::parse(SnapshotJson, &Err);
+    Restored = Snap.has_value() && Arb->restore(*Snap);
+  }
+  if (!Restored) {
+    // Cold and WarmTrace paths: live tenants re-register. WarmTrace
+    // then replays the host journal so the arbiter re-learns utility
+    // curves and the actual holdings instead of starting from an
+    // equal split; Cold really does start from the naive re-split
+    // (that is the slow path warm restarts are measured against).
+    const bool Warm =
+        Opts.Outage.Mode == ArbiterOutage::RestartMode::WarmTrace;
+    // Tenants that died during the outage are gone for good: the
+    // reborn arbiter never hears of them, so release their journaled
+    // leases before the survivors are seated.
+    for (size_t I = 0; I != N; ++I) {
+      if ((CrashedMirror[I] || Control[I].Evicted) &&
+          Control[I].Granted > 0) {
+        journalRecord(Now, TraceKind::LeaseExpire, Run[I].Stats.Name, 0.0,
+                      static_cast<double>(Control[I].Granted), "restart-gc");
+        Control[I].Granted = 0;
+        TenantDirective D;
+        D.SpecIndex = static_cast<uint32_t>(I);
+        Directives[OwnerOf[I]]->post(0, Now, D);
+      }
+    }
+    for (size_t I = 0; I != N; ++I) {
+      if (CrashedMirror[I] || Control[I].Evicted)
+        continue;
+      Ids[I] = Arb->addTenant(Specs[I].Tenant, Now, nullptr);
+      if (Warm)
+        // Re-registering is itself proof of liveness; journal it so a
+        // (later) warm restart and the invariant checker see it.
+        journalRecord(Now, TraceKind::Heartbeat, Run[I].Stats.Name,
+                      static_cast<double>(Control[I].Granted), 0.0,
+                      "re-register");
+    }
+    if (Warm)
+      Arb->warmStart(Result.ProtocolJournal);
+    // Transition runtime holdings to the reborn arbiter's seats as
+    // one batch, revocations first, so the hand-over never
+    // overcommits the platform. Under WarmTrace the seats were
+    // re-aligned with the journal and the batch is usually empty.
+    std::vector<LeaseChange> Shrink, Grow;
+    for (size_t I = 0; I != N; ++I) {
+      if (CrashedMirror[I] || Control[I].Evicted)
+        continue;
+      const unsigned New = Arb->leaseOf(Ids[I]).Threads;
+      if (New == Control[I].Granted)
+        continue;
+      LeaseChange C;
+      C.Tenant = Run[I].Stats.Name;
+      C.Time = Now;
+      C.OldThreads = Control[I].Granted;
+      C.NewThreads = New;
+      C.Reason = "restart";
+      (New < Control[I].Granted ? Shrink : Grow).push_back(std::move(C));
+    }
+    applyChanges(Shrink, Now);
+    applyChanges(Grow, Now);
+  }
+  journalRecord(Now, TraceKind::Fault, "arbiter", 0.0, 0.0,
+                Restored ? "restart:snapshot"
+                : Opts.Outage.Mode == ArbiterOutage::RestartMode::WarmTrace
+                    ? "restart:warm-trace"
+                    : "restart:cold");
+  if (Trace)
+    Trace->recordAt(Now, TraceKind::Fault, "arbiter-restart");
+}
+
+ColocationSimResult ColocationEngine::run() {
+  setup();
+
+  ShardedSimOptions EngineOpts;
+  EngineOpts.Shards = Shards;
+  EngineOpts.LookaheadSeconds = EpochLen;
+  EngineOpts.Seed = Opts.Seed;
+  ShardedSim Engine(
+      EngineOpts, [this](ShardContext &Ctx) { runShardEpoch(Ctx); },
+      [this](double) { return coordinatorBarrier(); });
+  Engine.run();
+
+  Result.DurationSeconds = Opts.DurationSeconds;
+  Result.LeaseChanges = TotalLeaseChanges;
+  for (size_t I = 0; I != N; ++I)
+    Result.Tenants.push_back(std::move(Run[I].Stats));
+  Result.Fairness = summarizeTenants(Result.Tenants);
+  for (const ShardClock &C : Clocks)
+    Result.SimulatedEvents += C.SimEvents;
+  return Result;
 }
 
 } // namespace
@@ -167,391 +848,6 @@ ColocationSim::ColocationSim(std::vector<ColocationTenantSpec> Tenants,
 }
 
 ColocationSimResult ColocationSim::run() {
-  const size_t N = Specs.size();
-  Tracer *Trace = Opts.TraceSink;
-
-  ArbiterOptions ArbOpts = Opts.Arbiter;
-  ArbOpts.TotalThreads = Opts.Contexts;
-  ArbOpts.Trace = Trace;
-  // Behind a pointer so chaos runs can kill and restart it mid-run.
-  std::unique_ptr<Arbiter> Arb;
-  if (Opts.Policy == ColocationPolicy::Arbiter)
-    Arb = std::make_unique<Arbiter>(ArbOpts);
-
-  // Contention model for the oversubscribed baseline: every tenant
-  // spawns for the whole machine, so N * Contexts runnable threads
-  // compete for Contexts.
-  const double OversubFactor =
-      1.0 + Opts.OversubPenalty * (static_cast<double>(N) - 1.0);
-
-  ColocationSimResult Result;
-  std::vector<TraceRecord> &Journal = Result.ProtocolJournal;
-  auto JournalRecord = [&Journal](double Time, TraceKind Kind,
-                                  const std::string &Name, double A, double B,
-                                  std::string Detail) {
-    TraceRecord R;
-    R.Time = Time;
-    R.Kind = Kind;
-    R.Name = Name;
-    R.A = A;
-    R.B = B;
-    R.Detail = std::move(Detail);
-    Journal.push_back(std::move(R));
-  };
-
-  std::vector<TenantRuntime> Run(N);
-
-  // Threads the tenant actually occupies right now: zero once dead or
-  // evicted; the self-preservation floor while its lease is expired but
-  // the process lives; its violation surplus on top of any live lease.
-  auto usedThreads = [](const TenantRuntime &T) -> unsigned {
-    if (T.Crashed || T.Evicted)
-      return 0;
-    unsigned Base = T.Granted;
-    if (Base == 0 && T.SelfFloor)
-      Base = std::max(1u, T.Spec->Tenant.MinThreads);
-    if (Base > 0)
-      Base += T.Spec->Misbehavior.EnvelopeViolationThreads;
-    return Base;
-  };
-
-  auto refreshCurves = [&](TenantRuntime &T) {
-    const unsigned Used = usedThreads(T);
-    T.Capacity = Used == 0 ? 0.0 : capacity(*T.Spec, Used);
-    T.Latency = serviceLatency(*T.Spec, std::max(1u, Used));
-    if (Opts.Policy == ColocationPolicy::Oversubscribed) {
-      T.Capacity /= OversubFactor;
-      T.Latency *= static_cast<double>(N) * OversubFactor;
-    }
-  };
-
-  for (size_t I = 0; I != N; ++I) {
-    TenantRuntime &T = Run[I];
-    T.Spec = &Specs[I];
-    T.Arrivals = Rng(Opts.Seed + 0x9e37 * (I + 1));
-    T.Stats.Name = Specs[I].Tenant.Name;
-    T.Stats.LatencySensitive =
-        Specs[I].Tenant.Goal == TenantGoal::ResponseTime;
-    T.Stats.Weight = Specs[I].Tenant.Weight;
-    T.Stats.SloSeconds = Specs[I].Tenant.SloSeconds;
-
-    switch (Opts.Policy) {
-    case ColocationPolicy::Arbiter:
-      T.Id = Arb->addTenant(Specs[I].Tenant, 0.0);
-      break;
-    case ColocationPolicy::StaticSplit: {
-      const unsigned Equal =
-          std::max(1u, Opts.Contexts / static_cast<unsigned>(N));
-      T.Granted = I < Opts.StaticShares.size() && Opts.StaticShares[I] > 0
-                      ? Opts.StaticShares[I]
-                      : Equal;
-      break;
-    }
-    case ColocationPolicy::Oversubscribed:
-      // Fair-share slice of the thrashing machine.
-      T.Granted = std::max(1u, Opts.Contexts / static_cast<unsigned>(N));
-      break;
-    }
-  }
-  // Read seats only after every tenant has joined — each join re-splits
-  // the pool, so earlier reads would hold stale (overcommitted) grants.
-  if (Opts.Policy == ColocationPolicy::Arbiter) {
-    for (TenantRuntime &T : Run) {
-      T.Granted = Arb->leaseOf(T.Id).Threads;
-      JournalRecord(0.0, TraceKind::LeaseGrant, T.Stats.Name,
-                    static_cast<double>(T.Granted), 0.0, "join");
-    }
-  }
-  for (TenantRuntime &T : Run)
-    refreshCurves(T);
-  if (Opts.Policy == ColocationPolicy::Arbiter) {
-    AllocationSample Seat;
-    Seat.Time = 0.0;
-    for (const TenantRuntime &T : Run)
-      Seat.Granted.push_back(T.Granted);
-    Result.AllocationTimeline.push_back(std::move(Seat));
-  }
-
-  const double Dt = Opts.StepSeconds;
-  const double Epoch = ArbOpts.EpochSeconds;
-  double NextEpoch = Epoch;
-  uint64_t TotalLeaseChanges = 0;
-
-  // Outage bookkeeping.
-  bool ArbKilled = false;
-  bool ArbRestarted = false;
-  std::string SnapshotJson; // taken at kill time for Snapshot restarts
-
-  auto applyChanges = [&](const std::vector<LeaseChange> &Changes,
-                          double Now) {
-    TotalLeaseChanges += Changes.size();
-    for (const LeaseChange &C : Changes) {
-      for (TenantRuntime &T : Run) {
-        if (T.Stats.Name != C.Tenant)
-          continue;
-        T.Granted = C.NewThreads;
-        if (C.Reason == "evict") {
-          // Containment: the platform kills the tenant's workers.
-          T.Evicted = true;
-          T.SelfFloor = false;
-        } else if (C.Reason == "expire") {
-          // A live tenant whose lease expired (heartbeats lost in
-          // transit) shrinks itself to its floor, like a Dope executive
-          // whose envelope TTL lapsed; a dead one is simply gone.
-          T.SelfFloor = !T.Crashed;
-        } else if (C.NewThreads > 0) {
-          T.SelfFloor = false;
-        }
-        if (!T.Crashed && !T.Evicted)
-          T.PausedUntil = Now + Opts.ReconfigPauseSeconds;
-        ++T.Stats.LeaseChanges;
-        refreshCurves(T);
-        JournalRecord(Now,
-                      C.Reason == "expire" ? TraceKind::LeaseExpire
-                      : C.isGrant()        ? TraceKind::LeaseGrant
-                                           : TraceKind::LeaseRevoke,
-                      C.Tenant, static_cast<double>(C.NewThreads),
-                      static_cast<double>(C.OldThreads), C.Reason);
-      }
-    }
-  };
-
-  auto restartArbiter = [&](double Now) {
-    Arb = std::make_unique<Arbiter>(ArbOpts);
-    bool Restored = false;
-    if (Opts.Outage.Mode == ArbiterOutage::RestartMode::Snapshot) {
-      std::string Err;
-      const std::optional<JsonValue> Snap =
-          JsonValue::parse(SnapshotJson, &Err);
-      Restored = Snap.has_value() && Arb->restore(*Snap);
-    }
-    if (!Restored) {
-      // Cold and WarmTrace paths: live tenants re-register. WarmTrace
-      // then replays the host journal so the arbiter re-learns utility
-      // curves and the actual holdings instead of starting from an
-      // equal split; Cold really does start from the naive re-split
-      // (that is the slow path warm restarts are measured against).
-      const bool Warm =
-          Opts.Outage.Mode == ArbiterOutage::RestartMode::WarmTrace;
-      // Tenants that died during the outage are gone for good: the
-      // reborn arbiter never hears of them, so release their journaled
-      // leases before the survivors are seated.
-      for (TenantRuntime &T : Run) {
-        if ((T.Crashed || T.Evicted) && T.Granted > 0) {
-          JournalRecord(Now, TraceKind::LeaseExpire, T.Stats.Name, 0.0,
-                        static_cast<double>(T.Granted), "restart-gc");
-          T.Granted = 0;
-          refreshCurves(T);
-        }
-      }
-      for (TenantRuntime &T : Run) {
-        if (T.Crashed || T.Evicted)
-          continue;
-        T.Id = Arb->addTenant(T.Spec->Tenant, Now, nullptr);
-        if (Warm)
-          // Re-registering is itself proof of liveness; journal it so a
-          // (later) warm restart and the invariant checker see it.
-          JournalRecord(Now, TraceKind::Heartbeat, T.Stats.Name,
-                        static_cast<double>(T.Granted), 0.0, "re-register");
-      }
-      if (Warm)
-        Arb->warmStart(Journal);
-      // Transition runtime holdings to the reborn arbiter's seats as
-      // one batch, revocations first, so the hand-over never
-      // overcommits the platform. Under WarmTrace the seats were
-      // re-aligned with the journal and the batch is usually empty.
-      std::vector<LeaseChange> Shrink, Grow;
-      for (TenantRuntime &T : Run) {
-        if (T.Crashed || T.Evicted)
-          continue;
-        const unsigned New = Arb->leaseOf(T.Id).Threads;
-        if (New == T.Granted)
-          continue;
-        LeaseChange C;
-        C.Tenant = T.Stats.Name;
-        C.Time = Now;
-        C.OldThreads = T.Granted;
-        C.NewThreads = New;
-        C.Reason = "restart";
-        (New < T.Granted ? Shrink : Grow).push_back(std::move(C));
-      }
-      applyChanges(Shrink, Now);
-      applyChanges(Grow, Now);
-    }
-    JournalRecord(Now, TraceKind::Fault, "arbiter", 0.0, 0.0,
-                  Restored ? "restart:snapshot"
-                  : Opts.Outage.Mode == ArbiterOutage::RestartMode::WarmTrace
-                      ? "restart:warm-trace"
-                      : "restart:cold");
-    if (Trace)
-      Trace->recordAt(Now, TraceKind::Fault, "arbiter-restart");
-  };
-
-  for (double Now = 0.0; Now < Opts.DurationSeconds - 1e-12; Now += Dt) {
-    const double StepEnd = Now + Dt;
-    const bool Measured = StepEnd > Opts.WarmupSeconds;
-
-    // Tenant crash transitions, then the step's contention scale: when
-    // misbehaving tenants occupy more contexts than exist, everyone's
-    // capacity shrinks pro rata.
-    unsigned TotalUsed = 0;
-    for (TenantRuntime &T : Run) {
-      const TenantMisbehavior &M = T.Spec->Misbehavior;
-      if (!T.Crashed && M.CrashSeconds >= 0.0 && StepEnd > M.CrashSeconds) {
-        T.Crashed = true;
-        refreshCurves(T);
-        JournalRecord(M.CrashSeconds, TraceKind::Fault, T.Stats.Name, 0.0,
-                      0.0, "tenant-crash");
-        if (Trace)
-          Trace->recordAt(M.CrashSeconds, TraceKind::Fault,
-                          "crash:" + T.Stats.Name);
-      }
-      TotalUsed += usedThreads(T);
-    }
-    const double Contention =
-        TotalUsed > Opts.Contexts
-            ? static_cast<double>(Opts.Contexts) / TotalUsed
-            : 1.0;
-
-    for (TenantRuntime &T : Run) {
-      const ColocationTenantSpec &S = *T.Spec;
-
-      // Arrivals over this step (users keep sending to dead tenants).
-      const double Load = S.ArrivalSchedule.phaseCount() == 0
-                              ? 1.0
-                              : S.ArrivalSchedule.loadFactorAt(Now);
-      const double Rate = S.ArrivalRate * Load;
-      const uint64_t Arrived =
-          Rate > 0.0 ? T.Arrivals.poisson(Rate * Dt) : 0;
-      for (uint64_t A = 0; A != Arrived; ++A) {
-        ++T.WindowArrived;
-        if (Measured)
-          ++T.Stats.Arrived;
-        if (S.AdmissionLimit != 0 && T.Queue.size() >= S.AdmissionLimit) {
-          if (Measured)
-            ++T.Stats.Shed;
-          continue;
-        }
-        T.Queue.push_back(Now);
-      }
-
-      // Service: fluid capacity accrues credit; whole items complete.
-      const double Cap =
-          (StepEnd <= T.PausedUntil ? 0.0 : T.Capacity) * Contention;
-      T.ServiceCredit += Cap * Dt;
-      while (T.ServiceCredit >= 1.0 && !T.Queue.empty()) {
-        T.ServiceCredit -= 1.0;
-        const double Arrival = T.Queue.front();
-        T.Queue.pop_front();
-        const double Completion = StepEnd + T.Latency;
-        const double Response = Completion - Arrival;
-        ++T.WindowCompleted;
-        T.WindowResponses.push_back(Response);
-        if (Measured) {
-          ++T.Stats.Completed;
-          T.Stats.Responses.recordTransaction(Arrival, StepEnd, Completion);
-          if (T.Stats.SloSeconds > 0.0 && Response <= T.Stats.SloSeconds)
-            ++T.Stats.SloHits;
-          else if (T.Stats.SloSeconds <= 0.0)
-            ++T.Stats.SloHits; // no SLO: every completion counts
-        }
-      }
-      if (T.Queue.empty())
-        T.ServiceCredit = std::min(T.ServiceCredit, 1.0);
-
-      T.Stats.ThreadSeconds += usedThreads(T) * Dt;
-    }
-
-    // Epoch boundary: telemetry in, leases out.
-    if (StepEnd + 1e-12 >= NextEpoch) {
-      // Arbiter outage transitions happen on the boundary, before any
-      // reporting: a killed arbiter hears nothing this epoch.
-      if (Opts.Policy == ColocationPolicy::Arbiter &&
-          Opts.Outage.enabled()) {
-        if (!ArbKilled && NextEpoch + 1e-12 >= Opts.Outage.KillSeconds) {
-          SnapshotJson = Arb->snapshot().dump();
-          Arb.reset();
-          ArbKilled = true;
-          JournalRecord(NextEpoch, TraceKind::Fault, "arbiter", 0.0, 0.0,
-                        "kill");
-          if (Trace)
-            Trace->recordAt(NextEpoch, TraceKind::Fault, "arbiter-kill");
-        }
-        if (ArbKilled && !ArbRestarted && Opts.Outage.RestartSeconds >= 0.0 &&
-            NextEpoch + 1e-12 >= Opts.Outage.RestartSeconds) {
-          restartArbiter(NextEpoch);
-          ArbRestarted = true;
-        }
-      }
-      const bool ArbUp =
-          Opts.Policy == ColocationPolicy::Arbiter && Arb != nullptr;
-
-      for (TenantRuntime &T : Run) {
-        const TenantMisbehavior &M = T.Spec->Misbehavior;
-        if (Opts.Policy == ColocationPolicy::Arbiter) {
-          TenantSample Sample;
-          Sample.Time = NextEpoch;
-          Sample.GrantedThreads = usedThreads(T);
-          Sample.Throughput =
-              static_cast<double>(T.WindowCompleted) / Epoch;
-          Sample.OfferedRate = static_cast<double>(T.WindowArrived) / Epoch;
-          Sample.P95ResponseSeconds = percentileOf(T.WindowResponses, 0.95);
-          Sample.QueueDepth = static_cast<double>(T.Queue.size());
-          if (M.byzantineAt(NextEpoch)) {
-            Sample.Throughput *= M.ReportedRateFactor;
-            Sample.OfferedRate *= M.ReportedRateFactor;
-            if (M.NonMonotoneClock && (T.EpochIndex & 1))
-              Sample.Time = NextEpoch - 1.5 * Epoch;
-          }
-          bool Sent = !T.Crashed && !T.Evicted && !M.silentAt(NextEpoch);
-          if (Sent && Opts.Faults && Opts.Faults->dropHeartbeat())
-            Sent = false;
-          if (Sent)
-            // The host journals every report the tenant emits, even
-            // while the arbiter is down — this is what a WarmTrace
-            // restart replays.
-            JournalRecord(Sample.Time, TraceKind::Heartbeat, T.Stats.Name,
-                          static_cast<double>(Sample.GrantedThreads),
-                          Sample.Throughput,
-                          Sample.OfferedRate > Sample.Throughput ||
-                                  Sample.QueueDepth > 0.0
-                              ? "saturated"
-                              : "");
-          if (Sent && ArbUp)
-            Arb->reportSample(T.Id, Sample);
-        }
-        if (Trace) {
-          Trace->recordAt(NextEpoch, TraceKind::Counter,
-                          "threads:" + T.Stats.Name,
-                          static_cast<double>(T.Granted));
-          Trace->recordAt(NextEpoch, TraceKind::Counter,
-                          "queue:" + T.Stats.Name,
-                          static_cast<double>(T.Queue.size()));
-        }
-        T.WindowArrived = 0;
-        T.WindowCompleted = 0;
-        T.WindowResponses.clear();
-        ++T.EpochIndex;
-      }
-
-      if (ArbUp)
-        applyChanges(Arb->rebalance(NextEpoch), NextEpoch);
-
-      if (Opts.Policy == ColocationPolicy::Arbiter) {
-        AllocationSample Alloc;
-        Alloc.Time = NextEpoch;
-        for (const TenantRuntime &T : Run)
-          Alloc.Granted.push_back(T.Granted);
-        Result.AllocationTimeline.push_back(std::move(Alloc));
-      }
-      NextEpoch += Epoch;
-    }
-  }
-
-  Result.DurationSeconds = Opts.DurationSeconds;
-  Result.LeaseChanges = TotalLeaseChanges;
-  for (TenantRuntime &T : Run)
-    Result.Tenants.push_back(std::move(T.Stats));
-  Result.Fairness = summarizeTenants(Result.Tenants);
-  return Result;
+  ColocationEngine Engine(Specs, Opts);
+  return Engine.run();
 }

@@ -149,6 +149,16 @@ struct ColocationSimOptions {
   uint64_t Seed = 42;
   double DurationSeconds = 300.0;
 
+  /// Simulation shards: tenants are partitioned round-robin across this
+  /// many shards, each advanced by its own worker thread between
+  /// conservative epoch barriers (lookahead = one arbiter epoch; see
+  /// sim/ShardedSim.h and DESIGN.md §14). Results are bit-identical for
+  /// every value — the per-tenant RNG streams, the coordinator's serial
+  /// decision order, and the mailbox protocol are all independent of the
+  /// partition — so > 1 buys wall-clock parallelism only. 1 (default)
+  /// runs inline on the calling thread with no synchronization.
+  unsigned Shards = 1;
+
   /// Fluid-step quantum.
   double StepSeconds = 0.05;
 
@@ -195,6 +205,13 @@ struct ColocationSimResult {
   FairnessSummary Fairness;
   uint64_t LeaseChanges = 0;
   double DurationSeconds = 0.0;
+
+  /// Work-proportional simulated-event count: one per tenant-step
+  /// update plus one per arrival and per completion. Invariant across
+  /// shard counts (the differential tests assert it), so events/s =
+  /// SimulatedEvents / wall time is the shard-scaling metric
+  /// bench/ext_scale and the perf suite report.
+  uint64_t SimulatedEvents = 0;
 
   /// Per-epoch granted threads (Arbiter policy only).
   std::vector<AllocationSample> AllocationTimeline;

@@ -1,0 +1,102 @@
+//===- sim/CrossShardMailbox.h - Barrier-time cross-shard messages *-C++-*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The only channel between shards of the conservative sharded
+/// simulator: a mutex-protected mailbox whose messages carry a
+/// (virtual time, source shard, per-source sequence number) key.
+///
+/// Shards post during an epoch in whatever real-time order their worker
+/// threads happen to run; the coordinator collects at the barrier and
+/// receives messages sorted by that key. Because sequence numbers are
+/// assigned per source in posting order, the key — and therefore the
+/// delivery order — is a pure function of what each shard posted, never
+/// of how the worker threads interleaved. This is the mechanism that
+/// makes sharded runs deterministic per seed regardless of shard count
+/// or scheduling (see DESIGN.md §14).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SIM_CROSSSHARDMAILBOX_H
+#define DOPE_SIM_CROSSSHARDMAILBOX_H
+
+#include "support/ThreadAnnotations.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+namespace dope {
+
+/// One cross-shard message: the payload plus its canonical ordering key.
+template <typename PayloadT> struct ShardEnvelope {
+  /// Virtual time the message takes effect (typically the epoch end).
+  double Time = 0.0;
+  /// Shard (or coordinator) that posted it.
+  uint32_t SrcShard = 0;
+  /// Per-source posting index; breaks (Time, SrcShard) ties in the
+  /// order the source posted, which is deterministic shard-local code.
+  uint64_t Seq = 0;
+  PayloadT Payload{};
+};
+
+/// A many-producer mailbox drained at barriers. post() may be called
+/// concurrently from any shard during an epoch; collect() must only run
+/// inside the barrier's serial section (or any other point where no
+/// producer is active).
+template <typename PayloadT> class CrossShardMailbox {
+public:
+  /// \p Sources is the number of distinct SrcShard values that will
+  /// post; each gets its own sequence counter.
+  explicit CrossShardMailbox(unsigned Sources = 1) : NextSeq(Sources, 0) {}
+
+  void post(uint32_t SrcShard, double Time, PayloadT Payload) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(SrcShard < NextSeq.size() && "unknown source shard");
+    ShardEnvelope<PayloadT> E;
+    E.Time = Time;
+    E.SrcShard = SrcShard;
+    E.Seq = NextSeq[SrcShard]++;
+    E.Payload = std::move(Payload);
+    Pending.push_back(std::move(E));
+  }
+
+  /// Drains pending messages in canonical (Time, SrcShard, Seq) order.
+  /// The key is unique per message, so the sort is a total order and
+  /// the result is independent of arrival interleaving.
+  std::vector<ShardEnvelope<PayloadT>> collect() {
+    std::vector<ShardEnvelope<PayloadT>> Out;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Out.swap(Pending);
+    }
+    std::sort(Out.begin(), Out.end(),
+              [](const ShardEnvelope<PayloadT> &A,
+                 const ShardEnvelope<PayloadT> &B) {
+                return std::tie(A.Time, A.SrcShard, A.Seq) <
+                       std::tie(B.Time, B.SrcShard, B.Seq);
+              });
+    return Out;
+  }
+
+  size_t pending() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Pending.size();
+  }
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<uint64_t> NextSeq DOPE_GUARDED_BY(Mutex);
+  std::vector<ShardEnvelope<PayloadT>> Pending DOPE_GUARDED_BY(Mutex);
+};
+
+} // namespace dope
+
+#endif // DOPE_SIM_CROSSSHARDMAILBOX_H

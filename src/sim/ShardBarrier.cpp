@@ -1,0 +1,36 @@
+//===- sim/ShardBarrier.cpp - Epoch barrier for sharded simulation -------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ShardBarrier.h"
+
+#include <cassert>
+
+using namespace dope;
+
+ShardBarrier::ShardBarrier(unsigned Parties) : NumParties(Parties) {
+  assert(Parties >= 1 && "a barrier needs at least one party");
+}
+
+bool ShardBarrier::arriveAndWait(const std::function<void()> &Serial) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  const uint64_t Gen = Generation;
+  if (++Arrived == NumParties) {
+    // Run the serial section under the barrier mutex: every peer is
+    // blocked waiting for the generation to advance, so the section is
+    // exclusive, and the mutex hand-off publishes its writes to every
+    // waiter before release.
+    if (Serial)
+      Serial();
+    Arrived = 0;
+    ++Generation;
+    Lock.unlock();
+    Released.notify_all();
+    return true;
+  }
+  Released.wait(Lock, [&]() DOPE_REQUIRES(Mutex) { return Generation != Gen; });
+  return false;
+}

@@ -1,0 +1,62 @@
+//===- sim/ShardBarrier.h - Epoch barrier for sharded simulation *- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synchronization point of the conservative sharded simulator
+/// (sim/ShardedSim.h): a reusable N-party barrier whose last arriver
+/// runs a serial section while every other party stays blocked.
+///
+/// The serial section is where all cross-shard state moves — mailbox
+/// collection, arbiter decisions, control-plane publication — so shard
+/// workers only ever observe it quiescent: writes made inside the
+/// section happen-before every post-barrier read through the barrier's
+/// own mutex, and no shard executes concurrently with it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SIM_SHARDBARRIER_H
+#define DOPE_SIM_SHARDBARRIER_H
+
+#include "support/ThreadAnnotations.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace dope {
+
+/// A sense-counting barrier for lockstep epochs. Reusable: generations
+/// advance monotonically, so a party can re-arrive immediately after
+/// release without racing stragglers from the previous epoch.
+class ShardBarrier {
+public:
+  /// \p Parties is the number of arriveAndWait() calls per epoch; must
+  /// be at least 1 (a 1-party barrier degenerates to calling the serial
+  /// section inline).
+  explicit ShardBarrier(unsigned Parties);
+
+  /// Blocks until all parties have arrived. The last arrival runs
+  /// \p Serial (may be null) while the others remain blocked, then all
+  /// are released together. Returns true on the party that ran the
+  /// serial section. \p Serial must not throw and must not re-enter the
+  /// barrier.
+  bool arriveAndWait(const std::function<void()> &Serial);
+
+  unsigned parties() const { return NumParties; }
+
+private:
+  const unsigned NumParties;
+  std::mutex Mutex;
+  std::condition_variable Released;
+  unsigned Arrived DOPE_GUARDED_BY(Mutex) = 0;
+  uint64_t Generation DOPE_GUARDED_BY(Mutex) = 0;
+};
+
+} // namespace dope
+
+#endif // DOPE_SIM_SHARDBARRIER_H

@@ -1,0 +1,64 @@
+//===- sim/ShardedPipeline.cpp - Pipeline replica fleet ------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ShardedPipeline.h"
+
+#include "sim/ShardedSim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+using namespace dope;
+
+PipelineFleetResult dope::runPipelineFleet(const PipelineFleetOptions &Opts) {
+  if (Opts.Shards == 0)
+    throw std::invalid_argument("runPipelineFleet: fleet must be >= 1");
+  const unsigned S = Opts.Shards;
+
+  PipelineFleetResult Fleet;
+  Fleet.Replicas.resize(S);
+
+  // Replicas never exchange events, so the whole run is one conservative
+  // epoch: lookahead spans the simulation horizon and the first barrier
+  // ends the run.
+  ShardedSimOptions EngineOpts;
+  EngineOpts.Shards = S;
+  EngineOpts.LookaheadSeconds = std::max(1.0, Opts.Base.MaxSimSeconds);
+  EngineOpts.Seed = Opts.Base.Seed;
+  ShardedSim Engine(
+      EngineOpts,
+      [&](ShardContext &Ctx) {
+        const unsigned R = Ctx.shard();
+        PipelineSimOptions Mine = Opts.Base;
+        // Deterministic per-replica stream: replica 0 keeps the base
+        // seed so fleet(1) is byte-identical to plain PipelineSim.
+        Mine.Seed = Opts.Base.Seed + 0x9e37 * static_cast<uint64_t>(R);
+        if (Mine.OpenLoop) {
+          Mine.ArrivalRate = Opts.Base.ArrivalRate / S;
+        } else {
+          const uint64_t Split = Opts.Base.NumItems / S;
+          const uint64_t Rem = Opts.Base.NumItems % S;
+          Mine.NumItems = Split + (R < Rem ? 1 : 0);
+        }
+        if (S > 1)
+          Mine.TraceSink = nullptr; // tracer clock retarget is per-run
+        PipelineSim Sim(Opts.App, Mine);
+        std::unique_ptr<Mechanism> Mech =
+            Opts.MakeMechanism ? Opts.MakeMechanism(R) : nullptr;
+        Fleet.Replicas[R] = Sim.run(Mech.get(), Opts.InitialExtents);
+      },
+      [](double) { return false; });
+  Engine.run();
+
+  for (const PipelineSimResult &R : Fleet.Replicas) {
+    Fleet.ItemsCompleted += R.ItemsCompleted;
+    Fleet.Throughput += R.Throughput;
+    Fleet.P95ResponseSeconds = std::max(
+        Fleet.P95ResponseSeconds, R.Stats.responsePercentile(0.95));
+  }
+  return Fleet;
+}

@@ -1,0 +1,79 @@
+//===- sim/ShardedPipeline.h - Pipeline replica fleet ----------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fleet of independent PipelineSim replicas spread across the
+/// conservative sharded engine: shard i owns replica i, the offered
+/// load (open-loop arrival rate or batch item count) is split across
+/// the fleet, and each replica runs to completion inside a single
+/// engine epoch — replicas never interact, so the lookahead window is
+/// the whole run and one barrier suffices.
+///
+/// This is the embarrassingly-parallel end of the sharding spectrum
+/// (the colocation simulator is the coupled end): it scales the
+/// paper's single-app pipeline experiments to fleet-sized request
+/// volumes while keeping per-replica results bit-identical to a plain
+/// PipelineSim run with the same derived seed. A fleet of one is
+/// byte-for-byte the underlying simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SIM_SHARDEDPIPELINE_H
+#define DOPE_SIM_SHARDEDPIPELINE_H
+
+#include "core/Mechanism.h"
+#include "sim/PipelineSim.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace dope {
+
+struct PipelineFleetOptions {
+  /// Replica count; one engine shard (and, above 1, one worker thread)
+  /// per replica.
+  unsigned Shards = 1;
+
+  /// The application every replica runs.
+  PipelineAppModel App;
+
+  /// Per-replica simulation options, before fleet adjustments: replica
+  /// s runs with Seed + 0x9e37 * s (replica 0 keeps the base seed, so a
+  /// fleet of one reproduces a plain PipelineSim run exactly), an equal
+  /// split of ArrivalRate (open loop) or NumItems (batch), and — above
+  /// one shard — no trace sink (PipelineSim retargets the tracer clock,
+  /// which cannot be shared across concurrent replicas).
+  PipelineSimOptions Base;
+
+  /// Builds replica s's mechanism; null runs every replica static
+  /// (Mechanism* == nullptr). The mechanism is constructed and consumed
+  /// on the owning shard's worker thread.
+  std::function<std::unique_ptr<Mechanism>(unsigned Replica)> MakeMechanism;
+
+  /// Starting per-stage extents handed to every replica (empty = ones).
+  std::vector<unsigned> InitialExtents;
+};
+
+struct PipelineFleetResult {
+  /// Per-replica results, in shard order.
+  std::vector<PipelineSimResult> Replicas;
+
+  /// Fleet aggregates: total completions, summed throughput, and the
+  /// worst replica's p95 response (the fleet-level tail).
+  uint64_t ItemsCompleted = 0;
+  double Throughput = 0.0;
+  double P95ResponseSeconds = 0.0;
+};
+
+/// Runs the fleet; deterministic per (Base.Seed, Shards) regardless of
+/// worker interleaving. Throws std::invalid_argument on zero shards.
+PipelineFleetResult runPipelineFleet(const PipelineFleetOptions &Opts);
+
+} // namespace dope
+
+#endif // DOPE_SIM_SHARDEDPIPELINE_H

@@ -1,0 +1,173 @@
+//===- sim/ShardedSim.h - Conservative sharded simulation core -*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conservative time-barrier parallel simulation engine in the classic
+/// PDES mold: the model is partitioned into N shards, each owning its
+/// own EventQueue and RNG stream, and all shards advance in lockstep
+/// epochs of width LookaheadSeconds. Within an epoch a shard touches
+/// only its own state plus read-only control state published at the
+/// previous barrier; anything cross-shard travels through seq-numbered
+/// CrossShardMailbox messages that the coordinator delivers inside the
+/// barrier's serial section.
+///
+/// The lookahead window is the model's minimum cross-shard latency —
+/// for the colocation simulator, one arbiter epoch: lease grants,
+/// revocations, and heartbeats only take effect at epoch boundaries, so
+/// no event produced inside an epoch can affect another shard within
+/// the same epoch, and each shard may safely advance a full window
+/// between barriers.
+///
+/// Determinism contract: given the same seed and model, every run
+/// produces bit-identical shard-local state regardless of shard count
+/// or worker-thread interleaving, provided the client keeps shard work
+/// a function of (own state, published control state) and routes all
+/// cross-shard effects through mailboxes processed in canonical order.
+/// Shards == 1 runs inline on the caller's thread with no worker
+/// threads — the oracle configuration the differential tests pin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_SIM_SHARDEDSIM_H
+#define DOPE_SIM_SHARDEDSIM_H
+
+#include "sim/EventQueue.h"
+#include "sim/ShardBarrier.h"
+#include "support/Random.h"
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace dope {
+
+struct ShardedSimOptions {
+  /// Number of shards (and worker threads when > 1).
+  unsigned Shards = 1;
+
+  /// Epoch width: the conservative lookahead window, in virtual
+  /// seconds. Must be strictly positive — zero lookahead would let
+  /// cross-shard effects land inside the epoch that produced them,
+  /// voiding the determinism argument; the constructor rejects it.
+  double LookaheadSeconds = 1.0;
+
+  /// Seeds the per-shard RNG streams (shard i draws from an independent
+  /// stream derived from Seed and i).
+  uint64_t Seed = 42;
+};
+
+/// Per-shard execution state handed to the client's epoch function.
+/// Owned by the engine; valid for the duration of run().
+class ShardContext {
+public:
+  unsigned shard() const { return Index; }
+  unsigned shardCount() const { return Count; }
+
+  /// Bounds of the epoch currently executing: [epochBegin, epochEnd).
+  double epochBegin() const { return Begin; }
+  double epochEnd() const { return End; }
+
+  /// The shard's private event queue. An event scheduled exactly at
+  /// epochEnd() fires in this epoch (EventQueue::runUntil is
+  /// inclusive), not the next — the boundary belongs to the epoch it
+  /// closes.
+  EventQueue &events() { return Events; }
+
+  /// The shard's private RNG stream.
+  Rng &rng() { return Random; }
+
+  /// Dispatches pending events up to \p EndTime, accumulating the
+  /// shard's dispatch count. Prefer this over events().runUntil so
+  /// dispatched() stays accurate.
+  uint64_t runEventsUntil(double EndTime) {
+    const uint64_t K = Events.runUntil(EndTime);
+    Dispatched += K;
+    return K;
+  }
+
+  /// Events dispatched by this shard so far.
+  uint64_t dispatched() const { return Dispatched; }
+
+private:
+  friend class ShardedSim;
+  ShardContext(unsigned Index, unsigned Count, uint64_t Seed)
+      : Index(Index), Count(Count), Random(Seed) {}
+
+  const unsigned Index;
+  const unsigned Count;
+  double Begin = 0.0;
+  double End = 0.0;
+  EventQueue Events;
+  Rng Random;
+  uint64_t Dispatched = 0;
+};
+
+class ShardedSim {
+public:
+  /// Runs one epoch of one shard: advance the shard's state to
+  /// Ctx.epochEnd(), posting any cross-shard effects to mailboxes.
+  /// Called concurrently across shards; must touch only shard-local
+  /// state and barrier-published read-only state.
+  using EpochFn = std::function<void(ShardContext &Ctx)>;
+
+  /// The coordinator's serial section, run by exactly one thread at
+  /// each barrier after every shard finished the epoch ending at
+  /// \p EpochEnd. Collect mailboxes, advance global state, publish
+  /// control state for the next epoch. Returns false to stop the run
+  /// after this barrier.
+  using BarrierFn = std::function<bool(double EpochEnd)>;
+
+  /// Throws std::invalid_argument on zero shards or non-positive
+  /// lookahead.
+  ShardedSim(ShardedSimOptions Options, EpochFn Epoch, BarrierFn Barrier);
+
+  /// Runs epochs until the coordinator stops the run. With one shard
+  /// everything executes inline on the calling thread; with more, one
+  /// worker thread per shard. Client exceptions stop the run at the
+  /// next barrier and are rethrown here (first one wins).
+  void run();
+
+  ShardContext &shard(unsigned Index) { return *Contexts[Index]; }
+  unsigned shardCount() const { return Opts.Shards; }
+
+  /// Sum of every shard's event dispatch count (stable only outside
+  /// run()).
+  uint64_t totalDispatched() const;
+
+private:
+  void workerLoop(unsigned Index);
+  /// The serial section: runs the coordinator callback and opens the
+  /// next epoch. Must execute with all shards quiescent.
+  void coordinate();
+
+  ShardedSimOptions Opts;
+  EpochFn Epoch;
+  BarrierFn Barrier;
+  std::vector<std::unique_ptr<ShardContext>> Contexts;
+  ShardBarrier Sync;
+
+  // Epoch bookkeeping, written only in the serial section (or inline
+  // single-shard loop) and read by workers after the barrier releases
+  // them — the barrier mutex orders every access.
+  double EpochBegin = 0.0;
+  double EpochEnd = 0.0;
+  bool KeepGoing = true;
+
+  // Failure plumbing: any worker may fail before the barrier, so the
+  // flag is atomic; the first exception is kept and rethrown by run().
+  std::atomic<bool> Failed{false};
+  std::mutex ErrorMutex;
+  std::exception_ptr FirstError;
+};
+
+} // namespace dope
+
+#endif // DOPE_SIM_SHARDEDSIM_H

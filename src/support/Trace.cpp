@@ -174,6 +174,23 @@ std::vector<TraceRecord> Tracer::drain() {
   return Out;
 }
 
+void dope::canonicalizeTrace(std::vector<TraceRecord> &Records) {
+  std::sort(Records.begin(), Records.end(),
+            [](const TraceRecord &L, const TraceRecord &R) {
+              if (L.Time != R.Time)
+                return L.Time < R.Time;
+              if (L.Kind != R.Kind)
+                return static_cast<int>(L.Kind) < static_cast<int>(R.Kind);
+              if (int C = L.Name.compare(R.Name))
+                return C < 0;
+              if (L.A != R.A)
+                return L.A < R.A;
+              if (L.B != R.B)
+                return L.B < R.B;
+              return L.Detail < R.Detail;
+            });
+}
+
 uint64_t Tracer::droppedRecords() const {
   auto *Self = const_cast<Tracer *>(this);
   std::lock_guard<std::mutex> Lock(Self->RegistryMutex);

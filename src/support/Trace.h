@@ -191,6 +191,16 @@ private:
       DOPE_GUARDED_BY(RegistryMutex);
 };
 
+/// Sorts \p Records into a canonical total order independent of which
+/// thread recorded them: by (Time, Kind, Name, A, B, Detail), ignoring
+/// Tid. Two drains of the same logical run — e.g. a sharded simulation
+/// at different shard counts, where records land in different
+/// per-thread rings — canonicalize to equal sequences iff they carry
+/// the same multiset of records; the differential tests compare traces
+/// through this. The sort is plain (not stable): ties beyond Detail are
+/// exact duplicates up to Tid, which the order ignores by design.
+void canonicalizeTrace(std::vector<TraceRecord> &Records);
+
 //===----------------------------------------------------------------------===//
 // Exporters / import
 //===----------------------------------------------------------------------===//

@@ -210,4 +210,21 @@ TEST(ChaosInvariants, WeightedAttainmentSelectsNamedTenants) {
   EXPECT_DOUBLE_EQ(weightedAttainmentOf(R, {"b"}), 0.5);
 }
 
+TEST(ChaosInvariants, AttainmentRetainedIsAWellFormedFraction) {
+  // Plain retention: post/pre.
+  EXPECT_DOUBLE_EQ(attainmentRetained(2.0, 1.5), 0.75);
+  EXPECT_DOUBLE_EQ(attainmentRetained(1.0, 1.0), 1.0);
+
+  // Regression: the containment bench once reported 1.044 because a
+  // post-fault window was divided by a *different run's* fault-free
+  // attainment. A fault can perturb allocations in the honest tenants'
+  // favor, but "fraction retained" must still cap at whole.
+  EXPECT_DOUBLE_EQ(attainmentRetained(2.0, 2.088), 1.0);
+
+  // Degenerate inputs stay in [0, 1].
+  EXPECT_DOUBLE_EQ(attainmentRetained(2.0, -0.5), 0.0);
+  EXPECT_DOUBLE_EQ(attainmentRetained(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(attainmentRetained(-1.0, 0.5), 1.0);
+}
+
 } // namespace

@@ -175,6 +175,98 @@ TEST(EventQueueWheel, CancelledOverflowEventReclaimed) {
   EXPECT_EQ(Q.runUntil(40000.0), 0u);
 }
 
+/// The wheel horizon in seconds: 2^24 ticks at 1024 ticks/second. Events
+/// past now + Horizon live in the overflow heap until the wheel turns
+/// far enough to admit them.
+constexpr double HorizonSeconds = 16777216.0 / 1024.0; // 16384 s
+
+/// Differential script that *crosses* the overflow horizon: clusters of
+/// events straddle now + Horizon at schedule time, then time advances in
+/// windows that carry the horizon past each cluster, so events migrate
+/// from the overflow heap into the wheel mid-run. Firing callbacks
+/// schedule again near the (moved) horizon, exercising admission from a
+/// non-zero wheel position.
+template <typename QueueT> DispatchLog runHorizonCrossingScript() {
+  QueueT Q;
+  DispatchLog Log;
+  int NextLabel = 0;
+  auto note = [&Log, &Q](int Label) { Log.emplace_back(Label, Q.now()); };
+
+  // Straddle the horizon as seen from t=0: one tick short of it, exactly
+  // at it, one tick past it, and deep into overflow territory.
+  const double Tick = 1.0 / 1024.0;
+  for (const double At :
+       {HorizonSeconds - Tick, HorizonSeconds, HorizonSeconds + Tick,
+        2.0 * HorizonSeconds, 3.0 * HorizonSeconds + 0.25}) {
+    const int Label = NextLabel++;
+    Q.scheduleAt(At, [&, Label] {
+      note(Label);
+      // Reschedule relative to the new now: this target is again just
+      // beyond the current horizon, so it must take the overflow path
+      // even though the wheel has rotated.
+      const int Again = 100 + Label;
+      Q.scheduleAfter(HorizonSeconds + Tick, [&note, Again] { note(Again); });
+    });
+  }
+  // Advance in windows that each cross one cluster's admission boundary.
+  for (int Step = 1; Step <= 10; ++Step)
+    Q.runUntil(static_cast<double>(Step) * 0.45 * HorizonSeconds);
+  Q.runUntil(1e9);
+  return Log;
+}
+
+TEST(EventQueueWheel, DifferentialDispatchAcrossOverflowHorizon) {
+  const DispatchLog Wheel = runHorizonCrossingScript<EventQueue>();
+  const DispatchLog Heap = runHorizonCrossingScript<ReferenceEventQueue>();
+  ASSERT_EQ(Wheel.size(), 10u);
+  ASSERT_EQ(Wheel.size(), Heap.size());
+  for (size_t I = 0; I != Wheel.size(); ++I) {
+    EXPECT_EQ(Wheel[I].first, Heap[I].first) << "position " << I;
+    EXPECT_DOUBLE_EQ(Wheel[I].second, Heap[I].second) << "position " << I;
+  }
+}
+
+/// Differential cancellation around the horizon: events scheduled into
+/// the overflow heap are cancelled (a) while still in the heap, (b)
+/// after time has advanced enough that the survivor set migrated into
+/// the wheel — the stale ids must stay precise no-ops in both
+/// implementations and the survivors must fire identically.
+template <typename QueueT> DispatchLog runHorizonCancelScript() {
+  QueueT Q;
+  DispatchLog Log;
+  std::vector<uint64_t> Ids;
+  for (int I = 0; I != 12; ++I) {
+    const double At = HorizonSeconds + 100.0 * static_cast<double>(I + 1);
+    Ids.push_back(Q.scheduleAt(
+        At, [&Log, &Q, I] { Log.emplace_back(I, Q.now()); }));
+  }
+  // (a) Cancel every third event while it still sits in overflow.
+  for (size_t I = 0; I < Ids.size(); I += 3)
+    Q.cancel(Ids[I]);
+  // Advance past the horizon so the survivors migrate into the wheel,
+  // but stop short of the first firing time.
+  Q.runUntil(HorizonSeconds + 50.0);
+  // (b) Cancel every fourth event post-migration, plus re-cancel an
+  // already-cancelled id (stale: must be a no-op, not a crash or a
+  // cancellation of a recycled node).
+  for (size_t I = 0; I < Ids.size(); I += 4)
+    Q.cancel(Ids[I]);
+  Q.cancel(Ids[0]);
+  Q.runUntil(1e9);
+  return Log;
+}
+
+TEST(EventQueueWheel, DifferentialCancelWithinOverflowHorizon) {
+  const DispatchLog Wheel = runHorizonCancelScript<EventQueue>();
+  const DispatchLog Heap = runHorizonCancelScript<ReferenceEventQueue>();
+  ASSERT_EQ(Wheel, Heap);
+  // Survivors: indices not divisible by 3 or 4.
+  std::vector<int> Fired;
+  for (const auto &[Label, Time] : Wheel)
+    Fired.push_back(Label);
+  EXPECT_EQ(Fired, (std::vector<int>{1, 2, 5, 7, 10, 11}));
+}
+
 TEST(EventQueueWheel, HeavyChurnStaysConsistent) {
   // Self-rescheduling load with periodic cancellation: pendingEvents()
   // must drop to zero once the churn stops rescheduling.

@@ -1,0 +1,369 @@
+//===- tests/ShardedSimTest.cpp - Sharded-sim differential harness -------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The determinism proof for the sharded simulation core: the colocation
+// simulator at Shards=1 (the inline, synchronization-free oracle — the
+// byte-identical descendant of the historical sequential loop) is
+// differentially compared against Shards=2/4/8 across many logged
+// seeds, honest and chaotic schedules, arbiter outages, and shared-RNG
+// fault injection. "Identical" means bit-identical: every per-tenant
+// counter and float, the fairness summary, the allocation timeline, the
+// protocol journal record-for-record, and the simulated-event count.
+// Traces are compared through canonicalizeTrace, which erases only the
+// writer-thread id — the one legitimately shard-dependent field.
+//
+// Override the seed base with DOPE_TEST_SEED to soak new streams; every
+// run logs the base so failures replay exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ChaosInvariants.h"
+#include "sim/ColocationSim.h"
+#include "sim/FaultInjector.h"
+#include "sim/ShardedPipeline.h"
+#include "support/Random.h"
+#include "support/Trace.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <vector>
+
+using namespace dope;
+
+namespace {
+
+constexpr double EpochSeconds = 2.0;
+constexpr double LeaseTtl = 5.0;
+constexpr unsigned Contexts = 32;
+constexpr double Duration = 40.0;
+
+/// Mixed platform population: latency frontends and throughput batch
+/// pipelines, enough tenants that 8 shards all own work.
+std::vector<ColocationTenantSpec> platformTenants() {
+  std::vector<ColocationTenantSpec> Tenants;
+  for (int F = 0; F != 3; ++F) {
+    ColocationTenantSpec T;
+    T.Tenant.Name = "frontend" + std::to_string(F);
+    T.Tenant.Goal = TenantGoal::ResponseTime;
+    T.Tenant.Weight = 2.0;
+    T.Tenant.MinThreads = 2;
+    T.Tenant.SloSeconds = 0.5;
+    T.Kind = ColocationTenantSpec::AppKind::NestServer;
+    T.Nest.Name = T.Tenant.Name;
+    T.Nest.SeqServiceSeconds = 0.05;
+    T.Nest.Curve = SpeedupCurve(0.1, 0.2);
+    T.ArrivalRate = 20.0 + 5.0 * F;
+    Tenants.push_back(std::move(T));
+  }
+  const char *Names[6] = {"batch", "miner", "indexer", "etl", "ocr", "rank"};
+  for (int B = 0; B != 6; ++B) {
+    ColocationTenantSpec T;
+    T.Tenant.Name = Names[B];
+    T.Tenant.Goal = TenantGoal::Throughput;
+    T.Tenant.Weight = 1.0;
+    T.Kind = ColocationTenantSpec::AppKind::Pipeline;
+    T.Pipeline.Name = Names[B];
+    T.Pipeline.Stages = {{"decode", true, 0.02, 0.15},
+                         {"work", true, 0.1, 0.15},
+                         {"sink", true, 0.03, 0.15}};
+    T.ArrivalRate = 40.0 + 15.0 * B;
+    Tenants.push_back(std::move(T));
+  }
+  return Tenants;
+}
+
+enum class Scenario {
+  Honest,         // no misbehavior
+  Chaos,          // crash + silent window + byzantine + envelope violator
+  Outage,         // arbiter kill + warm-trace restart over the chaos mix
+  InjectedFaults, // Chaos plus shared-RNG heartbeat drops
+};
+
+void applyScenario(std::vector<ColocationTenantSpec> &Tenants, Scenario S) {
+  if (S == Scenario::Honest)
+    return;
+  Tenants[0].Misbehavior.SilentFromSeconds = 14.0;
+  Tenants[0].Misbehavior.SilentUntilSeconds = 24.0;
+  Tenants[3].Misbehavior.CrashSeconds = 17.3;
+  Tenants[4].Misbehavior.ByzantineFromSeconds = 10.0;
+  Tenants[4].Misbehavior.NonMonotoneClock = true;
+  Tenants[5].Misbehavior.EnvelopeViolationThreads = 3;
+}
+
+ColocationSimResult runOnce(Scenario S, unsigned Shards, uint64_t Seed,
+                            Tracer *Trace = nullptr) {
+  std::vector<ColocationTenantSpec> Tenants = platformTenants();
+  applyScenario(Tenants, S);
+
+  ColocationSimOptions Opts;
+  Opts.Contexts = Contexts;
+  Opts.Seed = Seed;
+  Opts.DurationSeconds = Duration;
+  Opts.StepSeconds = 0.05;
+  Opts.WarmupSeconds = 4.0;
+  Opts.Shards = Shards;
+  Opts.Policy = ColocationPolicy::Arbiter;
+  Opts.Arbiter.EpochSeconds = EpochSeconds;
+  Opts.Arbiter.LeaseTtlSeconds = LeaseTtl;
+  Opts.TraceSink = Trace;
+  if (S == Scenario::Outage) {
+    Opts.Outage.KillSeconds = 18.0;
+    Opts.Outage.RestartSeconds = 24.0;
+    Opts.Outage.Mode = ArbiterOutage::RestartMode::WarmTrace;
+  }
+
+  FaultPlan Plan;
+  FaultInjector Faults(Plan, Seed);
+  if (S == Scenario::InjectedFaults) {
+    Plan.HeartbeatDropProbability = 0.2;
+    Faults = FaultInjector(Plan, Seed);
+    Opts.Faults = &Faults;
+  }
+
+  ColocationSim Sim(std::move(Tenants), Opts);
+  return Sim.run();
+}
+
+/// Bit-identical comparison of two runs. \p What names the pair in
+/// failure messages ("seed=S shards=N").
+void expectIdentical(const ColocationSimResult &Oracle,
+                     const ColocationSimResult &Sharded,
+                     const std::string &What) {
+  SCOPED_TRACE(What);
+  ASSERT_EQ(Oracle.Tenants.size(), Sharded.Tenants.size());
+  for (size_t I = 0; I != Oracle.Tenants.size(); ++I) {
+    const TenantStats &A = Oracle.Tenants[I];
+    const TenantStats &B = Sharded.Tenants[I];
+    SCOPED_TRACE("tenant " + A.Name);
+    EXPECT_EQ(A.Name, B.Name);
+    EXPECT_EQ(A.LatencySensitive, B.LatencySensitive);
+    EXPECT_EQ(A.Weight, B.Weight);
+    EXPECT_EQ(A.SloSeconds, B.SloSeconds);
+    EXPECT_EQ(A.Arrived, B.Arrived);
+    EXPECT_EQ(A.Completed, B.Completed);
+    EXPECT_EQ(A.Shed, B.Shed);
+    EXPECT_EQ(A.SloHits, B.SloHits);
+    EXPECT_EQ(A.LeaseChanges, B.LeaseChanges);
+    EXPECT_EQ(A.ThreadSeconds, B.ThreadSeconds);
+    EXPECT_EQ(A.Responses.count(), B.Responses.count());
+    EXPECT_EQ(A.Responses.meanResponseTime(), B.Responses.meanResponseTime());
+    EXPECT_EQ(A.Responses.meanExecTime(), B.Responses.meanExecTime());
+    EXPECT_EQ(A.Responses.meanWaitTime(), B.Responses.meanWaitTime());
+    EXPECT_EQ(A.Responses.responsePercentile(0.95),
+              B.Responses.responsePercentile(0.95));
+    EXPECT_EQ(A.Responses.maxResponseTime(), B.Responses.maxResponseTime());
+    EXPECT_EQ(A.goalAttainment(), B.goalAttainment());
+  }
+  EXPECT_EQ(Oracle.Fairness.AggregateAttainment,
+            Sharded.Fairness.AggregateAttainment);
+  EXPECT_EQ(Oracle.Fairness.MinAttainment, Sharded.Fairness.MinAttainment);
+  EXPECT_EQ(Oracle.Fairness.JainIndex, Sharded.Fairness.JainIndex);
+  EXPECT_EQ(Oracle.LeaseChanges, Sharded.LeaseChanges);
+  EXPECT_EQ(Oracle.DurationSeconds, Sharded.DurationSeconds);
+  EXPECT_EQ(Oracle.SimulatedEvents, Sharded.SimulatedEvents);
+
+  ASSERT_EQ(Oracle.AllocationTimeline.size(), Sharded.AllocationTimeline.size());
+  for (size_t I = 0; I != Oracle.AllocationTimeline.size(); ++I) {
+    EXPECT_EQ(Oracle.AllocationTimeline[I].Time,
+              Sharded.AllocationTimeline[I].Time);
+    EXPECT_EQ(Oracle.AllocationTimeline[I].Granted,
+              Sharded.AllocationTimeline[I].Granted)
+        << "allocation sample " << I;
+  }
+
+  ASSERT_EQ(Oracle.ProtocolJournal.size(), Sharded.ProtocolJournal.size());
+  for (size_t I = 0; I != Oracle.ProtocolJournal.size(); ++I) {
+    const TraceRecord &A = Oracle.ProtocolJournal[I];
+    const TraceRecord &B = Sharded.ProtocolJournal[I];
+    SCOPED_TRACE("journal record " + std::to_string(I));
+    EXPECT_EQ(A.Time, B.Time);
+    EXPECT_EQ(A.Kind, B.Kind);
+    EXPECT_EQ(A.Name, B.Name);
+    EXPECT_EQ(A.A, B.A);
+    EXPECT_EQ(A.B, B.B);
+    EXPECT_EQ(A.Detail, B.Detail);
+  }
+}
+
+class ShardedColocationDifferential
+    : public ::testing::TestWithParam<Scenario> {};
+
+/// The core differential sweep: ten logged seeds, oracle vs 2/4/8
+/// shards, bit-identical everything.
+TEST_P(ShardedColocationDifferential, MatchesOracleAcrossSeeds) {
+  const Scenario S = GetParam();
+  const uint64_t Base = loggedTestSeed(42);
+  for (uint64_t Offset = 0; Offset != 10; ++Offset) {
+    const uint64_t Seed = Base + Offset;
+    const ColocationSimResult Oracle = runOnce(S, 1, Seed);
+    EXPECT_GT(Oracle.SimulatedEvents, 0u);
+    for (unsigned Shards : {2u, 4u, 8u}) {
+      const ColocationSimResult Sharded = runOnce(S, Shards, Seed);
+      expectIdentical(Oracle, Sharded,
+                      "seed=" + std::to_string(Seed) +
+                          " shards=" + std::to_string(Shards));
+    }
+  }
+}
+
+/// Chaos invariants hold at every shard count — the sharded runs obey
+/// the same lease-protocol safety properties the sequential sim does.
+TEST_P(ShardedColocationDifferential, ChaosInvariantsHoldAtEveryShardCount) {
+  const Scenario S = GetParam();
+  const uint64_t Seed = loggedTestSeed(42);
+  ChaosInvariantOptions Inv;
+  Inv.PlatformThreads = Contexts;
+  Inv.LeaseTtlSeconds = LeaseTtl;
+  for (unsigned Shards : {1u, 2u, 4u, 8u}) {
+    const ColocationSimResult R = runOnce(S, Shards, Seed);
+    const ChaosInvariantReport Report =
+        checkChaosInvariants(R.ProtocolJournal, Inv);
+    EXPECT_TRUE(Report.ok()) << "shards=" << Shards << ": "
+                             << (Report.Violations.empty()
+                                     ? ""
+                                     : Report.Violations.front().Message);
+    EXPECT_GT(Report.HeartbeatRecords, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ShardedColocationDifferential,
+                         ::testing::Values(Scenario::Honest, Scenario::Chaos,
+                                           Scenario::Outage,
+                                           Scenario::InjectedFaults),
+                         [](const auto &Info) {
+                           switch (Info.param) {
+                           case Scenario::Honest:
+                             return "Honest";
+                           case Scenario::Chaos:
+                             return "Chaos";
+                           case Scenario::Outage:
+                             return "Outage";
+                           case Scenario::InjectedFaults:
+                             return "InjectedFaults";
+                           }
+                           return "?";
+                         });
+
+/// Traces drained from different shard counts canonicalize to the same
+/// sequence: the only shard-dependent field is the writer-thread id.
+TEST(ShardedColocationTrace, CanonicalTracesMatchAcrossShardCounts) {
+  const uint64_t Seed = loggedTestSeed(42);
+  Tracer OracleTrace;
+  const ColocationSimResult Oracle =
+      runOnce(Scenario::Chaos, 1, Seed, &OracleTrace);
+  std::vector<TraceRecord> Want = OracleTrace.drain();
+  canonicalizeTrace(Want);
+  ASSERT_FALSE(Want.empty());
+
+  for (unsigned Shards : {2u, 4u}) {
+    Tracer ShardTrace;
+    const ColocationSimResult Sharded =
+        runOnce(Scenario::Chaos, Shards, Seed, &ShardTrace);
+    expectIdentical(Oracle, Sharded, "traced shards=" + std::to_string(Shards));
+    std::vector<TraceRecord> Got = ShardTrace.drain();
+    canonicalizeTrace(Got);
+    ASSERT_EQ(Want.size(), Got.size()) << "shards=" << Shards;
+    for (size_t I = 0; I != Want.size(); ++I) {
+      SCOPED_TRACE("shards=" + std::to_string(Shards) + " record " +
+                   std::to_string(I));
+      EXPECT_EQ(Want[I].Time, Got[I].Time);
+      EXPECT_EQ(Want[I].Kind, Got[I].Kind);
+      EXPECT_EQ(Want[I].Name, Got[I].Name);
+      EXPECT_EQ(Want[I].A, Got[I].A);
+      EXPECT_EQ(Want[I].B, Got[I].B);
+      EXPECT_EQ(Want[I].Detail, Got[I].Detail);
+    }
+  }
+}
+
+/// Repeating a sharded run must reproduce itself exactly — worker
+/// scheduling is real nondeterminism the engine has to erase.
+TEST(ShardedColocationTrace, RepeatedShardedRunsAreIdentical) {
+  const uint64_t Seed = loggedTestSeed(42);
+  const ColocationSimResult First = runOnce(Scenario::InjectedFaults, 8, Seed);
+  const ColocationSimResult Second = runOnce(Scenario::InjectedFaults, 8, Seed);
+  expectIdentical(First, Second, "run-to-run shards=8");
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline fleet
+//===----------------------------------------------------------------------===//
+
+PipelineFleetOptions fleetOptions(unsigned Shards, uint64_t Seed) {
+  PipelineFleetOptions Opts;
+  Opts.Shards = Shards;
+  Opts.App.Name = "ferretish";
+  Opts.App.Stages = {{"load", true, 0.01, 0.1},
+                     {"rank", true, 0.05, 0.2},
+                     {"out", false, 0.005, 0.1}};
+  Opts.Base.Contexts = 16;
+  Opts.Base.Seed = Seed;
+  Opts.Base.NumItems = 600;
+  return Opts;
+}
+
+TEST(PipelineFleetTest, FleetOfOneMatchesPlainPipelineSim) {
+  const uint64_t Seed = loggedTestSeed(42);
+  PipelineFleetOptions Opts = fleetOptions(1, Seed);
+  const PipelineFleetResult Fleet = runPipelineFleet(Opts);
+
+  PipelineSim Plain(Opts.App, Opts.Base);
+  const PipelineSimResult Want = Plain.run(nullptr);
+
+  ASSERT_EQ(Fleet.Replicas.size(), 1u);
+  EXPECT_EQ(Fleet.ItemsCompleted, Want.ItemsCompleted);
+  EXPECT_EQ(Fleet.Throughput, Want.Throughput);
+  EXPECT_EQ(Fleet.Replicas[0].TotalSeconds, Want.TotalSeconds);
+  EXPECT_EQ(Fleet.Replicas[0].Reconfigurations, Want.Reconfigurations);
+}
+
+TEST(PipelineFleetTest, FleetSplitsItemsAndIsDeterministic) {
+  const uint64_t Seed = loggedTestSeed(42);
+  for (unsigned Shards : {2u, 4u}) {
+    PipelineFleetOptions Opts = fleetOptions(Shards, Seed);
+    const PipelineFleetResult First = runPipelineFleet(Opts);
+    const PipelineFleetResult Second = runPipelineFleet(Opts);
+
+    ASSERT_EQ(First.Replicas.size(), Shards);
+    EXPECT_EQ(First.ItemsCompleted, Opts.Base.NumItems)
+        << "batch fleet completes every item";
+    EXPECT_EQ(First.ItemsCompleted, Second.ItemsCompleted);
+    EXPECT_EQ(First.Throughput, Second.Throughput);
+    EXPECT_EQ(First.P95ResponseSeconds, Second.P95ResponseSeconds);
+    for (unsigned R = 0; R != Shards; ++R) {
+      EXPECT_EQ(First.Replicas[R].ItemsCompleted,
+                Second.Replicas[R].ItemsCompleted)
+          << "replica " << R;
+      EXPECT_EQ(First.Replicas[R].TotalSeconds,
+                Second.Replicas[R].TotalSeconds)
+          << "replica " << R;
+    }
+  }
+}
+
+TEST(PipelineFleetTest, ReplicaZeroKeepsBaseSeedStream) {
+  // Replica 0 of any fleet runs the base seed with its share of items —
+  // growing the fleet must not perturb lower-indexed replica streams.
+  const uint64_t Seed = loggedTestSeed(42);
+  PipelineFleetOptions Opts = fleetOptions(2, Seed);
+  const PipelineFleetResult Fleet = runPipelineFleet(Opts);
+
+  PipelineSimOptions Solo = Opts.Base;
+  Solo.NumItems = Opts.Base.NumItems / 2; // replica 0's share
+  PipelineSim Plain(Opts.App, Solo);
+  const PipelineSimResult Want = Plain.run(nullptr);
+  EXPECT_EQ(Fleet.Replicas[0].ItemsCompleted, Want.ItemsCompleted);
+  EXPECT_EQ(Fleet.Replicas[0].TotalSeconds, Want.TotalSeconds);
+}
+
+TEST(PipelineFleetTest, RejectsZeroShards) {
+  PipelineFleetOptions Opts = fleetOptions(0, 42);
+  EXPECT_THROW(runPipelineFleet(Opts), std::invalid_argument);
+}
+
+} // namespace
