@@ -35,8 +35,14 @@
 
 #include "BenchUtils.h"
 
+#include "analysis/CriticalPath.h"
+#include "analysis/Scenarios.h"
+#include "analysis/TaskDag.h"
+#include "analysis/WhatIf.h"
 #include "apps/NestApps.h"
 #include "apps/PipelineApps.h"
+#include "core/WarmStart.h"
+#include "mechanisms/Fdp.h"
 #include "mechanisms/ServerNest.h"
 #include "mechanisms/WqtH.h"
 #include "sim/ChaosInvariants.h"
@@ -299,6 +305,35 @@ struct RecoveryNumbers {
   double AttainmentRetainedFraction = -1.0;
 };
 
+/// The warm-start loop end to end in deterministic virtual time: trace
+/// the what-if scenario, derive the hint, and run cold vs hinted FDP on
+/// one long item stream. Returns cold/hinted completion-time ratio
+/// (> 1 means the hint pays); -1 when the analysis yields nothing.
+double warmStartSpeedup(uint64_t NumItems) {
+  const WhatIfPipelineScenario Scenario = whatifPipelineScenario();
+  auto Traced = runWhatifPipelineScenario(Scenario);
+  const WhatIfModel Model = WhatIfModel::fromProfile(
+      computeCriticalPath(TaskDag::build(std::move(Traced.second))),
+      Scenario.Opts.Contexts, Scenario.App.OversubPenalty,
+      Scenario.App.ThreadOverheadPenalty);
+  const std::vector<Recommendation> Recs =
+      recommendExtents(Model, Scenario.Opts.Contexts, 1);
+  if (Recs.empty())
+    return -1.0;
+  const WarmStartHint Hint = makeWarmStartHint("FDP", Recs.front());
+
+  WhatIfPipelineScenario Long = Scenario;
+  Long.Opts.NumItems = NumItems;
+  FdpMechanism Cold;
+  PipelineSim ColdSim(Long.App, Long.Opts);
+  const double ColdSec = ColdSim.run(&Cold, {}).TotalSeconds;
+  FdpMechanism Hinted;
+  Hinted.seedWarmStart(Hint);
+  PipelineSim HintedSim(Long.App, Long.Opts);
+  const double HintedSec = HintedSim.run(&Hinted, {}).TotalSeconds;
+  return HintedSec > 0.0 ? ColdSec / HintedSec : -1.0;
+}
+
 RecoveryNumbers recoveryMetrics(double Duration, unsigned Contexts,
                                 uint64_t Seed) {
   constexpr double EpochSeconds = 2.0;
@@ -470,6 +505,10 @@ constexpr GatedMetric GatedMetrics[] = {
     // drift is a protocol change rather than machine noise.
     {"recovery.time_to_recover_seconds", false},
     {"recovery.attainment_retained_fraction", true},
+    // Simulated-time warm-start ablation: cold/hinted completion ratio
+    // of the what-if scenario. Deterministic; a drop means the
+    // trace->recommend->hint->seed loop stopped paying.
+    {"whatif.warm_start_speedup", true},
     // Sharded-engine throughput at the widest sweep point. The 8-over-1
     // speedup is recorded but not gated: it is a property of the
     // runner's core count, not of the code.
@@ -611,6 +650,15 @@ int main(int Argc, char **Argv) {
                JsonValue(Rec.AttainmentRetainedFraction));
   Out.set("recovery", std::move(Recovery));
 
+  // Warm-start ablation headline (deterministic simulated time): how
+  // much sooner a what-if-hinted FDP finishes the scenario stream than
+  // a cold one. Gated — a drop means the hint derivation or the seeding
+  // path stopped paying.
+  const double WarmSpeedup = warmStartSpeedup(Quick ? 2000 : 8000);
+  JsonValue WhatIf = JsonValue::makeObject();
+  WhatIf.set("warm_start_speedup", JsonValue(WarmSpeedup));
+  Out.set("whatif", std::move(WhatIf));
+
   // Shard scaling: the same many-tenant colocation model on the sharded
   // engine at 1/2/4/8 shards. Results are bit-identical across shard
   // counts (the shard suite proves that), so events/s ratios are pure
@@ -688,6 +736,8 @@ int main(int Argc, char **Argv) {
             Table::formatDouble(Rec.TimeToRecoverSeconds, 2)});
   T.addRow({"attainment retained (fraction)",
             Table::formatDouble(Rec.AttainmentRetainedFraction, 3)});
+  T.addRow({"warm-start speedup (cold/hinted)",
+            Table::formatDouble(WarmSpeedup, 3)});
   T.addRow({"sharded colocation 1 shard (events/s)",
             Table::formatDouble(ShardRate1, 0)});
   T.addRow({"sharded colocation 8 shards (events/s)",

@@ -1,0 +1,123 @@
+//===- analysis/CriticalPath.cpp - Work/span/wait attribution --------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CriticalPath.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace dope;
+
+CriticalPathProfile dope::computeCriticalPath(const TaskDag &Dag) {
+  CriticalPathProfile Profile;
+  const std::vector<TaskInstance> &Instances = Dag.instances();
+  if (Instances.empty())
+    return Profile;
+
+  std::map<std::string, StageProfile> ByTask;
+  std::map<std::string, double> FirstBegin, LastEnd;
+  // (time, +1/-1) per task for the concurrency sweep; at equal times the
+  // -1 sorts first so a back-to-back handoff does not read as overlap.
+  std::map<std::string, std::vector<std::pair<double, int>>> ConcEvents;
+
+  double MinBegin = Instances.front().BeginTime;
+  double MaxEnd = MinBegin;
+  // Path length up to and including each instance; parents precede
+  // children in canonical order, so one forward pass suffices.
+  std::vector<double> PathSeconds(Instances.size(), 0.0);
+  size_t SpanTail = TaskInstance::npos;
+
+  for (size_t I = 0; I != Instances.size(); ++I) {
+    const TaskInstance &Inst = Instances[I];
+    StageProfile &SP = ByTask[Inst.Task];
+    SP.Task = Inst.Task;
+
+    MinBegin = std::min(MinBegin, Inst.BeginTime);
+    auto FB = FirstBegin.find(Inst.Task);
+    if (FB == FirstBegin.end())
+      FirstBegin[Inst.Task] = Inst.BeginTime;
+    else
+      FB->second = std::min(FB->second, Inst.BeginTime);
+
+    double Wait = 0.0;
+    if (Inst.Parent != TaskInstance::npos) {
+      const TaskInstance &Parent = Instances[Inst.Parent];
+      if (Parent.completed())
+        Wait = std::max(0.0, Inst.BeginTime - Parent.EndTime);
+    }
+
+    ConcEvents[Inst.Task].emplace_back(Inst.BeginTime, +1);
+    if (Inst.completed())
+      ConcEvents[Inst.Task].emplace_back(Inst.EndTime, -1);
+
+    if (!Inst.completed()) {
+      // Open instance: no work, no span contribution, but the wait it
+      // already accumulated is real attribution.
+      SP.WaitSeconds += Wait;
+      continue;
+    }
+
+    MaxEnd = std::max(MaxEnd, Inst.EndTime);
+    auto LE = LastEnd.find(Inst.Task);
+    if (LE == LastEnd.end())
+      LastEnd[Inst.Task] = Inst.EndTime;
+    else
+      LE->second = std::max(LE->second, Inst.EndTime);
+
+    ++SP.Instances;
+    SP.WorkSeconds += Inst.Elapsed;
+    SP.WaitSeconds += Wait;
+    Profile.TotalWorkSeconds += Inst.Elapsed;
+
+    const double ParentPath = Inst.Parent != TaskInstance::npos
+                                  ? PathSeconds[Inst.Parent]
+                                  : 0.0;
+    PathSeconds[I] = ParentPath + Wait + Inst.Elapsed;
+    if (PathSeconds[I] > Profile.SpanSeconds ||
+        SpanTail == TaskInstance::npos) {
+      Profile.SpanSeconds = PathSeconds[I];
+      SpanTail = I;
+    }
+  }
+
+  Profile.WallSeconds = std::max(0.0, MaxEnd - MinBegin);
+  if (Profile.WallSeconds > 0.0)
+    Profile.AchievedParallelism =
+        Profile.TotalWorkSeconds / Profile.WallSeconds;
+  if (Profile.SpanSeconds > 0.0)
+    Profile.InherentParallelism =
+        Profile.TotalWorkSeconds / Profile.SpanSeconds;
+
+  // Walk the winning chain back to its root.
+  for (size_t I = SpanTail; I != TaskInstance::npos;
+       I = Instances[I].Parent)
+    Profile.CriticalTasks.push_back(Instances[I].Task);
+  std::reverse(Profile.CriticalTasks.begin(), Profile.CriticalTasks.end());
+
+  for (const std::string &Name : Dag.taskNames()) {
+    StageProfile SP = ByTask[Name];
+    if (SP.Instances > 0)
+      SP.MeanExecSeconds = SP.WorkSeconds / static_cast<double>(SP.Instances);
+    auto FB = FirstBegin.find(Name);
+    auto LE = LastEnd.find(Name);
+    if (FB != FirstBegin.end() && LE != LastEnd.end())
+      SP.WindowSeconds = std::max(0.0, LE->second - FB->second);
+    if (SP.WindowSeconds > 0.0)
+      SP.AchievedParallelism = SP.WorkSeconds / SP.WindowSeconds;
+    std::vector<std::pair<double, int>> &Events = ConcEvents[Name];
+    std::sort(Events.begin(), Events.end());
+    int Open = 0, Peak = 0;
+    for (const auto &[Time, Delta] : Events) {
+      (void)Time;
+      Open += Delta;
+      Peak = std::max(Peak, Open);
+    }
+    SP.MaxConcurrent = static_cast<unsigned>(Peak);
+    Profile.Stages.push_back(std::move(SP));
+  }
+  return Profile;
+}

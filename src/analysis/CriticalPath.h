@@ -1,0 +1,80 @@
+//===- analysis/CriticalPath.h - Work/span/wait attribution ----*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Causal profile of a reconstructed TaskDag: total work, critical-path
+/// span, achieved parallelism, and per-task (per-stage) attribution of
+/// execution and wait time. The span walks spawn edges — an instance's
+/// path length is its spawner's path length, plus the gap it waited
+/// between the spawner finishing and itself starting, plus its own busy
+/// time — so "what limits this run" is answered structurally, not by
+/// sampling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_ANALYSIS_CRITICALPATH_H
+#define DOPE_ANALYSIS_CRITICALPATH_H
+
+#include "analysis/TaskDag.h"
+
+#include <string>
+#include <vector>
+
+namespace dope {
+
+/// Per-task (per-stage) slice of the causal profile.
+struct StageProfile {
+  std::string Task;
+  /// Completed instances.
+  uint64_t Instances = 0;
+  /// Sum of instance busy seconds.
+  double WorkSeconds = 0.0;
+  /// Mean instance busy seconds.
+  double MeanExecSeconds = 0.0;
+  /// Sum over instances of the gap between the spawner finishing and the
+  /// instance starting — queueing/hand-off delay attributable to this
+  /// task being under-provisioned.
+  double WaitSeconds = 0.0;
+  /// Wall-clock window [first begin, last end] of the task's instances.
+  double WindowSeconds = 0.0;
+  /// Achieved parallelism: WorkSeconds / WindowSeconds.
+  double AchievedParallelism = 0.0;
+  /// Peak number of simultaneously-open instances of this task. 1 means
+  /// the trace never shows the task running twice at once — either the
+  /// stage is sequential or it was provisioned a single context; a
+  /// trace-driven what-if cannot tell the difference and must not
+  /// promise speedup from growing it.
+  unsigned MaxConcurrent = 0;
+};
+
+/// Whole-run causal profile.
+struct CriticalPathProfile {
+  /// Sum of busy seconds over all completed instances.
+  double TotalWorkSeconds = 0.0;
+  /// Wall clock of the traced run: last end minus first begin.
+  double WallSeconds = 0.0;
+  /// Critical-path length: the longest spawn chain, counting each
+  /// instance's busy time plus the wait gap to its spawner.
+  double SpanSeconds = 0.0;
+  /// TotalWork / Wall — parallelism the run actually achieved.
+  double AchievedParallelism = 0.0;
+  /// TotalWork / Span — parallelism the DAG structurally admits; the
+  /// headroom a what-if reconfiguration can exploit.
+  double InherentParallelism = 0.0;
+  /// Task-name sequence of one longest path (root first).
+  std::vector<std::string> CriticalTasks;
+  /// Per-task attribution, in TaskDag::taskNames() order.
+  std::vector<StageProfile> Stages;
+};
+
+/// Computes the causal profile of \p Dag. Open (never-ended) instances
+/// contribute nothing to work or span; their begins still widen windows.
+CriticalPathProfile computeCriticalPath(const TaskDag &Dag);
+
+} // namespace dope
+
+#endif // DOPE_ANALYSIS_CRITICALPATH_H

@@ -1,0 +1,62 @@
+//===- analysis/Scenarios.h - Canonical what-if scenarios ------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The golden what-if scenarios: fixed, seeded workloads shared by the
+/// dope_whatif CLI (profile/recommend/validate/regen), the whatif test
+/// suite, and the warm-start ablation bench. One definition keeps the
+/// committed golden traces, the recommendations computed from them, and
+/// the validation runs all describing the same run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_ANALYSIS_SCENARIOS_H
+#define DOPE_ANALYSIS_SCENARIOS_H
+
+#include "sim/ColocationSim.h"
+#include "sim/PipelineSim.h"
+#include "support/Trace.h"
+
+#include <utility>
+#include <vector>
+
+namespace dope {
+
+/// The pipeline scenario: app model, sim options, and the deliberately
+/// skewed baseline extents the golden trace runs under.
+struct WhatIfPipelineScenario {
+  PipelineAppModel App;
+  PipelineSimOptions Opts;
+  /// Under-provisions the slow stage, so the profiler has a real
+  /// bottleneck to find and the recommendation a real gain to predict.
+  std::vector<unsigned> BaselineExtents;
+};
+
+/// A 4-stage imbalanced pipeline (ferret-shaped: fast ends, heavy
+/// middle) with 24 contexts, seed 42 — deterministic.
+WhatIfPipelineScenario whatifPipelineScenario();
+
+/// Runs the scenario statically under its baseline extents with task
+/// instances traced, returning the result and the canonicalized trace —
+/// the exact byte stream committed as the golden
+/// whatif-pipeline.trace.jsonl.
+std::pair<PipelineSimResult, std::vector<TraceRecord>>
+runWhatifPipelineScenario(const WhatIfPipelineScenario &Scenario);
+
+/// The colocation scenario: two pipeline tenants and one nest-server
+/// tenant with asymmetric loads, so an equal split is visibly wrong and
+/// the recommended shares visibly right.
+struct WhatIfColocationScenario {
+  std::vector<ColocationTenantSpec> Tenants;
+  ColocationSimOptions Opts;
+};
+
+WhatIfColocationScenario whatifColocationScenario();
+
+} // namespace dope
+
+#endif // DOPE_ANALYSIS_SCENARIOS_H

@@ -1,0 +1,367 @@
+//===- analysis/WhatIf.cpp - What-if projection and recommendation ---------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/WhatIf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+using namespace dope;
+
+WhatIfModel WhatIfModel::fromProfile(const CriticalPathProfile &Profile,
+                                     unsigned Contexts, double OversubPenalty,
+                                     double ThreadOverheadPenalty) {
+  WhatIfModel Model;
+  Model.Contexts = Contexts;
+  Model.OversubPenalty = OversubPenalty;
+  Model.ThreadOverheadPenalty = ThreadOverheadPenalty;
+  for (const StageProfile &SP : Profile.Stages) {
+    Model.Stages.push_back(SP.Task);
+    Model.ServiceSeconds.push_back(SP.MeanExecSeconds);
+    // Causal inference from the trace alone: a stage is treated as
+    // parallelizable only if it was ever *observed* running two
+    // instances at once. A stage that never overlapped may simply be
+    // sequential, and a what-if must not promise speedup it cannot
+    // defend from the evidence.
+    Model.Parallel.push_back(SP.MaxConcurrent > 1);
+    Model.BaselineExtents.push_back(std::max(1u, SP.MaxConcurrent));
+  }
+  return Model;
+}
+
+WhatIfModel WhatIfModel::fromApp(const PipelineAppModel &App,
+                                 unsigned Contexts,
+                                 std::vector<unsigned> BaselineExtents) {
+  WhatIfModel Model;
+  Model.Contexts = Contexts;
+  Model.OversubPenalty = App.OversubPenalty;
+  Model.ThreadOverheadPenalty = App.ThreadOverheadPenalty;
+  for (const PipelineStageSpec &Spec : App.Stages) {
+    Model.Stages.push_back(Spec.Name);
+    Model.ServiceSeconds.push_back(Spec.ServiceSeconds);
+    Model.Parallel.push_back(Spec.Parallel);
+  }
+  if (BaselineExtents.empty())
+    BaselineExtents.assign(App.Stages.size(), 1);
+  Model.BaselineExtents = std::move(BaselineExtents);
+  return Model;
+}
+
+double
+WhatIfModel::projectThroughput(const std::vector<unsigned> &Extents) const {
+  assert(Extents.size() == ServiceSeconds.size() && "extent arity mismatch");
+  const double C = static_cast<double>(Contexts);
+
+  // The simulator pins sequential stages to one context no matter what
+  // the config says; the projection must mirror that or it predicts
+  // speedup the sim will never grant.
+  auto Eff = [&](size_t I) {
+    return Parallel[I] ? Extents[I] : std::min(Extents[I], 1u);
+  };
+
+  // Same damped fixed point as PipelineSim::analyticThroughput: the
+  // footprint penalty depends on created threads, the contention penalty
+  // on busy threads, and only the bottleneck keeps all its threads busy
+  // in steady state. The solver must match the simulator term for term —
+  // the validation bound is only meaningful if prediction error measures
+  // model error, not solver divergence.
+  double TotalThreads = 0.0;
+  for (size_t I = 0; I != Extents.size(); ++I)
+    TotalThreads += Eff(I);
+  const double Footprint =
+      1.0 / (1.0 + ThreadOverheadPenalty *
+                       std::max(0.0, TotalThreads / C - 1.0));
+
+  size_t Bottleneck = 0;
+  for (size_t I = 1; I != ServiceSeconds.size(); ++I) {
+    if (ServiceSeconds[I] / Eff(I) >
+        ServiceSeconds[Bottleneck] / Eff(Bottleneck))
+      Bottleneck = I;
+  }
+  if (ServiceSeconds[Bottleneck] <= 0.0)
+    return 0.0;
+
+  double Rate = Footprint;
+  for (int Iteration = 0; Iteration != 100; ++Iteration) {
+    const double T = static_cast<double>(Eff(Bottleneck)) /
+                     ServiceSeconds[Bottleneck] * Rate;
+    double Busy = 0.0;
+    for (size_t I = 0; I != ServiceSeconds.size(); ++I)
+      Busy += std::min(static_cast<double>(Eff(I)),
+                       T * ServiceSeconds[I] / std::max(Rate, 1e-12));
+    const double CEff =
+        C / (1.0 + OversubPenalty * std::max(0.0, Busy / C - 1.0));
+    const double Next = Footprint * std::min(1.0, CEff / Busy);
+    Rate = 0.5 * Rate + 0.5 * Next;
+  }
+  return static_cast<double>(Eff(Bottleneck)) /
+         ServiceSeconds[Bottleneck] * Rate;
+}
+
+double WhatIfModel::baselineThroughput() const {
+  return projectThroughput(BaselineExtents);
+}
+
+static std::string describeChange(const WhatIfModel &Model,
+                                  const std::vector<unsigned> &Extents) {
+  std::ostringstream OS;
+  bool First = true;
+  for (size_t I = 0; I != Extents.size(); ++I) {
+    if (Extents[I] == Model.BaselineExtents[I])
+      continue;
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << (Extents[I] > Model.BaselineExtents[I] ? "grow " : "shrink ")
+       << Model.Stages[I] << " " << Model.BaselineExtents[I] << "->"
+       << Extents[I];
+  }
+  return First ? std::string("keep the measured assignment") : OS.str();
+}
+
+std::vector<Recommendation> dope::recommendExtents(const WhatIfModel &Model,
+                                                   unsigned Budget,
+                                                   size_t TopK) {
+  const size_t N = Model.Stages.size();
+  std::vector<Recommendation> Ranked;
+  if (N == 0 || TopK == 0)
+    return Ranked;
+
+  const double Baseline = Model.baselineThroughput();
+
+  // Greedy frontier: from the all-minimal assignment, add one thread at
+  // a time to the parallel stage whose increment projects the largest
+  // throughput, lowest index on ties. Every prefix of the frontier is a
+  // candidate, so the ranking spans all budgets from N to Budget rather
+  // than only the full-budget point — fewer threads at equal throughput
+  // should win.
+  std::vector<unsigned> Extents(N, 1);
+  unsigned Used = N;
+  std::vector<std::vector<unsigned>> Candidates;
+  Candidates.push_back(Extents);
+  while (Used < Budget) {
+    size_t Best = TaskInstance::npos;
+    double BestRate = -1.0;
+    for (size_t I = 0; I != N; ++I) {
+      if (!Model.Parallel[I])
+        continue;
+      ++Extents[I];
+      const double Rate = Model.projectThroughput(Extents);
+      --Extents[I];
+      if (Rate > BestRate) {
+        BestRate = Rate;
+        Best = I;
+      }
+    }
+    if (Best == TaskInstance::npos)
+      break; // no parallel stage to grow
+    ++Extents[Best];
+    ++Used;
+    Candidates.push_back(Extents);
+  }
+
+  for (const std::vector<unsigned> &Cand : Candidates) {
+    if (Cand == Model.BaselineExtents)
+      continue;
+    Recommendation Rec;
+    Rec.Extents = Cand;
+    Rec.PredictedThroughput = Model.projectThroughput(Cand);
+    Rec.BaselineThroughput = Baseline;
+    Rec.PredictedSpeedup =
+        Baseline > 0.0 ? Rec.PredictedThroughput / Baseline : 0.0;
+    Rec.Rationale = describeChange(Model, Cand);
+    Ranked.push_back(std::move(Rec));
+  }
+
+  auto Footprint = [](const std::vector<unsigned> &E) {
+    unsigned Total = 0;
+    for (unsigned X : E)
+      Total += X;
+    return Total;
+  };
+  std::stable_sort(Ranked.begin(), Ranked.end(),
+                   [&](const Recommendation &A, const Recommendation &B) {
+                     if (A.PredictedThroughput != B.PredictedThroughput)
+                       return A.PredictedThroughput > B.PredictedThroughput;
+                     return Footprint(A.Extents) < Footprint(B.Extents);
+                   });
+  if (Ranked.size() > TopK)
+    Ranked.resize(TopK);
+  return Ranked;
+}
+
+WarmStartHint dope::makeWarmStartHint(std::string Mechanism,
+                                      const Recommendation &Rec) {
+  WarmStartHint Hint;
+  Hint.Mechanism = std::move(Mechanism);
+  Hint.Source = "dope_whatif";
+  Hint.PredictedThroughput = Rec.PredictedThroughput;
+  Hint.Extents = Rec.Extents;
+  return Hint;
+}
+
+ValidationReport dope::validateRecommendation(PipelineSim &Sim,
+                                              const Recommendation &Rec,
+                                              double Bound) {
+  ValidationReport Report;
+  Report.Predicted = Rec.PredictedThroughput;
+  PipelineSimResult Result = Sim.run(/*Mech=*/nullptr, Rec.Extents);
+  Report.Actual = Result.Throughput;
+  Report.RelError = Report.Actual > 0.0
+                        ? std::abs(Report.Predicted - Report.Actual) /
+                              Report.Actual
+                        : 1.0;
+  Report.Ok = Report.RelError <= Bound;
+  return Report;
+}
+
+ShareRecommendation
+dope::recommendShares(const std::vector<ColocationTenantSpec> &Tenants,
+                      unsigned Contexts) {
+  ShareRecommendation Rec;
+  const size_t N = Tenants.size();
+  if (N == 0 || Contexts < N)
+    return Rec;
+
+  auto Served = [&](size_t I, unsigned Threads) {
+    return std::min(ColocationSim::capacity(Tenants[I], Threads),
+                    Tenants[I].ArrivalRate);
+  };
+
+  Rec.Shares.assign(N, 1);
+  unsigned Used = static_cast<unsigned>(N);
+  while (Used < Contexts) {
+    size_t Best = 0;
+    double BestGain = -1.0;
+    for (size_t I = 0; I != N; ++I) {
+      const double Gain =
+          Served(I, Rec.Shares[I] + 1) - Served(I, Rec.Shares[I]);
+      if (Gain > BestGain) {
+        BestGain = Gain;
+        Best = I;
+      }
+    }
+    ++Rec.Shares[Best];
+    ++Used;
+  }
+
+  std::ostringstream OS;
+  for (size_t I = 0; I != N; ++I) {
+    Rec.PredictedCompletions += Served(I, Rec.Shares[I]);
+    if (I)
+      OS << ", ";
+    OS << Tenants[I].Tenant.Name << "=" << Rec.Shares[I];
+  }
+  Rec.Rationale = OS.str();
+  return Rec;
+}
+
+ValidationReport
+dope::validateShares(std::vector<ColocationTenantSpec> Tenants,
+                     ColocationSimOptions Opts,
+                     const ShareRecommendation &Rec, double Bound) {
+  ValidationReport Report;
+  Report.Predicted = Rec.PredictedCompletions;
+  Opts.Policy = ColocationPolicy::StaticSplit;
+  Opts.StaticShares = Rec.Shares;
+  ColocationSim Sim(std::move(Tenants), Opts);
+  ColocationSimResult Result = Sim.run();
+  double Completed = 0.0;
+  for (const TenantStats &TS : Result.Tenants)
+    Completed += static_cast<double>(TS.Completed);
+  Report.Actual = Result.DurationSeconds > 0.0
+                      ? Completed / Result.DurationSeconds
+                      : 0.0;
+  Report.RelError = Report.Actual > 0.0
+                        ? std::abs(Report.Predicted - Report.Actual) /
+                              Report.Actual
+                        : 1.0;
+  Report.Ok = Report.RelError <= Bound;
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON renderings
+//===----------------------------------------------------------------------===//
+
+JsonValue dope::toJson(const StageProfile &SP) {
+  JsonValue V = JsonValue::makeObject();
+  V.set("task", SP.Task);
+  V.set("instances", SP.Instances);
+  V.set("work_seconds", SP.WorkSeconds);
+  V.set("mean_exec_seconds", SP.MeanExecSeconds);
+  V.set("wait_seconds", SP.WaitSeconds);
+  V.set("window_seconds", SP.WindowSeconds);
+  V.set("achieved_parallelism", SP.AchievedParallelism);
+  V.set("max_concurrent", static_cast<double>(SP.MaxConcurrent));
+  return V;
+}
+
+JsonValue dope::toJson(const CriticalPathProfile &Profile) {
+  JsonValue V = JsonValue::makeObject();
+  V.set("schema", "dope-whatif-profile-v1");
+  V.set("total_work_seconds", Profile.TotalWorkSeconds);
+  V.set("wall_seconds", Profile.WallSeconds);
+  V.set("span_seconds", Profile.SpanSeconds);
+  V.set("achieved_parallelism", Profile.AchievedParallelism);
+  V.set("inherent_parallelism", Profile.InherentParallelism);
+  JsonValue Critical = JsonValue::makeArray();
+  for (const std::string &Task : Profile.CriticalTasks)
+    Critical.push(Task);
+  V.set("critical_tasks", std::move(Critical));
+  JsonValue Stages = JsonValue::makeArray();
+  for (const StageProfile &SP : Profile.Stages)
+    Stages.push(toJson(SP));
+  V.set("stages", std::move(Stages));
+  return V;
+}
+
+JsonValue dope::toJson(const Recommendation &Rec) {
+  JsonValue V = JsonValue::makeObject();
+  JsonValue Extents = JsonValue::makeArray();
+  for (unsigned E : Rec.Extents)
+    Extents.push(static_cast<double>(E));
+  V.set("extents", std::move(Extents));
+  V.set("predicted_throughput", Rec.PredictedThroughput);
+  V.set("baseline_throughput", Rec.BaselineThroughput);
+  V.set("predicted_speedup", Rec.PredictedSpeedup);
+  V.set("rationale", Rec.Rationale);
+  return V;
+}
+
+JsonValue dope::toJson(const std::vector<Recommendation> &Recs) {
+  JsonValue V = JsonValue::makeObject();
+  V.set("schema", "dope-whatif-recommend-v1");
+  JsonValue List = JsonValue::makeArray();
+  for (const Recommendation &Rec : Recs)
+    List.push(toJson(Rec));
+  V.set("recommendations", std::move(List));
+  return V;
+}
+
+JsonValue dope::toJson(const ValidationReport &Report) {
+  JsonValue V = JsonValue::makeObject();
+  V.set("predicted", Report.Predicted);
+  V.set("actual", Report.Actual);
+  V.set("rel_error", Report.RelError);
+  V.set("ok", Report.Ok);
+  return V;
+}
+
+JsonValue dope::toJson(const ShareRecommendation &Rec) {
+  JsonValue V = JsonValue::makeObject();
+  V.set("schema", "dope-whatif-shares-v1");
+  JsonValue Shares = JsonValue::makeArray();
+  for (unsigned S : Rec.Shares)
+    Shares.push(static_cast<double>(S));
+  V.set("shares", std::move(Shares));
+  V.set("predicted_completions", Rec.PredictedCompletions);
+  V.set("rationale", Rec.Rationale);
+  return V;
+}

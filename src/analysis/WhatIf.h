@@ -1,0 +1,166 @@
+//===- analysis/WhatIf.h - What-if projection and recommendation -*- C++ -*-==//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The projection half of the causal what-if profiler. A WhatIfModel is
+/// a trace-calibrated analytic pipeline model — per-stage service times
+/// measured by CriticalPath, platform penalties from the app model — and
+/// answers "what would throughput be if stage S ran at DoP N" without
+/// re-running anything. Its fixed-point solver mirrors
+/// PipelineSim::analyticThroughput exactly, which is what makes the
+/// validation contract enforceable: a recommendation's predicted
+/// throughput must agree with the re-simulated actual within a bound, or
+/// the recommendation is rejected.
+///
+/// Two recommendation surfaces:
+///  - recommendExtents: ranked per-stage DoP assignments for one
+///    pipeline under a thread budget (greedy marginal-gain frontier,
+///    deterministic tie-breaks).
+///  - recommendShares: a static per-tenant thread split for a colocated
+///    platform, from the tenants' capacity curves and offered loads.
+///
+/// Recommendations convert to WarmStartHint JSON (core/WarmStart.h) so
+/// the mechanisms can start where the profile says the optimum is.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_ANALYSIS_WHATIF_H
+#define DOPE_ANALYSIS_WHATIF_H
+
+#include "analysis/CriticalPath.h"
+#include "core/WarmStart.h"
+#include "sim/ColocationSim.h"
+#include "sim/PipelineSim.h"
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace dope {
+
+/// Trace-calibrated analytic model of one pipeline on the C-context
+/// platform.
+struct WhatIfModel {
+  /// Stage names, pipeline order.
+  std::vector<std::string> Stages;
+  /// Mean per-item service seconds per stage (measured or from spec).
+  std::vector<double> ServiceSeconds;
+  /// Sequential stages are pinned at extent 1.
+  std::vector<bool> Parallel;
+  /// Extents the trace ran under (profile: rounded achieved
+  /// parallelism), the reference point of what-if deltas.
+  std::vector<unsigned> BaselineExtents;
+  unsigned Contexts = 24;
+  /// Platform penalties, meanings as in PipelineAppModel.
+  double OversubPenalty = 0.1;
+  double ThreadOverheadPenalty = 0.02;
+
+  /// Calibrates a model from a causal profile: stage order and service
+  /// times are the profile's, a stage counts as parallelizable only if
+  /// the trace ever shows two of its instances open at once (the
+  /// profile cannot distinguish "sequential" from "ran at DoP 1", so it
+  /// refuses to project speedup from stages with no overlap evidence),
+  /// and baseline extents are the observed peak concurrency.
+  static WhatIfModel fromProfile(const CriticalPathProfile &Profile,
+                                 unsigned Contexts,
+                                 double OversubPenalty = 0.1,
+                                 double ThreadOverheadPenalty = 0.02);
+
+  /// Builds a model directly from an app spec (no trace): service times
+  /// and parallel flags from the spec. Empty \p BaselineExtents means
+  /// all ones.
+  static WhatIfModel fromApp(const PipelineAppModel &App, unsigned Contexts,
+                             std::vector<unsigned> BaselineExtents = {});
+
+  /// Projected steady-state throughput of \p Extents: the damped
+  /// fixed-point of PipelineSim::analyticThroughput over this model's
+  /// measured service times.
+  double projectThroughput(const std::vector<unsigned> &Extents) const;
+
+  /// projectThroughput(BaselineExtents).
+  double baselineThroughput() const;
+};
+
+/// One ranked what-if recommendation.
+struct Recommendation {
+  std::vector<unsigned> Extents;
+  double PredictedThroughput = 0.0;
+  double BaselineThroughput = 0.0;
+  /// Predicted / Baseline.
+  double PredictedSpeedup = 1.0;
+  /// Human-readable summary of the change ("grow compress 2->5, ...").
+  std::string Rationale;
+};
+
+/// Ranked DoP recommendations for \p Model under \p Budget total
+/// threads. Deterministic: the greedy frontier adds one thread at a time
+/// to the stage with the largest projected gain (ties to the lowest
+/// stage index), and candidates are ranked by projected throughput with
+/// smaller footprints winning ties. Returns at most \p TopK entries,
+/// best first; the baseline itself is never returned.
+std::vector<Recommendation> recommendExtents(const WhatIfModel &Model,
+                                             unsigned Budget, size_t TopK);
+
+/// Converts a recommendation into a warm-start hint addressed to
+/// \p Mechanism (empty = any mechanism).
+WarmStartHint makeWarmStartHint(std::string Mechanism,
+                                const Recommendation &Rec);
+
+/// Outcome of re-simulating a recommendation.
+struct ValidationReport {
+  double Predicted = 0.0;
+  double Actual = 0.0;
+  /// |Predicted - Actual| / Actual.
+  double RelError = 0.0;
+  /// True when RelError is within the bound.
+  bool Ok = false;
+};
+
+/// Re-runs \p Sim statically under the recommended extents and compares
+/// the measured throughput against the prediction. \p Bound is the
+/// relative error above which the recommendation fails validation.
+ValidationReport validateRecommendation(PipelineSim &Sim,
+                                        const Recommendation &Rec,
+                                        double Bound);
+
+/// A static thread split for a colocated platform.
+struct ShareRecommendation {
+  /// Threads per tenant, tenant spec order; sums to the platform size.
+  std::vector<unsigned> Shares;
+  /// Predicted total completions/second: sum over tenants of
+  /// min(capacity(share), offered rate).
+  double PredictedCompletions = 0.0;
+  std::string Rationale;
+};
+
+/// Greedy marginal-gain split of \p Contexts threads across \p Tenants:
+/// each next thread goes to the tenant whose served rate
+/// min(capacity, offered) gains most (ties to the lowest tenant index);
+/// every tenant gets at least one thread. Deterministic.
+ShareRecommendation
+recommendShares(const std::vector<ColocationTenantSpec> &Tenants,
+                unsigned Contexts);
+
+/// Re-runs the colocation under StaticSplit with the recommended shares
+/// and compares measured total completions/second with the prediction.
+ValidationReport
+validateShares(std::vector<ColocationTenantSpec> Tenants,
+               ColocationSimOptions Opts, const ShareRecommendation &Rec,
+               double Bound);
+
+/// JSON renderings shared by the CLI and the golden tests (stable:
+/// insertion-ordered objects, dump() formatting).
+JsonValue toJson(const StageProfile &SP);
+JsonValue toJson(const CriticalPathProfile &Profile);
+JsonValue toJson(const Recommendation &Rec);
+JsonValue toJson(const std::vector<Recommendation> &Recs);
+JsonValue toJson(const ValidationReport &Report);
+JsonValue toJson(const ShareRecommendation &Rec);
+
+} // namespace dope
+
+#endif // DOPE_ANALYSIS_WHATIF_H

@@ -57,10 +57,13 @@ struct RegionRunState {
 
   RegionRunState(const ParDescriptor &TheRegion, RegionConfig TheConfig,
                  void *UserContext, unsigned TotalReplicas,
-                 const RegionRunState *Parent)
+                 const RegionRunState *Parent, std::string SpawnerName,
+                 unsigned SpawnerReplica)
       : Region(&TheRegion), Config(std::move(TheConfig)),
-        UserContext(UserContext), Parent(Parent), Done(TotalReplicas),
-        Remaining(Config.Tasks.size()), FiniDone(Config.Tasks.size()) {
+        UserContext(UserContext), Parent(Parent),
+        SpawnerName(std::move(SpawnerName)), SpawnerReplica(SpawnerReplica),
+        Done(TotalReplicas), Remaining(Config.Tasks.size()),
+        FiniDone(Config.Tasks.size()) {
     for (size_t I = 0; I != Config.Tasks.size(); ++I)
       Remaining[I].store(Config.Tasks[I].Extent, std::memory_order_relaxed);
   }
@@ -83,6 +86,12 @@ struct RegionRunState {
   const RegionConfig Config;
   void *UserContext;
   const RegionRunState *Parent;
+  /// Task name and replica index of the parent replica whose Task::wait
+  /// opened this region; empty name for the root region. Stamped into
+  /// every replica's TaskBegin record (B = replica, Detail = name) so
+  /// offline analysis can rebuild the spawn DAG.
+  const std::string SpawnerName;
+  const unsigned SpawnerReplica;
   Latch Done;
   std::vector<std::atomic<unsigned>> Remaining;
   mutable std::vector<std::atomic<bool>> FiniDone;
@@ -101,8 +110,13 @@ bool TaskRuntime::abandoned() const { return Run && Run->abandoned(); }
 
 DOPE_HOT TaskStatus TaskRuntime::begin() {
   BeginTime = monotonicSeconds();
-  if (Tracer *Tr = Executive.Trace)
-    Tr->recordAt(BeginTime, TraceKind::TaskBegin, TheTask.name(), Replica);
+  if (Tracer *Tr = Executive.Trace) {
+    if (Run && !Run->SpawnerName.empty())
+      Tr->recordAt(BeginTime, TraceKind::TaskBegin, TheTask.name(), Replica,
+                   Run->SpawnerReplica, Run->SpawnerName);
+    else
+      Tr->recordAt(BeginTime, TraceKind::TaskBegin, TheTask.name(), Replica);
+  }
   if (Executive.StopFlag.load(std::memory_order_acquire) ||
       Executive.suspendRequested() || abandoned())
     return TaskStatus::Suspended;
@@ -145,7 +159,7 @@ DOPE_HOT TaskStatus TaskRuntime::end() {
 TaskStatus TaskRuntime::wait(void *InnerContext) {
   if (Tracer *Tr = Executive.Trace)
     Tr->record(TraceKind::TaskWait, TheTask.name(), Replica);
-  return Executive.runInnerRegion(TheTask, Config, InnerContext, Run);
+  return Executive.runInnerRegion(TheTask, Replica, Config, InnerContext, Run);
 }
 
 double TaskRuntime::nowSeconds() const { return monotonicSeconds(); }
@@ -501,7 +515,9 @@ void Dope::runMain() {
 
 TaskStatus Dope::runRegion(const ParDescriptor &Region,
                            const RegionConfig &Config, void *UserContext,
-                           bool IsRoot, const RegionRunState *Parent) {
+                           bool IsRoot, const RegionRunState *Parent,
+                           const std::string &SpawnerName,
+                           unsigned SpawnerReplica) {
   assert(Config.Tasks.size() == Region.size() && "config arity mismatch");
   const std::vector<Task *> &Tasks = Region.tasks();
 
@@ -513,8 +529,10 @@ TaskStatus Dope::runRegion(const ParDescriptor &Region,
   for (const TaskConfig &TC : Config.Tasks)
     TotalReplicas += TC.Extent;
 
-  auto Run = std::make_shared<RegionRunState>(Region, Config, UserContext,
-                                              TotalReplicas, Parent);
+  auto Run =
+      std::make_shared<RegionRunState>(Region, Config, UserContext,
+                                       TotalReplicas, Parent, SpawnerName,
+                                       SpawnerReplica);
 
   const unsigned MasterExtent = Config.Tasks[0].Extent;
 
@@ -683,8 +701,8 @@ TaskStatus Dope::taskLoop(const Task &T, const TaskConfig &Config,
   }
 }
 
-TaskStatus Dope::runInnerRegion(const Task &Parent, const TaskConfig &Config,
-                                void *UserContext,
+TaskStatus Dope::runInnerRegion(const Task &Parent, unsigned ParentReplica,
+                                const TaskConfig &Config, void *UserContext,
                                 const RegionRunState *ParentRun) {
   if (Config.AltIndex < 0)
     return TaskStatus::Finished;
@@ -693,7 +711,7 @@ TaskStatus Dope::runInnerRegion(const Task &Parent, const TaskConfig &Config,
   RegionConfig InnerConfig;
   InnerConfig.Tasks = Config.Inner;
   return runRegion(*Inner, InnerConfig, UserContext, /*IsRoot=*/false,
-                   ParentRun);
+                   ParentRun, Parent.name(), ParentReplica);
 }
 
 //===----------------------------------------------------------------------===//

@@ -353,9 +353,15 @@ private:
   /// reaches every replica through TaskRuntime::context(). \p IsRoot
   /// enables the quiesce watchdog (root-region epochs only; inner regions
   /// are covered by the root's watchdog through their parent replica).
+  /// \p SpawnerName / \p SpawnerReplica identify the parent replica that
+  /// opened this region (empty name for the root region); they flow into
+  /// every replica's TaskBegin record so offline analysis can
+  /// reconstruct the spawn DAG.
   TaskStatus runRegion(const ParDescriptor &Region, const RegionConfig &Config,
                        void *UserContext = nullptr, bool IsRoot = false,
-                       const RegionRunState *Parent = nullptr);
+                       const RegionRunState *Parent = nullptr,
+                       const std::string &SpawnerName = {},
+                       unsigned SpawnerReplica = 0);
 
   /// One replica's task loop: the executive's exception boundary. A
   /// throwing functor is retried per the task descriptor's RetryPolicy;
@@ -365,8 +371,9 @@ private:
 
   /// Executes the active inner region of \p Config on behalf of a parent
   /// replica (Task::wait).
-  TaskStatus runInnerRegion(const Task &Parent, const TaskConfig &Config,
-                            void *UserContext, const RegionRunState *ParentRun);
+  TaskStatus runInnerRegion(const Task &Parent, unsigned ParentReplica,
+                            const TaskConfig &Config, void *UserContext,
+                            const RegionRunState *ParentRun);
 
   /// Records a replica's permanent failure (first one becomes the run's
   /// cause), marks the replica's epoch failed, and requests a global

@@ -34,6 +34,7 @@
 #include "core/Config.h"
 #include "core/FeatureRegistry.h"
 #include "core/Monitor.h"
+#include "core/WarmStart.h"
 #include "support/Trace.h"
 
 #include <optional>
@@ -111,7 +112,16 @@ public:
               const RegionConfig &Current, const MechanismContext &Ctx) = 0;
 
   /// Clears adaptation state (hysteresis counters, hill-climbing history).
+  /// A mechanism holding a warm-start hint re-applies it here: restarts
+  /// begin at the hinted configuration, not the cold default.
   virtual void reset() {}
+
+  /// Installs an offline-derived starting configuration (see
+  /// core/WarmStart.h). Supporting mechanisms jump to the hinted
+  /// configuration at the next (re)start and fall back to normal
+  /// adaptation from there; a hint that names a different mechanism or is
+  /// structurally infeasible is ignored. Default: ignore all hints.
+  virtual void seedWarmStart(const WarmStartHint &Hint) { (void)Hint; }
 
 protected:
   Mechanism() = default;

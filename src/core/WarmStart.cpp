@@ -1,0 +1,70 @@
+//===- core/WarmStart.cpp - Mechanism warm-start hints ---------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/WarmStart.h"
+
+#include "support/Json.h"
+
+using namespace dope;
+
+std::string dope::writeWarmStartHint(const WarmStartHint &Hint) {
+  JsonValue V = JsonValue::makeObject();
+  V.set("schema", WarmStartSchema);
+  if (!Hint.Mechanism.empty())
+    V.set("mechanism", Hint.Mechanism);
+  if (!Hint.Source.empty())
+    V.set("source", Hint.Source);
+  if (Hint.PredictedThroughput != 0.0)
+    V.set("predicted_throughput", Hint.PredictedThroughput);
+  V.set("alt_index", Hint.AltIndex);
+  JsonValue Extents = JsonValue::makeArray();
+  for (unsigned E : Hint.Extents)
+    Extents.push(static_cast<double>(E));
+  V.set("extents", std::move(Extents));
+  return V.dump();
+}
+
+std::optional<WarmStartHint> dope::readWarmStartHint(std::string_view Text,
+                                                     std::string *Error) {
+  std::optional<JsonValue> V = JsonValue::parse(Text, Error);
+  if (!V)
+    return std::nullopt;
+  if (!V->isObject()) {
+    if (Error)
+      *Error = "warm-start hint is not a JSON object";
+    return std::nullopt;
+  }
+  const std::string Schema = V->getString("schema");
+  if (Schema != WarmStartSchema) {
+    if (Error)
+      *Error = "unknown warm-start schema '" + Schema + "' (expected " +
+               std::string(WarmStartSchema) + ")";
+    return std::nullopt;
+  }
+  WarmStartHint Hint;
+  Hint.Mechanism = V->getString("mechanism");
+  Hint.Source = V->getString("source");
+  Hint.PredictedThroughput = V->getNumber("predicted_throughput");
+  Hint.AltIndex = static_cast<int>(V->getNumber("alt_index"));
+  if (const JsonValue *Extents = V->get("extents")) {
+    if (!Extents->isArray()) {
+      if (Error)
+        *Error = "warm-start 'extents' is not an array";
+      return std::nullopt;
+    }
+    for (size_t I = 0; I != Extents->size(); ++I) {
+      const double E = Extents->at(I).asDouble(-1.0);
+      if (E < 1.0) {
+        if (Error)
+          *Error = "warm-start extent must be a number >= 1";
+        return std::nullopt;
+      }
+      Hint.Extents.push_back(static_cast<unsigned>(E));
+    }
+  }
+  return Hint;
+}

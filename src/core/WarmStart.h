@@ -1,0 +1,87 @@
+//===- core/WarmStart.h - Mechanism warm-start hints -----------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The feedback half of the what-if profiler (tools/dope_whatif,
+/// src/analysis/): an offline analysis of a recorded trace predicts the
+/// optimal parallelism configuration, and a WarmStartHint carries that
+/// prediction back into a live mechanism so it *starts* at the predicted
+/// optimum instead of hill-climbing toward it after every restart.
+///
+/// Hints are advisory by contract: a mechanism seeded with one jumps to
+/// the hinted configuration on its next (re)start and then falls back to
+/// its normal adaptation loop, so a stale or wrong hint costs at most the
+/// usual convergence the mechanism would have paid anyway. A hint that is
+/// structurally infeasible (wrong stage arity, over the thread budget) is
+/// discarded outright.
+///
+/// The JSON form ("dope-warmstart-v1") is what dope_whatif emits and what
+/// mechanisms/Factory's hint-accepting constructor reads, so the loop
+///   trace -> recommend -> hint file -> seeded mechanism
+/// round-trips through files an operator can inspect and edit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_CORE_WARMSTART_H
+#define DOPE_CORE_WARMSTART_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dope {
+
+/// Schema tag of the JSON form; bump on incompatible changes.
+inline constexpr const char *WarmStartSchema = "dope-warmstart-v1";
+
+/// An offline-derived starting configuration for an adaptive mechanism.
+struct WarmStartHint {
+  /// Mechanism the hint was computed for ("FDP", "WQT-H", ...); empty
+  /// means any mechanism may consume it.
+  std::string Mechanism;
+
+  /// Provenance, e.g. the trace file the recommendation came from.
+  std::string Source;
+
+  /// Throughput the analysis predicts at the hinted configuration
+  /// (items/second); informational.
+  double PredictedThroughput = 0.0;
+
+  /// Driver alternative to activate (pipelines with a fused variant);
+  /// 0 for the plain pipeline, -1 when not applicable.
+  int AltIndex = 0;
+
+  /// Hinted DoP extents: per-stage for a pipeline, {outer, inner} for a
+  /// server nest.
+  std::vector<unsigned> Extents;
+
+  /// Total threads the hinted extents occupy.
+  unsigned totalExtent() const {
+    unsigned Total = 0;
+    for (unsigned E : Extents)
+      Total += E;
+    return Total;
+  }
+
+  /// True when the hint names \p MechanismName or is mechanism-agnostic.
+  bool appliesTo(std::string_view MechanismName) const {
+    return Mechanism.empty() || Mechanism == MechanismName;
+  }
+};
+
+/// Serializes \p Hint as a single-line "dope-warmstart-v1" JSON object.
+std::string writeWarmStartHint(const WarmStartHint &Hint);
+
+/// Parses the JSON form; std::nullopt (with \p Error filled when
+/// non-null) on malformed input or an unknown schema tag.
+std::optional<WarmStartHint> readWarmStartHint(std::string_view Text,
+                                               std::string *Error = nullptr);
+
+} // namespace dope
+
+#endif // DOPE_CORE_WARMSTART_H

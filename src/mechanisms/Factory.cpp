@@ -57,6 +57,15 @@ dope::createMechanismByName(const std::string &Name) {
   return nullptr;
 }
 
+std::unique_ptr<Mechanism>
+dope::createMechanismByName(const std::string &Name,
+                            const WarmStartHint *Hint) {
+  std::unique_ptr<Mechanism> Mech = createMechanismByName(Name);
+  if (Mech && Hint && Hint->appliesTo(Name))
+    Mech->seedWarmStart(*Hint);
+  return Mech;
+}
+
 const std::vector<ConformanceCase> &dope::conformanceCases() {
   static const std::vector<ConformanceCase> Cases = {
       {"WQT-H", "nest-load-swing"},

@@ -30,6 +30,14 @@ namespace dope {
 /// benchmarks, pinned here so golden traces stay stable.
 std::unique_ptr<Mechanism> createMechanismByName(const std::string &Name);
 
+/// Like createMechanismByName, but seeds the instance with \p Hint (when
+/// non-null and applicable to \p Name) before returning it — the
+/// trace -> dope_whatif -> warm-start loop's construction entry point.
+/// Identical parameters to the unhinted factory, so a null or
+/// inapplicable hint reproduces the canonical mechanism exactly.
+std::unique_ptr<Mechanism>
+createMechanismByName(const std::string &Name, const WarmStartHint *Hint);
+
 /// One (mechanism, stream) pairing of the conformance suite: replaying
 /// golden/<StreamName>.stream.jsonl through createMechanismByName(
 /// MechanismName) must reproduce golden/<decisionsFile()>.decisions.jsonl.

@@ -27,6 +27,17 @@ void FdpMechanism::reset() {
   TriedMoves.clear();
   PlateauThroughput = 0.0;
   PlateauBudget = 0;
+  // The hint itself survives reset() — it is configuration, not
+  // adaptation state — and is re-armed so every restart begins at the
+  // predicted optimum.
+  HintPending = Hint.has_value();
+}
+
+void FdpMechanism::seedWarmStart(const WarmStartHint &TheHint) {
+  if (!TheHint.appliesTo(name()) || TheHint.Extents.empty())
+    return;
+  Hint = TheHint;
+  HintPending = true;
 }
 
 std::optional<FdpMechanism::Move>
@@ -87,7 +98,31 @@ FdpMechanism::reconfigure(const ParDescriptor &Region,
                           const MechanismContext &Ctx) {
   std::optional<PipelineView> View =
       PipelineView::resolve(Region, Root, Current);
-  if (!View || !View->fullyMeasured())
+  if (!View)
+    return std::nullopt;
+
+  // A pending warm-start hint is proposed before any measurement: the
+  // run starts at the predicted optimum instead of spending traffic on
+  // the climb. Entering Converged with an unset plateau makes the first
+  // measured throughput the plateau below, so a wrong prediction is
+  // corrected by the ordinary drift re-exploration.
+  if (HintPending) {
+    HintPending = false;
+    if (Hint->Extents.size() == View->stages().size() &&
+        Hint->totalExtent() <= Ctx.effectiveThreads()) {
+      State = SearchState::Converged;
+      BaseExtents = Hint->Extents;
+      BaseThroughput = 0.0;
+      MovePending = false;
+      TriedMoves.clear();
+      PlateauThroughput = 0.0;
+      PlateauBudget = Ctx.effectiveThreads();
+      return View->makeConfig(BaseExtents);
+    }
+    // Infeasible for this pipeline: discard and climb cold.
+  }
+
+  if (!View->fullyMeasured())
     return std::nullopt;
 
   const std::vector<StageView> &Stages = View->stages();
@@ -110,6 +145,14 @@ FdpMechanism::reconfigure(const ParDescriptor &Region,
   }
 
   if (State == SearchState::Converged) {
+    // After a hinted jump the plateau is unset; adopt the first measured
+    // throughput as both plateau and base so drift is judged against
+    // what the hinted configuration actually delivers.
+    if (PlateauThroughput <= 0.0 && Throughput > 0.0) {
+      PlateauThroughput = Throughput;
+      BaseExtents = Extents;
+      BaseThroughput = Throughput;
+    }
     // Re-open the search when the workload shifted the plateau, or when
     // the platform's thread budget moved under it (context loss reported
     // through the LiveContexts feature): the drift test below compares

@@ -50,6 +50,14 @@ public:
 
   void reset() override;
 
+  /// Accepts per-stage extent hints for the active pipeline: the next
+  /// (re)start proposes the hinted assignment directly and enters
+  /// Converged, skipping the hill climb; the first measured throughput
+  /// becomes the plateau, so the ordinary drift test re-opens the search
+  /// whenever the prediction was wrong. Infeasible hints (stage arity
+  /// mismatch, over budget) fall back to the cold path at proposal time.
+  void seedWarmStart(const WarmStartHint &Hint) override;
+
   /// True once the climber has settled on a plateau (test hook).
   bool converged() const { return State == SearchState::Converged; }
 
@@ -74,6 +82,11 @@ private:
                                unsigned Budget) const;
 
   FdpParams Params;
+  /// Warm-start hint; survives reset() like a tuning parameter.
+  std::optional<WarmStartHint> Hint;
+  /// True while the hinted configuration has not been proposed yet this
+  /// run; rearmed by reset().
+  bool HintPending = false;
   SearchState State = SearchState::WarmUp;
   std::vector<unsigned> BaseExtents; // extents before the pending move
   double BaseThroughput = 0.0;       // throughput of BaseExtents

@@ -48,6 +48,26 @@ TbfMechanism::reconfigure(const ParDescriptor &Region,
       PipelineView::resolve(Region, Root, Current);
   if (!View)
     return std::nullopt;
+
+  // Propose a pending warm-start hint before any measurement exists, so
+  // the run starts at the predicted optimum instead of the default
+  // assignment. Balancing resumes at the next measured decision.
+  if (HintPending) {
+    HintPending = false;
+    if (Params.EnableFusion && View->hasAlternatives() &&
+        Hint->AltIndex >= 0 &&
+        Hint->AltIndex < static_cast<int>(View->alternativeCount()) &&
+        Hint->AltIndex != View->activeAlternative()) {
+      Fused = true;
+      return View->makeAlternativeConfig(Hint->AltIndex,
+                                         Ctx.effectiveThreads());
+    }
+    if (Hint->Extents.size() == View->stages().size() &&
+        Hint->totalExtent() <= Ctx.effectiveThreads())
+      return View->makeConfig(Hint->Extents);
+    // Infeasible for this pipeline: discard and balance cold.
+  }
+
   // Wait for at least one measurement of each stage before balancing.
   if (!View->fullyMeasured())
     return std::nullopt;
@@ -85,4 +105,13 @@ TbfMechanism::reconfigure(const ParDescriptor &Region,
   }
 
   return View->makeConfig(Extents);
+}
+
+void TbfMechanism::seedWarmStart(const WarmStartHint &TheHint) {
+  if (!TheHint.appliesTo(name()))
+    return;
+  if (TheHint.Extents.empty() && TheHint.AltIndex == 0)
+    return; // carries no proposal
+  Hint = TheHint;
+  HintPending = true;
 }

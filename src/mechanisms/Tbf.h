@@ -62,7 +62,17 @@ public:
   void reset() override {
     Fused = false;
     MeasuredDecisions = 0;
+    // The hint is configuration, not adaptation state: re-arm it so a
+    // restart proposes the predicted optimum again.
+    HintPending = Hint.has_value();
   }
+
+  /// Accepts a warm-start hint and proposes it at the first decision of
+  /// each run, before any stage has been measured: either the hinted
+  /// fused alternative (AltIndex) or the hinted per-stage extents.
+  /// Ordinary throughput balancing takes over from the next measured
+  /// decision, so a wrong prediction is simply rebalanced away.
+  void seedWarmStart(const WarmStartHint &Hint) override;
 
   /// Computes the imbalance metric over stage capacities: 1 - min/max
   /// over the per-stage throughputs of a balanced assignment. Exposed for
@@ -75,6 +85,11 @@ private:
   TbfParams Params;
   bool Fused = false;
   unsigned MeasuredDecisions = 0;
+  /// Warm-start hint; survives reset() like a tuning parameter.
+  std::optional<WarmStartHint> Hint;
+  /// True while the hinted configuration has not been proposed yet this
+  /// run; rearmed by reset().
+  bool HintPending = false;
 };
 
 } // namespace dope

@@ -52,8 +52,19 @@ WqtHMechanism::reconfigure(const ParDescriptor &Region,
   return makeServerConfig(Region, Outer, Inner, Params.AltIndex);
 }
 
+void WqtHMechanism::seedWarmStart(const WarmStartHint &Hint) {
+  if (!Hint.appliesTo(name()) || Hint.Extents.size() != 2)
+    return;
+  StartInPar = Hint.Extents[1] > 1;
+  InPar = StartInPar;
+  BelowCount = 0;
+  AboveCount = 0;
+}
+
 void WqtHMechanism::reset() {
-  InPar = false;
+  // The hinted start state survives reset(): a restart should resume in
+  // the regime the profile predicted, not the cold SEQ default.
+  InPar = StartInPar;
   BelowCount = 0;
   AboveCount = 0;
 }

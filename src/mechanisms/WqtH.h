@@ -60,12 +60,22 @@ public:
 
   void reset() override;
 
+  /// Accepts {outer, inner} hints: an inner extent > 1 makes the machine
+  /// start (and restart) in the PAR state instead of the cold SEQ
+  /// default. The hysteresis loop takes over from there unchanged.
+  void seedWarmStart(const WarmStartHint &Hint) override;
+
   /// Current state, for tests: true when in the PAR (latency) state.
   bool inParState() const { return InPar; }
 
 private:
+  /// Initial state of the 2-state machine; flipped by a warm-start hint.
+  /// The paper's cold default is SEQ ("Initially, WQT-H is in the SEQ
+  /// state").
+  bool StartInPar = false;
+
   WqtHParams Params;
-  bool InPar = false; // paper: "Initially, WQT-H is in the SEQ state"
+  bool InPar = false;
   unsigned BelowCount = 0;
   unsigned AboveCount = 0;
 };

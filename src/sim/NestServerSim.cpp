@@ -101,6 +101,10 @@ NestSimResult NestServerSim::run(Mechanism *Mech, unsigned InitialOuter,
 
   auto CompleteJob = [&](const Job &J, double CompletionTime) {
     ++Completed;
+    if (Sink && Opts.TraceTaskInstances)
+      Sink->recordAt(CompletionTime, TraceKind::TaskEnd, OuterTask->name(),
+                     static_cast<double>(J.Id),
+                     CompletionTime - J.StartTime);
     if (Completed > Opts.WarmupTransactions)
       Result.Stats.recordTransaction(J.ArrivalTime, J.StartTime,
                                      CompletionTime);
@@ -137,6 +141,9 @@ NestSimResult NestServerSim::run(Mechanism *Mech, unsigned InitialOuter,
       Queue.pop_front();
       J.StartTime = Now;
       J.InnerExtent = InnerM;
+      if (Sink && Opts.TraceTaskInstances)
+        Sink->recordAt(Now, TraceKind::TaskBegin, OuterTask->name(),
+                       static_cast<double>(J.Id));
       ++ActiveJobs;
       BusyContexts += InnerM;
       const double Duration = ServiceTime(InnerM);
@@ -161,7 +168,7 @@ NestSimResult NestServerSim::run(Mechanism *Mech, unsigned InitialOuter,
     const double Gap = ArrivalRng.exponential(Rate);
     Events.scheduleAfter(Gap, [&] {
       ++Arrived;
-      Queue.push_back({Events.now(), 0.0, 0});
+      Queue.push_back({Events.now(), 0.0, 0, Arrived - 1});
       TryStart();
       ScheduleArrival();
     });

@@ -88,6 +88,11 @@ struct NestSimOptions {
   /// clock (and restored afterwards). Named TraceSink because Trace above
   /// is the load schedule.
   Tracer *TraceSink = nullptr;
+  /// Also emit TaskBegin/TaskEnd records for every transaction service
+  /// (Name = app task, A = transaction id). Off by default: instance
+  /// records are per-transaction and dominate trace volume; the what-if
+  /// profiler turns them on to reconstruct the spawn DAG.
+  bool TraceTaskInstances = false;
 };
 
 /// Results of one simulated run.
@@ -128,6 +133,9 @@ private:
     double ArrivalTime = 0.0;
     double StartTime = 0.0;
     unsigned InnerExtent = 1;
+    /// Arrival-order transaction id, stamped into TaskBegin/TaskEnd
+    /// instance records.
+    uint64_t Id = 0;
   };
 
   /// Builds the model task graph the mechanisms navigate.

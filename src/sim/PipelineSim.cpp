@@ -243,6 +243,11 @@ private:
     StageMetrics &M = Metrics[Done.Stage];
     M.ExecTime.addSample(Events.now() - Done.StartTime);
     ++M.Invocations;
+    if (Trace && Opts.TraceTaskInstances)
+      Trace->recordAt(Events.now(), TraceKind::TaskEnd,
+                      activeSpecs()[Done.Stage].Name,
+                      static_cast<double>(Done.It.Id),
+                      Events.now() - Done.StartTime);
 
     const size_t Last = activeSpecs().size() - 1;
     if (Done.Stage == Last) {
@@ -328,6 +333,15 @@ private:
           Svc.Stage = S;
           Svc.It = It;
           Svc.StartTime = Events.now();
+          // Instance record with parentage: stage S's instance for item
+          // Id descends from stage S-1's instance for the same item (the
+          // first stage's instances are roots). A = B = item id because
+          // the per-stage instance id *is* the item id here.
+          if (Trace && Opts.TraceTaskInstances)
+            Trace->recordAt(Events.now(), TraceKind::TaskBegin, Specs[S].Name,
+                            static_cast<double>(It.Id),
+                            static_cast<double>(It.Id),
+                            S == 0 ? std::string() : Specs[S - 1].Name);
           double Scale = DisturbFactor[S];
           if (Faults) {
             Scale *= stallFactor(S);

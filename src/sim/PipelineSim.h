@@ -140,6 +140,12 @@ struct PipelineSimOptions {
   /// the tracer's clock is retargeted to the simulator's virtual clock
   /// (and restored afterwards) so mirrored log lines share the domain.
   Tracer *TraceSink = nullptr;
+  /// Also emit TaskBegin/TaskEnd records for every item service, with
+  /// parentage (B = item id, Detail = upstream stage) linking each
+  /// stage's instance to the one that produced the item. Off by default:
+  /// instance records are per-item and dominate trace volume; the
+  /// what-if profiler turns them on to reconstruct the spawn DAG.
+  bool TraceTaskInstances = false;
 };
 
 /// A scheduled disturbance: at Time, scale stage Stage's service time by

@@ -62,10 +62,15 @@ enum class TraceKind : uint8_t {
   Decision,
   /// A queue-occupancy / load sample (Name = task or queue, A = depth).
   QueueDepth,
-  /// Task::begin of one instance (Name = task, A = replica index).
+  /// Task::begin of one instance (Name = task, A = instance id — the
+  /// replica index for native regions, the item/transaction id for
+  /// simulators). Parentage, when known, rides in B = spawner instance
+  /// id and Detail = spawner task name; an empty Detail marks a root
+  /// instance. The (Detail, B) pair keys the spawning TaskBegin, which
+  /// is what analysis/TaskDag uses to reconstruct the spawn DAG.
   TaskBegin,
-  /// Task::end of one instance (Name = task, A = replica index,
-  /// B = instance seconds).
+  /// Task::end of one instance (Name = task, A = instance id matching
+  /// the TaskBegin, B = instance seconds).
   TaskEnd,
   /// Task::wait — entering the task's inner region (Name = task,
   /// A = replica index).

@@ -1,0 +1,326 @@
+//===- tests/WarmStartTest.cpp - Mechanism warm-start tests ----------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The feedback half of the what-if loop: hint JSON round-trips, the
+/// Factory routes hints to addressed mechanisms only, and — the ablation
+/// the subsystem exists for — a hinted mechanism starts at the predicted
+/// optimum and converges measurably faster than its cold twin while
+/// ending at a steady state no worse. Infeasible or misaddressed hints
+/// must leave behaviour bit-identical to a cold start.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Scenarios.h"
+#include "analysis/TaskDag.h"
+#include "analysis/CriticalPath.h"
+#include "analysis/WhatIf.h"
+#include "core/WarmStart.h"
+#include "mechanisms/Factory.h"
+#include "mechanisms/Fdp.h"
+#include "mechanisms/Tbf.h"
+#include "mechanisms/WqtH.h"
+#include "apps/PipelineApps.h"
+#include "sim/PipelineSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace dope;
+
+namespace {
+
+/// The scenario app with a longer item stream, so a cold mechanism has
+/// enough decisions to climb and the convergence gap is measurable.
+WhatIfPipelineScenario longScenario(uint64_t NumItems = 2000) {
+  WhatIfPipelineScenario Scenario = whatifPipelineScenario();
+  Scenario.Opts.NumItems = NumItems;
+  return Scenario;
+}
+
+/// One run of the long scenario under \p Mech.
+PipelineSimResult runScenario(Mechanism *Mech, uint64_t NumItems = 2000) {
+  const WhatIfPipelineScenario Scenario = longScenario(NumItems);
+  PipelineSim Sim(Scenario.App, Scenario.Opts);
+  return Sim.run(Mech, {});
+}
+
+/// The hint the offline analysis derives for the scenario (recomputed,
+/// not hard-coded, so these tests track the analysis).
+WarmStartHint scenarioHint(std::string Mechanism = "FDP") {
+  const WhatIfPipelineScenario Scenario = whatifPipelineScenario();
+  const auto [Result, Records] = runWhatifPipelineScenario(Scenario);
+  (void)Result;
+  const WhatIfModel Model = WhatIfModel::fromProfile(
+      computeCriticalPath(TaskDag::build(Records)), Scenario.Opts.Contexts,
+      Scenario.App.OversubPenalty, Scenario.App.ThreadOverheadPenalty);
+  const std::vector<Recommendation> Recs =
+      recommendExtents(Model, Scenario.Opts.Contexts, 1);
+  EXPECT_FALSE(Recs.empty());
+  return makeWarmStartHint(std::move(Mechanism), Recs.front());
+}
+
+/// First time the windowed throughput reaches \p Fraction of the run's
+/// steady state (the mean over the final quarter of the series).
+double timeToConverge(const PipelineSimResult &R, double Fraction = 0.9) {
+  const TimeSeries &S = R.ThroughputSeries;
+  if (S.empty())
+    return R.TotalSeconds;
+  const double Steady =
+      S.meanOver(0.75 * R.TotalSeconds, R.TotalSeconds + 1.0);
+  for (const TimeSeries::Point &P : S.points())
+    if (P.Value >= Fraction * Steady)
+      return P.Time;
+  return R.TotalSeconds;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Hint JSON
+//===----------------------------------------------------------------------===//
+
+TEST(WarmStartHintJson, RoundTrips) {
+  WarmStartHint Hint;
+  Hint.Mechanism = "FDP";
+  Hint.Source = "tests";
+  Hint.PredictedThroughput = 42.5;
+  Hint.AltIndex = 1;
+  Hint.Extents = {1, 12, 5, 1};
+
+  const std::string Text = writeWarmStartHint(Hint);
+  std::string Error;
+  const std::optional<WarmStartHint> Back = readWarmStartHint(Text, &Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  EXPECT_EQ(Back->Mechanism, "FDP");
+  EXPECT_EQ(Back->Source, "tests");
+  EXPECT_DOUBLE_EQ(Back->PredictedThroughput, 42.5);
+  EXPECT_EQ(Back->AltIndex, 1);
+  EXPECT_EQ(Back->Extents, Hint.Extents);
+  EXPECT_EQ(Back->totalExtent(), 19u);
+}
+
+TEST(WarmStartHintJson, RejectsMalformedAndWrongSchema) {
+  std::string Error;
+  EXPECT_FALSE(readWarmStartHint("{torn", &Error).has_value());
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(readWarmStartHint("[1,2]", &Error).has_value());
+  EXPECT_FALSE(
+      readWarmStartHint("{\"schema\":\"dope-warmstart-v99\",\"extents\":[1]}",
+                        &Error)
+          .has_value());
+}
+
+TEST(WarmStartHint, AddressingRules) {
+  WarmStartHint Hint;
+  Hint.Mechanism = "FDP";
+  EXPECT_TRUE(Hint.appliesTo("FDP"));
+  EXPECT_FALSE(Hint.appliesTo("WQT-H"));
+  Hint.Mechanism.clear();
+  EXPECT_TRUE(Hint.appliesTo("FDP"));
+  EXPECT_TRUE(Hint.appliesTo("TBF"));
+}
+
+//===----------------------------------------------------------------------===//
+// FDP: the headline ablation
+//===----------------------------------------------------------------------===//
+
+TEST(WarmStart, FdpHintedConvergesFasterAtNoWorseSteadyState) {
+  const WarmStartHint Hint = scenarioHint("FDP");
+  ASSERT_EQ(Hint.Extents.size(), 4u);
+
+  FdpMechanism Cold;
+  const PipelineSimResult ColdR = runScenario(&Cold);
+
+  FdpMechanism Hinted;
+  Hinted.seedWarmStart(Hint);
+  const PipelineSimResult HintedR = runScenario(&Hinted);
+
+  // Same work completed either way.
+  EXPECT_EQ(ColdR.ItemsCompleted, HintedR.ItemsCompleted);
+
+  // The hinted run starts at the predicted optimum: it finishes the same
+  // item stream sooner and reaches its steady throughput earlier.
+  EXPECT_LT(HintedR.TotalSeconds, ColdR.TotalSeconds);
+  EXPECT_LT(timeToConverge(HintedR), timeToConverge(ColdR));
+
+  // No worse at steady state: the hint accelerates the approach without
+  // changing where adaptation lands.
+  const double ColdSteady = ColdR.ThroughputSeries.meanOver(
+      0.75 * ColdR.TotalSeconds, ColdR.TotalSeconds + 1.0);
+  const double HintedSteady = HintedR.ThroughputSeries.meanOver(
+      0.75 * HintedR.TotalSeconds, HintedR.TotalSeconds + 1.0);
+  EXPECT_GE(HintedSteady, 0.95 * ColdSteady);
+}
+
+TEST(WarmStart, FdpHintedDeterministicUnderSeed) {
+  const WarmStartHint Hint = scenarioHint("FDP");
+  auto RunOnce = [&] {
+    FdpMechanism Mech;
+    Mech.seedWarmStart(Hint);
+    return runScenario(&Mech);
+  };
+  const PipelineSimResult A = RunOnce();
+  const PipelineSimResult B = RunOnce();
+  EXPECT_EQ(A.ItemsCompleted, B.ItemsCompleted);
+  EXPECT_DOUBLE_EQ(A.TotalSeconds, B.TotalSeconds);
+  EXPECT_EQ(A.FinalExtents, B.FinalExtents);
+  EXPECT_EQ(A.Reconfigurations, B.Reconfigurations);
+}
+
+TEST(WarmStart, FdpInfeasibleHintFallsBackCold) {
+  // Wrong arity: three extents for a four-stage pipeline. The mechanism
+  // must discard it and behave exactly like a cold start.
+  WarmStartHint Bad;
+  Bad.Mechanism = "FDP";
+  Bad.Extents = {4, 4, 4};
+
+  FdpMechanism Cold;
+  const PipelineSimResult ColdR = runScenario(&Cold, 600);
+
+  FdpMechanism Seeded;
+  Seeded.seedWarmStart(Bad);
+  const PipelineSimResult SeededR = runScenario(&Seeded, 600);
+
+  EXPECT_DOUBLE_EQ(ColdR.TotalSeconds, SeededR.TotalSeconds);
+  EXPECT_EQ(ColdR.FinalExtents, SeededR.FinalExtents);
+  EXPECT_EQ(ColdR.Reconfigurations, SeededR.Reconfigurations);
+
+  // Over budget is equally infeasible.
+  WarmStartHint Huge;
+  Huge.Mechanism = "FDP";
+  Huge.Extents = {64, 64, 64, 64};
+  FdpMechanism SeededHuge;
+  SeededHuge.seedWarmStart(Huge);
+  const PipelineSimResult HugeR = runScenario(&SeededHuge, 600);
+  EXPECT_DOUBLE_EQ(ColdR.TotalSeconds, HugeR.TotalSeconds);
+  EXPECT_EQ(ColdR.FinalExtents, HugeR.FinalExtents);
+}
+
+//===----------------------------------------------------------------------===//
+// Factory routing
+//===----------------------------------------------------------------------===//
+
+TEST(WarmStart, FactorySeedsOnlyAddressedMechanisms) {
+  const WarmStartHint Hint = scenarioHint("FDP");
+
+  // Addressed: the Factory-built FDP behaves like the directly-seeded
+  // one (faster finish than cold on the same stream).
+  std::unique_ptr<Mechanism> Cold = createMechanismByName("FDP");
+  ASSERT_NE(Cold, nullptr);
+  const PipelineSimResult ColdR = runScenario(Cold.get());
+
+  std::unique_ptr<Mechanism> Seeded = createMechanismByName("FDP", &Hint);
+  ASSERT_NE(Seeded, nullptr);
+  const PipelineSimResult SeededR = runScenario(Seeded.get());
+  EXPECT_LT(SeededR.TotalSeconds, ColdR.TotalSeconds);
+
+  // Misaddressed: an FDP built with a hint addressed to WQT-H must not
+  // be seeded — the run is bit-identical to a cold FDP.
+  WarmStartHint ForWqt = Hint;
+  ForWqt.Mechanism = "WQT-H";
+  std::unique_ptr<Mechanism> Misaddressed =
+      createMechanismByName("FDP", &ForWqt);
+  ASSERT_NE(Misaddressed, nullptr);
+  const PipelineSimResult MisR = runScenario(Misaddressed.get());
+  EXPECT_DOUBLE_EQ(MisR.TotalSeconds, ColdR.TotalSeconds);
+  EXPECT_EQ(MisR.FinalExtents, ColdR.FinalExtents);
+}
+
+//===----------------------------------------------------------------------===//
+// TBF and WQT-H seeding
+//===----------------------------------------------------------------------===//
+
+TEST(WarmStart, TbfHintedExtentsProposedAtFirstDecision) {
+  // Address the same recommendation to TB (fusion off: pure extent
+  // seeding). The hinted extents must be the mechanism's very first
+  // proposal — before its own measurements would have driven one.
+  WarmStartHint Hint = scenarioHint("TB");
+  Hint.AltIndex = -1;
+  ASSERT_EQ(Hint.totalExtent(), 19u);
+
+  WhatIfPipelineScenario Scenario = longScenario(600);
+  Tracer Trace;
+  Scenario.Opts.TraceSink = &Trace;
+
+  TbfMechanism Hinted({0.5, /*EnableFusion=*/false});
+  Hinted.seedWarmStart(Hint);
+  PipelineSim Sim(Scenario.App, Scenario.Opts);
+  const PipelineSimResult R = Sim.run(&Hinted, {});
+  EXPECT_GE(R.Reconfigurations, 1u);
+
+  std::vector<TraceRecord> Records = Trace.drain();
+  canonicalizeTrace(Records);
+  const TraceRecord *First = nullptr;
+  for (const TraceRecord &Rec : Records)
+    if (Rec.Kind == TraceKind::Reconfig) {
+      First = &Rec;
+      break;
+    }
+  ASSERT_NE(First, nullptr);
+  // Reconfig records carry the configured thread total in A.
+  EXPECT_EQ(static_cast<unsigned>(First->A), Hint.totalExtent());
+}
+
+TEST(WarmStart, TbfHintedAlternativeFusesImmediately) {
+  // On ferret (which has a fused alternative) a hint naming the fused
+  // driver makes TBF jump there before the moving averages would have
+  // warmed up. With the fusion warmup pushed past the run length, the
+  // cold twin cannot reach fusion on its own — only the hint gets there.
+  PipelineAppModel App = makeFerretApp();
+  PipelineSimOptions Opts;
+  Opts.Contexts = 24;
+  Opts.Seed = 42;
+  Opts.NumItems = 40;
+  Opts.DecisionIntervalSeconds = 0.5;
+  const TbfParams Params{0.5, /*EnableFusion=*/true,
+                         /*FusionWarmupDecisions=*/1000};
+
+  TbfMechanism Cold(Params);
+  PipelineSim ColdSim(App, Opts);
+  const PipelineSimResult ColdR = ColdSim.run(&Cold, {});
+  EXPECT_FALSE(ColdR.EndedFused);
+
+  WarmStartHint Hint;
+  Hint.Mechanism = "TBF";
+  Hint.AltIndex = 1;
+  TbfMechanism Hinted(Params);
+  Hinted.seedWarmStart(Hint);
+  PipelineSim HintedSim(App, Opts);
+  const PipelineSimResult HintedR = HintedSim.run(&Hinted, {});
+  EXPECT_TRUE(HintedR.EndedFused);
+}
+
+TEST(WarmStart, WqtHHintStartsParallel) {
+  // A {outer, inner} hint with inner > 1 flips WQT-H's start mode to
+  // PAR. At light load PAR cuts execution time, so the early
+  // transactions of the hinted server finish faster than the cold
+  // server's — before hysteresis would have switched modes.
+  NestAppModel App;
+  App.Name = "warm-nest";
+  App.SeqServiceSeconds = 0.5;
+  App.Curve = SpeedupCurve(/*Alpha=*/0.08, /*FixedCost=*/0.02);
+
+  NestSimOptions Opts;
+  Opts.Contexts = 16;
+  Opts.Seed = 42;
+  Opts.NumTransactions = 60;
+  Opts.LoadFactor = 0.1; // light load: PAR is the right mode
+
+  WqtHMechanism Cold(WqtHParams{});
+  NestServerSim ColdSim(App, Opts);
+  const NestSimResult ColdR = ColdSim.run(&Cold, 1, 1);
+
+  WarmStartHint Hint;
+  Hint.Mechanism = "WQT-H";
+  Hint.Extents = {1, 8};
+  WqtHMechanism Hinted(WqtHParams{});
+  Hinted.seedWarmStart(Hint);
+  NestServerSim HintedSim(App, Opts);
+  const NestSimResult HintedR = HintedSim.run(&Hinted, 1, 1);
+
+  EXPECT_LT(HintedR.Stats.meanExecTime(), ColdR.Stats.meanExecTime());
+}

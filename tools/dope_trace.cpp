@@ -8,9 +8,11 @@
 /// \file
 /// Command-line companion of the tracing subsystem:
 ///
-///   dope_trace dump <trace.jsonl> [--chrome <out.json>]
+///   dope_trace dump <trace.jsonl> [--kind <k>[,<k>...]] [--chrome <out>]
 ///       Prints a trace as a readable table, or converts it to Chrome
 ///       trace_event JSON (load in chrome://tracing or Perfetto).
+///       --kind keeps only the named record kinds (the names stats
+///       prints, e.g. --kind begin,end for task instances).
 ///
 ///   dope_trace stats <trace.jsonl>
 ///       Record counts per kind, time span, per-thread breakdown.
@@ -55,7 +57,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  dope_trace dump <trace.jsonl> [--chrome <out.json>]\n"
+      "  dope_trace dump <trace.jsonl> [--kind <k>[,<k>...]] "
+      "[--chrome <out.json>]\n"
       "  dope_trace stats <trace.jsonl>\n"
       "  dope_trace diff <expected.jsonl> <actual.jsonl>\n"
       "  dope_trace replay --stream <file> --mechanism <name> "
@@ -101,15 +104,43 @@ int traceExit(const TraceReadStats &Stats) {
 int cmdDump(const std::vector<std::string> &Args) {
   if (Args.empty())
     return usage();
-  std::string ChromeOut;
-  for (size_t I = 1; I < Args.size(); ++I)
+  std::string ChromeOut, KindList;
+  for (size_t I = 1; I < Args.size(); ++I) {
     if (Args[I] == "--chrome" && I + 1 < Args.size())
       ChromeOut = Args[++I];
+    else if (Args[I] == "--kind" && I + 1 < Args.size())
+      KindList = Args[++I];
+    else
+      return usage();
+  }
 
   TraceReadStats Stats;
   std::optional<std::vector<TraceRecord>> Records = loadTrace(Args[0], Stats);
   if (!Records)
     return 1;
+
+  if (!KindList.empty()) {
+    std::vector<TraceKind> Kinds;
+    std::stringstream KS(KindList);
+    std::string Token;
+    while (std::getline(KS, Token, ',')) {
+      std::optional<TraceKind> Kind = traceKindFromString(Token);
+      if (!Kind) {
+        std::fprintf(stderr, "dope_trace: unknown record kind '%s'\n",
+                     Token.c_str());
+        return 1;
+      }
+      Kinds.push_back(*Kind);
+    }
+    std::vector<TraceRecord> Kept;
+    for (TraceRecord &R : *Records)
+      for (TraceKind K : Kinds)
+        if (R.Kind == K) {
+          Kept.push_back(std::move(R));
+          break;
+        }
+    *Records = std::move(Kept);
+  }
 
   if (!ChromeOut.empty()) {
     std::ofstream OS(ChromeOut);

@@ -1,0 +1,409 @@
+//===- tools/dope_whatif.cpp - Causal what-if profiler CLI -----------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The causal what-if profiler:
+///
+///   dope_whatif profile <trace.jsonl> [--out <file>]
+///       Reconstructs the spawn DAG from a task-instance trace and
+///       prints the causal profile (work, span, wall clock, per-stage
+///       wait attribution and achieved parallelism) as JSON.
+///
+///   dope_whatif whatif <trace.jsonl> --stage <name> --dop <n>
+///              [--contexts <C>]
+///       Projects completion throughput if the named stage ran at DoP n,
+///       everything else as measured.
+///
+///   dope_whatif recommend <trace.jsonl> [--budget <N>] [--top <K>]
+///              [--contexts <C>] [--out <file>]
+///              [--hint-out <file>] [--mechanism <name>]
+///       Ranked DoP recommendations from the trace-calibrated model,
+///       best first; --hint-out additionally writes the top
+///       recommendation as a warm-start hint (core/WarmStart.h JSON)
+///       addressed to --mechanism (default: any mechanism).
+///
+///   dope_whatif validate [--scenario pipeline|colocation|all]
+///              [--bound <rel-error>]
+///       The accountability loop: runs the canonical scenario, profiles
+///       its trace, recommends, re-simulates under the recommendation,
+///       and fails (exit 4) when prediction and measurement disagree by
+///       more than the bound (default 0.15).
+///
+///   dope_whatif regen --dir <dir>
+///       Regenerates the committed what-if goldens: the pipeline
+///       scenario's task-instance trace, the recommendations computed
+///       from it, the derived warm-start hint, and the colocation share
+///       split. Review diffs like any other code change.
+///
+/// Exit codes: 0 ok, 1 I/O or argument error, 2 usage, 3 trace had
+/// skipped (torn/corrupt) lines, 4 validation failed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Scenarios.h"
+#include "analysis/TaskDag.h"
+#include "analysis/WhatIf.h"
+#include "core/WarmStart.h"
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace dope;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  dope_whatif profile <trace.jsonl> [--out <file>]\n"
+      "  dope_whatif whatif <trace.jsonl> --stage <name> --dop <n> "
+      "[--contexts <C>]\n"
+      "  dope_whatif recommend <trace.jsonl> [--budget <N>] [--top <K>] "
+      "[--contexts <C>]\n"
+      "              [--out <file>] [--hint-out <file>] "
+      "[--mechanism <name>]\n"
+      "  dope_whatif validate [--scenario pipeline|colocation|all] "
+      "[--bound <e>]\n"
+      "  dope_whatif regen --dir <dir>\n");
+  return 2;
+}
+
+/// Loads a trace leniently and reconstructs the DAG; reports skips the
+/// way dope_trace does (kept records are used, exit code 3 signals the
+/// gap to scripts).
+std::optional<TaskDag> loadDag(const std::string &Path,
+                               TraceReadStats &Stats) {
+  std::ifstream IS(Path);
+  if (!IS) {
+    std::fprintf(stderr, "dope_whatif: cannot open '%s'\n", Path.c_str());
+    return std::nullopt;
+  }
+  TaskDag Dag = TaskDag::fromJsonl(IS, &Stats);
+  if (Stats.Skipped != 0)
+    std::fprintf(stderr,
+                 "dope_whatif: %s: skipped %llu malformed line(s), first at "
+                 "line %llu (%s); kept %llu\n",
+                 Path.c_str(), static_cast<unsigned long long>(Stats.Skipped),
+                 static_cast<unsigned long long>(Stats.FirstSkippedLine),
+                 Stats.FirstError.c_str(),
+                 static_cast<unsigned long long>(Stats.Parsed));
+  if (Dag.empty()) {
+    std::fprintf(stderr,
+                 "dope_whatif: %s: no task instances — was the trace "
+                 "recorded with task instances on (TraceTaskInstances / "
+                 "the executive tracer)?\n",
+                 Path.c_str());
+    return std::nullopt;
+  }
+  return Dag;
+}
+
+int traceExit(const TraceReadStats &Stats) {
+  return Stats.Skipped != 0 ? 3 : 0;
+}
+
+bool writeText(const std::string &Path, const std::string &Text) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::fprintf(stderr, "dope_whatif: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  OS << Text << "\n";
+  return true;
+}
+
+int emit(const JsonValue &V, const std::string &OutPath) {
+  if (OutPath.empty()) {
+    std::printf("%s\n", V.dump().c_str());
+    return 0;
+  }
+  return writeText(OutPath, V.dump()) ? 0 : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// profile / whatif / recommend
+//===----------------------------------------------------------------------===//
+
+int cmdProfile(const std::vector<std::string> &Args) {
+  if (Args.empty())
+    return usage();
+  std::string OutPath;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    if (Args[I] == "--out" && I + 1 < Args.size())
+      OutPath = Args[++I];
+    else
+      return usage();
+  }
+  TraceReadStats Stats;
+  std::optional<TaskDag> Dag = loadDag(Args[0], Stats);
+  if (!Dag)
+    return 1;
+  const CriticalPathProfile Profile = computeCriticalPath(*Dag);
+  if (int Rc = emit(toJson(Profile), OutPath))
+    return Rc;
+  return traceExit(Stats);
+}
+
+int cmdWhatIf(const std::vector<std::string> &Args) {
+  if (Args.empty())
+    return usage();
+  std::string Stage;
+  unsigned Dop = 0, Contexts = 24;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    if (Args[I] == "--stage" && I + 1 < Args.size())
+      Stage = Args[++I];
+    else if (Args[I] == "--dop" && I + 1 < Args.size())
+      Dop = static_cast<unsigned>(std::strtoul(Args[++I].c_str(), nullptr, 10));
+    else if (Args[I] == "--contexts" && I + 1 < Args.size())
+      Contexts =
+          static_cast<unsigned>(std::strtoul(Args[++I].c_str(), nullptr, 10));
+    else
+      return usage();
+  }
+  if (Stage.empty() || Dop == 0)
+    return usage();
+
+  TraceReadStats Stats;
+  std::optional<TaskDag> Dag = loadDag(Args[0], Stats);
+  if (!Dag)
+    return 1;
+  const CriticalPathProfile Profile = computeCriticalPath(*Dag);
+  const WhatIfModel Model = WhatIfModel::fromProfile(Profile, Contexts);
+
+  size_t StageIndex = Model.Stages.size();
+  for (size_t I = 0; I != Model.Stages.size(); ++I)
+    if (Model.Stages[I] == Stage)
+      StageIndex = I;
+  if (StageIndex == Model.Stages.size()) {
+    std::fprintf(stderr, "dope_whatif: trace has no task named '%s'\n",
+                 Stage.c_str());
+    return 1;
+  }
+
+  std::vector<unsigned> Extents = Model.BaselineExtents;
+  Extents[StageIndex] = Dop;
+  const double Baseline = Model.baselineThroughput();
+  const double Projected = Model.projectThroughput(Extents);
+
+  JsonValue V = JsonValue::makeObject();
+  V.set("schema", "dope-whatif-projection-v1");
+  V.set("stage", Stage);
+  V.set("dop", static_cast<double>(Dop));
+  V.set("baseline_throughput", Baseline);
+  V.set("projected_throughput", Projected);
+  V.set("projected_speedup", Baseline > 0.0 ? Projected / Baseline : 0.0);
+  if (int Rc = emit(V, ""))
+    return Rc;
+  return traceExit(Stats);
+}
+
+int cmdRecommend(const std::vector<std::string> &Args) {
+  if (Args.empty())
+    return usage();
+  std::string OutPath, HintPath, Mechanism;
+  unsigned Budget = 0, Contexts = 24;
+  size_t TopK = 5;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    if (Args[I] == "--budget" && I + 1 < Args.size())
+      Budget =
+          static_cast<unsigned>(std::strtoul(Args[++I].c_str(), nullptr, 10));
+    else if (Args[I] == "--top" && I + 1 < Args.size())
+      TopK = std::strtoul(Args[++I].c_str(), nullptr, 10);
+    else if (Args[I] == "--contexts" && I + 1 < Args.size())
+      Contexts =
+          static_cast<unsigned>(std::strtoul(Args[++I].c_str(), nullptr, 10));
+    else if (Args[I] == "--out" && I + 1 < Args.size())
+      OutPath = Args[++I];
+    else if (Args[I] == "--hint-out" && I + 1 < Args.size())
+      HintPath = Args[++I];
+    else if (Args[I] == "--mechanism" && I + 1 < Args.size())
+      Mechanism = Args[++I];
+    else
+      return usage();
+  }
+  if (Budget == 0)
+    Budget = Contexts;
+
+  TraceReadStats Stats;
+  std::optional<TaskDag> Dag = loadDag(Args[0], Stats);
+  if (!Dag)
+    return 1;
+  const CriticalPathProfile Profile = computeCriticalPath(*Dag);
+  const WhatIfModel Model = WhatIfModel::fromProfile(Profile, Contexts);
+  const std::vector<Recommendation> Recs =
+      recommendExtents(Model, Budget, TopK);
+  if (Recs.empty()) {
+    std::fprintf(stderr, "dope_whatif: nothing to recommend\n");
+    return 1;
+  }
+  if (!HintPath.empty()) {
+    const WarmStartHint Hint = makeWarmStartHint(Mechanism, Recs.front());
+    if (!writeText(HintPath, writeWarmStartHint(Hint)))
+      return 1;
+  }
+  if (int Rc = emit(toJson(Recs), OutPath))
+    return Rc;
+  return traceExit(Stats);
+}
+
+//===----------------------------------------------------------------------===//
+// validate / regen
+//===----------------------------------------------------------------------===//
+
+/// Profile -> recommend -> re-simulate for the canonical pipeline
+/// scenario; fills \p Out with the report.
+ValidationReport validatePipelineScenario(double Bound,
+                                          Recommendation *TopOut = nullptr) {
+  const WhatIfPipelineScenario Scenario = whatifPipelineScenario();
+  auto [Result, Records] = runWhatifPipelineScenario(Scenario);
+  (void)Result;
+  const TaskDag Dag = TaskDag::build(std::move(Records));
+  const CriticalPathProfile Profile = computeCriticalPath(Dag);
+  const WhatIfModel Model = WhatIfModel::fromProfile(
+      Profile, Scenario.Opts.Contexts, Scenario.App.OversubPenalty,
+      Scenario.App.ThreadOverheadPenalty);
+  const std::vector<Recommendation> Recs =
+      recommendExtents(Model, Scenario.Opts.Contexts, 1);
+  if (Recs.empty())
+    return {};
+  if (TopOut)
+    *TopOut = Recs.front();
+  PipelineSim Sim(Scenario.App, Scenario.Opts);
+  return validateRecommendation(Sim, Recs.front(), Bound);
+}
+
+ValidationReport validateColocationScenario(double Bound) {
+  const WhatIfColocationScenario Scenario = whatifColocationScenario();
+  const ShareRecommendation Rec =
+      recommendShares(Scenario.Tenants, Scenario.Opts.Contexts);
+  return validateShares(Scenario.Tenants, Scenario.Opts, Rec, Bound);
+}
+
+int cmdValidate(const std::vector<std::string> &Args) {
+  std::string Which = "all";
+  double Bound = 0.15;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (Args[I] == "--scenario" && I + 1 < Args.size())
+      Which = Args[++I];
+    else if (Args[I] == "--bound" && I + 1 < Args.size())
+      Bound = std::strtod(Args[++I].c_str(), nullptr);
+    else
+      return usage();
+  }
+  if (Which != "pipeline" && Which != "colocation" && Which != "all")
+    return usage();
+
+  JsonValue V = JsonValue::makeObject();
+  V.set("schema", "dope-whatif-validation-v1");
+  V.set("bound", Bound);
+  bool AllOk = true;
+  if (Which == "pipeline" || Which == "all") {
+    const ValidationReport Report = validatePipelineScenario(Bound);
+    V.set("pipeline", toJson(Report));
+    AllOk &= Report.Ok;
+  }
+  if (Which == "colocation" || Which == "all") {
+    const ValidationReport Report = validateColocationScenario(Bound);
+    V.set("colocation", toJson(Report));
+    AllOk &= Report.Ok;
+  }
+  std::printf("%s\n", V.dump().c_str());
+  if (!AllOk) {
+    std::fprintf(stderr,
+                 "dope_whatif: validation FAILED (prediction off by more "
+                 "than %.0f%%)\n",
+                 Bound * 100.0);
+    return 4;
+  }
+  return 0;
+}
+
+int cmdRegen(const std::vector<std::string> &Args) {
+  std::string Dir;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (Args[I] == "--dir" && I + 1 < Args.size())
+      Dir = Args[++I];
+    else
+      return usage();
+  }
+  if (Dir.empty())
+    return usage();
+
+  // The pipeline scenario's task-instance trace.
+  const WhatIfPipelineScenario Scenario = whatifPipelineScenario();
+  auto [Result, Records] = runWhatifPipelineScenario(Scenario);
+  (void)Result;
+  {
+    const std::string Path = Dir + "/whatif-pipeline.trace.jsonl";
+    std::ofstream OS(Path);
+    if (!OS) {
+      std::fprintf(stderr, "dope_whatif: cannot open '%s'\n", Path.c_str());
+      return 1;
+    }
+    writeTraceJsonl(Records, OS);
+    std::printf("trace    whatif-pipeline %6zu records -> %s\n",
+                Records.size(), Path.c_str());
+  }
+
+  // The recommendations and warm-start hint derived from that trace.
+  const TaskDag Dag = TaskDag::build(std::move(Records));
+  const CriticalPathProfile Profile = computeCriticalPath(Dag);
+  const WhatIfModel Model = WhatIfModel::fromProfile(
+      Profile, Scenario.Opts.Contexts, Scenario.App.OversubPenalty,
+      Scenario.App.ThreadOverheadPenalty);
+  const std::vector<Recommendation> Recs =
+      recommendExtents(Model, Scenario.Opts.Contexts, 5);
+  if (Recs.empty()) {
+    std::fprintf(stderr, "dope_whatif: scenario produced no recommendation\n");
+    return 1;
+  }
+  if (!writeText(Dir + "/whatif-pipeline.recommend.json",
+                 toJson(Recs).dump()))
+    return 1;
+  std::printf("recs     whatif-pipeline %6zu ranked  -> %s\n", Recs.size(),
+              (Dir + "/whatif-pipeline.recommend.json").c_str());
+  const WarmStartHint Hint = makeWarmStartHint("FDP", Recs.front());
+  if (!writeText(Dir + "/whatif-pipeline.hint.json", writeWarmStartHint(Hint)))
+    return 1;
+  std::printf("hint     whatif-pipeline (FDP)          -> %s\n",
+              (Dir + "/whatif-pipeline.hint.json").c_str());
+
+  // The colocation share split.
+  const WhatIfColocationScenario Colo = whatifColocationScenario();
+  const ShareRecommendation Shares =
+      recommendShares(Colo.Tenants, Colo.Opts.Contexts);
+  if (!writeText(Dir + "/whatif-colocation.shares.json",
+                 toJson(Shares).dump()))
+    return 1;
+  std::printf("shares   whatif-colocation              -> %s\n",
+              (Dir + "/whatif-colocation.shares.json").c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  const std::string Command = Argv[1];
+  std::vector<std::string> Args(Argv + 2, Argv + Argc);
+  if (Command == "profile")
+    return cmdProfile(Args);
+  if (Command == "whatif")
+    return cmdWhatIf(Args);
+  if (Command == "recommend")
+    return cmdRecommend(Args);
+  if (Command == "validate")
+    return cmdValidate(Args);
+  if (Command == "regen")
+    return cmdRegen(Args);
+  return usage();
+}
