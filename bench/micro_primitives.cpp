@@ -8,9 +8,11 @@
 /// \file
 /// google-benchmark microbenchmarks for the run-time primitives on the
 /// executive's hot paths: queue operations (every pipeline item crosses
-/// at least two), metric recording (every Task::begin/end pair), load
-/// sampling, RNG draws, and configuration bookkeeping. These quantify
-/// why full per-instance monitoring stays in the noise (Sec. 8.2).
+/// at least two), the work-stealing deque (owner push/pop, contended
+/// steal, 1-vs-N thieves — every recursive task crosses it), metric
+/// recording (every Task::begin/end pair), load sampling, RNG draws,
+/// and configuration bookkeeping. These quantify why full per-instance
+/// monitoring stays in the noise (Sec. 8.2).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,7 +20,9 @@
 #include "core/FeatureRegistry.h"
 #include "core/Monitor.h"
 #include "queue/BoundedQueue.h"
+#include "queue/ChaseLevDeque.h"
 #include "queue/SpscRing.h"
+#include "queue/StealScheduler.h"
 #include "queue/WorkQueue.h"
 #include "support/MathUtils.h"
 #include "support/Random.h"
@@ -64,6 +68,83 @@ void BM_SpscRingPushPop(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SpscRingPushPop);
+
+//===----------------------------------------------------------------------===//
+// Work-stealing primitives (queue/ChaseLevDeque.h, queue/StealScheduler.h)
+//===----------------------------------------------------------------------===//
+
+void BM_ChaseLevOwnerPushPop(benchmark::State &State) {
+  ChaseLevDeque<uint64_t> D(1024);
+  uint64_t Out = 0;
+  for (auto _ : State) {
+    D.push(1);
+    benchmark::DoNotOptimize(D.pop(Out));
+  }
+}
+BENCHMARK(BM_ChaseLevOwnerPushPop);
+
+void BM_ChaseLevUncontendedSteal(benchmark::State &State) {
+  ChaseLevDeque<uint64_t> D(1024);
+  uint64_t Out = 0;
+  for (auto _ : State) {
+    D.push(1);
+    benchmark::DoNotOptimize(D.steal(Out));
+  }
+}
+BENCHMARK(BM_ChaseLevUncontendedSteal);
+
+/// Owner and thieves on one live deque: thread 0 keeps the deque fed
+/// (push two, pop one) while every other thread steals. With the
+/// 1-thread variant this doubles as the owner-only baseline; 2/4/8
+/// threads give the 1-vs-N-thieves contention curve. The shared deque
+/// outlives each thread count's run (function-local static), which is
+/// fine: leftover elements only mean steals start warm.
+void BM_ChaseLevContendedSteal(benchmark::State &State) {
+  static ChaseLevDeque<uint64_t> D(1 << 12);
+  uint64_t Out = 0;
+  if (State.thread_index() == 0) {
+    for (auto _ : State) {
+      D.push(1);
+      D.push(2);
+      benchmark::DoNotOptimize(D.pop(Out));
+      // Keep the backlog bounded if thieves fall behind the surplus.
+      if (D.size() > (1u << 12))
+        benchmark::DoNotOptimize(D.pop(Out));
+    }
+  } else {
+    for (auto _ : State)
+      benchmark::DoNotOptimize(D.steal(Out));
+  }
+}
+BENCHMARK(BM_ChaseLevContendedSteal)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_StealSchedulerSpawnAcquire(benchmark::State &State) {
+  StealScheduler<uint64_t> S(8);
+  uint64_t Out = 0;
+  for (auto _ : State) {
+    S.spawn(0, 1);
+    benchmark::DoNotOptimize(S.tryAcquire(0, Out));
+  }
+}
+BENCHMARK(BM_StealSchedulerSpawnAcquire);
+
+/// Cross-deque acquisition: worker 1..7's deques are empty, so every
+/// tryAcquire from worker 1 sweeps victims until it finds worker 0's
+/// element — the randomized victim-selection plus steal path.
+void BM_StealSchedulerCrossSteal(benchmark::State &State) {
+  StealScheduler<uint64_t> S(8);
+  uint64_t Out = 0;
+  for (auto _ : State) {
+    S.spawn(0, 1);
+    benchmark::DoNotOptimize(S.tryAcquire(1, Out));
+  }
+}
+BENCHMARK(BM_StealSchedulerCrossSteal);
 
 void BM_TaskMetricsRecord(benchmark::State &State) {
   TaskMetrics M;

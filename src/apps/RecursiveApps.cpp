@@ -1,0 +1,209 @@
+//===- apps/RecursiveApps.cpp - Native recursive-tree examples -------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/RecursiveApps.h"
+
+#include "core/TaskTree.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+using namespace dope;
+
+namespace {
+
+/// Drives \p Engine to completion with \p Workers raw threads (worker 0
+/// runs on the calling thread).
+void driveToCompletion(TreeEngine &Engine, unsigned Workers, unsigned Grain) {
+  std::vector<std::thread> Threads;
+  Threads.reserve(Workers > 0 ? Workers - 1 : 0);
+  for (unsigned W = 1; W < Workers; ++W)
+    Threads.emplace_back([&Engine, W, Grain] { Engine.runWorker(W, Grain); });
+  Engine.runWorker(0, Grain);
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+/// Hoare partition of A[Lo, Hi) around a median-of-three pivot. Returns
+/// a split S in (Lo, Hi): every element of [Lo, S) is <= every element
+/// of [S, Hi), and both sides are non-empty, so recursion always makes
+/// progress. Requires Hi - Lo >= 2.
+uint64_t hoarePartition(std::vector<uint32_t> &A, uint64_t Lo, uint64_t Hi) {
+  const uint32_t X = A[Lo];
+  const uint32_t Y = A[Lo + (Hi - Lo) / 2];
+  const uint32_t Z = A[Hi - 1];
+  const uint32_t Pivot =
+      std::max(std::min(X, Y), std::min(std::max(X, Y), Z));
+  int64_t I = static_cast<int64_t>(Lo) - 1;
+  int64_t J = static_cast<int64_t>(Hi);
+  for (;;) {
+    do
+      ++I;
+    while (A[static_cast<uint64_t>(I)] < Pivot);
+    do
+      --J;
+    while (A[static_cast<uint64_t>(J)] > Pivot);
+    if (I >= J)
+      break;
+    std::swap(A[static_cast<uint64_t>(I)], A[static_cast<uint64_t>(J)]);
+  }
+  uint64_t S = static_cast<uint64_t>(J) + 1;
+  // S == Hi only when A[Hi-1] is the unique maximum (== pivot): peel it
+  // off as its own right side to keep both partitions non-empty.
+  if (S >= Hi)
+    S = Hi - 1;
+  return S;
+}
+
+uint64_t mixScore(uint64_t Seed, uint64_t Node) {
+  uint64_t Z = Seed ^ (Node * 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+constexpr uint64_t MatchMask = 0x3f; // score & mask == 0 ~ 1/64 of nodes
+
+/// Per-worker accumulator, cache-line separated: the reductions are
+/// commutative, so lock-free per-worker accumulation stays exact.
+struct alignas(64) SearchCell {
+  uint64_t Matches = 0;
+  uint64_t BestScore = ~0ull;
+  uint64_t BestNode = 0;
+
+  void visit(uint64_t Node, uint64_t Score) {
+    if ((Score & MatchMask) == 0)
+      ++Matches;
+    if (Score < BestScore || (Score == BestScore && Node < BestNode)) {
+      BestScore = Score;
+      BestNode = Node;
+    }
+  }
+};
+
+/// Number of nodes in the subtree rooted at \p Node of a complete
+/// binary tree whose node ids are < 2^Depth.
+uint64_t subtreeNodes(uint64_t Node, unsigned Depth) {
+  unsigned Level = 0;
+  while ((Node >> (Level + 1)) != 0)
+    ++Level;
+  return (uint64_t(1) << (Depth - Level)) - 1;
+}
+
+/// Sequential DFS over the subtree at \p Node.
+void searchSubtree(uint64_t Node, unsigned Depth, uint64_t Seed,
+                   SearchCell &Cell) {
+  const uint64_t Limit = uint64_t(1) << Depth;
+  if (Node >= Limit)
+    return;
+  Cell.visit(Node, mixScore(Seed, Node));
+  searchSubtree(2 * Node, Depth, Seed, Cell);
+  searchSubtree(2 * Node + 1, Depth, Seed, Cell);
+}
+
+} // namespace
+
+std::vector<uint32_t> dope::makeSortInput(size_t N, uint64_t Seed) {
+  std::vector<uint32_t> Data(N);
+  SplitMix64 Rng(Seed);
+  for (size_t I = 0; I != N; ++I)
+    Data[I] = static_cast<uint32_t>(Rng.next());
+  return Data;
+}
+
+void dope::parallelQuicksort(std::vector<uint32_t> &Data, unsigned Workers,
+                             unsigned Grain, uint64_t Seed) {
+  if (Data.size() < 2)
+    return;
+  TreeEngine::Options Opts;
+  Opts.MaxWorkers = std::max(1u, Workers);
+  Opts.Seed = Seed;
+  Opts.AutoSplit = false; // split points are data-dependent
+  Opts.Name = "quicksort";
+  TreeEngine Engine(Opts);
+  std::vector<uint32_t> *A = &Data;
+  Engine.setBody([A](TreeContext &Ctx, uint64_t Lo, uint64_t Hi) {
+    const uint64_t G = std::max(1u, Ctx.grain());
+    while (Hi - Lo > G) {
+      const uint64_t S = hoarePartition(*A, Lo, Hi);
+      // Fork the larger partition (the biggest subtree, which is what
+      // thieves want) and keep refining the smaller one here.
+      if (S - Lo >= Hi - S) {
+        Ctx.spawn(Lo, S);
+        Lo = S;
+      } else {
+        Ctx.spawn(S, Hi);
+        Hi = S;
+      }
+    }
+    std::sort(A->begin() + static_cast<ptrdiff_t>(Lo),
+              A->begin() + static_cast<ptrdiff_t>(Hi));
+  });
+  Engine.submit(0, Data.size());
+  Engine.close();
+  driveToCompletion(Engine, Opts.MaxWorkers, std::max(1u, Grain));
+}
+
+TreeSearchResult dope::parallelTreeSearch(unsigned Depth, uint64_t Seed,
+                                          unsigned Workers, unsigned Grain) {
+  TreeSearchResult Result;
+  if (Depth == 0 || Depth > 31)
+    return Result;
+  TreeEngine::Options Opts;
+  Opts.MaxWorkers = std::max(1u, Workers);
+  Opts.Seed = Seed ^ 0x5851f42d4c957f2dull;
+  Opts.AutoSplit = false; // descend-and-fork recursion
+  Opts.Name = "tree-search";
+  TreeEngine Engine(Opts);
+  std::vector<SearchCell> Cells(Opts.MaxWorkers);
+  SearchCell *CellData = Cells.data();
+  Engine.setBody([CellData, Depth, Seed](TreeContext &Ctx, uint64_t Lo,
+                                         uint64_t /*Hi*/) {
+    // The item is a subtree root (packed as [Node, Node+1)). Descend the
+    // right spine, forking each left child's subtree, until the
+    // remaining subtree fits the grain and runs sequentially.
+    SearchCell &Cell = CellData[Ctx.worker()];
+    const uint64_t G = std::max(1u, Ctx.grain());
+    uint64_t Node = Lo;
+    while (subtreeNodes(Node, Depth) > G) {
+      Cell.visit(Node, mixScore(Seed, Node));
+      Ctx.spawn(2 * Node, 2 * Node + 1);
+      Node = 2 * Node + 1;
+    }
+    searchSubtree(Node, Depth, Seed, Cell);
+  });
+  Engine.submit(1, 2); // the root node
+  Engine.close();
+  driveToCompletion(Engine, Opts.MaxWorkers, std::max(1u, Grain));
+
+  for (const SearchCell &Cell : Cells) {
+    if (Cell.BestNode == 0)
+      continue; // worker never ran a task
+    Result.Matches += Cell.Matches;
+    if (Cell.BestScore < Result.BestScore ||
+        (Cell.BestScore == Result.BestScore &&
+         Cell.BestNode < Result.BestNode)) {
+      Result.BestScore = Cell.BestScore;
+      Result.BestNode = Cell.BestNode;
+    }
+  }
+  return Result;
+}
+
+TreeSearchResult dope::sequentialTreeSearch(unsigned Depth, uint64_t Seed) {
+  TreeSearchResult Result;
+  if (Depth == 0 || Depth > 31)
+    return Result;
+  SearchCell Cell;
+  searchSubtree(1, Depth, Seed, Cell);
+  Result.Matches = Cell.Matches;
+  Result.BestScore = Cell.BestScore;
+  Result.BestNode = Cell.BestNode;
+  return Result;
+}

@@ -1,0 +1,67 @@
+//===- apps/RecursiveApps.h - Native recursive-tree examples ---*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Native recursive divide-and-conquer examples on the work-stealing
+/// TreeEngine (core/TaskTree.h) — the app-split style, where the body
+/// forks data-dependent subranges through TreeContext::spawn and uses
+/// TreeContext::grain() as its sequential-cutoff threshold:
+///
+///   * parallelQuicksort — Hoare-partition quicksort over a shared
+///     vector; the larger partition is forked (that is what thieves
+///     want), the smaller is processed in place;
+///   * parallelTreeSearch — exhaustive search of an implicit binary
+///     tree of hashed node scores: subtrees at most grain nodes run
+///     sequentially, larger ones fork their left child's subtree and
+///     descend right.
+///
+/// Both produce results that are independent of the steal schedule
+/// (sortedness / commutative reductions), so tests verify that the
+/// runtime never loses or duplicates a task at any worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_APPS_RECURSIVEAPPS_H
+#define DOPE_APPS_RECURSIVEAPPS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dope {
+
+/// Deterministic shuffled input for the sort examples.
+std::vector<uint32_t> makeSortInput(size_t N, uint64_t Seed);
+
+/// Sorts \p Data in place on the work-stealing tree runtime with
+/// \p Workers OS threads and sequential cutoff \p Grain elements.
+void parallelQuicksort(std::vector<uint32_t> &Data, unsigned Workers,
+                       unsigned Grain, uint64_t Seed = 0x9e3779b9ull);
+
+/// Result of a tree search: commutative reductions, so identical for
+/// every steal schedule.
+struct TreeSearchResult {
+  /// Nodes whose score passed the match filter.
+  uint64_t Matches = 0;
+  /// The minimum score over the whole tree...
+  uint64_t BestScore = ~0ull;
+  /// ...and the smallest node id achieving it (deterministic tie-break).
+  uint64_t BestNode = 0;
+};
+
+/// Searches the implicit complete binary tree of \p Depth levels (nodes
+/// 1 .. 2^Depth - 1, score = mix(Seed, node)) with \p Workers threads;
+/// subtrees of at most \p Grain nodes run sequentially.
+TreeSearchResult parallelTreeSearch(unsigned Depth, uint64_t Seed,
+                                    unsigned Workers, unsigned Grain);
+
+/// Single-threaded oracle for parallelTreeSearch (tests).
+TreeSearchResult sequentialTreeSearch(unsigned Depth, uint64_t Seed);
+
+} // namespace dope
+
+#endif // DOPE_APPS_RECURSIVEAPPS_H

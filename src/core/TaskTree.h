@@ -1,0 +1,350 @@
+//===- core/TaskTree.h - Recursive task-tree engine -----------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution engine behind ParKind::Tree regions: a recursive
+/// divide-and-conquer runtime over the work-stealing StealScheduler.
+///
+/// Work items are half-open index ranges [Lo, Hi) packed into one
+/// uint64_t (two uint32 halves), so they flow through the lock-free
+/// ChaseLevDeque without allocation. The engine distinguishes two
+/// recursion styles:
+///
+///   * auto-split (the default): the engine halves every acquired range
+///     until it is at most the configured grain, spawning the upper half
+///     each time, then runs the body once on the remaining leaf — the
+///     body is a pure leaf function and never recurses itself;
+///   * app-split (AutoSplit off): the body receives the full range and
+///     forks subranges explicitly through TreeContext::spawn, consulting
+///     TreeContext::grain() as its own stop threshold (quicksort-style
+///     recursion where split points are data-dependent).
+///
+/// External roots enter through a central WorkQueue (injection stays
+/// central, per the queue subsystem's contract); everything spawned from
+/// inside tasks goes through the deques. Termination uses a single
+/// outstanding-task counter: incremented before any push, decremented
+/// after the body runs, so "injection closed and zero outstanding" is a
+/// race-free done() — no task can be lost across reconfiguration epochs
+/// because the scheduler is sized once (MaxWorkers) and thieves sweep
+/// every deque, including those of retired workers.
+///
+/// The engine is deliberately executive-agnostic: DoPE replicas drive it
+/// through a generated functor (core/Builders.h, TaskTreeBuilder), and
+/// benchmarks drive it with raw threads. Successful steals are traced as
+/// TraceKind::Steal; windowed steal counters feed the StealRate feature
+/// that the GrainAdapt mechanism consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_CORE_TASKTREE_H
+#define DOPE_CORE_TASKTREE_H
+
+#include "queue/StealScheduler.h"
+#include "queue/WorkQueue.h"
+#include "support/Clock.h"
+#include "support/Compiler.h"
+#include "support/ThreadAnnotations.h"
+#include "support/Trace.h"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace dope {
+
+class TreeEngine;
+
+/// Per-invocation view handed to a tree body: the worker identity, the
+/// grain in force, and the fork primitive.
+class TreeContext {
+public:
+  /// Forks the half-open range [Lo, Hi) as a new task on this worker's
+  /// deque (thieves may take it). Empty ranges are ignored.
+  void spawn(uint64_t Lo, uint64_t Hi);
+
+  /// The grain size the region currently runs at — the split-stop
+  /// threshold below which work should execute sequentially.
+  unsigned grain() const { return Grain; }
+
+  /// The worker index executing this body, in [0, maxWorkers()).
+  unsigned worker() const { return Worker; }
+
+private:
+  friend class TreeEngine;
+  TreeContext(TreeEngine &Engine, unsigned Worker, unsigned Grain)
+      : Engine(Engine), Worker(Worker), Grain(Grain) {}
+
+  TreeEngine &Engine;
+  unsigned Worker;
+  unsigned Grain;
+};
+
+/// The body of a tree region: processes the half-open range [Lo, Hi),
+/// optionally forking subranges through the context.
+using TreeBodyFn = std::function<void(TreeContext &, uint64_t Lo, uint64_t Hi)>;
+
+/// What TreeEngine::runOne did for the calling worker.
+enum class TreeStep : uint8_t {
+  /// A task was acquired and executed.
+  Ran,
+  /// Nothing was runnable, but the computation is still open — the
+  /// caller should park (parkIdle) or poll again.
+  Idle,
+  /// Injection is closed and every task has executed: the computation
+  /// is complete.
+  Done,
+};
+
+/// The engine. Create once (shared_ptr, sized MaxWorkers) and keep it
+/// across reconfiguration epochs: extent changes only alter how many
+/// workers *drive* it, never its structure, so work stranded in a
+/// retired worker's deque drains through steals.
+class TreeEngine : public std::enable_shared_from_this<TreeEngine> {
+public:
+  struct Options {
+    /// Worker-index space (and deque count). Size to the executive's
+    /// MaxThreads: a region extent may never exceed it.
+    unsigned MaxWorkers = 1;
+    /// Seed for the scheduler's victim-selection RNGs.
+    uint64_t Seed = 0x9e3779b9ull;
+    /// Engine-side range splitting (see file comment). Off for bodies
+    /// that fork explicitly via TreeContext::spawn.
+    bool AutoSplit = true;
+    /// Name stamped on this engine's trace records.
+    std::string Name = "tree";
+  };
+
+  explicit TreeEngine(Options Opts)
+      : Opts(std::move(Opts)),
+        Sched(this->Opts.MaxWorkers, this->Opts.Seed) {}
+
+  TreeEngine(const TreeEngine &) = delete;
+  TreeEngine &operator=(const TreeEngine &) = delete;
+
+  /// Installs the body every task runs. Must be set before any work is
+  /// submitted; not thread-safe against running workers.
+  void setBody(TreeBodyFn Fn) { Body = std::move(Fn); }
+
+  /// Points trace emission at \p T (null disables). Safe to flip while
+  /// workers run.
+  void setTracer(Tracer *T) { Trace.store(T, std::memory_order_release); }
+
+  unsigned maxWorkers() const { return Sched.maxWorkers(); }
+  const std::string &name() const { return Opts.Name; }
+
+  /// Submits a root range through the central injection queue. Returns
+  /// false when injection is already closed (the range is dropped).
+  bool submit(uint64_t Lo, uint64_t Hi) {
+    if (Lo >= Hi)
+      return true;
+    Outstanding.fetch_add(1, std::memory_order_relaxed);
+    if (!Injection.push(pack(Lo, Hi))) {
+      Outstanding.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    Sched.wakeAll();
+    return true;
+  }
+
+  /// Closes injection: once outstanding work drains, done() turns true
+  /// and idle workers see TreeStep::Done.
+  void close() {
+    Injection.close();
+    Sched.wakeAll();
+  }
+
+  /// Reopens injection for another wave of roots (InitCB path).
+  void reopen() { Injection.reopen(); }
+
+  /// True when injection is closed and every submitted or spawned task
+  /// has finished executing.
+  DOPE_HOT bool done() const {
+    return Injection.closed() &&
+           Outstanding.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Tasks submitted or spawned but not yet finished (includes tasks
+  /// currently executing) — the region's load signal.
+  DOPE_HOT size_t outstandingTasks() const {
+    const int64_t N = Outstanding.load(std::memory_order_relaxed);
+    return N > 0 ? static_cast<size_t>(N) : 0;
+  }
+
+  /// Acquires one task for worker \p W without executing it: own deque,
+  /// then steals, then the injection queue. \p StolenFrom reports where
+  /// a deque item came from (== W when popped locally). Exposed so
+  /// callers can interleave an executive suspend check between acquire
+  /// and execute.
+  DOPE_HOT bool acquire(unsigned W, uint64_t &Item, unsigned &StolenFrom) {
+    if (Sched.tryAcquire(W, Item, &StolenFrom))
+      return true;
+    if (std::optional<uint64_t> Root = Injection.tryPop()) {
+      Item = *Root;
+      StolenFrom = W;
+      return true;
+    }
+    return false;
+  }
+
+  /// Returns an acquired-but-unexecuted task to worker \p W's deque
+  /// (suspension path). The outstanding count still covers it, so no
+  /// task is lost across the reconfiguration.
+  void giveBack(unsigned W, uint64_t Item) { Sched.spawn(W, Item); }
+
+  /// Executes one acquired task on worker \p W at grain \p Grain:
+  /// auto-splits if configured, runs the body, settles the outstanding
+  /// count, and traces the steal when \p StolenFrom differs from \p W.
+  DOPE_HOT void execute(unsigned W, unsigned Grain, uint64_t Item,
+                        unsigned StolenFrom) {
+    assert(Body && "tree engine needs a body before execution");
+    if (StolenFrom != W) {
+      if (Tracer *Tr = Trace.load(std::memory_order_acquire))
+        Tr->record(TraceKind::Steal, Opts.Name, W, StolenFrom);
+    }
+    uint64_t Lo = unpackLo(Item);
+    uint64_t Hi = unpackHi(Item);
+    const uint64_t G = Grain == 0 ? 1 : Grain;
+    if (Opts.AutoSplit) {
+      // Halve until at most one grain remains; spawned upper halves are
+      // the biggest subtrees, which is exactly what thieves want.
+      while (Hi - Lo > G) {
+        const uint64_t Mid = Lo + (Hi - Lo) / 2;
+        spawnRange(W, Mid, Hi);
+        Hi = Mid;
+      }
+    }
+    TreeContext Ctx(*this, W, Grain);
+    Body(Ctx, Lo, Hi);
+    Sched.noteTaskRun(W);
+    finishTask();
+  }
+
+  /// Convenience: acquire + execute. Returns what happened so callers
+  /// can park on Idle and exit on Done.
+  DOPE_HOT TreeStep runOne(unsigned W, unsigned Grain) {
+    uint64_t Item;
+    unsigned From;
+    if (!acquire(W, Item, From))
+      return done() ? TreeStep::Done : TreeStep::Idle;
+    execute(W, Grain, Item, From);
+    return TreeStep::Ran;
+  }
+
+  /// Parks worker \p W until work appears, \p Predicate turns true, or
+  /// \p MaxWait elapses. The bounded wait keeps DoPE replicas responsive
+  /// to suspend flags.
+  template <typename Pred>
+  void parkIdle(Pred Predicate, std::chrono::microseconds MaxWait) {
+    Sched.parkUntilWork(
+        [&] { return Predicate() || done() || !Injection.empty(); }, MaxWait);
+  }
+
+  /// Wakes every parked worker (suspension, shutdown).
+  void wakeAll() { Sched.wakeAll(); }
+
+  /// Drives worker \p W until the computation completes: the benchmark /
+  /// raw-thread entry point (DoPE replicas use the generated functor
+  /// instead, which interleaves begin/end).
+  void runWorker(unsigned W, unsigned Grain) {
+    for (;;) {
+      switch (runOne(W, Grain)) {
+      case TreeStep::Ran:
+        break;
+      case TreeStep::Idle:
+        parkIdle([] { return false; }, std::chrono::microseconds(200));
+        break;
+      case TreeStep::Done:
+        return;
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Monitoring features
+  //===------------------------------------------------------------------===//
+
+  /// Successful steals per second since the previous sample — the
+  /// StealRate feature. Cold path (one small mutex), called from the
+  /// executive's monitoring loop, never from workers.
+  double stealRateSample() {
+    std::lock_guard<std::mutex> Lock(SampleMutex);
+    const double Now = monotonicSeconds();
+    const uint64_t Steals = Sched.stealsSucceeded();
+    double Rate = 0.0;
+    if (LastSampleTime > 0.0 && Now > LastSampleTime)
+      Rate = static_cast<double>(Steals - LastSampleSteals) /
+             (Now - LastSampleTime);
+    LastSampleTime = Now;
+    LastSampleSteals = Steals;
+    return Rate;
+  }
+
+  uint64_t tasksExecuted() const { return Sched.tasksRun(); }
+  uint64_t stealsAttempted() const { return Sched.stealsAttempted(); }
+  uint64_t stealsSucceeded() const { return Sched.stealsSucceeded(); }
+
+  /// The underlying scheduler (tests, benchmarks).
+  StealScheduler<uint64_t> &scheduler() { return Sched; }
+
+  //===------------------------------------------------------------------===//
+  // Range packing
+  //===------------------------------------------------------------------===//
+
+  /// Ranges are [Lo, Hi) with both bounds < 2^32, packed Hi:Lo so they
+  /// fit the deque's 8-byte cell.
+  static constexpr uint64_t MaxIndex = (uint64_t(1) << 32) - 1;
+  static uint64_t pack(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && Hi <= MaxIndex && "range out of packable bounds");
+    return (Hi << 32) | Lo;
+  }
+  static uint64_t unpackLo(uint64_t Item) { return Item & 0xffffffffull; }
+  static uint64_t unpackHi(uint64_t Item) { return Item >> 32; }
+
+private:
+  friend class TreeContext;
+
+  /// Fork from inside a task: count first, then publish.
+  DOPE_HOT void spawnRange(unsigned W, uint64_t Lo, uint64_t Hi) {
+    if (Lo >= Hi)
+      return;
+    Outstanding.fetch_add(1, std::memory_order_relaxed);
+    Sched.spawn(W, pack(Lo, Hi));
+  }
+
+  /// One task's body finished: release its outstanding count, and wake
+  /// sleepers when that was the last one (they must observe Done).
+  DOPE_HOT void finishTask() {
+    if (Outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        Injection.closed())
+      Sched.wakeAll();
+  }
+
+  Options Opts;
+  TreeBodyFn Body;
+  StealScheduler<uint64_t> Sched;
+  WorkQueue<uint64_t> Injection;
+  std::atomic<int64_t> Outstanding{0};
+  std::atomic<Tracer *> Trace{nullptr};
+
+  std::mutex SampleMutex;
+  double LastSampleTime DOPE_GUARDED_BY(SampleMutex) = 0.0;
+  uint64_t LastSampleSteals DOPE_GUARDED_BY(SampleMutex) = 0;
+};
+
+inline void TreeContext::spawn(uint64_t Lo, uint64_t Hi) {
+  Engine.spawnRange(Worker, Lo, Hi);
+}
+
+} // namespace dope
+
+#endif // DOPE_CORE_TASKTREE_H

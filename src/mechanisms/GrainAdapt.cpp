@@ -1,0 +1,85 @@
+//===- mechanisms/GrainAdapt.cpp - Adaptive grain control ------------------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "mechanisms/GrainAdapt.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace dope;
+
+GrainAdaptMechanism::GrainAdaptMechanism(GrainAdaptParams P)
+    : Params(P) {}
+
+void GrainAdaptMechanism::reset() {
+  State = WalkState::Walking;
+  PlateauTaskSeconds = 0.0;
+  PlateauBudget = 0;
+}
+
+std::optional<RegionConfig>
+GrainAdaptMechanism::reconfigure(const ParDescriptor &Region,
+                                 const RegionSnapshot &Root,
+                                 const RegionConfig &Current,
+                                 const MechanismContext &Ctx) {
+  // This mechanism only understands tree regions; anything else keeps
+  // its configuration (proposing a grain elsewhere would be rejected by
+  // validateConfig anyway).
+  if (!Region.isTree() || Current.Tasks.empty() || Root.Tasks.empty())
+    return std::nullopt;
+
+  const TaskSnapshot &TS = Root.Tasks.front();
+  if (TS.Invocations == 0)
+    return std::nullopt; // unmeasured: nothing to walk from yet
+
+  const unsigned Budget = Ctx.effectiveThreads();
+  const double MeanTask = Ctx.feature("MeanTaskSeconds", TS.ExecTime);
+  const double StealRate = Ctx.feature("StealRate", 0.0);
+
+  const unsigned Extent = std::max(1u, Current.Tasks.front().Extent);
+  const unsigned Grain =
+      std::max(Params.MinGrain, Current.Tasks.front().Grain);
+
+  // The plateau holds until the accepted cost signal drifts or the
+  // thread budget moves (FDP's re-explore idiom).
+  if (State == WalkState::Converged) {
+    const bool BudgetMoved = Budget != PlateauBudget;
+    const bool Drifted =
+        PlateauTaskSeconds > 0.0 && MeanTask > 0.0 &&
+        std::abs(MeanTask - PlateauTaskSeconds) >
+            Params.ReexploreDrift * PlateauTaskSeconds;
+    if (!BudgetMoved && !Drifted)
+      return std::nullopt;
+    State = WalkState::Walking;
+  }
+
+  unsigned NextGrain = Grain;
+  if (StealRate > Params.ThrashStealsPerSec &&
+      MeanTask < Params.MinTaskSeconds) {
+    // Thrash: tasks too fine — thieves churn on tiny work. Coarsen.
+    NextGrain = std::min(Params.MaxGrain, Grain * 2);
+  } else if (TS.Load < Params.StarveLoadFactor * Extent &&
+             Grain > Params.MinGrain) {
+    // Starvation: too few outstanding tasks to feed the workers while
+    // the region is still measured as running. Refine.
+    NextGrain = std::max(Params.MinGrain, Grain / 2);
+  }
+
+  RegionConfig Next = Current;
+  Next.Tasks.front().Grain = NextGrain;
+  // One knob besides the grain: keep the worker set sized to the
+  // budget, so lease grants and revocations take effect here.
+  Next.Tasks.front().Extent = Budget;
+
+  if (Next == Current) {
+    State = WalkState::Converged;
+    PlateauTaskSeconds = MeanTask;
+    PlateauBudget = Budget;
+    return std::nullopt;
+  }
+  return Next;
+}

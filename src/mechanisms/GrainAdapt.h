@@ -1,0 +1,90 @@
+//===- mechanisms/GrainAdapt.h - Adaptive grain control --------*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The chunking mechanism for recursive task-tree regions: walks the
+/// grain size (TaskConfig::Grain) from the work-stealing runtime's
+/// monitored signals, the way the extent mechanisms walk thread counts.
+///
+///   * thrash — the StealRate feature is high while MeanTaskSeconds is
+///     tiny: tasks are too fine, scheduling overhead dominates, so the
+///     grain doubles (fewer, bigger leaves);
+///   * starvation — the region's load (outstanding tasks) has fallen
+///     below a multiple of the extent while work remains: tasks are too
+///     coarse to feed the workers, so the grain halves;
+///   * otherwise the mechanism converges on a plateau and holds, FDP's
+///     idiom: it records the accepted cost signal and the thread budget
+///     it was reached under, and re-opens the walk when the signal
+///     drifts beyond ReexploreDrift or the budget changes.
+///
+/// The extent is kept pinned to the effective thread budget (a tree
+/// region has exactly one knob besides the grain), so a lease grant or
+/// revocation re-sizes the worker set on the next consult.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_MECHANISMS_GRAINADAPT_H
+#define DOPE_MECHANISMS_GRAINADAPT_H
+
+#include "core/Mechanism.h"
+
+namespace dope {
+
+/// Tuning parameters of the grain walker.
+struct GrainAdaptParams {
+  /// Successful steals per second above which the region is thrashing
+  /// (combined with the cost test below).
+  double ThrashStealsPerSec = 200.0;
+  /// Mean task cost below which tasks count as "tiny" for the thrash
+  /// test: doubling the grain roughly doubles this.
+  double MinTaskSeconds = 200e-6;
+  /// Starvation test: outstanding tasks < StarveLoadFactor * extent
+  /// while the region is measured means workers cannot all be fed.
+  double StarveLoadFactor = 2.0;
+  /// Grain bounds the walk never leaves.
+  unsigned MinGrain = 1;
+  unsigned MaxGrain = 1u << 20;
+  /// Relative drift of MeanTaskSeconds from the accepted plateau that
+  /// re-opens the walk (FDP's re-explore idiom).
+  double ReexploreDrift = 0.5;
+};
+
+/// Adaptive grain control for ParKind::Tree regions. Non-tree regions
+/// are left untouched (nullopt on every consult).
+class GrainAdaptMechanism : public Mechanism {
+public:
+  explicit GrainAdaptMechanism(GrainAdaptParams Params = GrainAdaptParams());
+
+  std::string name() const override { return "GrainAdapt"; }
+
+  std::optional<RegionConfig>
+  reconfigure(const ParDescriptor &Region, const RegionSnapshot &Root,
+              const RegionConfig &Current, const MechanismContext &Ctx)
+      override;
+
+  void reset() override;
+
+  /// True once the walker holds a plateau (test hook).
+  bool converged() const { return State == WalkState::Converged; }
+
+private:
+  enum class WalkState { Walking, Converged };
+
+  GrainAdaptParams Params;
+  WalkState State = WalkState::Walking;
+  /// Accepted MeanTaskSeconds at convergence; the drift test compares
+  /// against it.
+  double PlateauTaskSeconds = 0.0;
+  /// Thread budget the plateau was reached under; a budget shift
+  /// re-opens the walk explicitly (configured grains never move on
+  /// their own when the platform loses contexts).
+  unsigned PlateauBudget = 0;
+};
+
+} // namespace dope
+
+#endif // DOPE_MECHANISMS_GRAINADAPT_H

@@ -1,0 +1,224 @@
+//===- queue/ChaseLevDeque.h - Lock-free work-stealing deque --*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Chase-Lev work-stealing deque [Chase & Lev, SPAA 2005] with the
+/// C11-style memory orders of Lê, Pop, Cohen & Zappa Nardelli (PPoPP
+/// 2013). One *owner* thread pushes and pops at the bottom; any number of
+/// *thief* threads CAS-claim elements at the top. The owner's fast path
+/// (push/pop on a non-contended deque) is lock-free and allocation-free —
+/// the hot-path purity contract the `dope_lint` HP checks enforce on every
+/// DOPE_HOT body.
+///
+/// Memory-order argument (DESIGN.md §16 carries the prose version):
+///
+///   * push stores the element into the ring with a relaxed store, then
+///     publishes it with a release fence before the relaxed store of
+///     Bottom. A thief that observes the new Bottom through its seq_cst
+///     fence therefore also observes the element.
+///   * pop decrements Bottom, then issues a seq_cst fence before reading
+///     Top. The fence pairs with the thief's seq_cst fence: owner and
+///     thief cannot both miss each other's claim on the last element, so
+///     the final element is arbitrated by a single seq_cst CAS on Top.
+///   * steal reads Top (acquire), fences seq_cst, reads Bottom (acquire),
+///     and claims the element with a seq_cst CAS on Top. A failed CAS
+///     means another thief (or the owner racing for the last element) won;
+///     the caller sees Abort and may retry or move to another victim.
+///
+/// Growth: when the ring is full the owner allocates a ring of twice the
+/// capacity and copies the live window (a cold path, out of the DOPE_HOT
+/// fast path). Retired rings are kept alive until the deque is destroyed:
+/// a thief may still be reading a cell of an old ring after the owner
+/// swapped in the new one, and parking the old buffer until destruction is
+/// this reproduction's stand-in for hazard pointers — bounded, because the
+/// total retired footprint is at most twice the largest ring.
+///
+/// Elements must be trivially copyable and at most 8 bytes so the ring
+/// cells are genuinely lock-free std::atomic<T>; schedulers pack wider
+/// payloads (e.g. [lo, hi) ranges) into a uint64_t.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_QUEUE_CHASELEVDEQUE_H
+#define DOPE_QUEUE_CHASELEVDEQUE_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+// ThreadSanitizer does not model std::atomic_thread_fence, so the
+// fence-based recipe above reports false races under TSan even though the
+// algorithm is correct. Under TSan the relaxed operations that the fences
+// order are upgraded to seq_cst so the synchronization is visible to the
+// race detector; native builds keep the cheap orders.
+#if defined(__SANITIZE_THREAD__)
+#define DOPE_CHASELEV_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DOPE_CHASELEV_TSAN 1
+#endif
+#endif
+#ifndef DOPE_CHASELEV_TSAN
+#define DOPE_CHASELEV_TSAN 0
+#endif
+
+namespace dope {
+
+namespace detail {
+/// Relaxed in native builds, seq_cst under TSan (see above).
+inline constexpr std::memory_order ChaseLevRelaxed =
+    DOPE_CHASELEV_TSAN ? std::memory_order_seq_cst
+                       : std::memory_order_relaxed;
+} // namespace detail
+
+/// Outcome of a steal attempt.
+enum class StealOutcome {
+  /// An element was claimed and written to the out parameter.
+  Success,
+  /// The deque was observed empty.
+  Empty,
+  /// Lost a race with the owner or another thief; retrying may succeed.
+  Abort,
+};
+
+/// Lock-free single-owner multi-thief deque.
+template <typename T> class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "deque cells are std::atomic<T>: T must be trivially "
+                "copyable");
+  static_assert(sizeof(T) <= sizeof(uint64_t),
+                "pack wider payloads into a uint64_t so the cells stay "
+                "lock-free");
+
+public:
+  /// \p InitialCapacity is rounded up to a power of two, minimum 2.
+  explicit ChaseLevDeque(size_t InitialCapacity = 64) {
+    size_t Cap = 2;
+    while (Cap < InitialCapacity)
+      Cap *= 2;
+    Rings.push_back(std::make_unique<Ring>(Cap));
+    Buffer.store(Rings.back().get(), detail::ChaseLevRelaxed);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque &) = delete;
+  ChaseLevDeque &operator=(const ChaseLevDeque &) = delete;
+
+  /// Owner only: pushes \p Item at the bottom. The direct body is
+  /// allocation-free; a full ring diverts to the cold grow() path.
+  DOPE_HOT void push(T Item) {
+    const int64_t B = Bottom.load(detail::ChaseLevRelaxed);
+    const int64_t Tp = Top.load(std::memory_order_acquire);
+    Ring *R = Buffer.load(detail::ChaseLevRelaxed);
+    if (B - Tp > static_cast<int64_t>(R->Capacity) - 1)
+      R = grow(B, Tp);
+    R->put(B, Item);
+    std::atomic_thread_fence(std::memory_order_release);
+    Bottom.store(B + 1, detail::ChaseLevRelaxed);
+  }
+
+  /// Owner only: pops the most recently pushed element (LIFO). Returns
+  /// false when the deque is empty.
+  DOPE_HOT bool pop(T &Out) {
+    const int64_t B = Bottom.load(detail::ChaseLevRelaxed) - 1;
+    Ring *R = Buffer.load(detail::ChaseLevRelaxed);
+    Bottom.store(B, detail::ChaseLevRelaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t Tp = Top.load(detail::ChaseLevRelaxed);
+    if (Tp > B) {
+      // Already empty: undo the reservation.
+      Bottom.store(B + 1, detail::ChaseLevRelaxed);
+      return false;
+    }
+    Out = R->get(B);
+    if (Tp != B)
+      return true; // more than one element left: no race possible
+    // Last element: race thieves for it through Top.
+    const bool Won = Top.compare_exchange_strong(
+        Tp, Tp + 1, std::memory_order_seq_cst, detail::ChaseLevRelaxed);
+    Bottom.store(B + 1, detail::ChaseLevRelaxed);
+    return Won;
+  }
+
+  /// Any thread: attempts to steal the oldest element (FIFO end).
+  DOPE_HOT StealOutcome steal(T &Out) {
+    int64_t Tp = Top.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const int64_t B = Bottom.load(std::memory_order_acquire);
+    if (Tp >= B)
+      return StealOutcome::Empty;
+    Ring *R = Buffer.load(std::memory_order_acquire);
+    Out = R->get(Tp);
+    if (!Top.compare_exchange_strong(Tp, Tp + 1, std::memory_order_seq_cst,
+                                     detail::ChaseLevRelaxed))
+      return StealOutcome::Abort;
+    return StealOutcome::Success;
+  }
+
+  /// Snapshot of the element count; exact only when quiesced. Never
+  /// negative.
+  DOPE_HOT size_t size() const {
+    const int64_t B = Bottom.load(detail::ChaseLevRelaxed);
+    const int64_t Tp = Top.load(detail::ChaseLevRelaxed);
+    return B > Tp ? static_cast<size_t>(B - Tp) : 0;
+  }
+
+  DOPE_HOT bool empty() const { return size() == 0; }
+
+  /// Current ring capacity (test hook for the growth path).
+  size_t capacity() const {
+    return Buffer.load(detail::ChaseLevRelaxed)->Capacity;
+  }
+
+private:
+  /// A power-of-two ring of atomic cells. get/put index modulo capacity.
+  struct Ring {
+    explicit Ring(size_t Capacity)
+        : Capacity(Capacity), Mask(static_cast<int64_t>(Capacity) - 1),
+          Cells(std::make_unique<std::atomic<T>[]>(Capacity)) {}
+
+    T get(int64_t Index) const {
+      return Cells[static_cast<size_t>(Index & Mask)].load(
+          detail::ChaseLevRelaxed);
+    }
+    void put(int64_t Index, T Item) {
+      Cells[static_cast<size_t>(Index & Mask)].store(
+          Item, detail::ChaseLevRelaxed);
+    }
+
+    const size_t Capacity;
+    const int64_t Mask;
+    std::unique_ptr<std::atomic<T>[]> Cells;
+  };
+
+  /// Cold path: doubles the ring, copying the live window [Top, Bottom).
+  /// Owner only. The retired ring stays alive (see file comment).
+  Ring *grow(int64_t B, int64_t Tp) {
+    Ring *Old = Buffer.load(detail::ChaseLevRelaxed);
+    Rings.push_back(std::make_unique<Ring>(Old->Capacity * 2));
+    Ring *New = Rings.back().get();
+    for (int64_t I = Tp; I != B; ++I)
+      New->put(I, Old->get(I));
+    Buffer.store(New, std::memory_order_release);
+    return New;
+  }
+
+  std::atomic<int64_t> Top{0};
+  std::atomic<int64_t> Bottom{0};
+  std::atomic<Ring *> Buffer{nullptr};
+  /// All rings ever allocated, newest last; owner-only mutation (inside
+  /// grow), destroyed with the deque.
+  std::vector<std::unique_ptr<Ring>> Rings;
+};
+
+} // namespace dope
+
+#endif // DOPE_QUEUE_CHASELEVDEQUE_H

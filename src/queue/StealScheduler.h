@@ -1,0 +1,288 @@
+//===- queue/StealScheduler.h - Work-stealing task scheduler --*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A work-stealing scheduler over per-worker ChaseLevDeques. The
+/// scheduler owns no threads: the executive's pool replicas (or a
+/// benchmark's raw threads) *attach* as workers by index and drive it
+/// through spawn/tryAcquire. The central WorkQueue stays the injection
+/// queue for external submissions — the scheduler only distributes work
+/// that workers spawn from inside tasks.
+///
+///   * spawn(W, Item): W pushes onto its own deque — lock-free,
+///     allocation-free (DOPE_HOT). If any worker is parked, a wake is
+///     posted through the parking lot's cold path.
+///   * tryAcquire(W, Out): pop own deque (LIFO: depth-first, cache-warm),
+///     else sweep victims in a per-worker seeded random order and steal
+///     (FIFO: breadth-first, the biggest subtrees first — the Cilk
+///     argument).
+///   * parkUntilWork: after repeated failed sweeps a worker parks on a
+///     condvar with a bounded timeout, so schedulers embedded in DoPE
+///     replicas re-observe suspend flags even if a wake is lost.
+///
+/// The deque array is sized once (MaxWorkers) and never reallocated:
+/// shrinking the active worker set during a reconfiguration epoch simply
+/// leaves some deques unowned — thieves keep sweeping *all* deques, so
+/// work stranded in a retired worker's deque drains through steals and no
+/// task is ever lost across extent changes.
+///
+/// Steal and execution counters aggregate into the StealRate and
+/// MeanTaskSeconds features the grain-adaptation mechanism consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_QUEUE_STEALSCHEDULER_H
+#define DOPE_QUEUE_STEALSCHEDULER_H
+
+#include "queue/ChaseLevDeque.h"
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace dope {
+
+/// Work-stealing scheduler; T must satisfy ChaseLevDeque's constraints
+/// (trivially copyable, <= 8 bytes).
+template <typename T> class StealScheduler {
+public:
+  /// \p MaxWorkers deques are allocated up front; worker indices are
+  /// [0, MaxWorkers). \p Seed drives every worker's victim-selection RNG
+  /// deterministically.
+  explicit StealScheduler(unsigned MaxWorkers, uint64_t Seed = 0x9e3779b9ull,
+                          size_t InitialDequeCapacity = 64)
+      : WorkerCount(MaxWorkers == 0 ? 1 : MaxWorkers) {
+    Workers.reserve(WorkerCount);
+    for (unsigned W = 0; W != WorkerCount; ++W) {
+      auto State = std::make_unique<WorkerState>(InitialDequeCapacity);
+      // SplitMix64 per worker: distinct, reproducible victim sequences.
+      uint64_t Z = Seed + 0x9e3779b97f4a7c15ull * (W + 1);
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      State->Rng = Z ^ (Z >> 31);
+      if (State->Rng == 0)
+        State->Rng = 0x2545f4914f6cdd1dull;
+      Workers.push_back(std::move(State));
+    }
+  }
+
+  StealScheduler(const StealScheduler &) = delete;
+  StealScheduler &operator=(const StealScheduler &) = delete;
+
+  unsigned maxWorkers() const { return WorkerCount; }
+
+  /// Worker \p W publishes \p Item for later execution. Owner-side fast
+  /// path: lock-free push plus one relaxed parked-count test; waking a
+  /// parked worker diverts to the cold notify path.
+  DOPE_HOT void spawn(unsigned W, T Item) {
+    Workers[W]->Deque.push(Item);
+    // seq_cst pairs with the parking worker's seq_cst increment of
+    // Parked before its final empty-check: either we observe the parker
+    // (and post a wake), or the parker's check observes our push. A
+    // residual miss only costs the parker's bounded timeout.
+    if (Parked.load(std::memory_order_seq_cst) > 0)
+      notifyOne();
+  }
+
+  /// Worker \p W takes its next task: own deque first, then a randomized
+  /// sweep of every other deque. Returns false when nothing was found
+  /// (the caller may poll an injection queue, park, or exit). Steal
+  /// attempts and successes are counted for the StealRate feature.
+  /// \p StolenFrom (when non-null) receives the deque index the task came
+  /// from: W itself for an own-pop, the victim for a steal — the engine's
+  /// TraceKind::Steal records key off it.
+  DOPE_HOT bool tryAcquire(unsigned W, T &Out,
+                           unsigned *StolenFrom = nullptr) {
+    WorkerState &Me = *Workers[W];
+    if (Me.Deque.pop(Out)) {
+      if (StolenFrom)
+        *StolenFrom = W;
+      return true;
+    }
+    return stealSweep(W, Out, StolenFrom);
+  }
+
+  /// One randomized pass over the other workers' deques (plus retries on
+  /// CAS aborts). Exposed for tests; tryAcquire is the normal entry.
+  bool stealSweep(unsigned W, T &Out, unsigned *StolenFrom = nullptr) {
+    if (WorkerCount == 1)
+      return false;
+    WorkerState &Me = *Workers[W];
+    // Two sweeps: an Abort on the last live victim should not report
+    // starvation while work is demonstrably present.
+    for (unsigned Round = 0; Round != 2; ++Round) {
+      bool SawAbort = false;
+      for (unsigned I = 1; I != WorkerCount; ++I) {
+        const unsigned Victim = victimFor(Me, W);
+        Me.StealsAttempted.fetch_add(1, std::memory_order_relaxed);
+        switch (Workers[Victim]->Deque.steal(Out)) {
+        case StealOutcome::Success:
+          Me.StealsSucceeded.fetch_add(1, std::memory_order_relaxed);
+          if (StolenFrom)
+            *StolenFrom = Victim;
+          return true;
+        case StealOutcome::Abort:
+          SawAbort = true;
+          break;
+        case StealOutcome::Empty:
+          break;
+        }
+      }
+      if (!SawAbort)
+        break;
+    }
+    return false;
+  }
+
+  /// Records one executed task for worker \p W (MeanTaskSeconds pairs
+  /// this count with the executive's exec-time metric).
+  DOPE_HOT void noteTaskRun(unsigned W) {
+    Workers[W]->TasksRun.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Parks the calling worker until new work is spawned, \p Predicate
+  /// turns true, or \p MaxWait elapses — whichever comes first. The
+  /// bounded wait keeps embedded workers responsive to executive suspend
+  /// flags even when a wake is missed.
+  template <typename Pred>
+  void parkUntilWork(Pred Predicate, std::chrono::microseconds MaxWait) {
+    Parked.fetch_add(1, std::memory_order_seq_cst);
+    const uint64_t Epoch = WakeEpoch.load(std::memory_order_acquire);
+    if (Predicate() || anyQueued()) {
+      Parked.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+    std::unique_lock<std::mutex> Lock(ParkMutex);
+    ParkCond.wait_for(Lock, MaxWait, [&] {
+      return WakeEpoch.load(std::memory_order_relaxed) != Epoch ||
+             Predicate();
+    });
+    Parked.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Wakes every parked worker (termination, suspension, injection).
+  void wakeAll() {
+    WakeEpoch.fetch_add(1, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> Lock(ParkMutex);
+    }
+    ParkCond.notify_all();
+  }
+
+  /// True when any deque holds at least one element. Approximate under
+  /// concurrency (like WorkQueue::size).
+  DOPE_HOT bool anyQueued() const {
+    for (const auto &W : Workers)
+      if (!W->Deque.empty())
+        return true;
+    return false;
+  }
+
+  /// Sum of per-deque sizes; exact only when quiesced.
+  size_t queuedTasks() const {
+    size_t Total = 0;
+    for (const auto &W : Workers)
+      Total += W->Deque.size();
+    return Total;
+  }
+
+  /// Owner-side drain of every deque (quiesced callers only): pops all
+  /// remaining tasks into \p Out. Used by harnesses that dismantle a
+  /// scheduler mid-computation.
+  void drainAll(std::vector<T> &Out) {
+    T Item;
+    for (auto &W : Workers)
+      while (W->Deque.pop(Item))
+        Out.push_back(Item);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Aggregated statistics (monitoring features, benchmarks, tests)
+  //===------------------------------------------------------------------===//
+
+  uint64_t stealsAttempted() const {
+    uint64_t N = 0;
+    for (const auto &W : Workers)
+      N += W->StealsAttempted.load(std::memory_order_relaxed);
+    return N;
+  }
+  uint64_t stealsSucceeded() const {
+    uint64_t N = 0;
+    for (const auto &W : Workers)
+      N += W->StealsSucceeded.load(std::memory_order_relaxed);
+    return N;
+  }
+  uint64_t tasksRun() const {
+    uint64_t N = 0;
+    for (const auto &W : Workers)
+      N += W->TasksRun.load(std::memory_order_relaxed);
+    return N;
+  }
+  unsigned parkedWorkers() const {
+    return static_cast<unsigned>(Parked.load(std::memory_order_relaxed));
+  }
+
+private:
+  /// Per-worker state, cache-line separated so one worker's counters and
+  /// RNG never false-share with a neighbour's.
+  struct alignas(64) WorkerState {
+    explicit WorkerState(size_t DequeCapacity) : Deque(DequeCapacity) {}
+    ChaseLevDeque<T> Deque;
+    uint64_t Rng = 1; // owner-only
+    std::atomic<uint64_t> StealsAttempted{0};
+    std::atomic<uint64_t> StealsSucceeded{0};
+    std::atomic<uint64_t> TasksRun{0};
+  };
+
+  /// xorshift64* step over the worker-private RNG; maps to [0, N) skipping
+  /// the worker itself.
+  unsigned victimFor(WorkerState &Me, unsigned W) {
+    uint64_t X = Me.Rng;
+    X ^= X >> 12;
+    X ^= X << 25;
+    X ^= X >> 27;
+    Me.Rng = X;
+    const uint64_t Mixed = X * 0x2545f4914f6cdd1dull;
+    unsigned Victim =
+        static_cast<unsigned>(Mixed % (WorkerCount - 1));
+    if (Victim >= W)
+      ++Victim;
+    return Victim;
+  }
+
+  /// Cold path of spawn(): one worker is parked, hand it the wake. The
+  /// epoch bump inside the lock covers a worker that passed its checks
+  /// but has not reached wait_for yet.
+  void notifyOne() {
+    {
+      std::lock_guard<std::mutex> Lock(ParkMutex);
+      WakeEpoch.fetch_add(1, std::memory_order_release);
+    }
+    ParkCond.notify_one();
+  }
+
+  const unsigned WorkerCount;
+  std::vector<std::unique_ptr<WorkerState>> Workers;
+
+  /// Parking lot. WakeEpoch increments on every spawn/wakeAll; a worker
+  /// only sleeps if the epoch it sampled before its final empty-check is
+  /// still current inside the lock, which closes the lost-wakeup window.
+  std::mutex ParkMutex;
+  std::condition_variable ParkCond;
+  std::atomic<int> Parked{0};
+  std::atomic<uint64_t> WakeEpoch{0};
+};
+
+} // namespace dope
+
+#endif // DOPE_QUEUE_STEALSCHEDULER_H

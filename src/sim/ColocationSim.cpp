@@ -256,6 +256,29 @@ private:
     return baseUsed(I);
   }
 
+  /// Serial-section publish of the contention inputs for the opening
+  /// window (see PublishedTotalUsed). Equivalent to summing
+  /// usedThreadsAt over all tenants at any step of the window: a
+  /// tenant already dead by the mirror (or evicted) is excluded
+  /// outright, and one whose crash lies ahead contributes until the
+  /// first step with StepEnd > CrashSeconds — exactly crashedAt's
+  /// strict crossing — via the sorted pending list.
+  void publishContention() {
+    unsigned Total = 0;
+    PendingCrashes.clear();
+    for (size_t I = 0; I != N; ++I) {
+      if (Control[I].Evicted || CrashedMirror[I])
+        continue;
+      const unsigned Used = baseUsed(I);
+      Total += Used;
+      const double At = Specs[I].Misbehavior.CrashSeconds;
+      if (At >= 0.0 && Used > 0)
+        PendingCrashes.push_back({At, Used});
+    }
+    std::sort(PendingCrashes.begin(), PendingCrashes.end());
+    PublishedTotalUsed = Total;
+  }
+
   void refreshCurves(size_t I) {
     TenantRuntime &T = Run[I];
     const unsigned Used = usedThreadsLive(I);
@@ -273,7 +296,11 @@ private:
   //===--------------------------------------------------------------===//
 
   void runShardEpoch(ShardContext &Ctx);
-  void stepShard(unsigned Shard, double StepEnd);
+  /// Advances every owned tenant of \p Shard through the step ending at
+  /// \p StepEnd. Crash transitions and the contention scale are handled
+  /// by the caller's window loop, which hoists them off the per-step
+  /// path.
+  void stepShard(unsigned Shard, double StepEnd, double Contention);
 
   //===--------------------------------------------------------------===//
   // Coordinator side: the barrier serial section
@@ -315,6 +342,20 @@ private:
   std::vector<uint32_t> OwnerOf;
   std::vector<std::vector<uint32_t>> Owned;
 
+  /// Per shard: any owned tenant carries a crash schedule. Lets the
+  /// window loop skip the per-step crash scan entirely in the common
+  /// all-honest case.
+  std::vector<char> CrashWatch;
+
+  /// Barrier-published contention inputs: the all-tenant used-thread
+  /// sum as of the opening window, plus the (time, contribution) of
+  /// every still-alive tenant whose crash schedule lies ahead, sorted
+  /// by time. Shards derive the step's contention from these in O(own
+  /// pending crossings) instead of rescanning all N tenants — the scan
+  /// happens once per epoch in the serial section, not once per shard.
+  unsigned PublishedTotalUsed = 0;
+  std::vector<std::pair<double, unsigned>> PendingCrashes;
+
   // Shard-local tenant state (indexed by spec; each entry touched only
   // by its owner between barriers) and the published control mirror
   // (written only in the serial section).
@@ -329,6 +370,19 @@ private:
     double NextEpoch = 0.0;
     bool Done = false;
     uint64_t SimEvents = 0;
+
+    /// Cached contention sum (all-tenant used threads). The sum is a
+    /// pure step function of time — it moves only when a crash schedule
+    /// crosses or the barrier republishes the control mirror — so each
+    /// shard recomputes the O(N) scan only when its step passes
+    /// UsedValidUntil instead of at every step. Keeping shards at
+    /// O(own tenants) per step is what makes the 8-shard configuration
+    /// scale (bench shard_scaling.speedup_8_over_1).
+    unsigned TotalUsedCache = 0;
+    double UsedValidUntil = -1.0;
+    /// Contention scale derived from TotalUsedCache; refreshed on the
+    /// same cadence.
+    double Contention = 1.0;
   };
   std::vector<ShardClock> Clocks;
 
@@ -356,6 +410,10 @@ void ColocationEngine::setup() {
     OwnerOf[I] = static_cast<uint32_t>(I % Shards);
     Owned[OwnerOf[I]].push_back(static_cast<uint32_t>(I));
   }
+  CrashWatch.assign(Shards, 0);
+  for (size_t I = 0; I != N; ++I)
+    if (Specs[I].Misbehavior.CrashSeconds >= 0.0)
+      CrashWatch[OwnerOf[I]] = 1;
   Run.resize(N);
   Control.resize(N);
   Ids.resize(N, 0);
@@ -421,6 +479,7 @@ void ColocationEngine::setup() {
   NextEpoch = EpochLen;
   for (ShardClock &C : Clocks)
     C.NextEpoch = EpochLen;
+  publishContention();
 }
 
 void ColocationEngine::runShardEpoch(ShardContext &Ctx) {
@@ -438,22 +497,71 @@ void ColocationEngine::runShardEpoch(ShardContext &Ctx) {
       ++T.Stats.LeaseChanges;
     refreshCurves(D.SpecIndex);
   }
+  // The barrier may have republished the control mirror; the contention
+  // cache must not carry across it.
+  C.UsedValidUntil = -1.0;
   if (C.Done)
     return;
 
-  // One window of fixed steps, each dispatched through the shard's
-  // event queue. The loop structure (duration check before the step,
-  // epoch check after) mirrors the sequential loop so the step grid and
-  // boundary decisions are float-identical.
+  // One window of fixed steps. The loop structure (duration check
+  // before the step, epoch check after) mirrors the sequential loop so
+  // the step grid and boundary decisions are float-identical. The step
+  // itself is a direct call: routing it through the shard's event queue
+  // (schedule + wheel advance + dispatch per step) is a fixed per-step
+  // cost each shard pays in full, and it was the largest remaining
+  // O(shards) term in the scaling bench. The queue is drained only when
+  // a model actually scheduled something into it.
   for (;;) {
     if (C.Now >= Opts.DurationSeconds - 1e-12) {
       C.Done = true;
       return; // mid-window end: no epoch processing, like the old loop
     }
     const double StepEnd = C.Now + Dt;
-    Ctx.events().scheduleAt(StepEnd,
-                            [this, S, StepEnd] { stepShard(S, StepEnd); });
-    Ctx.runEventsUntil(StepEnd);
+
+    // Own-tenant crash transitions (capacity only; the coordinator
+    // emits the journal/trace records at the barrier, in spec order).
+    // Skipped wholesale when no owned tenant has a crash schedule.
+    if (CrashWatch[S])
+      for (uint32_t I : Owned[S]) {
+        TenantRuntime &T = Run[I];
+        if (!T.Crashed && crashedAt(I, StepEnd)) {
+          T.Crashed = true;
+          refreshCurves(I);
+        }
+      }
+
+    // The step's contention scale: when misbehaving tenants occupy
+    // more contexts than exist, everyone's capacity shrinks pro rata.
+    // Every shard derives the same global sum from the barrier's
+    // published contention inputs (publishContention): the serial
+    // section pays the O(all tenants) scan once per epoch, and each
+    // shard just folds in any crash crossings. The value is cached
+    // with an exact validity horizon — for any StepEnd' <=
+    // UsedValidUntil no pending crossing (strict StepEnd >
+    // CrashSeconds) can have fired, and the published inputs are
+    // fixed until NextEpoch. The reset above forces a roll on the
+    // window's first step, so Contention is always fresh before use.
+    if (StepEnd > C.UsedValidUntil) {
+      unsigned Total = PublishedTotalUsed;
+      double Valid = C.NextEpoch;
+      for (const auto &Pending : PendingCrashes) {
+        if (StepEnd > Pending.first) {
+          Total -= Pending.second;
+        } else {
+          Valid = std::min(Valid, Pending.first);
+          break;
+        }
+      }
+      C.TotalUsedCache = Total;
+      C.UsedValidUntil = Valid;
+      C.Contention = Total > Opts.Contexts
+                         ? static_cast<double>(Opts.Contexts) / Total
+                         : 1.0;
+    }
+
+    stepShard(S, StepEnd, C.Contention);
+    if (!Ctx.events().empty())
+      Ctx.runEventsUntil(StepEnd);
     C.Now += Dt;
     if (StepEnd + 1e-12 >= C.NextEpoch)
       break;
@@ -496,32 +604,11 @@ void ColocationEngine::runShardEpoch(ShardContext &Ctx) {
   C.NextEpoch += EpochLen;
 }
 
-void ColocationEngine::stepShard(unsigned Shard, double StepEnd) {
+void ColocationEngine::stepShard(unsigned Shard, double StepEnd,
+                                 double Contention) {
   ShardClock &C = Clocks[Shard];
   const double Now = C.Now; // step begin, accumulated — not StepEnd - Dt
   const bool Measured = StepEnd > Opts.WarmupSeconds;
-
-  // Own-tenant crash transitions (capacity only; the coordinator emits
-  // the journal/trace records at the barrier, in spec order).
-  for (uint32_t I : Owned[Shard]) {
-    TenantRuntime &T = Run[I];
-    if (!T.Crashed && crashedAt(I, StepEnd)) {
-      T.Crashed = true;
-      refreshCurves(I);
-    }
-  }
-
-  // The step's contention scale: when misbehaving tenants occupy more
-  // contexts than exist, everyone's capacity shrinks pro rata. Every
-  // shard derives the same global sum from the control mirror plus the
-  // static crash schedule.
-  unsigned TotalUsed = 0;
-  for (size_t I = 0; I != N; ++I)
-    TotalUsed += usedThreadsAt(I, StepEnd);
-  const double Contention =
-      TotalUsed > Opts.Contexts
-          ? static_cast<double>(Opts.Contexts) / TotalUsed
-          : 1.0;
 
   for (uint32_t I : Owned[Shard]) {
     TenantRuntime &T = Run[I];
@@ -682,6 +769,7 @@ bool ColocationEngine::coordinatorBarrier() {
     Result.AllocationTimeline.push_back(std::move(Alloc));
   }
   NextEpoch += EpochLen;
+  publishContention();
   return true;
 }
 
@@ -800,6 +888,7 @@ ColocationSimResult ColocationEngine::run() {
 
   ShardedSimOptions EngineOpts;
   EngineOpts.Shards = Shards;
+  EngineOpts.Threads = Opts.ShardThreads;
   EngineOpts.LookaheadSeconds = EpochLen;
   EngineOpts.Seed = Opts.Seed;
   ShardedSim Engine(

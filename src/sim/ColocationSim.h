@@ -159,6 +159,11 @@ struct ColocationSimOptions {
   /// runs inline on the calling thread with no synchronization.
   unsigned Shards = 1;
 
+  /// Worker threads driving the shards (ShardedSimOptions::Threads):
+  /// 0 = auto-size to the host, so wide shard sweeps stay fast on
+  /// few-core machines. Results are independent of this value.
+  unsigned ShardThreads = 0;
+
   /// Fluid-step quantum.
   double StepSeconds = 0.05;
 

@@ -7,6 +7,7 @@
 
 #include "sim/ShardedSim.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 
@@ -25,12 +26,25 @@ uint64_t shardSeed(uint64_t Seed, unsigned Index) {
   return Z ^ (Z >> 31);
 }
 
+/// Resolves the thread-team size: explicit when given, else bounded by
+/// the host's concurrency, always within [1, Shards].
+unsigned resolveTeam(const ShardedSimOptions &Opts) {
+  const unsigned Shards = Opts.Shards == 0 ? 1 : Opts.Shards;
+  unsigned T = Opts.Threads;
+  if (T == 0) {
+    T = std::thread::hardware_concurrency();
+    if (T == 0)
+      T = Shards;
+  }
+  return std::min(std::max(1u, T), Shards);
+}
+
 } // namespace
 
 ShardedSim::ShardedSim(ShardedSimOptions Options, EpochFn EpochCb,
                        BarrierFn BarrierCb)
     : Opts(Options), Epoch(std::move(EpochCb)), Barrier(std::move(BarrierCb)),
-      Sync(Options.Shards == 0 ? 1 : Options.Shards) {
+      Team(resolveTeam(Options)), Sync(Team) {
   if (Opts.Shards == 0)
     throw std::invalid_argument("ShardedSim: shard count must be >= 1");
   if (!(Opts.LookaheadSeconds > 0.0))
@@ -74,21 +88,30 @@ void ShardedSim::coordinate() {
   }
 }
 
-void ShardedSim::workerLoop(unsigned Index) {
-  ShardContext &Ctx = *Contexts[Index];
-  for (;;) {
-    if (!Failed.load(std::memory_order_acquire)) {
-      try {
-        Epoch(Ctx);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> Lock(ErrorMutex);
-          if (!FirstError)
-            FirstError = std::current_exception();
-        }
-        Failed.store(true, std::memory_order_release);
+void ShardedSim::runOwnedShards(unsigned Tid) {
+  if (Failed.load(std::memory_order_acquire))
+    return;
+  // Static round-robin ownership: shard order within an epoch is
+  // immaterial (shard-local state only), and the fixed assignment keeps
+  // scheduling pressure even across epochs.
+  for (unsigned I = Tid; I < Opts.Shards; I += Team) {
+    try {
+      Epoch(*Contexts[I]);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> Lock(ErrorMutex);
+        if (!FirstError)
+          FirstError = std::current_exception();
       }
+      Failed.store(true, std::memory_order_release);
+      return;
     }
+  }
+}
+
+void ShardedSim::workerLoop(unsigned Tid) {
+  for (;;) {
+    runOwnedShards(Tid);
     Sync.arriveAndWait([this] { coordinate(); });
     // KeepGoing was written inside the serial section; the barrier's
     // mutex hand-off makes this read safe.
@@ -98,21 +121,22 @@ void ShardedSim::workerLoop(unsigned Index) {
 }
 
 void ShardedSim::run() {
-  if (Opts.Shards == 1) {
-    // Inline oracle path: same epoch/barrier cadence, caller's thread,
-    // no synchronization — byte-identical to the pre-sharding loops.
-    ShardContext &Ctx = *Contexts[0];
+  if (Team == 1) {
+    // Inline path (single shard, or a multiplexed team of one): same
+    // epoch/barrier cadence, caller's thread, no synchronization —
+    // byte-identical to the threaded runs and, at one shard, to the
+    // pre-sharding loops.
     for (;;) {
-      Epoch(Ctx);
+      runOwnedShards(0);
       coordinate();
       if (!KeepGoing)
         break;
     }
   } else {
     std::vector<std::thread> Workers;
-    Workers.reserve(Opts.Shards);
-    for (unsigned I = 0; I != Opts.Shards; ++I)
-      Workers.emplace_back([this, I] { workerLoop(I); });
+    Workers.reserve(Team);
+    for (unsigned T = 0; T != Team; ++T)
+      Workers.emplace_back([this, T] { workerLoop(T); });
     for (std::thread &W : Workers)
       W.join();
   }

@@ -30,6 +30,13 @@
 /// Shards == 1 runs inline on the caller's thread with no worker
 /// threads — the oracle configuration the differential tests pin.
 ///
+/// Execution resources are decoupled from the partition: a thread team
+/// of ShardedSimOptions::Threads workers multiplexes the shards
+/// (round-robin by index), so many-shard models scale down to few-core
+/// hosts — a team of one degenerates to the inline loop, with no
+/// threads or barrier at all, instead of thrashing N blocked threads
+/// through every epoch.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DOPE_SIM_SHARDEDSIM_H
@@ -50,8 +57,21 @@
 namespace dope {
 
 struct ShardedSimOptions {
-  /// Number of shards (and worker threads when > 1).
+  /// Number of shards — the model partition. Independent of the worker
+  /// thread count below: shard count fixes the determinism domain,
+  /// Threads fixes the execution resources.
   unsigned Shards = 1;
+
+  /// Worker threads driving the shards (the thread team). 0 = auto:
+  /// min(Shards, hardware concurrency), so an 8-shard model on a
+  /// single-core host multiplexes inline instead of thrashing eight
+  /// blocked threads through the barrier. A team of 1 runs every shard
+  /// on the caller's thread with no worker threads or synchronization
+  /// at all; teams larger than the shard count are clamped. Results are
+  /// bit-identical for every team size (the epoch function touches only
+  /// shard-local state, so execution order within an epoch is
+  /// immaterial).
+  unsigned Threads = 0;
 
   /// Epoch width: the conservative lookahead window, in virtual
   /// seconds. Must be strictly positive — zero lookahead would let
@@ -129,21 +149,29 @@ public:
   /// lookahead.
   ShardedSim(ShardedSimOptions Options, EpochFn Epoch, BarrierFn Barrier);
 
-  /// Runs epochs until the coordinator stops the run. With one shard
-  /// everything executes inline on the calling thread; with more, one
-  /// worker thread per shard. Client exceptions stop the run at the
-  /// next barrier and are rethrown here (first one wins).
+  /// Runs epochs until the coordinator stops the run. With a team of
+  /// one (including the single-shard oracle) everything executes inline
+  /// on the calling thread; otherwise each team thread drives its
+  /// statically assigned shards (round-robin by index). Client
+  /// exceptions stop the run at the next barrier and are rethrown here
+  /// (first one wins).
   void run();
 
   ShardContext &shard(unsigned Index) { return *Contexts[Index]; }
   unsigned shardCount() const { return Opts.Shards; }
+
+  /// The resolved thread-team size in [1, shardCount()].
+  unsigned teamSize() const { return Team; }
 
   /// Sum of every shard's event dispatch count (stable only outside
   /// run()).
   uint64_t totalDispatched() const;
 
 private:
-  void workerLoop(unsigned Index);
+  /// Runs one epoch of every shard owned by team thread \p Tid (shard
+  /// indices congruent to Tid modulo the team size, ascending).
+  void runOwnedShards(unsigned Tid);
+  void workerLoop(unsigned Tid);
   /// The serial section: runs the coordinator callback and opens the
   /// next epoch. Must execute with all shards quiescent.
   void coordinate();
@@ -151,6 +179,8 @@ private:
   ShardedSimOptions Opts;
   EpochFn Epoch;
   BarrierFn Barrier;
+  /// Resolved team size (see ShardedSimOptions::Threads).
+  unsigned Team = 1;
   std::vector<std::unique_ptr<ShardContext>> Contexts;
   ShardBarrier Sync;
 

@@ -1,0 +1,216 @@
+//===- tests/ChaseLevDequeTest.cpp - Work-stealing deque tests -----------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The ChaseLevDeque correctness suite: a differential test against a
+// sequential std::deque oracle, exactly-once accounting under
+// multi-thief contention (the linearizability property the runtime
+// actually relies on), and growth races with a deliberately tiny
+// initial ring. The stress tests are the tsan targets for the deque's
+// fence-based memory orders — CI runs this binary under `-L unit` in
+// the tsan job.
+//
+//===----------------------------------------------------------------------===//
+
+#include "queue/ChaseLevDeque.h"
+#include "queue/StealScheduler.h"
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+using namespace dope;
+using testing_helpers::loggedSeed;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Sequential differential: owner-only push/pop must behave exactly like
+// a std::deque used as a LIFO stack.
+//===----------------------------------------------------------------------===//
+
+TEST(ChaseLevDeque, OwnerOnlyMatchesSequentialOracle) {
+  SplitMix64 Rng(loggedSeed(0xC4A5E1Eu));
+  ChaseLevDeque<uint64_t> D(2); // tiny: forces repeated growth
+  std::deque<uint64_t> Oracle;
+  uint64_t Next = 0;
+  for (int Step = 0; Step != 100000; ++Step) {
+    const bool Push = Oracle.empty() || (Rng.next() & 3) != 0;
+    if (Push) {
+      D.push(Next);
+      Oracle.push_back(Next);
+      ++Next;
+    } else {
+      uint64_t Got = ~0ull;
+      ASSERT_TRUE(D.pop(Got));
+      ASSERT_EQ(Got, Oracle.back());
+      Oracle.pop_back();
+    }
+    ASSERT_EQ(D.size(), Oracle.size());
+    ASSERT_EQ(D.empty(), Oracle.empty());
+  }
+  uint64_t Got;
+  while (!Oracle.empty()) {
+    ASSERT_TRUE(D.pop(Got));
+    ASSERT_EQ(Got, Oracle.back());
+    Oracle.pop_back();
+  }
+  ASSERT_FALSE(D.pop(Got));
+}
+
+TEST(ChaseLevDeque, StealTakesFifoOrderWhenUncontended) {
+  ChaseLevDeque<uint64_t> D;
+  for (uint64_t I = 0; I != 16; ++I)
+    D.push(I);
+  // Thieves take the oldest (bottom of the recursion tree = biggest
+  // subtree); the owner pops the newest.
+  uint64_t Got = ~0ull;
+  ASSERT_EQ(D.steal(Got), StealOutcome::Success);
+  EXPECT_EQ(Got, 0u);
+  ASSERT_EQ(D.steal(Got), StealOutcome::Success);
+  EXPECT_EQ(Got, 1u);
+  ASSERT_TRUE(D.pop(Got));
+  EXPECT_EQ(Got, 15u);
+  EXPECT_EQ(D.size(), 13u);
+}
+
+TEST(ChaseLevDeque, StealOnEmptyReportsEmpty) {
+  ChaseLevDeque<uint64_t> D;
+  uint64_t Got;
+  EXPECT_EQ(D.steal(Got), StealOutcome::Empty);
+  D.push(7);
+  ASSERT_TRUE(D.pop(Got));
+  EXPECT_EQ(D.steal(Got), StealOutcome::Empty);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent exactly-once: every pushed item is consumed exactly once
+// across the owner and N thieves, regardless of interleaving.
+//===----------------------------------------------------------------------===//
+
+void runExactlyOnceStress(unsigned Thieves, size_t InitialCapacity,
+                          uint64_t Items) {
+  ChaseLevDeque<uint64_t> D(InitialCapacity);
+  std::vector<std::atomic<uint32_t>> Seen(Items);
+  for (auto &S : Seen)
+    S.store(0, std::memory_order_relaxed);
+  std::atomic<bool> Open{true};
+  std::atomic<uint64_t> Consumed{0};
+
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Thieves; ++T)
+    Pool.emplace_back([&] {
+      uint64_t Got;
+      while (Open.load(std::memory_order_acquire) ||
+             Consumed.load(std::memory_order_acquire) < Items) {
+        if (D.steal(Got) == StealOutcome::Success) {
+          Seen[Got].fetch_add(1, std::memory_order_relaxed);
+          Consumed.fetch_add(1, std::memory_order_release);
+        }
+      }
+    });
+
+  // Owner: interleave pushes with occasional pops, like a worker
+  // spawning subtasks while executing its own.
+  uint64_t Got;
+  for (uint64_t I = 0; I != Items; ++I) {
+    D.push(I);
+    if ((I & 7) == 0 && D.pop(Got)) {
+      Seen[Got].fetch_add(1, std::memory_order_relaxed);
+      Consumed.fetch_add(1, std::memory_order_release);
+    }
+  }
+  while (D.pop(Got)) {
+    Seen[Got].fetch_add(1, std::memory_order_relaxed);
+    Consumed.fetch_add(1, std::memory_order_release);
+  }
+  Open.store(false, std::memory_order_release);
+  for (auto &Th : Pool)
+    Th.join();
+
+  ASSERT_EQ(Consumed.load(), Items);
+  for (uint64_t I = 0; I != Items; ++I)
+    ASSERT_EQ(Seen[I].load(), 1u) << "item " << I;
+  EXPECT_TRUE(D.empty());
+  ASSERT_FALSE(D.pop(Got));
+}
+
+TEST(ChaseLevDequeStress, SingleThiefExactlyOnce) {
+  runExactlyOnceStress(1, 64, 200000);
+}
+
+TEST(ChaseLevDequeStress, ManyThievesExactlyOnce) {
+  runExactlyOnceStress(4, 64, 200000);
+}
+
+TEST(ChaseLevDequeStress, GrowUnderStealExactlyOnce) {
+  // Initial capacity 2: the ring doubles many times while thieves race
+  // the copies, exercising the grow/steal interaction.
+  runExactlyOnceStress(3, 2, 100000);
+}
+
+//===----------------------------------------------------------------------===//
+// StealScheduler: victim sweep, stranded-deque draining, counters.
+//===----------------------------------------------------------------------===//
+
+TEST(StealScheduler, AcquirePrefersOwnDequeThenSteals) {
+  StealScheduler<uint64_t> S(4, loggedSeed(0x5EEDu));
+  S.spawn(0, 10);
+  S.spawn(0, 11);
+  S.spawn(2, 30);
+  uint64_t Got = ~0ull;
+  unsigned From = ~0u;
+  // Own deque pops LIFO.
+  ASSERT_TRUE(S.tryAcquire(0, Got, &From));
+  EXPECT_EQ(Got, 11u);
+  EXPECT_EQ(From, 0u);
+  // Worker 1 owns nothing; it must steal worker 2's item.
+  ASSERT_TRUE(S.tryAcquire(1, Got, &From));
+  EXPECT_EQ(Got, 30u);
+  EXPECT_EQ(From, 2u);
+  EXPECT_GE(S.stealsSucceeded(), 1u);
+  EXPECT_GE(S.stealsAttempted(), S.stealsSucceeded());
+}
+
+TEST(StealScheduler, StrandedWorkDrainsThroughSteals) {
+  // Work left in deques whose owner never runs again (a shrunken
+  // extent) must still be reachable by the remaining workers.
+  StealScheduler<uint64_t> S(8, loggedSeed(0xABCDu));
+  for (uint64_t I = 0; I != 64; ++I)
+    S.spawn(1 + (I % 7), I); // workers 1..7 own work; worker 0 drives
+  uint64_t Got;
+  size_t Drained = 0;
+  while (S.tryAcquire(0, Got))
+    ++Drained;
+  EXPECT_EQ(Drained, 64u);
+  EXPECT_FALSE(S.anyQueued());
+}
+
+TEST(StealScheduler, ParkedWorkerWakesOnSpawn) {
+  StealScheduler<uint64_t> S(2, loggedSeed(0x77u));
+  std::atomic<bool> GotItem{false};
+  std::thread Worker([&] {
+    uint64_t Item;
+    for (int Spin = 0; Spin != 20000 && !GotItem.load(); ++Spin) {
+      if (S.tryAcquire(1, Item)) {
+        GotItem.store(true);
+        break;
+      }
+      S.parkUntilWork([&] { return false; },
+                      std::chrono::microseconds(500));
+    }
+  });
+  S.spawn(0, 42);
+  Worker.join();
+  EXPECT_TRUE(GotItem.load());
+}
+
+} // namespace

@@ -87,6 +87,7 @@ TEST(LintGolden, DeterminismRandom) { checkGolden("bad_random"); }
 TEST(LintGolden, HotPathLock) { checkGolden("bad_hot_lock"); }
 TEST(LintGolden, HotPathAlloc) { checkGolden("bad_hot_alloc"); }
 TEST(LintGolden, HotPathVirtual) { checkGolden("bad_hot_virtual"); }
+TEST(LintGolden, HotPathStealRuntime) { checkGolden("bad_hot_steal"); }
 TEST(LintGolden, BeginEndPairing) { checkGolden("bad_pairing"); }
 TEST(LintGolden, WaitBeforeDestroy) { checkGolden("bad_create_nowait"); }
 TEST(LintGolden, FiniOnce) { checkGolden("bad_fini_twice"); }

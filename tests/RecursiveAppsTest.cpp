@@ -1,0 +1,110 @@
+//===- tests/RecursiveAppsTest.cpp - Recursive app-split examples ----------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The native app-split examples on the work-stealing tree runtime:
+// quicksort sorts exactly (no element lost or duplicated by stealing)
+// and tree search matches its sequential oracle, across worker counts
+// and grains — including degenerate grains.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/RecursiveApps.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace dope;
+using namespace dope::testing_helpers;
+
+namespace {
+
+void checkSorts(size_t N, unsigned Workers, unsigned Grain, uint64_t Seed) {
+  std::vector<uint32_t> Data = makeSortInput(N, Seed);
+  std::vector<uint32_t> Expected = Data;
+  std::sort(Expected.begin(), Expected.end());
+
+  parallelQuicksort(Data, Workers, Grain, Seed);
+  ASSERT_EQ(Data.size(), Expected.size());
+  // Element-wise equality against the oracle proves sortedness AND that
+  // the runtime ran every partition exactly once (same multiset).
+  EXPECT_TRUE(Data == Expected)
+      << "N=" << N << " workers=" << Workers << " grain=" << Grain;
+}
+
+TEST(RecursiveQuicksort, SortsSingleWorker) {
+  checkSorts(20000, 1, 64, loggedSeed(42));
+}
+
+TEST(RecursiveQuicksort, SortsManyWorkers) {
+  checkSorts(50000, 4, 256, loggedSeed(42));
+}
+
+TEST(RecursiveQuicksort, GrainOneDegradesGracefully) {
+  checkSorts(3000, 2, 1, loggedSeed(42));
+}
+
+TEST(RecursiveQuicksort, GrainLargerThanInputRunsSequentially) {
+  checkSorts(1000, 4, 1u << 20, loggedSeed(42));
+}
+
+TEST(RecursiveQuicksort, HandlesDuplicateHeavyInput) {
+  std::vector<uint32_t> Data(20000);
+  SplitMix64 Rng(loggedSeed(7));
+  for (uint32_t &V : Data)
+    V = static_cast<uint32_t>(Rng.next() & 7); // 8 distinct values
+  std::vector<uint32_t> Expected = Data;
+  std::sort(Expected.begin(), Expected.end());
+  parallelQuicksort(Data, 4, 32);
+  EXPECT_TRUE(Data == Expected);
+}
+
+TEST(RecursiveQuicksort, TinyInputsAreNoOps) {
+  std::vector<uint32_t> Empty;
+  parallelQuicksort(Empty, 4, 16);
+  EXPECT_TRUE(Empty.empty());
+  std::vector<uint32_t> One = {9};
+  parallelQuicksort(One, 4, 16);
+  EXPECT_EQ(One, std::vector<uint32_t>({9}));
+}
+
+TEST(RecursiveTreeSearch, MatchesSequentialOracle) {
+  const uint64_t Seed = loggedSeed(42);
+  const TreeSearchResult Oracle = sequentialTreeSearch(14, Seed);
+  EXPECT_GT(Oracle.Matches, 0u);
+
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    for (unsigned Grain : {1u, 15u, 127u, 1u << 16}) {
+      const TreeSearchResult R = parallelTreeSearch(14, Seed, Workers, Grain);
+      EXPECT_EQ(R.Matches, Oracle.Matches)
+          << "workers=" << Workers << " grain=" << Grain;
+      EXPECT_EQ(R.BestScore, Oracle.BestScore);
+      EXPECT_EQ(R.BestNode, Oracle.BestNode);
+    }
+  }
+}
+
+TEST(RecursiveTreeSearch, ResultIsScheduleIndependent) {
+  const uint64_t Seed = loggedSeed(42);
+  const TreeSearchResult A = parallelTreeSearch(12, Seed, 4, 7);
+  const TreeSearchResult B = parallelTreeSearch(12, Seed, 3, 63);
+  EXPECT_EQ(A.Matches, B.Matches);
+  EXPECT_EQ(A.BestScore, B.BestScore);
+  EXPECT_EQ(A.BestNode, B.BestNode);
+}
+
+TEST(RecursiveTreeSearch, DegenerateDepthsAreEmpty) {
+  const TreeSearchResult Zero = parallelTreeSearch(0, 1, 4, 8);
+  EXPECT_EQ(Zero.Matches, 0u);
+  const TreeSearchResult One = parallelTreeSearch(1, 1, 4, 8);
+  const TreeSearchResult OneSeq = sequentialTreeSearch(1, 1);
+  EXPECT_EQ(One.BestNode, OneSeq.BestNode); // just the root
+}
+
+} // namespace

@@ -249,6 +249,7 @@ TEST(ShardedSimTest, EpochBoundsAdvanceByLookahead) {
 TEST(ShardedSimTest, WorkerExceptionStopsRunAndRethrows) {
   ShardedSimOptions Opts;
   Opts.Shards = 3;
+  Opts.Threads = 3; // pin the threaded path (auto could run inline)
   Opts.LookaheadSeconds = 1.0;
   ShardedSim Engine(
       Opts,
@@ -263,9 +264,12 @@ TEST(ShardedSimTest, WorkerExceptionStopsRunAndRethrows) {
 TEST(ShardedSimTest, BarrierStressManyEpochsManyShards) {
   // tsan-targeted: 8 workers hammer the barrier/mailbox path for many
   // short epochs; any missing happens-before edge in the engine shows
-  // up here as a data race on the plain counters.
+  // up here as a data race on the plain counters. The team is pinned to
+  // one thread per shard — auto sizing would multiplex on small hosts
+  // and dodge the contention this test exists to create.
   ShardedSimOptions Opts;
   Opts.Shards = 8;
+  Opts.Threads = 8;
   Opts.LookaheadSeconds = 1.0;
   CrossShardMailbox<uint64_t> Box(8);
   uint64_t Collected = 0; // coordinator-only, barrier-published
@@ -283,6 +287,72 @@ TEST(ShardedSimTest, BarrierStressManyEpochsManyShards) {
   Engine.run();
   // 100 epochs x sum(1..8).
   EXPECT_EQ(Collected, 100u * 36u);
+}
+
+TEST(ShardedSimTest, TeamSizeResolvesAndClamps) {
+  auto MakeWith = [](unsigned Shards, unsigned Threads) {
+    ShardedSimOptions Opts;
+    Opts.Shards = Shards;
+    Opts.Threads = Threads;
+    Opts.LookaheadSeconds = 1.0;
+    return ShardedSim(Opts, [](ShardContext &) {}, [](double) { return false; });
+  };
+  EXPECT_EQ(MakeWith(4, 1).teamSize(), 1u);
+  EXPECT_EQ(MakeWith(4, 3).teamSize(), 3u);
+  EXPECT_EQ(MakeWith(4, 16).teamSize(), 4u); // clamped to shard count
+  EXPECT_EQ(MakeWith(1, 8).teamSize(), 1u);
+  EXPECT_GE(MakeWith(8, 0).teamSize(), 1u); // auto resolves in range
+  EXPECT_LE(MakeWith(8, 0).teamSize(), 8u);
+}
+
+TEST(ShardedSimTest, EveryTeamSizeProducesIdenticalResults) {
+  // 8 shards multiplexed on teams of 1 (inline), 2, 3 (uneven), and 8:
+  // dispatch counts and the coordinator's collected payload must be
+  // identical — team size is an execution resource, not model state.
+  auto RunWith = [](unsigned Threads) {
+    ShardedSimOptions Opts;
+    Opts.Shards = 8;
+    Opts.Threads = Threads;
+    Opts.LookaheadSeconds = 1.0;
+    CrossShardMailbox<uint64_t> Box(8);
+    uint64_t Collected = 0;
+    int Barriers = 0;
+    ShardedSim Engine(
+        Opts,
+        [&](ShardContext &Ctx) {
+          const uint64_t Draw = Ctx.rng().uniformInt(100);
+          Ctx.events().scheduleAt(Ctx.epochBegin() + 0.5, [] {});
+          Ctx.runEventsUntil(Ctx.epochEnd());
+          Box.post(Ctx.shard(), Ctx.epochEnd(), Draw + Ctx.shard());
+        },
+        [&](double) {
+          for (const auto &E : Box.collect())
+            Collected = Collected * 31 + E.Payload; // order-sensitive mix
+          return ++Barriers < 20;
+        });
+    EXPECT_EQ(Engine.teamSize(), Threads);
+    Engine.run();
+    return std::pair<uint64_t, uint64_t>(Collected, Engine.totalDispatched());
+  };
+  const auto Inline = RunWith(1);
+  EXPECT_EQ(Inline, RunWith(2));
+  EXPECT_EQ(Inline, RunWith(3));
+  EXPECT_EQ(Inline, RunWith(8));
+}
+
+TEST(ShardedSimTest, InlineTeamExceptionStillRethrows) {
+  ShardedSimOptions Opts;
+  Opts.Shards = 3;
+  Opts.Threads = 1; // multiplexed inline path
+  Opts.LookaheadSeconds = 1.0;
+  ShardedSim Engine(
+      Opts,
+      [&](ShardContext &Ctx) {
+        if (Ctx.shard() == 2 && Ctx.epochBegin() >= 1.0)
+          throw std::runtime_error("shard 2 exploded inline");
+      },
+      [](double) { return true; });
+  EXPECT_THROW(Engine.run(), std::runtime_error);
 }
 
 } // namespace

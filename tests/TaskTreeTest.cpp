@@ -1,0 +1,322 @@
+//===- tests/TaskTreeTest.cpp - Recursive task-tree runtime tests --------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// TreeEngine and the tree-region integration with the executive:
+// exactly-once leaf coverage under raw multi-threaded work stealing
+// (auto-split and app-split), the grain/extent configuration contract
+// (validation, defaults, rendering), degenerate grains degrading
+// gracefully, no lost tasks across reconfiguration epochs, and the
+// Steal trace + StealRate/MeanTaskSeconds feature wiring.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Builders.h"
+#include "core/TaskTree.h"
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+using namespace dope;
+using testing_helpers::loggedSeed;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Range packing
+//===----------------------------------------------------------------------===//
+
+TEST(TreeEngine, PackRoundTripsBounds) {
+  const uint64_t Item = TreeEngine::pack(123, TreeEngine::MaxIndex);
+  EXPECT_EQ(TreeEngine::unpackLo(Item), 123u);
+  EXPECT_EQ(TreeEngine::unpackHi(Item), TreeEngine::MaxIndex);
+  EXPECT_EQ(TreeEngine::unpackLo(TreeEngine::pack(0, 0)), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Raw-thread engine runs: every leaf index covered exactly once.
+//===----------------------------------------------------------------------===//
+
+void runAutoSplitCoverage(unsigned Workers, unsigned Grain, uint64_t N) {
+  TreeEngine::Options Opts;
+  Opts.MaxWorkers = Workers;
+  Opts.Seed = loggedSeed(0x7EE5u);
+  auto Engine = std::make_shared<TreeEngine>(Opts);
+  std::vector<std::atomic<uint32_t>> Hits(N);
+  for (auto &H : Hits)
+    H.store(0, std::memory_order_relaxed);
+  Engine->setBody([&](TreeContext &, uint64_t Lo, uint64_t Hi) {
+    ASSERT_LE(Hi - Lo, static_cast<uint64_t>(Grain == 0 ? 1 : Grain));
+    for (uint64_t I = Lo; I != Hi; ++I)
+      Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_TRUE(Engine->submit(0, N));
+  Engine->close();
+  std::vector<std::thread> Pool;
+  for (unsigned W = 0; W != Workers; ++W)
+    Pool.emplace_back([Engine, W, Grain] { Engine->runWorker(W, Grain); });
+  for (auto &T : Pool)
+    T.join();
+  ASSERT_TRUE(Engine->done());
+  for (uint64_t I = 0; I != N; ++I)
+    ASSERT_EQ(Hits[I].load(), 1u) << "leaf " << I;
+  EXPECT_EQ(Engine->outstandingTasks(), 0u);
+  EXPECT_GE(Engine->tasksExecuted(), (N + Grain - 1) / Grain);
+}
+
+TEST(TreeEngine, AutoSplitCoversRangeSingleWorker) {
+  runAutoSplitCoverage(1, 16, 10000);
+}
+
+TEST(TreeEngine, AutoSplitCoversRangeManyWorkers) {
+  runAutoSplitCoverage(4, 16, 100000);
+}
+
+TEST(TreeEngine, GrainOneDegradesGracefully) {
+  // The most infeasible grain: one task per leaf. Must still complete
+  // with no lost tasks, just slowly.
+  runAutoSplitCoverage(2, 1, 5000);
+}
+
+TEST(TreeEngine, GrainLargerThanRangeRunsOneTask) {
+  TreeEngine::Options Opts;
+  Opts.MaxWorkers = 2;
+  auto Engine = std::make_shared<TreeEngine>(Opts);
+  std::atomic<uint64_t> Bodies{0}, Sum{0};
+  Engine->setBody([&](TreeContext &, uint64_t Lo, uint64_t Hi) {
+    Bodies.fetch_add(1);
+    Sum.fetch_add(Hi - Lo);
+  });
+  ASSERT_TRUE(Engine->submit(0, 100));
+  Engine->close();
+  Engine->runWorker(0, 1000000);
+  EXPECT_EQ(Bodies.load(), 1u);
+  EXPECT_EQ(Sum.load(), 100u);
+}
+
+TEST(TreeEngine, AppSplitRecursionCoversRange) {
+  // AutoSplit off: the body forks explicitly, consulting the grain as
+  // its own threshold — the quicksort shape.
+  TreeEngine::Options Opts;
+  Opts.MaxWorkers = 4;
+  Opts.AutoSplit = false;
+  Opts.Seed = loggedSeed(0xA55u);
+  auto Engine = std::make_shared<TreeEngine>(Opts);
+  const uint64_t N = 50000;
+  std::vector<std::atomic<uint32_t>> Hits(N);
+  for (auto &H : Hits)
+    H.store(0, std::memory_order_relaxed);
+  Engine->setBody([&](TreeContext &Ctx, uint64_t Lo, uint64_t Hi) {
+    while (Hi - Lo > Ctx.grain()) {
+      const uint64_t Mid = Lo + (Hi - Lo) / 2;
+      Ctx.spawn(Mid, Hi);
+      Hi = Mid;
+    }
+    for (uint64_t I = Lo; I != Hi; ++I)
+      Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_TRUE(Engine->submit(0, N));
+  Engine->close();
+  std::vector<std::thread> Pool;
+  for (unsigned W = 0; W != 4; ++W)
+    Pool.emplace_back([Engine, W] { Engine->runWorker(W, 32); });
+  for (auto &T : Pool)
+    T.join();
+  for (uint64_t I = 0; I != N; ++I)
+    ASSERT_EQ(Hits[I].load(), 1u) << "leaf " << I;
+}
+
+TEST(TreeEngine, SubmitAfterCloseIsRejected) {
+  TreeEngine::Options Opts;
+  Opts.MaxWorkers = 1;
+  TreeEngine Engine(Opts);
+  Engine.setBody([](TreeContext &, uint64_t, uint64_t) {});
+  Engine.close();
+  EXPECT_FALSE(Engine.submit(0, 10));
+  EXPECT_TRUE(Engine.done());
+  EXPECT_EQ(Engine.outstandingTasks(), 0u);
+}
+
+TEST(TreeEngine, StealsAreTracedWithThiefAndVictim) {
+  TreeEngine::Options Opts;
+  Opts.MaxWorkers = 2;
+  Opts.Name = "traced-tree";
+  auto Engine = std::make_shared<TreeEngine>(Opts);
+  Tracer Trace;
+  Engine->setTracer(&Trace);
+  std::atomic<uint64_t> Sum{0};
+  Engine->setBody([&](TreeContext &, uint64_t Lo, uint64_t Hi) {
+    Sum.fetch_add(Hi - Lo);
+  });
+  ASSERT_TRUE(Engine->submit(0, 4096));
+  Engine->close();
+  // Drive both workers from one thread so the interleaving is
+  // deterministic: worker 0 takes the root from injection and splits it
+  // across its own deque; worker 1 owns nothing, so its first task can
+  // only come from a steal.
+  EXPECT_EQ(Engine->runOne(0, 8), TreeStep::Ran);
+  EXPECT_EQ(Engine->runOne(1, 8), TreeStep::Ran);
+  Engine->runWorker(0, 8);
+  Engine->runWorker(1, 8);
+  EXPECT_EQ(Sum.load(), 4096u);
+  unsigned StealRecords = 0;
+  for (const TraceRecord &R : Trace.drain())
+    if (R.Kind == TraceKind::Steal) {
+      ++StealRecords;
+      EXPECT_EQ(R.Name, "traced-tree");
+      EXPECT_NE(R.A, R.B) << "thief must differ from victim";
+      EXPECT_LT(R.A, 2.0);
+      EXPECT_LT(R.B, 2.0);
+    }
+  EXPECT_EQ(StealRecords, Engine->stealsSucceeded());
+  EXPECT_GE(StealRecords, 1u);
+}
+
+TEST(TreeEngine, StealRateSampleWindowsSuccesses) {
+  TreeEngine::Options Opts;
+  Opts.MaxWorkers = 2;
+  TreeEngine Engine(Opts);
+  // First sample primes the window and reports 0.
+  EXPECT_EQ(Engine.stealRateSample(), 0.0);
+  EXPECT_GE(Engine.stealRateSample(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Configuration contract: grain validated like the extent.
+//===----------------------------------------------------------------------===//
+
+TEST(TreeConfig, TreeRegionDefaultsValidateAndRender) {
+  TaskGraph G;
+  Task *T = G.createTask("descend", testing_helpers::dummyFn(), LoadFn(),
+                         G.parDescriptor());
+  ParDescriptor *Region = G.createTreeRegion(T, 64);
+  EXPECT_TRUE(Region->isTree());
+  EXPECT_EQ(Region->parKind(), ParKind::Tree);
+  EXPECT_EQ(Region->defaultGrain(), 64u);
+
+  RegionConfig Config = defaultConfig(*Region);
+  ASSERT_EQ(Config.Tasks.size(), 1u);
+  EXPECT_EQ(Config.Tasks[0].Grain, 64u);
+  std::string Error;
+  EXPECT_TRUE(validateConfig(*Region, Config, &Error)) << Error;
+  Config.Tasks[0].Extent = 8;
+  EXPECT_EQ(toString(*Region, Config), "<(8, TREE, g=64)>");
+
+  // Grain 0 on a tree task is malformed, exactly like extent 0.
+  Config.Tasks[0].Grain = 0;
+  EXPECT_FALSE(validateConfig(*Region, Config, &Error));
+  EXPECT_NE(Error.find("grain"), std::string::npos);
+}
+
+TEST(TreeConfig, GrainOnNonTreeTaskIsRejected) {
+  TaskGraph G;
+  Task *T = G.createTask("stage", testing_helpers::dummyFn(), LoadFn(),
+                         G.parDescriptor());
+  ParDescriptor *Region = G.createRegion({T});
+  RegionConfig Config = defaultConfig(*Region);
+  EXPECT_TRUE(validateConfig(*Region, Config));
+  Config.Tasks[0].Grain = 16;
+  std::string Error;
+  EXPECT_FALSE(validateConfig(*Region, Config, &Error));
+  EXPECT_NE(Error.find("non-tree"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Executive integration: DoPE replicas drive the engine.
+//===----------------------------------------------------------------------===//
+
+TEST(TaskTreeExecutive, StaticRunCoversRange) {
+  TaskGraph G;
+  const uint64_t N = 200000;
+  std::vector<std::atomic<uint32_t>> Hits(N);
+  for (auto &H : Hits)
+    H.store(0, std::memory_order_relaxed);
+  TreeRegionHandle Tree = buildTaskTree(
+      G, "cover",
+      [&](TreeContext &, uint64_t Lo, uint64_t Hi) {
+        for (uint64_t I = Lo; I != Hi; ++I)
+          Hits[I].fetch_add(1, std::memory_order_relaxed);
+      },
+      /*MaxWorkers=*/4, /*DefaultGrain=*/128);
+
+  DopeOptions Opts;
+  Opts.MaxThreads = 4;
+  Opts.InitialConfig = defaultConfig(*Tree.Region);
+  Opts.InitialConfig.Tasks[0].Extent = 4;
+  std::unique_ptr<Dope> D = Dope::create(Tree.Region, std::move(Opts));
+  Tree.registerFeatures(*D);
+  ASSERT_TRUE(Tree.submit(0, N));
+  Tree.close();
+  EXPECT_EQ(D->wait(), TaskStatus::Finished);
+  // StealRate and MeanTaskSeconds are live platform features.
+  EXPECT_TRUE(D->getValue("StealRate").has_value());
+  EXPECT_TRUE(D->getValue("MeanTaskSeconds").has_value());
+  Dope::destroy(std::move(D));
+  for (uint64_t I = 0; I != N; ++I)
+    ASSERT_EQ(Hits[I].load(), 1u) << "leaf " << I;
+}
+
+/// Flips the grain (and extent) every consult, forcing repeated
+/// suspend/quiesce cycles mid-computation.
+class GrainFlipMechanism : public Mechanism {
+public:
+  std::string name() const override { return "grain-flip"; }
+  std::optional<RegionConfig>
+  reconfigure(const ParDescriptor &, const RegionSnapshot &,
+              const RegionConfig &Current, const MechanismContext &) override {
+    RegionConfig Next = Current;
+    ++Consults;
+    Next.Tasks[0].Grain = (Consults % 2) ? 32u : 512u;
+    Next.Tasks[0].Extent = (Consults % 2) ? 2u : 4u;
+    return Next;
+  }
+
+private:
+  unsigned Consults = 0;
+};
+
+TEST(TaskTreeExecutive, NoTaskLostAcrossReconfigurations) {
+  TaskGraph G;
+  const uint64_t N = 400000;
+  std::vector<std::atomic<uint32_t>> Hits(N);
+  for (auto &H : Hits)
+    H.store(0, std::memory_order_relaxed);
+  TreeRegionHandle Tree = buildTaskTree(
+      G, "churn",
+      [&](TreeContext &, uint64_t Lo, uint64_t Hi) {
+        for (uint64_t I = Lo; I != Hi; ++I)
+          Hits[I].fetch_add(1, std::memory_order_relaxed);
+      },
+      /*MaxWorkers=*/4, /*DefaultGrain=*/64);
+
+  DopeOptions Opts;
+  Opts.MaxThreads = 4;
+  Opts.Mech = std::make_unique<GrainFlipMechanism>();
+  Opts.MonitorIntervalSeconds = 0.002;
+  Opts.MinReconfigIntervalSeconds = 0.002;
+  Opts.InitialConfig = defaultConfig(*Tree.Region);
+  Opts.InitialConfig.Tasks[0].Extent = 2;
+  std::unique_ptr<Dope> D = Dope::create(Tree.Region, std::move(Opts));
+  Tree.registerFeatures(*D);
+  // Trickle roots in while reconfigurations churn underneath.
+  for (uint64_t Chunk = 0; Chunk != 8; ++Chunk)
+    ASSERT_TRUE(
+        Tree.submit(Chunk * (N / 8), (Chunk + 1) * (N / 8)));
+  Tree.close();
+  EXPECT_EQ(D->wait(), TaskStatus::Finished);
+  const uint64_t Reconfigs = D->reconfigurationCount();
+  Dope::destroy(std::move(D));
+  for (uint64_t I = 0; I != N; ++I)
+    ASSERT_EQ(Hits[I].load(), 1u) << "leaf " << I << " after " << Reconfigs
+                                  << " reconfigurations";
+}
+
+} // namespace

@@ -1,0 +1,36 @@
+// HP001/HP002 fixture shaped like the work-stealing runtime: a deque
+// whose DOPE_HOT owner fast path grows storage inline, and a scheduler
+// whose DOPE_HOT acquire path blocks on a condition variable instead of
+// parking through a cold entry point.
+// Never compiled — scanned by dope_lint in the lint test suite.
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+struct BadDeque {
+  std::vector<uint64_t> Ring;
+  size_t Bottom = 0;
+
+  DOPE_HOT void push(uint64_t Item) {
+    Ring.push_back(Item); // growth belongs in a cold grow() helper
+    ++Bottom;
+  }
+
+  DOPE_HOT void reseat(size_t Cap) {
+    Ring.resize(Cap); // ditto
+  }
+};
+
+struct BadScheduler {
+  std::mutex ParkMutex;
+  std::condition_variable ParkCv;
+  BadDeque Deque;
+
+  DOPE_HOT bool tryAcquire(uint64_t &Out) {
+    std::unique_lock<std::mutex> Lock(ParkMutex);
+    ParkCv.wait(Lock); // blocking wait on the acquire fast path
+    Out = Deque.Bottom;
+    return true;
+  }
+};

@@ -493,6 +493,16 @@ private:
         "pthread_rwlock_wrlock"};
     static const std::set<std::string> Allocs = {
         "make_unique", "make_shared", "malloc", "calloc", "realloc"};
+    // Blocking waits: a DOPE_HOT scheduler body (deque push/pop/steal,
+    // spawn/tryAcquire sweeps) must stay wait-free — parking belongs in
+    // a dedicated cold entry point (e.g. StealScheduler::parkUntilWork).
+    static const std::set<std::string> BlockingCalls = {
+        "wait", "wait_for", "wait_until", "waitAndPop"};
+    // Amortized-growth members: owner-side fast paths may not grow
+    // containers inline; ring growth must live in a cold helper (see
+    // ChaseLevDeque::grow).
+    static const std::set<std::string> GrowthCalls = {
+        "push_back", "emplace_back", "resize", "reserve"};
 
     for (size_t Idx : S.OwnToks) {
       const Token &Tok = T[Idx];
@@ -512,6 +522,25 @@ private:
         report("HP001", Tok.Line,
                "hot path '" + S.Name + "' calls ." + Tok.Text +
                    "(); DOPE_HOT monitoring paths must stay lock-free");
+        continue;
+      }
+      if (BlockingCalls.count(Tok.Text) && Idx > 0 && Idx + 1 < T.size() &&
+          (isPunct(T[Idx - 1], ".") || isPunct(T[Idx - 1], "->")) &&
+          isPunct(T[Idx + 1], "(")) {
+        report("HP001", Tok.Line,
+               "hot path '" + S.Name + "' blocks in ." + Tok.Text +
+                   "(); DOPE_HOT scheduler paths must stay wait-free "
+                   "(park in a dedicated cold entry point instead)");
+        continue;
+      }
+      if (GrowthCalls.count(Tok.Text) && Idx > 0 && Idx + 1 < T.size() &&
+          (isPunct(T[Idx - 1], ".") || isPunct(T[Idx - 1], "->")) &&
+          isPunct(T[Idx + 1], "(")) {
+        report("HP002", Tok.Line,
+               "hot path '" + S.Name + "' grows a container via ." +
+                   Tok.Text +
+                   "(); DOPE_HOT paths must pre-size storage and keep "
+                   "growth in a cold helper");
         continue;
       }
       if (Tok.Text == "new" || Allocs.count(Tok.Text)) {
