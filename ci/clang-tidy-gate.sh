@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Gating clang-tidy run against the committed suppression baseline.
+#
+#   ci/clang-tidy-gate.sh <clang-tidy-binary> <build-dir> [--update]
+#
+# Runs the pinned clang-tidy (the CI job installs one exact major
+# version; pass plain `clang-tidy` locally) over every first-party
+# translation unit under src/ and tools/, using the repository's
+# .clang-tidy configuration via the compilation database in <build-dir>.
+#
+# Diagnostics are normalised to `<repo-relative-file> [check] message`
+# — line and column numbers are dropped so unrelated edits to the same
+# file do not churn the baseline — deduplicated, and compared against
+# ci/clang-tidy-baseline.txt:
+#
+#   * a finding absent from the baseline fails the gate (exit 1),
+#   * a baseline entry no longer reproduced prints a notice so the
+#     baseline can be tightened,
+#   * `--update` rewrites the baseline with the current findings;
+#     review the diff like any golden regeneration.
+#
+# The baseline is committed empty and should stay that way: it exists
+# so a clang-tidy version bump that introduces new checks can land
+# without blocking every PR while the new findings are triaged — not to
+# park known defects indefinitely.
+set -euo pipefail
+
+TIDY="${1:?usage: clang-tidy-gate.sh <clang-tidy-binary> <build-dir> [--update]}"
+BUILD="${2:?usage: clang-tidy-gate.sh <clang-tidy-binary> <build-dir> [--update]}"
+MODE="${3:-check}"
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BASELINE="$ROOT/ci/clang-tidy-baseline.txt"
+
+cd "$ROOT"
+mapfile -t FILES < <(find src tools -name '*.cpp' | sort)
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "clang-tidy-gate: no translation units found" >&2
+  exit 2
+fi
+
+# clang-tidy exits non-zero when it emits warnings; the gate decides
+# pass/fail itself, so tolerate that (but keep stderr visible for real
+# crashes/config errors).
+RAW="$("$TIDY" -p "$BUILD" --quiet "${FILES[@]}" || true)"
+
+CURRENT="$(printf '%s\n' "$RAW" |
+  grep -E '^[^ ].*:[0-9]+:[0-9]+: (warning|error): .*\[[A-Za-z0-9.,-]+\]$' |
+  sed -E "s|^$ROOT/||" |
+  sed -E 's|^([^:]+):[0-9]+:[0-9]+: (warning\|error): (.*) (\[[A-Za-z0-9.,-]+\])$|\1 \4 \3|' |
+  sort -u || true)"
+
+if [ "$MODE" = "--update" ]; then
+  printf '%s\n' "$CURRENT" | sed '/^$/d' >"$BASELINE"
+  echo "clang-tidy-gate: baseline rewritten ($(grep -c . "$BASELINE" || true) entries) — review the diff"
+  exit 0
+fi
+
+NEW="$(comm -23 <(printf '%s\n' "$CURRENT" | sed '/^$/d') \
+  <(sed '/^#/d;/^$/d' "$BASELINE" | sort -u))"
+STALE="$(comm -13 <(printf '%s\n' "$CURRENT" | sed '/^$/d') \
+  <(sed '/^#/d;/^$/d' "$BASELINE" | sort -u))"
+
+if [ -n "$STALE" ]; then
+  echo "clang-tidy-gate: baseline entries no longer reproduced (tighten the baseline):"
+  printf '%s\n' "$STALE" | sed 's/^/  /'
+fi
+
+if [ -n "$NEW" ]; then
+  echo "clang-tidy-gate: NEW findings not in ci/clang-tidy-baseline.txt:" >&2
+  printf '%s\n' "$NEW" | sed 's/^/  /' >&2
+  echo "clang-tidy-gate: fix them, or run with --update and justify the baseline diff" >&2
+  exit 1
+fi
+
+echo "clang-tidy-gate: clean (no findings beyond the baseline)"

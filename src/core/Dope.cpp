@@ -123,7 +123,7 @@ DOPE_HOT TaskStatus TaskRuntime::begin() {
   return TaskStatus::Executing;
 }
 
-void TaskRuntime::flushWindow() {
+DOPE_COLD void TaskRuntime::flushWindow() {
   if (Window.Count == 0)
     return;
   Executive.metricsFor(TheTask).recordExecTimeBatch(Window.Count,

@@ -147,9 +147,9 @@ public:
   bool submit(uint64_t Lo, uint64_t Hi) {
     if (Lo >= Hi)
       return true;
-    Outstanding.fetch_add(1, std::memory_order_relaxed);
+    Outstanding.fetch_add(1, std::memory_order_relaxed); // dope-lint: mo-proof(design-16-termination)
     if (!Injection.push(pack(Lo, Hi))) {
-      Outstanding.fetch_sub(1, std::memory_order_relaxed);
+      Outstanding.fetch_sub(1, std::memory_order_relaxed); // dope-lint: mo-proof(design-16-termination)
       return false;
     }
     Sched.wakeAll();
@@ -176,7 +176,7 @@ public:
   /// Tasks submitted or spawned but not yet finished (includes tasks
   /// currently executing) — the region's load signal.
   DOPE_HOT size_t outstandingTasks() const {
-    const int64_t N = Outstanding.load(std::memory_order_relaxed);
+    const int64_t N = Outstanding.load(std::memory_order_relaxed); // dope-lint: mo-proof(design-16-termination)
     return N > 0 ? static_cast<size_t>(N) : 0;
   }
 
@@ -317,7 +317,7 @@ private:
   DOPE_HOT void spawnRange(unsigned W, uint64_t Lo, uint64_t Hi) {
     if (Lo >= Hi)
       return;
-    Outstanding.fetch_add(1, std::memory_order_relaxed);
+    Outstanding.fetch_add(1, std::memory_order_relaxed); // dope-lint: mo-proof(design-16-termination)
     Sched.spawn(W, pack(Lo, Hi));
   }
 

@@ -106,6 +106,7 @@ public:
     while (Cap < InitialCapacity)
       Cap *= 2;
     Rings.push_back(std::make_unique<Ring>(Cap));
+    // dope-lint: mo-proof(design-16-chaselev) — pre-publication store
     Buffer.store(Rings.back().get(), detail::ChaseLevRelaxed);
   }
 
@@ -142,6 +143,7 @@ public:
     if (Tp != B)
       return true; // more than one element left: no race possible
     // Last element: race thieves for it through Top.
+    // dope-lint: mo-proof(design-16-chaselev) — failure path only retries
     const bool Won = Top.compare_exchange_strong(
         Tp, Tp + 1, std::memory_order_seq_cst, detail::ChaseLevRelaxed);
     Bottom.store(B + 1, detail::ChaseLevRelaxed);
@@ -157,6 +159,7 @@ public:
       return StealOutcome::Empty;
     Ring *R = Buffer.load(std::memory_order_acquire);
     Out = R->get(Tp);
+    // dope-lint: mo-proof(design-16-chaselev) — failure path only aborts
     if (!Top.compare_exchange_strong(Tp, Tp + 1, std::memory_order_seq_cst,
                                      detail::ChaseLevRelaxed))
       return StealOutcome::Abort;
@@ -166,8 +169,8 @@ public:
   /// Snapshot of the element count; exact only when quiesced. Never
   /// negative.
   DOPE_HOT size_t size() const {
-    const int64_t B = Bottom.load(detail::ChaseLevRelaxed);
-    const int64_t Tp = Top.load(detail::ChaseLevRelaxed);
+    const int64_t B = Bottom.load(detail::ChaseLevRelaxed);   // dope-lint: mo-proof(design-16-chaselev)
+    const int64_t Tp = Top.load(detail::ChaseLevRelaxed);     // dope-lint: mo-proof(design-16-chaselev)
     return B > Tp ? static_cast<size_t>(B - Tp) : 0;
   }
 
@@ -175,7 +178,7 @@ public:
 
   /// Current ring capacity (test hook for the growth path).
   size_t capacity() const {
-    return Buffer.load(detail::ChaseLevRelaxed)->Capacity;
+    return Buffer.load(detail::ChaseLevRelaxed)->Capacity; // dope-lint: mo-proof(design-16-chaselev)
   }
 
 private:
@@ -201,8 +204,8 @@ private:
 
   /// Cold path: doubles the ring, copying the live window [Top, Bottom).
   /// Owner only. The retired ring stays alive (see file comment).
-  Ring *grow(int64_t B, int64_t Tp) {
-    Ring *Old = Buffer.load(detail::ChaseLevRelaxed);
+  DOPE_COLD Ring *grow(int64_t B, int64_t Tp) {
+    Ring *Old = Buffer.load(detail::ChaseLevRelaxed); // dope-lint: mo-proof(design-16-chaselev)
     Rings.push_back(std::make_unique<Ring>(Old->Capacity * 2));
     Ring *New = Rings.back().get();
     for (int64_t I = Tp; I != B; ++I)

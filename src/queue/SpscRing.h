@@ -42,7 +42,7 @@ public:
 
   /// Producer side. Returns false when full.
   bool push(T Item) {
-    const size_t Tail = TailIndex.load(std::memory_order_relaxed);
+    const size_t Tail = TailIndex.load(std::memory_order_relaxed); // dope-lint: mo-proof(design-16-spsc)
     const size_t Head = HeadIndex.load(std::memory_order_acquire);
     if (Tail - Head > Mask)
       return false;
@@ -53,7 +53,7 @@ public:
 
   /// Consumer side. Returns nullopt when empty.
   std::optional<T> pop() {
-    const size_t Head = HeadIndex.load(std::memory_order_relaxed);
+    const size_t Head = HeadIndex.load(std::memory_order_relaxed); // dope-lint: mo-proof(design-16-spsc)
     const size_t Tail = TailIndex.load(std::memory_order_acquire);
     if (Head == Tail)
       return std::nullopt;

@@ -159,19 +159,19 @@ public:
     Parked.fetch_add(1, std::memory_order_seq_cst);
     const uint64_t Epoch = WakeEpoch.load(std::memory_order_acquire);
     if (Predicate() || anyQueued()) {
-      Parked.fetch_sub(1, std::memory_order_relaxed);
+      Parked.fetch_sub(1, std::memory_order_relaxed); // dope-lint: mo-proof(design-16-parking)
       return;
     }
     std::unique_lock<std::mutex> Lock(ParkMutex);
     ParkCond.wait_for(Lock, MaxWait, [&] {
-      return WakeEpoch.load(std::memory_order_relaxed) != Epoch ||
+      return WakeEpoch.load(std::memory_order_relaxed) != Epoch || // dope-lint: mo-proof(design-16-parking)
              Predicate();
     });
-    Parked.fetch_sub(1, std::memory_order_relaxed);
+    Parked.fetch_sub(1, std::memory_order_relaxed); // dope-lint: mo-proof(design-16-parking)
   }
 
   /// Wakes every parked worker (termination, suspension, injection).
-  void wakeAll() {
+  DOPE_COLD void wakeAll() {
     WakeEpoch.fetch_add(1, std::memory_order_release);
     {
       std::lock_guard<std::mutex> Lock(ParkMutex);
@@ -229,7 +229,7 @@ public:
     return N;
   }
   unsigned parkedWorkers() const {
-    return static_cast<unsigned>(Parked.load(std::memory_order_relaxed));
+    return static_cast<unsigned>(Parked.load(std::memory_order_relaxed)); // dope-lint: mo-proof(design-16-parking)
   }
 
 private:
@@ -263,7 +263,7 @@ private:
   /// Cold path of spawn(): one worker is parked, hand it the wake. The
   /// epoch bump inside the lock covers a worker that passed its checks
   /// but has not reached wait_for yet.
-  void notifyOne() {
+  DOPE_COLD void notifyOne() {
     {
       std::lock_guard<std::mutex> Lock(ParkMutex);
       WakeEpoch.fetch_add(1, std::memory_order_release);

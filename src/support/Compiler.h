@@ -30,6 +30,18 @@
 #define DOPE_HOT
 #endif
 
+/// Marks a deliberate cold path reachable from a DOPE_HOT function:
+/// ring growth, parking-lot wakes, one-time registration. The
+/// interprocedural purity check (HP004) stops its call-chain traversal
+/// at a DOPE_COLD callee — the annotation is the reviewed statement
+/// that the hot caller only reaches it on a slow path. Annotate the
+/// definition; the checks are token-level.
+#if defined(__clang__)
+#define DOPE_COLD __attribute__((annotate("dope_cold")))
+#else
+#define DOPE_COLD
+#endif
+
 /// Marks a point in control flow that must never be reached. Prints the
 /// message and aborts; mirrors llvm_unreachable semantics in a dependency
 /// free form.

@@ -139,6 +139,9 @@ void Tracer::append(ThreadBuffer &Buf, TraceRecord R) {
 
 DOPE_HOT void Tracer::record(TraceKind Kind, std::string_view Name, double A,
                              double B, std::string Detail) {
+  // Tracing is a diagnostic facility, not a control path: the clock mutex
+  // below is uncontended except while a test swaps the clock in.
+  // dope-lint: allow(HP004)
   recordAt(now(), Kind, Name, A, B, std::move(Detail));
 }
 
@@ -152,6 +155,10 @@ DOPE_HOT void Tracer::recordAt(double Time, TraceKind Kind,
   R.A = A;
   R.B = B;
   R.Detail = std::move(Detail);
+  // The buffer mutex is per-thread (never contended in steady state) and
+  // the registry mutex is only taken on a thread's first record; keeping
+  // them is the tracer's documented bounded-overhead trade-off.
+  // dope-lint: allow(HP004)
   append(buffer(), std::move(R));
 }
 

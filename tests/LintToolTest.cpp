@@ -95,15 +95,145 @@ TEST(LintGolden, TraceKindNames) { checkGolden("bad_trace_names"); }
 TEST(LintGolden, TraceKindSwitch) { checkGolden("bad_trace_switch"); }
 TEST(LintGolden, CleanFixtureSilent) { checkGolden("good_clean"); }
 TEST(LintGolden, SuppressionsHonored) { checkGolden("suppressed"); }
+TEST(LintGolden, HotPathTransitive) { checkGolden("bad_hot_transitive"); }
+TEST(LintGolden, LockOrderCycle) { checkGolden("bad_lock_cycle"); }
+TEST(LintGolden, LockAcrossBlocking) { checkGolden("bad_lock_blocking"); }
+TEST(LintGolden, AtomicOrderMix) { checkGolden("bad_atomic_mixed"); }
+TEST(LintGolden, CasOrderSplit) { checkGolden("bad_cas_mixed"); }
+TEST(LintGolden, MemoryOrderProofsHonored) { checkGolden("mo_proofed"); }
+
+/// The transitive fixture is exactly the case the per-body HP checks
+/// cannot see: the hot body is pure, so HP001 must stay silent while
+/// HP004 reports the chain through the intermediate callee.
+TEST(LintTool, TransitiveImpurityNeedsHp004) {
+  RunResult R = runLint("--basenames --quiet " +
+                        fixture("bad_hot_transitive"));
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_EQ(R.Output.find("HP001"), std::string::npos)
+      << "HP001 fired on a pure hot body:\n"
+      << R.Output;
+  EXPECT_NE(R.Output.find("HP004"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("step -> settle -> awaitResult"),
+            std::string::npos)
+      << "chain mis-reported:\n"
+      << R.Output;
+}
+
+/// --explain appends one indented note per chain frame under the
+/// finding, so a reader can walk the call path without opening --json.
+TEST(LintTool, ExplainPrintsChainFrames) {
+  RunResult R = runLint("--basenames --quiet --explain " +
+                        fixture("bad_hot_transitive"));
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("note: #1 step"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("note: #2 settle"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("note: #3 awaitResult"), std::string::npos)
+      << R.Output;
+}
+
+/// The JSON form of an interprocedural finding carries the full chain as
+/// structured frames, so CI consumers can render the path.
+TEST(LintTool, JsonCarriesHp004Chain) {
+  RunResult R = runLint("--json --basenames " +
+                        fixture("bad_hot_transitive"));
+  EXPECT_EQ(R.ExitCode, 1);
+  std::string Error;
+  std::optional<dope::JsonValue> Doc =
+      dope::JsonValue::parse(R.Output, &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  const dope::JsonValue *Findings = Doc->get("findings");
+  ASSERT_NE(Findings, nullptr);
+  ASSERT_EQ(Findings->size(), 1u);
+  const dope::JsonValue &F = Findings->at(0);
+  EXPECT_EQ(F.getString("check"), "HP004");
+  const dope::JsonValue *Chain = F.get("chain");
+  ASSERT_NE(Chain, nullptr);
+  ASSERT_TRUE(Chain->isArray());
+  ASSERT_EQ(Chain->size(), 3u);
+  const char *Symbols[] = {"step", "settle", "awaitResult"};
+  for (size_t I = 0; I != 3; ++I) {
+    EXPECT_EQ(Chain->at(I).getString("symbol"), Symbols[I]);
+    EXPECT_EQ(Chain->at(I).getString("file"), "bad_hot_transitive.cpp");
+    EXPECT_GT(Chain->at(I).getNumber("line"), 0.0);
+  }
+}
 
 /// Every check ID the goldens exercise must appear in --list-checks, so
 /// the fixture suite and the check table cannot drift apart.
 TEST(LintTool, ListChecksCoversAllIds) {
   RunResult R = runLint("--list-checks");
   EXPECT_EQ(R.ExitCode, 0);
-  for (const char *Id : {"DL001", "DL002", "HP001", "HP002", "HP003",
-                         "AP001", "AP002", "AP003", "TS001", "TS002"})
+  for (const char *Id :
+       {"DL001", "DL002", "HP001", "HP002", "HP003", "HP004", "AP001",
+        "AP002", "AP003", "TS001", "TS002", "LK001", "LK002", "MO001",
+        "MO002"})
     EXPECT_NE(R.Output.find(Id), std::string::npos) << Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Exit-code contract: 0 = clean, 1 = findings, 2 = usage or I/O error.
+// One regression test per code so the CI gate semantics cannot drift.
+//===----------------------------------------------------------------------===//
+
+TEST(LintExitCode, CleanScanReturnsZero) {
+  RunResult R = runLint("--quiet " + fixture("good_clean"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+}
+
+TEST(LintExitCode, FindingsReturnOne) {
+  RunResult R = runLint("--quiet " + fixture("bad_clock"));
+  EXPECT_EQ(R.ExitCode, 1);
+}
+
+TEST(LintExitCode, UnknownFlagReturnsTwo) {
+  RunResult R = runLint("--no-such-flag " + fixture("good_clean"));
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+TEST(LintExitCode, MissingFileReturnsTwo) {
+  RunResult R = runLint("/nonexistent/dope_lint_input.cpp");
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+TEST(LintExitCode, UnknownAllowIdReturnsTwo) {
+  RunResult R = runLint("--allow XX999 " + fixture("good_clean"));
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Frontend parity: when this build carries the libclang frontend, every
+// fixture must produce byte-identical diagnostics under both frontends.
+// Builds without libclang must refuse an explicit --frontend libclang
+// with a usage error rather than silently degrading.
+//===----------------------------------------------------------------------===//
+
+TEST(LintFrontend, LibclangParityOnEveryFixture) {
+  RunResult Probe =
+      runLint("--frontend libclang --quiet " + fixture("good_clean"));
+  if (Probe.ExitCode == 2)
+    GTEST_SKIP() << "this build has no libclang frontend";
+  for (const fs::directory_entry &E :
+       fs::directory_iterator(DOPE_LINT_FIXTURES)) {
+    if (E.path().extension() != ".cpp")
+      continue;
+    const std::string Name = E.path().stem().string();
+    RunResult Builtin =
+        runLint("--frontend builtin --basenames --quiet " + fixture(Name));
+    RunResult Libclang =
+        runLint("--frontend libclang --basenames --quiet " + fixture(Name));
+    EXPECT_EQ(Builtin.Output, Libclang.Output)
+        << "frontends diverged on " << Name;
+    EXPECT_EQ(Builtin.ExitCode, Libclang.ExitCode) << Name;
+  }
+}
+
+TEST(LintFrontend, ExplicitLibclangNeverDegrades) {
+  RunResult R =
+      runLint("--frontend libclang --quiet " + fixture("good_clean"));
+  // Either the frontend exists (clean fixture: exit 0) or the request is
+  // a hard usage error — never a silent builtin fallback with success.
+  EXPECT_TRUE(R.ExitCode == 0 || R.ExitCode == 2) << R.ExitCode;
 }
 
 /// The repository's own sources must satisfy every contract: scan the
@@ -116,6 +246,26 @@ TEST(LintTool, SrcTreeIsClean) {
                         DOPE_SOURCE_ROOT + "/src --quiet");
   EXPECT_EQ(R.ExitCode, 0) << R.Output;
   EXPECT_EQ(R.Output, "") << "src/ must stay lint-clean";
+}
+
+/// The concurrency kernels get their own clean-scan assertions: the
+/// queue subsystem is where the memory-order audit and lock checks bite
+/// hardest, and the analysis subsystem hosts the what-if machinery the
+/// interprocedural traversal walks through.
+TEST(LintTool, QueueSubtreeIsClean) {
+  ASSERT_TRUE(fs::exists(DOPE_COMPDB));
+  RunResult R = runLint(std::string("--compdb ") + DOPE_COMPDB + " --root " +
+                        DOPE_SOURCE_ROOT + "/src/queue --quiet");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_EQ(R.Output, "") << "src/queue must stay lint-clean";
+}
+
+TEST(LintTool, AnalysisSubtreeIsClean) {
+  ASSERT_TRUE(fs::exists(DOPE_COMPDB));
+  RunResult R = runLint(std::string("--compdb ") + DOPE_COMPDB + " --root " +
+                        DOPE_SOURCE_ROOT + "/src/analysis --quiet");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_EQ(R.Output, "") << "src/analysis must stay lint-clean";
 }
 
 /// Seeded regression: re-introduce a raw wall-clock read into a copy of

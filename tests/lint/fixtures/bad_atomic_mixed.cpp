@@ -1,0 +1,24 @@
+// MO001 fixture: one atomic accessed with acquire/release ordering in
+// some functions and memory_order_relaxed in another, with no fence and
+// no mo-proof annotation. A second relaxed access sits next to an
+// explicit atomic_thread_fence and is therefore exempt.
+// Never compiled — scanned by dope_lint in the lint test suite.
+#include <atomic>
+
+struct Counter {
+  std::atomic<int> Value{0};
+
+  void bump() { Value.fetch_add(1, std::memory_order_release); }
+
+  int read() const { return Value.load(std::memory_order_acquire); }
+
+  // MO001: relaxed access to a key that synchronizes elsewhere.
+  int peek() const { return Value.load(std::memory_order_relaxed); }
+
+  // Exempt: the fence supplies the ordering the relaxed load elides.
+  int peekFenced() const {
+    const int V = Value.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return V;
+  }
+};

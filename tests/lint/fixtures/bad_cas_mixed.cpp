@@ -1,0 +1,16 @@
+// MO002 fixture: a compare-exchange whose failure order is weaker than
+// its success order, with no mo-proof annotation arguing why the
+// failure path needs no synchronization.
+// Never compiled — scanned by dope_lint in the lint test suite.
+#include <atomic>
+
+struct Flag {
+  std::atomic<int> State{0};
+
+  bool claim() {
+    int Expected = 0;
+    return State.compare_exchange_strong(Expected, 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+};

@@ -1,0 +1,19 @@
+// HP004 fixture: the impurity sits two frames below the DOPE_HOT root.
+// The hot body itself is pure — HP001 stays silent — but the call chain
+// step -> settle -> awaitResult reaches a blocking wait, which only the
+// interprocedural HP004 traversal can see.
+// Never compiled — scanned by dope_lint in the lint test suite.
+#include <future>
+
+struct Pipeline {
+  std::future<int> Pending;
+
+  int awaitResult() {
+    Pending.wait();
+    return 1;
+  }
+
+  int settle() { return awaitResult(); }
+
+  DOPE_HOT int step() { return settle(); }
+};

@@ -1,0 +1,30 @@
+// LK002 fixture: blocking while a mutex is held — once directly (a
+// sleep inside the guard scope) and once transitively (a call chain
+// that reaches the sleep with the guard still live).
+// Never compiled — scanned by dope_lint in the lint test suite.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+struct Worker {
+  std::mutex Mutex;
+  int Jobs = 0;
+
+  void backoff() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Direct: parks the thread with Mutex held.
+  void tick() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ++Jobs;
+  }
+
+  // Transitive: backoff() blocks, and the guard is still live here.
+  void drain() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    backoff();
+    Jobs = 0;
+  }
+};

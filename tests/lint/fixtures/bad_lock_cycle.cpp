@@ -1,0 +1,23 @@
+// LK001 fixture: two functions acquire the same pair of mutexes in
+// opposite orders — the classic two-lock deadlock inversion. dope_lint
+// builds the acquisition-order graph and reports the cycle.
+// Never compiled — scanned by dope_lint in the lint test suite.
+#include <mutex>
+
+struct Ledger {
+  std::mutex Accounts;
+  std::mutex Journal;
+  int Balance = 0;
+
+  void credit() {
+    std::lock_guard<std::mutex> LockA(Accounts);
+    std::lock_guard<std::mutex> LockJ(Journal);
+    ++Balance;
+  }
+
+  void audit() {
+    std::lock_guard<std::mutex> LockJ(Journal);
+    std::lock_guard<std::mutex> LockA(Accounts);
+    --Balance;
+  }
+};

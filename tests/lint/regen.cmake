@@ -1,0 +1,26 @@
+# Regenerates every golden under tests/lint/expected/ from the current
+# dope_lint binary: one expected/<fixture>.txt per fixtures/<fixture>.cpp,
+# produced with the exact flags the conformance suite replays
+# (--basenames --quiet). Invoked by the `lint-regen` custom target —
+# review the diffs before committing, like trace-regen and whatif-regen.
+if(NOT DOPE_LINT_BIN OR NOT LINT_DIR)
+  message(FATAL_ERROR "run via the lint-regen target (needs DOPE_LINT_BIN "
+                      "and LINT_DIR)")
+endif()
+
+file(GLOB Fixtures "${LINT_DIR}/fixtures/*.cpp")
+list(SORT Fixtures)
+foreach(Fixture IN LISTS Fixtures)
+  get_filename_component(Name "${Fixture}" NAME_WE)
+  execute_process(
+    COMMAND "${DOPE_LINT_BIN}" --basenames --quiet "${Fixture}"
+    OUTPUT_VARIABLE Out
+    RESULT_VARIABLE Code)
+  # Exit 1 just means findings (the point of the bad_* fixtures);
+  # anything above 1 is a usage or I/O failure.
+  if(Code GREATER 1)
+    message(FATAL_ERROR "dope_lint failed on ${Fixture} (exit ${Code})")
+  endif()
+  file(WRITE "${LINT_DIR}/expected/${Name}.txt" "${Out}")
+  message(STATUS "regenerated expected/${Name}.txt")
+endforeach()

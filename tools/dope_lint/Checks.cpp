@@ -6,8 +6,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "Checks.h"
+#include "CallGraph.h"
+#include "LockGraph.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 
 using namespace dopelint;
@@ -38,6 +41,18 @@ const std::vector<CheckInfo> &dopelint::allChecks() {
        "TraceKind enumerators and KindNames serializer table disagree"},
       {"TS002", "error", "trace-kind-switch",
        "defaultless switch over TraceKind misses enumerators"},
+      {"HP004", "error", "hot-path-transitive",
+       "DOPE_HOT body reaches a lock/allocation/blocking wait/growth "
+       "through a call chain"},
+      {"LK001", "error", "lock-order-cycle",
+       "cycle in the static lock-acquisition graph (potential deadlock)"},
+      {"LK002", "warning", "lock-across-blocking",
+       "lock held across a blocking call"},
+      {"MO001", "warning", "atomic-order-mix",
+       "relaxed operation on an atomic that elsewhere uses stronger "
+       "orders, with no fence or mo-proof"},
+      {"MO002", "warning", "cas-order-split",
+       "compare_exchange success/failure orders differ without mo-proof"},
   };
   return Checks;
 }
@@ -57,245 +72,6 @@ bool dopelint::isDeterminismWhitelisted(const std::string &Path) {
   return EndsWith("support/Clock.h") || EndsWith("core/Clock.h") ||
          EndsWith("support/Random.h") || EndsWith("support/Random.cpp");
 }
-
-//===----------------------------------------------------------------------===//
-// Scope detection
-//===----------------------------------------------------------------------===//
-
-namespace {
-
-/// One function (or lambda) body found in a file.
-struct Scope {
-  std::string Name; ///< Bare name; "<lambda>" for lambdas.
-  bool Hot = false;
-  bool Virtual = false; ///< `virtual` or `override`/`final` in the header.
-  unsigned Line = 0;
-  /// Token indices of the header parameter list (between the header's
-  /// parens) — AP001 finds `TaskRuntime &RT` parameters here.
-  std::vector<size_t> HeaderToks;
-  /// Token indices of the direct body, excluding nested scopes'
-  /// bodies. The HP/AP checks are *direct-body* checks by design: a
-  /// nested lambda is its own scope with its own annotations.
-  std::vector<size_t> OwnToks;
-};
-
-bool isKeywordNoCall(const std::string &S) {
-  static const std::set<std::string> K = {
-      "if",       "while",    "for",      "switch",   "catch",
-      "return",   "sizeof",   "alignof",  "decltype", "alignas",
-      "assert",   "new",      "delete",   "static_assert",
-      "noexcept", "defined",  "throw",    "co_return","co_await",
-      "co_yield", "requires", "typeid",   "static_cast",
-      "dynamic_cast", "const_cast", "reinterpret_cast"};
-  return K.count(S) != 0;
-}
-
-size_t matchForward(const std::vector<Token> &T, size_t Open,
-                    const char *OpenP, const char *CloseP) {
-  int Depth = 0;
-  for (size_t I = Open; I < T.size(); ++I) {
-    if (T[I].Kind == TokKind::Punct) {
-      if (T[I].Text == OpenP)
-        ++Depth;
-      else if (T[I].Text == CloseP && --Depth == 0)
-        return I;
-    }
-  }
-  return T.size();
-}
-
-bool isPunct(const Token &T, const char *P) {
-  return T.Kind == TokKind::Punct && T.Text == P;
-}
-bool isIdent(const Token &T, const char *S) {
-  return T.Kind == TokKind::Ident && T.Text == S;
-}
-
-/// Walks a constructor initializer list starting at the `:` token;
-/// returns the index of the body `{` or SIZE_MAX on reject.
-size_t skipCtorInit(const std::vector<Token> &T, size_t I) {
-  ++I; // past ':'
-  while (I < T.size()) {
-    // Member (possibly qualified / templated) name.
-    while (I < T.size() && !isPunct(T[I], "(") && !isPunct(T[I], "{") &&
-           !isPunct(T[I], ";") && !isPunct(T[I], "}"))
-      ++I;
-    if (I >= T.size() || isPunct(T[I], ";") || isPunct(T[I], "}"))
-      return SIZE_MAX;
-    // `{` directly after the member name is a brace init; a `{` at the
-    // start of an initializer position could only be the body when the
-    // list has ended (handled after the group + comma logic).
-    if (isPunct(T[I], "("))
-      I = matchForward(T, I, "(", ")") + 1;
-    else
-      I = matchForward(T, I, "{", "}") + 1;
-    if (I < T.size() && isPunct(T[I], "..."))
-      ++I;
-    if (I < T.size() && isPunct(T[I], ",")) {
-      ++I;
-      continue;
-    }
-    if (I < T.size() && isPunct(T[I], "{"))
-      return I;
-    return SIZE_MAX;
-  }
-  return SIZE_MAX;
-}
-
-/// After a candidate's closing paren at \p CloseParen, walks the
-/// specifier tail (const, noexcept, override, trailing return, ctor
-/// inits, ...) looking for a function body. Returns the body `{` index
-/// or SIZE_MAX when the construct is not a definition. Sets
-/// \p SawOverride when the tail marks the function virtual.
-size_t findBody(const std::vector<Token> &T, size_t CloseParen,
-                bool &SawOverride) {
-  size_t I = CloseParen + 1;
-  while (I < T.size()) {
-    const Token &Tok = T[I];
-    if (isPunct(Tok, "{"))
-      return I;
-    if (isPunct(Tok, ";") || isPunct(Tok, "}") || isPunct(Tok, "=") ||
-        isPunct(Tok, ",") || isPunct(Tok, ")"))
-      return SIZE_MAX;
-    if (isPunct(Tok, ":"))
-      return skipCtorInit(T, I);
-    if (isIdent(Tok, "override") || isIdent(Tok, "final")) {
-      SawOverride = true;
-      ++I;
-      continue;
-    }
-    if (isIdent(Tok, "noexcept") || isIdent(Tok, "throw")) {
-      ++I;
-      if (I < T.size() && isPunct(T[I], "("))
-        I = matchForward(T, I, "(", ")") + 1;
-      continue;
-    }
-    if (isPunct(Tok, "->")) {
-      // Trailing return type: anything up to the body brace.
-      ++I;
-      while (I < T.size() && !isPunct(T[I], "{") && !isPunct(T[I], ";") &&
-             !isPunct(T[I], "}"))
-        ++I;
-      continue;
-    }
-    if (isPunct(Tok, "[")) { // attribute [[...]]
-      I = matchForward(T, I, "[", "]") + 1;
-      continue;
-    }
-    if (Tok.Kind == TokKind::Ident || isPunct(Tok, "&") ||
-        isPunct(Tok, "&&") || isPunct(Tok, "...")) {
-      ++I; // const / mutable / try / ref-qualifier / macro specifier
-      continue;
-    }
-    return SIZE_MAX;
-  }
-  return SIZE_MAX;
-}
-
-/// Scans backward from the candidate name for DOPE_HOT / virtual in the
-/// same declaration (bounded; stops at statement/body boundaries).
-void scanHeaderPrefix(const std::vector<Token> &T, size_t NameIdx, bool &Hot,
-                      bool &Virtual) {
-  size_t Steps = 0;
-  for (size_t K = NameIdx; K-- > 0 && Steps < 64; ++Steps) {
-    const Token &Tok = T[K];
-    if (isPunct(Tok, ";") || isPunct(Tok, "{") || isPunct(Tok, "}"))
-      return;
-    if (isPunct(Tok, ":") && K > 0 &&
-        (isIdent(T[K - 1], "public") || isIdent(T[K - 1], "private") ||
-         isIdent(T[K - 1], "protected")))
-      return;
-    if (isIdent(Tok, "DOPE_HOT"))
-      Hot = true;
-    if (isIdent(Tok, "virtual"))
-      Virtual = true;
-  }
-}
-
-std::vector<Scope> collectScopes(const std::vector<Token> &T) {
-  // Pass A: find every function header and remember its body brace.
-  std::map<size_t, Scope> BodyStart;
-  for (size_t I = 0; I + 1 < T.size(); ++I) {
-    if (T[I].InPP)
-      continue;
-    Scope S;
-    size_t Body = SIZE_MAX;
-    size_t HeaderOpen = SIZE_MAX;
-    if (T[I].Kind == TokKind::Ident && isPunct(T[I + 1], "(") &&
-        !isKeywordNoCall(T[I].Text)) {
-      size_t Close = matchForward(T, I + 1, "(", ")");
-      if (Close >= T.size())
-        continue;
-      bool SawOverride = false;
-      Body = findBody(T, Close, SawOverride);
-      if (Body == SIZE_MAX)
-        continue;
-      S.Name = T[I].Text;
-      S.Line = T[I].Line;
-      S.Virtual = SawOverride;
-      HeaderOpen = I + 1;
-      scanHeaderPrefix(T, I, S.Hot, S.Virtual);
-      for (size_t H = HeaderOpen + 1; H < Close; ++H)
-        S.HeaderToks.push_back(H);
-    } else if (isPunct(T[I], "]") && isPunct(T[I + 1], "(")) {
-      size_t Close = matchForward(T, I + 1, "(", ")");
-      if (Close >= T.size())
-        continue;
-      bool SawOverride = false;
-      Body = findBody(T, Close, SawOverride);
-      if (Body == SIZE_MAX)
-        continue;
-      S.Name = "<lambda>";
-      S.Line = T[I].Line;
-      for (size_t H = I + 2; H < Close; ++H)
-        S.HeaderToks.push_back(H);
-    } else if (isPunct(T[I], "]") && isPunct(T[I + 1], "{")) {
-      Body = I + 1;
-      S.Name = "<lambda>";
-      S.Line = T[I].Line;
-    } else {
-      continue;
-    }
-    if (Body != SIZE_MAX && !BodyStart.count(Body))
-      BodyStart.emplace(Body, std::move(S));
-  }
-
-  // Pass B: attribute each token to the innermost enclosing scope.
-  std::vector<Scope> Done;
-  struct Active {
-    Scope S;
-    int BodyDepth;
-  };
-  std::vector<Active> Stack;
-  int Depth = 0;
-  for (size_t I = 0; I < T.size(); ++I) {
-    if (isPunct(T[I], "{")) {
-      ++Depth;
-      auto It = BodyStart.find(I);
-      if (It != BodyStart.end()) {
-        Stack.push_back({std::move(It->second), Depth});
-        continue;
-      }
-    } else if (isPunct(T[I], "}")) {
-      if (!Stack.empty() && Stack.back().BodyDepth == Depth) {
-        Done.push_back(std::move(Stack.back().S));
-        Stack.pop_back();
-        --Depth;
-        continue;
-      }
-      --Depth;
-    }
-    if (!Stack.empty())
-      Stack.back().S.OwnToks.push_back(I);
-  }
-  while (!Stack.empty()) { // unterminated at EOF: keep what we saw
-    Done.push_back(std::move(Stack.back().S));
-    Stack.pop_back();
-  }
-  return Done;
-}
-
-} // namespace
 
 //===----------------------------------------------------------------------===//
 // Pass 1: global index
@@ -431,24 +207,16 @@ private:
   std::vector<Scope> Scopes;
   std::vector<Finding> Findings;
 
-  bool suppressed(const std::string &Id, unsigned Line) const {
-    // A suppression comment covers its own line and the next one, so
-    // both trailing (`code; // dope-lint: allow(X)`) and leading
-    // (comment-above) placements work.
-    for (unsigned L : {Line, Line ? Line - 1 : 0}) {
-      auto It = File.Lex.Suppressions.find(L);
-      if (It != File.Lex.Suppressions.end() &&
-          (It->second.count(Id) || It->second.count("all")))
-        return true;
-    }
-    return false;
-  }
-
   void report(const char *Id, unsigned Line, std::string Message) {
-    if (Opts.Disabled.count(Id) || suppressed(Id, Line))
+    if (Opts.Disabled.count(Id) || isSuppressed(File, Id, Line))
       return;
-    Findings.push_back({Id, severityOf(Id), File.Path, Line,
-                        std::move(Message)});
+    Finding F;
+    F.CheckId = Id;
+    F.Severity = severityOf(Id);
+    F.File = File.Path;
+    F.Line = Line;
+    F.Message = std::move(Message);
+    Findings.push_back(std::move(F));
   }
 
   //===--------------------------------------------------------------===//
@@ -483,71 +251,53 @@ private:
   // HP001 / HP002 / HP003
   //===--------------------------------------------------------------===//
 
-  void checkHotPurity(const Scope &S) {
-    static const std::set<std::string> LockTypes = {
-        "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
-    static const std::set<std::string> LockCalls = {
-        "lock", "try_lock", "lock_shared", "try_lock_shared"};
-    static const std::set<std::string> PthreadLocks = {
-        "pthread_mutex_lock", "pthread_spin_lock", "pthread_rwlock_rdlock",
-        "pthread_rwlock_wrlock"};
-    static const std::set<std::string> Allocs = {
-        "make_unique", "make_shared", "malloc", "calloc", "realloc"};
-    // Blocking waits: a DOPE_HOT scheduler body (deque push/pop/steal,
-    // spawn/tryAcquire sweeps) must stay wait-free — parking belongs in
-    // a dedicated cold entry point (e.g. StealScheduler::parkUntilWork).
-    static const std::set<std::string> BlockingCalls = {
-        "wait", "wait_for", "wait_until", "waitAndPop"};
-    // Amortized-growth members: owner-side fast paths may not grow
-    // containers inline; ring growth must live in a cold helper (see
-    // ChaseLevDeque::grow).
-    static const std::set<std::string> GrowthCalls = {
-        "push_back", "emplace_back", "resize", "reserve"};
+  /// Renders one direct-body impurity as its HP001/HP002 finding. The
+  /// detectors (and message wording) are shared with HP004's
+  /// transitive walk via classifyImpurity.
+  void reportImpurity(const std::string &FnName, const Impurity &Imp) {
+    const bool MemberCall = !Imp.Detail.empty() && Imp.Detail[0] == '.';
+    switch (Imp.Kind) {
+    case ImpurityKind::Lock:
+      if (MemberCall)
+        report("HP001", Imp.Line,
+               "hot path '" + FnName + "' calls " + Imp.Detail +
+                   "; DOPE_HOT monitoring paths must stay lock-free");
+      else
+        report("HP001", Imp.Line,
+               "hot path '" + FnName + "' acquires a lock via '" +
+                   Imp.Detail +
+                   "'; DOPE_HOT monitoring paths must stay lock-free "
+                   "(mirror state into relaxed atomics instead)");
+      break;
+    case ImpurityKind::Blocking:
+      report("HP001", Imp.Line,
+             "hot path '" + FnName + "' blocks in " + Imp.Detail +
+                 "; DOPE_HOT scheduler paths must stay wait-free "
+                 "(park in a dedicated cold entry point instead)");
+      break;
+    case ImpurityKind::Growth:
+      report("HP002", Imp.Line,
+             "hot path '" + FnName + "' grows a container via " +
+                 Imp.Detail +
+                 "; DOPE_HOT paths must pre-size storage and keep "
+                 "growth in a cold helper");
+      break;
+    case ImpurityKind::Alloc:
+      report("HP002", Imp.Line,
+             "hot path '" + FnName + "' allocates via '" + Imp.Detail +
+                 "'; DOPE_HOT paths run per task instance and must "
+                 "not hit the allocator");
+      break;
+    }
+  }
 
+  void checkHotPurity(const Scope &S) {
     for (size_t Idx : S.OwnToks) {
       const Token &Tok = T[Idx];
       if (Tok.Kind != TokKind::Ident)
         continue;
-      if (LockTypes.count(Tok.Text) || PthreadLocks.count(Tok.Text)) {
-        report("HP001", Tok.Line,
-               "hot path '" + S.Name + "' acquires a lock via '" +
-                   Tok.Text +
-                   "'; DOPE_HOT monitoring paths must stay lock-free "
-                   "(mirror state into relaxed atomics instead)");
-        continue;
-      }
-      if (LockCalls.count(Tok.Text) && Idx > 0 && Idx + 1 < T.size() &&
-          (isPunct(T[Idx - 1], ".") || isPunct(T[Idx - 1], "->")) &&
-          isPunct(T[Idx + 1], "(")) {
-        report("HP001", Tok.Line,
-               "hot path '" + S.Name + "' calls ." + Tok.Text +
-                   "(); DOPE_HOT monitoring paths must stay lock-free");
-        continue;
-      }
-      if (BlockingCalls.count(Tok.Text) && Idx > 0 && Idx + 1 < T.size() &&
-          (isPunct(T[Idx - 1], ".") || isPunct(T[Idx - 1], "->")) &&
-          isPunct(T[Idx + 1], "(")) {
-        report("HP001", Tok.Line,
-               "hot path '" + S.Name + "' blocks in ." + Tok.Text +
-                   "(); DOPE_HOT scheduler paths must stay wait-free "
-                   "(park in a dedicated cold entry point instead)");
-        continue;
-      }
-      if (GrowthCalls.count(Tok.Text) && Idx > 0 && Idx + 1 < T.size() &&
-          (isPunct(T[Idx - 1], ".") || isPunct(T[Idx - 1], "->")) &&
-          isPunct(T[Idx + 1], "(")) {
-        report("HP002", Tok.Line,
-               "hot path '" + S.Name + "' grows a container via ." +
-                   Tok.Text +
-                   "(); DOPE_HOT paths must pre-size storage and keep "
-                   "growth in a cold helper");
-        continue;
-      }
-      if (Tok.Text == "new" || Allocs.count(Tok.Text)) {
-        report("HP002", Tok.Line,
-               "hot path '" + S.Name + "' allocates via '" + Tok.Text +
-                   "'; DOPE_HOT paths run per task instance and must "
-                   "not hit the allocator");
+      if (std::optional<Impurity> Imp = classifyImpurity(T, Idx)) {
+        reportImpurity(S.Name, *Imp);
         continue;
       }
       // Call to a known virtual that is neither DOPE_HOT nor shadowed
@@ -774,4 +524,193 @@ std::vector<Finding> dopelint::runChecks(const FileTokens &File,
                                          const GlobalIndex &Index,
                                          const CheckOptions &Opts) {
   return FileChecker(File, Index, Opts).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Shared suppression lookup
+//===----------------------------------------------------------------------===//
+
+bool dopelint::isSuppressed(const FileTokens &File, const std::string &Id,
+                            unsigned Line) {
+  // A suppression comment covers its own line and the next one, so
+  // both trailing (`code; // dope-lint: allow(X)`) and leading
+  // (comment-above) placements work.
+  for (unsigned L : {Line, Line ? Line - 1 : 0}) {
+    auto It = File.Lex.Suppressions.find(L);
+    if (It != File.Lex.Suppressions.end() &&
+        (It->second.count(Id) || It->second.count("all")))
+      return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 3: whole-program checks (HP004, LK001/LK002, MO001/MO002)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string baseOf(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  return Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+}
+
+/// `// dope-lint: mo-proof(anchor)` on the op's line or the line above.
+bool hasMoProof(const FileTokens &File, unsigned Line) {
+  for (unsigned L : {Line, Line ? Line - 1 : 0})
+    if (File.Lex.MoProofs.count(L))
+      return true;
+  return false;
+}
+
+/// HP004: depth-first walk from every DOPE_HOT root through resolvable
+/// calls. DOPE_HOT callees are skipped (they are checked as their own
+/// roots) and DOPE_COLD callees terminate the walk — that is the
+/// sanctioned way to hang a slow path off a hot one. The finding is
+/// anchored at the root's call site so `// dope-lint: allow(HP004)`
+/// placed there documents a reviewed exception.
+void runHotTransitive(const CallGraph &CG, std::vector<Finding> &Out) {
+  for (const FnNode &Root : CG.nodes()) {
+    if (!Root.Def->Hot || Root.Def->Name == "<lambda>")
+      continue;
+    std::set<const FnNode *> Visited;
+    std::function<void(const FnNode &, const std::vector<ChainFrame> &,
+                       unsigned)>
+        Walk = [&](const FnNode &N, const std::vector<ChainFrame> &Chain,
+                   unsigned RootSite) {
+          for (const CallSite &C : N.Calls) {
+            const FnNode *Target = CG.resolve(C.Callee, N.Def->Qual, &N);
+            if (!Target || Target->Def->Hot || Target->Def->Cold)
+              continue;
+            if (!Visited.insert(Target).second)
+              continue;
+            std::vector<ChainFrame> Next = Chain;
+            Next.push_back({N.Def->Name, N.File->Path, C.Line});
+            unsigned Anchor = RootSite ? RootSite : C.Line;
+            if (!Target->Impurities.empty()) {
+              const Impurity &Imp = Target->Impurities.front();
+              std::string Path;
+              for (const ChainFrame &F : Next)
+                Path += F.Symbol + " -> ";
+              Path += Target->Def->Name;
+              Finding F;
+              F.CheckId = "HP004";
+              F.File = Root.File->Path;
+              F.Line = Anchor;
+              F.Message =
+                  "hot path '" + Root.Def->Name + "' reaches " +
+                  impurityNoun(Imp.Kind) + " via " + Path + " ('" +
+                  Imp.Detail + "' at " + baseOf(Target->File->Path) + ":" +
+                  std::to_string(Imp.Line) +
+                  "); DOPE_HOT paths must stay pure through every callee "
+                  "— mark a reviewed slow path DOPE_COLD or hoist the "
+                  "impurity out (--explain shows the chain)";
+              F.Chain = Next;
+              F.Chain.push_back(
+                  {Target->Def->Name, Target->File->Path, Imp.Line});
+              Out.push_back(std::move(F));
+            }
+            Walk(*Target, Next, Anchor);
+          }
+        };
+    Walk(Root, {}, 0);
+  }
+}
+
+/// MO001 / MO002 over the whole-program atomics index.
+void runMemoryOrderChecks(const std::vector<FileTokens> &Files,
+                          const CallGraph &CG, std::vector<Finding> &Out) {
+  std::vector<AtomicOp> Ops = collectAtomicOps(Files, CG);
+  std::map<std::string, std::set<std::string>> OrdersByKey;
+  for (const AtomicOp &Op : Ops)
+    OrdersByKey[Op.Key].insert(Op.Order);
+  static const std::set<std::string> Strong = {"acquire", "release",
+                                               "acq_rel", "seq_cst",
+                                               "consume"};
+  for (const AtomicOp &Op : Ops) {
+    if (Op.Op.rfind("compare_exchange", 0) == 0 && !Op.FailOrder.empty() &&
+        Op.FailOrder != Op.Order && !hasMoProof(*Op.File, Op.Line)) {
+      Finding F;
+      F.CheckId = "MO002";
+      F.File = Op.File->Path;
+      F.Line = Op.Line;
+      F.Message =
+          "atomic '" + Op.Member + "' " + Op.Op + " uses " + Op.Order +
+          " on success but " + Op.FailOrder +
+          " on failure; split CAS orders need a written argument — "
+          "annotate '// dope-lint: mo-proof(<DESIGN.md anchor>)' after "
+          "review, or use one order";
+      Out.push_back(std::move(F));
+    }
+    if (Op.Order != "relaxed")
+      continue;
+    std::string Stronger;
+    for (const std::string &O : OrdersByKey[Op.Key])
+      if (Strong.count(O))
+        Stronger += (Stronger.empty() ? "" : "/") + O;
+    if (Stronger.empty())
+      continue;
+    // A fence anywhere in the enclosing body is the classic
+    // fence-then-relaxed idiom (Chase-Lev): exempt.
+    if (Op.Enclosing) {
+      bool Fenced = false;
+      for (size_t Idx : Op.Enclosing->OwnToks)
+        if (isIdent(Op.File->Lex.Tokens[Idx], "atomic_thread_fence"))
+          Fenced = true;
+      if (Fenced)
+        continue;
+    }
+    if (hasMoProof(*Op.File, Op.Line))
+      continue;
+    Finding F;
+    F.CheckId = "MO001";
+    F.File = Op.File->Path;
+    F.Line = Op.Line;
+    F.Message =
+        "relaxed " + Op.Op + " on atomic '" + Op.Member + "' ('" + Op.Key +
+        "'), which elsewhere uses " + Stronger +
+        "; mixed orders without an adjacent fence need a written "
+        "argument — annotate '// dope-lint: mo-proof(<DESIGN.md "
+        "anchor>)' after review, or align the orders";
+    Out.push_back(std::move(F));
+  }
+}
+
+} // namespace
+
+std::vector<Finding>
+dopelint::runGlobalChecks(const std::vector<FileTokens> &Files,
+                          const GlobalIndex &Index,
+                          const CheckOptions &Opts) {
+  (void)Index;
+  CallGraph CG(Files);
+  std::vector<Finding> All;
+  runHotTransitive(CG, All);
+  for (Finding &F : analyzeLocks(Files, CG))
+    All.push_back(std::move(F));
+  runMemoryOrderChecks(Files, CG, All);
+
+  std::map<std::string, const FileTokens *> ByPath;
+  for (const FileTokens &F : Files)
+    ByPath[F.Path] = &F;
+  std::vector<Finding> Out;
+  for (Finding &F : All) {
+    F.Severity = severityOf(F.CheckId);
+    if (Opts.Disabled.count(F.CheckId))
+      continue;
+    auto It = ByPath.find(F.File);
+    if (It != ByPath.end() && isSuppressed(*It->second, F.CheckId, F.Line))
+      continue;
+    Out.push_back(std::move(F));
+  }
+  std::sort(Out.begin(), Out.end(), [](const Finding &A, const Finding &B) {
+    if (A.File != B.File)
+      return A.File < B.File;
+    if (A.Line != B.Line)
+      return A.Line < B.Line;
+    if (A.CheckId != B.CheckId)
+      return A.CheckId < B.CheckId;
+    return A.Message < B.Message;
+  });
+  return Out;
 }

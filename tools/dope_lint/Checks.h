@@ -29,6 +29,21 @@
 ///   TS002 trace-kind-switch    defaultless switch over TraceKind not
 ///                              covering every enumerator
 ///
+/// Interprocedural checks (CallGraph.h / LockGraph.h):
+///
+///   HP004 hot-path-transitive  DOPE_HOT body *reaches* a lock /
+///                              allocation / blocking wait / container
+///                              growth through a call chain (stops at
+///                              DOPE_COLD and DOPE_HOT callees)
+///   LK001 lock-order-cycle     cycle in the lock-acquisition graph —
+///                              a potential deadlock
+///   LK002 lock-across-blocking lock held across a blocking call
+///   MO001 atomic-order-mix     relaxed op on an atomic that elsewhere
+///                              uses acquire/release/seq_cst, with no
+///                              fence in the function and no mo-proof
+///   MO002 cas-order-split      compare_exchange with differing
+///                              success/failure orders, no mo-proof
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DOPE_TOOLS_LINT_CHECKS_H
@@ -52,12 +67,24 @@ struct CheckInfo {
 /// The full check table, in ID order.
 const std::vector<CheckInfo> &allChecks();
 
+/// One step of interprocedural evidence: a function (or lock edge) and
+/// the site that links it into the chain.
+struct ChainFrame {
+  std::string Symbol; ///< Function name or "LockA -> LockB" edge.
+  std::string File;
+  unsigned Line = 0;
+};
+
 struct Finding {
   std::string CheckId;
   std::string Severity;
   std::string File;
   unsigned Line = 0;
   std::string Message;
+  /// Interprocedural evidence (HP004 call chains, LK001 witness edges,
+  /// LK002 blocking paths). Empty for per-body findings. Printed by
+  /// --explain and carried in the JSON `chain` array.
+  std::vector<ChainFrame> Chain;
 };
 
 /// One scanned file: path plus its token stream.
@@ -96,6 +123,18 @@ struct CheckOptions {
 std::vector<Finding> runChecks(const FileTokens &File,
                                const GlobalIndex &Index,
                                const CheckOptions &Opts);
+
+/// Runs the whole-program checks (HP004, LK001/LK002, MO001/MO002)
+/// over the full scanned set. --allow and `// dope-lint: allow(ID)` /
+/// `mo-proof(...)` markers are honored exactly as in runChecks.
+std::vector<Finding> runGlobalChecks(const std::vector<FileTokens> &Files,
+                                     const GlobalIndex &Index,
+                                     const CheckOptions &Opts);
+
+/// Shared suppression lookup: `// dope-lint: allow(ID)` on the
+/// finding's line or the line above.
+bool isSuppressed(const FileTokens &File, const std::string &Id,
+                  unsigned Line);
 
 /// True when \p Path is an allowed home for raw clock / RNG primitives
 /// (support/Clock.h, core/Clock.h forwarder, support/Random.*).

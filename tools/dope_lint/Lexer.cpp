@@ -29,21 +29,31 @@ constexpr const char *MultiPunct[] = {
     "==",  "!=",  "&&",  "||",  "++", "--", "+=", "-=", "*=", "/=", "%=",
     "&=",  "|=",  "^=",  ".*",  "##"};
 
-/// Parses a `dope-lint: allow(A,B)` marker out of comment text; returns
-/// the listed IDs (possibly "all"), empty when the marker is absent.
-std::set<std::string> parseSuppression(const std::string &Comment) {
-  std::set<std::string> Ids;
+/// Parses a `dope-lint: <verb>(...)` marker out of comment text. Two
+/// verbs exist: `allow(A,B)` fills \p Ids with the listed check IDs
+/// (possibly "all"); `mo-proof(anchor)` fills \p MoProof with the cited
+/// DESIGN.md anchor. Both stay empty when no marker is present.
+void parseMarkers(const std::string &Comment, std::set<std::string> &Ids,
+                  std::string &MoProof) {
   const char *Marker = "dope-lint:";
   size_t Pos = Comment.find(Marker);
   if (Pos == std::string::npos)
-    return Ids;
+    return;
   Pos += std::strlen(Marker);
   while (Pos < Comment.size() && std::isspace((unsigned char)Comment[Pos]))
     ++Pos;
-  const char *Verb = "allow(";
-  if (Comment.compare(Pos, std::strlen(Verb), Verb) != 0)
-    return Ids;
-  Pos += std::strlen(Verb);
+  const char *Allow = "allow(";
+  const char *Proof = "mo-proof(";
+  if (Comment.compare(Pos, std::strlen(Proof), Proof) == 0) {
+    Pos += std::strlen(Proof);
+    for (; Pos < Comment.size() && Comment[Pos] != ')'; ++Pos)
+      if (!std::isspace((unsigned char)Comment[Pos]))
+        MoProof += Comment[Pos];
+    return;
+  }
+  if (Comment.compare(Pos, std::strlen(Allow), Allow) != 0)
+    return;
+  Pos += std::strlen(Allow);
   std::string Cur;
   for (; Pos < Comment.size(); ++Pos) {
     char C = Comment[Pos];
@@ -57,7 +67,6 @@ std::set<std::string> parseSuppression(const std::string &Comment) {
       Cur += C;
     }
   }
-  return Ids;
 }
 
 class LexerImpl {
@@ -105,9 +114,13 @@ private:
   }
 
   void noteSuppression(const std::string &Comment, unsigned AtLine) {
-    std::set<std::string> Ids = parseSuppression(Comment);
+    std::set<std::string> Ids;
+    std::string MoProof;
+    parseMarkers(Comment, Ids, MoProof);
     if (!Ids.empty())
       Out.Suppressions[AtLine].insert(Ids.begin(), Ids.end());
+    if (!MoProof.empty())
+      Out.MoProofs[AtLine] = MoProof;
   }
 
   void step() {

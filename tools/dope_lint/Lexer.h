@@ -15,8 +15,9 @@
 ///
 /// Handled: // and /* */ comments, string/char literals (with escapes),
 /// raw strings R"delim(...)delim", preprocessor directives (tokens are
-/// kept but flagged InPP, including backslash-continued lines), and
-/// `// dope-lint: allow(ID[,ID...])` suppression comments.
+/// kept but flagged InPP, including backslash-continued lines),
+/// `// dope-lint: allow(ID[,ID...])` suppression comments, and
+/// `// dope-lint: mo-proof(<anchor>)` reviewed-memory-order markers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +52,11 @@ struct LexOutput {
   /// Line -> check IDs suppressed on that line via
   /// `// dope-lint: allow(DL001)`. The ID "all" suppresses everything.
   std::map<unsigned, std::set<std::string>> Suppressions;
+  /// Line -> DESIGN.md anchor cited via `// dope-lint: mo-proof(...)`.
+  /// Unlike allow(), the marker is an *acknowledgement*: the MO checks
+  /// accept a relaxed/mixed ordering only when the author points at the
+  /// written argument for it. Empty anchors are ignored.
+  std::map<unsigned, std::string> MoProofs;
 };
 
 /// Tokenizes \p Source. Never fails: unrecognized bytes become

@@ -41,6 +41,8 @@ void appendToken(CXTranslationUnit TU, CXToken CTok, LexOutput &Out) {
       for (const auto &Entry : Tmp.Suppressions)
         Out.Suppressions[Line].insert(Entry.second.begin(),
                                       Entry.second.end());
+      for (const auto &Entry : Tmp.MoProofs)
+        Out.MoProofs[Line] = Entry.second;
     }
     break;
   }

@@ -1,0 +1,628 @@
+//===- tools/dope_lint/LockGraph.cpp - Static lock-order analysis ----------===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "LockGraph.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+using namespace dopelint;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Vocabulary
+//===----------------------------------------------------------------------===//
+
+const std::set<std::string> &guardTypes() {
+  static const std::set<std::string> S = {"lock_guard", "unique_lock",
+                                          "scoped_lock", "shared_lock"};
+  return S;
+}
+
+const std::set<std::string> &mutexTypes() {
+  static const std::set<std::string> S = {
+      "mutex",       "shared_mutex",          "recursive_mutex",
+      "timed_mutex", "recursive_timed_mutex", "shared_timed_mutex"};
+  return S;
+}
+
+/// Tag arguments to guard constructors that are not mutex expressions.
+const std::set<std::string> &lockTags() {
+  static const std::set<std::string> S = {"adopt_lock", "defer_lock",
+                                          "try_to_lock"};
+  return S;
+}
+
+/// Calls that park the calling thread. `.wait*` mirrors the HP002
+/// blocking set; join / sleep_* matter here because holding a lock
+/// across them stalls every contender, hot or not.
+const std::set<std::string> &blockingNames() {
+  static const std::set<std::string> S = {
+      "wait",       "wait_for", "wait_until", "waitAndPop",
+      "join",       "sleep_for", "sleep_until"};
+  return S;
+}
+
+bool memberPrefixed(const std::vector<Token> &T, size_t I) {
+  return I > 0 && (isPunct(T[I - 1], ".") || isPunct(T[I - 1], "->") ||
+                   isPunct(T[I - 1], "::"));
+}
+
+/// Human name for a key: `Class::Member`, or the text before '@' for
+/// opaque per-site keys.
+std::string displayOf(const std::string &Key) {
+  size_t At = Key.find('@');
+  return At == std::string::npos ? Key : Key.substr(0, At);
+}
+
+//===----------------------------------------------------------------------===//
+// Mutex declaration index
+//===----------------------------------------------------------------------===//
+
+/// `std::mutex Name` (and friends) declarations, whole-program, keyed
+/// by bare member name -> set of class-qualified keys.
+std::map<std::string, std::set<std::string>>
+indexMutexDecls(const std::vector<FileTokens> &Files) {
+  std::map<std::string, std::set<std::string>> Decls;
+  for (const FileTokens &File : Files) {
+    const std::vector<Token> &T = File.Lex.Tokens;
+    ClassRegions Classes(T);
+    std::string Stem = fileStem(File.Path);
+    for (size_t I = 0; I + 2 < T.size(); ++I) {
+      if (T[I].Kind != TokKind::Ident || T[I].InPP ||
+          !mutexTypes().count(T[I].Text))
+        continue;
+      if (T[I + 1].Kind != TokKind::Ident)
+        continue;
+      // `;` / `{` / `=` / `,` end a declarator; a following identifier
+      // is an annotation macro (DOPE_ACQUIRED_BEFORE etc.). `(` would
+      // be a function returning a mutex — not a declaration.
+      const Token &After = T[I + 2];
+      bool DeclTail = isPunct(After, ";") || isPunct(After, "{") ||
+                      isPunct(After, "=") || isPunct(After, ",") ||
+                      After.Kind == TokKind::Ident;
+      if (!DeclTail)
+        continue;
+      std::string Qual = Classes.enclosing(I);
+      if (Qual.empty())
+        Qual = Stem;
+      Decls[T[I + 1].Text].insert(Qual + "::" + T[I + 1].Text);
+    }
+  }
+  return Decls;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-function lock walk
+//===----------------------------------------------------------------------===//
+
+struct Acq {
+  std::string Key;
+  unsigned Line = 0;
+};
+
+struct HeldLock {
+  std::string Key;
+  std::string Var; ///< Guard variable / receiver; empty for capabilities.
+  unsigned Line = 0;
+  int Depth = 0;      ///< Brace depth at acquisition; -1 = held on entry.
+  size_t Group = 0;   ///< Token index of the declaring guard; edges are
+                      ///< not drawn between locks of one scoped_lock.
+};
+
+struct HeldCall {
+  std::string Callee;
+  unsigned Line = 0;
+  std::vector<HeldLock> Held; ///< Snapshot at the call site.
+};
+
+struct LockEdge {
+  std::string From, To;
+  std::string File;     ///< Witness file (basename'd by the caller).
+  unsigned Line = 0;
+  std::string Holder;   ///< Function holding From when To was acquired.
+  std::string Via;      ///< Callee name for interprocedural edges.
+};
+
+/// Everything analyzeLocks learns about one function body.
+struct NodeLockInfo {
+  std::vector<Acq> Direct;       ///< Locks this body acquires itself.
+  bool Blocks = false;           ///< Direct blocking call in the body.
+  unsigned BlockLine = 0;
+  std::string BlockDetail;       ///< ".wait_for()" etc., first site.
+  std::vector<HeldCall> HeldCalls;
+};
+
+class LockAnalysis {
+public:
+  LockAnalysis(const std::vector<FileTokens> &Files, const CallGraph &CG)
+      : CG(CG), Decls(indexMutexDecls(Files)) {
+    for (const FnNode &N : CG.nodes())
+      walk(N);
+    closeOverCalls();
+    findCycles();
+  }
+
+  std::vector<Finding> take() { return std::move(Findings); }
+
+private:
+  const CallGraph &CG;
+  std::map<std::string, std::set<std::string>> Decls;
+  std::map<const FnNode *, NodeLockInfo> Info;
+  std::vector<LockEdge> Edges;
+  std::vector<Finding> Findings;
+
+  /// Resolves a bare-identifier mutex expression from inside \p Qual.
+  std::string resolveBareKey(const std::string &Member,
+                             const std::string &Qual) {
+    std::string Qualified = Qual + "::" + Member;
+    auto It = Decls.find(Member);
+    if (It != Decls.end()) {
+      if (It->second.count(Qualified))
+        return Qualified;
+      if (It->second.size() == 1)
+        return *It->second.begin();
+    }
+    // Undeclared (local mutex, reference parameter): synthesize a
+    // caller-scoped key so intra-function ordering is still tracked.
+    return Qualified;
+  }
+
+  /// Resolves `Expr.Member` / `Expr->Member`: a unique declaration of
+  /// that member name wins; otherwise an opaque per-site key that can
+  /// participate in LK002 but never fabricates a cross-function cycle.
+  std::string resolveMemberKey(const std::string &Member,
+                               const std::string &Path, unsigned Line) {
+    auto It = Decls.find(Member);
+    if (It != Decls.end() && It->second.size() == 1)
+      return *It->second.begin();
+    return Member + "@" + fileStem(Path) + ":" + std::to_string(Line);
+  }
+
+  void noteAcquire(const FnNode &N, std::vector<HeldLock> &Held,
+                   const std::string &Key, const std::string &Var,
+                   unsigned Line, int Depth, size_t Group) {
+    const std::string &Path = N.File->Path;
+    for (const HeldLock &H : Held) {
+      if (H.Group == Group && Group != 0)
+        continue; // one scoped_lock acquires its args atomically
+      if (H.Key == Key) {
+        Finding F;
+        F.CheckId = "LK001";
+        F.File = Path;
+        F.Line = Line;
+        F.Message = "function '" + N.Def->Name + "' re-acquires '" +
+                    displayOf(Key) + "' already held since line " +
+                    std::to_string(H.Line) +
+                    "; a non-recursive mutex self-deadlocks here";
+        F.Chain.push_back({N.Def->Name, Path, H.Line});
+        F.Chain.push_back({N.Def->Name, Path, Line});
+        Findings.push_back(std::move(F));
+        continue;
+      }
+      Edges.push_back({H.Key, Key, Path, Line, N.Def->Name, ""});
+    }
+    Info[&N].Direct.push_back({Key, Line});
+    Held.push_back({Key, Var, Line, Depth, Group});
+  }
+
+  /// Splits a guard-constructor argument list into top-level argument
+  /// token ranges.
+  std::vector<std::pair<size_t, size_t>>
+  splitArgs(const std::vector<Token> &T, size_t Open, size_t Close) {
+    std::vector<std::pair<size_t, size_t>> Args;
+    size_t Start = Open + 1;
+    int Depth = 0;
+    for (size_t I = Open + 1; I < Close; ++I) {
+      if (isPunct(T[I], "(") || isPunct(T[I], "{") || isPunct(T[I], "[") ||
+          isPunct(T[I], "<"))
+        ++Depth;
+      else if (isPunct(T[I], ")") || isPunct(T[I], "}") ||
+               isPunct(T[I], "]") || isPunct(T[I], ">"))
+        --Depth;
+      else if (isPunct(T[I], ",") && Depth == 0) {
+        Args.push_back({Start, I});
+        Start = I + 1;
+      }
+    }
+    if (Start < Close)
+      Args.push_back({Start, Close});
+    return Args;
+  }
+
+  /// The mutex key named by one guard-constructor argument, or empty
+  /// for tag arguments (std::defer_lock and friends).
+  std::string argKey(const FnNode &N, const std::vector<Token> &T,
+                     size_t Begin, size_t End) {
+    size_t Last = SIZE_MAX;
+    for (size_t I = Begin; I < End; ++I)
+      if (T[I].Kind == TokKind::Ident)
+        Last = I;
+    if (Last == SIZE_MAX || lockTags().count(T[Last].Text))
+      return "";
+    bool MemberAccess =
+        Last > Begin &&
+        (isPunct(T[Last - 1], ".") || isPunct(T[Last - 1], "->")) &&
+        !(Last >= 2 && isIdent(T[Last - 2], "this"));
+    if (MemberAccess)
+      return resolveMemberKey(T[Last].Text, N.File->Path, T[Last].Line);
+    return resolveBareKey(T[Last].Text, N.Def->Qual);
+  }
+
+  void walk(const FnNode &N) {
+    const Scope &S = *N.Def;
+    if (S.Name == "<lambda>")
+      return; // lambdas run under their enclosing function's analysis
+    const std::vector<Token> &T = N.File->Lex.Tokens;
+    NodeLockInfo &NI = Info[&N];
+    std::vector<HeldLock> Held;
+    for (const std::string &Cap : S.RequiresCaps)
+      Held.push_back({resolveBareKey(Cap, S.Qual), "", S.Line, -1, 0});
+
+    int Depth = 0;
+    size_t SkipUntil = 0; // guard-decl argument tokens, already consumed
+    for (size_t P = 0; P < S.OwnToks.size(); ++P) {
+      size_t I = S.OwnToks[P];
+      const Token &Tok = T[I];
+      if (isPunct(Tok, "{")) {
+        ++Depth;
+        continue;
+      }
+      if (isPunct(Tok, "}")) {
+        --Depth;
+        Held.erase(std::remove_if(Held.begin(), Held.end(),
+                                  [&](const HeldLock &H) {
+                                    return H.Depth > Depth;
+                                  }),
+                   Held.end());
+        continue;
+      }
+      if (I < SkipUntil || Tok.Kind != TokKind::Ident || Tok.InPP)
+        continue;
+
+      // Guard declaration: lock_guard<...> Var(Mu [, Mu2...]);
+      if (guardTypes().count(Tok.Text)) {
+        size_t J = I + 1;
+        if (J < T.size() && isPunct(T[J], "<"))
+          J = matchForward(T, J, "<", ">") + 1;
+        if (J + 1 >= T.size() || T[J].Kind != TokKind::Ident)
+          continue;
+        std::string Var = T[J].Text;
+        const char *Open = isPunct(T[J + 1], "(")   ? "("
+                           : isPunct(T[J + 1], "{") ? "{"
+                                                    : nullptr;
+        if (!Open)
+          continue; // deferred guard with no mutex
+        size_t Close =
+            matchForward(T, J + 1, Open, Open[0] == '(' ? ")" : "}");
+        bool Defer = false;
+        for (size_t K = J + 2; K < Close && K < T.size(); ++K)
+          if (isIdent(T[K], "defer_lock"))
+            Defer = true;
+        if (!Defer)
+          for (auto [B, E] : splitArgs(T, J + 1, Close)) {
+            std::string Key = argKey(N, T, B, E);
+            if (!Key.empty())
+              noteAcquire(N, Held, Key, Var, Tok.Line, Depth, I);
+          }
+        SkipUntil = Close + 1;
+        continue;
+      }
+
+      // Explicit Mu.lock() / Guard.unlock().
+      if ((Tok.Text == "lock" || Tok.Text == "unlock") && I > 1 &&
+          (isPunct(T[I - 1], ".") || isPunct(T[I - 1], "->")) &&
+          I + 1 < T.size() && isPunct(T[I + 1], "(") &&
+          T[I - 2].Kind == TokKind::Ident) {
+        std::string Recv = T[I - 2].Text;
+        if (Tok.Text == "unlock") {
+          for (size_t K = Held.size(); K-- > 0;)
+            if (Held[K].Var == Recv) {
+              Held.erase(Held.begin() + static_cast<long>(K));
+              break;
+            }
+        } else {
+          bool Rearm = false;
+          for (const HeldLock &H : Held)
+            if (!H.Var.empty() && H.Var == Recv)
+              Rearm = true; // a deferred/unlocked guard re-locking
+          if (!Rearm) {
+            bool MemberAccess = I > 3 &&
+                                (isPunct(T[I - 3], ".") ||
+                                 isPunct(T[I - 3], "->")) &&
+                                !isIdent(T[I - 4], "this");
+            std::string Key =
+                MemberAccess
+                    ? resolveMemberKey(Recv, N.File->Path, Tok.Line)
+                    : resolveBareKey(Recv, S.Qual);
+            noteAcquire(N, Held, Key, Recv, Tok.Line, Depth, 0);
+          }
+        }
+        SkipUntil = I + 2;
+        continue;
+      }
+
+      // Blocking call.
+      if (blockingNames().count(Tok.Text) && memberPrefixed(T, I) &&
+          I + 1 < T.size() && isPunct(T[I + 1], "(")) {
+        std::string Detail = (isPunct(T[I - 1], "::") ? "" : ".") +
+                             Tok.Text + "()";
+        if (!NI.Blocks) {
+          NI.Blocks = true;
+          NI.BlockLine = Tok.Line;
+          NI.BlockDetail = Detail;
+        }
+        // Condition-variable waits release the unique_lock they are
+        // handed: exempt every guard named in the argument list.
+        std::set<std::string> Exempt;
+        if (Tok.Text == "wait" || Tok.Text == "wait_for" ||
+            Tok.Text == "wait_until") {
+          size_t Close = matchForward(T, I + 1, "(", ")");
+          for (size_t K = I + 2; K < Close && K < T.size(); ++K)
+            if (T[K].Kind == TokKind::Ident)
+              for (const HeldLock &H : Held)
+                if (!H.Var.empty() && H.Var == T[K].Text)
+                  Exempt.insert(H.Key);
+        }
+        for (const HeldLock &H : Held) {
+          if (Exempt.count(H.Key))
+            continue;
+          Finding F;
+          F.CheckId = "LK002";
+          F.File = N.File->Path;
+          F.Line = Tok.Line;
+          F.Message =
+              "function '" + S.Name + "' holds '" + displayOf(H.Key) +
+              "' (acquired at line " + std::to_string(H.Line) +
+              ") across blocking '" + Detail +
+              "'; every contender stalls behind the parked holder — "
+              "release the lock first (condition-variable waits are "
+              "exempt only when passed the owning unique_lock)";
+          F.Chain.push_back({S.Name, N.File->Path, H.Line});
+          F.Chain.push_back({S.Name, N.File->Path, Tok.Line});
+          Findings.push_back(std::move(F));
+        }
+        continue;
+      }
+
+      // Call site while holding locks (same candidate rules as the
+      // call graph, so closures and snapshots line up).
+      if (!Held.empty() && !isKeywordNoCall(Tok.Text) && I + 1 < T.size() &&
+          isPunct(T[I + 1], "(")) {
+        if (I > 0 && isPunct(T[I - 1], "~"))
+          continue;
+        if (I > 0 && T[I - 1].Kind == TokKind::Ident &&
+            !isKeywordNoCall(T[I - 1].Text))
+          continue; // `Type name(` declaration
+        if (I > 0 && (isPunct(T[I - 1], ".") || isPunct(T[I - 1], "->")) &&
+            isPrimitiveMemberOp(Tok.Text))
+          continue; // atomic/condvar primitive, not project code
+        NI.HeldCalls.push_back({Tok.Text, Tok.Line, Held});
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Interprocedural closure
+  //===--------------------------------------------------------------------===//
+
+  /// Transitive acquisition set of a node (memoized; in-progress nodes
+  /// contribute nothing, which terminates recursion).
+  std::map<const FnNode *, std::set<std::string>> AcqMemo;
+  std::set<const FnNode *> AcqInProgress;
+
+  const std::set<std::string> &transAcq(const FnNode *N) {
+    auto It = AcqMemo.find(N);
+    if (It != AcqMemo.end())
+      return It->second;
+    static const std::set<std::string> Empty;
+    if (!AcqInProgress.insert(N).second)
+      return Empty;
+    std::set<std::string> Out;
+    for (const Acq &A : Info[N].Direct)
+      Out.insert(A.Key);
+    for (const CallSite &C : N->Calls)
+      if (const FnNode *Target = CG.resolve(C.Callee, N->Def->Qual, N))
+        if (!AcqInProgress.count(Target)) {
+          const std::set<std::string> &Sub = transAcq(Target);
+          Out.insert(Sub.begin(), Sub.end());
+        }
+    AcqInProgress.erase(N);
+    return AcqMemo[N] = std::move(Out);
+  }
+
+  struct BlockPath {
+    std::vector<ChainFrame> Frames;
+    std::string Detail;
+  };
+  std::map<const FnNode *, std::optional<BlockPath>> BlockMemo;
+  std::set<const FnNode *> BlockInProgress;
+
+  /// Does \p N (transitively) block? Returns the witness chain.
+  const std::optional<BlockPath> &transBlock(const FnNode *N) {
+    auto It = BlockMemo.find(N);
+    if (It != BlockMemo.end())
+      return It->second;
+    static const std::optional<BlockPath> None;
+    if (!BlockInProgress.insert(N).second)
+      return None;
+    std::optional<BlockPath> Out;
+    const NodeLockInfo &NI = Info[N];
+    if (NI.Blocks) {
+      BlockPath P;
+      P.Frames.push_back({N->Def->Name, N->File->Path, NI.BlockLine});
+      P.Detail = NI.BlockDetail;
+      Out = std::move(P);
+    } else {
+      for (const CallSite &C : N->Calls) {
+        const FnNode *Target = CG.resolve(C.Callee, N->Def->Qual, N);
+        if (!Target || BlockInProgress.count(Target))
+          continue;
+        const std::optional<BlockPath> &Sub = transBlock(Target);
+        if (Sub) {
+          BlockPath P;
+          P.Frames.push_back({N->Def->Name, N->File->Path, C.Line});
+          P.Frames.insert(P.Frames.end(), Sub->Frames.begin(),
+                          Sub->Frames.end());
+          P.Detail = Sub->Detail;
+          Out = std::move(P);
+          break;
+        }
+      }
+    }
+    BlockInProgress.erase(N);
+    return BlockMemo[N] = std::move(Out);
+  }
+
+  void closeOverCalls() {
+    for (const FnNode &N : CG.nodes()) {
+      auto InfoIt = Info.find(&N);
+      if (InfoIt == Info.end())
+        continue;
+      for (const HeldCall &HC : InfoIt->second.HeldCalls) {
+        const FnNode *Target = CG.resolve(HC.Callee, N.Def->Qual, &N);
+        if (!Target)
+          continue;
+        // Edges: held -> everything the callee transitively acquires.
+        // A same-key interprocedural edge is skipped: "helper locks the
+        // same mutex" is usually a different instance (per-shard locks)
+        // and flagging it as self-deadlock would be a guess.
+        for (const std::string &Key : transAcq(Target))
+          for (const HeldLock &H : HC.Held)
+            if (H.Key != Key)
+              Edges.push_back(
+                  {H.Key, Key, N.File->Path, HC.Line, N.Def->Name, HC.Callee});
+        // LK002 through the call chain.
+        const std::optional<BlockPath> &BP = transBlock(Target);
+        if (!BP)
+          continue;
+        for (const HeldLock &H : HC.Held) {
+          Finding F;
+          F.CheckId = "LK002";
+          F.File = N.File->Path;
+          F.Line = HC.Line;
+          F.Message = "function '" + N.Def->Name + "' holds '" +
+                      displayOf(H.Key) + "' (acquired at line " +
+                      std::to_string(H.Line) + ") across a call to '" +
+                      HC.Callee + "', which blocks in '" + BP->Detail +
+                      "'; release the lock before calling into a "
+                      "blocking path (--explain shows the chain)";
+          F.Chain.push_back({N.Def->Name, N.File->Path, HC.Line});
+          F.Chain.insert(F.Chain.end(), BP->Frames.begin(),
+                         BP->Frames.end());
+          Findings.push_back(std::move(F));
+        }
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Cycle detection (LK001)
+  //===--------------------------------------------------------------------===//
+
+  void findCycles() {
+    // First witness per directed pair, deterministic.
+    std::map<std::pair<std::string, std::string>, const LockEdge *> Witness;
+    for (const LockEdge &E : Edges)
+      Witness.emplace(std::make_pair(E.From, E.To), &E);
+
+    std::map<std::string, std::vector<std::string>> Succ;
+    for (const auto &[Pair, E] : Witness)
+      Succ[Pair.first].push_back(Pair.second);
+
+    // Iterative Tarjan SCC over the (sorted, deterministic) key set.
+    std::map<std::string, int> Index, Low;
+    std::map<std::string, bool> OnStack;
+    std::vector<std::string> Stack;
+    int Next = 0;
+    std::vector<std::vector<std::string>> Cycles;
+
+    std::function<void(const std::string &)> Strong =
+        [&](const std::string &V) {
+          Index[V] = Low[V] = Next++;
+          Stack.push_back(V);
+          OnStack[V] = true;
+          for (const std::string &W : Succ[V]) {
+            if (!Index.count(W)) {
+              Strong(W);
+              Low[V] = std::min(Low[V], Low[W]);
+            } else if (OnStack[W]) {
+              Low[V] = std::min(Low[V], Index[W]);
+            }
+          }
+          if (Low[V] == Index[V]) {
+            std::vector<std::string> SCC;
+            while (true) {
+              std::string W = Stack.back();
+              Stack.pop_back();
+              OnStack[W] = false;
+              SCC.push_back(W);
+              if (W == V)
+                break;
+            }
+            if (SCC.size() >= 2) {
+              std::sort(SCC.begin(), SCC.end());
+              Cycles.push_back(std::move(SCC));
+            }
+          }
+        };
+    std::set<std::string> AllKeys;
+    for (const auto &[Pair, E] : Witness) {
+      AllKeys.insert(Pair.first);
+      AllKeys.insert(Pair.second);
+    }
+    for (const std::string &K : AllKeys)
+      if (!Index.count(K))
+        Strong(K);
+
+    std::sort(Cycles.begin(), Cycles.end());
+    for (const std::vector<std::string> &SCC : Cycles) {
+      std::set<std::string> InSCC(SCC.begin(), SCC.end());
+      std::vector<const LockEdge *> WitnessEdges;
+      for (const auto &[Pair, E] : Witness)
+        if (InSCC.count(Pair.first) && InSCC.count(Pair.second))
+          WitnessEdges.push_back(E);
+      if (WitnessEdges.empty())
+        continue;
+      std::string Names;
+      for (const std::string &K : SCC)
+        Names += (Names.empty() ? "'" : ", '") + displayOf(K) + "'";
+      std::string Msg = "lock-order cycle among " + Names + ":";
+      size_t Shown = 0;
+      for (const LockEdge *E : WitnessEdges) {
+        if (Shown++ == 2) {
+          Msg += " ...;";
+          break;
+        }
+        Msg += " '" + E->Holder + "' acquires '" + displayOf(E->To) +
+               "' while holding '" + displayOf(E->From) + "'" +
+               (E->Via.empty() ? "" : " via '" + E->Via + "'") + " (line " +
+               std::to_string(E->Line) + ");";
+      }
+      Msg += " impose one global acquisition order";
+      Finding F;
+      F.CheckId = "LK001";
+      F.File = WitnessEdges.front()->File;
+      F.Line = WitnessEdges.front()->Line;
+      F.Message = std::move(Msg);
+      for (const LockEdge *E : WitnessEdges)
+        F.Chain.push_back({displayOf(E->From) + " -> " + displayOf(E->To),
+                           E->File, E->Line});
+      Findings.push_back(std::move(F));
+    }
+  }
+};
+
+} // namespace
+
+std::vector<Finding> dopelint::analyzeLocks(const std::vector<FileTokens> &Files,
+                                            const CallGraph &CG) {
+  LockAnalysis LA(Files, CG);
+  return LA.take();
+}

@@ -1,0 +1,50 @@
+//===- tools/dope_lint/LockGraph.h - Static lock-order analysis -*- C++ -*-===//
+//
+// Part of the DoPE reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lock-order layer of dope_lint (LK001 / LK002, DESIGN.md §12).
+/// Builds a lock-acquisition graph from two sources that the codebase
+/// already maintains for the clang thread-safety analysis:
+///
+///   * lexical guard-scope tracking — `std::lock_guard` /
+///     `unique_lock` / `scoped_lock` / `shared_lock` declarations and
+///     explicit `.lock()` / `.unlock()` calls, with brace-scoped
+///     lifetimes;
+///   * `DOPE_REQUIRES(Mu)` annotations — capabilities held on entry.
+///
+/// Locks are keyed `Class::Member` (declared `std::mutex` members are
+/// indexed whole-program, like the call graph's symbols); a
+/// member-access lock whose owner cannot be determined gets an opaque
+/// per-site key so it can never fabricate a cycle. Edges run from every
+/// held lock to each newly acquired one, both directly and through
+/// resolvable calls (callee's transitive acquisition set). LK001
+/// reports any cycle — a potential deadlock; LK002 reports a lock held
+/// across a blocking call (condition-variable waits that pass the held
+/// unique_lock are the sanctioned exception).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPE_TOOLS_LINT_LOCKGRAPH_H
+#define DOPE_TOOLS_LINT_LOCKGRAPH_H
+
+#include "CallGraph.h"
+#include "Checks.h"
+
+#include <vector>
+
+namespace dopelint {
+
+/// Runs the LK001 (lock-order cycle) and LK002 (lock held across a
+/// blocking call) analyses over the whole scanned set. Findings are
+/// returned unfiltered — the caller applies --allow and line
+/// suppressions.
+std::vector<Finding> analyzeLocks(const std::vector<FileTokens> &Files,
+                                  const CallGraph &CG);
+
+} // namespace dopelint
+
+#endif // DOPE_TOOLS_LINT_LOCKGRAPH_H

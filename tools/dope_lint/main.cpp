@@ -46,6 +46,7 @@ struct Options {
   bool Basenames = false;
   bool ListChecks = false;
   bool Quiet = false;
+  bool Explain = false;
   std::set<std::string> Allowed;
 };
 
@@ -60,10 +61,14 @@ void printUsage(FILE *OS) {
       "  --compdb <path>     scan the TUs of a compile_commands.json\n"
       "  --root <dir>        restrict the scan to files under <dir> and\n"
       "                      add the headers beneath it\n"
-      "  --allow <ID>        disable a check (repeatable)\n"
-      "  --frontend <name>   auto | builtin | libclang\n"
+      "  --allow <ID>        disable a check (repeatable; unknown IDs are\n"
+      "                      a usage error)\n"
+      "  --frontend <name>   auto | builtin | libclang (libclang is a\n"
+      "                      usage error in builds without it)\n"
       "  --json              machine-readable findings on stdout\n"
       "  --basenames         print file basenames (stable golden output)\n"
+      "  --explain           print interprocedural evidence chains under\n"
+      "                      HP004/LK001/LK002 findings\n"
       "  --list-checks       print the check table and exit\n"
       "  --quiet             suppress the summary line\n"
       "  -h, --help          this text\n"
@@ -92,6 +97,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Basenames = true;
     } else if (A == "--quiet") {
       Opts.Quiet = true;
+    } else if (A == "--explain") {
+      Opts.Explain = true;
     } else if (A == "--compdb") {
       const char *V = Value("--compdb");
       if (!V)
@@ -106,6 +113,16 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       const char *V = Value("--allow");
       if (!V)
         return false;
+      bool Known = std::string(V) == "all";
+      for (const CheckInfo &C : allChecks())
+        Known = Known || std::string(V) == C.Id;
+      if (!Known) {
+        std::fprintf(stderr,
+                     "dope_lint: unknown check ID '%s' for --allow (see "
+                     "--list-checks)\n",
+                     V);
+        return false;
+      }
       Opts.Allowed.insert(V);
     } else if (A == "--frontend") {
       const char *V = Value("--frontend");
@@ -195,17 +212,24 @@ bool resolveInputs(const Options &Opts,
 }
 
 bool lexFile(const Options &Opts, const std::string &Path,
-             const std::vector<std::string> &Args, LexOutput &Out) {
+             const std::vector<std::string> &Args, LexOutput &Out,
+             bool &UsedLibclang) {
   bool WantLibclang = Opts.Frontend == "libclang" ||
                       (Opts.Frontend == "auto" && libclangAvailable());
   if (WantLibclang) {
     std::string Error;
-    if (lexWithLibclang(Path, Args, Out, Error))
+    if (lexWithLibclang(Path, Args, Out, Error)) {
+      UsedLibclang = true;
       return true;
-    if (Opts.Frontend == "libclang")
-      std::fprintf(stderr, "dope_lint: %s; falling back to builtin\n",
-                   Error.c_str());
+    }
+    if (Opts.Frontend == "libclang") {
+      // An explicitly requested frontend never silently degrades: the
+      // parity guarantee only holds when the run uses what was asked.
+      std::fprintf(stderr, "dope_lint: %s\n", Error.c_str());
+      return false;
+    }
   }
+  UsedLibclang = false;
   std::ifstream IS(Path, std::ios::binary);
   if (!IS) {
     std::fprintf(stderr, "dope_lint: cannot read '%s'\n", Path.c_str());
@@ -226,10 +250,17 @@ std::string displayPath(const Options &Opts, const std::string &Path) {
 
 void printText(const Options &Opts, const std::vector<Finding> &Findings,
                size_t FileCount) {
-  for (const Finding &F : Findings)
+  for (const Finding &F : Findings) {
     std::printf("%s:%u: %s: [%s] %s\n",
                 displayPath(Opts, F.File).c_str(), F.Line,
                 F.Severity.c_str(), F.CheckId.c_str(), F.Message.c_str());
+    if (Opts.Explain)
+      for (size_t I = 0; I < F.Chain.size(); ++I)
+        std::printf("    note: #%zu %s (%s:%u)\n", I + 1,
+                    F.Chain[I].Symbol.c_str(),
+                    displayPath(Opts, F.Chain[I].File).c_str(),
+                    F.Chain[I].Line);
+  }
   if (!Opts.Quiet) {
     size_t Errors = 0, Warnings = 0;
     for (const Finding &F : Findings)
@@ -241,7 +272,7 @@ void printText(const Options &Opts, const std::vector<Finding> &Findings,
 }
 
 void printJson(const Options &Opts, const std::vector<Finding> &Findings,
-               size_t FileCount) {
+               size_t FileCount, bool UsedLibclang) {
   dope::JsonValue Doc = dope::JsonValue::makeObject();
   dope::JsonValue Arr = dope::JsonValue::makeArray();
   for (const Finding &F : Findings) {
@@ -251,12 +282,24 @@ void printJson(const Options &Opts, const std::vector<Finding> &Findings,
     O.set("file", dope::JsonValue(displayPath(Opts, F.File)));
     O.set("line", dope::JsonValue(static_cast<double>(F.Line)));
     O.set("message", dope::JsonValue(F.Message));
+    if (!F.Chain.empty()) {
+      dope::JsonValue Chain = dope::JsonValue::makeArray();
+      for (const ChainFrame &Frame : F.Chain) {
+        dope::JsonValue FO = dope::JsonValue::makeObject();
+        FO.set("symbol", dope::JsonValue(Frame.Symbol));
+        FO.set("file", dope::JsonValue(displayPath(Opts, Frame.File)));
+        FO.set("line", dope::JsonValue(static_cast<double>(Frame.Line)));
+        Chain.push(std::move(FO));
+      }
+      O.set("chain", std::move(Chain));
+    }
     Arr.push(std::move(O));
   }
   Doc.set("findings", std::move(Arr));
   Doc.set("files_scanned", dope::JsonValue(static_cast<double>(FileCount)));
-  Doc.set("frontend", dope::JsonValue(libclangAvailable() ? "libclang"
-                                                          : "builtin"));
+  // The frontend actually used for this run — not what the build could
+  // have used.
+  Doc.set("frontend", dope::JsonValue(UsedLibclang ? "libclang" : "builtin"));
   std::printf("%s\n", Doc.dump().c_str());
 }
 
@@ -282,6 +325,13 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  if (Opts.Frontend == "libclang" && !libclangAvailable()) {
+    std::fprintf(stderr,
+                 "dope_lint: this build has no libclang frontend "
+                 "(clang-c/Index.h was not found at configure time)\n");
+    return 2;
+  }
+
   std::vector<std::pair<std::string, std::vector<std::string>>> Inputs;
   if (!resolveInputs(Opts, Inputs))
     return 2;
@@ -292,11 +342,14 @@ int main(int Argc, char **Argv) {
 
   std::vector<FileTokens> Files;
   Files.reserve(Inputs.size());
+  bool AllLibclang = true;
   for (const auto &[Path, Args] : Inputs) {
     FileTokens FT;
     FT.Path = Path;
-    if (!lexFile(Opts, Path, Args, FT.Lex))
+    bool UsedLibclang = false;
+    if (!lexFile(Opts, Path, Args, FT.Lex, UsedLibclang))
       return 2;
+    AllLibclang = AllLibclang && UsedLibclang;
     Files.push_back(std::move(FT));
   }
 
@@ -311,6 +364,12 @@ int main(int Argc, char **Argv) {
                     std::make_move_iterator(FileFindings.begin()),
                     std::make_move_iterator(FileFindings.end()));
   }
+  {
+    std::vector<Finding> Global = runGlobalChecks(Files, Index, CheckOpts);
+    Findings.insert(Findings.end(),
+                    std::make_move_iterator(Global.begin()),
+                    std::make_move_iterator(Global.end()));
+  }
   std::stable_sort(Findings.begin(), Findings.end(),
                    [](const Finding &A, const Finding &B) {
                      if (A.File != B.File)
@@ -319,7 +378,7 @@ int main(int Argc, char **Argv) {
                    });
 
   if (Opts.Json)
-    printJson(Opts, Findings, Files.size());
+    printJson(Opts, Findings, Files.size(), AllLibclang);
   else
     printText(Opts, Findings, Files.size());
   return Findings.empty() ? 0 : 1;
